@@ -1,0 +1,34 @@
+// Shared helpers for the figure-reproduction benches: aligned table
+// printing and deterministic parallel sweeps (one RNG-seeded simulation
+// per grid point, fanned across cores).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "reissue/runtime/executor.hpp"
+
+namespace reissue::bench {
+
+inline void header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("# %s\n", text.c_str());
+}
+
+/// Evaluates `eval(i)` for i in [0, n) in parallel and returns the results
+/// in index order (deterministic regardless of thread count).
+template <typename T>
+std::vector<T> sweep(std::size_t n, const std::function<T(std::size_t)>& eval) {
+  std::vector<T> results(n);
+  runtime::parallel_for(n, [&](std::size_t i) { results[i] = eval(i); });
+  return results;
+}
+
+}  // namespace reissue::bench

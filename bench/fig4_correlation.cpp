@@ -1,0 +1,78 @@
+// Figure 4 reproduction: joint structure of (primary, reissue) response
+// times on the Correlated vs Queueing workloads (Pareto(1.1, 2), Y = 0.5x
+// + Z).  The paper plots scatter plots; we print a coarse 2-D density
+// grid over log-spaced cells plus rank-correlation summaries.
+//
+// Paper-expected shape: the Correlated workload shows a clean linear band
+// (strong correlation); queueing delays dampen it -- the Queueing panel is
+// visibly noisier and its rank correlation lower.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "reissue/stats/correlation.hpp"
+#include "reissue/sim/workloads.hpp"
+
+using namespace reissue;
+
+namespace {
+
+void panel(const char* name, sim::Cluster& cluster, double sample_q) {
+  // Sample pairs with an immediate (d=0) policy so the joint log covers
+  // the whole primary distribution without conditioning.  On the Queueing
+  // workload the sampling probability is kept moderate: reissuing every
+  // query would double the load and swamp the correlation under queueing
+  // noise beyond what the paper's scatter shows.
+  const auto run = cluster.run(core::ReissuePolicy::single_r(0.0, sample_q));
+  const auto& pairs = run.correlated_pairs;
+
+  bench::header(std::string("Figure 4 (") + name + ") -- joint density");
+  std::printf("pairs: %zu, Spearman rank correlation: %.3f\n", pairs.size(),
+              stats::spearman(pairs));
+
+  // Log-spaced 8x8 density grid over [t0, t1).
+  constexpr int kCells = 8;
+  const double t0 = 2.0;
+  const double t1 = 2000.0;
+  const double step = std::log(t1 / t0) / kCells;
+  std::vector<std::vector<int>> grid(kCells, std::vector<int>(kCells, 0));
+  auto cell = [&](double v) {
+    const double u = std::log(std::clamp(v, t0, t1 * 0.999) / t0) / step;
+    return std::clamp(static_cast<int>(u), 0, kCells - 1);
+  };
+  for (const auto& [x, y] : pairs) ++grid[cell(y)][cell(x)];
+
+  std::printf("%10s", "reissue\\x");
+  for (int cx = 0; cx < kCells; ++cx) {
+    std::printf("%8.0f", t0 * std::exp((cx + 0.5) * step));
+  }
+  std::printf("\n");
+  for (int cy = kCells - 1; cy >= 0; --cy) {
+    std::printf("%10.0f", t0 * std::exp((cy + 0.5) * step));
+    for (int cx = 0; cx < kCells; ++cx) {
+      std::printf("%8d", grid[cy][cx]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 40000;
+  opts.warmup = 4000;
+
+  sim::Cluster correlated = sim::workloads::make_correlated(0.5, opts);
+  panel("Correlated, r=0.5", correlated, 1.0);
+
+  sim::Cluster queueing = sim::workloads::make_queueing(0.30, 0.5, opts);
+  panel("Queueing, 30% util", queueing, 0.25);
+
+  bench::note("expected: Queueing's rank correlation < Correlated's -- "
+              "queueing noise dampens the service-time correlation (paper "
+              "Fig. 4b vs 4a)");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Figure 6 reproduction: P95 and P99 tail-latency reduction of SingleR vs
+// reissue rate for LogNormal(1,1) and Exponential(0.1) service times at
+// 20% / 30% / 50% utilization (Queueing workload shape: 10 servers,
+// random LB, FIFO, no service-time correlation).
+//
+// Paper-expected shape: reduction is largest at low utilization but
+// remains >= ~1.5x even at 50%; higher target percentiles gain more.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "reissue/sim/metrics.hpp"
+#include "reissue/sim/workloads.hpp"
+
+using namespace reissue;
+
+namespace {
+
+struct Cell {
+  double p95_ratio = 0.0;
+  double p99_ratio = 0.0;
+};
+
+Cell evaluate(stats::DistributionPtr dist, double util, double rate) {
+  sim::workloads::SensitivityOptions opts;
+  opts.service = std::move(dist);
+  opts.utilization = util;
+  opts.base.queries = 40000;
+  opts.base.warmup = 4000;
+  sim::Cluster cluster = sim::workloads::make_sensitivity(opts);
+
+  const auto base = cluster.run(core::ReissuePolicy::none());
+  const double base95 = base.tail_latency(0.95);
+  const double base99 = base.tail_latency(0.99);
+  if (rate <= 0.0) return Cell{1.0, 1.0};
+
+  Cell cell;
+  // Tune separately per percentile target, as the paper optimizes each.
+  const auto t95 = sim::tune_single_r(cluster, 0.95, rate, 5);
+  cell.p95_ratio = base95 / t95.final_eval.tail_latency;
+  const auto t99 = sim::tune_single_r(cluster, 0.99, rate, 5);
+  const auto eval99 =
+      sim::evaluate_policy(cluster, t99.outcome.policy, 0.99);
+  cell.p99_ratio = base99 / eval99.tail_latency;
+  return cell;
+}
+
+void run_distribution(const char* name, const stats::DistributionPtr& dist) {
+  const std::vector<double> utils{0.20, 0.30, 0.50};
+  const std::vector<double> rates{0.0, 0.05, 0.10, 0.20, 0.30, 0.50};
+
+  struct Key {
+    double util;
+    double rate;
+  };
+  std::vector<Key> grid;
+  for (double util : utils) {
+    for (double rate : rates) grid.push_back(Key{util, rate});
+  }
+  const auto cells = bench::sweep<Cell>(grid.size(), [&](std::size_t i) {
+    return evaluate(dist, grid[i].util, grid[i].rate);
+  });
+
+  bench::header(std::string("Figure 6 (") + name + ")");
+  std::printf("%7s |", "rate");
+  for (double util : utils) std::printf("  P95@%2.0f%%  P99@%2.0f%% |",
+                                        100 * util, 100 * util);
+  std::printf("\n");
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    std::printf("%6.0f%% |", 100.0 * rates[r]);
+    for (std::size_t u = 0; u < utils.size(); ++u) {
+      const auto& cell = cells[u * rates.size() + r];
+      std::printf("  %7.2f  %7.2f |", cell.p95_ratio, cell.p99_ratio);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::note("values are tail-latency reduction ratios (baseline / tuned "
+              "SingleR); 1.00 = no change");
+  run_distribution("LogNormal(1,1)", stats::make_lognormal(1.0, 1.0));
+  run_distribution("Exponential(0.1)", stats::make_exponential(0.1));
+  bench::note("expected: ratios fall with utilization, rise with target "
+              "percentile; >= ~1.5x persists at 50% util (paper Fig. 6)");
+  return 0;
+}

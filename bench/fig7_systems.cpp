@@ -1,0 +1,192 @@
+// Figure 7 reproduction: the paper's system experiments on the Redis-like
+// set-intersection workload and the Lucene-like search workload (both
+// substrates execute real data-structure work; service times are replayed
+// through the 10-server DES cluster with the paper's client mechanism).
+//
+//   Fig. 7a -- P99 vs reissue rate (0..6%), SingleR vs SingleD, 40% util.
+//   Fig. 7b -- P99 vs reissue rate at 20% / 40% / 60% utilization.
+//   Fig. 7c -- best P99 vs utilization: budget found by the Fig. 8 binary
+//              search vs the no-reissue baseline.
+//
+// Paper-expected shape: both policies beat the baseline; SingleR strictly
+// better at small rates with the gap closing (q -> 1) as rates grow;
+// interior optimal budgets (~5-8%); significant reduction at every
+// utilization 20-60%.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "reissue/core/budget_search.hpp"
+#include "reissue/sim/metrics.hpp"
+#include "reissue/systems/bridge.hpp"
+
+using namespace reissue;
+
+namespace {
+
+constexpr double kPercentile = 0.99;
+
+enum class System { kRedis, kLucene };
+
+systems::SystemHarness make_harness(System system, double utilization,
+                                    std::size_t queries = 25000,
+                                    std::uint64_t seed = 0x5eed) {
+  systems::SystemHarnessOptions options;
+  options.utilization = utilization;
+  options.servers = 10;
+  options.queries = queries;
+  options.warmup = queries / 10;
+  options.seed = seed;
+  if (system == System::kRedis) {
+    return systems::make_redis_harness(options);
+  }
+  return systems::make_lucene_harness(options);
+}
+
+/// Averages a per-harness measurement over two arrival seeds to damp the
+/// run-to-run noise of tail estimates.
+double seed_avg(System system, double utilization, std::size_t queries,
+                const std::function<double(systems::SystemHarness&)>& f) {
+  double total = 0.0;
+  for (std::uint64_t seed : {0x5eedull, 0xfeedull}) {
+    auto harness = make_harness(system, utilization, queries, seed);
+    total += f(harness);
+  }
+  return total / 2.0;
+}
+
+void figure_7a(System system, const char* name) {
+  bench::header(std::string("Figure 7a (") + name +
+                "): SingleR vs SingleD P99 at 40% utilization");
+  const std::vector<double> rates{0.01, 0.02, 0.03, 0.04, 0.05, 0.06};
+
+  struct Row {
+    double baseline = 0.0;
+    double single_r = 0.0;
+    double single_d = 0.0;
+    double q = 0.0;
+  };
+  const auto rows = bench::sweep<Row>(rates.size(), [&](std::size_t i) {
+    Row row;
+    row.baseline = seed_avg(system, 0.40, 25000, [&](auto& harness) {
+      return sim::evaluate_policy(harness.cluster,
+                                  core::ReissuePolicy::none(), kPercentile)
+          .tail_latency;
+    });
+    row.single_r = seed_avg(system, 0.40, 25000, [&](auto& harness) {
+      const auto r =
+          sim::tune_single_r(harness.cluster, kPercentile, rates[i], 5);
+      row.q = r.outcome.policy.probability();
+      return r.final_eval.tail_latency;
+    });
+    row.single_d = seed_avg(system, 0.40, 25000, [&](auto& harness) {
+      return sim::tune_single_d(harness.cluster, kPercentile, rates[i], 5)
+          .final_eval.tail_latency;
+    });
+    return row;
+  });
+
+  std::printf("%7s  %10s  %12s  %12s  %6s\n", "rate", "baseline",
+              "SingleR P99", "SingleD P99", "q");
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    std::printf("%6.0f%%  %10.1f  %12.1f  %12.1f  %6.2f\n",
+                100.0 * rates[i], rows[i].baseline, rows[i].single_r,
+                rows[i].single_d, rows[i].q);
+  }
+}
+
+void figure_7b(System system, const char* name) {
+  bench::header(std::string("Figure 7b (") + name +
+                "): P99 vs reissue rate at 20/40/60% utilization");
+  const std::vector<double> utils{0.20, 0.40, 0.60};
+  const std::vector<double> rates{0.0, 0.02, 0.04, 0.08, 0.15, 0.30};
+
+  struct Key {
+    double util;
+    double rate;
+  };
+  std::vector<Key> grid;
+  for (double util : utils) {
+    for (double rate : rates) grid.push_back(Key{util, rate});
+  }
+  const auto cells = bench::sweep<double>(grid.size(), [&](std::size_t i) {
+    auto harness = make_harness(system, grid[i].util, 20000);
+    if (grid[i].rate <= 0.0) {
+      return sim::evaluate_policy(harness.cluster,
+                                  core::ReissuePolicy::none(), kPercentile)
+          .tail_latency;
+    }
+    return sim::tune_single_r(harness.cluster, kPercentile, grid[i].rate, 4)
+        .final_eval.tail_latency;
+  });
+
+  std::printf("%7s", "rate");
+  for (double util : utils) std::printf("  %8.0f%%", 100.0 * util);
+  std::printf("\n");
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    std::printf("%6.0f%%", 100.0 * rates[r]);
+    for (std::size_t u = 0; u < utils.size(); ++u) {
+      std::printf("  %9.1f", cells[u * rates.size() + r]);
+    }
+    std::printf("\n");
+  }
+}
+
+void figure_7c(System system, const char* name) {
+  bench::header(std::string("Figure 7c (") + name +
+                "): best-budget P99 vs utilization");
+  const std::vector<double> utils{0.20, 0.30, 0.40, 0.50, 0.60};
+
+  struct Row {
+    double baseline = 0.0;
+    double best = 0.0;
+    double budget = 0.0;
+  };
+  const auto rows = bench::sweep<Row>(utils.size(), [&](std::size_t i) {
+    Row row;
+    row.baseline = seed_avg(system, utils[i], 20000, [&](auto& harness) {
+      return sim::evaluate_policy(harness.cluster,
+                                  core::ReissuePolicy::none(), kPercentile)
+          .tail_latency;
+    });
+    core::BudgetSearchConfig config;
+    config.max_trials = 8;
+    config.initial_delta = 0.02;
+    config.max_budget = 0.30;
+    const auto outcome = core::search_optimal_budget(
+        [&](double budget) {
+          if (budget <= 0.0) return row.baseline;
+          return seed_avg(system, utils[i], 20000, [&](auto& harness) {
+            return sim::tune_single_r(harness.cluster, kPercentile, budget, 3)
+                .final_eval.tail_latency;
+          });
+        },
+        config);
+    row.best = outcome.best_tail_latency;
+    row.budget = outcome.best_budget;
+    return row;
+  });
+
+  std::printf("%6s  %12s  %16s  %12s\n", "util", "No Reissue",
+              "Best Reissue P99", "best budget");
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    std::printf("%5.0f%%  %12.1f  %16.1f  %11.1f%%\n", 100.0 * utils[i],
+                rows[i].baseline, rows[i].best, 100.0 * rows[i].budget);
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (auto [system, name] : {std::pair{System::kRedis, "Redis-like"},
+                              std::pair{System::kLucene, "Lucene-like"}}) {
+    figure_7a(system, name);
+    figure_7b(system, name);
+    figure_7c(system, name);
+  }
+  bench::note("paper: Redis P99 900->~400 ms at 40% util with ~3.5% "
+              "SingleR budget (SingleD needs >= 5%); Lucene 433->339 ms at "
+              "4%; gains persist at 60% util");
+  return 0;
+}

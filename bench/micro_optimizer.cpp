@@ -1,0 +1,106 @@
+// Microbenchmarks for the policy optimizer (paper §4.1 complexity claims):
+// ComputeOptimalSingleR is Theta(N + sort N); the correlation-aware
+// variant is Theta(N log N) (log^2 per conditional query here).  The
+// .complexity() reports let you verify the scaling directly.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "reissue/core/multi_optimizer.hpp"
+#include "reissue/core/optimizer.hpp"
+#include "reissue/stats/distributions.hpp"
+
+using namespace reissue;
+
+namespace {
+
+std::vector<double> samples(std::size_t n, std::uint64_t seed) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  stats::Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dist->sample(rng));
+  return out;
+}
+
+void BM_ComputeOptimalSingleR(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const stats::EmpiricalCdf rx(samples(n, 1));
+  const stats::EmpiricalCdf ry(samples(n, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_optimal_single_r(rx, ry, 0.95, 0.10));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_ComputeOptimalSingleR)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_EcdfConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto raw = samples(n, 3);
+  for (auto _ : state) {
+    stats::EmpiricalCdf cdf(raw);
+    benchmark::DoNotOptimize(cdf.quantile(0.99));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_EcdfConstruction)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_ComputeOptimalSingleRCorrelated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto xs = samples(n, 4);
+  const auto zs = samples(n, 5);
+  std::vector<std::pair<double, double>> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i] = {xs[i], 0.5 * xs[i] + zs[i]};
+  }
+  const stats::JointSamples joint(std::move(pairs));
+  const stats::EmpiricalCdf rx(xs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_optimal_single_r_correlated(rx, joint, 0.95, 0.10));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_ComputeOptimalSingleRCorrelated)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Complexity();
+
+void BM_BruteForceReference(benchmark::State& state) {
+  // The O(N^2) exhaustive optimizer, for contrast (tests-only path).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const stats::EmpiricalCdf rx(samples(n, 6));
+  const stats::EmpiricalCdf ry(samples(n, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_optimal_single_r_brute(rx, ry, 0.95, 0.10));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_BruteForceReference)
+    ->RangeMultiplier(4)
+    ->Range(1 << 6, 1 << 10)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_DoubleRGridSearch(benchmark::State& state) {
+  const stats::EmpiricalCdf rx(samples(2000, 8));
+  const stats::EmpiricalCdf ry(samples(2000, 9));
+  core::DoubleRSearchConfig config;
+  config.delay_grid = static_cast<std::size_t>(state.range(0));
+  config.q1_grid = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::compute_optimal_double_r(rx, ry, 0.95, 0.10, config));
+  }
+}
+BENCHMARK(BM_DoubleRGridSearch)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace

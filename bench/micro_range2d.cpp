@@ -1,0 +1,81 @@
+// Microbenchmarks for the 2-D dominance-counting structures behind the
+// correlation-aware optimizer (paper §4.2's orthogonal range queries).
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "reissue/stats/fenwick.hpp"
+#include "reissue/stats/joint_samples.hpp"
+#include "reissue/stats/merge_sort_tree.hpp"
+#include "reissue/stats/rng.hpp"
+
+using namespace reissue::stats;
+
+namespace {
+
+std::vector<std::pair<double, double>> points(std::size_t n,
+                                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) {
+    const double x = rng.uniform() * 1000.0;
+    p = {x, 0.5 * x + rng.uniform() * 500.0};
+  }
+  return pts;
+}
+
+void BM_MergeSortTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = points(n, 1);
+  for (auto _ : state) {
+    MergeSortTree tree(pts);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_MergeSortTreeBuild)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_MergeSortTreeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const MergeSortTree tree(points(n, 2));
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.count(rng.uniform() * 1000.0, rng.uniform() * 1000.0));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(n));
+}
+BENCHMARK(BM_MergeSortTreeQuery)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 18)
+    ->Complexity();
+
+void BM_ConditionalCdf(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const JointSamples joint(points(n, 4));
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        joint.conditional_y_cdf(rng.uniform() * 1000.0,
+                                rng.uniform() * 1000.0));
+  }
+}
+BENCHMARK(BM_ConditionalCdf)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_FenwickAddPrefix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  FenwickTree<> tree(n);
+  Xoshiro256 rng(6);
+  for (auto _ : state) {
+    const auto idx = static_cast<std::size_t>(rng.below(n));
+    tree.add(idx, 1);
+    benchmark::DoNotOptimize(tree.prefix(idx));
+  }
+}
+BENCHMARK(BM_FenwickAddPrefix)->Arg(1 << 12)->Arg(1 << 18);
+
+}  // namespace

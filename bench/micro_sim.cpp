@@ -1,0 +1,77 @@
+// Microbenchmarks for the discrete-event simulation substrate: raw event
+// throughput and full cluster-run cost (the unit of work every figure
+// sweep repeats hundreds of times).
+#include <benchmark/benchmark.h>
+
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/event_queue.hpp"
+#include "reissue/sim/workloads.hpp"
+
+using namespace reissue;
+
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  // Schedule/execute cycles through a rolling horizon.
+  for (auto _ : state) {
+    sim::EventQueue events;
+    int fired = 0;
+    for (int i = 0; i < 1024; ++i) {
+      events.schedule(static_cast<double>(i % 37), [&fired](double) {
+        ++fired;
+      });
+    }
+    events.run_to_completion();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_ClusterRunNoReissue(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = queries;
+  opts.warmup = queries / 10;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.run(core::ReissuePolicy::none()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(queries));
+}
+BENCHMARK(BM_ClusterRunNoReissue)->Arg(10000)->Arg(40000);
+
+void BM_ClusterRunSingleR(benchmark::State& state) {
+  const auto queries = static_cast<std::size_t>(state.range(0));
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = queries;
+  opts.warmup = queries / 10;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+  const auto policy = core::ReissuePolicy::single_r(30.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.run(policy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(queries));
+}
+BENCHMARK(BM_ClusterRunSingleR)->Arg(10000)->Arg(40000);
+
+void BM_ClusterRunQueueDisciplines(benchmark::State& state) {
+  sim::workloads::SensitivityOptions opts;
+  opts.service = stats::make_exponential(0.1);
+  opts.queue = static_cast<sim::QueueDisciplineKind>(state.range(0));
+  opts.base.queries = 10000;
+  opts.base.warmup = 1000;
+  sim::Cluster cluster = sim::workloads::make_sensitivity(opts);
+  const auto policy = core::ReissuePolicy::single_r(10.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.run(policy));
+  }
+}
+BENCHMARK(BM_ClusterRunQueueDisciplines)
+    ->Arg(static_cast<int>(sim::QueueDisciplineKind::kFifo))
+    ->Arg(static_cast<int>(sim::QueueDisciplineKind::kPrioritizedFifo))
+    ->Arg(static_cast<int>(sim::QueueDisciplineKind::kRoundRobinConnections));
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Microbenchmarks for the system substrates: set-intersection kernels
+// (Redis-like) and BM25 top-k search (Lucene-like), plus dataset/index
+// construction cost.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "reissue/systems/inverted_index.hpp"
+#include "reissue/systems/kvstore.hpp"
+#include "reissue/systems/redis_dataset.hpp"
+#include "reissue/systems/search_workload.hpp"
+#include "reissue/systems/searcher.hpp"
+#include "reissue/systems/set_ops.hpp"
+
+using namespace reissue;
+using namespace reissue::systems;
+
+namespace {
+
+std::vector<std::uint32_t> arithmetic_set(std::size_t n, std::uint32_t step) {
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint32_t>(i) * step + 1;
+  }
+  return v;
+}
+
+void BM_IntersectProbe(benchmark::State& state) {
+  const auto small = arithmetic_set(static_cast<std::size_t>(state.range(0)), 97);
+  const auto large = arithmetic_set(static_cast<std::size_t>(state.range(1)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_probe(small, large));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntersectProbe)->Args({1000, 100000})->Args({10000, 100000});
+
+void BM_IntersectMerge(benchmark::State& state) {
+  const auto a = arithmetic_set(static_cast<std::size_t>(state.range(0)), 3);
+  const auto b = arithmetic_set(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_merge(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_IntersectMerge)->Arg(10000)->Arg(100000);
+
+void BM_IntersectGallop(benchmark::State& state) {
+  const auto small = arithmetic_set(static_cast<std::size_t>(state.range(0)), 97);
+  const auto large = arithmetic_set(100000, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersect_gallop(small, large));
+  }
+}
+BENCHMARK(BM_IntersectGallop)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RedisDatasetBuild(benchmark::State& state) {
+  RedisDatasetParams params;
+  params.sets = static_cast<std::size_t>(state.range(0));
+  params.universe = 200000;
+  params.max_cardinality = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_redis_dataset(params));
+  }
+}
+BENCHMARK(BM_RedisDatasetBuild)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Bm25Search(benchmark::State& state) {
+  CorpusParams corpus_params;
+  corpus_params.documents = 20000;
+  corpus_params.vocabulary = 20000;
+  const auto corpus = make_corpus(corpus_params);
+  const InvertedIndex index(corpus);
+  const Searcher searcher(index);
+  SearchWorkloadParams wl;
+  wl.distinct_queries = 256;
+  const auto pool = make_query_pool(corpus.vocabulary, wl);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(searcher.search(pool[i % pool.size()].terms, 10));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Bm25Search);
+
+void BM_IndexBuild(benchmark::State& state) {
+  CorpusParams corpus_params;
+  corpus_params.documents = static_cast<std::size_t>(state.range(0));
+  corpus_params.vocabulary = 10000;
+  const auto corpus = make_corpus(corpus_params);
+  for (auto _ : state) {
+    InvertedIndex index(corpus);
+    benchmark::DoNotOptimize(index.total_postings());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Adaptive policy refinement under load-dependent queueing (paper §4.3 /
+// Fig. 2b): reissue requests perturb the very response-time distributions
+// the optimizer is computed from, so the controller iterates:
+// run -> log -> optimize -> move the delay part-way -> repeat, until the
+// optimizer's prediction matches the observed tail latency.
+#include <cstdio>
+
+#include "reissue/core/adaptive.hpp"
+#include "reissue/sim/workloads.hpp"
+
+using namespace reissue;
+
+int main() {
+  // The paper's Queueing workload: Pareto(1.1, 2) service times with
+  // r = 0.5 correlation, 10 servers, random LB, 30% utilization.
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 40000;
+  opts.warmup = 4000;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+
+  core::AdaptiveConfig config;
+  config.percentile = 0.95;
+  config.budget = 0.30;       // Fig. 2 uses a 30% budget
+  config.learning_rate = 0.2; // and lambda = 0.2
+  config.max_trials = 10;
+
+  std::printf("adaptive SingleR tuning: k=P95, budget=30%%, lambda=0.2\n\n");
+  std::printf("%5s  %-34s  %10s  %10s  %6s\n", "trial", "policy", "predicted",
+              "actual", "rate");
+  const auto outcome = core::adapt_single_r(cluster, config);
+  for (const auto& trial : outcome.trials) {
+    std::printf("%5d  %-34s  %10.1f  %10.1f  %5.1f%%\n", trial.index,
+                trial.policy.describe().c_str(), trial.predicted_tail,
+                trial.actual_tail, 100.0 * trial.measured_reissue_rate);
+  }
+  std::printf("\nconverged: %s (prediction within tolerance of observation "
+              "and measured rate at budget)\n",
+              outcome.converged ? "yes" : "no");
+  std::printf("final policy: %s\n", outcome.policy.describe().c_str());
+
+  // The paper's observation: convergence is detected "by comparing the
+  // policy optimizer's predicted tail-latency with the observed latency";
+  // for this workload it takes ~6 iterations at lambda=0.2.
+  return 0;
+}

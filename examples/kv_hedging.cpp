@@ -1,0 +1,50 @@
+// Hedging a key-value store: builds the Redis-like substrate (synthetic
+// 1000-set dataset, real set-intersection work, round-robin connection
+// event-loop servers), measures the baseline P99, then tunes and applies a
+// SingleR policy with a 3% budget -- the paper's §6.2 experiment in
+// miniature.
+#include <cstdio>
+
+#include "reissue/sim/metrics.hpp"
+#include "reissue/systems/bridge.hpp"
+
+using namespace reissue;
+
+int main() {
+  systems::SystemHarnessOptions options;
+  options.utilization = 0.40;
+  options.servers = 10;
+  options.queries = 20000;
+  options.warmup = 2000;
+
+  std::printf("building Redis-like harness (1000 sets, intersection trace)...\n");
+  auto harness = systems::make_redis_harness(options);
+  std::printf("service times: mean %.3f ms, stddev %.3f ms (%.1fx mean)\n",
+              harness.trace.mean_ms, harness.trace.stddev_ms,
+              harness.trace.stddev_ms / harness.trace.mean_ms);
+
+  const double k = 0.99;
+  const auto base =
+      sim::evaluate_policy(harness.cluster, core::ReissuePolicy::none(), k);
+  std::printf("\nbaseline:  P99 = %8.1f ms   utilization = %.2f\n",
+              base.tail_latency, base.utilization);
+
+  std::printf("tuning SingleR with a 3%% reissue budget (5 adaptive trials)...\n");
+  const auto tuned = sim::tune_single_r(harness.cluster, k, 0.03, 5);
+  for (const auto& trial : tuned.outcome.trials) {
+    std::printf("  trial %d: %-32s predicted %7.1f  actual %7.1f  rate %.3f\n",
+                trial.index, trial.policy.describe().c_str(),
+                trial.predicted_tail, trial.actual_tail,
+                trial.measured_reissue_rate);
+  }
+
+  const auto& eval = tuned.final_eval;
+  std::printf("\ntuned:     P99 = %8.1f ms   reissue rate = %.2f%%   "
+              "remediation = %.2f\n",
+              eval.tail_latency, 100.0 * eval.reissue_rate,
+              eval.remediation_rate);
+  std::printf("tail reduction: %.1f%%  (paper reports 30-70%% at 40-60%% "
+              "utilization with ~2%% reissues)\n",
+              100.0 * (1.0 - eval.tail_latency / base.tail_latency));
+  return 0;
+}

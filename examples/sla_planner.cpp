@@ -1,0 +1,56 @@
+// SLA planning (paper §4.4 "Meeting tail-latency with minimal resources"):
+// given a P99 latency target, find the smallest reissue budget whose tuned
+// SingleR policy meets it, then contrast with the unconstrained optimal
+// budget found by the Fig. 8 binary search.
+#include <cstdio>
+
+#include "reissue/core/budget_search.hpp"
+#include "reissue/sim/metrics.hpp"
+#include "reissue/sim/workloads.hpp"
+
+using namespace reissue;
+
+int main() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 25000;
+  opts.warmup = 2500;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.45, 0.5, opts);
+
+  const double k = 0.99;
+  const auto base =
+      sim::evaluate_policy(cluster, core::ReissuePolicy::none(), k);
+  std::printf("baseline P99 = %.1f\n", base.tail_latency);
+
+  auto evaluate = [&](double budget) {
+    if (budget <= 0.0) return base.tail_latency;
+    return sim::tune_single_r(cluster, k, budget, 4).final_eval.tail_latency;
+  };
+
+  // Unconstrained: walk the budget like Fig. 8.
+  core::BudgetSearchConfig config;
+  config.max_trials = 10;
+  config.max_budget = 0.40;
+  const auto best = core::search_optimal_budget(evaluate, config);
+  std::printf("\nFig.8-style budget walk:\n");
+  for (const auto& trial : best.trials) {
+    std::printf("  trial %2d: budget %5.1f%%  P99 %8.1f  %s\n", trial.index,
+                100.0 * trial.budget, trial.tail_latency,
+                trial.accepted ? "(new best)" : "");
+  }
+  std::printf("best budget %.1f%% -> P99 %.1f\n", 100.0 * best.best_budget,
+              best.best_tail_latency);
+
+  // Constrained: cheapest budget meeting a target between baseline and best.
+  const double target =
+      0.5 * (base.tail_latency + best.best_tail_latency);
+  const auto sla = core::minimize_budget_for_sla(evaluate, target, config);
+  std::printf("\nSLA: P99 <= %.1f\n", target);
+  if (sla.feasible) {
+    std::printf("cheapest feasible budget: %.1f%% (achieves P99 %.1f)\n",
+                100.0 * sla.budget, sla.tail_latency);
+  } else {
+    std::printf("target not reachable within max budget %.1f%%\n",
+                100.0 * config.max_budget);
+  }
+  return 0;
+}

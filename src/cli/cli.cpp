@@ -1,0 +1,258 @@
+#include "reissue/cli/cli.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "reissue/core/adaptive.hpp"
+#include "reissue/core/optimizer.hpp"
+#include "reissue/core/policy_io.hpp"
+#include "reissue/sim/metrics.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/systems/bridge.hpp"
+
+namespace reissue::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(reissue_cli -- optimal reissue policies (SPAA'17 reproduction)
+
+usage:
+  reissue_cli optimize --log FILE [--reissue-log FILE] [--pairs FILE]
+                       [--percentile K=0.99] [--budget B=0.02]
+  reissue_cli tune     --workload independent|correlated|queueing|redis|lucene
+                       [--utilization U=0.3] [--percentile K=0.99]
+                       [--budget B=0.02] [--trials N=6] [--queries N=40000]
+                       [--seed S]
+  reissue_cli evaluate --workload ... --policy "SingleR d=12.5 q=0.4"
+                       [--utilization U=0.3] [--percentile K=0.99]
+                       [--queries N=40000] [--seed S]
+  reissue_cli help
+)";
+
+double parse_double(const ParsedArgs& args, const std::string& name,
+                    double fallback) {
+  const std::string raw = args.get(name);
+  if (raw.empty()) return fallback;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(raw, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + name + ": not a number: " + raw);
+  }
+  if (consumed != raw.size()) {
+    throw std::runtime_error("--" + name + ": not a number: " + raw);
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const ParsedArgs& args, const std::string& name,
+                        std::uint64_t fallback) {
+  const std::string raw = args.get(name);
+  if (raw.empty()) return fallback;
+  try {
+    return std::stoull(raw);
+  } catch (const std::exception&) {
+    throw std::runtime_error("--" + name + ": not an integer: " + raw);
+  }
+}
+
+std::vector<double> load_log(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open log file: " + path);
+  auto samples = core::read_latency_log(in);
+  if (samples.empty()) throw std::runtime_error("empty log file: " + path);
+  return samples;
+}
+
+std::vector<std::pair<double, double>> load_pairs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open pairs file: " + path);
+  std::vector<std::pair<double, double>> pairs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream row(line);
+    double x = 0.0;
+    double y = 0.0;
+    if (!(row >> x)) continue;  // blank line
+    if (!(row >> y) || x < 0.0 || y < 0.0) {
+      throw std::runtime_error("pairs file line " + std::to_string(lineno) +
+                               ": expected two non-negative numbers");
+    }
+    pairs.emplace_back(x, y);
+  }
+  if (pairs.empty()) throw std::runtime_error("empty pairs file: " + path);
+  return pairs;
+}
+
+/// Builds one of the built-in workloads as a SystemUnderTest.
+std::unique_ptr<core::SystemUnderTest> make_workload(const ParsedArgs& args) {
+  const std::string name = args.get("workload");
+  const double utilization = parse_double(args, "utilization", 0.30);
+  const auto queries =
+      static_cast<std::size_t>(parse_u64(args, "queries", 40000));
+  const std::uint64_t seed = parse_u64(args, "seed", 0x5eed);
+
+  if (name == "independent" || name == "correlated" || name == "queueing") {
+    sim::workloads::WorkloadOptions opts;
+    opts.queries = queries;
+    opts.warmup = queries / 10;
+    opts.seed = seed;
+    if (name == "independent") {
+      return std::make_unique<sim::Cluster>(
+          sim::workloads::make_independent(opts));
+    }
+    if (name == "correlated") {
+      return std::make_unique<sim::Cluster>(
+          sim::workloads::make_correlated(0.5, opts));
+    }
+    return std::make_unique<sim::Cluster>(
+        sim::workloads::make_queueing(utilization, 0.5, opts));
+  }
+  if (name == "redis" || name == "lucene") {
+    systems::SystemHarnessOptions options;
+    options.utilization = utilization;
+    options.queries = queries;
+    options.warmup = queries / 10;
+    options.seed = seed;
+    auto harness = name == "redis" ? systems::make_redis_harness(options)
+                                   : systems::make_lucene_harness(options);
+    return std::make_unique<sim::Cluster>(std::move(harness.cluster));
+  }
+  throw std::runtime_error(
+      "--workload must be independent|correlated|queueing|redis|lucene "
+      "(got '" + name + "')");
+}
+
+int cmd_optimize(const ParsedArgs& args, std::ostream& out) {
+  const std::string log_path = args.get("log");
+  if (log_path.empty()) throw std::runtime_error("optimize requires --log");
+  const double k = parse_double(args, "percentile", 0.99);
+  const double budget = parse_double(args, "budget", 0.02);
+
+  const stats::EmpiricalCdf rx(load_log(log_path));
+  core::OptimizerResult result;
+  if (args.has("pairs")) {
+    const stats::JointSamples joint(load_pairs(args.get("pairs")));
+    result = core::compute_optimal_single_r_correlated(rx, joint, k, budget);
+  } else {
+    const stats::EmpiricalCdf ry = args.has("reissue-log")
+                                       ? stats::EmpiricalCdf(load_log(
+                                             args.get("reissue-log")))
+                                       : rx;
+    result = core::compute_optimal_single_r(rx, ry, k, budget);
+  }
+
+  out << "samples:        " << rx.size() << "\n";
+  out << "baseline P" << k * 100 << ":  " << rx.quantile(k) << "\n";
+  out << "policy:         "
+      << core::policy_to_line(result.policy()) << "\n";
+  out << "predicted tail: " << result.predicted_tail_latency << "\n";
+  out << "expected rate:  <= " << budget << "\n";
+  return 0;
+}
+
+int cmd_tune(const ParsedArgs& args, std::ostream& out) {
+  auto system = make_workload(args);
+  core::AdaptiveConfig config;
+  config.percentile = parse_double(args, "percentile", 0.99);
+  config.budget = parse_double(args, "budget", 0.02);
+  config.max_trials = static_cast<int>(parse_u64(args, "trials", 6));
+  const auto outcome = core::adapt_single_r(*system, config);
+  for (const auto& trial : outcome.trials) {
+    out << "trial " << trial.index << ": "
+        << core::policy_to_line(trial.policy)
+        << "  predicted=" << trial.predicted_tail
+        << "  actual=" << trial.actual_tail
+        << "  rate=" << trial.measured_reissue_rate << "\n";
+  }
+  out << "policy:    " << core::policy_to_line(outcome.policy) << "\n";
+  out << "tail:      " << outcome.final_tail() << "\n";
+  out << "converged: " << (outcome.converged ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_evaluate(const ParsedArgs& args, std::ostream& out) {
+  const std::string policy_line = args.get("policy");
+  if (policy_line.empty()) throw std::runtime_error("evaluate requires --policy");
+  const auto policy = core::policy_from_line(policy_line);
+  const double k = parse_double(args, "percentile", 0.99);
+  auto system = make_workload(args);
+  const auto eval = sim::evaluate_policy(*system, policy, k);
+  out << "policy:       " << core::policy_to_line(policy) << "\n";
+  out << "tail:         " << eval.tail_latency << "\n";
+  out << "reissue rate: " << eval.reissue_rate << "\n";
+  out << "remediation:  " << eval.remediation_rate << "\n";
+  out << "utilization:  " << eval.utilization << "\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string ParsedArgs::get(const std::string& name,
+                            const std::string& fallback) const {
+  std::string value = fallback;
+  for (const auto& [key, val] : flags) {
+    if (key == name) value = val;
+  }
+  return value;
+}
+
+bool ParsedArgs::has(const std::string& name) const {
+  for (const auto& [key, val] : flags) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+ParsedArgs parse_args(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  std::size_t i = 0;
+  if (i < args.size() && args[i].rfind("--", 0) != 0) {
+    parsed.command = args[i++];
+  }
+  while (i < args.size()) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --flag, got '" + token + "'");
+    }
+    const std::string name = token.substr(2);
+    if (name.empty()) throw std::runtime_error("empty flag name");
+    std::string value;
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      value = args[i + 1];
+      i += 2;
+    } else {
+      i += 1;
+    }
+    parsed.flags.emplace_back(name, std::move(value));
+  }
+  return parsed;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const ParsedArgs parsed = parse_args(args);
+    if (parsed.command.empty() || parsed.command == "help") {
+      out << kUsage;
+      return 0;
+    }
+    if (parsed.command == "optimize") return cmd_optimize(parsed, out);
+    if (parsed.command == "tune") return cmd_tune(parsed, out);
+    if (parsed.command == "evaluate") return cmd_evaluate(parsed, out);
+    err << "unknown command: " << parsed.command << "\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace reissue::cli

@@ -1,0 +1,54 @@
+// Command-line front end for operators: optimize policies from latency
+// logs, and tune/evaluate policies on the built-in workloads without
+// writing C++.  The command logic is a library (driven by the test suite
+// and by tools/reissue_cli.cpp's thin main).
+//
+// Commands:
+//   optimize  --log FILE [--reissue-log FILE] [--pairs FILE]
+//             [--percentile K] [--budget B]
+//       Computes the optimal SingleR policy from response-time logs
+//       (one latency per line; --pairs takes "primary reissue" rows and
+//       switches to the §4.2 correlation-aware optimizer).
+//
+//   tune      --workload independent|correlated|queueing|redis|lucene
+//             [--utilization U] [--percentile K] [--budget B]
+//             [--trials N] [--queries N] [--seed S]
+//       Runs the §4.3 adaptive optimizer on a built-in workload and
+//       reports the tuned policy and measured tail.
+//
+//   evaluate  --workload ... --policy "SingleR d=12.5 q=0.4"
+//             [--utilization U] [--percentile K] [--queries N] [--seed S]
+//       Evaluates a fixed policy on a built-in workload.
+//
+//   help
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace reissue::cli {
+
+/// Executes a CLI invocation.  `args` excludes the program name.
+/// Returns the process exit code (0 on success); all human output goes to
+/// `out`, diagnostics to `err`.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// Parsed key-value flags ("--key value"; bare "--flag" gets value "").
+/// Exposed for tests.
+struct ParsedArgs {
+  std::string command;
+  std::vector<std::pair<std::string, std::string>> flags;
+
+  /// Last value of --name, or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] bool has(const std::string& name) const;
+};
+
+/// Parses raw arguments.  Throws std::runtime_error on a malformed flag
+/// (missing value, flag before command).
+[[nodiscard]] ParsedArgs parse_args(const std::vector<std::string>& args);
+
+}  // namespace reissue::cli

@@ -1,0 +1,137 @@
+#include "reissue/core/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::core {
+
+namespace {
+
+void validate(const AdaptiveConfig& config) {
+  if (!(config.percentile > 0.0 && config.percentile < 1.0)) {
+    throw std::invalid_argument("adaptive: percentile in (0,1)");
+  }
+  if (!(config.budget >= 0.0 && config.budget <= 1.0)) {
+    throw std::invalid_argument("adaptive: budget in [0,1]");
+  }
+  if (!(config.learning_rate > 0.0 && config.learning_rate <= 1.0)) {
+    throw std::invalid_argument("adaptive: learning_rate in (0,1]");
+  }
+  if (config.max_trials < 1) {
+    throw std::invalid_argument("adaptive: max_trials >= 1");
+  }
+}
+
+bool trial_converged(const AdaptiveTrial& trial, const AdaptiveConfig& config) {
+  const double pred = std::max(trial.predicted_tail, 1e-12);
+  const bool latency_ok =
+      std::abs(trial.actual_tail - trial.predicted_tail) <=
+      config.tolerance * pred;
+  const bool rate_ok =
+      std::abs(trial.measured_reissue_rate - config.budget) <=
+      config.tolerance * std::max(config.budget, 1e-6);
+  return latency_ok && rate_ok;
+}
+
+double q_for_budget(const stats::EmpiricalCdf& rx, double budget, double d) {
+  const double tail = rx.tail(d);
+  if (tail <= 0.0) return 1.0;
+  return std::clamp(budget / tail, 0.0, 1.0);
+}
+
+/// Shared trial loop; `refine` maps (current delay, optimizer result,
+/// fresh primary ECDF) -> next policy.
+template <typename Refine>
+AdaptiveOutcome adapt_loop(SystemUnderTest& system,
+                           const AdaptiveConfig& config,
+                           ReissuePolicy initial, Refine refine) {
+  AdaptiveOutcome outcome;
+  ReissuePolicy policy = std::move(initial);
+
+  for (int trial_idx = 0; trial_idx < config.max_trials; ++trial_idx) {
+    const RunResult result = system.run(policy);
+    if (result.query_latencies.empty()) {
+      throw std::runtime_error("adaptive: system produced an empty run");
+    }
+
+    const auto rx = result.primary_cdf();
+    OptimizerResult local;
+    if (config.use_correlation && !result.correlated_pairs.empty()) {
+      local = compute_optimal_single_r_correlated(rx, result.joint(),
+                                                  config.percentile,
+                                                  config.budget);
+    } else {
+      local = compute_optimal_single_r(rx, result.reissue_cdf(),
+                                       config.percentile, config.budget);
+    }
+
+    AdaptiveTrial trial;
+    trial.index = trial_idx;
+    trial.policy = policy;
+    trial.predicted_tail = local.predicted_tail_latency;
+    trial.actual_tail = result.tail_latency(config.percentile);
+    trial.measured_reissue_rate = result.measured_reissue_rate();
+    trial.utilization = result.utilization;
+    outcome.trials.push_back(trial);
+
+    if (trial_converged(trial, config)) {
+      outcome.converged = true;
+      if (config.stop_on_convergence) break;
+    }
+
+    policy = refine(policy, local, rx);
+  }
+
+  outcome.policy = outcome.trials.empty() ? policy : outcome.trials.back().policy;
+  // Report the most recent policy actually evaluated; if we refined after
+  // the last trial the refinement was never validated, so prefer the last
+  // evaluated one.
+  return outcome;
+}
+
+}  // namespace
+
+AdaptiveOutcome adapt_single_r(SystemUnderTest& system,
+                               const AdaptiveConfig& config) {
+  validate(config);
+  // P0: reissue immediately with probability B (paper §4.3).
+  ReissuePolicy initial = ReissuePolicy::single_r(0.0, config.budget);
+  return adapt_loop(
+      system, config, std::move(initial),
+      [&config](const ReissuePolicy& current, const OptimizerResult& local,
+                const stats::EmpiricalCdf& rx) {
+        const double d = current.delay();
+        const double d_next =
+            d + config.learning_rate * (local.delay - d);
+        const double q_next = q_for_budget(rx, config.budget, d_next);
+        return ReissuePolicy::single_r(d_next, q_next);
+      });
+}
+
+AdaptiveOutcome adapt_single_d(SystemUnderTest& system,
+                               const AdaptiveConfig& config) {
+  validate(config);
+  if (config.budget <= 0.0) {
+    throw std::invalid_argument("adapt_single_d: budget must be > 0");
+  }
+  // Trial 0 runs without reissues to measure the baseline distribution
+  // (SingleD(0) would duplicate every query and can destabilize a loaded
+  // system); subsequent trials re-derive d from fresh logs so the measured
+  // rate approaches B despite the load the reissues add.
+  ReissuePolicy initial = ReissuePolicy::none();
+  return adapt_loop(
+      system, config, std::move(initial),
+      [&config](const ReissuePolicy& current, const OptimizerResult&,
+                const stats::EmpiricalCdf& rx) {
+        const double d_target = rx.quantile(1.0 - config.budget);
+        if (!current.reissues()) {
+          return ReissuePolicy::single_d(d_target);
+        }
+        const double d = current.delay();
+        return ReissuePolicy::single_d(
+            d + config.learning_rate * (d_target - d));
+      });
+}
+
+}  // namespace reissue::core

@@ -1,0 +1,101 @@
+#include "reissue/core/budget_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::core {
+
+namespace {
+
+void validate(const BudgetSearchConfig& config) {
+  if (!(config.initial_delta > 0.0)) {
+    throw std::invalid_argument("budget search: initial_delta > 0");
+  }
+  if (!(config.max_budget > config.min_budget)) {
+    throw std::invalid_argument("budget search: max_budget > min_budget");
+  }
+  if (config.max_trials < 1) {
+    throw std::invalid_argument("budget search: max_trials >= 1");
+  }
+}
+
+BudgetSearchOutcome search_impl(const BudgetEvaluator& evaluate,
+                                const BudgetSearchConfig& config,
+                                const std::function<double(double)>& transform) {
+  validate(config);
+  BudgetSearchOutcome outcome;
+  outcome.best_budget = config.min_budget;
+  outcome.best_tail_latency = transform(evaluate(config.min_budget));
+  outcome.trials.push_back(BudgetTrial{0, outcome.best_budget,
+                                       outcome.best_tail_latency, true});
+
+  double delta = config.initial_delta;
+  for (int i = 1; i < config.max_trials; ++i) {
+    if (std::abs(delta) < config.min_delta) break;
+    const double candidate = std::clamp(outcome.best_budget + delta,
+                                        config.min_budget, config.max_budget);
+    if (candidate == outcome.best_budget) {
+      // Step led nowhere (clamped); reverse and halve like a failure.
+      delta *= config.shrink;
+      continue;
+    }
+    const double latency = transform(evaluate(candidate));
+    BudgetTrial trial{i, candidate, latency, false};
+    if (latency < outcome.best_tail_latency) {
+      trial.accepted = true;
+      outcome.best_budget = candidate;
+      outcome.best_tail_latency = latency;
+      delta *= config.grow;
+    } else {
+      delta *= config.shrink;
+    }
+    outcome.trials.push_back(trial);
+  }
+  return outcome;
+}
+
+}  // namespace
+
+BudgetSearchOutcome search_optimal_budget(const BudgetEvaluator& evaluate,
+                                          const BudgetSearchConfig& config) {
+  return search_impl(evaluate, config, [](double latency) { return latency; });
+}
+
+SlaOutcome minimize_budget_for_sla(const BudgetEvaluator& evaluate,
+                                   double target_latency,
+                                   const BudgetSearchConfig& config) {
+  if (!(target_latency > 0.0)) {
+    throw std::invalid_argument("minimize_budget_for_sla: target > 0");
+  }
+  // Transform f(L) = max(L, target): every budget meeting the SLA scores
+  // identically, so "improvement" only happens while still infeasible and
+  // the walk stops growing once feasible.  A final pass over the evaluated
+  // trials then picks the cheapest feasible budget.
+  const double epsilon = target_latency * 1e-9;
+  BudgetSearchOutcome walk = search_impl(
+      evaluate, config, [&](double latency) {
+        return std::max(latency, target_latency);
+      });
+
+  SlaOutcome outcome;
+  outcome.trials = walk.trials;
+  outcome.budget = config.max_budget;
+  outcome.tail_latency = walk.best_tail_latency;
+  outcome.feasible = false;
+  for (const auto& trial : walk.trials) {
+    const bool meets = trial.tail_latency <= target_latency + epsilon;
+    if (meets && (!outcome.feasible || trial.budget < outcome.budget)) {
+      outcome.feasible = true;
+      outcome.budget = trial.budget;
+      outcome.tail_latency = trial.tail_latency;
+    }
+  }
+  if (!outcome.feasible) {
+    outcome.budget = walk.best_budget;
+    outcome.tail_latency = walk.best_tail_latency;
+  }
+  return outcome;
+}
+
+}  // namespace reissue::core

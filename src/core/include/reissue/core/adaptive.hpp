@@ -1,0 +1,81 @@
+// Iterative adaptation for load-dependent queueing delays (paper §4.3).
+//
+// Reissue requests add load, which perturbs the very response-time
+// distributions the optimizer was computed from.  The adaptive controller
+// closes the loop:
+//
+//   1. start with P0 = SingleR(d = 0, q = B)  (immediate, budget-bounded);
+//   2. run the system under the current policy, log RX / RY / pairs;
+//   3. compute P_local = ComputeOptimalSingleR on the fresh logs;
+//   4. move the delay part-way:  d' = d + lambda (d_local - d);
+//      re-derive q' = min(1, B / Pr(X > d')) from the fresh primary log;
+//   5. repeat until the observed kth-percentile latency matches the
+//      optimizer's prediction and the measured reissue rate matches B.
+//
+// Every trial is recorded (predicted vs actual), which is exactly the data
+// behind the paper's Figure 2b convergence plot.
+#pragma once
+
+#include <vector>
+
+#include "reissue/core/optimizer.hpp"
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+
+namespace reissue::core {
+
+struct AdaptiveConfig {
+  /// Target percentile k in (0,1), e.g. 0.95 or 0.99.
+  double percentile = 0.99;
+  /// Reissue budget B (expected fraction of queries reissued).
+  double budget = 0.05;
+  /// Learning rate lambda in (0,1]; the paper uses 0.2 (Fig. 2b) and 0.5
+  /// for the system experiments (§6.1).
+  double learning_rate = 0.5;
+  /// Maximum number of trials (system runs).
+  int max_trials = 10;
+  /// Convergence declared when |actual - predicted| <= tol * predicted and
+  /// |measured rate - B| <= tol * max(B, 1e-6).
+  double tolerance = 0.05;
+  /// Use the §4.2 correlation-aware optimizer on the logged pairs.
+  bool use_correlation = true;
+  /// Stop early once converged (otherwise always run max_trials).
+  bool stop_on_convergence = false;
+};
+
+struct AdaptiveTrial {
+  int index = 0;
+  ReissuePolicy policy = ReissuePolicy::none();
+  /// Optimizer's predicted kth-percentile latency from this trial's logs.
+  double predicted_tail = 0.0;
+  /// Observed kth-percentile end-to-end latency under `policy`.
+  double actual_tail = 0.0;
+  double measured_reissue_rate = 0.0;
+  double utilization = 0.0;
+};
+
+struct AdaptiveOutcome {
+  /// The final refined policy.
+  ReissuePolicy policy = ReissuePolicy::none();
+  /// Per-trial history (Figure 2b's Predicted / Actual series).
+  std::vector<AdaptiveTrial> trials;
+  bool converged = false;
+
+  /// Observed tail latency of the last trial.
+  [[nodiscard]] double final_tail() const {
+    return trials.empty() ? 0.0 : trials.back().actual_tail;
+  }
+};
+
+/// Runs the §4.3 adaptive refinement loop against `system`.
+[[nodiscard]] AdaptiveOutcome adapt_single_r(SystemUnderTest& system,
+                                             const AdaptiveConfig& config);
+
+/// Adaptive refinement for SingleD (delay-only, q pinned to 1).  The paper
+/// uses this to make SingleD satisfy its budget under queueing (§5.1):
+/// added load shifts the primary distribution, so d must be re-derived from
+/// fresh logs until the measured rate matches B.
+[[nodiscard]] AdaptiveOutcome adapt_single_d(SystemUnderTest& system,
+                                             const AdaptiveConfig& config);
+
+}  // namespace reissue::core

@@ -1,0 +1,72 @@
+// Reissue-budget selection (paper §4.4 and Figure 8).
+//
+// Tail latency as a function of the reissue budget tends to be a parabola:
+// too little redundancy leaves tail queries unremediated, too much inflates
+// load.  The paper's procedure walks the budget with an expanding /
+// halving-and-reversing step:
+//
+//   1. delta = 1%, best = 0;
+//   2. evaluate budget best + delta (5 adaptive trials -> policy -> P99);
+//   3. improved?  accept, delta *= 3/2.  worse?  delta = -delta/2;
+//   4. repeat.
+//
+// `minimize_budget_for_sla` is the §4.4 SLA variant: find the smallest
+// budget whose tail latency meets a target T, by transforming latencies
+// with f(L) = max(L, T) so that all feasible budgets look equal and the
+// search walks down to the cheapest one.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace reissue::core {
+
+/// Evaluates one candidate budget and returns the achieved tail latency.
+/// Implementations typically run the adaptive optimizer for a few trials
+/// and measure the resulting kth-percentile latency.
+using BudgetEvaluator = std::function<double(double budget)>;
+
+struct BudgetTrial {
+  int index = 0;
+  double budget = 0.0;
+  double tail_latency = 0.0;
+  bool accepted = false;
+};
+
+struct BudgetSearchConfig {
+  double initial_delta = 0.01;  // paper: 1%
+  double grow = 1.5;            // paper: delta = 3*delta/2 on success
+  double shrink = -0.5;         // paper: delta = -delta/2 on failure
+  int max_trials = 14;
+  double min_budget = 0.0;
+  double max_budget = 0.5;
+  /// Stop when |delta| falls below this.
+  double min_delta = 1e-3;
+};
+
+struct BudgetSearchOutcome {
+  double best_budget = 0.0;
+  double best_tail_latency = 0.0;
+  /// All evaluated trials in order (the two series of Figure 8).
+  std::vector<BudgetTrial> trials;
+};
+
+/// Runs the §4.4 budget search.  `evaluate` is called once per trial.
+[[nodiscard]] BudgetSearchOutcome search_optimal_budget(
+    const BudgetEvaluator& evaluate, const BudgetSearchConfig& config = {});
+
+struct SlaOutcome {
+  /// Smallest budget meeting the target, or max_budget if unreachable.
+  double budget = 0.0;
+  double tail_latency = 0.0;
+  bool feasible = false;
+  std::vector<BudgetTrial> trials;
+};
+
+/// Finds the minimal budget with tail latency <= target (§4.4 "meeting
+/// tail-latency with minimal resources").
+[[nodiscard]] SlaOutcome minimize_budget_for_sla(
+    const BudgetEvaluator& evaluate, double target_latency,
+    const BudgetSearchConfig& config = {});
+
+}  // namespace reissue::core

@@ -1,0 +1,71 @@
+// Grid-search optimizer for DoubleR policies, used to validate Theorem 3.1
+// numerically: with the same budget, the best DoubleR policy achieves the
+// same kth-percentile tail latency as the best SingleR policy (DoubleR can
+// never do better, and SingleR is the q2=0 special case so it can never do
+// worse).
+//
+// The search grids d1 < d2 over empirical quantiles of RX and q1 over
+// [0, min(1, B/Pr(X>d1))]; q2 is then pinned by spending the remaining
+// budget with equality per Eq. (15):
+//
+//   q2 = (B - q1 Pr(X>d1)) / (Pr(X>d2) (1 - q1 Pr(Y<=d2-d1)))
+//
+// clamped to [0,1].  This is exponentially cheaper than a free 4-parameter
+// grid and loses nothing: success rate is nondecreasing in q2, so the
+// budget constraint is always tight at the optimum.
+#pragma once
+
+#include <cstddef>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/stats/ecdf.hpp"
+
+namespace reissue::core {
+
+struct DoubleRResult {
+  ReissuePolicy policy = ReissuePolicy::none();
+  double tail_latency = 0.0;
+  double budget_spent = 0.0;
+};
+
+struct DoubleRSearchConfig {
+  /// Number of quantile grid points for each of d1 and d2.
+  std::size_t delay_grid = 40;
+  /// Number of grid points for q1 in [0, q1_max].
+  std::size_t q1_grid = 40;
+};
+
+/// Best DoubleR policy for (k, budget) under the independent model, by
+/// constrained grid search.  Throws on invalid k/budget or empty logs.
+[[nodiscard]] DoubleRResult compute_optimal_double_r(
+    const stats::EmpiricalCdf& rx, const stats::EmpiricalCdf& ry, double k,
+    double budget, const DoubleRSearchConfig& config = {});
+
+struct MultipleRResult {
+  ReissuePolicy policy = ReissuePolicy::none();
+  double tail_latency = 0.0;
+  double budget_spent = 0.0;
+  int rounds = 0;
+};
+
+struct MultipleRSearchConfig {
+  /// Quantile grid points for each stage delay.
+  std::size_t delay_grid = 32;
+  /// Grid points for each stage probability in [0, 1].
+  std::size_t q_grid = 24;
+  /// Coordinate-descent rounds over the stages.
+  int max_rounds = 4;
+};
+
+/// Best n-stage MultipleR policy for (k, budget) under the independent
+/// model, by coordinate descent: stages start evenly spread over the RX
+/// quantiles with equal budget shares, then each stage's (d, q) is
+/// re-optimized on a grid holding the others fixed, subject to the Eq.(15)
+/// total-budget constraint.  Used to validate Theorem 3.2 (n-stage
+/// policies gain nothing over SingleR) beyond the DoubleR case.
+[[nodiscard]] MultipleRResult compute_optimal_multiple_r(
+    const stats::EmpiricalCdf& rx, const stats::EmpiricalCdf& ry, double k,
+    double budget, std::size_t stages,
+    const MultipleRSearchConfig& config = {});
+
+}  // namespace reissue::core

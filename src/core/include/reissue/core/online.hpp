@@ -1,0 +1,96 @@
+// On-line policy adaptation for drifting workloads (paper §4.4 "Varying
+// load / response-time distributions"): response-time distributions shift
+// on hourly/daily/seasonal scales, so the SingleR parameters must track
+// them without stopping the service for batch re-optimization.
+//
+// The controller keeps a sliding window of the most recent primary
+// response times (and (primary, reissue) pairs when available) and
+// recomputes ComputeOptimalSingleR every `reoptimize_interval`
+// observations, smoothing the delay with the same learning-rate rule as
+// the §4.3 batch loop.  A P² sketch tracks the live tail percentile for
+// monitoring without storing the full history.
+//
+// Thread-safe: the record path takes a mutex and is O(1) amortized
+// (re-optimization cost Θ(W log W) is paid once per interval).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "reissue/core/optimizer.hpp"
+#include "reissue/core/policy.hpp"
+#include "reissue/stats/psquare.hpp"
+
+namespace reissue::core {
+
+struct OnlineControllerConfig {
+  /// Tail percentile to minimize, in (0,1).
+  double percentile = 0.99;
+  /// Reissue budget B.
+  double budget = 0.02;
+  /// Sliding-window length (primary samples kept).
+  std::size_t window = 8192;
+  /// Re-optimize after this many new primary observations.
+  std::size_t reoptimize_interval = 1024;
+  /// Delay smoothing: d' = d + rate * (d_local - d).
+  double learning_rate = 0.5;
+  /// Use Pr(Y <= t-d | X > t) from the windowed pairs when enough exist.
+  bool use_correlation = true;
+  /// Minimum pairs in the window before the correlated estimator is used.
+  std::size_t min_pairs = 256;
+};
+
+class OnlineReissueController {
+ public:
+  explicit OnlineReissueController(OnlineControllerConfig config);
+
+  /// Records a primary copy's response time.  Triggers re-optimization
+  /// every `reoptimize_interval` calls once the window has filled enough.
+  void record_primary(double response_time);
+
+  /// Records an issued reissue copy: its primary's response time and its
+  /// own response time (measured from its dispatch).
+  void record_reissue(double primary_response, double reissue_response);
+
+  /// Records an end-to-end query latency (monitoring only).
+  void record_query_latency(double latency);
+
+  /// The current recommended policy (starts as SingleR(0, B)).
+  [[nodiscard]] ReissuePolicy policy() const;
+
+  /// Live estimate of the monitored tail percentile (P² sketch).
+  [[nodiscard]] double tail_estimate() const;
+
+  /// Number of re-optimizations performed so far.
+  [[nodiscard]] std::uint64_t reoptimizations() const;
+
+  /// Latest optimizer prediction for the tail latency (0 before the
+  /// first re-optimization).
+  [[nodiscard]] double predicted_tail() const;
+
+ private:
+  void reoptimize_locked();
+
+  OnlineControllerConfig config_;
+  mutable std::mutex mutex_;
+
+  // Ring buffer of primary samples.
+  std::vector<double> primary_window_;
+  std::size_t primary_next_ = 0;
+  std::size_t primary_count_ = 0;
+
+  // Ring buffer of (primary, reissue) pairs.
+  std::vector<std::pair<double, double>> pair_window_;
+  std::size_t pair_next_ = 0;
+  std::size_t pair_count_ = 0;
+
+  std::size_t since_reoptimize_ = 0;
+  std::uint64_t reoptimizations_ = 0;
+  double predicted_tail_ = 0.0;
+  ReissuePolicy policy_;
+  stats::PSquareQuantile tail_sketch_;
+};
+
+}  // namespace reissue::core

@@ -1,0 +1,73 @@
+// Data-driven parameter search for the optimal SingleR policy
+// (paper §4.1 Figure 1, and the §4.2 correlation-aware variant).
+//
+// Given sampled primary response times RX, reissue response times RY, a
+// target percentile k (e.g. 0.95) and a reissue budget B, find the reissue
+// delay d* and probability q minimizing the kth percentile tail latency:
+//
+//   minimize t  s.t.  Pr(X<=t) + q Pr(X>t) Pr(Y<=t-d) >= k,
+//                     q Pr(X>d) <= B.
+//
+// `compute_optimal_single_r` is the faithful O(N + sort) two-pointer scan
+// of Figure 1.  `compute_optimal_single_r_brute` is the O(N^2) exhaustive
+// reference used by the test suite to certify optimality.  The correlated
+// variants replace Pr(Y<=t-d) with Pr(Y<=t-d | X>t) via 2-D range counting
+// (O(N log^2 N) here; the paper cites O(N log N) with fractional
+// cascading -- same asymptotic family, simpler structure).
+#pragma once
+
+#include <optional>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/stats/ecdf.hpp"
+#include "reissue/stats/joint_samples.hpp"
+
+namespace reissue::core {
+
+struct OptimizerResult {
+  /// Optimal reissue delay d*.
+  double delay = 0.0;
+  /// Optimal reissue probability q = min(1, B / Pr(X > d*)).
+  double probability = 0.0;
+  /// Smallest verified kth-percentile tail latency.
+  double predicted_tail_latency = 0.0;
+  /// Success rate Pr(Q <= t) at the returned (delay, tail latency).
+  double predicted_success_rate = 0.0;
+
+  [[nodiscard]] ReissuePolicy policy() const {
+    return ReissuePolicy::single_r(delay, probability);
+  }
+};
+
+/// Faithful implementation of paper Fig. 1 ComputeOptimalSingleR.
+/// k in (0,1), budget >= 0.  Throws std::invalid_argument on bad inputs or
+/// empty logs.
+[[nodiscard]] OptimizerResult compute_optimal_single_r(
+    const stats::EmpiricalCdf& rx, const stats::EmpiricalCdf& ry, double k,
+    double budget);
+
+/// Exhaustive O(N^2) reference optimizer over all (d, t) sample pairs.
+/// Used in tests; matches compute_optimal_single_r on its feasibility rule.
+[[nodiscard]] OptimizerResult compute_optimal_single_r_brute(
+    const stats::EmpiricalCdf& rx, const stats::EmpiricalCdf& ry, double k,
+    double budget);
+
+/// §4.2: correlation-aware search using Pr(Y <= t-d | X > t).
+/// `rx` is the FULL primary log; `joint` holds (primary, reissue) pairs
+/// for the queries that issued reissues (a conditioned subsample under a
+/// delayed policy -- see single_r_success_rate_correlated).
+[[nodiscard]] OptimizerResult compute_optimal_single_r_correlated(
+    const stats::EmpiricalCdf& rx, const stats::JointSamples& joint, double k,
+    double budget);
+
+/// Exhaustive correlated reference (tests only; O(N^2 log^2 N)).
+[[nodiscard]] OptimizerResult compute_optimal_single_r_correlated_brute(
+    const stats::EmpiricalCdf& rx, const stats::JointSamples& joint, double k,
+    double budget);
+
+/// The SingleD policy spending exactly `budget`: d s.t. Pr(X > d) = B,
+/// i.e. d = the (1-B) empirical quantile of RX (paper Eq. (2)).
+[[nodiscard]] ReissuePolicy single_d_for_budget(const stats::EmpiricalCdf& rx,
+                                                double budget);
+
+}  // namespace reissue::core

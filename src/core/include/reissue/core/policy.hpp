@@ -1,0 +1,90 @@
+// Reissue policy families from the paper:
+//
+//   NoReissue            — never reissue (the baseline system).
+//   Immediate(n)         — replicate every query n extra times at t = 0
+//                          (the "immediate reissue" strategy of prior work).
+//   SingleD(d)           — reissue deterministically after delay d
+//                          ("Tail at Scale" delayed hedging, §2.2).
+//   SingleR(d, q)        — reissue after delay d with probability q (§2.3,
+//                          the paper's contribution).
+//   MultipleR({dᵢ, qᵢ})  — reissue at multiple times with per-stage
+//                          probabilities (§3.1); DoubleR is the 2-stage case.
+//
+// Operationally a policy is a sequence of *stages*.  At time dᵢ after a
+// query's dispatch, if no response has arrived yet, an independent coin
+// with success probability qᵢ decides whether to send one more copy.
+// SingleD(d) == SingleR(d, 1); Immediate == SingleR(0, 1) repeated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace reissue::core {
+
+/// One reissue opportunity: at `delay` after dispatch, reissue with
+/// probability `probability` if the query is still outstanding.
+struct ReissueStage {
+  double delay = 0.0;
+  double probability = 0.0;
+
+  friend bool operator==(const ReissueStage&, const ReissueStage&) = default;
+};
+
+/// Which family a policy belongs to (for reporting; the stage list fully
+/// determines runtime behaviour).
+enum class PolicyFamily { kNoReissue, kImmediate, kSingleD, kSingleR, kMultipleR };
+
+[[nodiscard]] std::string to_string(PolicyFamily family);
+
+class ReissuePolicy {
+ public:
+  /// Baseline: never reissue.
+  [[nodiscard]] static ReissuePolicy none();
+
+  /// Reissue `copies` extra requests immediately on dispatch.
+  [[nodiscard]] static ReissuePolicy immediate(std::size_t copies = 1);
+
+  /// Deterministic delayed reissue after `delay`.
+  [[nodiscard]] static ReissuePolicy single_d(double delay);
+
+  /// Random delayed reissue: after `delay`, with probability `probability`.
+  [[nodiscard]] static ReissuePolicy single_r(double delay, double probability);
+
+  /// Two-stage random policy (used by the Theorem 3.1 validation).
+  [[nodiscard]] static ReissuePolicy double_r(double d1, double q1, double d2,
+                                              double q2);
+
+  /// General multi-stage policy; stages are sorted by delay.
+  [[nodiscard]] static ReissuePolicy multiple_r(std::vector<ReissueStage> stages);
+
+  [[nodiscard]] PolicyFamily family() const noexcept { return family_; }
+  [[nodiscard]] std::span<const ReissueStage> stages() const noexcept {
+    return stages_;
+  }
+  [[nodiscard]] std::size_t stage_count() const noexcept {
+    return stages_.size();
+  }
+  [[nodiscard]] bool reissues() const noexcept { return !stages_.empty(); }
+
+  /// Delay of the single stage.  Throws std::logic_error unless the policy
+  /// has exactly one stage (SingleD / SingleR).
+  [[nodiscard]] double delay() const;
+
+  /// Probability of the single stage; same precondition as delay().
+  [[nodiscard]] double probability() const;
+
+  /// e.g. "SingleR(d=12.5, q=0.4)".
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const ReissuePolicy&, const ReissuePolicy&) = default;
+
+ private:
+  ReissuePolicy(PolicyFamily family, std::vector<ReissueStage> stages);
+
+  PolicyFamily family_ = PolicyFamily::kNoReissue;
+  std::vector<ReissueStage> stages_;
+};
+
+}  // namespace reissue::core

@@ -1,0 +1,31 @@
+// Plain-text serialization for policies and response-time logs, so that
+// operators can feed production latency logs into the optimizer and store
+// the resulting policies.  Formats are deliberately simple:
+//
+//   latency log: one non-negative double per line; '#' comments allowed.
+//   policy:      "<Family> d=<delay> q=<prob> [d=... q=...]" single line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+
+namespace reissue::core {
+
+/// Writes one sample per line.
+void write_latency_log(std::ostream& os, const std::vector<double>& samples);
+
+/// Parses a latency log; skips blank lines and '#' comments.  Throws
+/// std::runtime_error on malformed or negative entries.
+[[nodiscard]] std::vector<double> read_latency_log(std::istream& is);
+
+/// Serializes a policy to a single line, e.g. "SingleR d=12.5 q=0.4".
+[[nodiscard]] std::string policy_to_line(const ReissuePolicy& policy);
+
+/// Parses the format produced by policy_to_line.  Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] ReissuePolicy policy_from_line(const std::string& line);
+
+}  // namespace reissue::core

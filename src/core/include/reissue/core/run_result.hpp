@@ -1,0 +1,85 @@
+// The observable outcome of running a workload under a reissue policy:
+// per-query response-time logs plus aggregate counters.  Produced by the
+// DES cluster (src/sim) and by the real-time middleware (src/runtime);
+// consumed by the policy optimizer, the adaptive controller and the metric
+// helpers.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/stats/ecdf.hpp"
+#include "reissue/stats/joint_samples.hpp"
+
+namespace reissue::core {
+
+struct RunResult {
+  /// End-to-end query latency: first response among all copies, measured
+  /// from the primary dispatch.  One entry per query.
+  std::vector<double> query_latencies;
+
+  /// Response time of the primary copy of each query (measured even when a
+  /// reissue copy answered first -- both copies run to completion).
+  std::vector<double> primary_latencies;
+
+  /// Response time of each *issued* reissue copy, measured from its own
+  /// dispatch (the paper's Y variable).
+  std::vector<double> reissue_latencies;
+
+  /// (primary response time, reissue response time) pairs for queries that
+  /// issued a reissue copy; feeds the §4.2 conditional-CDF estimator.
+  std::vector<std::pair<double, double>> correlated_pairs;
+
+  /// Reissue delay actually in effect for each issued copy (paired with
+  /// reissue_latencies); used by the remediation-rate metric.
+  std::vector<double> reissue_delays;
+
+  std::size_t queries = 0;
+  std::size_t reissues_issued = 0;
+
+  /// Fraction of wall (simulated) time the servers were busy, averaged
+  /// over servers.  0 when the run had no notion of servers.
+  double utilization = 0.0;
+
+  /// Issued reissues / queries.
+  [[nodiscard]] double measured_reissue_rate() const {
+    return queries == 0
+               ? 0.0
+               : static_cast<double>(reissues_issued) /
+                     static_cast<double>(queries);
+  }
+
+  /// kth-percentile (k in (0,1)) end-to-end latency.
+  [[nodiscard]] double tail_latency(double k) const;
+
+  /// ECDF of the primary log.  Throws if the log is empty.
+  [[nodiscard]] stats::EmpiricalCdf primary_cdf() const;
+
+  /// ECDF of the reissue log; falls back to the primary log when no
+  /// reissues were issued (so the optimizer always has a Y distribution).
+  [[nodiscard]] stats::EmpiricalCdf reissue_cdf() const;
+
+  /// Joint samples for the correlated optimizer; falls back to pairing the
+  /// primary log with itself when no reissues were issued.
+  [[nodiscard]] stats::JointSamples joint() const;
+
+  /// Remediation rate (paper §5.1 / Fig. 3b): among issued reissues, the
+  /// fraction where the primary missed `t` but the reissue answered within
+  /// t - d.  Returns 0 when no reissues were issued.
+  [[nodiscard]] double remediation_rate(double t) const;
+};
+
+/// Abstract system the adaptive controller (§4.3) drives: run the workload
+/// under a policy, observe the logs.  Implemented by the DES cluster and
+/// the system-substrate harnesses.
+class SystemUnderTest {
+ public:
+  virtual ~SystemUnderTest() = default;
+
+  /// Executes the workload under `policy` and returns the observed logs.
+  [[nodiscard]] virtual RunResult run(const ReissuePolicy& policy) = 0;
+};
+
+}  // namespace reissue::core

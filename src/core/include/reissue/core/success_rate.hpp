@@ -1,0 +1,65 @@
+// Analytic success-rate and budget evaluators over empirical response-time
+// distributions.
+//
+// These implement the paper's equations:
+//   Eq. (1)  Pr(Q<=t) for SingleD,
+//   Eq. (3)  Pr(Q<=t) for SingleR,
+//   Eq. (8)  Pr(Q<=t) for DoubleR,
+//   Eq. (2)/(4)/(15)  budgets,
+// with CDFs evaluated on sampled logs (paper Fig. 1 `DiscreteCDF`), and the
+// §4.2 variant that conditions the reissue distribution on the primary
+// missing the deadline: Pr(Y <= t-d | X > t).
+#pragma once
+
+#include "reissue/core/policy.hpp"
+#include "reissue/stats/ecdf.hpp"
+#include "reissue/stats/joint_samples.hpp"
+
+namespace reissue::core {
+
+/// Paper Fig. 1 `SingleRSuccessRate(RX, RY, B, t, d)`: the probability that
+/// a query completes by t under the SingleR policy that reissues at d and
+/// spends the whole budget B, i.e. q = B / Pr(X > d).
+///
+/// Deviation from the pseudocode (documented in DESIGN.md): q is clamped to
+/// [0, 1] so the returned value is a probability even when Pr(X > d) < B.
+[[nodiscard]] double single_r_success_rate(const stats::EmpiricalCdf& rx,
+                                           const stats::EmpiricalCdf& ry,
+                                           double budget, double t, double d);
+
+/// Correlation-aware variant (§4.2): uses Pr(Y <= t-d | X > t) estimated
+/// from the joint (primary, reissue) log instead of the independent
+/// marginal.  `rx` must be the FULL primary response-time log: the joint
+/// log only covers queries that actually issued a reissue, which under a
+/// delayed policy is a sample conditioned on X > d -- using its x-marginal
+/// as the primary distribution would bias every estimate rightward (and
+/// makes the §4.3 adaptive loop diverge).
+[[nodiscard]] double single_r_success_rate_correlated(
+    const stats::EmpiricalCdf& rx, const stats::JointSamples& joint,
+    double budget, double t, double d);
+
+/// Pr(Q <= t) for an arbitrary stage-list policy under the independent
+/// model, computed by the DoubleR-style expansion: a stage contributes if
+/// the primary misses t, its coin succeeds and its copy answers within
+/// t - d_i.  Earlier stage copies that answer by d_j suppress later stages'
+/// contribution per Eq. (10)'s (1 - q1 Pr(Y1 <= t - d1)) factor.
+[[nodiscard]] double policy_success_rate(const stats::EmpiricalCdf& rx,
+                                         const stats::EmpiricalCdf& ry,
+                                         const ReissuePolicy& policy, double t);
+
+/// Expected reissue rate (budget consumed) of a policy under the
+/// independent model: Eq. (4) for one stage, Eq. (15)-style accumulation
+/// for multi-stage policies (a stage only fires if no earlier copy has
+/// answered by its delay).
+[[nodiscard]] double policy_budget(const stats::EmpiricalCdf& rx,
+                                   const stats::EmpiricalCdf& ry,
+                                   const ReissuePolicy& policy);
+
+/// Smallest sample value t in `rx`'s support with
+/// policy_success_rate(t) >= k, or rx.max() if none.  A convenience used by
+/// brute-force optimizers and tests.
+[[nodiscard]] double policy_tail_latency(const stats::EmpiricalCdf& rx,
+                                         const stats::EmpiricalCdf& ry,
+                                         const ReissuePolicy& policy, double k);
+
+}  // namespace reissue::core

@@ -1,0 +1,167 @@
+#include "reissue/core/multi_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "reissue/core/optimizer.hpp"
+#include "reissue/core/success_rate.hpp"
+
+namespace reissue::core {
+
+namespace {
+
+std::vector<double> quantile_grid(const stats::EmpiricalCdf& cdf,
+                                  std::size_t points) {
+  std::vector<double> grid;
+  grid.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        static_cast<double>(i) / static_cast<double>(points);
+    grid.push_back(cdf.quantile(p));
+  }
+  grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  return grid;
+}
+
+}  // namespace
+
+DoubleRResult compute_optimal_double_r(const stats::EmpiricalCdf& rx,
+                                       const stats::EmpiricalCdf& ry, double k,
+                                       double budget,
+                                       const DoubleRSearchConfig& config) {
+  if (!(k > 0.0 && k < 1.0)) {
+    throw std::invalid_argument("compute_optimal_double_r: k in (0,1)");
+  }
+  if (!(budget >= 0.0)) {
+    throw std::invalid_argument("compute_optimal_double_r: budget >= 0");
+  }
+  if (rx.empty() || ry.empty()) {
+    throw std::invalid_argument("compute_optimal_double_r: empty log");
+  }
+
+  const auto delays = quantile_grid(rx, config.delay_grid);
+
+  DoubleRResult best;
+  best.policy = ReissuePolicy::none();
+  best.tail_latency = rx.max();
+  best.budget_spent = 0.0;
+
+  auto consider = [&](const ReissuePolicy& policy) {
+    const double t = policy_tail_latency(rx, ry, policy, k);
+    if (t < best.tail_latency) {
+      best.policy = policy;
+      best.tail_latency = t;
+      best.budget_spent = policy_budget(rx, ry, policy);
+    }
+  };
+
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const double d1 = delays[i];
+    const double px1 = rx.tail(d1);
+    const double q1_max =
+        px1 > 0.0 ? std::min(1.0, budget / px1) : 1.0;
+    for (std::size_t a = 0; a <= config.q1_grid; ++a) {
+      const double q1 = q1_max * static_cast<double>(a) /
+                        static_cast<double>(config.q1_grid);
+      // Pure SingleR candidate (q2 = 0) with this (d1, q1).
+      consider(ReissuePolicy::single_r(d1, q1));
+      const double spent1 = q1 * px1;
+      const double remaining = budget - spent1;
+      if (remaining <= 0.0) continue;
+      for (std::size_t j = i; j < delays.size(); ++j) {
+        const double d2 = delays[j];
+        if (d2 < d1) continue;
+        const double px2 = rx.tail(d2);
+        if (px2 <= 0.0) continue;
+        // Eq. (15) with equality: the second stage fires only if the first
+        // copy (if issued) has not answered by d2.
+        const double suppress = 1.0 - q1 * ry.cdf(d2 - d1);
+        if (suppress <= 0.0) continue;
+        const double q2 =
+            std::clamp(remaining / (px2 * suppress), 0.0, 1.0);
+        if (q2 <= 0.0) continue;
+        consider(ReissuePolicy::double_r(d1, q1, d2, q2));
+      }
+    }
+  }
+  return best;
+}
+
+MultipleRResult compute_optimal_multiple_r(
+    const stats::EmpiricalCdf& rx, const stats::EmpiricalCdf& ry, double k,
+    double budget, std::size_t stages, const MultipleRSearchConfig& config) {
+  if (!(k > 0.0 && k < 1.0)) {
+    throw std::invalid_argument("compute_optimal_multiple_r: k in (0,1)");
+  }
+  if (!(budget >= 0.0)) {
+    throw std::invalid_argument("compute_optimal_multiple_r: budget >= 0");
+  }
+  if (stages == 0) {
+    throw std::invalid_argument("compute_optimal_multiple_r: stages >= 1");
+  }
+  if (rx.empty() || ry.empty()) {
+    throw std::invalid_argument("compute_optimal_multiple_r: empty log");
+  }
+
+  const auto delays = quantile_grid(rx, config.delay_grid);
+
+  // Initialize stage 0 at the SingleR optimum (Fig. 1 scan) and leave the
+  // extra stages inactive (q = 0).  Coordinate descent can then only
+  // improve on the single-stage optimum, so the search is monotone in the
+  // stage count by construction -- any remaining gain (Theorem 3.2 says
+  // there is none) would be found by activating a later stage.
+  const auto seed = compute_optimal_single_r(rx, ry, k, budget);
+  std::vector<ReissueStage> current(stages);
+  current[0] = ReissueStage{seed.delay, seed.probability};
+  for (std::size_t i = 1; i < stages; ++i) {
+    const std::size_t idx =
+        delays.empty() ? 0 : std::min(delays.size() - 1,
+                                      (i * delays.size()) / stages);
+    current[i] = ReissueStage{delays.empty() ? rx.min() : delays[idx], 0.0};
+  }
+
+  auto evaluate = [&](const std::vector<ReissueStage>& candidate) {
+    const auto policy = ReissuePolicy::multiple_r(candidate);
+    return policy_tail_latency(rx, ry, policy, k);
+  };
+  auto spend = [&](const std::vector<ReissueStage>& candidate) {
+    return policy_budget(rx, ry, ReissuePolicy::multiple_r(candidate));
+  };
+
+  double best_tail = evaluate(current);
+  MultipleRResult result;
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i < stages; ++i) {
+      ReissueStage best_stage = current[i];
+      for (double d : delays) {
+        for (std::size_t a = 0; a <= config.q_grid; ++a) {
+          const double q = static_cast<double>(a) /
+                           static_cast<double>(config.q_grid);
+          std::vector<ReissueStage> candidate = current;
+          candidate[i] = ReissueStage{d, q};
+          if (spend(candidate) > budget + 1e-9) continue;
+          const double tail = evaluate(candidate);
+          if (tail < best_tail) {
+            best_tail = tail;
+            best_stage = ReissueStage{d, q};
+            improved = true;
+          }
+        }
+      }
+      current[i] = best_stage;
+    }
+    result.rounds = round + 1;
+    if (!improved) break;
+  }
+
+  result.policy = ReissuePolicy::multiple_r(current);
+  result.tail_latency = best_tail;
+  result.budget_spent = spend(current);
+  return result;
+}
+
+}  // namespace reissue::core

@@ -1,0 +1,114 @@
+#include "reissue/core/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reissue::core {
+
+OnlineReissueController::OnlineReissueController(OnlineControllerConfig config)
+    : config_(config),
+      policy_(ReissuePolicy::single_r(0.0, config.budget)),
+      tail_sketch_(config.percentile) {
+  if (!(config.percentile > 0.0 && config.percentile < 1.0)) {
+    throw std::invalid_argument("online: percentile in (0,1)");
+  }
+  if (!(config.budget >= 0.0 && config.budget <= 1.0)) {
+    throw std::invalid_argument("online: budget in [0,1]");
+  }
+  if (config.window == 0) {
+    throw std::invalid_argument("online: window must be > 0");
+  }
+  if (config.reoptimize_interval == 0) {
+    throw std::invalid_argument("online: reoptimize_interval must be > 0");
+  }
+  if (!(config.learning_rate > 0.0 && config.learning_rate <= 1.0)) {
+    throw std::invalid_argument("online: learning_rate in (0,1]");
+  }
+  primary_window_.resize(config.window);
+  pair_window_.resize(config.window);
+}
+
+void OnlineReissueController::record_primary(double response_time) {
+  std::lock_guard lock(mutex_);
+  primary_window_[primary_next_] = response_time;
+  primary_next_ = (primary_next_ + 1) % primary_window_.size();
+  primary_count_ = std::min(primary_count_ + 1, primary_window_.size());
+  if (++since_reoptimize_ >= config_.reoptimize_interval &&
+      primary_count_ >= std::min(config_.reoptimize_interval,
+                                 primary_window_.size())) {
+    since_reoptimize_ = 0;
+    reoptimize_locked();
+  }
+}
+
+void OnlineReissueController::record_reissue(double primary_response,
+                                             double reissue_response) {
+  std::lock_guard lock(mutex_);
+  pair_window_[pair_next_] = {primary_response, reissue_response};
+  pair_next_ = (pair_next_ + 1) % pair_window_.size();
+  pair_count_ = std::min(pair_count_ + 1, pair_window_.size());
+}
+
+void OnlineReissueController::record_query_latency(double latency) {
+  std::lock_guard lock(mutex_);
+  tail_sketch_.add(latency);
+}
+
+ReissuePolicy OnlineReissueController::policy() const {
+  std::lock_guard lock(mutex_);
+  return policy_;
+}
+
+double OnlineReissueController::tail_estimate() const {
+  std::lock_guard lock(mutex_);
+  return tail_sketch_.estimate();
+}
+
+std::uint64_t OnlineReissueController::reoptimizations() const {
+  std::lock_guard lock(mutex_);
+  return reoptimizations_;
+}
+
+double OnlineReissueController::predicted_tail() const {
+  std::lock_guard lock(mutex_);
+  return predicted_tail_;
+}
+
+void OnlineReissueController::reoptimize_locked() {
+  std::vector<double> primaries(
+      primary_window_.begin(),
+      primary_window_.begin() + static_cast<long>(primary_count_));
+  const stats::EmpiricalCdf rx(std::move(primaries));
+
+  OptimizerResult local;
+  if (config_.use_correlation && pair_count_ >= config_.min_pairs) {
+    std::vector<std::pair<double, double>> pairs(
+        pair_window_.begin(),
+        pair_window_.begin() + static_cast<long>(pair_count_));
+    const stats::JointSamples joint(std::move(pairs));
+    local = compute_optimal_single_r_correlated(rx, joint, config_.percentile,
+                                                config_.budget);
+  } else if (pair_count_ > 0) {
+    std::vector<double> ys;
+    ys.reserve(pair_count_);
+    for (std::size_t i = 0; i < pair_count_; ++i) {
+      ys.push_back(pair_window_[i].second);
+    }
+    local = compute_optimal_single_r(rx, stats::EmpiricalCdf(std::move(ys)),
+                                     config_.percentile, config_.budget);
+  } else {
+    local = compute_optimal_single_r(rx, rx, config_.percentile,
+                                     config_.budget);
+  }
+
+  const double d = policy_.delay();
+  const double d_next = d + config_.learning_rate * (local.delay - d);
+  const double tail = rx.tail(d_next);
+  const double q_next =
+      tail > 0.0 ? std::clamp(config_.budget / tail, 0.0, 1.0) : 1.0;
+  policy_ = ReissuePolicy::single_r(d_next, q_next);
+  predicted_tail_ = local.predicted_tail_latency;
+  ++reoptimizations_;
+}
+
+}  // namespace reissue::core

@@ -1,0 +1,177 @@
+#include "reissue/core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "reissue/core/success_rate.hpp"
+
+namespace reissue::core {
+
+namespace {
+
+void validate(double k, double budget) {
+  if (!(k > 0.0 && k < 1.0)) {
+    throw std::invalid_argument("optimizer: k must be in (0,1)");
+  }
+  if (!(budget >= 0.0)) {
+    throw std::invalid_argument("optimizer: budget must be >= 0");
+  }
+}
+
+double clamped_q(const stats::EmpiricalCdf& rx, double budget, double d) {
+  const double tail = rx.tail(d);
+  if (tail <= 0.0) return 1.0;
+  return std::clamp(budget / tail, 0.0, 1.0);
+}
+
+/// Shared two-pointer scan of Figure 1, parameterized on the success-rate
+/// evaluator so the independent and correlated variants use one search.
+/// The budget is baked into the two closures.
+OptimizerResult figure1_scan(
+    const stats::EmpiricalCdf& rx, double k,
+    const std::function<double(double t, double d)>& success_rate,
+    const std::function<double(double d)>& q_of_d) {
+  const auto xs = rx.sorted();
+  const std::size_t n = xs.size();
+
+  // Lines 2-3: trivial feasible policy -- reissue everything at min{RX},
+  // which certainly achieves a tail latency of max{RX}.
+  std::size_t d_idx = 0;
+  std::size_t t_idx = n - 1;
+  double d_star = xs.front();
+  double t_star = xs.back();  // last *verified* feasible tail latency
+  double t = xs[t_idx];
+
+  // Lines 4-12.  Q = {xs[d_idx..t_idx]}; d consumes from the front, t from
+  // the back.  For fixed d the success rate is nondecreasing in t, so once
+  // alpha(t,d) <= k no smaller t can be feasible for this d and we advance d.
+  while (d_idx <= t_idx) {
+    const double d = xs[d_idx];
+    double alpha = success_rate(t, d);
+    while (alpha > k && t > d && t_idx > d_idx) {
+      // (d, t) is verified feasible: record it, then try a smaller t.
+      d_star = d;
+      t_star = t;
+      --t_idx;
+      t = xs[t_idx];
+      alpha = success_rate(t, d);
+    }
+    if (alpha > k && t >= d) {
+      // Feasible at the boundary (t == d or Q about to empty); record.
+      d_star = d;
+      t_star = t;
+    }
+    ++d_idx;
+  }
+
+  OptimizerResult result;
+  result.delay = d_star;
+  // Paper line 13 reads q = 1 - DiscreteCDF(RX, d*) = Pr(X >= d*), which
+  // ignores the budget; the text (Eq. 4, line 18) defines q = B/Pr(X>d).
+  // We use the budget-consistent definition, clamped to [0,1].
+  result.probability = q_of_d(d_star);
+  result.predicted_tail_latency = t_star;
+  result.predicted_success_rate = success_rate(t_star, d_star);
+  return result;
+}
+
+OptimizerResult brute_scan(
+    const stats::EmpiricalCdf& rx, double k,
+    const std::function<double(double t, double d)>& success_rate,
+    const std::function<double(double d)>& q_of_d) {
+  const auto xs = rx.sorted();
+  OptimizerResult best;
+  best.delay = xs.front();
+  best.probability = q_of_d(best.delay);
+  best.predicted_tail_latency = xs.back();
+  best.predicted_success_rate = success_rate(xs.back(), xs.front());
+  for (double d : xs) {
+    for (double t : xs) {
+      if (t < d) continue;
+      if (t >= best.predicted_tail_latency) continue;
+      if (success_rate(t, d) > k) {
+        best.delay = d;
+        best.probability = q_of_d(d);
+        best.predicted_tail_latency = t;
+        best.predicted_success_rate = success_rate(t, d);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+OptimizerResult compute_optimal_single_r(const stats::EmpiricalCdf& rx,
+                                         const stats::EmpiricalCdf& ry,
+                                         double k, double budget) {
+  validate(k, budget);
+  if (rx.empty() || ry.empty()) {
+    throw std::invalid_argument("optimizer: empty response-time log");
+  }
+  return figure1_scan(
+      rx, k,
+      [&](double t, double d) {
+        return single_r_success_rate(rx, ry, budget, t, d);
+      },
+      [&](double d) { return clamped_q(rx, budget, d); });
+}
+
+OptimizerResult compute_optimal_single_r_brute(const stats::EmpiricalCdf& rx,
+                                               const stats::EmpiricalCdf& ry,
+                                               double k, double budget) {
+  validate(k, budget);
+  if (rx.empty() || ry.empty()) {
+    throw std::invalid_argument("optimizer: empty response-time log");
+  }
+  return brute_scan(
+      rx, k,
+      [&](double t, double d) {
+        return single_r_success_rate(rx, ry, budget, t, d);
+      },
+      [&](double d) { return clamped_q(rx, budget, d); });
+}
+
+OptimizerResult compute_optimal_single_r_correlated(
+    const stats::EmpiricalCdf& rx, const stats::JointSamples& joint, double k,
+    double budget) {
+  validate(k, budget);
+  if (rx.empty()) {
+    throw std::invalid_argument("optimizer: empty response-time log");
+  }
+  return figure1_scan(
+      rx, k,
+      [&](double t, double d) {
+        return single_r_success_rate_correlated(rx, joint, budget, t, d);
+      },
+      [&](double d) { return clamped_q(rx, budget, d); });
+}
+
+OptimizerResult compute_optimal_single_r_correlated_brute(
+    const stats::EmpiricalCdf& rx, const stats::JointSamples& joint, double k,
+    double budget) {
+  validate(k, budget);
+  if (rx.empty()) {
+    throw std::invalid_argument("optimizer: empty response-time log");
+  }
+  return brute_scan(
+      rx, k,
+      [&](double t, double d) {
+        return single_r_success_rate_correlated(rx, joint, budget, t, d);
+      },
+      [&](double d) { return clamped_q(rx, budget, d); });
+}
+
+ReissuePolicy single_d_for_budget(const stats::EmpiricalCdf& rx,
+                                  double budget) {
+  if (!(budget >= 0.0 && budget <= 1.0)) {
+    throw std::invalid_argument("single_d_for_budget: budget in [0,1]");
+  }
+  if (budget == 0.0) return ReissuePolicy::none();
+  // Pr(X > d) = B  <=>  d = (1-B) quantile.
+  return ReissuePolicy::single_d(rx.quantile(1.0 - budget));
+}
+
+}  // namespace reissue::core

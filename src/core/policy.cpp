@@ -1,0 +1,103 @@
+#include "reissue/core/policy.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace reissue::core {
+
+namespace {
+
+void validate_stage(const ReissueStage& s) {
+  if (s.delay < 0.0) {
+    throw std::invalid_argument("reissue delay must be >= 0");
+  }
+  if (!(s.probability >= 0.0 && s.probability <= 1.0)) {
+    throw std::invalid_argument("reissue probability must be in [0,1]");
+  }
+}
+
+}  // namespace
+
+std::string to_string(PolicyFamily family) {
+  switch (family) {
+    case PolicyFamily::kNoReissue:
+      return "NoReissue";
+    case PolicyFamily::kImmediate:
+      return "Immediate";
+    case PolicyFamily::kSingleD:
+      return "SingleD";
+    case PolicyFamily::kSingleR:
+      return "SingleR";
+    case PolicyFamily::kMultipleR:
+      return "MultipleR";
+  }
+  return "Unknown";
+}
+
+ReissuePolicy::ReissuePolicy(PolicyFamily family,
+                             std::vector<ReissueStage> stages)
+    : family_(family), stages_(std::move(stages)) {
+  for (const auto& s : stages_) validate_stage(s);
+  std::stable_sort(stages_.begin(), stages_.end(),
+                   [](const ReissueStage& a, const ReissueStage& b) {
+                     return a.delay < b.delay;
+                   });
+}
+
+ReissuePolicy ReissuePolicy::none() {
+  return ReissuePolicy(PolicyFamily::kNoReissue, {});
+}
+
+ReissuePolicy ReissuePolicy::immediate(std::size_t copies) {
+  std::vector<ReissueStage> stages(copies, ReissueStage{0.0, 1.0});
+  return ReissuePolicy(PolicyFamily::kImmediate, std::move(stages));
+}
+
+ReissuePolicy ReissuePolicy::single_d(double delay) {
+  return ReissuePolicy(PolicyFamily::kSingleD, {ReissueStage{delay, 1.0}});
+}
+
+ReissuePolicy ReissuePolicy::single_r(double delay, double probability) {
+  return ReissuePolicy(PolicyFamily::kSingleR,
+                       {ReissueStage{delay, probability}});
+}
+
+ReissuePolicy ReissuePolicy::double_r(double d1, double q1, double d2,
+                                      double q2) {
+  return ReissuePolicy(PolicyFamily::kMultipleR,
+                       {ReissueStage{d1, q1}, ReissueStage{d2, q2}});
+}
+
+ReissuePolicy ReissuePolicy::multiple_r(std::vector<ReissueStage> stages) {
+  return ReissuePolicy(PolicyFamily::kMultipleR, std::move(stages));
+}
+
+double ReissuePolicy::delay() const {
+  if (stages_.size() != 1) {
+    throw std::logic_error("delay() requires a single-stage policy");
+  }
+  return stages_.front().delay;
+}
+
+double ReissuePolicy::probability() const {
+  if (stages_.size() != 1) {
+    throw std::logic_error("probability() requires a single-stage policy");
+  }
+  return stages_.front().probability;
+}
+
+std::string ReissuePolicy::describe() const {
+  std::ostringstream os;
+  os << to_string(family_);
+  if (stages_.empty()) return os.str();
+  os << "(";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << "d=" << stages_[i].delay << ", q=" << stages_[i].probability;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace reissue::core

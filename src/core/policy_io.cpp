@@ -1,0 +1,111 @@
+#include "reissue/core/policy_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reissue::core {
+
+void write_latency_log(std::ostream& os, const std::vector<double>& samples) {
+  os << std::setprecision(17);
+  for (double v : samples) os << v << "\n";
+}
+
+std::vector<double> read_latency_log(std::istream& is) {
+  std::vector<double> samples;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(begin, end - begin + 1);
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      throw std::runtime_error("latency log line " + std::to_string(lineno) +
+                               ": not a number: '" + token + "'");
+    }
+    if (consumed != token.size()) {
+      throw std::runtime_error("latency log line " + std::to_string(lineno) +
+                               ": trailing garbage: '" + token + "'");
+    }
+    if (value < 0.0) {
+      throw std::runtime_error("latency log line " + std::to_string(lineno) +
+                               ": negative latency");
+    }
+    samples.push_back(value);
+  }
+  return samples;
+}
+
+std::string policy_to_line(const ReissuePolicy& policy) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << to_string(policy.family());
+  for (const auto& stage : policy.stages()) {
+    os << " d=" << stage.delay << " q=" << stage.probability;
+  }
+  return os.str();
+}
+
+ReissuePolicy policy_from_line(const std::string& line) {
+  std::istringstream is(line);
+  std::string family;
+  if (!(is >> family)) {
+    throw std::runtime_error("policy line: missing family");
+  }
+  std::vector<ReissueStage> stages;
+  std::string token;
+  while (is >> token) {
+    if (token.rfind("d=", 0) != 0) {
+      throw std::runtime_error("policy line: expected d=..., got " + token);
+    }
+    ReissueStage stage;
+    stage.delay = std::stod(token.substr(2));
+    if (!(is >> token) || token.rfind("q=", 0) != 0) {
+      throw std::runtime_error("policy line: expected q=... after d=...");
+    }
+    stage.probability = std::stod(token.substr(2));
+    stages.push_back(stage);
+  }
+
+  if (family == "NoReissue") {
+    if (!stages.empty()) {
+      throw std::runtime_error("policy line: NoReissue takes no stages");
+    }
+    return ReissuePolicy::none();
+  }
+  if (family == "Immediate") {
+    return ReissuePolicy::immediate(stages.size());
+  }
+  if (family == "SingleD") {
+    if (stages.size() != 1 || stages[0].probability != 1.0) {
+      throw std::runtime_error("policy line: SingleD needs one stage, q=1");
+    }
+    return ReissuePolicy::single_d(stages[0].delay);
+  }
+  if (family == "SingleR") {
+    if (stages.size() != 1) {
+      throw std::runtime_error("policy line: SingleR needs exactly one stage");
+    }
+    return ReissuePolicy::single_r(stages[0].delay, stages[0].probability);
+  }
+  if (family == "MultipleR") {
+    if (stages.empty()) {
+      throw std::runtime_error("policy line: MultipleR needs >= 1 stage");
+    }
+    return ReissuePolicy::multiple_r(std::move(stages));
+  }
+  throw std::runtime_error("policy line: unknown family " + family);
+}
+
+}  // namespace reissue::core

@@ -1,0 +1,55 @@
+#include "reissue/core/run_result.hpp"
+
+#include <stdexcept>
+
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::core {
+
+double RunResult::tail_latency(double k) const {
+  if (query_latencies.empty()) {
+    throw std::logic_error("RunResult::tail_latency on empty run");
+  }
+  return stats::percentile(query_latencies, k * 100.0);
+}
+
+stats::EmpiricalCdf RunResult::primary_cdf() const {
+  return stats::EmpiricalCdf(primary_latencies);
+}
+
+stats::EmpiricalCdf RunResult::reissue_cdf() const {
+  if (reissue_latencies.empty()) {
+    return stats::EmpiricalCdf(primary_latencies);
+  }
+  return stats::EmpiricalCdf(reissue_latencies);
+}
+
+stats::JointSamples RunResult::joint() const {
+  if (!correlated_pairs.empty()) {
+    return stats::JointSamples(correlated_pairs);
+  }
+  std::vector<std::pair<double, double>> self;
+  self.reserve(primary_latencies.size());
+  for (double x : primary_latencies) self.emplace_back(x, x);
+  return stats::JointSamples(std::move(self));
+}
+
+double RunResult::remediation_rate(double t) const {
+  if (reissue_latencies.empty()) return 0.0;
+  if (correlated_pairs.size() != reissue_latencies.size() ||
+      reissue_delays.size() != reissue_latencies.size()) {
+    throw std::logic_error(
+        "RunResult: reissue logs out of sync (pairs/delays/latencies)");
+  }
+  std::size_t remediated = 0;
+  for (std::size_t i = 0; i < reissue_latencies.size(); ++i) {
+    const double x = correlated_pairs[i].first;
+    const double y = reissue_latencies[i];
+    const double d = reissue_delays[i];
+    if (x > t && y < t - d) ++remediated;
+  }
+  return static_cast<double>(remediated) /
+         static_cast<double>(reissue_latencies.size());
+}
+
+}  // namespace reissue::core

@@ -1,0 +1,89 @@
+#include "reissue/core/success_rate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace reissue::core {
+
+namespace {
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// q = B / Pr(X > d), clamped into [0, 1].  When no primary sample exceeds
+/// d the stage can never fire, so the spend is irrelevant; return 1.
+double budget_probability(const stats::EmpiricalCdf& rx, double budget,
+                          double d) {
+  const double tail = rx.tail(d);
+  if (tail <= 0.0) return 1.0;
+  return clamp01(budget / tail);
+}
+
+}  // namespace
+
+double single_r_success_rate(const stats::EmpiricalCdf& rx,
+                             const stats::EmpiricalCdf& ry, double budget,
+                             double t, double d) {
+  // Paper Fig. 1 lines 15-19 (with q clamped).
+  const double px_le_t = rx.cdf_strict(t);
+  const double q = budget_probability(rx, budget, d);
+  const double py = ry.cdf_strict(t - d);
+  return px_le_t + q * (1.0 - px_le_t) * py;
+}
+
+double single_r_success_rate_correlated(const stats::EmpiricalCdf& rx,
+                                        const stats::JointSamples& joint,
+                                        double budget, double t, double d) {
+  const double px_le_t = rx.cdf_strict(t);
+  const double q = budget_probability(rx, budget, d);
+  // Pr(Y <= t-d | X > t); when nothing conditions (X never exceeds t) the
+  // term is multiplied by (1 - Pr(X<=t)) ~ 0 anyway, fallback 0 is safe.
+  const double py = joint.conditional_y_cdf(t - d, t, /*fallback=*/0.0);
+  return px_le_t + q * (1.0 - px_le_t) * py;
+}
+
+double policy_success_rate(const stats::EmpiricalCdf& rx,
+                           const stats::EmpiricalCdf& ry,
+                           const ReissuePolicy& policy, double t) {
+  const double px_le_t = rx.cdf(t);
+  // Probability that no copy issued so far has answered by time t, given
+  // the primary misses t.  Stages are in delay order.
+  double miss_all = 1.0;
+  double success = px_le_t;
+  for (const auto& stage : policy.stages()) {
+    if (stage.delay >= t) break;  // a copy sent at d >= t cannot answer by t
+    const double py = ry.cdf(t - stage.delay);
+    success += stage.probability * miss_all * (1.0 - px_le_t) * py;
+    miss_all *= (1.0 - stage.probability * py);
+  }
+  return clamp01(success);
+}
+
+double policy_budget(const stats::EmpiricalCdf& rx,
+                     const stats::EmpiricalCdf& ry,
+                     const ReissuePolicy& policy) {
+  // Eq. (15) generalized: stage i fires iff the query is still outstanding
+  // at d_i -- the primary exceeds d_i and no earlier issued copy answered
+  // by d_i.
+  double budget = 0.0;
+  const auto stages = policy.stages();
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    double p_outstanding = rx.tail(stages[i].delay);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double py = ry.cdf(stages[i].delay - stages[j].delay);
+      p_outstanding *= (1.0 - stages[j].probability * py);
+    }
+    budget += stages[i].probability * p_outstanding;
+  }
+  return budget;
+}
+
+double policy_tail_latency(const stats::EmpiricalCdf& rx,
+                           const stats::EmpiricalCdf& ry,
+                           const ReissuePolicy& policy, double k) {
+  for (double t : rx.sorted()) {
+    if (policy_success_rate(rx, ry, policy, t) >= k) return t;
+  }
+  return rx.max();
+}
+
+}  // namespace reissue::core

@@ -1,0 +1,35 @@
+#include "reissue/runtime/completion_table.hpp"
+
+#include <stdexcept>
+
+namespace reissue::runtime {
+
+CompletionTable::CompletionTable(std::size_t capacity) : slots_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("CompletionTable: capacity must be > 0");
+  }
+}
+
+void CompletionTable::begin(std::uint64_t query_id) {
+  const std::uint64_t gen = generation(query_id, slots_.size());
+  // state = (gen << 1) | done-bit.
+  slot(query_id).state.store(gen << 1, std::memory_order_release);
+}
+
+bool CompletionTable::complete(std::uint64_t query_id) {
+  const std::uint64_t gen = generation(query_id, slots_.size());
+  std::uint64_t expected = gen << 1;
+  // Only the transition (gen, not-done) -> (gen, done) succeeds; a stale
+  // completion from a previous generation or a duplicate completion fails.
+  return slot(query_id).state.compare_exchange_strong(
+      expected, (gen << 1) | 1, std::memory_order_acq_rel,
+      std::memory_order_acquire);
+}
+
+bool CompletionTable::is_complete(std::uint64_t query_id) const {
+  const std::uint64_t gen = generation(query_id, slots_.size());
+  const std::uint64_t state = slot(query_id).state.load(std::memory_order_acquire);
+  return state == ((gen << 1) | 1);
+}
+
+}  // namespace reissue::runtime

@@ -1,0 +1,97 @@
+#include "reissue/runtime/executor.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+namespace reissue::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (n == 0) return;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, n);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace reissue::runtime

@@ -1,0 +1,43 @@
+// Millisecond clock abstraction so the reissue middleware runs unchanged
+// against wall time (production / system tests) and a manually advanced
+// clock (unit tests).
+#pragma once
+
+#include <chrono>
+
+namespace reissue::runtime {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic milliseconds since an arbitrary epoch.
+  [[nodiscard]] virtual double now_ms() const = 0;
+};
+
+/// std::chrono::steady_clock-backed wall clock.
+class WallClock final : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now_ms() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Manually advanced clock for deterministic tests.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] double now_ms() const override { return now_; }
+  void advance(double delta_ms) { now_ += delta_ms; }
+  void set(double now_ms) { now_ = now_ms; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace reissue::runtime

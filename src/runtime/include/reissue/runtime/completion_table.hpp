@@ -1,0 +1,53 @@
+// Lock-free completion tracking: the paper's client checks "a client-local
+// boolean array" immediately before sending a reissue copy (§6.1).  Query
+// ids index a fixed ring of atomic flags; generation counters detect reuse.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace reissue::runtime {
+
+class CompletionTable {
+ public:
+  /// `capacity` is the maximum number of in-flight queries tracked at
+  /// once; ids wrap modulo capacity with a generation check.
+  explicit CompletionTable(std::size_t capacity);
+
+  CompletionTable(const CompletionTable&) = delete;
+  CompletionTable& operator=(const CompletionTable&) = delete;
+
+  /// Registers a new query id; resets its slot to "outstanding".
+  void begin(std::uint64_t query_id);
+
+  /// Marks the query complete.  Returns true on the first completion
+  /// (later copies of the same query return false).
+  bool complete(std::uint64_t query_id);
+
+  /// True once complete() has been called for this id.
+  [[nodiscard]] bool is_complete(std::uint64_t query_id) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// Packs (generation << 1) | done so begin/complete race detectably.
+    std::atomic<std::uint64_t> state{0};
+  };
+
+  [[nodiscard]] const Slot& slot(std::uint64_t query_id) const {
+    return slots_[query_id % slots_.size()];
+  }
+  [[nodiscard]] Slot& slot(std::uint64_t query_id) {
+    return slots_[query_id % slots_.size()];
+  }
+  [[nodiscard]] static std::uint64_t generation(std::uint64_t query_id,
+                                                std::size_t capacity) {
+    return query_id / capacity;
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace reissue::runtime

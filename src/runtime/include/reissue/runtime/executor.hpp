@@ -1,0 +1,54 @@
+// Minimal thread pool and a deterministic parallel_for used to fan
+// parameter sweeps (budgets x utilizations x policies) across cores.
+// Each index writes its own output slot and derives its own RNG stream,
+// so results are identical for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reissue::runtime {
+
+class ThreadPool {
+ public:
+  /// 0 threads => hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Throws std::runtime_error after shutdown began.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across `threads` workers (0 = all cores).
+/// Exceptions from the body propagate (the first one thrown, after all
+/// workers finish).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace reissue::runtime

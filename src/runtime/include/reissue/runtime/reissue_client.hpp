@@ -1,0 +1,126 @@
+// Real-time reissue middleware implementing the paper's client mechanism
+// (§6.1):
+//
+//   "we assign each primary request a timestamp, and add it to a FIFO
+//    queue so that the request can be reissued later.  A reissue thread
+//    consumes the entries from the FIFO queue, and dispatches the request
+//    to a server after a policy-specified delay.  Prior to sending a
+//    reissue request, the completion status of its associated query is
+//    checked using a client-local boolean array."
+//
+// The client is backend-agnostic: callers provide a dispatch function that
+// sends one copy of a query; the backend's response path calls
+// on_response().  A SingleR / SingleD / MultipleR policy is installed at
+// construction or swapped at runtime (e.g. by the adaptive controller).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/runtime/clock.hpp"
+#include "reissue/runtime/completion_table.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::runtime {
+
+/// Sends one copy of `query_id` to the service.  `is_reissue` lets the
+/// transport tag copies (e.g. for prioritized queueing on the server).
+using DispatchFn = std::function<void(std::uint64_t query_id, bool is_reissue)>;
+
+struct ReissueClientConfig {
+  /// Maximum in-flight queries tracked (completion-table ring size).
+  std::size_t table_capacity = 1 << 16;
+  /// Poll granularity of the reissue thread when idle-waiting, ms.
+  double poll_interval_ms = 1.0;
+  std::uint64_t seed = 0xc11e;
+};
+
+class ReissueClient {
+ public:
+  /// `clock` must outlive the client.  The reissue thread starts
+  /// immediately and stops in the destructor.
+  ReissueClient(const Clock& clock, DispatchFn dispatch,
+                core::ReissuePolicy policy, ReissueClientConfig config = {});
+  ~ReissueClient();
+
+  ReissueClient(const ReissueClient&) = delete;
+  ReissueClient& operator=(const ReissueClient&) = delete;
+
+  /// Dispatches the primary copy and schedules policy-driven reissues.
+  void submit(std::uint64_t query_id);
+
+  /// Must be called by the transport when any copy's response arrives.
+  /// Returns true for the first response of the query.
+  bool on_response(std::uint64_t query_id);
+
+  /// Atomically replaces the policy (applies to queries submitted after
+  /// the call).
+  void set_policy(core::ReissuePolicy policy);
+
+  [[nodiscard]] core::ReissuePolicy policy() const;
+
+  /// Issued reissue copies so far.
+  [[nodiscard]] std::uint64_t reissues_issued() const noexcept {
+    return reissues_issued_.load(std::memory_order_relaxed);
+  }
+
+  /// Queries submitted so far.
+  [[nodiscard]] std::uint64_t queries_submitted() const noexcept {
+    return queries_submitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until the reissue queue has drained (all due entries decided);
+  /// useful in tests and for graceful shutdown.
+  void drain();
+
+ private:
+  struct PendingEntry {
+    std::uint64_t query_id = 0;
+    double submit_ms = 0.0;
+    /// Absolute time this entry's next stage becomes due.
+    double due_ms = 0.0;
+    /// Stage index to evaluate next.
+    std::size_t stage = 0;
+    /// Policy snapshot taken at submit time.
+    std::shared_ptr<const core::ReissuePolicy> policy;
+
+    friend bool operator>(const PendingEntry& a, const PendingEntry& b) {
+      return a.due_ms > b.due_ms;
+    }
+  };
+
+  void reissue_loop();
+  [[nodiscard]] std::shared_ptr<const core::ReissuePolicy> snapshot() const;
+
+  const Clock& clock_;
+  DispatchFn dispatch_;
+  ReissueClientConfig config_;
+  CompletionTable table_;
+
+  mutable std::mutex policy_mutex_;
+  std::shared_ptr<const core::ReissuePolicy> policy_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  /// Min-heap by due time: MultipleR re-enqueues can come due before
+  /// earlier-submitted entries, so FIFO order is not due order.
+  std::priority_queue<PendingEntry, std::vector<PendingEntry>, std::greater<>>
+      queue_;
+  bool stopping_ = false;
+
+  stats::Xoshiro256 coin_rng_;
+  std::atomic<std::uint64_t> reissues_issued_{0};
+  std::atomic<std::uint64_t> queries_submitted_{0};
+
+  std::thread reissue_thread_;
+};
+
+}  // namespace reissue::runtime

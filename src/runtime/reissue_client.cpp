@@ -1,0 +1,117 @@
+#include "reissue/runtime/reissue_client.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace reissue::runtime {
+
+ReissueClient::ReissueClient(const Clock& clock, DispatchFn dispatch,
+                             core::ReissuePolicy policy,
+                             ReissueClientConfig config)
+    : clock_(clock),
+      dispatch_(std::move(dispatch)),
+      config_(config),
+      table_(config.table_capacity),
+      policy_(std::make_shared<const core::ReissuePolicy>(std::move(policy))),
+      coin_rng_(config.seed) {
+  if (!dispatch_) throw std::invalid_argument("ReissueClient: null dispatch");
+  if (!(config_.poll_interval_ms > 0.0)) {
+    throw std::invalid_argument("ReissueClient: poll interval must be > 0");
+  }
+  reissue_thread_ = std::thread([this] { reissue_loop(); });
+}
+
+ReissueClient::~ReissueClient() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  reissue_thread_.join();
+}
+
+std::shared_ptr<const core::ReissuePolicy> ReissueClient::snapshot() const {
+  std::lock_guard lock(policy_mutex_);
+  return policy_;
+}
+
+void ReissueClient::set_policy(core::ReissuePolicy policy) {
+  auto next = std::make_shared<const core::ReissuePolicy>(std::move(policy));
+  std::lock_guard lock(policy_mutex_);
+  policy_ = std::move(next);
+}
+
+core::ReissuePolicy ReissueClient::policy() const { return *snapshot(); }
+
+void ReissueClient::submit(std::uint64_t query_id) {
+  table_.begin(query_id);
+  queries_submitted_.fetch_add(1, std::memory_order_relaxed);
+  auto policy = snapshot();
+  const double now = clock_.now_ms();
+  dispatch_(query_id, /*is_reissue=*/false);
+  if (!policy->reissues()) return;
+  {
+    std::lock_guard lock(queue_mutex_);
+    const double due = now + policy->stages().front().delay;
+    queue_.push(PendingEntry{query_id, now, due, 0, std::move(policy)});
+  }
+  queue_cv_.notify_one();
+}
+
+bool ReissueClient::on_response(std::uint64_t query_id) {
+  return table_.complete(query_id);
+}
+
+void ReissueClient::drain() {
+  std::unique_lock lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return queue_.empty() || stopping_; });
+}
+
+void ReissueClient::reissue_loop() {
+  std::unique_lock lock(queue_mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      queue_cv_.notify_all();  // wake drain()ers
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+
+    const double due = queue_.top().due_ms;
+    const double now = clock_.now_ms();
+    if (now < due) {
+      // Bounded poll-wait: tracks both wall time and ManualClock advances
+      // in tests, and re-checks the heap top after new submissions.
+      const double wait_ms = std::min(due - now, config_.poll_interval_ms);
+      queue_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                   std::max(wait_ms, 0.01)));
+      continue;
+    }
+
+    PendingEntry entry = std::move(const_cast<PendingEntry&>(queue_.top()));
+    queue_.pop();
+
+    // Decide this stage outside the queue lock: dispatch may be slow.
+    lock.unlock();
+    const auto stage = entry.policy->stages()[entry.stage];
+    // Completion status checked immediately before sending (paper §6.1).
+    if (!table_.is_complete(entry.query_id) &&
+        coin_rng_.bernoulli(stage.probability)) {
+      dispatch_(entry.query_id, /*is_reissue=*/true);
+      reissues_issued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+
+    // Re-enqueue for the next stage of a MultipleR policy.
+    ++entry.stage;
+    if (entry.stage < entry.policy->stage_count() &&
+        !table_.is_complete(entry.query_id)) {
+      entry.due_ms =
+          entry.submit_ms + entry.policy->stages()[entry.stage].delay;
+      queue_.push(std::move(entry));
+    }
+    if (queue_.empty()) queue_cv_.notify_all();
+  }
+}
+
+}  // namespace reissue::runtime

@@ -1,0 +1,45 @@
+#include "reissue/sim/event_queue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace reissue::sim {
+
+void EventQueue::schedule(double time, EventFn fn) {
+  if (!std::isfinite(time)) {
+    throw std::invalid_argument("EventQueue: non-finite event time");
+  }
+  if (time < now_) {
+    throw std::invalid_argument("EventQueue: event scheduled in the past");
+  }
+  heap_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move the closure out via a copy of
+  // the handle then pop.  Event is cheap to move except for the closure,
+  // which we must take before pop invalidates it.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn(now_);
+  return true;
+}
+
+double EventQueue::run_to_completion() {
+  while (step()) {
+  }
+  return now_;
+}
+
+double EventQueue::run_until(double horizon) {
+  while (!heap_.empty() && heap_.top().time <= horizon) {
+    step();
+  }
+  return now_;
+}
+
+}  // namespace reissue::sim

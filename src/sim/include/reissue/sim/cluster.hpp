@@ -1,0 +1,110 @@
+// The simulated serving cluster: N replicated single-worker servers behind
+// a load balancer, driven by an open-loop Poisson client, executing queries
+// under a reissue policy.  This is the paper's §5 simulator and, fed with
+// measured service-time traces, the §6 system-experiment harness.
+//
+// Semantics (matching the paper's client mechanism, §6.1):
+//   * every query dispatches one primary copy at arrival;
+//   * each policy stage (d, q) fires d after arrival: if the query has not
+//     completed, a coin with probability q decides whether one more copy is
+//     dispatched (completion is checked immediately before sending);
+//   * copies are never cancelled once sent -- both run to completion and
+//     both consume server time (the optional cancellation extension can be
+//     enabled via ClusterConfig);
+//   * the query's response time is the first copy response; the primary's
+//     own response time (X) and each reissue copy's response time measured
+//     from its own dispatch (Y) are logged for the policy optimizer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/load_balancer.hpp"
+#include "reissue/sim/queue_discipline.hpp"
+#include "reissue/sim/service_model.hpp"
+
+namespace reissue::sim {
+
+struct ClusterConfig {
+  /// Number of replicated servers (the paper uses 10).
+  std::size_t servers = 10;
+
+  /// When set, every copy starts service immediately on its own server
+  /// (no queueing): the Independent / Correlated workloads of §5.1.
+  bool infinite_servers = false;
+
+  /// Poisson arrival rate (queries per time unit).  Ignored spacing-wise
+  /// for infinite-server runs but still used to order events.
+  double arrival_rate = 0.1;
+
+  /// Optional workload drift (paper §4.4 "varying load"): multiplicative
+  /// arrival-rate phases applied cyclically.  Empty = constant rate.
+  struct RatePhase {
+    double duration = 0.0;    // simulation time units
+    double multiplier = 1.0;  // applied to arrival_rate
+  };
+  std::vector<RatePhase> arrival_phases;
+
+  /// Total queries per run, and how many initial queries are excluded
+  /// from the logs as warmup.
+  std::size_t queries = 40000;
+  std::size_t warmup = 2000;
+
+  LoadBalancerKind load_balancer = LoadBalancerKind::kRandom;
+  QueueDisciplineKind queue = QueueDisciplineKind::kFifo;
+
+  /// Client connections (used by kRoundRobinConnections queueing).
+  std::uint32_t connections = 32;
+
+  /// Dispatch reissue copies to a different replica than the primary.
+  bool exclude_primary_server = true;
+
+  /// Extension (off in the paper's model): when a query completes, copies
+  /// of it still queued are served at `cancellation_overhead` cost instead
+  /// of their full service time (lazy cancellation, cf. Lee et al. [20]).
+  bool cancel_on_completion = false;
+  double cancellation_overhead = 0.0;
+
+  /// Per-server background interference (paper §1: "background tasks on
+  /// servers can lead to temporary shortages in CPU cycles").  Episodes
+  /// arrive Poisson at `interference_rate` per server per time unit and
+  /// occupy the server for a draw from `interference_duration`.  These
+  /// asymmetric per-server slowdowns are a principal source of the
+  /// queueing-dominated latency tails that reissue policies remediate.
+  /// Disabled when rate == 0.
+  double interference_rate = 0.0;
+  stats::DistributionPtr interference_duration;
+
+  /// Root seed; every run derives identical per-component streams, so two
+  /// runs with equal seeds see identical arrivals and primary service
+  /// times (common random numbers across policies).
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Derives the Poisson arrival rate that loads `servers` single-worker
+/// servers to `utilization` given mean service time `mean_service`.
+[[nodiscard]] double arrival_rate_for_utilization(double utilization,
+                                                  std::size_t servers,
+                                                  double mean_service);
+
+class Cluster final : public core::SystemUnderTest {
+ public:
+  Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service);
+
+  /// Simulates one full run under `policy` and returns the logs.
+  /// Deterministic in (config.seed, policy).
+  [[nodiscard]] core::RunResult run(const core::ReissuePolicy& policy) override;
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ClusterConfig& mutable_config() noexcept { return config_; }
+  [[nodiscard]] const ServiceModel& service_model() const { return *service_; }
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<ServiceModel> service_;
+};
+
+}  // namespace reissue::sim

@@ -1,0 +1,55 @@
+// Deterministic discrete-event queue: a min-heap ordered by (time, seq).
+// The monotone sequence number breaks time ties in insertion order, so a
+// simulation is bit-reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace reissue::sim {
+
+using EventFn = std::function<void(double now)>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `time` (must be >= current time and
+  /// finite; throws std::invalid_argument otherwise).
+  void schedule(double time, EventFn fn);
+
+  /// Runs events in order until the queue empties.  Returns the time of
+  /// the last executed event (or the initial time if none ran).
+  double run_to_completion();
+
+  /// Runs events with time <= horizon; later events stay queued.
+  double run_until(double horizon);
+
+  /// Executes the single earliest event; returns false if empty.
+  bool step();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace reissue::sim

@@ -1,0 +1,41 @@
+// Load-balancing strategies (paper §5.4):
+//   kRandom    — uniformly random server.
+//   kRoundRobin— cyclic assignment.
+//   kMinOfTwo  — power of two choices: sample two distinct servers, pick
+//                the one with the smaller instantaneous load.
+//   kMinOfAll  — join the shortest queue over all servers.
+//
+// A reissue copy may exclude the server its primary went to ("send to a
+// *different* replica"); the excluded index is passed by the cluster.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reissue/sim/server.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::sim {
+
+enum class LoadBalancerKind { kRandom, kRoundRobin, kMinOfTwo, kMinOfAll };
+
+[[nodiscard]] std::string to_string(LoadBalancerKind kind);
+
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+
+  /// Picks a server index in [0, servers.size()), never `exclude` (when
+  /// provided and more than one server exists).
+  [[nodiscard]] virtual std::size_t pick(const std::vector<Server>& servers,
+                                         stats::Xoshiro256& rng,
+                                         std::optional<std::size_t> exclude) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<LoadBalancer> make_load_balancer(
+    LoadBalancerKind kind);
+
+}  // namespace reissue::sim

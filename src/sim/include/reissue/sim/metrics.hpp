@@ -1,0 +1,53 @@
+// Evaluation helpers shared by the figure-reproduction benches, examples
+// and integration tests: run a system under a policy and summarize the
+// tail metrics the paper plots.
+#pragma once
+
+#include "reissue/core/adaptive.hpp"
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+
+namespace reissue::sim {
+
+struct PolicyEvaluation {
+  core::ReissuePolicy policy = core::ReissuePolicy::none();
+  /// kth-percentile end-to-end latency.
+  double tail_latency = 0.0;
+  /// Issued reissues / logged queries.
+  double reissue_rate = 0.0;
+  /// Fraction of issued reissues that remediated the tail: primary missed
+  /// the achieved tail latency but the reissue answered in time (Fig. 3b).
+  double remediation_rate = 0.0;
+  double utilization = 0.0;
+};
+
+/// One run of `system` under `policy`, summarized at percentile k.
+[[nodiscard]] PolicyEvaluation evaluate_policy(core::SystemUnderTest& system,
+                                               const core::ReissuePolicy& policy,
+                                               double k);
+
+/// baseline / improved: > 1 means the policy reduced the tail (the Y axis
+/// of Fig. 3a and Fig. 6).
+[[nodiscard]] double reduction_ratio(double baseline_tail, double policy_tail);
+
+struct TunedPolicy {
+  core::AdaptiveOutcome outcome;
+  PolicyEvaluation final_eval;
+};
+
+/// Adaptive-tunes a SingleR policy for (k, budget) on `system`
+/// (paper §4.3), then evaluates the tuned policy once more.
+[[nodiscard]] TunedPolicy tune_single_r(core::SystemUnderTest& system,
+                                        double k, double budget,
+                                        int trials = 10,
+                                        double learning_rate = 0.5,
+                                        bool use_correlation = true);
+
+/// Adaptive-tunes a SingleD policy so its measured rate matches `budget`
+/// under load feedback (the paper's procedure for Fig. 3's SingleD curves).
+[[nodiscard]] TunedPolicy tune_single_d(core::SystemUnderTest& system,
+                                        double k, double budget,
+                                        int trials = 10,
+                                        double learning_rate = 0.5);
+
+}  // namespace reissue::sim

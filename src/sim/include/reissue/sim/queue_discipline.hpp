@@ -1,0 +1,57 @@
+// Server queueing disciplines (paper §5.4 "Changing priority of reissued
+// requests" plus the Redis connection model of §6.2):
+//
+//   kFifo                 — one FIFO for all copies (Baseline FIFO).
+//   kPrioritizedFifo      — separate FIFO queues for primary and reissue
+//                           copies; reissues served only when no primary
+//                           waits.
+//   kPrioritizedLifo      — as above, but the reissue queue pops LIFO.
+//   kRoundRobinConnections— per-connection FIFOs served one request per
+//                           connection in cyclic order: the Redis event
+//                           loop model, where a single slow request delays
+//                           every other connection's round.
+//   kConnectionBatch      — per-connection FIFOs served to exhaustion
+//                           before advancing (Redis §6.2: requests are
+//                           serviced "from each active client connection
+//                           in a batch"); a backlogged connection holds
+//                           the event loop for its whole pipeline, which
+//                           extends a slow request's impact for multiple
+//                           rounds.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "reissue/sim/request.hpp"
+
+namespace reissue::sim {
+
+enum class QueueDisciplineKind {
+  kFifo,
+  kPrioritizedFifo,
+  kPrioritizedLifo,
+  kRoundRobinConnections,
+  kConnectionBatch,
+};
+
+[[nodiscard]] std::string to_string(QueueDisciplineKind kind);
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  virtual void push(const Request& request) = 0;
+
+  /// Removes and returns the next request to serve.  Precondition: !empty().
+  [[nodiscard]] virtual Request pop() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+};
+
+/// Fresh instance of the given discipline (one per server).
+[[nodiscard]] std::unique_ptr<QueueDiscipline> make_queue_discipline(
+    QueueDisciplineKind kind);
+
+}  // namespace reissue::sim

@@ -1,0 +1,32 @@
+// A request copy in flight: one query spawns a primary copy plus zero or
+// more reissue copies.  Requests carry their intrinsic service cost and the
+// client connection they arrived on (used by the Redis-style round-robin
+// connection discipline).
+#pragma once
+
+#include <cstdint>
+
+namespace reissue::sim {
+
+enum class CopyKind : std::uint8_t {
+  kPrimary,
+  kReissue,
+  /// Server-local background work (CPU interference); carries no query.
+  kBackground,
+};
+
+struct Request {
+  std::uint64_t query_id = 0;
+  CopyKind kind = CopyKind::kPrimary;
+  /// 0 for the primary copy; 1-based index into the query's issued
+  /// reissue copies otherwise.
+  std::uint32_t copy_index = 0;
+  /// Absolute simulation time this copy was handed to the load balancer.
+  double dispatch_time = 0.0;
+  /// Intrinsic service cost (time units on a server).
+  double service_time = 0.0;
+  /// Client connection index (round-robin-connection queueing only).
+  std::uint32_t connection = 0;
+};
+
+}  // namespace reissue::sim

@@ -1,0 +1,75 @@
+// A single-worker server with a pluggable queue discipline.  The server
+// schedules its own service-completion events on the shared EventQueue and
+// reports each finished copy through a completion handler installed by the
+// cluster.  Busy time is accumulated for utilization measurement.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "reissue/sim/event_queue.hpp"
+#include "reissue/sim/queue_discipline.hpp"
+#include "reissue/sim/request.hpp"
+
+namespace reissue::sim {
+
+/// Called when a copy finishes service.  `now` is the completion time.
+using CompletionHandler = std::function<void(const Request&, double now)>;
+
+/// Optional hook consulted when a request reaches the head of the queue;
+/// returning true replaces its service time with `cancel_cost` (the
+/// cancellation-overhead extension, cf. Lee et al. [20]).
+using CancellationCheck = std::function<bool(const Request&)>;
+
+class Server {
+ public:
+  Server(std::size_t id, std::unique_ptr<QueueDiscipline> queue);
+
+  Server(Server&&) noexcept = default;
+  Server& operator=(Server&&) noexcept = default;
+
+  /// Wires the server to the simulation.  Must be called before submit().
+  void attach(EventQueue* events, CompletionHandler on_complete);
+
+  /// Enables lazy cancellation: requests whose check returns true at
+  /// service start are charged `cancel_cost` instead of their service time.
+  void set_cancellation(CancellationCheck check, double cancel_cost);
+
+  /// Accepts a copy at time `now`; starts service immediately if idle.
+  void submit(const Request& request, double now);
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+
+  /// Queued copies, excluding the one in service.
+  [[nodiscard]] std::size_t queue_length() const { return queue_->size(); }
+
+  /// Queue length plus the in-service copy; the load signal used by
+  /// Min-of-Two / Min-of-All balancing.
+  [[nodiscard]] std::size_t load() const {
+    return queue_->size() + (busy_ ? 1 : 0);
+  }
+
+  /// Total time spent serving copies.
+  [[nodiscard]] double busy_time() const noexcept { return busy_time_; }
+
+  /// Copies fully served.
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+
+ private:
+  void start_next(double now);
+  void finish(Request request, double now);
+
+  std::size_t id_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  EventQueue* events_ = nullptr;
+  CompletionHandler on_complete_;
+  CancellationCheck cancel_check_;
+  double cancel_cost_ = 0.0;
+  bool busy_ = false;
+  double busy_time_ = 0.0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace reissue::sim

@@ -1,0 +1,58 @@
+// Service-time generation for queries and their reissue copies, matching
+// the three workload models of paper §4/§5.1:
+//
+//   IidService        — X and Y independent draws from one distribution
+//                       (the Independent workload).
+//   CorrelatedService — Y = r·x + Z with Z an independent draw (the
+//                       Correlated and Queueing workloads; r = 0.5 in §5.1).
+//   IdenticalService  — Y = x: the reissue copy performs the same
+//                       computation, as in the Redis/Lucene system
+//                       experiments, where all response-time variation
+//                       beyond the service time comes from queueing.
+//   TraceService      — per-query service times replayed from a measured
+//                       trace (the bridge from the system substrates),
+//                       reissue copies identical to their primary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::sim {
+
+class ServiceModel {
+ public:
+  virtual ~ServiceModel() = default;
+
+  /// Service time of the primary copy of query `query_id`.
+  [[nodiscard]] virtual double primary(std::uint64_t query_id,
+                                       stats::Xoshiro256& rng) = 0;
+
+  /// Service time of a reissue copy given its primary's service time.
+  [[nodiscard]] virtual double reissue(std::uint64_t query_id,
+                                       double primary_service,
+                                       stats::Xoshiro256& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ServiceModel> make_iid_service(
+    stats::DistributionPtr dist);
+
+/// Y = ratio * x + Z, Z drawn independently from `dist` (paper §5.1).
+[[nodiscard]] std::unique_ptr<ServiceModel> make_correlated_service(
+    stats::DistributionPtr dist, double ratio);
+
+[[nodiscard]] std::unique_ptr<ServiceModel> make_identical_service(
+    stats::DistributionPtr dist);
+
+/// Replays `trace[i % trace.size()]` for query i (deterministic order) or
+/// resamples uniformly when `resample` is set.
+[[nodiscard]] std::unique_ptr<ServiceModel> make_trace_service(
+    std::vector<double> trace, bool resample = false);
+
+}  // namespace reissue::sim

@@ -1,0 +1,113 @@
+#include "reissue/sim/load_balancer.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace reissue::sim {
+
+std::string to_string(LoadBalancerKind kind) {
+  switch (kind) {
+    case LoadBalancerKind::kRandom:
+      return "Random";
+    case LoadBalancerKind::kRoundRobin:
+      return "RoundRobin";
+    case LoadBalancerKind::kMinOfTwo:
+      return "MinOfTwo";
+    case LoadBalancerKind::kMinOfAll:
+      return "MinOfAll";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+/// Uniform index in [0, n) skipping `exclude` when it can be avoided.
+std::size_t random_index(std::size_t n, stats::Xoshiro256& rng,
+                         std::optional<std::size_t> exclude) {
+  if (n == 0) throw std::logic_error("load balancer: no servers");
+  if (!exclude.has_value() || n == 1 || *exclude >= n) {
+    return static_cast<std::size_t>(rng.below(n));
+  }
+  const auto idx = static_cast<std::size_t>(rng.below(n - 1));
+  return idx < *exclude ? idx : idx + 1;
+}
+
+class RandomBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
+                   std::optional<std::size_t> exclude) override {
+    return random_index(servers.size(), rng, exclude);
+  }
+};
+
+class RoundRobinBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256&,
+                   std::optional<std::size_t> exclude) override {
+    const std::size_t n = servers.size();
+    if (n == 0) throw std::logic_error("load balancer: no servers");
+    for (std::size_t tries = 0; tries < n; ++tries) {
+      const std::size_t idx = cursor_++ % n;
+      if (!exclude.has_value() || idx != *exclude || n == 1) return idx;
+    }
+    return cursor_++ % n;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+class MinOfTwoBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
+                   std::optional<std::size_t> exclude) override {
+    const std::size_t a = random_index(servers.size(), rng, exclude);
+    const std::size_t b = random_index(servers.size(), rng, exclude);
+    return servers[b].load() < servers[a].load() ? b : a;
+  }
+};
+
+class MinOfAllBalancer final : public LoadBalancer {
+ public:
+  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
+                   std::optional<std::size_t> exclude) override {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    std::size_t ties = 0;
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+      if (exclude.has_value() && i == *exclude && servers.size() > 1) continue;
+      const std::size_t load = servers[i].load();
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+        ties = 1;
+      } else if (load == best_load) {
+        // Reservoir-sample among ties so equal-load servers share work.
+        ++ties;
+        if (rng.below(ties) == 0) best = i;
+      }
+    }
+    if (best == std::numeric_limits<std::size_t>::max()) {
+      throw std::logic_error("load balancer: no servers");
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LoadBalancer> make_load_balancer(LoadBalancerKind kind) {
+  switch (kind) {
+    case LoadBalancerKind::kRandom:
+      return std::make_unique<RandomBalancer>();
+    case LoadBalancerKind::kRoundRobin:
+      return std::make_unique<RoundRobinBalancer>();
+    case LoadBalancerKind::kMinOfTwo:
+      return std::make_unique<MinOfTwoBalancer>();
+    case LoadBalancerKind::kMinOfAll:
+      return std::make_unique<MinOfAllBalancer>();
+  }
+  throw std::invalid_argument("make_load_balancer: unknown kind");
+}
+
+}  // namespace reissue::sim

@@ -1,0 +1,54 @@
+#include "reissue/sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace reissue::sim {
+
+PolicyEvaluation evaluate_policy(core::SystemUnderTest& system,
+                                 const core::ReissuePolicy& policy, double k) {
+  const core::RunResult result = system.run(policy);
+  PolicyEvaluation eval;
+  eval.policy = policy;
+  eval.tail_latency = result.tail_latency(k);
+  eval.reissue_rate = result.measured_reissue_rate();
+  eval.remediation_rate = result.remediation_rate(eval.tail_latency);
+  eval.utilization = result.utilization;
+  return eval;
+}
+
+double reduction_ratio(double baseline_tail, double policy_tail) {
+  if (!(policy_tail > 0.0)) {
+    throw std::invalid_argument("reduction_ratio: policy tail must be > 0");
+  }
+  return baseline_tail / policy_tail;
+}
+
+TunedPolicy tune_single_r(core::SystemUnderTest& system, double k,
+                          double budget, int trials, double learning_rate,
+                          bool use_correlation) {
+  core::AdaptiveConfig config;
+  config.percentile = k;
+  config.budget = budget;
+  config.max_trials = trials;
+  config.learning_rate = learning_rate;
+  config.use_correlation = use_correlation;
+  TunedPolicy tuned;
+  tuned.outcome = core::adapt_single_r(system, config);
+  tuned.final_eval = evaluate_policy(system, tuned.outcome.policy, k);
+  return tuned;
+}
+
+TunedPolicy tune_single_d(core::SystemUnderTest& system, double k,
+                          double budget, int trials, double learning_rate) {
+  core::AdaptiveConfig config;
+  config.percentile = k;
+  config.budget = budget;
+  config.max_trials = trials;
+  config.learning_rate = learning_rate;
+  TunedPolicy tuned;
+  tuned.outcome = core::adapt_single_d(system, config);
+  tuned.final_eval = evaluate_policy(system, tuned.outcome.policy, k);
+  return tuned;
+}
+
+}  // namespace reissue::sim

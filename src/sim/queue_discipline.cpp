@@ -1,0 +1,157 @@
+#include "reissue/sim/queue_discipline.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace reissue::sim {
+
+std::string to_string(QueueDisciplineKind kind) {
+  switch (kind) {
+    case QueueDisciplineKind::kFifo:
+      return "FIFO";
+    case QueueDisciplineKind::kPrioritizedFifo:
+      return "PrioritizedFIFO";
+    case QueueDisciplineKind::kPrioritizedLifo:
+      return "PrioritizedLIFO";
+    case QueueDisciplineKind::kRoundRobinConnections:
+      return "RoundRobinConnections";
+    case QueueDisciplineKind::kConnectionBatch:
+      return "ConnectionBatch";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+class FifoQueue final : public QueueDiscipline {
+ public:
+  void push(const Request& request) override { queue_.push_back(request); }
+
+  Request pop() override {
+    if (queue_.empty()) throw std::logic_error("FifoQueue::pop on empty");
+    Request r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+
+  std::size_t size() const override { return queue_.size(); }
+
+ private:
+  std::deque<Request> queue_;
+};
+
+/// Two queues; primaries strictly first.  `reissue_lifo` selects the pop
+/// order within the reissue queue.
+class PrioritizedQueue final : public QueueDiscipline {
+ public:
+  explicit PrioritizedQueue(bool reissue_lifo) : reissue_lifo_(reissue_lifo) {}
+
+  void push(const Request& request) override {
+    // Only reissue copies are deprioritized; background interference work
+    // shares the primary lane (it cannot be deferred by client policy).
+    if (request.kind == CopyKind::kReissue) {
+      reissue_.push_back(request);
+    } else {
+      primary_.push_back(request);
+    }
+  }
+
+  Request pop() override {
+    if (!primary_.empty()) {
+      Request r = primary_.front();
+      primary_.pop_front();
+      return r;
+    }
+    if (reissue_.empty()) {
+      throw std::logic_error("PrioritizedQueue::pop on empty");
+    }
+    if (reissue_lifo_) {
+      Request r = reissue_.back();
+      reissue_.pop_back();
+      return r;
+    }
+    Request r = reissue_.front();
+    reissue_.pop_front();
+    return r;
+  }
+
+  std::size_t size() const override { return primary_.size() + reissue_.size(); }
+
+ private:
+  bool reissue_lifo_;
+  std::deque<Request> primary_;
+  std::deque<Request> reissue_;
+};
+
+/// Per-connection FIFOs served in cyclic connection order, modeling
+/// Redis's event loop: it "services requests in a round-robin fashion from
+/// each active client connection", so a single long-running request delays
+/// every connection's next round.
+///
+/// `batch` selects how much of a connection is drained per visit: one
+/// request (fair polling) or the whole pending pipeline (exhaustive
+/// "batch" servicing per the paper's §6.2 description), which extends a
+/// slow request's backlog impact for multiple rounds.
+class RoundRobinConnQueue final : public QueueDiscipline {
+ public:
+  explicit RoundRobinConnQueue(bool batch) : batch_(batch) {}
+
+  void push(const Request& request) override {
+    auto [it, inserted] = lanes_.try_emplace(request.connection);
+    if (inserted) order_.push_back(request.connection);
+    it->second.push_back(request);
+    ++size_;
+  }
+
+  Request pop() override {
+    if (size_ == 0) throw std::logic_error("RoundRobinConnQueue::pop on empty");
+    // Advance cyclically to the next connection with pending work.  In
+    // batch mode, stay on the current connection until its lane drains.
+    for (std::size_t scanned = 0; scanned <= order_.size(); ++scanned) {
+      cursor_ = cursor_ % order_.size();
+      auto& lane = lanes_[order_[cursor_]];
+      if (lane.empty()) {
+        ++cursor_;
+        continue;
+      }
+      Request r = lane.front();
+      lane.pop_front();
+      --size_;
+      if (!batch_ || lane.empty()) ++cursor_;
+      return r;
+    }
+    throw std::logic_error("RoundRobinConnQueue: size_/lane mismatch");
+  }
+
+  std::size_t size() const override { return size_; }
+
+ private:
+  bool batch_;
+  std::unordered_map<std::uint32_t, std::deque<Request>> lanes_;
+  std::vector<std::uint32_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<QueueDiscipline> make_queue_discipline(
+    QueueDisciplineKind kind) {
+  switch (kind) {
+    case QueueDisciplineKind::kFifo:
+      return std::make_unique<FifoQueue>();
+    case QueueDisciplineKind::kPrioritizedFifo:
+      return std::make_unique<PrioritizedQueue>(/*reissue_lifo=*/false);
+    case QueueDisciplineKind::kPrioritizedLifo:
+      return std::make_unique<PrioritizedQueue>(/*reissue_lifo=*/true);
+    case QueueDisciplineKind::kRoundRobinConnections:
+      return std::make_unique<RoundRobinConnQueue>(/*batch=*/false);
+    case QueueDisciplineKind::kConnectionBatch:
+      return std::make_unique<RoundRobinConnQueue>(/*batch=*/true);
+  }
+  throw std::invalid_argument("make_queue_discipline: unknown kind");
+}
+
+}  // namespace reissue::sim

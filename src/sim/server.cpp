@@ -1,0 +1,56 @@
+#include "reissue/sim/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reissue::sim {
+
+Server::Server(std::size_t id, std::unique_ptr<QueueDiscipline> queue)
+    : id_(id), queue_(std::move(queue)) {
+  if (!queue_) throw std::invalid_argument("Server requires a queue");
+}
+
+void Server::attach(EventQueue* events, CompletionHandler on_complete) {
+  if (events == nullptr) throw std::invalid_argument("Server::attach: null queue");
+  events_ = events;
+  on_complete_ = std::move(on_complete);
+}
+
+void Server::set_cancellation(CancellationCheck check, double cancel_cost) {
+  if (cancel_cost < 0.0) {
+    throw std::invalid_argument("Server: cancellation cost must be >= 0");
+  }
+  cancel_check_ = std::move(check);
+  cancel_cost_ = cancel_cost;
+}
+
+void Server::submit(const Request& request, double now) {
+  if (events_ == nullptr) {
+    throw std::logic_error("Server::submit before attach");
+  }
+  queue_->push(request);
+  if (!busy_) start_next(now);
+}
+
+void Server::start_next(double now) {
+  if (queue_->empty()) return;
+  Request request = queue_->pop();
+  double cost = request.service_time;
+  if (cancel_check_ && cancel_check_(request)) {
+    cost = cancel_cost_;
+  }
+  busy_ = true;
+  busy_time_ += cost;
+  events_->schedule(now + cost, [this, request](double at) {
+    finish(request, at);
+  });
+}
+
+void Server::finish(Request request, double now) {
+  busy_ = false;
+  ++completed_;
+  if (on_complete_) on_complete_(request, now);
+  start_next(now);
+}
+
+}  // namespace reissue::sim

@@ -1,0 +1,135 @@
+#include "reissue/sim/service_model.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace reissue::sim {
+
+namespace {
+
+class IidService final : public ServiceModel {
+ public:
+  explicit IidService(stats::DistributionPtr dist) : dist_(std::move(dist)) {
+    if (!dist_) throw std::invalid_argument("IidService: null distribution");
+  }
+
+  double primary(std::uint64_t, stats::Xoshiro256& rng) override {
+    return dist_->sample(rng);
+  }
+
+  double reissue(std::uint64_t, double, stats::Xoshiro256& rng) override {
+    return dist_->sample(rng);
+  }
+
+  std::string name() const override { return "IID[" + dist_->name() + "]"; }
+
+ private:
+  stats::DistributionPtr dist_;
+};
+
+class CorrelatedService final : public ServiceModel {
+ public:
+  CorrelatedService(stats::DistributionPtr dist, double ratio)
+      : dist_(std::move(dist)), ratio_(ratio) {
+    if (!dist_) throw std::invalid_argument("CorrelatedService: null dist");
+    if (ratio < 0.0) {
+      throw std::invalid_argument("CorrelatedService: ratio must be >= 0");
+    }
+  }
+
+  double primary(std::uint64_t, stats::Xoshiro256& rng) override {
+    return dist_->sample(rng);
+  }
+
+  double reissue(std::uint64_t, double primary_service,
+                 stats::Xoshiro256& rng) override {
+    return ratio_ * primary_service + dist_->sample(rng);
+  }
+
+  std::string name() const override {
+    return "Correlated[r=" + std::to_string(ratio_) + "," + dist_->name() + "]";
+  }
+
+ private:
+  stats::DistributionPtr dist_;
+  double ratio_;
+};
+
+class IdenticalService final : public ServiceModel {
+ public:
+  explicit IdenticalService(stats::DistributionPtr dist)
+      : dist_(std::move(dist)) {
+    if (!dist_) throw std::invalid_argument("IdenticalService: null dist");
+  }
+
+  double primary(std::uint64_t, stats::Xoshiro256& rng) override {
+    return dist_->sample(rng);
+  }
+
+  double reissue(std::uint64_t, double primary_service,
+                 stats::Xoshiro256&) override {
+    return primary_service;
+  }
+
+  std::string name() const override {
+    return "Identical[" + dist_->name() + "]";
+  }
+
+ private:
+  stats::DistributionPtr dist_;
+};
+
+class TraceService final : public ServiceModel {
+ public:
+  TraceService(std::vector<double> trace, bool resample)
+      : trace_(std::move(trace)), resample_(resample) {
+    if (trace_.empty()) throw std::invalid_argument("TraceService: empty trace");
+    for (double v : trace_) {
+      if (!(v >= 0.0)) {
+        throw std::invalid_argument("TraceService: negative service time");
+      }
+    }
+  }
+
+  double primary(std::uint64_t query_id, stats::Xoshiro256& rng) override {
+    if (resample_) return trace_[rng.below(trace_.size())];
+    return trace_[query_id % trace_.size()];
+  }
+
+  double reissue(std::uint64_t, double primary_service,
+                 stats::Xoshiro256&) override {
+    // The reissue copy executes the same query: identical intrinsic cost.
+    return primary_service;
+  }
+
+  std::string name() const override {
+    return "Trace[n=" + std::to_string(trace_.size()) + "]";
+  }
+
+ private:
+  std::vector<double> trace_;
+  bool resample_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServiceModel> make_iid_service(stats::DistributionPtr dist) {
+  return std::make_unique<IidService>(std::move(dist));
+}
+
+std::unique_ptr<ServiceModel> make_correlated_service(
+    stats::DistributionPtr dist, double ratio) {
+  return std::make_unique<CorrelatedService>(std::move(dist), ratio);
+}
+
+std::unique_ptr<ServiceModel> make_identical_service(
+    stats::DistributionPtr dist) {
+  return std::make_unique<IdenticalService>(std::move(dist));
+}
+
+std::unique_ptr<ServiceModel> make_trace_service(std::vector<double> trace,
+                                                 bool resample) {
+  return std::make_unique<TraceService>(std::move(trace), resample);
+}
+
+}  // namespace reissue::sim

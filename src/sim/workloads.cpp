@@ -1,0 +1,89 @@
+#include "reissue/sim/workloads.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::sim::workloads {
+
+namespace {
+
+stats::DistributionPtr default_pareto() {
+  return stats::make_truncated(stats::make_pareto(kParetoShape, kParetoMode),
+                               kServiceCap);
+}
+
+ClusterConfig base_config(const WorkloadOptions& opts) {
+  ClusterConfig config;
+  config.queries = opts.queries;
+  config.warmup = opts.warmup;
+  config.seed = opts.seed;
+  return config;
+}
+
+}  // namespace
+
+double empirical_mean_service(const stats::Distribution& dist, std::size_t n,
+                              std::uint64_t seed) {
+  if (n == 0) throw std::invalid_argument("empirical_mean_service: n > 0");
+  stats::Xoshiro256 rng(seed);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += dist.sample(rng);
+  return sum / static_cast<double>(n);
+}
+
+Cluster make_independent(const WorkloadOptions& opts) {
+  ClusterConfig config = base_config(opts);
+  config.infinite_servers = true;
+  config.servers = 0;
+  // Arrivals only sequence events for infinite-server runs; space them at
+  // the default Queueing rate for comparability.
+  config.arrival_rate = arrival_rate_for_utilization(
+      kDefaultUtilization, kDefaultServers, default_pareto()->mean());
+  return Cluster(config, make_iid_service(default_pareto()));
+}
+
+Cluster make_correlated(double ratio, const WorkloadOptions& opts) {
+  ClusterConfig config = base_config(opts);
+  config.infinite_servers = true;
+  config.servers = 0;
+  config.arrival_rate = arrival_rate_for_utilization(
+      kDefaultUtilization, kDefaultServers, default_pareto()->mean());
+  return Cluster(config, make_correlated_service(default_pareto(), ratio));
+}
+
+Cluster make_queueing(double utilization, double ratio,
+                      const WorkloadOptions& opts) {
+  ClusterConfig config = base_config(opts);
+  config.servers = kDefaultServers;
+  config.load_balancer = LoadBalancerKind::kRandom;
+  config.queue = QueueDisciplineKind::kFifo;
+  config.arrival_rate = arrival_rate_for_utilization(
+      utilization, config.servers, default_pareto()->mean());
+  std::shared_ptr<ServiceModel> service =
+      ratio > 0.0 ? make_correlated_service(default_pareto(), ratio)
+                  : std::shared_ptr<ServiceModel>(
+                        make_iid_service(default_pareto()));
+  return Cluster(config, std::move(service));
+}
+
+Cluster make_sensitivity(const SensitivityOptions& opts) {
+  stats::DistributionPtr service_dist =
+      opts.service ? opts.service : default_pareto();
+  double mean = service_dist->mean();
+  if (!std::isfinite(mean)) {
+    mean = empirical_mean_service(*service_dist);
+  }
+  ClusterConfig config = base_config(opts.base);
+  config.servers = opts.servers;
+  config.load_balancer = opts.load_balancer;
+  config.queue = opts.queue;
+  config.arrival_rate =
+      arrival_rate_for_utilization(opts.utilization, opts.servers, mean);
+  std::shared_ptr<ServiceModel> service =
+      opts.ratio > 0.0
+          ? make_correlated_service(service_dist, opts.ratio)
+          : std::shared_ptr<ServiceModel>(make_iid_service(service_dist));
+  return Cluster(config, std::move(service));
+}
+
+}  // namespace reissue::sim::workloads

@@ -1,0 +1,79 @@
+#include "reissue/stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+namespace {
+
+std::vector<double> ranks(const std::vector<double>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> r(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[idx[j + 1]] == v[idx[i]]) ++j;
+    // Average rank for the tie group [i, j].
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) r[idx[k]] = avg;
+    i = j + 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+double pearson(const std::vector<std::pair<double, double>>& pairs) {
+  if (pairs.size() < 2) {
+    throw std::invalid_argument("pearson requires >= 2 pairs");
+  }
+  const auto n = static_cast<double>(pairs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  for (const auto& [x, y] : pairs) {
+    sx += x;
+    sy += y;
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (const auto& [x, y] : pairs) {
+    sxy += (x - mx) * (y - my);
+    sxx += (x - mx) * (x - mx);
+    syy += (y - my) * (y - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw std::invalid_argument("pearson: zero variance");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(const std::vector<std::pair<double, double>>& pairs) {
+  if (pairs.size() < 2) {
+    throw std::invalid_argument("spearman requires >= 2 pairs");
+  }
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(pairs.size());
+  ys.reserve(pairs.size());
+  for (const auto& [x, y] : pairs) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  std::vector<std::pair<double, double>> ranked(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) ranked[i] = {rx[i], ry[i]};
+  return pearson(ranked);
+}
+
+}  // namespace reissue::stats

@@ -1,0 +1,342 @@
+#include "reissue/stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double shape, double mode) : shape_(shape), mode_(mode) {
+  require(shape > 0.0, "Pareto shape must be > 0");
+  require(mode > 0.0, "Pareto mode must be > 0");
+}
+
+double Pareto::sample(Xoshiro256& rng) const {
+  // Inverse CDF on u in (0,1]: x = mode * u^{-1/shape}.
+  return mode_ * std::pow(rng.uniform_pos(), -1.0 / shape_);
+}
+
+double Pareto::cdf(double x) const {
+  if (x < mode_) return 0.0;
+  return 1.0 - std::pow(mode_ / x, shape_);
+}
+
+double Pareto::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  return mode_ * std::pow(1.0 - p, -1.0 / shape_);
+}
+
+double Pareto::mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return shape_ * mode_ / (shape_ - 1.0);
+}
+
+std::string Pareto::name() const {
+  return "Pareto(" + std::to_string(shape_) + "," + std::to_string(mode_) + ")";
+}
+
+// ------------------------------------------------------------- LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(sigma > 0.0, "LogNormal sigma must be > 0");
+}
+
+double LogNormal::sample(Xoshiro256& rng) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(rng.uniform_pos()));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  if (p == 0.0) return 0.0;
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+std::string LogNormal::name() const {
+  return "LogNormal(" + std::to_string(mu_) + "," + std::to_string(sigma_) + ")";
+}
+
+// ----------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  require(rate > 0.0, "Exponential rate must be > 0");
+}
+
+double Exponential::sample(Xoshiro256& rng) const {
+  return -std::log(rng.uniform_pos()) / rate_;
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  return -std::log(1.0 - p) / rate_;
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+std::string Exponential::name() const {
+  return "Exp(" + std::to_string(rate_) + ")";
+}
+
+// --------------------------------------------------------------- Weibull
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0.0, "Weibull shape must be > 0");
+  require(scale > 0.0, "Weibull scale must be > 0");
+}
+
+double Weibull::sample(Xoshiro256& rng) const {
+  return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  return scale_ * std::pow(-std::log(1.0 - p), 1.0 / shape_);
+}
+
+double Weibull::mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+std::string Weibull::name() const {
+  return "Weibull(" + std::to_string(shape_) + "," + std::to_string(scale_) + ")";
+}
+
+// --------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  require(hi > lo, "Uniform requires hi > lo");
+}
+
+double Uniform::sample(Xoshiro256& rng) const {
+  return lo_ + (hi_ - lo_) * rng.uniform();
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  return lo_ + (hi_ - lo_) * p;
+}
+
+double Uniform::mean() const { return 0.5 * (lo_ + hi_); }
+
+std::string Uniform::name() const {
+  return "Uniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+}
+
+// -------------------------------------------------------------- Constant
+
+Constant::Constant(double value) : value_(value) {
+  require(value >= 0.0, "Constant value must be >= 0");
+}
+
+double Constant::sample(Xoshiro256&) const { return value_; }
+
+double Constant::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
+
+double Constant::quantile(double) const { return value_; }
+
+double Constant::mean() const { return value_; }
+
+std::string Constant::name() const {
+  return "Constant(" + std::to_string(value_) + ")";
+}
+
+// ------------------------------------------------------------- Truncated
+
+Truncated::Truncated(DistributionPtr base, double cap)
+    : base_(std::move(base)), cap_(cap) {
+  require(base_ != nullptr, "Truncated requires a base distribution");
+  require(cap > 0.0, "Truncated cap must be > 0");
+  // E[min(B, cap)] = cap - integral_0^cap F(x) dx, via Simpson on a fine
+  // grid (the base mean may be infinite, e.g. Pareto shape <= 1).
+  constexpr int kSteps = 4096;
+  const double h = cap_ / kSteps;
+  double integral = 0.0;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double w = (i == 0 || i == kSteps) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    integral += w * base_->cdf(static_cast<double>(i) * h);
+  }
+  integral *= h / 3.0;
+  mean_ = cap_ - integral;
+}
+
+double Truncated::sample(Xoshiro256& rng) const {
+  return std::min(base_->sample(rng), cap_);
+}
+
+double Truncated::cdf(double x) const {
+  if (x >= cap_) return 1.0;
+  return base_->cdf(x);
+}
+
+double Truncated::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  return std::min(base_->quantile(p), cap_);
+}
+
+double Truncated::mean() const { return mean_; }
+
+std::string Truncated::name() const {
+  return "Truncated(" + base_->name() + ",cap=" + std::to_string(cap_) + ")";
+}
+
+// --------------------------------------------------------------- Shifted
+
+Shifted::Shifted(DistributionPtr base, double offset)
+    : base_(std::move(base)), offset_(offset) {
+  require(base_ != nullptr, "Shifted requires a base distribution");
+  require(offset >= 0.0, "Shifted offset must be >= 0");
+}
+
+double Shifted::sample(Xoshiro256& rng) const {
+  return offset_ + base_->sample(rng);
+}
+
+double Shifted::cdf(double x) const { return base_->cdf(x - offset_); }
+
+double Shifted::quantile(double p) const { return offset_ + base_->quantile(p); }
+
+double Shifted::mean() const { return offset_ + base_->mean(); }
+
+std::string Shifted::name() const {
+  return "Shifted(" + base_->name() + ",+" + std::to_string(offset_) + ")";
+}
+
+// ------------------------------------------------------ EmpiricalSampler
+
+EmpiricalSampler::EmpiricalSampler(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  require(!sorted_.empty(), "EmpiricalSampler requires at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+double EmpiricalSampler::sample(Xoshiro256& rng) const {
+  return sorted_[rng.below(sorted_.size())];
+}
+
+double EmpiricalSampler::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalSampler::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_.size()));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double EmpiricalSampler::mean() const { return mean_; }
+
+std::string EmpiricalSampler::name() const {
+  return "Empirical(n=" + std::to_string(sorted_.size()) + ")";
+}
+
+// ------------------------------------------------------- normal cdf/qtl
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile p must be in (0,1)");
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the analytic normal pdf/cdf.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+// ------------------------------------------------------------- factories
+
+DistributionPtr make_pareto(double shape, double mode) {
+  return std::make_shared<Pareto>(shape, mode);
+}
+DistributionPtr make_lognormal(double mu, double sigma) {
+  return std::make_shared<LogNormal>(mu, sigma);
+}
+DistributionPtr make_exponential(double rate) {
+  return std::make_shared<Exponential>(rate);
+}
+DistributionPtr make_weibull(double shape, double scale) {
+  return std::make_shared<Weibull>(shape, scale);
+}
+DistributionPtr make_uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistributionPtr make_constant(double value) {
+  return std::make_shared<Constant>(value);
+}
+DistributionPtr make_shifted(DistributionPtr base, double offset) {
+  return std::make_shared<Shifted>(std::move(base), offset);
+}
+DistributionPtr make_truncated(DistributionPtr base, double cap) {
+  return std::make_shared<Truncated>(std::move(base), cap);
+}
+DistributionPtr make_empirical(std::vector<double> samples) {
+  return std::make_shared<EmpiricalSampler>(std::move(samples));
+}
+
+}  // namespace reissue::stats

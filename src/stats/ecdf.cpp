@@ -1,0 +1,55 @@
+#include "reissue/stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("EmpiricalCdf requires at least one sample");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  double sum = 0.0;
+  for (double v : sorted_) sum += v;
+  mean_ = sum / static_cast<double>(sorted_.size());
+  double ss = 0.0;
+  for (double v : sorted_) ss += (v - mean_) * (v - mean_);
+  stddev_ = std::sqrt(ss / static_cast<double>(sorted_.size()));
+}
+
+double EmpiricalCdf::cdf_strict(double t) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::cdf(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("quantile p must be in [0,1]");
+  }
+  if (p == 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p * n));
+  return sorted_[std::min(rank, sorted_.size()) - 1];
+}
+
+double EmpiricalCdf::min() const {
+  if (sorted_.empty()) throw std::logic_error("empty ECDF");
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (sorted_.empty()) throw std::logic_error("empty ECDF");
+  return sorted_.back();
+}
+
+}  // namespace reissue::stats

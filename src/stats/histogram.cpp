@@ -1,0 +1,54 @@
+#include "reissue/stats/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+Histogram::Histogram(double lo, double width, std::size_t bins)
+    : lo_(lo), width_(width), counts_(bins, 0) {
+  if (width <= 0.0) throw std::invalid_argument("Histogram width must be > 0");
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+}
+
+void Histogram::add(double value) { add_n(value, 1); }
+
+void Histogram::add_n(double value, std::uint64_t n) {
+  total_ += n;
+  if (value < lo_) {
+    underflow_ += n;
+    return;
+  }
+  const double offset = (value - lo_) / width_;
+  const auto idx = static_cast<std::size_t>(offset);
+  if (idx >= counts_.size()) {
+    overflow_ += n;
+  } else {
+    counts_[idx] += n;
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram bin index");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::bin_mid(std::size_t i) const {
+  return bin_lo(i) + 0.5 * width_;
+}
+
+std::string Histogram::to_table(const std::string& label) const {
+  std::ostringstream os;
+  os << "# " << label << ": bin_mid count\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    os << bin_mid(i) << " " << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) os << ">" << bin_hi(counts_.size() - 1) << " " << overflow_ << "\n";
+  return os.str();
+}
+
+}  // namespace reissue::stats

@@ -1,0 +1,18 @@
+// Pearson and Spearman correlation over paired samples, used to validate
+// the Correlated workload generator (paper §5.1, Y = r·x + Z) and to
+// report the joint-structure statistics behind Figure 4.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace reissue::stats {
+
+/// Pearson linear correlation coefficient.  Throws on < 2 pairs or zero
+/// variance in either coordinate.
+[[nodiscard]] double pearson(const std::vector<std::pair<double, double>>& pairs);
+
+/// Spearman rank correlation (average ranks for ties).
+[[nodiscard]] double spearman(const std::vector<std::pair<double, double>>& pairs);
+
+}  // namespace reissue::stats

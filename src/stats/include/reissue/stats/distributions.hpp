@@ -1,0 +1,207 @@
+// Service-time / response-time distributions used throughout the paper's
+// evaluation: Pareto(shape 1.1, mode 2.0) for the §5.1 workloads,
+// LogNormal(1,1) and Exponential(0.1) for the §5.4 sensitivity study, plus
+// Weibull, Uniform, Constant, Shifted and Empirical for tests and extensions.
+//
+// Every distribution exposes an analytic cdf/quantile pair and samples by
+// inverse-CDF transform from a caller-supplied Xoshiro stream, so all draws
+// are deterministic given the stream state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+
+/// Interface for a univariate distribution over non-negative reals.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draw one variate using the supplied RNG stream.
+  [[nodiscard]] virtual double sample(Xoshiro256& rng) const = 0;
+
+  /// Pr(X <= x).
+  [[nodiscard]] virtual double cdf(double x) const = 0;
+
+  /// Inverse CDF: smallest x with cdf(x) >= p, for p in [0, 1).
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+
+  /// E[X].  May be +inf (e.g. Pareto with shape <= 1).
+  [[nodiscard]] virtual double mean() const = 0;
+
+  /// Human-readable name, e.g. "Pareto(1.1,2)".
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Pareto (Type I): cdf(x) = 1 - (mode/x)^shape for x >= mode.
+/// The paper's default service-time model uses shape 1.1, mode 2.0.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double shape, double mode);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+  [[nodiscard]] double mode() const noexcept { return mode_; }
+
+ private:
+  double shape_;
+  double mode_;
+};
+
+/// LogNormal(mu, sigma): log X ~ Normal(mu, sigma^2).
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential(rate): cdf(x) = 1 - exp(-rate * x).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull(shape, scale): cdf(x) = 1 - exp(-(x/scale)^shape).
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double shape_;
+  double scale_;
+};
+
+/// Uniform(lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Degenerate distribution: always `value`.
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double value);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double value_;
+};
+
+/// `base` truncated at `cap`: X = min(B, cap).  Heavy-tailed service
+/// models (Pareto shape 1.1 has infinite variance) occasionally draw
+/// single requests longer than an entire experiment, which no real
+/// benchmark run survives unremarked; capping at a high quantile keeps
+/// the tail heavy while bounding catastrophes.  cdf(x) = F_B(x) for
+/// x < cap and 1 at x >= cap (an atom at the cap).
+class Truncated final : public Distribution {
+ public:
+  Truncated(DistributionPtr base, double cap);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double cap() const noexcept { return cap_; }
+
+ private:
+  DistributionPtr base_;
+  double cap_;
+  double mean_;
+};
+
+/// `base` shifted right by `offset` (>= 0): X = offset + B.
+class Shifted final : public Distribution {
+ public:
+  Shifted(DistributionPtr base, double offset);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  DistributionPtr base_;
+  double offset_;
+};
+
+/// Resampling distribution over an observed trace: sampling draws a uniform
+/// element; cdf/quantile are the empirical ones.  Used to replay measured
+/// service-time logs from the Redis-like / Lucene-like engines.
+class EmpiricalSampler final : public Distribution {
+ public:
+  explicit EmpiricalSampler(std::vector<double> samples);
+  [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(double x) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_;
+};
+
+/// Standard normal CDF / inverse CDF (Acklam's rational approximation,
+/// refined by one Halley step; |error| < 1e-9 over (0,1)).
+[[nodiscard]] double normal_cdf(double x);
+[[nodiscard]] double normal_quantile(double p);
+
+// Convenience factories.
+[[nodiscard]] DistributionPtr make_pareto(double shape, double mode);
+[[nodiscard]] DistributionPtr make_lognormal(double mu, double sigma);
+[[nodiscard]] DistributionPtr make_exponential(double rate);
+[[nodiscard]] DistributionPtr make_weibull(double shape, double scale);
+[[nodiscard]] DistributionPtr make_uniform(double lo, double hi);
+[[nodiscard]] DistributionPtr make_constant(double value);
+[[nodiscard]] DistributionPtr make_shifted(DistributionPtr base, double offset);
+[[nodiscard]] DistributionPtr make_truncated(DistributionPtr base, double cap);
+[[nodiscard]] DistributionPtr make_empirical(std::vector<double> samples);
+
+}  // namespace reissue::stats

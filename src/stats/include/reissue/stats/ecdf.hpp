@@ -1,0 +1,63 @@
+// Empirical CDF over a response-time log, with the exact `DiscreteCDF`
+// semantics of the paper's Figure 1 pseudocode:
+//
+//     DiscreteCDF(R, t) = |{x in R : x < t}| / |R|        (strict)
+//
+// plus the conventional Pr(X <= t) variant and empirical quantiles.  The
+// policy optimizer iterates over the sorted sample values, so the sorted
+// vector is exposed read-only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace reissue::stats {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  /// Builds the ECDF by copying and sorting `samples`.  Throws
+  /// std::invalid_argument on an empty input.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Number of samples.
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Paper's DiscreteCDF: fraction of samples strictly below t.
+  [[nodiscard]] double cdf_strict(double t) const;
+
+  /// Conventional ECDF: fraction of samples <= t.
+  [[nodiscard]] double cdf(double t) const;
+
+  /// Pr(X > t) = 1 - cdf(t).
+  [[nodiscard]] double tail(double t) const { return 1.0 - cdf(t); }
+
+  /// Pr(X >= t) = 1 - cdf_strict(t).
+  [[nodiscard]] double tail_inclusive(double t) const {
+    return 1.0 - cdf_strict(t);
+  }
+
+  /// Empirical p-quantile (nearest-rank: smallest sample s.t. at least
+  /// ceil(p*n) samples are <= it), p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+  /// Sorted sample values (ascending).
+  [[nodiscard]] std::span<const double> sorted() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+};
+
+}  // namespace reissue::stats

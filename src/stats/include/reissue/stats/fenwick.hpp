@@ -1,0 +1,52 @@
+// Fenwick (binary indexed) tree over a fixed-size array of counts.
+// Used for offline 2-D dominance counting and as a reference structure in
+// tests for the merge-sort tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace reissue::stats {
+
+template <typename T = std::int64_t>
+class FenwickTree {
+ public:
+  FenwickTree() = default;
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, T{}) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tree_.empty() ? 0 : tree_.size() - 1;
+  }
+
+  /// Adds `delta` at 0-based index i.
+  void add(std::size_t i, T delta) {
+    if (i >= size()) throw std::out_of_range("FenwickTree::add index");
+    for (std::size_t j = i + 1; j < tree_.size(); j += j & (~j + 1)) {
+      tree_[j] += delta;
+    }
+  }
+
+  /// Sum of elements with index < i (prefix sum of the first i items).
+  [[nodiscard]] T prefix(std::size_t i) const {
+    if (i > size()) i = size();
+    T s{};
+    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) s += tree_[j];
+    return s;
+  }
+
+  /// Sum over the half-open index range [lo, hi).
+  [[nodiscard]] T range(std::size_t lo, std::size_t hi) const {
+    if (lo >= hi) return T{};
+    return prefix(hi) - prefix(lo);
+  }
+
+  /// Total of all elements.
+  [[nodiscard]] T total() const { return prefix(size()); }
+
+ private:
+  std::vector<T> tree_;
+};
+
+}  // namespace reissue::stats

@@ -1,0 +1,48 @@
+// Fixed-width binned histogram, used to regenerate the service-time
+// histograms of paper Figure 9 (20 ms bins, log-scale counts).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reissue::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, lo+width), [lo+width, lo+2*width), ... `bins` of them.
+  /// Values below lo land in the underflow bucket, values >= lo+bins*width
+  /// in the overflow bucket.
+  Histogram(double lo, double width, std::size_t bins);
+
+  void add(double value);
+  void add_n(double value, std::uint64_t n);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of bin i.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Midpoint of bin i (the x-coordinate plotted in Figure 9).
+  [[nodiscard]] double bin_mid(std::size_t i) const;
+
+  /// Renders "mid count" rows, skipping empty bins, as printed by the
+  /// fig9 bench harness.
+  [[nodiscard]] std::string to_table(const std::string& label) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace reissue::stats

@@ -1,0 +1,49 @@
+// Joint (primary, reissue) response-time samples with conditional-CDF
+// queries, backing the correlation-aware optimizer of paper §4.2.
+//
+// Pr(Y <= v | X > t) is estimated as
+//     |{(x,y) : x > t, y <= v}| / |{(x,y) : x > t}|
+// over the logged pairs, in O(log^2 n) per query via a merge-sort tree.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "reissue/stats/ecdf.hpp"
+#include "reissue/stats/merge_sort_tree.hpp"
+
+namespace reissue::stats {
+
+class JointSamples {
+ public:
+  JointSamples() = default;
+
+  /// Builds from paired observations; throws std::invalid_argument if empty.
+  explicit JointSamples(std::vector<std::pair<double, double>> pairs);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Marginal ECDF of the primary response time X.
+  [[nodiscard]] const EmpiricalCdf& x_marginal() const noexcept { return x_; }
+
+  /// Marginal ECDF of the reissue response time Y.
+  [[nodiscard]] const EmpiricalCdf& y_marginal() const noexcept { return y_; }
+
+  /// Pr(Y <= v | X > t).  Returns `fallback` when no sample has x > t
+  /// (the conditioning event is empty).
+  [[nodiscard]] double conditional_y_cdf(double v, double x_above,
+                                         double fallback = 0.0) const;
+
+  /// Joint tail-and-head count used by the remediation-rate metric:
+  /// Pr(X > t AND Y <= v).
+  [[nodiscard]] double joint_prob(double x_above, double y_at_most) const;
+
+ private:
+  std::size_t n_ = 0;
+  EmpiricalCdf x_;
+  EmpiricalCdf y_;
+  MergeSortTree tree_;
+};
+
+}  // namespace reissue::stats

@@ -1,0 +1,19 @@
+// Kolmogorov-Smirnov distances, used by the test suite to verify that the
+// inverse-CDF samplers actually produce their claimed distributions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace reissue::stats {
+
+/// One-sample KS statistic: sup_x |ECDF(x) - F(x)| over the sample points.
+/// `samples` need not be sorted.
+[[nodiscard]] double ks_distance(std::vector<double> samples,
+                                 const std::function<double(double)>& cdf);
+
+/// Two-sample KS statistic between two sample sets.
+[[nodiscard]] double ks_distance_two_sample(std::vector<double> a,
+                                            std::vector<double> b);
+
+}  // namespace reissue::stats

@@ -1,0 +1,49 @@
+// Static merge-sort tree for 2-D orthogonal dominance counting.
+//
+// The correlation-aware policy optimizer (paper §4.2) needs the conditional
+// distribution Pr(Y <= v | X > t) over observed (x, y) response-time pairs,
+// i.e. counts of points with x in a suffix of the x-order and y <= v.  The
+// paper suggests a 2-D orthogonal range query structure [1, 22]; we use a
+// merge-sort tree: a segment tree over the x-sorted points where each node
+// stores its points' y-values in sorted order.  Queries cost O(log^2 n),
+// construction O(n log n) time / O(n log n) space.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace reissue::stats {
+
+class MergeSortTree {
+ public:
+  MergeSortTree() = default;
+
+  /// Builds the tree over `points`; the x-coordinates are sorted internally.
+  explicit MergeSortTree(std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] std::size_t size() const noexcept { return xs_.size(); }
+
+  /// Number of points with x > t (strict).
+  [[nodiscard]] std::size_t count_x_above(double t) const;
+
+  /// Number of points with x > t and y <= v.
+  [[nodiscard]] std::size_t count(double x_above, double y_at_most) const;
+
+  /// Number of points with x-rank in [lo, hi) and y <= v.  Exposed for
+  /// tests and for callers that already know the rank range.
+  [[nodiscard]] std::size_t count_rank_range(std::size_t lo, std::size_t hi,
+                                             double y_at_most) const;
+
+ private:
+  void build(std::size_t node, std::size_t lo, std::size_t hi,
+             const std::vector<double>& ys);
+  [[nodiscard]] std::size_t query(std::size_t node, std::size_t node_lo,
+                                  std::size_t node_hi, std::size_t lo,
+                                  std::size_t hi, double v) const;
+
+  std::vector<double> xs_;                 // sorted x values
+  std::vector<std::vector<double>> tree_;  // sorted y values per segment node
+};
+
+}  // namespace reissue::stats

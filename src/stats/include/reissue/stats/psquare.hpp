@@ -1,0 +1,42 @@
+// P-square (P²) streaming quantile estimator (Jain & Chlamtac, 1985).
+//
+// Used by the online/adaptive extensions to track tail percentiles of a
+// live response-time stream in O(1) space, without storing the log.  The
+// batch experiments use exact sorted percentiles; this sketch exists for
+// the long-running middleware path where logs would grow unbounded.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace reissue::stats {
+
+class PSquareQuantile {
+ public:
+  /// Tracks the p-quantile, p in (0, 1).
+  explicit PSquareQuantile(double p);
+
+  void add(double x);
+
+  /// Current estimate.  Before 5 observations arrive, returns the exact
+  /// sample quantile of what has been seen (or 0 when empty).
+  [[nodiscard]] double estimate() const;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double probability() const noexcept { return p_; }
+
+ private:
+  void insert_initial(double x);
+  void adjust();
+  [[nodiscard]] double parabolic(int i, double sign) const;
+  [[nodiscard]] double linear(int i, double sign) const;
+
+  double p_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights q_i
+  std::array<double, 5> positions_{}; // actual positions n_i
+  std::array<double, 5> desired_{};   // desired positions n'_i
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace reissue::stats

@@ -1,0 +1,41 @@
+// Streaming summary statistics (Welford) and batch percentile helpers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace reissue::stats {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm);
+/// numerically stable, mergeable for parallel reductions.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction step).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Nearest-rank percentile of an unsorted sample (copies + sorts).
+/// p in [0, 100].  Throws on empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Nearest-rank percentile of an already-sorted (ascending) sample.
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double p);
+
+}  // namespace reissue::stats

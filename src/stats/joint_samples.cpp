@@ -1,0 +1,39 @@
+#include "reissue/stats/joint_samples.hpp"
+
+#include <stdexcept>
+
+namespace reissue::stats {
+
+JointSamples::JointSamples(std::vector<std::pair<double, double>> pairs)
+    : n_(pairs.size()) {
+  if (pairs.empty()) {
+    throw std::invalid_argument("JointSamples requires at least one pair");
+  }
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(n_);
+  ys.reserve(n_);
+  for (const auto& [x, y] : pairs) {
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  x_ = EmpiricalCdf(std::move(xs));
+  y_ = EmpiricalCdf(std::move(ys));
+  tree_ = MergeSortTree(std::move(pairs));
+}
+
+double JointSamples::conditional_y_cdf(double v, double x_above,
+                                       double fallback) const {
+  const std::size_t denom = tree_.count_x_above(x_above);
+  if (denom == 0) return fallback;
+  const std::size_t num = tree_.count(x_above, v);
+  return static_cast<double>(num) / static_cast<double>(denom);
+}
+
+double JointSamples::joint_prob(double x_above, double y_at_most) const {
+  if (n_ == 0) return 0.0;
+  return static_cast<double>(tree_.count(x_above, y_at_most)) /
+         static_cast<double>(n_);
+}
+
+}  // namespace reissue::stats

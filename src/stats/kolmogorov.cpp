@@ -1,0 +1,47 @@
+#include "reissue/stats/kolmogorov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+double ks_distance(std::vector<double> samples,
+                   const std::function<double(double)>& cdf) {
+  if (samples.empty()) throw std::invalid_argument("ks_distance: empty sample");
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+double ks_distance_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_distance_two_sample: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    // Advance past the full tie group in both samples before comparing,
+    // so identical samples measure distance 0.
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == x) ++i;
+    while (j < b.size() && b[j] == x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace reissue::stats

@@ -1,0 +1,70 @@
+#include "reissue/stats/merge_sort_tree.hpp"
+
+#include <algorithm>
+
+namespace reissue::stats {
+
+MergeSortTree::MergeSortTree(std::vector<std::pair<double, double>> points) {
+  std::sort(points.begin(), points.end());
+  const std::size_t n = points.size();
+  xs_.resize(n);
+  std::vector<double> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs_[i] = points[i].first;
+    ys[i] = points[i].second;
+  }
+  if (n > 0) {
+    tree_.assign(4 * n, {});
+    build(1, 0, n, ys);
+  }
+}
+
+void MergeSortTree::build(std::size_t node, std::size_t lo, std::size_t hi,
+                          const std::vector<double>& ys) {
+  if (hi - lo == 1) {
+    tree_[node] = {ys[lo]};
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  build(2 * node, lo, mid, ys);
+  build(2 * node + 1, mid, hi, ys);
+  auto& merged = tree_[node];
+  merged.resize(hi - lo);
+  std::merge(tree_[2 * node].begin(), tree_[2 * node].end(),
+             tree_[2 * node + 1].begin(), tree_[2 * node + 1].end(),
+             merged.begin());
+}
+
+std::size_t MergeSortTree::count_x_above(double t) const {
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), t);
+  return static_cast<std::size_t>(xs_.end() - it);
+}
+
+std::size_t MergeSortTree::count(double x_above, double y_at_most) const {
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x_above);
+  const auto lo = static_cast<std::size_t>(it - xs_.begin());
+  return count_rank_range(lo, xs_.size(), y_at_most);
+}
+
+std::size_t MergeSortTree::count_rank_range(std::size_t lo, std::size_t hi,
+                                            double y_at_most) const {
+  if (lo >= hi || xs_.empty()) return 0;
+  hi = std::min(hi, xs_.size());
+  return query(1, 0, xs_.size(), lo, hi, y_at_most);
+}
+
+std::size_t MergeSortTree::query(std::size_t node, std::size_t node_lo,
+                                 std::size_t node_hi, std::size_t lo,
+                                 std::size_t hi, double v) const {
+  if (hi <= node_lo || node_hi <= lo) return 0;
+  if (lo <= node_lo && node_hi <= hi) {
+    const auto& ys = tree_[node];
+    return static_cast<std::size_t>(
+        std::upper_bound(ys.begin(), ys.end(), v) - ys.begin());
+  }
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  return query(2 * node, node_lo, mid, lo, hi, v) +
+         query(2 * node + 1, mid, node_hi, lo, hi, v);
+}
+
+}  // namespace reissue::stats

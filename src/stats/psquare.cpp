@@ -1,0 +1,96 @@
+#include "reissue/stats/psquare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+PSquareQuantile::PSquareQuantile(double p) : p_(p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("PSquareQuantile p must be in (0,1)");
+  }
+  desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+  increments_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+void PSquareQuantile::add(double x) {
+  if (count_ < 5) {
+    insert_initial(x);
+    return;
+  }
+  // Locate cell k such that heights_[k] <= x < heights_[k+1].
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  adjust();
+  ++count_;
+}
+
+void PSquareQuantile::insert_initial(double x) {
+  heights_[count_] = x;
+  ++count_;
+  if (count_ == 5) {
+    std::sort(heights_.begin(), heights_.end());
+    for (int i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+    desired_ = {1.0, 1.0 + 2.0 * p_, 1.0 + 4.0 * p_, 3.0 + 2.0 * p_, 5.0};
+  }
+}
+
+void PSquareQuantile::adjust() {
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool move_up = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_down = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!move_up && !move_down) continue;
+    const double sign = move_up ? 1.0 : -1.0;
+    double candidate = parabolic(i, sign);
+    if (!(heights_[i - 1] < candidate && candidate < heights_[i + 1])) {
+      candidate = linear(i, sign);
+    }
+    heights_[i] = candidate;
+    positions_[i] += sign;
+  }
+}
+
+double PSquareQuantile::parabolic(int i, double sign) const {
+  const double np = positions_[i + 1];
+  const double nm = positions_[i - 1];
+  const double n = positions_[i];
+  const double qp = heights_[i + 1];
+  const double qm = heights_[i - 1];
+  const double q = heights_[i];
+  return q + sign / (np - nm) *
+                 ((n - nm + sign) * (qp - q) / (np - n) +
+                  (np - n - sign) * (q - qm) / (n - nm));
+}
+
+double PSquareQuantile::linear(int i, double sign) const {
+  const int j = i + static_cast<int>(sign);
+  return heights_[i] + sign * (heights_[j] - heights_[i]) /
+                           (positions_[j] - positions_[i]);
+}
+
+double PSquareQuantile::estimate() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    std::array<double, 5> tmp = heights_;
+    std::sort(tmp.begin(), tmp.begin() + static_cast<long>(count_));
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p_ * static_cast<double>(count_)));
+    return tmp[std::min(std::max<std::size_t>(rank, 1), count_) - 1];
+  }
+  return heights_[2];
+}
+
+}  // namespace reissue::stats

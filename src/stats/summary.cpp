@@ -1,0 +1,61 @@
+#include "reissue/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile p must be in [0,100]");
+  }
+  if (p == 0.0) return sorted.front();
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+}  // namespace reissue::stats

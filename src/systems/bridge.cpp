@@ -1,0 +1,104 @@
+#include "reissue/systems/bridge.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace reissue::systems {
+
+ServiceTrace calibrate_trace(const std::vector<std::uint64_t>& ops,
+                             double target_mean_ms) {
+  if (ops.empty()) throw std::invalid_argument("calibrate_trace: empty ops");
+  if (!(target_mean_ms > 0.0)) {
+    throw std::invalid_argument("calibrate_trace: target mean must be > 0");
+  }
+  double mean_ops = 0.0;
+  for (std::uint64_t o : ops) mean_ops += static_cast<double>(o);
+  mean_ops /= static_cast<double>(ops.size());
+  if (!(mean_ops > 0.0)) {
+    throw std::invalid_argument("calibrate_trace: all-zero ops");
+  }
+
+  ServiceTrace trace;
+  trace.ms_per_op = target_mean_ms / mean_ops;
+  trace.service_ms.reserve(ops.size());
+  for (std::uint64_t o : ops) {
+    trace.service_ms.push_back(static_cast<double>(o) * trace.ms_per_op);
+  }
+  trace.mean_ms = target_mean_ms;
+  double ss = 0.0;
+  for (double v : trace.service_ms) {
+    ss += (v - target_mean_ms) * (v - target_mean_ms);
+  }
+  trace.stddev_ms =
+      std::sqrt(ss / static_cast<double>(trace.service_ms.size()));
+  return trace;
+}
+
+namespace {
+
+sim::Cluster build_cluster(ServiceTrace& trace,
+                           const SystemHarnessOptions& options,
+                           sim::QueueDisciplineKind queue) {
+  sim::ClusterConfig config;
+  config.servers = options.servers;
+  config.queries = options.queries;
+  config.warmup = options.warmup;
+  config.connections = options.connections;
+  config.queue = queue;
+  config.load_balancer = sim::LoadBalancerKind::kRandom;
+  config.seed = options.seed;
+  config.arrival_rate = sim::arrival_rate_for_utilization(
+      options.utilization, options.servers, trace.mean_ms);
+  return sim::Cluster(config, sim::make_trace_service(trace.service_ms));
+}
+
+}  // namespace
+
+SystemHarness make_redis_harness(const SystemHarnessOptions& options,
+                                 const RedisDatasetParams& dataset_params) {
+  const RedisDataset dataset = make_redis_dataset(dataset_params);
+  const auto queries = make_intersect_trace(
+      dataset.keys.size(), options.queries, dataset_params.seed ^ 0x7ace);
+  const auto ops = execute_intersect_trace(dataset, queries);
+  ServiceTrace trace = calibrate_trace(ops, kRedisMeanServiceMs);
+  // §6.2: Redis services "requests in a round-robin fashion from each
+  // active client connection in a batch" -- exhaustive per-connection
+  // batches, which is what lets one giant intersection stall every
+  // connection for multiple rounds.
+  sim::Cluster cluster = build_cluster(
+      trace, options, sim::QueueDisciplineKind::kConnectionBatch);
+  return SystemHarness{std::move(trace), std::move(cluster)};
+}
+
+SystemHarness make_lucene_harness(const SystemHarnessOptions& options,
+                                  const LuceneHarnessParams& params) {
+  const Corpus corpus = make_corpus(params.corpus);
+  const InvertedIndex index(corpus);
+  const Searcher searcher(index);
+  const auto pool = make_query_pool(corpus.vocabulary, params.workload);
+  const auto trace_idx = make_query_trace(pool.size(), options.queries,
+                                          params.workload.seed ^ 0x7ace);
+  const auto ops = execute_search_trace(searcher, pool, trace_idx);
+  ServiceTrace trace = calibrate_trace(ops, kLuceneMeanServiceMs);
+  // The paper measures CPU utilization with sysstat, which counts
+  // background work too: the requested utilization is the TOTAL, so the
+  // query arrival rate targets (utilization - interference share).
+  SystemHarnessOptions query_options = options;
+  query_options.utilization = std::max(
+      options.utilization - params.interference_utilization, 0.05);
+  sim::Cluster cluster =
+      build_cluster(trace, query_options, sim::QueueDisciplineKind::kFifo);
+  if (params.interference_utilization > 0.0) {
+    auto& config = cluster.mutable_config();
+    config.interference_rate =
+        params.interference_utilization / params.interference_mean_ms;
+    const double sigma = params.interference_log_sigma;
+    // LogNormal(mu, sigma) with mean interference_mean_ms.
+    config.interference_duration = stats::make_lognormal(
+        std::log(params.interference_mean_ms) - 0.5 * sigma * sigma, sigma);
+  }
+  return SystemHarness{std::move(trace), std::move(cluster)};
+}
+
+}  // namespace reissue::systems

@@ -1,0 +1,72 @@
+#include "reissue/systems/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::systems {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n > 0");
+  if (!(s > 0.0)) throw std::invalid_argument("ZipfSampler: s > 0");
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cumulative_[r] = total;
+  }
+  for (auto& c : cumulative_) c /= total;
+}
+
+std::uint32_t ZipfSampler::sample(stats::Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::uint32_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+double ZipfSampler::pmf(std::uint32_t rank) const {
+  if (rank >= cumulative_.size()) return 0.0;
+  if (rank == 0) return cumulative_[0];
+  return cumulative_[rank] - cumulative_[rank - 1];
+}
+
+Corpus make_corpus(const CorpusParams& params) {
+  if (params.documents == 0) {
+    throw std::invalid_argument("make_corpus: documents > 0");
+  }
+  if (params.vocabulary == 0) {
+    throw std::invalid_argument("make_corpus: vocabulary > 0");
+  }
+  if (params.max_length < params.min_length) {
+    throw std::invalid_argument("make_corpus: max_length < min_length");
+  }
+
+  stats::Xoshiro256 root(params.seed);
+  stats::Xoshiro256 length_rng = root.split(stats::stream_label("length"));
+  stats::Xoshiro256 term_rng = root.split(stats::stream_label("terms"));
+  const stats::LogNormal length_dist(params.length_log_mu,
+                                     params.length_log_sigma);
+  const ZipfSampler zipf(params.vocabulary, params.zipf_s);
+
+  Corpus corpus;
+  corpus.vocabulary = params.vocabulary;
+  corpus.documents.resize(params.documents);
+  for (auto& doc : corpus.documents) {
+    const double raw = length_dist.sample(length_rng);
+    const auto length = static_cast<std::size_t>(std::clamp(
+        raw, static_cast<double>(params.min_length),
+        static_cast<double>(params.max_length)));
+    doc.reserve(length);
+    for (std::size_t t = 0; t < length; ++t) {
+      doc.push_back(zipf.sample(term_rng));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace reissue::systems

@@ -1,0 +1,56 @@
+// Inverted index over a Corpus: per-term postings (doc id, term frequency)
+// in ascending doc order, document lengths, and collection statistics for
+// BM25 scoring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reissue/systems/corpus.hpp"
+
+namespace reissue::systems {
+
+struct Posting {
+  std::uint32_t doc = 0;
+  std::uint32_t tf = 0;
+};
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds postings from the corpus in O(total tokens).
+  explicit InvertedIndex(const Corpus& corpus);
+
+  [[nodiscard]] std::size_t documents() const noexcept {
+    return doc_lengths_.size();
+  }
+  [[nodiscard]] std::uint32_t vocabulary() const noexcept {
+    return static_cast<std::uint32_t>(postings_.size());
+  }
+
+  /// Postings of a term (empty span for unseen/out-of-range terms).
+  [[nodiscard]] std::span<const Posting> postings(std::uint32_t term) const;
+
+  /// Document frequency: number of documents containing the term.
+  [[nodiscard]] std::size_t doc_frequency(std::uint32_t term) const;
+
+  [[nodiscard]] std::uint32_t doc_length(std::uint32_t doc) const;
+  [[nodiscard]] double average_doc_length() const noexcept {
+    return avg_doc_length_;
+  }
+
+  /// Total postings stored (index size proxy).
+  [[nodiscard]] std::size_t total_postings() const noexcept {
+    return total_postings_;
+  }
+
+ private:
+  std::vector<std::vector<Posting>> postings_;
+  std::vector<std::uint32_t> doc_lengths_;
+  double avg_doc_length_ = 0.0;
+  std::size_t total_postings_ = 0;
+};
+
+}  // namespace reissue::systems

@@ -1,0 +1,62 @@
+// In-memory key-value store with sorted-set values and a set-intersection
+// stored procedure -- the Redis-like substrate for the paper's §6.2
+// workload ("set-intersection queries performed over a synthetic
+// collection of 1000 sets").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "reissue/systems/set_ops.hpp"
+
+namespace reissue::systems {
+
+/// An immutable sorted set of uint32 members.
+class SortedSet {
+ public:
+  SortedSet() = default;
+
+  /// Sorts and dedupes `members`.
+  explicit SortedSet(std::vector<std::uint32_t> members);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return members_.empty(); }
+  [[nodiscard]] bool contains(std::uint32_t value) const;
+  [[nodiscard]] std::span<const std::uint32_t> values() const noexcept {
+    return members_;
+  }
+
+ private:
+  std::vector<std::uint32_t> members_;
+};
+
+/// String-keyed store of SortedSets with counted intersection commands.
+class KvStore {
+ public:
+  /// Inserts or replaces a set.  Returns the previous cardinality if the
+  /// key existed.
+  std::optional<std::size_t> put(std::string key, SortedSet set);
+
+  [[nodiscard]] const SortedSet* get(const std::string& key) const;
+  [[nodiscard]] bool erase(const std::string& key);
+  [[nodiscard]] std::size_t size() const noexcept { return sets_.size(); }
+
+  /// SINTERCARD-style command: cardinality of the intersection plus the
+  /// operation count (service-cost proxy).  Throws std::out_of_range if a
+  /// key is missing.
+  [[nodiscard]] IntersectResult intersect_count(const std::string& a,
+                                                const std::string& b) const;
+
+  /// SINTER-style command: materialized intersection.
+  [[nodiscard]] std::vector<std::uint32_t> intersect(const std::string& a,
+                                                     const std::string& b) const;
+
+ private:
+  std::unordered_map<std::string, SortedSet> sets_;
+};
+
+}  // namespace reissue::systems

@@ -1,0 +1,62 @@
+// Synthetic dataset and query trace for the Redis set-intersection
+// workload (paper §6.2):
+//
+//   * 1000 sets, each a random subset of integers in [1, 10^6];
+//   * set cardinalities drawn from a lognormal distribution, so a small
+//     number of sets are orders of magnitude larger than the median;
+//   * the query trace is 40 000 intersections between uniformly random
+//     pairs of sets.
+//
+// The intersect_probe kernel's cost is ~ min(|A|,|B|) * log(max), so only
+// pairs of two abnormally large sets are expensive -- the paper's rare
+// "queries of death" arise from the data shape, not from injected delays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+#include "reissue/systems/kvstore.hpp"
+
+namespace reissue::systems {
+
+struct RedisDatasetParams {
+  std::size_t sets = 1000;
+  /// Universe of member values: [1, universe].
+  std::uint32_t universe = 1000000;
+  /// Lognormal cardinality parameters (log-space mean / stddev).  The
+  /// defaults give a median of ~660 members with ~2% of sets above ~37k,
+  /// reproducing the paper's skew: >98% of queries fast, a handful of
+  /// giant-pair intersections ~60x the mean cost.
+  double log_mu = 6.5;
+  double log_sigma = 2.0;
+  std::size_t min_cardinality = 8;
+  std::size_t max_cardinality = 400000;
+  std::uint64_t seed = 0xbead;
+};
+
+struct RedisDataset {
+  KvStore store;
+  std::vector<std::string> keys;
+  std::vector<std::size_t> cardinalities;
+};
+
+/// Deterministically builds the dataset.
+[[nodiscard]] RedisDataset make_redis_dataset(const RedisDatasetParams& params = {});
+
+struct IntersectQuery {
+  std::uint32_t lhs = 0;  // index into RedisDataset::keys
+  std::uint32_t rhs = 0;
+};
+
+/// `count` uniformly random (ordered) pairs of distinct set indices.
+[[nodiscard]] std::vector<IntersectQuery> make_intersect_trace(
+    std::size_t sets, std::size_t count, std::uint64_t seed = 0xcafe);
+
+/// Executes every query in the trace against the store and returns the
+/// per-query operation counts (deterministic service-cost proxy).
+[[nodiscard]] std::vector<std::uint64_t> execute_intersect_trace(
+    const RedisDataset& dataset, const std::vector<IntersectQuery>& trace);
+
+}  // namespace reissue::systems

@@ -1,0 +1,55 @@
+// Query workload for the Lucene-like substrate (paper §6.3): a fixed pool
+// of distinct queries (the paper replays 10 000 nightly-regression
+// queries) drawn at random per request.  Query terms follow a flattened
+// Zipf over the vocabulary -- query logs are Zipfian but less skewed than
+// document text -- with 1-4 terms per query.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+#include "reissue/systems/searcher.hpp"
+
+namespace reissue::systems {
+
+struct SearchWorkloadParams {
+  std::size_t distinct_queries = 10000;
+  std::size_t min_terms = 1;
+  std::size_t max_terms = 4;
+  /// Zipf exponent for query-term popularity.
+  double query_zipf_s = 1.0;
+  /// Ordinary query terms come from ranks [min_rank, vocabulary): real
+  /// query logs do not query stopwords, and search engines special-case
+  /// them.  This keeps the bulk of the service-time distribution light
+  /// (paper §6.3: ~90% of requests between 1 and 70 ms).
+  std::uint32_t min_rank = 300;
+  /// A small fraction of queries additionally contain one popular term
+  /// from ranks [hot_min_rank, min_rank): these are the paper's rare slow
+  /// searches (service times up to ~230 ms in Fig. 9) whose queueing
+  /// backlogs create the latency tail that reissue policies remediate.
+  double hot_query_fraction = 0.012;
+  std::uint32_t hot_min_rank = 100;
+  std::uint64_t seed = 0x9e4c;
+};
+
+struct SearchQuery {
+  std::vector<std::uint32_t> terms;
+};
+
+/// The fixed distinct-query pool.
+[[nodiscard]] std::vector<SearchQuery> make_query_pool(
+    std::uint32_t vocabulary, const SearchWorkloadParams& params = {});
+
+/// A request trace: `count` indices into the pool, uniformly random.
+[[nodiscard]] std::vector<std::uint32_t> make_query_trace(
+    std::size_t pool_size, std::size_t count, std::uint64_t seed = 0x7ace);
+
+/// Executes one search per trace entry and returns per-request operation
+/// counts (service-cost proxy).  Results are memoized per distinct query,
+/// so the cost is O(pool) searches, not O(trace).
+[[nodiscard]] std::vector<std::uint64_t> execute_search_trace(
+    const Searcher& searcher, const std::vector<SearchQuery>& pool,
+    const std::vector<std::uint32_t>& trace, std::size_t top_k = 10);
+
+}  // namespace reissue::systems

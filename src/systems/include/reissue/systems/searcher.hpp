@@ -1,0 +1,48 @@
+// BM25 disjunctive top-k search over an InvertedIndex, with deterministic
+// operation counting (postings scanned + heap operations) used as the
+// service-cost proxy for the Lucene-like substrate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reissue/systems/inverted_index.hpp"
+
+namespace reissue::systems {
+
+struct SearchHit {
+  std::uint32_t doc = 0;
+  double score = 0.0;
+};
+
+struct SearchResult {
+  std::vector<SearchHit> hits;  // descending score
+  /// Operations performed: postings traversed + score/heap updates.
+  std::uint64_t ops = 0;
+};
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+class Searcher {
+ public:
+  explicit Searcher(const InvertedIndex& index, Bm25Params params = {});
+
+  /// Scores the disjunction of `terms` document-at-a-time over the merged
+  /// postings and returns the top-k hits by BM25.
+  [[nodiscard]] SearchResult search(std::span<const std::uint32_t> terms,
+                                    std::size_t top_k = 10) const;
+
+  [[nodiscard]] const InvertedIndex& index() const noexcept { return *index_; }
+
+ private:
+  [[nodiscard]] double idf(std::uint32_t term) const;
+
+  const InvertedIndex* index_;
+  Bm25Params params_;
+};
+
+}  // namespace reissue::systems

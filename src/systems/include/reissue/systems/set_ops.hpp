@@ -1,0 +1,49 @@
+// Set-intersection kernels over sorted integer sets, with deterministic
+// operation counting.
+//
+// The Redis-like substrate executes real intersections and charges service
+// time proportionally to the *operations actually performed*, so the
+// measured service-time distribution inherits its shape from the data
+// (lognormal cardinalities -> rare giant-pair "queries of death") rather
+// than from a fitted curve.  Counting operations instead of wall time
+// keeps traces bit-identical across machines.
+//
+// Kernels:
+//   intersect_probe  — iterate the smaller set, binary-search the larger
+//                      (the Redis SINTER strategy: smallest set drives,
+//                      membership probes into the rest); ops = comparisons.
+//   intersect_merge  — linear two-pointer merge; ops = pointer advances.
+//   intersect_gallop — exponential (galloping) search; asymptotically best
+//                      for very skewed size ratios.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace reissue::systems {
+
+struct IntersectResult {
+  /// Number of common elements.
+  std::uint64_t count = 0;
+  /// Comparisons / probes performed (the service-cost proxy).
+  std::uint64_t ops = 0;
+};
+
+/// Preconditions for all kernels: both inputs sorted ascending, no
+/// duplicates.  Violations give undefined counts (checked in debug tests,
+/// not at runtime -- these are hot paths).
+[[nodiscard]] IntersectResult intersect_probe(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b);
+
+[[nodiscard]] IntersectResult intersect_merge(std::span<const std::uint32_t> a,
+                                              std::span<const std::uint32_t> b);
+
+[[nodiscard]] IntersectResult intersect_gallop(std::span<const std::uint32_t> a,
+                                               std::span<const std::uint32_t> b);
+
+/// Materializing variant of intersect_probe used by the store API.
+[[nodiscard]] std::vector<std::uint32_t> intersect_values(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b);
+
+}  // namespace reissue::systems

@@ -1,0 +1,54 @@
+#include "reissue/systems/inverted_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace reissue::systems {
+
+InvertedIndex::InvertedIndex(const Corpus& corpus) {
+  postings_.resize(corpus.vocabulary);
+  doc_lengths_.resize(corpus.size());
+
+  double total_length = 0.0;
+  std::unordered_map<std::uint32_t, std::uint32_t> tf;
+  for (std::uint32_t doc = 0; doc < corpus.size(); ++doc) {
+    const auto& terms = corpus.documents[doc];
+    doc_lengths_[doc] = static_cast<std::uint32_t>(terms.size());
+    total_length += static_cast<double>(terms.size());
+    tf.clear();
+    for (std::uint32_t term : terms) {
+      if (term >= corpus.vocabulary) {
+        throw std::invalid_argument("InvertedIndex: term out of vocabulary");
+      }
+      ++tf[term];
+    }
+    for (const auto& [term, count] : tf) {
+      postings_[term].push_back(Posting{doc, count});
+      ++total_postings_;
+    }
+  }
+  // Docs were visited in ascending order, so each postings list is already
+  // sorted by doc id; shrink to fit to keep the index compact.
+  for (auto& list : postings_) list.shrink_to_fit();
+  avg_doc_length_ =
+      corpus.size() == 0 ? 0.0 : total_length / static_cast<double>(corpus.size());
+}
+
+std::span<const Posting> InvertedIndex::postings(std::uint32_t term) const {
+  if (term >= postings_.size()) return {};
+  return postings_[term];
+}
+
+std::size_t InvertedIndex::doc_frequency(std::uint32_t term) const {
+  return postings(term).size();
+}
+
+std::uint32_t InvertedIndex::doc_length(std::uint32_t doc) const {
+  if (doc >= doc_lengths_.size()) {
+    throw std::out_of_range("InvertedIndex: doc id out of range");
+  }
+  return doc_lengths_[doc];
+}
+
+}  // namespace reissue::systems

@@ -1,0 +1,55 @@
+#include "reissue/systems/kvstore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace reissue::systems {
+
+SortedSet::SortedSet(std::vector<std::uint32_t> members)
+    : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+bool SortedSet::contains(std::uint32_t value) const {
+  return std::binary_search(members_.begin(), members_.end(), value);
+}
+
+std::optional<std::size_t> KvStore::put(std::string key, SortedSet set) {
+  auto it = sets_.find(key);
+  if (it != sets_.end()) {
+    const std::size_t previous = it->second.size();
+    it->second = std::move(set);
+    return previous;
+  }
+  sets_.emplace(std::move(key), std::move(set));
+  return std::nullopt;
+}
+
+const SortedSet* KvStore::get(const std::string& key) const {
+  const auto it = sets_.find(key);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+bool KvStore::erase(const std::string& key) { return sets_.erase(key) > 0; }
+
+IntersectResult KvStore::intersect_count(const std::string& a,
+                                         const std::string& b) const {
+  const SortedSet* sa = get(a);
+  const SortedSet* sb = get(b);
+  if (sa == nullptr) throw std::out_of_range("KvStore: missing key " + a);
+  if (sb == nullptr) throw std::out_of_range("KvStore: missing key " + b);
+  return intersect_probe(sa->values(), sb->values());
+}
+
+std::vector<std::uint32_t> KvStore::intersect(const std::string& a,
+                                              const std::string& b) const {
+  const SortedSet* sa = get(a);
+  const SortedSet* sb = get(b);
+  if (sa == nullptr) throw std::out_of_range("KvStore: missing key " + a);
+  if (sb == nullptr) throw std::out_of_range("KvStore: missing key " + b);
+  return intersect_values(sa->values(), sb->values());
+}
+
+}  // namespace reissue::systems

@@ -1,0 +1,105 @@
+#include "reissue/systems/redis_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::systems {
+
+namespace {
+
+/// Samples `k` distinct uint32 values in [1, universe] (Floyd's algorithm:
+/// O(k) expected, no O(universe) allocation).
+std::vector<std::uint32_t> sample_distinct(std::uint32_t universe,
+                                           std::size_t k,
+                                           stats::Xoshiro256& rng) {
+  if (k > universe) {
+    throw std::invalid_argument("sample_distinct: k exceeds universe");
+  }
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = universe - static_cast<std::uint32_t>(k) + 1;
+       j <= universe; ++j) {
+    const auto t = static_cast<std::uint32_t>(rng.below(j)) + 1;
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RedisDataset make_redis_dataset(const RedisDatasetParams& params) {
+  if (params.sets == 0) {
+    throw std::invalid_argument("make_redis_dataset: sets > 0");
+  }
+  if (params.max_cardinality < params.min_cardinality) {
+    throw std::invalid_argument("make_redis_dataset: max < min cardinality");
+  }
+  if (params.max_cardinality > params.universe) {
+    throw std::invalid_argument("make_redis_dataset: max cardinality > universe");
+  }
+
+  stats::Xoshiro256 root(params.seed);
+  stats::Xoshiro256 size_rng = root.split(stats::stream_label("cardinality"));
+  stats::Xoshiro256 member_rng = root.split(stats::stream_label("members"));
+  const stats::LogNormal cardinality_dist(params.log_mu, params.log_sigma);
+
+  RedisDataset dataset;
+  dataset.keys.reserve(params.sets);
+  dataset.cardinalities.reserve(params.sets);
+  for (std::size_t i = 0; i < params.sets; ++i) {
+    const double raw = cardinality_dist.sample(size_rng);
+    const auto k = static_cast<std::size_t>(std::clamp(
+        raw, static_cast<double>(params.min_cardinality),
+        static_cast<double>(params.max_cardinality)));
+    std::string key = "set:" + std::to_string(i);
+    dataset.store.put(key, SortedSet(sample_distinct(params.universe, k,
+                                                     member_rng)));
+    dataset.cardinalities.push_back(k);
+    dataset.keys.push_back(std::move(key));
+  }
+  return dataset;
+}
+
+std::vector<IntersectQuery> make_intersect_trace(std::size_t sets,
+                                                 std::size_t count,
+                                                 std::uint64_t seed) {
+  if (sets < 2) {
+    throw std::invalid_argument("make_intersect_trace: need >= 2 sets");
+  }
+  stats::Xoshiro256 rng(seed);
+  std::vector<IntersectQuery> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto lhs = static_cast<std::uint32_t>(rng.below(sets));
+    auto rhs = static_cast<std::uint32_t>(rng.below(sets - 1));
+    if (rhs >= lhs) ++rhs;
+    trace.push_back(IntersectQuery{lhs, rhs});
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> execute_intersect_trace(
+    const RedisDataset& dataset, const std::vector<IntersectQuery>& trace) {
+  std::vector<std::uint64_t> ops;
+  ops.reserve(trace.size());
+  for (const auto& query : trace) {
+    const auto result = dataset.store.intersect_count(
+        dataset.keys.at(query.lhs), dataset.keys.at(query.rhs));
+    // Charge a small fixed parse/dispatch cost plus the probe work.
+    ops.push_back(64 + result.ops);
+  }
+  return ops;
+}
+
+}  // namespace reissue::systems

@@ -1,0 +1,85 @@
+#include "reissue/systems/search_workload.hpp"
+
+#include <stdexcept>
+
+#include "reissue/systems/corpus.hpp"
+
+namespace reissue::systems {
+
+std::vector<SearchQuery> make_query_pool(std::uint32_t vocabulary,
+                                         const SearchWorkloadParams& params) {
+  if (params.distinct_queries == 0) {
+    throw std::invalid_argument("make_query_pool: distinct_queries > 0");
+  }
+  if (params.min_terms == 0 || params.max_terms < params.min_terms) {
+    throw std::invalid_argument("make_query_pool: bad term-count range");
+  }
+  if (params.min_rank >= vocabulary) {
+    throw std::invalid_argument("make_query_pool: min_rank >= vocabulary");
+  }
+  if (params.hot_min_rank >= params.min_rank) {
+    throw std::invalid_argument("make_query_pool: hot_min_rank >= min_rank");
+  }
+  if (!(params.hot_query_fraction >= 0.0 && params.hot_query_fraction <= 1.0)) {
+    throw std::invalid_argument("make_query_pool: hot_query_fraction in [0,1]");
+  }
+  stats::Xoshiro256 rng(params.seed);
+  const ZipfSampler zipf(vocabulary - params.min_rank, params.query_zipf_s);
+  const ZipfSampler hot_zipf(params.min_rank - params.hot_min_rank,
+                             params.query_zipf_s);
+
+  std::vector<SearchQuery> pool;
+  pool.reserve(params.distinct_queries);
+  const std::size_t spread = params.max_terms - params.min_terms + 1;
+  for (std::size_t i = 0; i < params.distinct_queries; ++i) {
+    SearchQuery query;
+    const std::size_t terms = params.min_terms + rng.below(spread);
+    query.terms.reserve(terms + 1);
+    for (std::size_t t = 0; t < terms; ++t) {
+      query.terms.push_back(params.min_rank + zipf.sample(rng));
+    }
+    if (rng.bernoulli(params.hot_query_fraction)) {
+      query.terms.push_back(params.hot_min_rank + hot_zipf.sample(rng));
+    }
+    pool.push_back(std::move(query));
+  }
+  return pool;
+}
+
+std::vector<std::uint32_t> make_query_trace(std::size_t pool_size,
+                                            std::size_t count,
+                                            std::uint64_t seed) {
+  if (pool_size == 0) {
+    throw std::invalid_argument("make_query_trace: pool_size > 0");
+  }
+  stats::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.push_back(static_cast<std::uint32_t>(rng.below(pool_size)));
+  }
+  return trace;
+}
+
+std::vector<std::uint64_t> execute_search_trace(
+    const Searcher& searcher, const std::vector<SearchQuery>& pool,
+    const std::vector<std::uint32_t>& trace, std::size_t top_k) {
+  // Memoize per distinct query; identical requests cost identical work.
+  std::vector<std::int64_t> memo(pool.size(), -1);
+  std::vector<std::uint64_t> ops;
+  ops.reserve(trace.size());
+  for (std::uint32_t idx : trace) {
+    if (idx >= pool.size()) {
+      throw std::out_of_range("execute_search_trace: trace index");
+    }
+    if (memo[idx] < 0) {
+      const SearchResult result = searcher.search(pool[idx].terms, top_k);
+      // Fixed parse/setup cost plus scoring work.
+      memo[idx] = static_cast<std::int64_t>(256 + result.ops);
+    }
+    ops.push_back(static_cast<std::uint64_t>(memo[idx]));
+  }
+  return ops;
+}
+
+}  // namespace reissue::systems

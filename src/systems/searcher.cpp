@@ -1,0 +1,98 @@
+#include "reissue/systems/searcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace reissue::systems {
+
+Searcher::Searcher(const InvertedIndex& index, Bm25Params params)
+    : index_(&index), params_(params) {
+  if (!(params.k1 > 0.0) || !(params.b >= 0.0 && params.b <= 1.0)) {
+    throw std::invalid_argument("Searcher: invalid BM25 parameters");
+  }
+}
+
+double Searcher::idf(std::uint32_t term) const {
+  const auto df = static_cast<double>(index_->doc_frequency(term));
+  const auto n = static_cast<double>(index_->documents());
+  // Lucene-style BM25 idf, always positive.
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+SearchResult Searcher::search(std::span<const std::uint32_t> terms,
+                              std::size_t top_k) const {
+  SearchResult result;
+  if (terms.empty() || top_k == 0) return result;
+
+  struct Cursor {
+    std::span<const Posting> list;
+    std::size_t pos = 0;
+    double idf = 0.0;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(terms.size());
+  for (std::uint32_t term : terms) {
+    auto list = index_->postings(term);
+    if (!list.empty()) {
+      cursors.push_back(Cursor{list, 0, idf(term)});
+    }
+  }
+  if (cursors.empty()) return result;
+
+  const double avg_len = std::max(index_->average_doc_length(), 1.0);
+
+  // Document-at-a-time merge: repeatedly score the smallest current doc id
+  // across cursors.  A min-heap over (doc, cursor) orders the frontier.
+  using Frontier = std::pair<std::uint32_t, std::size_t>;  // (doc, cursor)
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> frontier;
+  for (std::size_t c = 0; c < cursors.size(); ++c) {
+    frontier.emplace(cursors[c].list[0].doc, c);
+  }
+
+  // Min-heap of the current top-k by score.
+  std::priority_queue<std::pair<double, std::uint32_t>,
+                      std::vector<std::pair<double, std::uint32_t>>,
+                      std::greater<>>
+      best;
+
+  while (!frontier.empty()) {
+    const std::uint32_t doc = frontier.top().first;
+    double score = 0.0;
+    while (!frontier.empty() && frontier.top().first == doc) {
+      const std::size_t c = frontier.top().second;
+      frontier.pop();
+      Cursor& cursor = cursors[c];
+      const Posting& posting = cursor.list[cursor.pos];
+      const double tf = static_cast<double>(posting.tf);
+      const double len_norm =
+          params_.k1 * (1.0 - params_.b +
+                        params_.b * static_cast<double>(
+                                        index_->doc_length(doc)) /
+                            avg_len);
+      score += cursor.idf * tf * (params_.k1 + 1.0) / (tf + len_norm);
+      ++result.ops;  // one posting consumed
+      if (++cursor.pos < cursor.list.size()) {
+        frontier.emplace(cursor.list[cursor.pos].doc, c);
+      }
+    }
+    ++result.ops;  // per-document score finalization
+    if (best.size() < top_k) {
+      best.emplace(score, doc);
+    } else if (score > best.top().first) {
+      best.pop();
+      best.emplace(score, doc);
+    }
+  }
+
+  result.hits.reserve(best.size());
+  while (!best.empty()) {
+    result.hits.push_back(SearchHit{best.top().second, best.top().first});
+    best.pop();
+  }
+  std::reverse(result.hits.begin(), result.hits.end());
+  return result;
+}
+
+}  // namespace reissue::systems

@@ -1,0 +1,116 @@
+#include "reissue/systems/set_ops.hpp"
+
+#include <algorithm>
+
+namespace reissue::systems {
+
+namespace {
+
+/// Binary search for `key` in sorted `data`, counting comparisons into
+/// `ops`.  Returns true if found.
+bool counted_bsearch(std::span<const std::uint32_t> data, std::uint32_t key,
+                     std::uint64_t& ops) {
+  std::size_t lo = 0;
+  std::size_t hi = data.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++ops;
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else if (data[mid] > key) {
+      hi = mid;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Galloping (exponential) search: find the first index >= key starting
+/// from `hint`, counting comparisons.
+std::size_t counted_gallop(std::span<const std::uint32_t> data,
+                           std::size_t hint, std::uint32_t key,
+                           std::uint64_t& ops) {
+  std::size_t step = 1;
+  std::size_t lo = hint;
+  std::size_t hi = hint;
+  while (hi < data.size()) {
+    ++ops;
+    if (data[hi] >= key) break;
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, data.size());
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++ops;
+    if (data[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+IntersectResult intersect_probe(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  IntersectResult result;
+  for (std::uint32_t key : a) {
+    if (counted_bsearch(b, key, result.ops)) ++result.count;
+  }
+  return result;
+}
+
+IntersectResult intersect_merge(std::span<const std::uint32_t> a,
+                                std::span<const std::uint32_t> b) {
+  IntersectResult result;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    ++result.ops;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++result.count;
+      ++i;
+      ++j;
+    }
+  }
+  return result;
+}
+
+IntersectResult intersect_gallop(std::span<const std::uint32_t> a,
+                                 std::span<const std::uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  IntersectResult result;
+  std::size_t pos = 0;
+  for (std::uint32_t key : a) {
+    pos = counted_gallop(b, pos, key, result.ops);
+    if (pos >= b.size()) break;
+    if (b[pos] == key) {
+      ++result.count;
+      ++pos;
+    }
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> intersect_values(std::span<const std::uint32_t> a,
+                                            std::span<const std::uint32_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<std::uint32_t> out;
+  std::uint64_t ops = 0;
+  for (std::uint32_t key : a) {
+    if (counted_bsearch(b, key, ops)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace reissue::systems

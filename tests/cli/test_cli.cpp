@@ -1,0 +1,193 @@
+#include "reissue/cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::cli {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("reissue_cli_test_" + std::to_string(counter_++) + ".txt");
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::filesystem::remove(path_); }
+  [[nodiscard]] std::string path() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+std::string synthetic_log(std::size_t n, std::uint64_t seed) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  stats::Xoshiro256 rng(seed);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < n; ++i) os << dist->sample(rng) << "\n";
+  return os.str();
+}
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+// ----------------------------------------------------------- parse_args
+
+TEST(ParseArgs, CommandAndFlags) {
+  const auto parsed = parse_args({"optimize", "--log", "x.txt", "--budget",
+                                  "0.05", "--correlated"});
+  EXPECT_EQ(parsed.command, "optimize");
+  EXPECT_EQ(parsed.get("log"), "x.txt");
+  EXPECT_EQ(parsed.get("budget"), "0.05");
+  EXPECT_TRUE(parsed.has("correlated"));
+  EXPECT_EQ(parsed.get("correlated"), "");
+  EXPECT_FALSE(parsed.has("missing"));
+  EXPECT_EQ(parsed.get("missing", "dflt"), "dflt");
+}
+
+TEST(ParseArgs, LastFlagWins) {
+  const auto parsed = parse_args({"tune", "--budget", "0.1", "--budget", "0.2"});
+  EXPECT_EQ(parsed.get("budget"), "0.2");
+}
+
+TEST(ParseArgs, RejectsBareValue) {
+  EXPECT_THROW(parse_args({"optimize", "oops"}), std::runtime_error);
+  EXPECT_THROW(parse_args({"optimize", "--"}), std::runtime_error);
+}
+
+// ------------------------------------------------------------- commands
+
+TEST(Cli, HelpPrintsUsage) {
+  const auto result = run({"help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const auto result = run({});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto result = run({"bogus"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, OptimizeFromLog) {
+  TempFile log(synthetic_log(20000, 1));
+  const auto result = run({"optimize", "--log", log.path(), "--percentile",
+                           "0.95", "--budget", "0.05"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("SingleR d="), std::string::npos);
+  EXPECT_NE(result.out.find("predicted tail:"), std::string::npos);
+}
+
+TEST(Cli, OptimizeWithSeparateReissueLog) {
+  TempFile log(synthetic_log(5000, 2));
+  TempFile rlog(synthetic_log(5000, 3));
+  const auto result = run({"optimize", "--log", log.path(), "--reissue-log",
+                           rlog.path(), "--budget", "0.1"});
+  ASSERT_EQ(result.code, 0) << result.err;
+}
+
+TEST(Cli, OptimizeWithPairsUsesCorrelatedPath) {
+  // Perfectly correlated pairs: the conditional optimizer should find no
+  // achievable tail reduction and keep the predicted tail ~= baseline.
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  stats::Xoshiro256 rng(4);
+  std::ostringstream log_os;
+  std::ostringstream pairs_os;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = dist->sample(rng);
+    log_os << x << "\n";
+    pairs_os << x << " " << x << "\n";
+  }
+  TempFile log(log_os.str());
+  TempFile pairs(pairs_os.str());
+  const auto result = run({"optimize", "--log", log.path(), "--pairs",
+                           pairs.path(), "--percentile", "0.95", "--budget",
+                           "0.2"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("policy:"), std::string::npos);
+}
+
+TEST(Cli, OptimizeMissingLogFails) {
+  const auto result = run({"optimize", "--budget", "0.05"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--log"), std::string::npos);
+}
+
+TEST(Cli, OptimizeBadFileFails) {
+  const auto result = run({"optimize", "--log", "/nonexistent/xyz.log"});
+  EXPECT_EQ(result.code, 1);
+}
+
+TEST(Cli, OptimizeRejectsGarbageNumbers) {
+  TempFile log(synthetic_log(100, 5));
+  const auto result =
+      run({"optimize", "--log", log.path(), "--budget", "abc"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("not a number"), std::string::npos);
+}
+
+TEST(Cli, TuneOnBuiltInWorkload) {
+  const auto result =
+      run({"tune", "--workload", "queueing", "--utilization", "0.3",
+           "--percentile", "0.95", "--budget", "0.1", "--trials", "3",
+           "--queries", "8000"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("trial 0:"), std::string::npos);
+  EXPECT_NE(result.out.find("policy:"), std::string::npos);
+  EXPECT_NE(result.out.find("tail:"), std::string::npos);
+}
+
+TEST(Cli, TuneRejectsUnknownWorkload) {
+  const auto result = run({"tune", "--workload", "mystery"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--workload"), std::string::npos);
+}
+
+TEST(Cli, EvaluateFixedPolicy) {
+  const auto result =
+      run({"evaluate", "--workload", "independent", "--policy",
+           "SingleR d=20 q=0.5", "--percentile", "0.95", "--queries",
+           "8000"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("reissue rate:"), std::string::npos);
+}
+
+TEST(Cli, EvaluateRequiresPolicy) {
+  const auto result = run({"evaluate", "--workload", "independent"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--policy"), std::string::npos);
+}
+
+TEST(Cli, EvaluateRejectsMalformedPolicy) {
+  const auto result = run({"evaluate", "--workload", "independent",
+                           "--policy", "Bogus d=1 q=1", "--queries", "4000"});
+  EXPECT_EQ(result.code, 1);
+}
+
+}  // namespace
+}  // namespace reissue::cli

@@ -1,0 +1,121 @@
+// Test doubles for core::SystemUnderTest: analytic workloads with and
+// without load feedback, cheap enough for tight unit-test loops.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::core::testing {
+
+/// Static (load-independent) workload: each query draws X ~ dist_x; a
+/// reissue copy draws Y ~ r * x + dist_y.  Latency = min(X, d + Y).
+class StaticSystem final : public SystemUnderTest {
+ public:
+  StaticSystem(stats::DistributionPtr dist_x, stats::DistributionPtr dist_y,
+               double correlation = 0.0, std::size_t queries = 20000,
+               std::uint64_t seed = 0x7357)
+      : dist_x_(std::move(dist_x)),
+        dist_y_(std::move(dist_y)),
+        correlation_(correlation),
+        queries_(queries),
+        seed_(seed) {}
+
+  RunResult run(const ReissuePolicy& policy) override {
+    ++runs_;
+    stats::Xoshiro256 root(seed_);
+    stats::Xoshiro256 service = root.split(stats::stream_label("service"));
+    stats::Xoshiro256 coins = root.split(stats::stream_label("coin"));
+    RunResult result;
+    result.queries = queries_;
+    const auto stages = policy.stages();
+    for (std::size_t i = 0; i < queries_; ++i) {
+      const double x = dist_x_->sample(service);
+      double latency = x;
+      // Evaluate each stage in delay order; a stage only fires if the
+      // query is still outstanding at its delay.
+      for (const auto& stage : stages) {
+        if (latency <= stage.delay) break;
+        if (!coins.bernoulli(stage.probability)) continue;
+        const double y = correlation_ * x + dist_y_->sample(service);
+        ++result.reissues_issued;
+        result.reissue_latencies.push_back(y);
+        result.correlated_pairs.emplace_back(x, y);
+        result.reissue_delays.push_back(stage.delay);
+        latency = std::min(latency, stage.delay + y);
+      }
+      result.primary_latencies.push_back(x);
+      result.query_latencies.push_back(latency);
+    }
+    return result;
+  }
+
+  [[nodiscard]] int runs() const noexcept { return runs_; }
+
+ private:
+  stats::DistributionPtr dist_x_;
+  stats::DistributionPtr dist_y_;
+  double correlation_;
+  std::size_t queries_;
+  std::uint64_t seed_;
+  int runs_ = 0;
+};
+
+/// Load-feedback workload: response times inflate with the reissue rate of
+/// the *previous* run, emulating queueing sensitivity to added load
+/// (observation (a) of §4.3: spending budget late costs more load).
+class LoadFeedbackSystem final : public SystemUnderTest {
+ public:
+  LoadFeedbackSystem(stats::DistributionPtr dist, double sensitivity,
+                     std::size_t queries = 20000, std::uint64_t seed = 0x7357)
+      : dist_(std::move(dist)),
+        sensitivity_(sensitivity),
+        queries_(queries),
+        seed_(seed) {}
+
+  RunResult run(const ReissuePolicy& policy) override {
+    stats::Xoshiro256 root(seed_);
+    stats::Xoshiro256 service = root.split(stats::stream_label("service"));
+    stats::Xoshiro256 coins = root.split(stats::stream_label("coin"));
+    RunResult result;
+    result.queries = queries_;
+    const double inflation = 1.0 + sensitivity_ * last_rate_;
+    const auto stages = policy.stages();
+    std::size_t issued = 0;
+    for (std::size_t i = 0; i < queries_; ++i) {
+      const double x = inflation * dist_->sample(service);
+      double latency = x;
+      for (const auto& stage : stages) {
+        if (latency <= stage.delay) break;
+        if (!coins.bernoulli(stage.probability)) continue;
+        const double y = inflation * dist_->sample(service);
+        ++issued;
+        result.reissue_latencies.push_back(y);
+        result.correlated_pairs.emplace_back(x, y);
+        result.reissue_delays.push_back(stage.delay);
+        latency = std::min(latency, stage.delay + y);
+      }
+      result.primary_latencies.push_back(x);
+      result.query_latencies.push_back(latency);
+    }
+    result.reissues_issued = issued;
+    last_rate_ = static_cast<double>(issued) / static_cast<double>(queries_);
+    return result;
+  }
+
+ private:
+  stats::DistributionPtr dist_;
+  double sensitivity_;
+  std::size_t queries_;
+  std::uint64_t seed_;
+  double last_rate_ = 0.0;
+};
+
+}  // namespace reissue::core::testing

@@ -1,0 +1,167 @@
+#include "reissue/core/budget_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace reissue::core {
+namespace {
+
+/// Parabolic latency-vs-budget surface with a known minimum, mimicking the
+/// §4.4 observation that tail latency is a smooth parabola in the budget.
+class ParabolaEvaluator {
+ public:
+  ParabolaEvaluator(double best_budget, double best_latency, double curvature)
+      : best_budget_(best_budget),
+        best_latency_(best_latency),
+        curvature_(curvature) {}
+
+  double operator()(double budget) {
+    ++calls_;
+    const double delta = budget - best_budget_;
+    return best_latency_ + curvature_ * delta * delta;
+  }
+
+  [[nodiscard]] int calls() const noexcept { return calls_; }
+
+ private:
+  double best_budget_;
+  double best_latency_;
+  double curvature_;
+  int calls_ = 0;
+};
+
+TEST(BudgetSearch, RejectsBadConfig) {
+  BudgetSearchConfig config;
+  config.initial_delta = 0.0;
+  EXPECT_THROW(search_optimal_budget([](double) { return 1.0; }, config),
+               std::invalid_argument);
+  config = BudgetSearchConfig{};
+  config.max_budget = config.min_budget;
+  EXPECT_THROW(search_optimal_budget([](double) { return 1.0; }, config),
+               std::invalid_argument);
+  config = BudgetSearchConfig{};
+  config.max_trials = 0;
+  EXPECT_THROW(search_optimal_budget([](double) { return 1.0; }, config),
+               std::invalid_argument);
+}
+
+TEST(BudgetSearch, FindsParabolaMinimum) {
+  ParabolaEvaluator surface(0.08, 100.0, 40000.0);
+  BudgetSearchConfig config;
+  config.max_trials = 16;
+  const auto outcome =
+      search_optimal_budget([&](double b) { return surface(b); }, config);
+  EXPECT_NEAR(outcome.best_budget, 0.08, 0.02);
+  EXPECT_NEAR(outcome.best_tail_latency, 100.0, 25.0);
+}
+
+TEST(BudgetSearch, TrialsRecordTheWalk) {
+  ParabolaEvaluator surface(0.05, 50.0, 10000.0);
+  BudgetSearchConfig config;
+  config.max_trials = 10;
+  const auto outcome =
+      search_optimal_budget([&](double b) { return surface(b); }, config);
+  ASSERT_GE(outcome.trials.size(), 2u);
+  EXPECT_EQ(outcome.trials.front().index, 0);
+  EXPECT_DOUBLE_EQ(outcome.trials.front().budget, 0.0);
+  // Every accepted trial must improve on the previous best.
+  double best = outcome.trials.front().tail_latency;
+  for (std::size_t i = 1; i < outcome.trials.size(); ++i) {
+    if (outcome.trials[i].accepted) {
+      EXPECT_LT(outcome.trials[i].tail_latency, best);
+      best = outcome.trials[i].tail_latency;
+    }
+  }
+  EXPECT_DOUBLE_EQ(best, outcome.best_tail_latency);
+}
+
+TEST(BudgetSearch, GrowsStepOnImprovement) {
+  // Monotone decreasing surface: the walk should expand its step (paper:
+  // delta = 3 delta / 2) and march toward max_budget.
+  BudgetSearchConfig config;
+  config.max_trials = 10;
+  config.max_budget = 0.50;
+  const auto outcome = search_optimal_budget(
+      [](double b) { return 100.0 - 100.0 * b; }, config);
+  EXPECT_GT(outcome.best_budget, 0.10);
+  // Budgets of successive accepted trials must be strictly increasing.
+  double prev = -1.0;
+  for (const auto& trial : outcome.trials) {
+    if (trial.accepted) {
+      EXPECT_GT(trial.budget, prev);
+      prev = trial.budget;
+    }
+  }
+}
+
+TEST(BudgetSearch, ZeroIsBestWhenReissueAlwaysHurts) {
+  // Monotone increasing surface: stay at budget 0.
+  BudgetSearchConfig config;
+  config.max_trials = 10;
+  const auto outcome = search_optimal_budget(
+      [](double b) { return 100.0 + 1000.0 * b; }, config);
+  EXPECT_DOUBLE_EQ(outcome.best_budget, 0.0);
+}
+
+TEST(BudgetSearch, RespectsBudgetBounds) {
+  BudgetSearchConfig config;
+  config.max_trials = 20;
+  config.max_budget = 0.20;
+  const auto outcome = search_optimal_budget(
+      [](double b) { return 100.0 - b; }, config);
+  for (const auto& trial : outcome.trials) {
+    EXPECT_GE(trial.budget, 0.0);
+    EXPECT_LE(trial.budget, 0.20);
+  }
+  EXPECT_LE(outcome.best_budget, 0.20);
+}
+
+TEST(BudgetSearch, StopsWhenDeltaCollapses) {
+  ParabolaEvaluator surface(0.05, 10.0, 1e6);
+  BudgetSearchConfig config;
+  config.max_trials = 100;
+  config.min_delta = 1e-3;
+  const auto outcome =
+      search_optimal_budget([&](double b) { return surface(b); }, config);
+  // The delta halving must terminate the walk well before 100 trials.
+  EXPECT_LT(outcome.trials.size(), 40u);
+}
+
+TEST(SlaSearch, FindsCheapestFeasibleBudget) {
+  // Latency 200 - 1500*b until it saturates; target 80 requires b >= 0.08.
+  const auto eval = [](double b) { return std::max(200.0 - 1500.0 * b, 50.0); };
+  BudgetSearchConfig config;
+  config.max_trials = 20;
+  config.max_budget = 0.30;
+  const auto outcome = minimize_budget_for_sla(eval, 80.0, config);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_LE(outcome.tail_latency, 80.0 + 1e-6);
+  EXPECT_LE(outcome.budget, 0.15);  // should not wildly overshoot 0.08
+}
+
+TEST(SlaSearch, ReportsInfeasibleTargets) {
+  const auto eval = [](double) { return 500.0; };
+  BudgetSearchConfig config;
+  config.max_trials = 8;
+  const auto outcome = minimize_budget_for_sla(eval, 80.0, config);
+  EXPECT_FALSE(outcome.feasible);
+}
+
+TEST(SlaSearch, RejectsNonPositiveTarget) {
+  EXPECT_THROW(minimize_budget_for_sla([](double) { return 1.0; }, 0.0),
+               std::invalid_argument);
+}
+
+TEST(SlaSearch, TrivialTargetNeedsZeroBudget) {
+  const auto eval = [](double b) { return 100.0 - b * 10.0; };
+  BudgetSearchConfig config;
+  config.max_trials = 8;
+  const auto outcome = minimize_budget_for_sla(eval, 150.0, config);
+  EXPECT_TRUE(outcome.feasible);
+  EXPECT_DOUBLE_EQ(outcome.budget, 0.0);
+}
+
+}  // namespace
+}  // namespace reissue::core

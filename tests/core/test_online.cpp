@@ -1,0 +1,153 @@
+#include "reissue/core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::core {
+namespace {
+
+OnlineControllerConfig fast_config() {
+  OnlineControllerConfig config;
+  config.percentile = 0.95;
+  config.budget = 0.10;
+  config.window = 2048;
+  config.reoptimize_interval = 512;
+  config.learning_rate = 0.7;
+  return config;
+}
+
+void feed(OnlineReissueController& controller, const stats::Distribution& dist,
+          std::size_t n, stats::Xoshiro256& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = dist.sample(rng);
+    controller.record_primary(x);
+    controller.record_query_latency(x);
+    // One in five queries also observes a (synthetic) reissue.
+    if (i % 5 == 0) {
+      controller.record_reissue(x, dist.sample(rng));
+    }
+  }
+}
+
+TEST(Online, RejectsBadConfig) {
+  OnlineControllerConfig config = fast_config();
+  config.percentile = 1.0;
+  EXPECT_THROW(OnlineReissueController{config}, std::invalid_argument);
+  config = fast_config();
+  config.window = 0;
+  EXPECT_THROW(OnlineReissueController{config}, std::invalid_argument);
+  config = fast_config();
+  config.reoptimize_interval = 0;
+  EXPECT_THROW(OnlineReissueController{config}, std::invalid_argument);
+  config = fast_config();
+  config.learning_rate = 1.5;
+  EXPECT_THROW(OnlineReissueController{config}, std::invalid_argument);
+}
+
+TEST(Online, StartsImmediateWithBudgetProbability) {
+  OnlineReissueController controller(fast_config());
+  const auto policy = controller.policy();
+  EXPECT_DOUBLE_EQ(policy.delay(), 0.0);
+  EXPECT_DOUBLE_EQ(policy.probability(), 0.10);
+  EXPECT_EQ(controller.reoptimizations(), 0u);
+}
+
+TEST(Online, ReoptimizesOnSchedule) {
+  OnlineReissueController controller(fast_config());
+  stats::Xoshiro256 rng(1);
+  const auto dist = stats::make_exponential(0.1);
+  feed(controller, *dist, 512, rng);
+  EXPECT_EQ(controller.reoptimizations(), 1u);
+  feed(controller, *dist, 1024, rng);
+  EXPECT_EQ(controller.reoptimizations(), 3u);
+}
+
+TEST(Online, PolicyMovesTowardBatchOptimum) {
+  OnlineReissueController controller(fast_config());
+  stats::Xoshiro256 rng(2);
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  feed(controller, *dist, 8192, rng);
+
+  // Batch reference on a fresh sample of the same distribution.
+  std::vector<double> sample;
+  for (int i = 0; i < 8192; ++i) sample.push_back(dist->sample(rng));
+  const stats::EmpiricalCdf rx(std::move(sample));
+  const auto batch = compute_optimal_single_r(rx, rx, 0.95, 0.10);
+
+  const auto policy = controller.policy();
+  EXPECT_GT(policy.delay(), 0.0);
+  EXPECT_NEAR(policy.delay(), batch.delay, 0.6 * batch.delay);
+  // Spend respects the budget on the live distribution.
+  EXPECT_LE(policy.probability() * rx.tail(policy.delay()), 0.13);
+}
+
+TEST(Online, TracksDistributionDrift) {
+  // Phase 1: Exp(0.1).  Phase 2: the service slows 4x (Exp(0.025)); the
+  // reissue delay must grow accordingly once the window turns over.
+  OnlineReissueController controller(fast_config());
+  stats::Xoshiro256 rng(3);
+  const auto fast_dist = stats::make_exponential(0.1);
+  feed(controller, *fast_dist, 4096, rng);
+  const double delay_before = controller.policy().delay();
+
+  const auto slow = stats::make_exponential(0.025);
+  feed(controller, *slow, 8192, rng);
+  const double delay_after = controller.policy().delay();
+
+  EXPECT_GT(delay_before, 0.0);
+  EXPECT_GT(delay_after, 2.0 * delay_before);
+}
+
+TEST(Online, TailSketchTracksObservedLatency) {
+  OnlineReissueController controller(fast_config());
+  stats::Xoshiro256 rng(4);
+  const auto dist = stats::make_exponential(0.1);
+  std::vector<double> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = dist->sample(rng);
+    controller.record_query_latency(v);
+    seen.push_back(v);
+  }
+  std::sort(seen.begin(), seen.end());
+  const double exact = seen[static_cast<std::size_t>(0.95 * seen.size())];
+  EXPECT_NEAR(controller.tail_estimate(), exact, 0.1 * exact);
+}
+
+TEST(Online, PredictedTailPopulatedAfterReoptimize) {
+  OnlineReissueController controller(fast_config());
+  EXPECT_DOUBLE_EQ(controller.predicted_tail(), 0.0);
+  stats::Xoshiro256 rng(5);
+  const auto dist = stats::make_exponential(0.1);
+  feed(controller, *dist, 1024, rng);
+  EXPECT_GT(controller.predicted_tail(), 0.0);
+}
+
+TEST(Online, ConcurrentRecordersAreSafe) {
+  OnlineControllerConfig config = fast_config();
+  config.window = 4096;
+  OnlineReissueController controller(config);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&controller, t] {
+      stats::Xoshiro256 rng(100 + t);
+      const auto dist = stats::make_exponential(0.1);
+      for (int i = 0; i < 5000; ++i) {
+        const double x = dist->sample(rng);
+        controller.record_primary(x);
+        if (i % 7 == 0) controller.record_reissue(x, dist->sample(rng));
+        controller.record_query_latency(x);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_GE(controller.reoptimizations(), 30u);
+  EXPECT_GT(controller.policy().delay(), 0.0);
+}
+
+}  // namespace
+}  // namespace reissue::core

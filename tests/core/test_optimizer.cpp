@@ -1,0 +1,173 @@
+#include "reissue/core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reissue/core/success_rate.hpp"
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::core {
+namespace {
+
+stats::EmpiricalCdf sample_cdf(const stats::Distribution& dist, std::size_t n,
+                               std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(dist.sample(rng));
+  return stats::EmpiricalCdf(std::move(samples));
+}
+
+TEST(Optimizer, RejectsBadInputs) {
+  const auto cdf = sample_cdf(*stats::make_exponential(1.0), 100, 1);
+  EXPECT_THROW(compute_optimal_single_r(cdf, cdf, 0.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(compute_optimal_single_r(cdf, cdf, 1.0, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(compute_optimal_single_r(cdf, cdf, 0.95, -0.1),
+               std::invalid_argument);
+}
+
+TEST(Optimizer, ResultSatisfiesBudgetConstraint) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const auto rx = sample_cdf(*dist, 5000, 2);
+  const auto ry = sample_cdf(*dist, 5000, 3);
+  for (double budget : {0.01, 0.05, 0.10, 0.25}) {
+    const auto result = compute_optimal_single_r(rx, ry, 0.95, budget);
+    // q Pr(X > d) <= B (within discreteness of the ECDF).
+    const double spend = result.probability * rx.tail(result.delay);
+    EXPECT_LE(spend, budget + 1e-9) << "budget=" << budget;
+    EXPECT_GE(result.probability, 0.0);
+    EXPECT_LE(result.probability, 1.0);
+  }
+}
+
+TEST(Optimizer, ResultSatisfiesPercentileConstraint) {
+  const auto dist = stats::make_lognormal(1.0, 1.0);
+  const auto rx = sample_cdf(*dist, 5000, 4);
+  const auto ry = sample_cdf(*dist, 5000, 5);
+  const double k = 0.95;
+  const double budget = 0.10;
+  const auto result = compute_optimal_single_r(rx, ry, k, budget);
+  EXPECT_GT(result.predicted_success_rate, k);
+  EXPECT_GE(result.predicted_tail_latency, result.delay);
+}
+
+TEST(Optimizer, ReducesTailVersusNoReissue) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const auto rx = sample_cdf(*dist, 10000, 6);
+  const auto ry = sample_cdf(*dist, 10000, 7);
+  const double base_p95 = rx.quantile(0.95);
+  const auto result = compute_optimal_single_r(rx, ry, 0.95, 0.10);
+  EXPECT_LT(result.predicted_tail_latency, base_p95);
+}
+
+struct OptCase {
+  std::string label;
+  stats::DistributionPtr dist;
+  double k;
+  double budget;
+};
+
+class FaithfulMatchesBruteForce : public ::testing::TestWithParam<OptCase> {};
+
+TEST_P(FaithfulMatchesBruteForce, SameTailLatency) {
+  // The Fig. 1 two-pointer scan must find the same optimum as exhaustive
+  // search over all (d, t) sample pairs.
+  const auto& param = GetParam();
+  const auto rx = sample_cdf(*param.dist, 600, 11);
+  const auto ry = sample_cdf(*param.dist, 600, 12);
+  const auto fast = compute_optimal_single_r(rx, ry, param.k, param.budget);
+  const auto brute =
+      compute_optimal_single_r_brute(rx, ry, param.k, param.budget);
+  EXPECT_DOUBLE_EQ(fast.predicted_tail_latency, brute.predicted_tail_latency)
+      << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, FaithfulMatchesBruteForce,
+    ::testing::Values(
+        OptCase{"pareto_p95_b10", stats::make_pareto(1.1, 2.0), 0.95, 0.10},
+        OptCase{"pareto_p99_b02", stats::make_pareto(1.1, 2.0), 0.99, 0.02},
+        OptCase{"pareto_p90_b30", stats::make_pareto(1.1, 2.0), 0.90, 0.30},
+        OptCase{"lognormal_p95_b05", stats::make_lognormal(1.0, 1.0), 0.95,
+                0.05},
+        OptCase{"lognormal_p99_b15", stats::make_lognormal(1.0, 1.0), 0.99,
+                0.15},
+        OptCase{"exponential_p95_b10", stats::make_exponential(0.1), 0.95,
+                0.10},
+        OptCase{"exponential_p50_b01", stats::make_exponential(0.1), 0.50,
+                0.01},
+        OptCase{"uniform_p95_b20", stats::make_uniform(0.0, 100.0), 0.95,
+                0.20}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(Optimizer, LargerBudgetNeverWorse) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const auto rx = sample_cdf(*dist, 4000, 21);
+  const auto ry = sample_cdf(*dist, 4000, 22);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double budget : {0.01, 0.02, 0.05, 0.10, 0.20, 0.40}) {
+    const auto result = compute_optimal_single_r(rx, ry, 0.95, budget);
+    EXPECT_LE(result.predicted_tail_latency, prev + 1e-9)
+        << "budget=" << budget;
+    prev = result.predicted_tail_latency;
+  }
+}
+
+TEST(Optimizer, TinyBudgetStillImproves) {
+  // The §2.4 argument: SingleR reduces the kth percentile even when
+  // B < 1-k, where SingleD provably cannot.
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const auto rx = sample_cdf(*dist, 20000, 31);
+  const auto ry = sample_cdf(*dist, 20000, 32);
+  const double k = 0.95;
+  const double budget = 0.02;  // < 1-k = 0.05
+  const auto result = compute_optimal_single_r(rx, ry, k, budget);
+  EXPECT_LT(result.predicted_tail_latency, rx.quantile(k));
+  // And the SingleD policy with the same budget reissues at the 98th
+  // percentile -- after the 95th, so it cannot reduce the 95th.
+  const auto sd = single_d_for_budget(rx, budget);
+  EXPECT_GT(sd.delay(), rx.quantile(k));
+}
+
+TEST(Optimizer, SingleDForBudgetMatchesQuantile) {
+  const auto dist = stats::make_exponential(0.1);
+  const auto rx = sample_cdf(*dist, 5000, 41);
+  const auto policy = single_d_for_budget(rx, 0.10);
+  EXPECT_DOUBLE_EQ(policy.delay(), rx.quantile(0.90));
+  EXPECT_DOUBLE_EQ(policy.probability(), 1.0);
+  // Measured spend: Pr(X > d) should be ~budget.
+  EXPECT_NEAR(rx.tail(policy.delay()), 0.10, 0.01);
+}
+
+TEST(Optimizer, SingleDZeroBudgetIsNoReissue) {
+  const auto rx = sample_cdf(*stats::make_exponential(1.0), 100, 42);
+  EXPECT_EQ(single_d_for_budget(rx, 0.0), ReissuePolicy::none());
+}
+
+TEST(Optimizer, IdenticalSamplesDegenerate) {
+  const stats::EmpiricalCdf rx(std::vector<double>(50, 7.0));
+  const stats::EmpiricalCdf ry(std::vector<double>(50, 7.0));
+  const auto result = compute_optimal_single_r(rx, ry, 0.95, 0.10);
+  EXPECT_DOUBLE_EQ(result.delay, 7.0);
+  EXPECT_DOUBLE_EQ(result.predicted_tail_latency, 7.0);
+}
+
+TEST(Optimizer, OptimalQBelowOneAtSmallBudgets) {
+  // Fig. 3c behaviour: at small budgets the optimal policy reissues early
+  // with q < 1 rather than late with q = 1.
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const auto rx = sample_cdf(*dist, 20000, 51);
+  const auto ry = sample_cdf(*dist, 20000, 52);
+  const auto result = compute_optimal_single_r(rx, ry, 0.95, 0.05);
+  EXPECT_LT(result.probability, 1.0);
+  EXPECT_GT(result.probability, 0.0);
+  // The reissue point leaves more than B of requests outstanding.
+  EXPECT_GT(rx.tail(result.delay), 0.05);
+}
+
+}  // namespace
+}  // namespace reissue::core

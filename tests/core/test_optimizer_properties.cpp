@@ -1,0 +1,163 @@
+// Metamorphic / invariance properties of the policy optimizer that must
+// hold for any response-time distribution: units don't matter (scale
+// equivariance), more budget never hurts, higher percentile targets never
+// shrink the tail, and the optimum spends its whole budget unless q
+// saturates.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reissue/core/optimizer.hpp"
+#include "reissue/core/success_rate.hpp"
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::core {
+namespace {
+
+std::vector<double> draw(const stats::Distribution& dist, std::size_t n,
+                         std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dist.sample(rng));
+  return out;
+}
+
+std::vector<double> scaled(std::vector<double> v, double c) {
+  for (double& x : v) x *= c;
+  return v;
+}
+
+struct PropertyCase {
+  std::string label;
+  stats::DistributionPtr dist;
+};
+
+class OptimizerProperties : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  void SetUp() override {
+    xs_ = draw(*GetParam().dist, 3000, 0xabc);
+    ys_ = draw(*GetParam().dist, 3000, 0xdef);
+  }
+
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+TEST_P(OptimizerProperties, ScaleEquivariance) {
+  // Measuring in seconds vs milliseconds must not change the policy:
+  // d* and t* scale by c, q is unchanged.
+  const stats::EmpiricalCdf rx(xs_);
+  const stats::EmpiricalCdf ry(ys_);
+  const auto base = compute_optimal_single_r(rx, ry, 0.95, 0.10);
+
+  for (double c : {0.001, 3.7, 1000.0}) {
+    const stats::EmpiricalCdf rx_scaled(scaled(xs_, c));
+    const stats::EmpiricalCdf ry_scaled(scaled(ys_, c));
+    const auto result = compute_optimal_single_r(rx_scaled, ry_scaled, 0.95, 0.10);
+    EXPECT_NEAR(result.delay, c * base.delay, 1e-9 * c * base.delay + 1e-12)
+        << "c=" << c;
+    EXPECT_NEAR(result.predicted_tail_latency,
+                c * base.predicted_tail_latency,
+                1e-9 * c * base.predicted_tail_latency + 1e-12);
+    EXPECT_NEAR(result.probability, base.probability, 1e-12);
+  }
+}
+
+TEST_P(OptimizerProperties, BudgetMonotonicity) {
+  const stats::EmpiricalCdf rx(xs_);
+  const stats::EmpiricalCdf ry(ys_);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double budget : {0.005, 0.02, 0.05, 0.12, 0.25, 0.50}) {
+    const auto result = compute_optimal_single_r(rx, ry, 0.95, budget);
+    EXPECT_LE(result.predicted_tail_latency, prev + 1e-9)
+        << "budget=" << budget;
+    prev = result.predicted_tail_latency;
+  }
+}
+
+TEST_P(OptimizerProperties, PercentileMonotonicity) {
+  const stats::EmpiricalCdf rx(xs_);
+  const stats::EmpiricalCdf ry(ys_);
+  double prev = 0.0;
+  for (double k : {0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const auto result = compute_optimal_single_r(rx, ry, k, 0.10);
+    EXPECT_GE(result.predicted_tail_latency, prev - 1e-9) << "k=" << k;
+    prev = result.predicted_tail_latency;
+  }
+}
+
+TEST_P(OptimizerProperties, SpendsFullBudgetUnlessSaturated) {
+  const stats::EmpiricalCdf rx(xs_);
+  const stats::EmpiricalCdf ry(ys_);
+  for (double budget : {0.02, 0.10, 0.30}) {
+    const auto result = compute_optimal_single_r(rx, ry, 0.95, budget);
+    const double spend = result.probability * rx.tail(result.delay);
+    if (result.probability < 1.0) {
+      EXPECT_NEAR(spend, budget, 0.01 * budget + 1e-9) << "budget=" << budget;
+    } else {
+      EXPECT_LE(spend, budget + 1e-9);
+    }
+  }
+}
+
+TEST_P(OptimizerProperties, BeatsSingleDAnalytically) {
+  // The SingleR optimum must achieve a kth percentile no worse than the
+  // SingleD policy spending the same budget, under the shared evaluator.
+  const stats::EmpiricalCdf rx(xs_);
+  const stats::EmpiricalCdf ry(ys_);
+  for (double budget : {0.02, 0.08, 0.20}) {
+    const auto r = compute_optimal_single_r(rx, ry, 0.95, budget);
+    const double r_tail = policy_tail_latency(
+        rx, ry, ReissuePolicy::single_r(r.delay, r.probability), 0.95);
+    const auto d_policy = single_d_for_budget(rx, budget);
+    const double d_tail = policy_tail_latency(rx, ry, d_policy, 0.95);
+    EXPECT_LE(r_tail, d_tail * 1.001) << "budget=" << budget;
+  }
+}
+
+TEST_P(OptimizerProperties, SubsampleStability) {
+  // Two disjoint halves of the same workload should give similar optima
+  // (the optimizer is estimating population quantities, not memorizing).
+  const std::size_t half = xs_.size() / 2;
+  const stats::EmpiricalCdf rx_a(
+      std::vector<double>(xs_.begin(), xs_.begin() + half));
+  const stats::EmpiricalCdf rx_b(
+      std::vector<double>(xs_.begin() + half, xs_.end()));
+  const stats::EmpiricalCdf ry(ys_);
+  const auto a = compute_optimal_single_r(rx_a, ry, 0.95, 0.10);
+  const auto b = compute_optimal_single_r(rx_b, ry, 0.95, 0.10);
+  EXPECT_NEAR(a.predicted_tail_latency, b.predicted_tail_latency,
+              0.25 * a.predicted_tail_latency + 1e-9);
+}
+
+TEST_P(OptimizerProperties, DuplicatedSamplesAreIdempotent) {
+  // Feeding every sample twice must not change the optimum: the
+  // optimizer depends on the empirical distribution, not the count.
+  const stats::EmpiricalCdf rx(xs_);
+  const stats::EmpiricalCdf ry(ys_);
+  std::vector<double> doubled = xs_;
+  doubled.insert(doubled.end(), xs_.begin(), xs_.end());
+  const stats::EmpiricalCdf rx2(std::move(doubled));
+  const auto once = compute_optimal_single_r(rx, ry, 0.95, 0.10);
+  const auto twice = compute_optimal_single_r(rx2, ry, 0.95, 0.10);
+  EXPECT_DOUBLE_EQ(once.predicted_tail_latency, twice.predicted_tail_latency);
+  EXPECT_DOUBLE_EQ(once.delay, twice.delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, OptimizerProperties,
+    ::testing::Values(
+        PropertyCase{"pareto", stats::make_pareto(1.1, 2.0)},
+        PropertyCase{"pareto_capped",
+                     stats::make_truncated(stats::make_pareto(1.1, 2.0),
+                                           5000.0)},
+        PropertyCase{"lognormal", stats::make_lognormal(1.0, 1.0)},
+        PropertyCase{"exponential", stats::make_exponential(0.1)},
+        PropertyCase{"weibull_heavy", stats::make_weibull(0.7, 10.0)},
+        PropertyCase{"uniform", stats::make_uniform(1.0, 100.0)}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace reissue::core

@@ -1,0 +1,97 @@
+#include "reissue/core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace reissue::core {
+namespace {
+
+TEST(Policy, NoneHasNoStages) {
+  const auto p = ReissuePolicy::none();
+  EXPECT_EQ(p.family(), PolicyFamily::kNoReissue);
+  EXPECT_FALSE(p.reissues());
+  EXPECT_EQ(p.stage_count(), 0u);
+  EXPECT_THROW(p.delay(), std::logic_error);
+  EXPECT_THROW(p.probability(), std::logic_error);
+}
+
+TEST(Policy, ImmediateIsZeroDelayCertainty) {
+  const auto p = ReissuePolicy::immediate();
+  EXPECT_EQ(p.family(), PolicyFamily::kImmediate);
+  ASSERT_EQ(p.stage_count(), 1u);
+  EXPECT_DOUBLE_EQ(p.delay(), 0.0);
+  EXPECT_DOUBLE_EQ(p.probability(), 1.0);
+}
+
+TEST(Policy, ImmediateMultipleCopies) {
+  const auto p = ReissuePolicy::immediate(3);
+  EXPECT_EQ(p.stage_count(), 3u);
+  for (const auto& stage : p.stages()) {
+    EXPECT_DOUBLE_EQ(stage.delay, 0.0);
+    EXPECT_DOUBLE_EQ(stage.probability, 1.0);
+  }
+}
+
+TEST(Policy, SingleDIsCertainAtDelay) {
+  const auto p = ReissuePolicy::single_d(12.5);
+  EXPECT_EQ(p.family(), PolicyFamily::kSingleD);
+  EXPECT_DOUBLE_EQ(p.delay(), 12.5);
+  EXPECT_DOUBLE_EQ(p.probability(), 1.0);
+}
+
+TEST(Policy, SingleRStoresBothParameters) {
+  const auto p = ReissuePolicy::single_r(8.0, 0.4);
+  EXPECT_EQ(p.family(), PolicyFamily::kSingleR);
+  EXPECT_DOUBLE_EQ(p.delay(), 8.0);
+  EXPECT_DOUBLE_EQ(p.probability(), 0.4);
+}
+
+TEST(Policy, ValidationRejectsBadStages) {
+  EXPECT_THROW(ReissuePolicy::single_r(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ReissuePolicy::single_r(1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(ReissuePolicy::single_r(1.0, 1.1), std::invalid_argument);
+  EXPECT_THROW(ReissuePolicy::single_d(-0.5), std::invalid_argument);
+}
+
+TEST(Policy, MultipleRSortsStagesByDelay) {
+  const auto p = ReissuePolicy::multiple_r(
+      {ReissueStage{10.0, 0.2}, ReissueStage{5.0, 0.7}, ReissueStage{7.0, 0.1}});
+  ASSERT_EQ(p.stage_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.stages()[0].delay, 5.0);
+  EXPECT_DOUBLE_EQ(p.stages()[1].delay, 7.0);
+  EXPECT_DOUBLE_EQ(p.stages()[2].delay, 10.0);
+  EXPECT_DOUBLE_EQ(p.stages()[0].probability, 0.7);
+}
+
+TEST(Policy, DoubleRIsTwoStageMultipleR) {
+  const auto p = ReissuePolicy::double_r(2.0, 0.3, 6.0, 0.8);
+  EXPECT_EQ(p.family(), PolicyFamily::kMultipleR);
+  ASSERT_EQ(p.stage_count(), 2u);
+  EXPECT_THROW(p.delay(), std::logic_error);  // ambiguous for multi-stage
+}
+
+TEST(Policy, DescribeIsHumanReadable) {
+  EXPECT_EQ(ReissuePolicy::none().describe(), "NoReissue");
+  const auto s = ReissuePolicy::single_r(3.0, 0.25).describe();
+  EXPECT_NE(s.find("SingleR"), std::string::npos);
+  EXPECT_NE(s.find("d=3"), std::string::npos);
+  EXPECT_NE(s.find("q=0.25"), std::string::npos);
+}
+
+TEST(Policy, EqualityComparesStagesAndFamily) {
+  EXPECT_EQ(ReissuePolicy::single_r(1.0, 0.5), ReissuePolicy::single_r(1.0, 0.5));
+  EXPECT_NE(ReissuePolicy::single_r(1.0, 0.5), ReissuePolicy::single_r(1.0, 0.6));
+  EXPECT_NE(ReissuePolicy::single_d(1.0), ReissuePolicy::single_r(1.0, 1.0));
+}
+
+TEST(PolicyFamily, ToStringCoversAll) {
+  EXPECT_EQ(to_string(PolicyFamily::kNoReissue), "NoReissue");
+  EXPECT_EQ(to_string(PolicyFamily::kImmediate), "Immediate");
+  EXPECT_EQ(to_string(PolicyFamily::kSingleD), "SingleD");
+  EXPECT_EQ(to_string(PolicyFamily::kSingleR), "SingleR");
+  EXPECT_EQ(to_string(PolicyFamily::kMultipleR), "MultipleR");
+}
+
+}  // namespace
+}  // namespace reissue::core

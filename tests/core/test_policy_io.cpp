@@ -1,0 +1,96 @@
+#include "reissue/core/policy_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace reissue::core {
+namespace {
+
+TEST(LatencyLog, RoundTrip) {
+  const std::vector<double> samples{1.5, 0.0, 1234.5678, 1e-9};
+  std::ostringstream os;
+  write_latency_log(os, samples);
+  std::istringstream is(os.str());
+  const auto parsed = read_latency_log(is);
+  ASSERT_EQ(parsed.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i], samples[i]);
+  }
+}
+
+TEST(LatencyLog, SkipsCommentsAndBlanks) {
+  std::istringstream is(
+      "# latency log\n"
+      "\n"
+      "1.5\n"
+      "  2.5  # trailing comment\n"
+      "\t\n"
+      "3.5\n");
+  const auto parsed = read_latency_log(is);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed[0], 1.5);
+  EXPECT_DOUBLE_EQ(parsed[1], 2.5);
+  EXPECT_DOUBLE_EQ(parsed[2], 3.5);
+}
+
+TEST(LatencyLog, RejectsGarbage) {
+  std::istringstream bad_number("abc\n");
+  EXPECT_THROW(read_latency_log(bad_number), std::runtime_error);
+  std::istringstream trailing("1.5x\n");
+  EXPECT_THROW(read_latency_log(trailing), std::runtime_error);
+  std::istringstream negative("-2.0\n");
+  EXPECT_THROW(read_latency_log(negative), std::runtime_error);
+}
+
+TEST(LatencyLog, EmptyInputGivesEmptyLog) {
+  std::istringstream is("");
+  EXPECT_TRUE(read_latency_log(is).empty());
+}
+
+TEST(PolicyLine, RoundTripAllFamilies) {
+  const std::vector<ReissuePolicy> policies{
+      ReissuePolicy::none(),
+      ReissuePolicy::immediate(2),
+      ReissuePolicy::single_d(12.5),
+      ReissuePolicy::single_r(3.25, 0.4),
+      ReissuePolicy::double_r(1.0, 0.3, 9.0, 0.7),
+      ReissuePolicy::multiple_r({ReissueStage{1.0, 0.2},
+                                 ReissueStage{2.0, 0.3},
+                                 ReissueStage{4.0, 0.4}}),
+  };
+  for (const auto& policy : policies) {
+    const auto line = policy_to_line(policy);
+    const auto parsed = policy_from_line(line);
+    EXPECT_EQ(parsed, policy) << line;
+  }
+}
+
+TEST(PolicyLine, ParsesHandwrittenInput) {
+  const auto policy = policy_from_line("SingleR d=5 q=0.5");
+  EXPECT_EQ(policy.family(), PolicyFamily::kSingleR);
+  EXPECT_DOUBLE_EQ(policy.delay(), 5.0);
+  EXPECT_DOUBLE_EQ(policy.probability(), 0.5);
+}
+
+TEST(PolicyLine, RejectsMalformedInput) {
+  EXPECT_THROW(policy_from_line(""), std::runtime_error);
+  EXPECT_THROW(policy_from_line("Bogus d=1 q=1"), std::runtime_error);
+  EXPECT_THROW(policy_from_line("SingleR d=1"), std::runtime_error);
+  EXPECT_THROW(policy_from_line("SingleR q=1 d=1"), std::runtime_error);
+  EXPECT_THROW(policy_from_line("SingleR d=1 q=0.5 d=2 q=0.5"),
+               std::runtime_error);
+  EXPECT_THROW(policy_from_line("SingleD d=1 q=0.5"), std::runtime_error);
+  EXPECT_THROW(policy_from_line("NoReissue d=1 q=1"), std::runtime_error);
+  EXPECT_THROW(policy_from_line("MultipleR"), std::runtime_error);
+}
+
+TEST(PolicyLine, PreservesPrecision) {
+  const auto policy = ReissuePolicy::single_r(0.1234567890123456, 0.9876543210987654);
+  const auto parsed = policy_from_line(policy_to_line(policy));
+  EXPECT_DOUBLE_EQ(parsed.delay(), policy.delay());
+  EXPECT_DOUBLE_EQ(parsed.probability(), policy.probability());
+}
+
+}  // namespace
+}  // namespace reissue::core

@@ -1,0 +1,171 @@
+#include "reissue/core/success_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::core {
+namespace {
+
+stats::EmpiricalCdf uniform_grid_cdf(double lo, double hi, std::size_t n) {
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(lo + (hi - lo) * (static_cast<double>(i) + 0.5) /
+                               static_cast<double>(n));
+  }
+  return stats::EmpiricalCdf(std::move(samples));
+}
+
+TEST(SingleRSuccessRate, MatchesEquationThree) {
+  // X, Y ~ U(0,100) on a fine grid.  Eq. (3):
+  //   Pr(Q<=t) = F(t) + q (1-F(t)) F(t-d),  q = B / (1-F(d)).
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 10000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 10000);
+  const double b = 0.10;
+  const double t = 80.0;
+  const double d = 50.0;
+  const double fx = 0.80;       // F(80)
+  const double q = b / 0.50;    // Pr(X>50)=0.5
+  const double fy = 0.30;       // F(30)
+  const double expected = fx + q * (1.0 - fx) * fy;
+  EXPECT_NEAR(single_r_success_rate(rx, ry, b, t, d), expected, 1e-3);
+}
+
+TEST(SingleRSuccessRate, ClampsProbabilityAtOne) {
+  // d so late that Pr(X>d) < B: unclamped q would exceed 1 and the
+  // "success rate" would stop being a probability.
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  const double alpha = single_r_success_rate(rx, ry, 0.5, 99.0, 95.0);
+  EXPECT_LE(alpha, 1.0);
+  EXPECT_GE(alpha, 0.0);
+}
+
+TEST(SingleRSuccessRate, ZeroBudgetReducesToPrimary) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  EXPECT_NEAR(single_r_success_rate(rx, ry, 0.0, 70.0, 10.0),
+              rx.cdf_strict(70.0), 1e-12);
+}
+
+TEST(SingleRSuccessRate, MonotoneInT) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 2000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 2000);
+  double prev = 0.0;
+  for (double t = 5.0; t <= 100.0; t += 5.0) {
+    const double alpha = single_r_success_rate(rx, ry, 0.1, t, 20.0);
+    EXPECT_GE(alpha, prev - 1e-12) << "t=" << t;
+    prev = alpha;
+  }
+}
+
+TEST(SingleRSuccessRate, ReissueCannotHelpBeforeItsDelay) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  // t <= d: Y <= t - d <= 0 impossible, so alpha == Pr(X <= t).
+  EXPECT_NEAR(single_r_success_rate(rx, ry, 0.3, 30.0, 30.0),
+              rx.cdf_strict(30.0), 1e-12);
+  EXPECT_NEAR(single_r_success_rate(rx, ry, 0.3, 20.0, 30.0),
+              rx.cdf_strict(20.0), 1e-12);
+}
+
+TEST(PolicySuccessRate, NoReissueIsPrimaryCdf) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto policy = ReissuePolicy::none();
+  for (double t : {10.0, 50.0, 90.0}) {
+    EXPECT_NEAR(policy_success_rate(rx, ry, policy, t), rx.cdf(t), 1e-12);
+  }
+}
+
+TEST(PolicySuccessRate, SingleDEqualsSingleRWithQOne) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto sd = ReissuePolicy::single_d(40.0);
+  const auto sr = ReissuePolicy::single_r(40.0, 1.0);
+  for (double t : {30.0, 50.0, 70.0, 95.0}) {
+    EXPECT_DOUBLE_EQ(policy_success_rate(rx, ry, sd, t),
+                     policy_success_rate(rx, ry, sr, t));
+  }
+}
+
+TEST(PolicySuccessRate, MoreStagesNeverHurt) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto one = ReissuePolicy::single_r(30.0, 0.5);
+  const auto two = ReissuePolicy::double_r(30.0, 0.5, 60.0, 0.5);
+  for (double t : {40.0, 65.0, 80.0, 95.0}) {
+    EXPECT_GE(policy_success_rate(rx, ry, two, t),
+              policy_success_rate(rx, ry, one, t) - 1e-12);
+  }
+}
+
+TEST(PolicyBudget, MatchesEquationFour) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 10000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 10000);
+  // B = q Pr(X > d) = 0.6 * 0.3.
+  const auto policy = ReissuePolicy::single_r(70.0, 0.6);
+  EXPECT_NEAR(policy_budget(rx, ry, policy), 0.18, 1e-3);
+}
+
+TEST(PolicyBudget, ImmediateSpendsFullProbability) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  EXPECT_NEAR(policy_budget(rx, ry, ReissuePolicy::immediate()), 1.0, 1e-9);
+}
+
+TEST(PolicyBudget, DoubleRMatchesEquationFifteen) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 10000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 10000);
+  const double d1 = 20.0;
+  const double q1 = 0.4;
+  const double d2 = 50.0;
+  const double q2 = 0.5;
+  // Eq. (15): q1 Pr(X>d1) + q2 Pr(X>d2) (1 - q1 Pr(Y <= d2-d1)).
+  const double expected = q1 * 0.8 + q2 * 0.5 * (1.0 - q1 * 0.3);
+  const auto policy = ReissuePolicy::double_r(d1, q1, d2, q2);
+  EXPECT_NEAR(policy_budget(rx, ry, policy), expected, 1e-3);
+}
+
+TEST(PolicyTailLatency, FindsSmallestFeasibleSample) {
+  const auto rx = uniform_grid_cdf(0.0, 100.0, 1000);
+  const auto ry = uniform_grid_cdf(0.0, 100.0, 1000);
+  // Without reissue the 95th percentile of U(0,100) is ~95.
+  const double base = policy_tail_latency(rx, ry, ReissuePolicy::none(), 0.95);
+  EXPECT_NEAR(base, 95.0, 0.5);
+  // Immediate reissue: Pr(min(X,Y) <= t) = 1-(1-t/100)^2 = 0.95 at ~77.6.
+  const double imm =
+      policy_tail_latency(rx, ry, ReissuePolicy::immediate(), 0.95);
+  EXPECT_NEAR(imm, 77.6, 1.0);
+}
+
+TEST(CorrelatedSuccessRate, UsesConditionalDistribution) {
+  // Perfect correlation Y == X: if X > t then Y > t >= t-d, so a reissue
+  // can never save a late query when X==Y and d >= 0 -- unless the reissue
+  // skips queueing.  Conditional CDF must reflect that; the independent
+  // formula would overestimate.
+  std::vector<std::pair<double, double>> pairs;
+  stats::Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    pairs.emplace_back(x, x);
+  }
+  const stats::JointSamples joint(pairs);
+  const double t = 90.0;
+  const double d = 50.0;
+  const double correlated =
+      single_r_success_rate_correlated(joint.x_marginal(), joint, 0.2, t, d);
+  // Conditional term vanishes: Pr(Y <= 40 | X > 90) = 0.
+  EXPECT_NEAR(correlated, joint.x_marginal().cdf_strict(t), 1e-9);
+
+  const double independent = single_r_success_rate(
+      joint.x_marginal(), joint.y_marginal(), 0.2, t, d);
+  EXPECT_GT(independent, correlated + 0.01);
+}
+
+}  // namespace
+}  // namespace reissue::core

@@ -1,0 +1,177 @@
+// End-to-end integration tests: the full pipeline the paper describes --
+// run a workload, log response times, optimize a SingleR policy from the
+// logs (with adaptation under queueing), and verify the tuned policy
+// reproduces the paper's qualitative results.
+#include <gtest/gtest.h>
+
+#include "reissue/core/budget_search.hpp"
+#include "reissue/core/optimizer.hpp"
+#include "reissue/sim/metrics.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/systems/bridge.hpp"
+
+namespace reissue {
+namespace {
+
+sim::workloads::WorkloadOptions quick() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 20000;
+  opts.warmup = 2000;
+  return opts;
+}
+
+TEST(EndToEnd, IndependentWorkloadSingleRBeatsSingleDAtSmallBudget) {
+  // Fig. 3a (Independent): for B < 1-k, SingleD achieves nothing while
+  // SingleR reduces P95.
+  sim::Cluster cluster = sim::workloads::make_independent(quick());
+  const double k = 0.95;
+  const double budget = 0.03;
+
+  const auto base =
+      sim::evaluate_policy(cluster, core::ReissuePolicy::none(), k);
+
+  const auto run = cluster.run(core::ReissuePolicy::none());
+  const auto rx = run.primary_cdf();
+  const auto opt = core::compute_optimal_single_r(rx, rx, k, budget);
+  const auto single_r = sim::evaluate_policy(cluster, opt.policy(), k);
+
+  const auto sd_policy = core::single_d_for_budget(rx, budget);
+  const auto single_d = sim::evaluate_policy(cluster, sd_policy, k);
+
+  EXPECT_LT(single_r.tail_latency, 0.9 * base.tail_latency);
+  EXPECT_GE(single_d.tail_latency, 0.95 * base.tail_latency);
+  EXPECT_LE(single_r.reissue_rate, budget * 1.3);
+}
+
+TEST(EndToEnd, QueueingWorkloadAdaptiveSingleRReducesP95) {
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, quick());
+  const auto base =
+      sim::evaluate_policy(cluster, core::ReissuePolicy::none(), 0.95);
+  const auto tuned = sim::tune_single_r(cluster, 0.95, 0.10, 6);
+  EXPECT_LT(tuned.final_eval.tail_latency, base.tail_latency);
+  EXPECT_NEAR(tuned.final_eval.reissue_rate, 0.10, 0.04);
+}
+
+TEST(EndToEnd, CorrelationAwareOptimizerNoWorseOnCorrelatedWorkload) {
+  sim::Cluster cluster = sim::workloads::make_correlated(0.5, quick());
+  const double k = 0.95;
+  const double budget = 0.10;
+  const auto probe = cluster.run(core::ReissuePolicy::single_r(0.0, budget));
+
+  const auto naive = core::compute_optimal_single_r(
+      probe.primary_cdf(), probe.reissue_cdf(), k, budget);
+  const auto aware =
+      core::compute_optimal_single_r_correlated(probe.primary_cdf(),
+                                                probe.joint(), k, budget);
+
+  const auto eval_naive = sim::evaluate_policy(cluster, naive.policy(), k);
+  const auto eval_aware = sim::evaluate_policy(cluster, aware.policy(), k);
+  EXPECT_LE(eval_aware.tail_latency, eval_naive.tail_latency * 1.05);
+}
+
+TEST(EndToEnd, RemediationRateHigherForSingleRThanSingleD) {
+  // Fig. 3b: each reissued request is worth more under SingleR.
+  sim::Cluster cluster = sim::workloads::make_independent(quick());
+  const double k = 0.95;
+  const double budget = 0.05;
+  const auto run = cluster.run(core::ReissuePolicy::none());
+  const auto rx = run.primary_cdf();
+
+  const auto opt = core::compute_optimal_single_r(rx, rx, k, budget);
+  const auto r_eval = sim::evaluate_policy(cluster, opt.policy(), k);
+  const auto d_eval =
+      sim::evaluate_policy(cluster, core::single_d_for_budget(rx, budget), k);
+  EXPECT_GE(r_eval.remediation_rate, d_eval.remediation_rate);
+}
+
+TEST(EndToEnd, BudgetSearchOnQueueingWorkloadFindsInteriorOptimum) {
+  // Fig. 8-style: on a queueing workload, too little budget leaves tail
+  // unremediated and too much adds load; the search should settle on a
+  // budget strictly inside (0, max].
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 12000;
+  opts.warmup = 1200;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.45, 0.5, opts);
+
+  core::BudgetSearchConfig config;
+  config.max_trials = 8;
+  config.max_budget = 0.40;
+  const auto outcome = core::search_optimal_budget(
+      [&](double budget) {
+        if (budget <= 0.0) {
+          return sim::evaluate_policy(cluster, core::ReissuePolicy::none(),
+                                      0.95)
+              .tail_latency;
+        }
+        return sim::tune_single_r(cluster, 0.95, budget, 3)
+            .final_eval.tail_latency;
+      },
+      config);
+  const double baseline =
+      sim::evaluate_policy(cluster, core::ReissuePolicy::none(), 0.95)
+          .tail_latency;
+  EXPECT_GT(outcome.best_budget, 0.0);
+  EXPECT_LT(outcome.best_tail_latency, baseline);
+}
+
+TEST(EndToEnd, RedisHarnessSingleRBeatsBaselineAtSmallBudget) {
+  // Fig. 7a shape on the Redis-like system at 40% utilization.
+  systems::SystemHarnessOptions options;
+  options.queries = 12000;
+  options.warmup = 1200;
+  options.utilization = 0.40;
+  options.servers = 10;
+  systems::RedisDatasetParams dataset;
+  dataset.sets = 400;
+  dataset.universe = 400000;
+  dataset.max_cardinality = 150000;
+  auto harness = systems::make_redis_harness(options, dataset);
+
+  const auto base = sim::evaluate_policy(harness.cluster,
+                                         core::ReissuePolicy::none(), 0.99);
+  const auto tuned = sim::tune_single_r(harness.cluster, 0.99, 0.03, 5);
+  EXPECT_LT(tuned.final_eval.tail_latency, base.tail_latency);
+  EXPECT_LT(tuned.final_eval.reissue_rate, 0.06);
+}
+
+TEST(EndToEnd, LuceneHarnessSingleRBeatsBaseline) {
+  systems::SystemHarnessOptions options;
+  options.queries = 12000;
+  options.warmup = 1200;
+  options.utilization = 0.40;
+  options.servers = 10;
+  systems::LuceneHarnessParams params;
+  params.corpus.documents = 8000;
+  params.corpus.vocabulary = 10000;
+  params.workload.distinct_queries = 1000;
+  auto harness = systems::make_lucene_harness(options, params);
+
+  const auto base = sim::evaluate_policy(harness.cluster,
+                                         core::ReissuePolicy::none(), 0.99);
+  // §6.3: "At 40% utilization, the optimal reissue rate for SingleR is 4%".
+  const auto tuned = sim::tune_single_r(harness.cluster, 0.99, 0.04, 6);
+  EXPECT_LT(tuned.final_eval.tail_latency, base.tail_latency);
+}
+
+TEST(EndToEnd, HigherUtilizationShrinksButKeepsGains) {
+  // Fig. 6 shape: reissue gains shrink with load but persist at 50%.
+  sim::workloads::SensitivityOptions sens;
+  sens.service = stats::make_lognormal(1.0, 1.0);
+  sens.base = quick();
+  double prev_ratio = 1e9;
+  for (double util : {0.20, 0.50}) {
+    sens.utilization = util;
+    sim::Cluster cluster = sim::workloads::make_sensitivity(sens);
+    const auto base =
+        sim::evaluate_policy(cluster, core::ReissuePolicy::none(), 0.95);
+    const auto tuned = sim::tune_single_r(cluster, 0.95, 0.20, 5);
+    const double ratio =
+        sim::reduction_ratio(base.tail_latency, tuned.final_eval.tail_latency);
+    EXPECT_GT(ratio, 1.05) << "util=" << util;
+    EXPECT_LT(ratio, prev_ratio * 1.2) << "util=" << util;
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace reissue

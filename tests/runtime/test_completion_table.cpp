@@ -1,0 +1,87 @@
+#include "reissue/runtime/completion_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace reissue::runtime {
+namespace {
+
+TEST(CompletionTable, RejectsZeroCapacity) {
+  EXPECT_THROW(CompletionTable(0), std::invalid_argument);
+}
+
+TEST(CompletionTable, BasicLifecycle) {
+  CompletionTable table(16);
+  table.begin(3);
+  EXPECT_FALSE(table.is_complete(3));
+  EXPECT_TRUE(table.complete(3));
+  EXPECT_TRUE(table.is_complete(3));
+}
+
+TEST(CompletionTable, DuplicateCompletionReturnsFalse) {
+  CompletionTable table(16);
+  table.begin(5);
+  EXPECT_TRUE(table.complete(5));
+  EXPECT_FALSE(table.complete(5));  // the reissue copy lost the race
+  EXPECT_TRUE(table.is_complete(5));
+}
+
+TEST(CompletionTable, SlotReuseAcrossGenerations) {
+  CompletionTable table(4);
+  table.begin(1);
+  EXPECT_TRUE(table.complete(1));
+  // id 5 reuses slot 1 (5 % 4): new generation resets completion.
+  table.begin(5);
+  EXPECT_FALSE(table.is_complete(5));
+  EXPECT_TRUE(table.complete(5));
+  // A stale completion for the *old* generation must fail.
+  EXPECT_FALSE(table.complete(1));
+}
+
+TEST(CompletionTable, StaleCompletionCannotCorruptNewGeneration) {
+  CompletionTable table(4);
+  table.begin(2);
+  // Replace generation before completing.
+  table.begin(6);  // same slot as 2
+  EXPECT_FALSE(table.complete(2));     // stale
+  EXPECT_FALSE(table.is_complete(6));  // unaffected
+  EXPECT_TRUE(table.complete(6));
+}
+
+TEST(CompletionTable, ExactlyOneWinnerUnderContention) {
+  // N threads race to complete the same query; exactly one must win.
+  CompletionTable table(1024);
+  constexpr int kQueries = 200;
+  constexpr int kThreads = 8;
+  std::vector<std::atomic<int>> winners(kQueries);
+  for (auto& w : winners) w.store(0);
+  for (int q = 0; q < kQueries; ++q) table.begin(static_cast<uint64_t>(q));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < kQueries; ++q) {
+        if (table.complete(static_cast<uint64_t>(q))) {
+          winners[q].fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int q = 0; q < kQueries; ++q) {
+    EXPECT_EQ(winners[q].load(), 1) << "query " << q;
+    EXPECT_TRUE(table.is_complete(static_cast<uint64_t>(q)));
+  }
+}
+
+TEST(CompletionTable, CapacityReported) {
+  CompletionTable table(64);
+  EXPECT_EQ(table.capacity(), 64u);
+}
+
+}  // namespace
+}  // namespace reissue::runtime

@@ -1,0 +1,106 @@
+#include "reissue/runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace reissue::runtime {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountHonoured) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DrainsOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { count.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  for (auto& t : touched) t.store(0);
+  parallel_for(kN, [&](std::size_t i) { touched[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; }, 4);
+  SUCCEED();
+}
+
+TEST(ParallelFor, SingleThreadFallbackIsSequential) {
+  std::vector<std::size_t> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  // Each index writes its own slot deterministically: any thread count
+  // must give identical output.
+  constexpr std::size_t kN = 2000;
+  auto run = [&](std::size_t threads) {
+    std::vector<double> out(kN);
+    parallel_for(kN, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    }, threads);
+    return out;
+  };
+  const auto seq = run(1);
+  EXPECT_EQ(run(2), seq);
+  EXPECT_EQ(run(8), seq);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(100, [](std::size_t i) {
+        if (i == 37) throw std::runtime_error("boom");
+      }, 4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, AllWorkFinishesDespiteException) {
+  std::atomic<int> done{0};
+  try {
+    parallel_for(1000, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early");
+      done.fetch_add(1);
+    }, 4);
+  } catch (const std::runtime_error&) {
+  }
+  // Remaining indices still ran (no cancellation semantics).
+  EXPECT_EQ(done.load(), 999);
+}
+
+}  // namespace
+}  // namespace reissue::runtime

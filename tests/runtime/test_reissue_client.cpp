@@ -1,0 +1,203 @@
+#include "reissue/runtime/reissue_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reissue::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Records every dispatched copy, thread-safe.
+class RecordingBackend {
+ public:
+  DispatchFn dispatch() {
+    return [this](std::uint64_t id, bool is_reissue) {
+      std::lock_guard lock(mutex_);
+      if (is_reissue) {
+        reissues_.push_back(id);
+      } else {
+        primaries_.push_back(id);
+      }
+    };
+  }
+
+  std::vector<std::uint64_t> primaries() const {
+    std::lock_guard lock(mutex_);
+    return primaries_;
+  }
+
+  std::vector<std::uint64_t> reissues() const {
+    std::lock_guard lock(mutex_);
+    return reissues_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> primaries_;
+  std::vector<std::uint64_t> reissues_;
+};
+
+ReissueClientConfig fast_config() {
+  ReissueClientConfig config;
+  config.poll_interval_ms = 0.2;
+  return config;
+}
+
+TEST(ReissueClient, DispatchesPrimaryImmediately) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::none(), fast_config());
+  client.submit(1);
+  client.submit(2);
+  EXPECT_EQ(backend.primaries().size(), 2u);
+  EXPECT_TRUE(backend.reissues().empty());
+  EXPECT_EQ(client.queries_submitted(), 2u);
+}
+
+TEST(ReissueClient, NoReissuePolicyNeverReissues) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::none(), fast_config());
+  for (std::uint64_t i = 0; i < 50; ++i) client.submit(i);
+  std::this_thread::sleep_for(20ms);
+  EXPECT_TRUE(backend.reissues().empty());
+  EXPECT_EQ(client.reissues_issued(), 0u);
+}
+
+TEST(ReissueClient, SingleDReissuesUncompletedAfterDelay) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_d(5.0), fast_config());
+  client.submit(1);
+  client.submit(2);
+  // Complete query 1 before the 5 ms delay elapses.
+  client.on_response(1);
+  std::this_thread::sleep_for(50ms);
+  const auto reissues = backend.reissues();
+  ASSERT_EQ(reissues.size(), 1u);
+  EXPECT_EQ(reissues[0], 2u);
+  EXPECT_EQ(client.reissues_issued(), 1u);
+}
+
+TEST(ReissueClient, CompletionBeforeDelaySuppressesReissue) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_d(20.0), fast_config());
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    client.submit(i);
+    client.on_response(i);  // instant completion
+  }
+  std::this_thread::sleep_for(60ms);
+  EXPECT_TRUE(backend.reissues().empty());
+}
+
+TEST(ReissueClient, SingleRRespectsProbabilityStatistically) {
+  WallClock clock;
+  RecordingBackend backend;
+  // d=0 and never complete: expect ~q fraction reissued.
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_r(0.0, 0.3), fast_config());
+  constexpr std::uint64_t kQueries = 2000;
+  for (std::uint64_t i = 0; i < kQueries; ++i) client.submit(i);
+  client.drain();
+  const double rate =
+      static_cast<double>(client.reissues_issued()) / double(kQueries);
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(ReissueClient, OnResponseReturnsTrueOnlyOnce) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::none(), fast_config());
+  client.submit(7);
+  EXPECT_TRUE(client.on_response(7));
+  EXPECT_FALSE(client.on_response(7));  // reissue copy arriving later
+}
+
+TEST(ReissueClient, PolicySwapAffectsNewSubmissions) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::none(), fast_config());
+  EXPECT_EQ(client.policy(), core::ReissuePolicy::none());
+  client.set_policy(core::ReissuePolicy::single_d(1.0));
+  EXPECT_EQ(client.policy(), core::ReissuePolicy::single_d(1.0));
+  client.submit(1);
+  std::this_thread::sleep_for(40ms);
+  EXPECT_EQ(backend.reissues().size(), 1u);
+}
+
+TEST(ReissueClient, MultipleRIssuesUpToTwoCopies) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(
+      clock, backend.dispatch(),
+      core::ReissuePolicy::double_r(1.0, 1.0, 3.0, 1.0), fast_config());
+  client.submit(42);
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(backend.reissues().size(), 2u);
+}
+
+TEST(ReissueClient, SecondStageSuppressedByCompletion) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(
+      clock, backend.dispatch(),
+      core::ReissuePolicy::double_r(1.0, 1.0, 50.0, 1.0), fast_config());
+  client.submit(42);
+  std::this_thread::sleep_for(20ms);  // first stage fires
+  client.on_response(42);             // complete before second stage
+  std::this_thread::sleep_for(80ms);
+  EXPECT_EQ(backend.reissues().size(), 1u);
+}
+
+TEST(ReissueClient, ConcurrentSubmittersAreSafe) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_r(0.5, 0.5), fast_config());
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        client.submit(static_cast<std::uint64_t>(t) * kPerThread + i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  client.drain();
+  EXPECT_EQ(client.queries_submitted(), kThreads * kPerThread);
+  EXPECT_EQ(backend.primaries().size(), kThreads * kPerThread);
+  // q=0.5, nothing completes: roughly half reissued.
+  const double rate = static_cast<double>(client.reissues_issued()) /
+                      double(kThreads * kPerThread);
+  EXPECT_NEAR(rate, 0.5, 0.07);
+}
+
+TEST(ReissueClient, RejectsBadConstruction) {
+  WallClock clock;
+  EXPECT_THROW(ReissueClient(clock, nullptr, core::ReissuePolicy::none()),
+               std::invalid_argument);
+  RecordingBackend backend;
+  ReissueClientConfig config;
+  config.poll_interval_ms = 0.0;
+  EXPECT_THROW(ReissueClient(clock, backend.dispatch(),
+                             core::ReissuePolicy::none(), config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reissue::runtime

@@ -1,0 +1,277 @@
+#include "reissue/sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::sim {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig config;
+  config.servers = 4;
+  config.queries = 4000;
+  config.warmup = 400;
+  config.arrival_rate = 0.1;
+  config.seed = 0x1234;
+  return config;
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  const auto dist = stats::make_exponential(0.1);
+  ClusterConfig config = small_config();
+  config.queries = 0;
+  EXPECT_THROW(Cluster(config, make_iid_service(dist)), std::invalid_argument);
+  config = small_config();
+  config.warmup = config.queries;
+  EXPECT_THROW(Cluster(config, make_iid_service(dist)), std::invalid_argument);
+  config = small_config();
+  config.servers = 0;
+  EXPECT_THROW(Cluster(config, make_iid_service(dist)), std::invalid_argument);
+  config = small_config();
+  config.arrival_rate = 0.0;
+  EXPECT_THROW(Cluster(config, make_iid_service(dist)), std::invalid_argument);
+  EXPECT_THROW(Cluster(small_config(), nullptr), std::invalid_argument);
+}
+
+TEST(Cluster, AllQueriesCompleteAndLogsAreConsistent) {
+  Cluster cluster(small_config(),
+                  make_iid_service(stats::make_exponential(0.1)));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  const std::size_t logged = 4000 - 400;
+  EXPECT_EQ(result.queries, logged);
+  EXPECT_EQ(result.query_latencies.size(), logged);
+  EXPECT_EQ(result.primary_latencies.size(), logged);
+  EXPECT_EQ(result.reissues_issued, 0u);
+  EXPECT_TRUE(result.reissue_latencies.empty());
+  for (std::size_t i = 0; i < logged; ++i) {
+    EXPECT_GE(result.query_latencies[i], 0.0);
+    // Without reissues the query latency IS the primary latency.
+    EXPECT_DOUBLE_EQ(result.query_latencies[i], result.primary_latencies[i]);
+  }
+}
+
+TEST(Cluster, DeterministicForSeed) {
+  Cluster a(small_config(), make_iid_service(stats::make_pareto(1.1, 2.0)));
+  Cluster b(small_config(), make_iid_service(stats::make_pareto(1.1, 2.0)));
+  const auto policy = core::ReissuePolicy::single_r(10.0, 0.5);
+  const auto ra = a.run(policy);
+  const auto rb = b.run(policy);
+  ASSERT_EQ(ra.query_latencies.size(), rb.query_latencies.size());
+  for (std::size_t i = 0; i < ra.query_latencies.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ra.query_latencies[i], rb.query_latencies[i]);
+  }
+  EXPECT_EQ(ra.reissues_issued, rb.reissues_issued);
+}
+
+TEST(Cluster, SeedChangesChangeOutcome) {
+  ClusterConfig config = small_config();
+  Cluster a(config, make_iid_service(stats::make_pareto(1.1, 2.0)));
+  config.seed = 0x9999;
+  Cluster b(config, make_iid_service(stats::make_pareto(1.1, 2.0)));
+  const auto ra = a.run(core::ReissuePolicy::none());
+  const auto rb = b.run(core::ReissuePolicy::none());
+  EXPECT_NE(ra.query_latencies.front(), rb.query_latencies.front());
+}
+
+TEST(Cluster, MeasuredReissueRateMatchesPolicyBudget) {
+  // SingleR(0, q) reissues every query with probability q (nothing
+  // completes instantaneously under queueing at t=0 except zero-service
+  // draws, which exp(0.1) gives w.p. 0).
+  ClusterConfig config = small_config();
+  config.queries = 20000;
+  config.warmup = 1000;
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto result = cluster.run(core::ReissuePolicy::single_r(0.0, 0.25));
+  EXPECT_NEAR(result.measured_reissue_rate(), 0.25, 0.02);
+  EXPECT_EQ(result.correlated_pairs.size(), result.reissue_latencies.size());
+  EXPECT_EQ(result.reissue_delays.size(), result.reissue_latencies.size());
+}
+
+TEST(Cluster, SingleDReissuesExactlyTheSlowRequests) {
+  // With a huge delay, nothing is outstanding by d, so no reissues.
+  Cluster cluster(small_config(),
+                  make_iid_service(stats::make_exponential(0.1)));
+  const auto result = cluster.run(core::ReissuePolicy::single_d(1e9));
+  EXPECT_EQ(result.reissues_issued, 0u);
+}
+
+TEST(Cluster, ImmediateReissueDoublesOfferedLoad) {
+  ClusterConfig config = small_config();
+  config.queries = 20000;
+  config.warmup = 1000;
+  config.arrival_rate = 0.02;  // light load so the system stays stable
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto base = cluster.run(core::ReissuePolicy::none());
+  const auto doubled = cluster.run(core::ReissuePolicy::immediate());
+  EXPECT_NEAR(doubled.measured_reissue_rate(), 1.0, 1e-9);
+  EXPECT_GT(doubled.utilization, 1.8 * base.utilization);
+}
+
+TEST(Cluster, UtilizationMatchesLittleLaw) {
+  // util = lambda * E[S] / m.
+  ClusterConfig config = small_config();
+  config.queries = 40000;
+  config.warmup = 2000;
+  config.servers = 10;
+  const double mean_service = 10.0;  // Exp(0.1)
+  config.arrival_rate =
+      arrival_rate_for_utilization(0.30, config.servers, mean_service);
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  EXPECT_NEAR(result.utilization, 0.30, 0.03);
+}
+
+TEST(Cluster, ReissueReducesTailOnQueueingWorkload) {
+  ClusterConfig config = small_config();
+  config.queries = 30000;
+  config.warmup = 2000;
+  config.servers = 10;
+  config.arrival_rate = arrival_rate_for_utilization(0.30, 10, 22.0);
+  Cluster cluster(config, make_iid_service(stats::make_pareto(1.1, 2.0)));
+  const auto base = cluster.run(core::ReissuePolicy::none());
+  // A sensible hand-tuned SingleR: reissue at the ~85th percentile of the
+  // primary distribution with enough probability to spend ~10%.
+  const double d = stats::EmpiricalCdf(base.primary_latencies).quantile(0.85);
+  const auto policy = core::ReissuePolicy::single_r(d, 0.65);
+  const auto hedged = cluster.run(policy);
+  EXPECT_LT(hedged.tail_latency(0.95), base.tail_latency(0.95));
+}
+
+TEST(Cluster, InfiniteServersHaveNoQueueing) {
+  ClusterConfig config = small_config();
+  config.infinite_servers = true;
+  config.servers = 0;
+  config.queries = 20000;
+  config.warmup = 100;
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  // Latency == service time: the ECDF should match Exp(0.1) closely.
+  const stats::EmpiricalCdf cdf(result.query_latencies);
+  EXPECT_NEAR(cdf.mean(), 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(result.utilization, 0.0);
+}
+
+TEST(Cluster, CorrelatedServiceReflectsInPairs) {
+  ClusterConfig config = small_config();
+  config.infinite_servers = true;
+  config.servers = 0;
+  config.queries = 30000;
+  config.warmup = 100;
+  Cluster cluster(
+      config, make_correlated_service(stats::make_exponential(0.1), 1.0));
+  const auto result = cluster.run(core::ReissuePolicy::single_r(0.0, 1.0));
+  ASSERT_GT(result.correlated_pairs.size(), 1000u);
+  // y = x + z >= x must hold pairwise (no queueing, so response == service).
+  for (const auto& [x, y] : result.correlated_pairs) {
+    ASSERT_GE(y, x - 1e-9);
+  }
+}
+
+TEST(Cluster, CancellationReducesWastedWork) {
+  ClusterConfig config = small_config();
+  config.queries = 20000;
+  config.warmup = 1000;
+  config.servers = 10;
+  config.arrival_rate = arrival_rate_for_utilization(0.30, 10, 10.0);
+  auto service = [&] { return make_iid_service(stats::make_exponential(0.1)); };
+
+  Cluster no_cancel(config, service());
+  const auto base = no_cancel.run(core::ReissuePolicy::single_r(0.0, 0.5));
+
+  config.cancel_on_completion = true;
+  config.cancellation_overhead = 0.01;
+  Cluster with_cancel(config, service());
+  const auto cancelled = with_cancel.run(core::ReissuePolicy::single_r(0.0, 0.5));
+
+  EXPECT_LT(cancelled.utilization, base.utilization);
+}
+
+TEST(Cluster, ArrivalPhasesValidated) {
+  ClusterConfig config = small_config();
+  config.arrival_phases = {{0.0, 1.0}};
+  EXPECT_THROW(Cluster(config, make_iid_service(stats::make_exponential(0.1))),
+               std::invalid_argument);
+  config = small_config();
+  config.arrival_phases = {{100.0, -1.0}};
+  EXPECT_THROW(Cluster(config, make_iid_service(stats::make_exponential(0.1))),
+               std::invalid_argument);
+}
+
+TEST(Cluster, ArrivalPhasesModulateLoad) {
+  // Two phases: 2x rate then 0.5x rate.  The first half of queries should
+  // see heavier queueing than the second (§4.4 drifting-load scenario).
+  ClusterConfig config = small_config();
+  config.queries = 30000;
+  config.warmup = 1000;
+  config.servers = 10;
+  config.arrival_rate = arrival_rate_for_utilization(0.35, 10, 10.0);
+  const double cycle = 30000.0 / config.arrival_rate;  // one long cycle
+  config.arrival_phases = {{cycle / 2.0, 2.0}, {cycle / 2.0, 0.5}};
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+
+  const std::size_t n = result.query_latencies.size();
+  std::vector<double> first(result.query_latencies.begin(),
+                            result.query_latencies.begin() + n / 3);
+  std::vector<double> last(result.query_latencies.end() - n / 3,
+                           result.query_latencies.end());
+  EXPECT_GT(stats::percentile(std::move(first), 95.0),
+            stats::percentile(std::move(last), 95.0));
+}
+
+TEST(Cluster, ConstantPhasesMatchNoPhases) {
+  ClusterConfig config = small_config();
+  Cluster plain(config, make_iid_service(stats::make_exponential(0.1)));
+  config.arrival_phases = {{1000.0, 1.0}};
+  Cluster phased(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto a = plain.run(core::ReissuePolicy::none());
+  const auto b = phased.run(core::ReissuePolicy::none());
+  ASSERT_EQ(a.query_latencies.size(), b.query_latencies.size());
+  for (std::size_t i = 0; i < a.query_latencies.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.query_latencies[i], b.query_latencies[i]);
+  }
+}
+
+TEST(Cluster, InterferenceRequiresDuration) {
+  ClusterConfig config = small_config();
+  config.interference_rate = 0.001;
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  EXPECT_THROW(cluster.run(core::ReissuePolicy::none()), std::invalid_argument);
+}
+
+TEST(Cluster, InterferenceInflatesUtilizationAndTail) {
+  ClusterConfig config = small_config();
+  config.queries = 20000;
+  config.warmup = 1000;
+  config.servers = 10;
+  config.arrival_rate = arrival_rate_for_utilization(0.30, 10, 10.0);
+  Cluster plain(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto base = plain.run(core::ReissuePolicy::none());
+
+  config.interference_rate = 0.001;  // ~10% of capacity in 100-unit bursts
+  config.interference_duration = stats::make_constant(100.0);
+  Cluster noisy(config, make_iid_service(stats::make_exponential(0.1)));
+  const auto result = noisy.run(core::ReissuePolicy::none());
+
+  EXPECT_GT(result.utilization, base.utilization + 0.05);
+  EXPECT_GT(result.tail_latency(0.99), base.tail_latency(0.99));
+}
+
+TEST(Cluster, MultipleRPolicyIssuesAcrossStages) {
+  ClusterConfig config = small_config();
+  config.queries = 20000;
+  config.warmup = 1000;
+  Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+  // Two stages, both certain: queries slow enough to pass both delays get
+  // two reissue copies.
+  const auto policy = core::ReissuePolicy::double_r(0.0, 1.0, 5.0, 1.0);
+  const auto result = cluster.run(policy);
+  EXPECT_GT(result.measured_reissue_rate(), 1.0);  // more copies than queries
+}
+
+}  // namespace
+}  // namespace reissue::sim

@@ -1,0 +1,105 @@
+#include "reissue/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include <vector>
+
+namespace reissue::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i](double) { order.push_back(i); });
+  }
+  q.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue q;
+  q.schedule(2.5, [&](double now) { EXPECT_DOUBLE_EQ(now, 2.5); });
+  q.schedule(7.5, [&](double now) { EXPECT_DOUBLE_EQ(now, 7.5); });
+  const double end = q.run_to_completion();
+  EXPECT_DOUBLE_EQ(end, 7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+  EXPECT_EQ(q.executed(), 2u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](double now) {
+    ++fired;
+    q.schedule(now + 1.0, [&](double) { ++fired; });
+  });
+  q.run_to_completion();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsPastAndNonFiniteEvents) {
+  EventQueue q;
+  q.schedule(5.0, [](double) {});
+  q.run_to_completion();  // now == 5
+  EXPECT_THROW(q.schedule(4.0, [](double) {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(),
+                          [](double) {}),
+               std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(),
+                          [](double) {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsPending) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](double) { ++fired; });
+  q.schedule(2.0, [&](double) { ++fired; });
+  q.schedule(10.0, [&](double) { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_to_completion();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&](double) { ++fired; });
+  q.schedule(2.0, [&](double) { ++fired; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SameTimeChainedSchedulingIsAllowed) {
+  // An event may schedule another event at the *same* timestamp.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double now) {
+    order.push_back(1);
+    q.schedule(now, [&](double) { order.push_back(2); });
+  });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace reissue::sim

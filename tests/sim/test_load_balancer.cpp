@@ -1,0 +1,143 @@
+#include "reissue/sim/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace reissue::sim {
+namespace {
+
+std::vector<Server> make_servers(std::size_t n) {
+  std::vector<Server> servers;
+  servers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    servers.emplace_back(i, make_queue_discipline(QueueDisciplineKind::kFifo));
+  }
+  return servers;
+}
+
+/// Loads server `idx` with `count` queued requests.
+void load_server(Server& server, EventQueue& events, std::size_t count) {
+  server.attach(&events, [](const Request&, double) {});
+  for (std::size_t i = 0; i < count; ++i) {
+    Request r;
+    r.query_id = i;
+    r.service_time = 1000.0;  // effectively forever
+    server.submit(r, 0.0);
+  }
+}
+
+TEST(RandomBalancer, CoversAllServersUniformly) {
+  auto servers = make_servers(10);
+  auto lb = make_load_balancer(LoadBalancerKind::kRandom);
+  stats::Xoshiro256 rng(1);
+  std::array<int, 10> counts{};
+  constexpr int kPicks = 100000;
+  for (int i = 0; i < kPicks; ++i) {
+    ++counts[lb->pick(servers, rng, std::nullopt)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kPicks / 10.0, 5.0 * std::sqrt(kPicks / 10.0));
+  }
+}
+
+TEST(RandomBalancer, NeverPicksExcluded) {
+  auto servers = make_servers(5);
+  auto lb = make_load_balancer(LoadBalancerKind::kRandom);
+  stats::Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(lb->pick(servers, rng, 3), 3u);
+  }
+}
+
+TEST(RandomBalancer, SingleServerWithExclusionStillPicks) {
+  auto servers = make_servers(1);
+  auto lb = make_load_balancer(LoadBalancerKind::kRandom);
+  stats::Xoshiro256 rng(3);
+  EXPECT_EQ(lb->pick(servers, rng, 0), 0u);
+}
+
+TEST(RoundRobinBalancer, CyclesDeterministically) {
+  auto servers = make_servers(4);
+  auto lb = make_load_balancer(LoadBalancerKind::kRoundRobin);
+  stats::Xoshiro256 rng(4);
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 8; ++i) picks.push_back(lb->pick(servers, rng, std::nullopt));
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1, 2, 3, 0, 1, 2, 3}));
+}
+
+TEST(RoundRobinBalancer, SkipsExcluded) {
+  auto servers = make_servers(3);
+  auto lb = make_load_balancer(LoadBalancerKind::kRoundRobin);
+  stats::Xoshiro256 rng(5);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_NE(lb->pick(servers, rng, 1), 1u);
+  }
+}
+
+TEST(MinOfTwoBalancer, PrefersShorterQueues) {
+  EventQueue events;
+  auto servers = make_servers(2);
+  load_server(servers[0], events, 10);
+  load_server(servers[1], events, 0);
+  auto lb = make_load_balancer(LoadBalancerKind::kMinOfTwo);
+  stats::Xoshiro256 rng(6);
+  int picked_idle = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (lb->pick(servers, rng, std::nullopt) == 1) ++picked_idle;
+  }
+  // With two servers, the two samples include the idle one w.p. >= 3/4 and
+  // then it always wins.
+  EXPECT_GT(picked_idle, 700);
+}
+
+TEST(MinOfAllBalancer, AlwaysPicksGlobalMinimum) {
+  EventQueue events;
+  auto servers = make_servers(4);
+  load_server(servers[0], events, 5);
+  load_server(servers[1], events, 2);
+  load_server(servers[2], events, 7);
+  load_server(servers[3], events, 2);
+  auto lb = make_load_balancer(LoadBalancerKind::kMinOfAll);
+  stats::Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = lb->pick(servers, rng, std::nullopt);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(MinOfAllBalancer, SharesTiesRandomly) {
+  auto servers = make_servers(3);  // all idle: three-way tie
+  auto lb = make_load_balancer(LoadBalancerKind::kMinOfAll);
+  stats::Xoshiro256 rng(8);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[lb->pick(servers, rng, std::nullopt)];
+  }
+  for (int c : counts) EXPECT_GT(c, 8000);
+}
+
+TEST(MinOfAllBalancer, RespectsExclusion) {
+  EventQueue events;
+  auto servers = make_servers(3);
+  load_server(servers[1], events, 1);
+  load_server(servers[2], events, 1);
+  // Server 0 is idle (global minimum) but excluded.
+  auto lb = make_load_balancer(LoadBalancerKind::kMinOfAll);
+  stats::Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(lb->pick(servers, rng, 0), 0u);
+  }
+}
+
+TEST(AllBalancers, ToStringNames) {
+  EXPECT_EQ(to_string(LoadBalancerKind::kRandom), "Random");
+  EXPECT_EQ(to_string(LoadBalancerKind::kRoundRobin), "RoundRobin");
+  EXPECT_EQ(to_string(LoadBalancerKind::kMinOfTwo), "MinOfTwo");
+  EXPECT_EQ(to_string(LoadBalancerKind::kMinOfAll), "MinOfAll");
+}
+
+}  // namespace
+}  // namespace reissue::sim

@@ -1,0 +1,76 @@
+#include "reissue/sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reissue/sim/workloads.hpp"
+
+namespace reissue::sim {
+namespace {
+
+workloads::WorkloadOptions quick() {
+  workloads::WorkloadOptions opts;
+  opts.queries = 15000;
+  opts.warmup = 1500;
+  return opts;
+}
+
+TEST(Metrics, ReductionRatioBasics) {
+  EXPECT_DOUBLE_EQ(reduction_ratio(100.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(reduction_ratio(100.0, 100.0), 1.0);
+  EXPECT_THROW(reduction_ratio(100.0, 0.0), std::invalid_argument);
+}
+
+TEST(Metrics, EvaluatePolicyPopulatesFields) {
+  Cluster cluster = workloads::make_queueing(0.30, 0.5, quick());
+  const auto eval =
+      evaluate_policy(cluster, core::ReissuePolicy::single_r(20.0, 0.5), 0.95);
+  EXPECT_GT(eval.tail_latency, 0.0);
+  EXPECT_GT(eval.reissue_rate, 0.0);
+  EXPECT_LE(eval.reissue_rate, 1.0);
+  EXPECT_GE(eval.remediation_rate, 0.0);
+  EXPECT_LE(eval.remediation_rate, 1.0);
+  EXPECT_GT(eval.utilization, 0.0);
+}
+
+TEST(Metrics, NoReissueHasZeroRateAndRemediation) {
+  Cluster cluster = workloads::make_queueing(0.30, 0.5, quick());
+  const auto eval =
+      evaluate_policy(cluster, core::ReissuePolicy::none(), 0.95);
+  EXPECT_DOUBLE_EQ(eval.reissue_rate, 0.0);
+  EXPECT_DOUBLE_EQ(eval.remediation_rate, 0.0);
+}
+
+TEST(Metrics, TuneSingleRImprovesOverBaseline) {
+  Cluster cluster = workloads::make_queueing(0.30, 0.5, quick());
+  const double baseline =
+      evaluate_policy(cluster, core::ReissuePolicy::none(), 0.95).tail_latency;
+  const auto tuned = tune_single_r(cluster, 0.95, 0.10, /*trials=*/6);
+  EXPECT_LT(tuned.final_eval.tail_latency, baseline);
+  EXPECT_NEAR(tuned.final_eval.reissue_rate, 0.10, 0.04);
+  EXPECT_EQ(tuned.outcome.trials.size(), 6u);
+}
+
+TEST(Metrics, TuneSingleDApproachesBudget) {
+  Cluster cluster = workloads::make_queueing(0.30, 0.5, quick());
+  const auto tuned = tune_single_d(cluster, 0.95, 0.15, /*trials=*/6);
+  EXPECT_NEAR(tuned.final_eval.reissue_rate, 0.15, 0.05);
+  EXPECT_DOUBLE_EQ(tuned.final_eval.policy.probability(), 1.0);
+}
+
+TEST(Metrics, RemediationRateCountsOnlyUsefulReissues) {
+  // Build a run result by hand: two issued reissues, one remediates.
+  core::RunResult result;
+  result.queries = 4;
+  result.query_latencies = {10.0, 10.0, 100.0, 100.0};
+  result.primary_latencies = {10.0, 10.0, 120.0, 120.0};
+  // Reissue 1: primary 120 > t=100, reissued at d=50, y=30 < 100-50 ✓
+  // Reissue 2: primary 120 > t=100, reissued at d=50, y=80 >= 50 ✗
+  result.reissue_latencies = {30.0, 80.0};
+  result.correlated_pairs = {{120.0, 30.0}, {120.0, 80.0}};
+  result.reissue_delays = {50.0, 50.0};
+  result.reissues_issued = 2;
+  EXPECT_DOUBLE_EQ(result.remediation_rate(100.0), 0.5);
+}
+
+}  // namespace
+}  // namespace reissue::sim

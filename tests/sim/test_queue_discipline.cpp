@@ -1,0 +1,186 @@
+#include "reissue/sim/queue_discipline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reissue::sim {
+namespace {
+
+Request make_request(std::uint64_t id, CopyKind kind,
+                     std::uint32_t connection = 0) {
+  Request r;
+  r.query_id = id;
+  r.kind = kind;
+  r.connection = connection;
+  return r;
+}
+
+TEST(Fifo, PopsInArrivalOrder) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kFifo);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    q->push(make_request(i, CopyKind::kPrimary));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q->pop().query_id, i);
+  }
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(Fifo, MixesKindsWithoutPreference) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kFifo);
+  q->push(make_request(1, CopyKind::kReissue));
+  q->push(make_request(2, CopyKind::kPrimary));
+  EXPECT_EQ(q->pop().query_id, 1u);
+  EXPECT_EQ(q->pop().query_id, 2u);
+}
+
+TEST(Fifo, PopOnEmptyThrows) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kFifo);
+  EXPECT_THROW(q->pop(), std::logic_error);
+}
+
+TEST(PrioritizedFifo, PrimariesAlwaysFirst) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kPrioritizedFifo);
+  q->push(make_request(1, CopyKind::kReissue));
+  q->push(make_request(2, CopyKind::kPrimary));
+  q->push(make_request(3, CopyKind::kReissue));
+  q->push(make_request(4, CopyKind::kPrimary));
+  EXPECT_EQ(q->pop().query_id, 2u);
+  EXPECT_EQ(q->pop().query_id, 4u);
+  EXPECT_EQ(q->pop().query_id, 1u);  // reissues FIFO after primaries
+  EXPECT_EQ(q->pop().query_id, 3u);
+}
+
+TEST(PrioritizedLifo, ReissuesPopLifo) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kPrioritizedLifo);
+  q->push(make_request(1, CopyKind::kReissue));
+  q->push(make_request(2, CopyKind::kReissue));
+  q->push(make_request(3, CopyKind::kPrimary));
+  EXPECT_EQ(q->pop().query_id, 3u);
+  EXPECT_EQ(q->pop().query_id, 2u);  // newest reissue first
+  EXPECT_EQ(q->pop().query_id, 1u);
+}
+
+TEST(PrioritizedQueues, SizeCountsBoth) {
+  for (auto kind : {QueueDisciplineKind::kPrioritizedFifo,
+                    QueueDisciplineKind::kPrioritizedLifo}) {
+    auto q = make_queue_discipline(kind);
+    q->push(make_request(1, CopyKind::kPrimary));
+    q->push(make_request(2, CopyKind::kReissue));
+    EXPECT_EQ(q->size(), 2u) << to_string(kind);
+  }
+}
+
+TEST(RoundRobinConnections, CyclesAcrossConnections) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kRoundRobinConnections);
+  // Connection 0 floods 3 requests, connections 1 and 2 one each.
+  q->push(make_request(10, CopyKind::kPrimary, 0));
+  q->push(make_request(11, CopyKind::kPrimary, 0));
+  q->push(make_request(12, CopyKind::kPrimary, 0));
+  q->push(make_request(20, CopyKind::kPrimary, 1));
+  q->push(make_request(30, CopyKind::kPrimary, 2));
+  // One request per connection per round: 10, 20, 30, then 11, 12.
+  EXPECT_EQ(q->pop().query_id, 10u);
+  EXPECT_EQ(q->pop().query_id, 20u);
+  EXPECT_EQ(q->pop().query_id, 30u);
+  EXPECT_EQ(q->pop().query_id, 11u);
+  EXPECT_EQ(q->pop().query_id, 12u);
+}
+
+TEST(RoundRobinConnections, PerConnectionOrderIsFifo) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kRoundRobinConnections);
+  q->push(make_request(1, CopyKind::kPrimary, 7));
+  q->push(make_request(2, CopyKind::kPrimary, 7));
+  q->push(make_request(3, CopyKind::kPrimary, 7));
+  EXPECT_EQ(q->pop().query_id, 1u);
+  EXPECT_EQ(q->pop().query_id, 2u);
+  EXPECT_EQ(q->pop().query_id, 3u);
+}
+
+TEST(ConnectionBatch, DrainsLaneBeforeAdvancing) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kConnectionBatch);
+  q->push(make_request(10, CopyKind::kPrimary, 0));
+  q->push(make_request(11, CopyKind::kPrimary, 0));
+  q->push(make_request(12, CopyKind::kPrimary, 0));
+  q->push(make_request(20, CopyKind::kPrimary, 1));
+  // Exhaustive batch: connection 0's whole pipeline first (paper §6.2:
+  // Redis services each active connection "in a batch").
+  EXPECT_EQ(q->pop().query_id, 10u);
+  EXPECT_EQ(q->pop().query_id, 11u);
+  EXPECT_EQ(q->pop().query_id, 12u);
+  EXPECT_EQ(q->pop().query_id, 20u);
+}
+
+TEST(ConnectionBatch, AdvancesAfterLaneEmpties) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kConnectionBatch);
+  q->push(make_request(1, CopyKind::kPrimary, 0));
+  EXPECT_EQ(q->pop().query_id, 1u);
+  // Lane 0 drained; later arrivals on lane 1 go next even if lane 0
+  // refills afterwards.
+  q->push(make_request(2, CopyKind::kPrimary, 1));
+  q->push(make_request(3, CopyKind::kPrimary, 0));
+  EXPECT_EQ(q->pop().query_id, 2u);
+  EXPECT_EQ(q->pop().query_id, 3u);
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(RoundRobinConnections, NewConnectionJoinsRotation) {
+  auto q = make_queue_discipline(QueueDisciplineKind::kRoundRobinConnections);
+  q->push(make_request(1, CopyKind::kPrimary, 0));
+  EXPECT_EQ(q->pop().query_id, 1u);
+  q->push(make_request(2, CopyKind::kPrimary, 1));
+  q->push(make_request(3, CopyKind::kPrimary, 0));
+  // Both lanes have one entry; either order is acceptable round-robin,
+  // but both must drain.
+  std::vector<std::uint64_t> got{q->pop().query_id, q->pop().query_id};
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(AllDisciplines, SizeTracksPushPop) {
+  for (auto kind :
+       {QueueDisciplineKind::kFifo, QueueDisciplineKind::kPrioritizedFifo,
+        QueueDisciplineKind::kPrioritizedLifo,
+        QueueDisciplineKind::kRoundRobinConnections,
+        QueueDisciplineKind::kConnectionBatch}) {
+    auto q = make_queue_discipline(kind);
+    EXPECT_TRUE(q->empty()) << to_string(kind);
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      q->push(make_request(i, i % 2 ? CopyKind::kPrimary : CopyKind::kReissue,
+                           static_cast<std::uint32_t>(i % 3)));
+      EXPECT_EQ(q->size(), i + 1);
+    }
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      (void)q->pop();
+      EXPECT_EQ(q->size(), 9 - i);
+    }
+    EXPECT_TRUE(q->empty()) << to_string(kind);
+  }
+}
+
+TEST(AllDisciplines, ConservationNoLossNoDuplication) {
+  for (auto kind :
+       {QueueDisciplineKind::kFifo, QueueDisciplineKind::kPrioritizedFifo,
+        QueueDisciplineKind::kPrioritizedLifo,
+        QueueDisciplineKind::kRoundRobinConnections,
+        QueueDisciplineKind::kConnectionBatch}) {
+    auto q = make_queue_discipline(kind);
+    std::vector<bool> seen(100, false);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      q->push(make_request(i, i % 3 ? CopyKind::kPrimary : CopyKind::kReissue,
+                           static_cast<std::uint32_t>(i % 7)));
+    }
+    for (int i = 0; i < 100; ++i) {
+      const auto id = q->pop().query_id;
+      ASSERT_LT(id, 100u);
+      ASSERT_FALSE(seen[id]) << to_string(kind);
+      seen[id] = true;
+    }
+    EXPECT_TRUE(q->empty());
+  }
+}
+
+}  // namespace
+}  // namespace reissue::sim

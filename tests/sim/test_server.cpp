@@ -1,0 +1,132 @@
+#include "reissue/sim/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace reissue::sim {
+namespace {
+
+Request make_request(std::uint64_t id, double service,
+                     CopyKind kind = CopyKind::kPrimary) {
+  Request r;
+  r.query_id = id;
+  r.kind = kind;
+  r.service_time = service;
+  return r;
+}
+
+struct Completion {
+  std::uint64_t id;
+  double at;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void attach(Server& server) {
+    server.attach(&events_, [this](const Request& r, double now) {
+      completions_.push_back({r.query_id, now});
+    });
+  }
+
+  EventQueue events_;
+  std::vector<Completion> completions_;
+};
+
+TEST_F(ServerTest, ServesSingleRequest) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  attach(server);
+  server.submit(make_request(1, 5.0), 0.0);
+  EXPECT_TRUE(server.busy());
+  events_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_EQ(completions_[0].id, 1u);
+  EXPECT_DOUBLE_EQ(completions_[0].at, 5.0);
+  EXPECT_FALSE(server.busy());
+  EXPECT_DOUBLE_EQ(server.busy_time(), 5.0);
+  EXPECT_EQ(server.completed(), 1u);
+}
+
+TEST_F(ServerTest, QueuedRequestsServeBackToBack) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  attach(server);
+  server.submit(make_request(1, 3.0), 0.0);
+  server.submit(make_request(2, 4.0), 0.0);
+  EXPECT_EQ(server.queue_length(), 1u);
+  EXPECT_EQ(server.load(), 2u);
+  events_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions_[0].at, 3.0);
+  EXPECT_DOUBLE_EQ(completions_[1].at, 7.0);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 7.0);
+}
+
+TEST_F(ServerTest, IdleGapsDoNotAccrueBusyTime) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  attach(server);
+  server.submit(make_request(1, 2.0), 0.0);
+  events_.run_to_completion();
+  // Submit again much later (manually advance via a scheduled event).
+  events_.schedule(10.0, [&](double now) {
+    server.submit(make_request(2, 3.0), now);
+  });
+  events_.run_to_completion();
+  EXPECT_DOUBLE_EQ(server.busy_time(), 5.0);
+  EXPECT_DOUBLE_EQ(completions_[1].at, 13.0);
+}
+
+TEST_F(ServerTest, SubmitBeforeAttachThrows) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  EXPECT_THROW(server.submit(make_request(1, 1.0), 0.0), std::logic_error);
+}
+
+TEST_F(ServerTest, ZeroServiceTimeCompletesImmediately) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  attach(server);
+  server.submit(make_request(1, 0.0), 1.0);
+  events_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 1u);
+  EXPECT_DOUBLE_EQ(completions_[0].at, 1.0);
+}
+
+TEST_F(ServerTest, PrioritizedQueueReordersUnderServer) {
+  Server server(0,
+                make_queue_discipline(QueueDisciplineKind::kPrioritizedFifo));
+  attach(server);
+  // While request 1 is in service, a reissue then a primary arrive; the
+  // primary must be served first.
+  server.submit(make_request(1, 10.0), 0.0);
+  server.submit(make_request(2, 1.0, CopyKind::kReissue), 0.0);
+  server.submit(make_request(3, 1.0, CopyKind::kPrimary), 0.0);
+  events_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 3u);
+  EXPECT_EQ(completions_[1].id, 3u);
+  EXPECT_EQ(completions_[2].id, 2u);
+}
+
+TEST_F(ServerTest, CancellationChargesOverheadOnly) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  attach(server);
+  bool cancel_second = true;
+  server.set_cancellation(
+      [&](const Request& r) { return cancel_second && r.query_id == 2; },
+      /*cancel_cost=*/0.5);
+  server.submit(make_request(1, 4.0), 0.0);
+  server.submit(make_request(2, 100.0), 0.0);  // will be cancelled at pop
+  server.submit(make_request(3, 2.0), 0.0);
+  events_.run_to_completion();
+  ASSERT_EQ(completions_.size(), 3u);
+  EXPECT_DOUBLE_EQ(completions_[1].at, 4.5);  // 4.0 + 0.5 overhead
+  EXPECT_DOUBLE_EQ(completions_[2].at, 6.5);
+  EXPECT_DOUBLE_EQ(server.busy_time(), 6.5);
+}
+
+TEST_F(ServerTest, NegativeCancellationCostRejected) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  EXPECT_THROW(server.set_cancellation([](const Request&) { return true; },
+                                       -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reissue::sim

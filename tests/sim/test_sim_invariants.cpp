@@ -1,0 +1,135 @@
+// Simulation invariants that must hold for every (policy, queue
+// discipline, load balancer) combination: log-shape consistency,
+// first-response semantics, reissue-timing semantics, and budget accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "reissue/sim/cluster.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::sim {
+namespace {
+
+struct InvariantCase {
+  std::string label;
+  core::ReissuePolicy policy;
+  QueueDisciplineKind queue;
+  LoadBalancerKind balancer;
+};
+
+class SimInvariants : public ::testing::TestWithParam<InvariantCase> {
+ protected:
+  core::RunResult run() {
+    ClusterConfig config;
+    config.servers = 6;
+    config.queries = 8000;
+    config.warmup = 500;
+    config.queue = GetParam().queue;
+    config.load_balancer = GetParam().balancer;
+    config.arrival_rate = arrival_rate_for_utilization(0.35, 6, 10.0);
+    Cluster cluster(config, make_iid_service(stats::make_exponential(0.1)));
+    return cluster.run(GetParam().policy);
+  }
+};
+
+TEST_P(SimInvariants, LogShapesConsistent) {
+  const auto result = run();
+  EXPECT_EQ(result.query_latencies.size(), result.queries);
+  EXPECT_EQ(result.primary_latencies.size(), result.queries);
+  EXPECT_EQ(result.correlated_pairs.size(), result.reissue_latencies.size());
+  EXPECT_EQ(result.reissue_delays.size(), result.reissue_latencies.size());
+  EXPECT_LE(result.reissue_latencies.size(), result.reissues_issued);
+}
+
+TEST_P(SimInvariants, QueryLatencyIsFirstResponse) {
+  // The end-to-end latency can never exceed the primary's own response
+  // time -- a reissue can only make things faster.
+  const auto result = run();
+  for (std::size_t i = 0; i < result.queries; ++i) {
+    ASSERT_LE(result.query_latencies[i], result.primary_latencies[i] + 1e-9);
+    ASSERT_GE(result.query_latencies[i], 0.0);
+  }
+}
+
+TEST_P(SimInvariants, ReissueTimingMatchesPolicyStages) {
+  // Every issued reissue fires at one of the policy's stage delays.
+  const auto result = run();
+  const auto stages = GetParam().policy.stages();
+  for (double delay : result.reissue_delays) {
+    bool matches_stage = false;
+    for (const auto& stage : stages) {
+      if (std::abs(delay - stage.delay) < 1e-9) matches_stage = true;
+    }
+    ASSERT_TRUE(matches_stage) << "reissue fired at " << delay;
+  }
+}
+
+TEST_P(SimInvariants, ReissuesOnlyForOutstandingQueries) {
+  // A stage at delay d can only fire for a query whose completion took
+  // longer than d (completion is checked before sending).
+  const auto result = run();
+  for (std::size_t i = 0; i < result.reissue_latencies.size(); ++i) {
+    const double primary = result.correlated_pairs[i].first;
+    const double delay = result.reissue_delays[i];
+    ASSERT_GT(primary, delay - 1e-9);
+  }
+}
+
+TEST_P(SimInvariants, MeasuredRateWithinPolicyBound) {
+  // For a single-stage policy the measured rate cannot exceed q (a coin
+  // per query), and equals ~q * Pr(outstanding at d).
+  const auto result = run();
+  const auto stages = GetParam().policy.stages();
+  if (stages.size() == 1) {
+    EXPECT_LE(result.measured_reissue_rate(),
+              stages.front().probability + 0.02);
+  }
+}
+
+TEST_P(SimInvariants, DeterministicAcrossRuns) {
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.reissues_issued, b.reissues_issued);
+  ASSERT_EQ(a.query_latencies.size(), b.query_latencies.size());
+  for (std::size_t i = 0; i < a.query_latencies.size(); i += 97) {
+    ASSERT_DOUBLE_EQ(a.query_latencies[i], b.query_latencies[i]);
+  }
+}
+
+std::vector<InvariantCase> make_cases() {
+  const std::vector<std::pair<std::string, core::ReissuePolicy>> policies{
+      {"none", core::ReissuePolicy::none()},
+      {"immediate", core::ReissuePolicy::immediate()},
+      {"single_d", core::ReissuePolicy::single_d(15.0)},
+      {"single_r", core::ReissuePolicy::single_r(8.0, 0.4)},
+      {"double_r", core::ReissuePolicy::double_r(5.0, 0.3, 20.0, 0.6)},
+  };
+  const std::vector<std::pair<std::string, QueueDisciplineKind>> queues{
+      {"fifo", QueueDisciplineKind::kFifo},
+      {"prio", QueueDisciplineKind::kPrioritizedFifo},
+      {"rrconn", QueueDisciplineKind::kRoundRobinConnections},
+  };
+  const std::vector<std::pair<std::string, LoadBalancerKind>> balancers{
+      {"random", LoadBalancerKind::kRandom},
+      {"jsq", LoadBalancerKind::kMinOfAll},
+  };
+  std::vector<InvariantCase> cases;
+  for (const auto& [pname, policy] : policies) {
+    for (const auto& [qname, queue] : queues) {
+      for (const auto& [bname, balancer] : balancers) {
+        cases.push_back(InvariantCase{pname + "_" + qname + "_" + bname,
+                                      policy, queue, balancer});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SimInvariants,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace reissue::sim

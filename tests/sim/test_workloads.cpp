@@ -1,0 +1,124 @@
+#include "reissue/sim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reissue/stats/correlation.hpp"
+
+namespace reissue::sim::workloads {
+namespace {
+
+WorkloadOptions quick() {
+  WorkloadOptions opts;
+  opts.queries = 12000;
+  opts.warmup = 1000;
+  return opts;
+}
+
+TEST(Workloads, IndependentHasNoQueueing) {
+  Cluster cluster = make_independent(quick());
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  // Latency == Pareto service times: min approaches the mode (2.0) from
+  // above (the mode itself has measure zero).
+  const stats::EmpiricalCdf cdf(result.query_latencies);
+  EXPECT_NEAR(cdf.min(), 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(result.utilization, 0.0);
+}
+
+TEST(Workloads, IndependentReissuePairsAreUncorrelated) {
+  Cluster cluster = make_independent(quick());
+  const auto result = cluster.run(core::ReissuePolicy::single_r(0.0, 1.0));
+  ASSERT_GT(result.correlated_pairs.size(), 5000u);
+  EXPECT_NEAR(stats::spearman(result.correlated_pairs), 0.0, 0.05);
+}
+
+TEST(Workloads, CorrelatedReissuePairsAreCorrelated) {
+  Cluster cluster = make_correlated(0.5, quick());
+  const auto result = cluster.run(core::ReissuePolicy::single_r(0.0, 1.0));
+  ASSERT_GT(result.correlated_pairs.size(), 5000u);
+  EXPECT_GT(stats::spearman(result.correlated_pairs), 0.2);
+}
+
+TEST(Workloads, QueueingHitsTargetUtilization) {
+  WorkloadOptions opts = quick();
+  opts.queries = 40000;
+  opts.warmup = 2000;
+  Cluster cluster = make_queueing(0.30, 0.5, opts);
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  // Pareto(1.1,2) sample means fluctuate wildly; allow a wide band but
+  // require the load to be in the right regime.
+  EXPECT_GT(result.utilization, 0.15);
+  EXPECT_LT(result.utilization, 0.55);
+}
+
+TEST(Workloads, QueueingLatencyExceedsServiceTime) {
+  Cluster cluster = make_queueing(0.30, 0.5, quick());
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  // With queueing, P95 latency must exceed the P95 of pure service times
+  // for the same seed's Independent workload.
+  Cluster independent = make_independent(quick());
+  const auto base = independent.run(core::ReissuePolicy::none());
+  EXPECT_GT(result.tail_latency(0.95), base.tail_latency(0.95));
+}
+
+TEST(Workloads, HigherUtilizationMeansHigherTail) {
+  WorkloadOptions opts = quick();
+  opts.queries = 30000;
+  opts.warmup = 2000;
+  Cluster low = make_queueing(0.20, 0.0, opts);
+  Cluster high = make_queueing(0.60, 0.0, opts);
+  const double tail_low =
+      low.run(core::ReissuePolicy::none()).tail_latency(0.95);
+  const double tail_high =
+      high.run(core::ReissuePolicy::none()).tail_latency(0.95);
+  EXPECT_GT(tail_high, tail_low);
+}
+
+TEST(Workloads, SensitivityOverridesDistribution) {
+  SensitivityOptions opts;
+  opts.service = stats::make_exponential(0.1);
+  opts.utilization = 0.30;
+  opts.base = quick();
+  Cluster cluster = make_sensitivity(opts);
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  EXPECT_NEAR(result.utilization, 0.30, 0.05);
+}
+
+TEST(Workloads, SensitivityLoadBalancerChangesOutcome) {
+  SensitivityOptions opts;
+  opts.service = stats::make_exponential(0.1);
+  opts.utilization = 0.50;
+  opts.base = quick();
+  opts.base.queries = 30000;
+  opts.base.warmup = 2000;
+  opts.load_balancer = LoadBalancerKind::kRandom;
+  Cluster random_lb = make_sensitivity(opts);
+  opts.load_balancer = LoadBalancerKind::kMinOfAll;
+  Cluster jsq = make_sensitivity(opts);
+  const double tail_random =
+      random_lb.run(core::ReissuePolicy::none()).tail_latency(0.95);
+  const double tail_jsq =
+      jsq.run(core::ReissuePolicy::none()).tail_latency(0.95);
+  // Join-shortest-queue strictly dominates random assignment.
+  EXPECT_LT(tail_jsq, tail_random);
+}
+
+TEST(Workloads, EmpiricalMeanServiceApproximatesAnalytic) {
+  const auto dist = stats::make_exponential(0.1);
+  EXPECT_NEAR(empirical_mean_service(*dist, 100000), 10.0, 0.3);
+  EXPECT_THROW(empirical_mean_service(*dist, 0), std::invalid_argument);
+}
+
+TEST(Workloads, ArrivalRateForUtilizationFormula) {
+  EXPECT_NEAR(arrival_rate_for_utilization(0.30, 10, 22.0), 0.3 * 10 / 22.0,
+              1e-12);
+  EXPECT_THROW(arrival_rate_for_utilization(0.0, 10, 22.0),
+               std::invalid_argument);
+  EXPECT_THROW(arrival_rate_for_utilization(1.0, 10, 22.0),
+               std::invalid_argument);
+  EXPECT_THROW(arrival_rate_for_utilization(
+                   0.5, 10, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reissue::sim::workloads

@@ -1,0 +1,82 @@
+#include "reissue/stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(Pearson, RejectsDegenerateInputs) {
+  EXPECT_THROW(pearson({}), std::invalid_argument);
+  EXPECT_THROW(pearson({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(pearson({{1.0, 2.0}, {1.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectLinearRelations) {
+  std::vector<std::pair<double, double>> up;
+  std::vector<std::pair<double, double>> down;
+  for (int i = 0; i < 50; ++i) {
+    up.emplace_back(i, 2.0 * i + 1.0);
+    down.emplace_back(i, -3.0 * i + 7.0);
+  }
+  EXPECT_NEAR(pearson(up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(down), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentDataNearZero) {
+  Xoshiro256 rng(11);
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 20000; ++i) {
+    pts.emplace_back(rng.uniform(), rng.uniform());
+  }
+  EXPECT_NEAR(pearson(pts), 0.0, 0.02);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  // y = x^3 is monotone: Spearman 1, Pearson < 1.
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 1; i <= 100; ++i) {
+    const double x = static_cast<double>(i);
+    pts.emplace_back(x, x * x * x);
+  }
+  EXPECT_NEAR(spearman(pts), 1.0, 1e-12);
+  EXPECT_LT(pearson(pts), 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<std::pair<double, double>> pts{
+      {1.0, 1.0}, {2.0, 2.0}, {2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_NEAR(spearman(pts), 1.0, 1e-12);
+}
+
+TEST(PaperModel, CorrelatedServiceTimesHavePositiveCorrelation) {
+  // §5.1 model: Y = r x + Z.  For Pareto(1.1, 2) the variance is infinite,
+  // so the sample Pearson is unstable; Spearman (rank) correlation is the
+  // robust check that correlation increases with r.
+  const auto dist = make_pareto(1.1, 2.0);
+  Xoshiro256 rng(21);
+  auto spearman_for = [&](double r) {
+    std::vector<std::pair<double, double>> pts;
+    for (int i = 0; i < 20000; ++i) {
+      const double x = dist->sample(rng);
+      const double y = r * x + dist->sample(rng);
+      pts.emplace_back(x, y);
+    }
+    return spearman(pts);
+  };
+  const double rho_zero = spearman_for(0.0);
+  const double rho_half = spearman_for(0.5);
+  const double rho_one = spearman_for(1.0);
+  EXPECT_NEAR(rho_zero, 0.0, 0.03);
+  EXPECT_GT(rho_half, rho_zero + 0.1);
+  EXPECT_GT(rho_one, rho_half);
+}
+
+}  // namespace
+}  // namespace reissue::stats

@@ -1,0 +1,233 @@
+#include "reissue/stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "reissue/stats/kolmogorov.hpp"
+
+namespace reissue::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& dist, std::size_t n,
+                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(dist.sample(rng));
+  return out;
+}
+
+// ------------------------------------------------------------ normal
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895, 1e-6);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Normal, QuantileRejectsBoundaries) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------- per-family analytics
+
+TEST(Pareto, CdfAndQuantileAreConsistent) {
+  const Pareto p(1.1, 2.0);
+  EXPECT_DOUBLE_EQ(p.cdf(1.9), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.0);
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(p.cdf(p.quantile(q)), q, 1e-12);
+  }
+}
+
+TEST(Pareto, MeanMatchesFormula) {
+  EXPECT_NEAR(Pareto(1.1, 2.0).mean(), 22.0, 1e-9);
+  EXPECT_NEAR(Pareto(2.0, 3.0).mean(), 6.0, 1e-9);
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 2.0).mean()));
+}
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, -2.0), std::invalid_argument);
+}
+
+TEST(LogNormal, MeanMatchesFormula) {
+  EXPECT_NEAR(LogNormal(1.0, 1.0).mean(), std::exp(1.5), 1e-9);
+  EXPECT_NEAR(LogNormal(0.0, 0.5).mean(), std::exp(0.125), 1e-9);
+}
+
+TEST(Exponential, QuantileKnownValue) {
+  const Exponential e(0.1);
+  EXPECT_NEAR(e.quantile(0.5), std::log(2.0) / 0.1, 1e-9);
+  EXPECT_NEAR(e.mean(), 10.0, 1e-12);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, 10.0);
+  const Exponential e(0.1);
+  for (double x : {0.5, 1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(w.cdf(x), e.cdf(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(Uniform, Basics) {
+  const Uniform u(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(u.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.mean(), 4.0);
+  EXPECT_THROW(Uniform(3.0, 3.0), std::invalid_argument);
+}
+
+TEST(Constant, IsDegenerate) {
+  const Constant c(5.0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(c.sample(rng), 5.0);
+  EXPECT_DOUBLE_EQ(c.cdf(4.999), 0.0);
+  EXPECT_DOUBLE_EQ(c.cdf(5.0), 1.0);
+}
+
+TEST(Shifted, ShiftsEverything) {
+  const Shifted s(make_exponential(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.cdf(3.0), 0.0);
+  EXPECT_NEAR(s.mean(), 4.0, 1e-12);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_GE(s.sample(rng), 3.0);
+}
+
+TEST(EmpiricalSampler, ResamplesObservedValues) {
+  const EmpiricalSampler e({3.0, 1.0, 2.0});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = e.sample(rng);
+    EXPECT_TRUE(v == 1.0 || v == 2.0 || v == 3.0);
+  }
+  EXPECT_NEAR(e.mean(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.cdf(1.5), 1.0 / 3.0);
+  EXPECT_THROW(EmpiricalSampler({}), std::invalid_argument);
+}
+
+TEST(Truncated, CapsSamplesAndCdf) {
+  const Truncated t(make_pareto(1.1, 2.0), 100.0);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_LE(t.sample(rng), 100.0);
+  }
+  EXPECT_DOUBLE_EQ(t.cdf(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.cdf(1e9), 1.0);
+  const auto base = make_pareto(1.1, 2.0);
+  EXPECT_DOUBLE_EQ(t.cdf(50.0), base->cdf(50.0));
+  EXPECT_DOUBLE_EQ(t.quantile(0.5), base->quantile(0.5));
+}
+
+TEST(Truncated, MeanMatchesAnalyticIntegral) {
+  // E[min(X, c)] for Pareto(a, m), a != 1:
+  //   m + m^a (m^{1-a} - c^{1-a}) / (a - 1).
+  const double a = 1.1;
+  const double m = 2.0;
+  const double c = 5000.0;
+  const double expected =
+      m + std::pow(m, a) * (std::pow(m, 1.0 - a) - std::pow(c, 1.0 - a)) /
+              (a - 1.0);
+  const Truncated t(make_pareto(a, m), c);
+  EXPECT_NEAR(t.mean(), expected, 0.01 * expected);
+  // And the sample mean agrees.
+  Xoshiro256 rng(9);
+  double sum = 0.0;
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) sum += t.sample(rng);
+  EXPECT_NEAR(sum / kDraws, expected, 0.05 * expected);
+}
+
+TEST(Truncated, RejectsBadConstruction) {
+  EXPECT_THROW(Truncated(nullptr, 1.0), std::invalid_argument);
+  EXPECT_THROW(Truncated(make_exponential(1.0), 0.0), std::invalid_argument);
+}
+
+// ------------------------------------- sampling matches the analytic CDF
+
+struct NamedDistribution {
+  std::string label;
+  DistributionPtr dist;
+};
+
+class SamplerMatchesCdf : public ::testing::TestWithParam<NamedDistribution> {};
+
+TEST_P(SamplerMatchesCdf, KsDistanceSmall) {
+  const auto& dist = *GetParam().dist;
+  constexpr std::size_t kDraws = 20000;
+  const auto samples = draw(dist, kDraws, 0xabcdef);
+  const double d =
+      ks_distance(samples, [&](double x) { return dist.cdf(x); });
+  // 99.9% KS critical value ~ 1.95 / sqrt(n).
+  EXPECT_LT(d, 1.95 / std::sqrt(double(kDraws))) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SamplerMatchesCdf,
+    ::testing::Values(
+        NamedDistribution{"pareto_paper", make_pareto(1.1, 2.0)},
+        NamedDistribution{"pareto_light", make_pareto(3.0, 1.0)},
+        NamedDistribution{"lognormal_paper", make_lognormal(1.0, 1.0)},
+        NamedDistribution{"lognormal_wide", make_lognormal(6.5, 2.0)},
+        NamedDistribution{"exponential_paper", make_exponential(0.1)},
+        NamedDistribution{"weibull", make_weibull(1.5, 4.0)},
+        NamedDistribution{"uniform", make_uniform(1.0, 9.0)}),
+    [](const auto& info) { return info.param.label; });
+
+class SampleMeanMatches : public ::testing::TestWithParam<NamedDistribution> {};
+
+TEST_P(SampleMeanMatches, WithinTolerance) {
+  const auto& dist = *GetParam().dist;
+  const auto samples = draw(dist, 200000, 0x1234);
+  double mean = 0.0;
+  for (double v : samples) mean += v;
+  mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(mean, dist.mean(), 0.05 * dist.mean() + 1e-9)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiniteMeanFamilies, SampleMeanMatches,
+    ::testing::Values(
+        NamedDistribution{"pareto_light", make_pareto(3.0, 1.0)},
+        NamedDistribution{"lognormal", make_lognormal(1.0, 1.0)},
+        NamedDistribution{"exponential", make_exponential(0.1)},
+        NamedDistribution{"weibull", make_weibull(1.5, 4.0)},
+        NamedDistribution{"uniform", make_uniform(1.0, 9.0)}),
+    [](const auto& info) { return info.param.label; });
+
+class QuantileRoundTrip : public ::testing::TestWithParam<NamedDistribution> {};
+
+TEST_P(QuantileRoundTrip, CdfOfQuantileIsIdentity) {
+  const auto& dist = *GetParam().dist;
+  for (double p = 0.02; p < 1.0; p += 0.02) {
+    EXPECT_NEAR(dist.cdf(dist.quantile(p)), p, 1e-6)
+        << GetParam().label << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, QuantileRoundTrip,
+    ::testing::Values(
+        NamedDistribution{"pareto", make_pareto(1.1, 2.0)},
+        NamedDistribution{"lognormal", make_lognormal(1.0, 1.0)},
+        NamedDistribution{"exponential", make_exponential(0.1)},
+        NamedDistribution{"weibull", make_weibull(0.8, 2.0)},
+        NamedDistribution{"uniform", make_uniform(0.0, 5.0)}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace reissue::stats

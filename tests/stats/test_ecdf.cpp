@@ -1,0 +1,97 @@
+#include "reissue/stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <stdexcept>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, StrictVsInclusiveSemantics) {
+  // Paper Fig. 1 DiscreteCDF counts x < t strictly.
+  const EmpiricalCdf cdf({1.0, 2.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(cdf.cdf_strict(2.0), 0.25);  // only the 1.0
+  EXPECT_DOUBLE_EQ(cdf.cdf(2.0), 0.75);         // 1.0 and both 2.0s
+  EXPECT_DOUBLE_EQ(cdf.cdf_strict(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf_strict(10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, TailComplements) {
+  const EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.tail(2.0), 0.5);            // {3,4}
+  EXPECT_DOUBLE_EQ(cdf.tail_inclusive(2.0), 0.75);  // {2,3,4}
+}
+
+TEST(EmpiricalCdf, QuantileNearestRank) {
+  const EmpiricalCdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.95), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdf, QuantileRejectsOutOfRange) {
+  const EmpiricalCdf cdf({1.0});
+  EXPECT_THROW(cdf.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, MinMaxMeanStddev) {
+  const EmpiricalCdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.5);
+  EXPECT_NEAR(cdf.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(EmpiricalCdf, SortedViewAscending) {
+  const EmpiricalCdf cdf({5.0, 1.0, 3.0});
+  const auto view = cdf.sorted();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_DOUBLE_EQ(view[0], 1.0);
+  EXPECT_DOUBLE_EQ(view[1], 3.0);
+  EXPECT_DOUBLE_EQ(view[2], 5.0);
+}
+
+TEST(EmpiricalCdf, CdfIsMonotone) {
+  Xoshiro256 rng(99);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform() * 100.0);
+  const EmpiricalCdf cdf(samples);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 100.0; t += 0.5) {
+    const double v = cdf.cdf(t);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, cdf.cdf_strict(t));
+    prev = v;
+  }
+}
+
+TEST(EmpiricalCdf, QuantileInvertsCdfOnSamples) {
+  Xoshiro256 rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.uniform());
+  const EmpiricalCdf cdf(samples);
+  for (double p : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    const double q = cdf.quantile(p);
+    // At least p mass at or below the quantile; removing the quantile
+    // value drops below p.
+    EXPECT_GE(cdf.cdf(q), p);
+    EXPECT_LT(cdf.cdf_strict(q), p + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace reissue::stats

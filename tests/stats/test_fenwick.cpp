@@ -1,0 +1,83 @@
+#include "reissue/stats/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(Fenwick, EmptyTree) {
+  FenwickTree<> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.prefix(0), 0);
+  EXPECT_EQ(tree.total(), 0);
+}
+
+TEST(Fenwick, SingleElement) {
+  FenwickTree<> tree(1);
+  tree.add(0, 5);
+  EXPECT_EQ(tree.prefix(0), 0);
+  EXPECT_EQ(tree.prefix(1), 5);
+  EXPECT_EQ(tree.total(), 5);
+}
+
+TEST(Fenwick, PrefixSums) {
+  FenwickTree<> tree(8);
+  for (std::size_t i = 0; i < 8; ++i) tree.add(i, static_cast<int64_t>(i + 1));
+  // prefix(i) = 1+2+...+i.
+  for (std::size_t i = 0; i <= 8; ++i) {
+    EXPECT_EQ(tree.prefix(i), static_cast<int64_t>(i * (i + 1) / 2));
+  }
+}
+
+TEST(Fenwick, RangeQueries) {
+  FenwickTree<> tree(10);
+  for (std::size_t i = 0; i < 10; ++i) tree.add(i, 1);
+  EXPECT_EQ(tree.range(0, 10), 10);
+  EXPECT_EQ(tree.range(3, 7), 4);
+  EXPECT_EQ(tree.range(5, 5), 0);
+  EXPECT_EQ(tree.range(7, 3), 0);  // inverted range is empty
+}
+
+TEST(Fenwick, AddOutOfRangeThrows) {
+  FenwickTree<> tree(4);
+  EXPECT_THROW(tree.add(4, 1), std::out_of_range);
+}
+
+TEST(Fenwick, PrefixClampsPastEnd) {
+  FenwickTree<> tree(4);
+  tree.add(0, 1);
+  EXPECT_EQ(tree.prefix(100), 1);
+}
+
+TEST(Fenwick, NegativeDeltasSupported) {
+  FenwickTree<> tree(4);
+  tree.add(1, 10);
+  tree.add(1, -4);
+  EXPECT_EQ(tree.prefix(2), 6);
+}
+
+TEST(Fenwick, MatchesBruteForceOnRandomWorkload) {
+  constexpr std::size_t kSize = 64;
+  FenwickTree<> tree(kSize);
+  std::vector<std::int64_t> reference(kSize, 0);
+  Xoshiro256 rng(77);
+  for (int step = 0; step < 2000; ++step) {
+    const auto idx = static_cast<std::size_t>(rng.below(kSize));
+    const auto delta = static_cast<std::int64_t>(rng.below(21)) - 10;
+    tree.add(idx, delta);
+    reference[idx] += delta;
+    const auto lo = static_cast<std::size_t>(rng.below(kSize + 1));
+    const auto hi = static_cast<std::size_t>(rng.below(kSize + 1));
+    std::int64_t expected = 0;
+    for (std::size_t i = lo; i < hi && i < kSize; ++i) expected += reference[i];
+    ASSERT_EQ(tree.range(lo, hi), expected) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace reissue::stats

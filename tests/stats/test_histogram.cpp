@@ -1,0 +1,76 @@
+#include "reissue/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace reissue::stats {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, -1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinEdgesAndMidpoints) {
+  // The paper's Figure 9 uses 20 ms bins.
+  const Histogram h(0.0, 20.0, 12);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 20.0);
+  EXPECT_DOUBLE_EQ(h.bin_mid(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_mid(5), 110.0);
+  EXPECT_THROW(h.bin_lo(12), std::out_of_range);
+}
+
+TEST(Histogram, AddRoutesToCorrectBin) {
+  Histogram h(0.0, 10.0, 3);
+  h.add(0.0);    // bin 0 (inclusive lower edge)
+  h.add(9.999);  // bin 0
+  h.add(10.0);   // bin 1
+  h.add(25.0);   // bin 2
+  h.add(30.0);   // overflow (exclusive upper edge)
+  h.add(-1.0);   // underflow
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, AddNWeights) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_n(0.5, 7);
+  EXPECT_EQ(h.bin(0), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, TableSkipsEmptyBinsAndReportsOverflow) {
+  Histogram h(0.0, 10.0, 3);
+  h.add(5.0);
+  h.add(35.0);
+  const std::string table = h.to_table("svc");
+  EXPECT_NE(table.find("# svc"), std::string::npos);
+  EXPECT_NE(table.find("5 1"), std::string::npos);
+  EXPECT_NE(table.find(">30 1"), std::string::npos);
+  // Bin 1 and 2 are empty -> midpoints 15 / 25 must not appear as rows.
+  EXPECT_EQ(table.find("\n15 "), std::string::npos);
+  EXPECT_EQ(table.find("\n25 "), std::string::npos);
+}
+
+TEST(Histogram, CountsConserveTotal) {
+  Histogram h(0.0, 2.0, 50);
+  std::uint64_t added = 0;
+  for (int i = 0; i < 1000; ++i) {
+    h.add(static_cast<double>(i) * 0.123);
+    ++added;
+  }
+  std::uint64_t sum = h.underflow() + h.overflow();
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.bin(b);
+  EXPECT_EQ(sum, added);
+  EXPECT_EQ(h.total(), added);
+}
+
+}  // namespace
+}  // namespace reissue::stats

@@ -1,0 +1,84 @@
+#include "reissue/stats/joint_samples.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(JointSamples, RejectsEmpty) {
+  EXPECT_THROW(JointSamples(std::vector<std::pair<double, double>>{}),
+               std::invalid_argument);
+}
+
+TEST(JointSamples, MarginalsMatchInputs) {
+  const JointSamples joint({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  EXPECT_EQ(joint.size(), 3u);
+  EXPECT_DOUBLE_EQ(joint.x_marginal().min(), 1.0);
+  EXPECT_DOUBLE_EQ(joint.x_marginal().max(), 3.0);
+  EXPECT_DOUBLE_EQ(joint.y_marginal().min(), 10.0);
+  EXPECT_DOUBLE_EQ(joint.y_marginal().max(), 30.0);
+}
+
+TEST(JointSamples, ConditionalCdfHandComputed) {
+  // Points: x > 1.5 leaves {(2,20),(3,30)}.
+  const JointSamples joint({{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}});
+  EXPECT_DOUBLE_EQ(joint.conditional_y_cdf(25.0, 1.5), 0.5);
+  EXPECT_DOUBLE_EQ(joint.conditional_y_cdf(30.0, 1.5), 1.0);
+  EXPECT_DOUBLE_EQ(joint.conditional_y_cdf(5.0, 1.5), 0.0);
+}
+
+TEST(JointSamples, ConditionalFallbackWhenEmptyCondition) {
+  const JointSamples joint({{1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(joint.conditional_y_cdf(100.0, 5.0, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(joint.conditional_y_cdf(100.0, 5.0), 0.0);
+}
+
+TEST(JointSamples, JointProbability) {
+  const JointSamples joint({{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  // Pr(X > 2 and Y <= 3) = |{(3,3)}| / 4.
+  EXPECT_DOUBLE_EQ(joint.joint_prob(2.0, 3.0), 0.25);
+  EXPECT_DOUBLE_EQ(joint.joint_prob(0.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(joint.joint_prob(4.0, 4.0), 0.0);
+}
+
+TEST(JointSamples, IndependentDataConditionalMatchesMarginal) {
+  // When X and Y are independent, Pr(Y<=v | X>t) should approximate the
+  // marginal Pr(Y<=v).
+  Xoshiro256 rng(42);
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 20000; ++i) {
+    pts.emplace_back(rng.uniform() * 100.0, rng.uniform() * 100.0);
+  }
+  const JointSamples joint(pts);
+  for (double v : {20.0, 50.0, 80.0}) {
+    const double marginal = joint.y_marginal().cdf(v);
+    const double conditional = joint.conditional_y_cdf(v, 70.0);
+    EXPECT_NEAR(conditional, marginal, 0.02) << "v=" << v;
+  }
+}
+
+TEST(JointSamples, PositivelyCorrelatedDataShiftsConditional) {
+  // Y = X + noise: conditioning on X > t should make large Y more likely,
+  // i.e. Pr(Y <= median | X > p90) << Pr(Y <= median).
+  Xoshiro256 rng(43);
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    pts.emplace_back(x, x + rng.uniform() * 10.0);
+  }
+  const JointSamples joint(pts);
+  const double median_y = joint.y_marginal().quantile(0.5);
+  const double p90_x = joint.x_marginal().quantile(0.9);
+  const double marginal = joint.y_marginal().cdf(median_y);
+  const double conditional = joint.conditional_y_cdf(median_y, p90_x);
+  EXPECT_GT(marginal, 0.45);
+  EXPECT_LT(conditional, 0.05);
+}
+
+}  // namespace
+}  // namespace reissue::stats

@@ -1,0 +1,74 @@
+#include "reissue/stats/kolmogorov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(KsDistance, RejectsEmpty) {
+  EXPECT_THROW(ks_distance({}, [](double) { return 0.5; }),
+               std::invalid_argument);
+  EXPECT_THROW(ks_distance_two_sample({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ks_distance_two_sample({1.0}, {}), std::invalid_argument);
+}
+
+TEST(KsDistance, PerfectFitIsSmall) {
+  // Samples at exact uniform quantile midpoints minimize the KS distance.
+  std::vector<double> samples;
+  constexpr int kN = 100;
+  for (int i = 0; i < kN; ++i) samples.push_back((i + 0.5) / kN);
+  const double d = ks_distance(samples, [](double x) { return x; });
+  EXPECT_NEAR(d, 0.5 / kN, 1e-12);
+}
+
+TEST(KsDistance, GrossMismatchIsLarge) {
+  // Sample from U(0, 0.5) but test against U(0,1): D >= 0.5.
+  std::vector<double> samples;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform() * 0.5);
+  const double d = ks_distance(
+      samples, [](double x) { return std::clamp(x, 0.0, 1.0); });
+  EXPECT_GT(d, 0.45);
+}
+
+TEST(KsDistanceTwoSample, IdenticalSamplesZero) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ks_distance_two_sample(v, v), 0.0);
+}
+
+TEST(KsDistanceTwoSample, DisjointSupportsIsOne) {
+  EXPECT_DOUBLE_EQ(ks_distance_two_sample({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+TEST(KsDistanceTwoSample, SameDistributionSmall) {
+  Xoshiro256 rng(2);
+  const auto dist = make_exponential(0.5);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(dist->sample(rng));
+    b.push_back(dist->sample(rng));
+  }
+  // 99.9% two-sample critical value ~ 1.95 * sqrt(2/n).
+  EXPECT_LT(ks_distance_two_sample(a, b), 1.95 * std::sqrt(2.0 / 5000.0));
+}
+
+TEST(KsDistanceTwoSample, DetectsShift) {
+  Xoshiro256 rng(3);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform() + 0.3);
+  }
+  EXPECT_GT(ks_distance_two_sample(a, b), 0.25);
+}
+
+}  // namespace
+}  // namespace reissue::stats

@@ -1,0 +1,85 @@
+#include "reissue/stats/merge_sort_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::stats {
+namespace {
+
+std::size_t brute_count(const std::vector<std::pair<double, double>>& pts,
+                        double x_above, double y_at_most) {
+  std::size_t n = 0;
+  for (const auto& [x, y] : pts) {
+    if (x > x_above && y <= y_at_most) ++n;
+  }
+  return n;
+}
+
+TEST(MergeSortTree, EmptyTree) {
+  MergeSortTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.count_x_above(0.0), 0u);
+  EXPECT_EQ(tree.count(0.0, 100.0), 0u);
+}
+
+TEST(MergeSortTree, SinglePoint) {
+  MergeSortTree tree({{2.0, 5.0}});
+  EXPECT_EQ(tree.count_x_above(1.0), 1u);
+  EXPECT_EQ(tree.count_x_above(2.0), 0u);  // strict
+  EXPECT_EQ(tree.count(1.0, 5.0), 1u);
+  EXPECT_EQ(tree.count(1.0, 4.9), 0u);
+}
+
+TEST(MergeSortTree, SmallHandComputed) {
+  // (x, y): four points forming a square plus center.
+  MergeSortTree tree({{0, 0}, {0, 2}, {2, 0}, {2, 2}, {1, 1}});
+  EXPECT_EQ(tree.count(0.5, 1.5), 2u);  // (1,1) and (2,0)
+  EXPECT_EQ(tree.count(-1.0, 2.0), 5u);
+  EXPECT_EQ(tree.count(1.5, 0.0), 1u);  // (2,0)
+}
+
+TEST(MergeSortTree, DuplicateCoordinates) {
+  MergeSortTree tree({{1, 1}, {1, 1}, {1, 2}, {2, 1}});
+  EXPECT_EQ(tree.count_x_above(0.0), 4u);
+  EXPECT_EQ(tree.count_x_above(1.0), 1u);
+  EXPECT_EQ(tree.count(0.0, 1.0), 3u);
+}
+
+TEST(MergeSortTree, CountRankRange) {
+  MergeSortTree tree({{1, 10}, {2, 20}, {3, 30}, {4, 40}});
+  EXPECT_EQ(tree.count_rank_range(0, 4, 25.0), 2u);
+  EXPECT_EQ(tree.count_rank_range(1, 3, 25.0), 1u);
+  EXPECT_EQ(tree.count_rank_range(2, 2, 100.0), 0u);
+  EXPECT_EQ(tree.count_rank_range(0, 100, 100.0), 4u);  // hi clamps
+}
+
+class MergeSortTreeRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergeSortTreeRandom, MatchesBruteForce) {
+  const std::size_t n = GetParam();
+  Xoshiro256 rng(1000 + n);
+  std::vector<std::pair<double, double>> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.emplace_back(rng.uniform() * 100.0, rng.uniform() * 100.0);
+  }
+  MergeSortTree tree(pts);
+  for (int q = 0; q < 200; ++q) {
+    const double t = rng.uniform() * 120.0 - 10.0;
+    const double v = rng.uniform() * 120.0 - 10.0;
+    ASSERT_EQ(tree.count(t, v), brute_count(pts, t, v))
+        << "n=" << n << " t=" << t << " v=" << v;
+    ASSERT_EQ(tree.count_x_above(t), brute_count(pts, t, 1e18));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MergeSortTreeRandom,
+                         ::testing::Values(1, 2, 3, 7, 16, 63, 64, 65, 257,
+                                           1000));
+
+}  // namespace
+}  // namespace reissue::stats

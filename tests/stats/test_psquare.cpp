@@ -1,0 +1,101 @@
+#include "reissue/stats/psquare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "reissue/stats/distributions.hpp"
+#include "reissue/stats/rng.hpp"
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(PSquare, RejectsBadProbability) {
+  EXPECT_THROW(PSquareQuantile(0.0), std::invalid_argument);
+  EXPECT_THROW(PSquareQuantile(1.0), std::invalid_argument);
+  EXPECT_THROW(PSquareQuantile(-0.5), std::invalid_argument);
+}
+
+TEST(PSquare, EmptyEstimateIsZero) {
+  PSquareQuantile q(0.5);
+  EXPECT_DOUBLE_EQ(q.estimate(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(PSquare, FewSamplesExact) {
+  PSquareQuantile q(0.5);
+  q.add(3.0);
+  q.add(1.0);
+  q.add(2.0);
+  // With 3 samples the median is the 2nd order statistic.
+  EXPECT_DOUBLE_EQ(q.estimate(), 2.0);
+}
+
+struct PSquareCase {
+  std::string label;
+  DistributionPtr dist;
+  double p;
+  double rel_tol;
+};
+
+class PSquareAccuracy : public ::testing::TestWithParam<PSquareCase> {};
+
+TEST_P(PSquareAccuracy, TracksTrueQuantile) {
+  const auto& param = GetParam();
+  PSquareQuantile sketch(param.p);
+  Xoshiro256 rng(0x5eed);
+  std::vector<double> exact;
+  constexpr int kDraws = 50000;
+  exact.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = param.dist->sample(rng);
+    sketch.add(v);
+    exact.push_back(v);
+  }
+  const double truth = percentile(std::move(exact), param.p * 100.0);
+  EXPECT_NEAR(sketch.estimate(), truth, param.rel_tol * truth)
+      << param.label << " p=" << param.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndQuantiles, PSquareAccuracy,
+    ::testing::Values(
+        PSquareCase{"uniform_median", make_uniform(0.0, 1.0), 0.5, 0.05},
+        PSquareCase{"uniform_p95", make_uniform(0.0, 1.0), 0.95, 0.05},
+        PSquareCase{"exp_p90", make_exponential(0.1), 0.9, 0.08},
+        PSquareCase{"exp_p99", make_exponential(0.1), 0.99, 0.10},
+        PSquareCase{"lognormal_p95", make_lognormal(1.0, 1.0), 0.95, 0.10},
+        PSquareCase{"lognormal_p99", make_lognormal(1.0, 1.0), 0.99, 0.15}),
+    [](const auto& info) { return info.param.label; });
+
+TEST(PSquare, MonotoneStreamConverges) {
+  // Deterministic ramp 1..n: p-quantile should approach p*n.
+  PSquareQuantile q(0.9);
+  constexpr int kN = 10000;
+  for (int i = 1; i <= kN; ++i) q.add(static_cast<double>(i));
+  EXPECT_NEAR(q.estimate(), 0.9 * kN, 0.03 * kN);
+}
+
+TEST(PSquare, InsensitiveToArrivalOrder) {
+  // Same multiset, two orders: estimates should be in the same ballpark.
+  std::vector<double> values;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 20000; ++i) values.push_back(rng.uniform() * 100.0);
+
+  PSquareQuantile forward(0.95);
+  for (double v : values) forward.add(v);
+
+  std::vector<double> reversed(values.rbegin(), values.rend());
+  PSquareQuantile backward(0.95);
+  for (double v : reversed) backward.add(v);
+
+  const double truth = percentile(std::move(values), 95.0);
+  EXPECT_NEAR(forward.estimate(), truth, 0.05 * truth);
+  EXPECT_NEAR(backward.estimate(), truth, 0.05 * truth);
+}
+
+}  // namespace
+}  // namespace reissue::stats

@@ -1,0 +1,142 @@
+#include "reissue/stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace reissue::stats {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  // Regression pin: the same seed must produce the same stream forever
+  // (experiment reproducibility depends on it).
+  SplitMix64 sm(42);
+  const std::uint64_t a = sm.next();
+  const std::uint64_t b = sm.next();
+  SplitMix64 sm2(42);
+  EXPECT_EQ(a, sm2.next());
+  EXPECT_EQ(b, sm2.next());
+  EXPECT_NE(a, b);
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformPosNeverZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_pos();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LE(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, BelowIsInRange) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.below(n), n);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowIsApproximatelyUniform) {
+  Xoshiro256 rng(17);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / double(kBuckets),
+                5.0 * std::sqrt(kDraws / double(kBuckets)));
+  }
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(19);
+  for (double p : {0.0, 0.05, 0.5, 0.95, 1.0}) {
+    int hits = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+    EXPECT_NEAR(hits / double(kDraws), p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro256, SplitProducesIndependentStreams) {
+  Xoshiro256 root(23);
+  Xoshiro256 a = root.split(stream_label("alpha"));
+  Xoshiro256 b = root.split(stream_label("beta"));
+  // Streams should not collide over a modest horizon.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(a());
+    seen.insert(b());
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Xoshiro256, SplitIsDeterministic) {
+  Xoshiro256 r1(29);
+  Xoshiro256 r2(29);
+  Xoshiro256 a = r1.split(7);
+  Xoshiro256 b = r2.split(7);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(StreamLabel, DistinctNamesDistinctLabels) {
+  EXPECT_NE(stream_label("arrival"), stream_label("service"));
+  EXPECT_NE(stream_label("lb"), stream_label("coin"));
+  EXPECT_EQ(stream_label("arrival"), stream_label("arrival"));
+}
+
+TEST(Xoshiro256, PassesSimpleBitBalance) {
+  // Each of the 64 bits should be set about half the time.
+  Xoshiro256 rng(31);
+  constexpr int kDraws = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kDraws; ++i) {
+    std::uint64_t v = rng();
+    for (int bit = 0; bit < 64; ++bit) {
+      ones[bit] += static_cast<int>((v >> bit) & 1);
+    }
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NEAR(ones[bit] / double(kDraws), 0.5, 0.02) << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace reissue::stats

@@ -1,0 +1,106 @@
+#include "reissue/systems/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace reissue::systems {
+namespace {
+
+CorpusParams small_params() {
+  CorpusParams params;
+  params.documents = 2000;
+  params.vocabulary = 5000;
+  return params;
+}
+
+TEST(ZipfSampler, RejectsBadParams) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, 0.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.05);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < 100; ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(zipf.pmf(100), 0.0);
+}
+
+TEST(ZipfSampler, RankZeroIsMostFrequent) {
+  const ZipfSampler zipf(1000, 1.0);
+  stats::Xoshiro256 rng(1);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 3000);  // ~ 1/H(1000) * 50000 ~ 6.6k
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler zipf(50, 1.2);
+  stats::Xoshiro256 rng(2);
+  std::array<int, 50> counts{};
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::uint32_t r : {0u, 1u, 5u, 20u, 49u}) {
+    EXPECT_NEAR(counts[r] / double(kDraws), zipf.pmf(r),
+                0.005 + 0.1 * zipf.pmf(r))
+        << "rank " << r;
+  }
+}
+
+TEST(Corpus, BuildsRequestedShape) {
+  const auto corpus = make_corpus(small_params());
+  EXPECT_EQ(corpus.size(), 2000u);
+  EXPECT_EQ(corpus.vocabulary, 5000u);
+  for (const auto& doc : corpus.documents) {
+    EXPECT_GE(doc.size(), small_params().min_length);
+    EXPECT_LE(doc.size(), small_params().max_length);
+    for (auto term : doc) EXPECT_LT(term, corpus.vocabulary);
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  const auto a = make_corpus(small_params());
+  const auto b = make_corpus(small_params());
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  EXPECT_EQ(a.documents[0], b.documents[0]);
+  EXPECT_EQ(a.documents[999], b.documents[999]);
+}
+
+TEST(Corpus, DifferentSeedDiffers) {
+  auto params = small_params();
+  const auto a = make_corpus(params);
+  params.seed ^= 0xff;
+  const auto b = make_corpus(params);
+  EXPECT_NE(a.documents[0], b.documents[0]);
+}
+
+TEST(Corpus, RejectsBadParams) {
+  CorpusParams params = small_params();
+  params.documents = 0;
+  EXPECT_THROW(make_corpus(params), std::invalid_argument);
+  params = small_params();
+  params.vocabulary = 0;
+  EXPECT_THROW(make_corpus(params), std::invalid_argument);
+  params = small_params();
+  params.max_length = params.min_length - 1;
+  EXPECT_THROW(make_corpus(params), std::invalid_argument);
+}
+
+TEST(Corpus, HotTermsDominateTokenMass) {
+  const auto corpus = make_corpus(small_params());
+  std::size_t hot = 0;
+  std::size_t total = 0;
+  for (const auto& doc : corpus.documents) {
+    for (auto term : doc) {
+      ++total;
+      if (term < 50) ++hot;
+    }
+  }
+  // Zipf(1.05) over 5000 terms: top-50 should hold a large share.
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.3);
+}
+
+}  // namespace
+}  // namespace reissue::systems

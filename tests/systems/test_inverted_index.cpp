@@ -1,0 +1,112 @@
+#include "reissue/systems/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reissue::systems {
+namespace {
+
+Corpus tiny_corpus() {
+  Corpus corpus;
+  corpus.vocabulary = 5;
+  corpus.documents = {
+      {0, 1, 1, 2},  // doc 0
+      {1, 3},        // doc 1
+      {0, 0, 0},     // doc 2
+  };
+  return corpus;
+}
+
+TEST(InvertedIndex, PostingsAreCorrect) {
+  const InvertedIndex index(tiny_corpus());
+  EXPECT_EQ(index.documents(), 3u);
+  EXPECT_EQ(index.vocabulary(), 5u);
+
+  const auto p0 = index.postings(0);
+  ASSERT_EQ(p0.size(), 2u);
+  EXPECT_EQ(p0[0].doc, 0u);
+  EXPECT_EQ(p0[0].tf, 1u);
+  EXPECT_EQ(p0[1].doc, 2u);
+  EXPECT_EQ(p0[1].tf, 3u);
+
+  const auto p1 = index.postings(1);
+  ASSERT_EQ(p1.size(), 2u);
+  EXPECT_EQ(p1[0].tf, 2u);  // doc 0 has term 1 twice
+
+  EXPECT_TRUE(index.postings(4).empty());   // unseen term
+  EXPECT_TRUE(index.postings(99).empty());  // out of range
+}
+
+TEST(InvertedIndex, DocFrequency) {
+  const InvertedIndex index(tiny_corpus());
+  EXPECT_EQ(index.doc_frequency(0), 2u);
+  EXPECT_EQ(index.doc_frequency(1), 2u);
+  EXPECT_EQ(index.doc_frequency(2), 1u);
+  EXPECT_EQ(index.doc_frequency(3), 1u);
+  EXPECT_EQ(index.doc_frequency(4), 0u);
+}
+
+TEST(InvertedIndex, DocLengths) {
+  const InvertedIndex index(tiny_corpus());
+  EXPECT_EQ(index.doc_length(0), 4u);
+  EXPECT_EQ(index.doc_length(1), 2u);
+  EXPECT_EQ(index.doc_length(2), 3u);
+  EXPECT_THROW(index.doc_length(3), std::out_of_range);
+  EXPECT_NEAR(index.average_doc_length(), 3.0, 1e-12);
+}
+
+TEST(InvertedIndex, PostingsSortedByDocId) {
+  CorpusParams params;
+  params.documents = 500;
+  params.vocabulary = 200;
+  const auto corpus = make_corpus(params);
+  const InvertedIndex index(corpus);
+  for (std::uint32_t term = 0; term < index.vocabulary(); ++term) {
+    const auto postings = index.postings(term);
+    for (std::size_t i = 1; i < postings.size(); ++i) {
+      ASSERT_LT(postings[i - 1].doc, postings[i].doc) << "term " << term;
+    }
+  }
+}
+
+TEST(InvertedIndex, TotalPostingsConserved) {
+  // Sum of doc frequencies == total postings.
+  CorpusParams params;
+  params.documents = 300;
+  params.vocabulary = 100;
+  const auto corpus = make_corpus(params);
+  const InvertedIndex index(corpus);
+  std::size_t sum_df = 0;
+  for (std::uint32_t term = 0; term < index.vocabulary(); ++term) {
+    sum_df += index.doc_frequency(term);
+  }
+  EXPECT_EQ(sum_df, index.total_postings());
+}
+
+TEST(InvertedIndex, TermFrequenciesConserveTokens) {
+  const auto corpus = [&] {
+    CorpusParams params;
+    params.documents = 200;
+    params.vocabulary = 50;
+    return make_corpus(params);
+  }();
+  const InvertedIndex index(corpus);
+  std::size_t tokens_in_corpus = 0;
+  for (const auto& doc : corpus.documents) tokens_in_corpus += doc.size();
+  std::size_t tokens_in_index = 0;
+  for (std::uint32_t term = 0; term < index.vocabulary(); ++term) {
+    for (const auto& posting : index.postings(term)) {
+      tokens_in_index += posting.tf;
+    }
+  }
+  EXPECT_EQ(tokens_in_index, tokens_in_corpus);
+}
+
+TEST(InvertedIndex, RejectsOutOfVocabularyTerm) {
+  Corpus corpus;
+  corpus.vocabulary = 2;
+  corpus.documents = {{0, 5}};
+  EXPECT_THROW(InvertedIndex{corpus}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reissue::systems

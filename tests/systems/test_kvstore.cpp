@@ -1,0 +1,69 @@
+#include "reissue/systems/kvstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reissue::systems {
+namespace {
+
+TEST(SortedSet, SortsAndDedupes) {
+  const SortedSet set({5, 1, 3, 3, 1});
+  EXPECT_EQ(set.size(), 3u);
+  const auto values = set.values();
+  EXPECT_EQ(values[0], 1u);
+  EXPECT_EQ(values[1], 3u);
+  EXPECT_EQ(values[2], 5u);
+}
+
+TEST(SortedSet, Contains) {
+  const SortedSet set({2, 4, 6});
+  EXPECT_TRUE(set.contains(4));
+  EXPECT_FALSE(set.contains(5));
+  EXPECT_FALSE(SortedSet().contains(1));
+}
+
+TEST(KvStore, PutGetErase) {
+  KvStore store;
+  EXPECT_EQ(store.put("a", SortedSet({1, 2})), std::nullopt);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.get("a"), nullptr);
+  EXPECT_EQ(store.get("a")->size(), 2u);
+  EXPECT_EQ(store.get("missing"), nullptr);
+  // Replacing returns the previous cardinality.
+  EXPECT_EQ(store.put("a", SortedSet({1, 2, 3})), std::optional<std::size_t>(2));
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStore, IntersectCount) {
+  KvStore store;
+  store.put("x", SortedSet({1, 2, 3, 4}));
+  store.put("y", SortedSet({3, 4, 5}));
+  const auto result = store.intersect_count("x", "y");
+  EXPECT_EQ(result.count, 2u);
+  EXPECT_GT(result.ops, 0u);
+}
+
+TEST(KvStore, IntersectMaterialized) {
+  KvStore store;
+  store.put("x", SortedSet({1, 2, 3}));
+  store.put("y", SortedSet({2, 3, 9}));
+  EXPECT_EQ(store.intersect("x", "y"), (std::vector<std::uint32_t>{2, 3}));
+}
+
+TEST(KvStore, MissingKeyThrows) {
+  KvStore store;
+  store.put("x", SortedSet({1}));
+  EXPECT_THROW((void)store.intersect_count("x", "nope"), std::out_of_range);
+  EXPECT_THROW((void)store.intersect_count("nope", "x"), std::out_of_range);
+  EXPECT_THROW((void)store.intersect("nope", "x"), std::out_of_range);
+}
+
+TEST(KvStore, SelfIntersectionIsCardinality) {
+  KvStore store;
+  store.put("x", SortedSet({10, 20, 30}));
+  EXPECT_EQ(store.intersect_count("x", "x").count, 3u);
+}
+
+}  // namespace
+}  // namespace reissue::systems

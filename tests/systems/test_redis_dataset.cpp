@@ -1,0 +1,124 @@
+#include "reissue/systems/redis_dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::systems {
+namespace {
+
+RedisDatasetParams small_params() {
+  RedisDatasetParams params;
+  params.sets = 100;
+  params.universe = 100000;
+  params.max_cardinality = 30000;
+  return params;
+}
+
+TEST(RedisDataset, BuildsRequestedShape) {
+  const auto dataset = make_redis_dataset(small_params());
+  EXPECT_EQ(dataset.keys.size(), 100u);
+  EXPECT_EQ(dataset.cardinalities.size(), 100u);
+  EXPECT_EQ(dataset.store.size(), 100u);
+  for (std::size_t i = 0; i < dataset.keys.size(); ++i) {
+    const auto* set = dataset.store.get(dataset.keys[i]);
+    ASSERT_NE(set, nullptr);
+    EXPECT_EQ(set->size(), dataset.cardinalities[i]);
+    EXPECT_GE(set->size(), small_params().min_cardinality);
+    EXPECT_LE(set->size(), small_params().max_cardinality);
+  }
+}
+
+TEST(RedisDataset, MembersWithinUniverse) {
+  auto params = small_params();
+  params.sets = 20;
+  const auto dataset = make_redis_dataset(params);
+  for (const auto& key : dataset.keys) {
+    for (auto v : dataset.store.get(key)->values()) {
+      EXPECT_GE(v, 1u);
+      EXPECT_LE(v, params.universe);
+    }
+  }
+}
+
+TEST(RedisDataset, DeterministicForSeed) {
+  const auto a = make_redis_dataset(small_params());
+  const auto b = make_redis_dataset(small_params());
+  EXPECT_EQ(a.cardinalities, b.cardinalities);
+  for (std::size_t i = 0; i < a.keys.size(); ++i) {
+    const auto va = a.store.get(a.keys[i])->values();
+    const auto vb = b.store.get(b.keys[i])->values();
+    ASSERT_TRUE(std::equal(va.begin(), va.end(), vb.begin(), vb.end()));
+  }
+}
+
+TEST(RedisDataset, CardinalitiesAreSkewed) {
+  // Lognormal(6.5, 2.0): the max should dwarf the median by orders of
+  // magnitude -- that skew is what creates "queries of death".
+  RedisDatasetParams params;
+  params.sets = 1000;
+  params.universe = 1000000;
+  const auto dataset = make_redis_dataset(params);
+  auto sorted = dataset.cardinalities;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = static_cast<double>(sorted[sorted.size() / 2]);
+  const double p99 = static_cast<double>(sorted[sorted.size() * 99 / 100]);
+  EXPECT_GT(p99 / median, 20.0);
+}
+
+TEST(RedisDataset, RejectsBadParams) {
+  RedisDatasetParams params = small_params();
+  params.sets = 0;
+  EXPECT_THROW(make_redis_dataset(params), std::invalid_argument);
+  params = small_params();
+  params.max_cardinality = params.min_cardinality - 1;
+  EXPECT_THROW(make_redis_dataset(params), std::invalid_argument);
+  params = small_params();
+  params.max_cardinality = params.universe + 1;
+  EXPECT_THROW(make_redis_dataset(params), std::invalid_argument);
+}
+
+TEST(IntersectTrace, PairsAreDistinctAndInRange) {
+  const auto trace = make_intersect_trace(50, 2000, 1);
+  EXPECT_EQ(trace.size(), 2000u);
+  for (const auto& q : trace) {
+    EXPECT_LT(q.lhs, 50u);
+    EXPECT_LT(q.rhs, 50u);
+    EXPECT_NE(q.lhs, q.rhs);
+  }
+  EXPECT_THROW(make_intersect_trace(1, 10), std::invalid_argument);
+}
+
+TEST(IntersectTrace, ExecutionProducesOnePositiveCostPerQuery) {
+  const auto dataset = make_redis_dataset(small_params());
+  const auto trace = make_intersect_trace(dataset.keys.size(), 500, 2);
+  const auto ops = execute_intersect_trace(dataset, trace);
+  ASSERT_EQ(ops.size(), trace.size());
+  for (auto o : ops) EXPECT_GT(o, 0u);
+}
+
+TEST(IntersectTrace, CostDistributionHasHeavyTail) {
+  // The paper's §6.2 shape: the vast majority of queries cheap, a small
+  // fraction (two giant sets) orders of magnitude above the mean.
+  RedisDatasetParams params;
+  params.sets = 1000;
+  params.universe = 1000000;
+  const auto dataset = make_redis_dataset(params);
+  const auto trace = make_intersect_trace(dataset.keys.size(), 20000, 3);
+  const auto ops = execute_intersect_trace(dataset, trace);
+  std::vector<double> costs(ops.begin(), ops.end());
+  const double mean = [&] {
+    double s = 0.0;
+    for (double c : costs) s += c;
+    return s / static_cast<double>(costs.size());
+  }();
+  const double p999 = stats::percentile(costs, 99.9);
+  const double median = stats::percentile(costs, 50.0);
+  EXPECT_GT(p999 / mean, 5.0);
+  EXPECT_GT(mean / median, 2.0);  // mean dragged up by the tail
+}
+
+}  // namespace
+}  // namespace reissue::systems

@@ -1,0 +1,137 @@
+#include "reissue/systems/search_workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reissue::systems {
+namespace {
+
+SearchWorkloadParams small_params() {
+  SearchWorkloadParams params;
+  params.distinct_queries = 300;
+  params.min_rank = 50;
+  params.hot_min_rank = 10;
+  return params;
+}
+
+TEST(QueryPool, RespectsShape) {
+  const auto pool = make_query_pool(2000, small_params());
+  EXPECT_EQ(pool.size(), 300u);
+  for (const auto& query : pool) {
+    // A hot term may be appended on top of the ordinary 1-4 terms.
+    EXPECT_GE(query.terms.size(), small_params().min_terms);
+    EXPECT_LE(query.terms.size(), small_params().max_terms + 1);
+    for (auto term : query.terms) {
+      EXPECT_GE(term, small_params().hot_min_rank);
+      EXPECT_LT(term, 2000u);
+    }
+  }
+}
+
+TEST(QueryPool, DeterministicForSeed) {
+  const auto a = make_query_pool(2000, small_params());
+  const auto b = make_query_pool(2000, small_params());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].terms, b[i].terms);
+  }
+}
+
+TEST(QueryPool, RejectsBadParams) {
+  SearchWorkloadParams params = small_params();
+  params.distinct_queries = 0;
+  EXPECT_THROW(make_query_pool(2000, params), std::invalid_argument);
+  params = small_params();
+  params.min_terms = 0;
+  EXPECT_THROW(make_query_pool(2000, params), std::invalid_argument);
+  params = small_params();
+  params.max_terms = params.min_terms - 1;
+  EXPECT_THROW(make_query_pool(2000, params), std::invalid_argument);
+  params = small_params();
+  params.min_rank = 2000;
+  EXPECT_THROW(make_query_pool(2000, params), std::invalid_argument);
+  params = small_params();
+  params.hot_min_rank = params.min_rank;
+  EXPECT_THROW(make_query_pool(2000, params), std::invalid_argument);
+  params = small_params();
+  params.hot_query_fraction = 1.5;
+  EXPECT_THROW(make_query_pool(2000, params), std::invalid_argument);
+}
+
+TEST(QueryTrace, IndicesInRange) {
+  const auto trace = make_query_trace(300, 5000, 1);
+  EXPECT_EQ(trace.size(), 5000u);
+  for (auto idx : trace) EXPECT_LT(idx, 300u);
+  EXPECT_THROW(make_query_trace(0, 10), std::invalid_argument);
+}
+
+TEST(ExecuteTrace, MemoizationIsConsistent) {
+  CorpusParams corpus_params;
+  corpus_params.documents = 1000;
+  corpus_params.vocabulary = 2000;
+  const auto corpus = make_corpus(corpus_params);
+  const InvertedIndex index(corpus);
+  const Searcher searcher(index);
+  const auto pool = make_query_pool(corpus.vocabulary, small_params());
+  const auto trace = make_query_trace(pool.size(), 2000, 2);
+  const auto ops = execute_search_trace(searcher, pool, trace);
+  ASSERT_EQ(ops.size(), trace.size());
+  // Identical trace entries must cost identical ops.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    for (std::size_t j = i + 1; j < std::min(trace.size(), i + 50); ++j) {
+      if (trace[i] == trace[j]) {
+        ASSERT_EQ(ops[i], ops[j]);
+      }
+    }
+  }
+  for (auto o : ops) EXPECT_GT(o, 0u);
+}
+
+TEST(ExecuteTrace, OutOfRangeIndexThrows) {
+  CorpusParams corpus_params;
+  corpus_params.documents = 100;
+  corpus_params.vocabulary = 500;
+  const auto corpus = make_corpus(corpus_params);
+  const InvertedIndex index(corpus);
+  const Searcher searcher(index);
+  SearchWorkloadParams wl;
+  wl.distinct_queries = 10;
+  wl.min_rank = 5;
+  wl.hot_min_rank = 2;
+  const auto pool = make_query_pool(corpus.vocabulary, wl);
+  const std::vector<std::uint32_t> bad_trace{0, 1, 99};
+  EXPECT_THROW(execute_search_trace(searcher, pool, bad_trace),
+               std::out_of_range);
+}
+
+TEST(ExecuteTrace, ServiceCostTailIsLighterThanRedis) {
+  // The Lucene-like workload should have p99/mean well under 10 -- the
+  // paper's search distribution is light-tailed compared to Redis's.
+  CorpusParams corpus_params;
+  corpus_params.documents = 5000;
+  corpus_params.vocabulary = 8000;
+  const auto corpus = make_corpus(corpus_params);
+  const InvertedIndex index(corpus);
+  const Searcher searcher(index);
+  SearchWorkloadParams wl;
+  wl.distinct_queries = 1000;
+  wl.min_rank = 100;
+  wl.hot_min_rank = 40;
+  const auto pool = make_query_pool(corpus.vocabulary, wl);
+  const auto trace = make_query_trace(pool.size(), 10000, 3);
+  const auto ops = execute_search_trace(searcher, pool, trace);
+  double mean = 0.0;
+  std::vector<double> costs;
+  costs.reserve(ops.size());
+  for (auto o : ops) {
+    mean += static_cast<double>(o);
+    costs.push_back(static_cast<double>(o));
+  }
+  mean /= static_cast<double>(ops.size());
+  std::sort(costs.begin(), costs.end());
+  const double p99 = costs[costs.size() * 99 / 100];
+  EXPECT_LT(p99 / mean, 12.0);
+  EXPECT_GT(p99 / mean, 1.2);
+}
+
+}  // namespace
+}  // namespace reissue::systems

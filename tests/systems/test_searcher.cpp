@@ -1,0 +1,125 @@
+#include "reissue/systems/searcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace reissue::systems {
+namespace {
+
+Corpus themed_corpus() {
+  // Term 0 everywhere (stopword-ish), term 1 rare, term 2 medium.
+  Corpus corpus;
+  corpus.vocabulary = 4;
+  corpus.documents = {
+      {0, 1, 1, 1},     // doc 0: heavy on rare term
+      {0, 2},           // doc 1
+      {0, 2, 2},        // doc 2
+      {0},              // doc 3
+      {0, 0, 0, 0, 0},  // doc 4
+  };
+  return corpus;
+}
+
+TEST(Searcher, EmptyQueryReturnsNothing) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  EXPECT_TRUE(searcher.search({}, 10).hits.empty());
+  const std::vector<std::uint32_t> q{1};
+  EXPECT_TRUE(searcher.search(q, 0).hits.empty());
+}
+
+TEST(Searcher, UnknownTermReturnsNothing) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{3};
+  EXPECT_TRUE(searcher.search(q, 10).hits.empty());
+}
+
+TEST(Searcher, RareTermRanksItsDocumentFirst) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{1};
+  const auto result = searcher.search(q, 10);
+  ASSERT_FALSE(result.hits.empty());
+  EXPECT_EQ(result.hits[0].doc, 0u);
+}
+
+TEST(Searcher, ScoresDescending) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{0, 2};
+  const auto result = searcher.search(q, 10);
+  ASSERT_GE(result.hits.size(), 2u);
+  for (std::size_t i = 1; i < result.hits.size(); ++i) {
+    EXPECT_GE(result.hits[i - 1].score, result.hits[i].score);
+  }
+}
+
+TEST(Searcher, TopKLimitsResults) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{0};  // matches all 5 docs
+  EXPECT_EQ(searcher.search(q, 3).hits.size(), 3u);
+  EXPECT_EQ(searcher.search(q, 100).hits.size(), 5u);
+}
+
+TEST(Searcher, TopKKeepsTheBestK) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{0, 2};
+  const auto full = searcher.search(q, 100);
+  const auto top2 = searcher.search(q, 2);
+  ASSERT_GE(full.hits.size(), 2u);
+  ASSERT_EQ(top2.hits.size(), 2u);
+  EXPECT_EQ(top2.hits[0].doc, full.hits[0].doc);
+  EXPECT_EQ(top2.hits[1].doc, full.hits[1].doc);
+}
+
+TEST(Searcher, OpsScaleWithPostingsTouched) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> rare{1};   // df 1
+  const std::vector<std::uint32_t> hot{0};    // df 5
+  EXPECT_GT(searcher.search(hot, 10).ops, searcher.search(rare, 10).ops);
+}
+
+TEST(Searcher, MultiTermDocsScoreHigherThanSingleTermDocs) {
+  // Doc 2 contains both query terms 0 and 2; doc 3 only term 0.
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{0, 2};
+  const auto result = searcher.search(q, 10);
+  double score2 = -1.0;
+  double score3 = -1.0;
+  for (const auto& hit : result.hits) {
+    if (hit.doc == 2) score2 = hit.score;
+    if (hit.doc == 3) score3 = hit.score;
+  }
+  ASSERT_GE(score2, 0.0);
+  ASSERT_GE(score3, 0.0);
+  EXPECT_GT(score2, score3);
+}
+
+TEST(Searcher, RejectsBadBm25Params) {
+  const InvertedIndex index(themed_corpus());
+  EXPECT_THROW(Searcher(index, Bm25Params{0.0, 0.75}), std::invalid_argument);
+  EXPECT_THROW(Searcher(index, Bm25Params{1.2, 1.5}), std::invalid_argument);
+}
+
+TEST(Searcher, DeterministicAcrossCalls) {
+  const InvertedIndex index(themed_corpus());
+  const Searcher searcher(index);
+  const std::vector<std::uint32_t> q{0, 2};
+  const auto a = searcher.search(q, 5);
+  const auto b = searcher.search(q, 5);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].doc, b.hits[i].doc);
+    EXPECT_DOUBLE_EQ(a.hits[i].score, b.hits[i].score);
+  }
+  EXPECT_EQ(a.ops, b.ops);
+}
+
+}  // namespace
+}  // namespace reissue::systems

@@ -1,0 +1,139 @@
+#include "reissue/systems/set_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::systems {
+namespace {
+
+std::vector<std::uint32_t> sorted_unique(std::vector<std::uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::uint64_t brute_count(const std::vector<std::uint32_t>& a,
+                          const std::vector<std::uint32_t>& b) {
+  std::uint64_t n = 0;
+  for (auto x : a) {
+    n += std::binary_search(b.begin(), b.end(), x) ? 1 : 0;
+  }
+  return n;
+}
+
+using Kernel = IntersectResult (*)(std::span<const std::uint32_t>,
+                                   std::span<const std::uint32_t>);
+
+class IntersectKernels
+    : public ::testing::TestWithParam<std::pair<std::string, Kernel>> {};
+
+TEST_P(IntersectKernels, EmptyInputs) {
+  const auto kernel = GetParam().second;
+  const std::vector<std::uint32_t> empty;
+  const std::vector<std::uint32_t> some{1, 2, 3};
+  EXPECT_EQ(kernel(empty, some).count, 0u);
+  EXPECT_EQ(kernel(some, empty).count, 0u);
+  EXPECT_EQ(kernel(empty, empty).count, 0u);
+}
+
+TEST_P(IntersectKernels, DisjointAndIdentical) {
+  const auto kernel = GetParam().second;
+  const std::vector<std::uint32_t> a{1, 3, 5, 7};
+  const std::vector<std::uint32_t> b{2, 4, 6, 8};
+  EXPECT_EQ(kernel(a, b).count, 0u);
+  EXPECT_EQ(kernel(a, a).count, 4u);
+}
+
+TEST_P(IntersectKernels, HandComputedOverlap) {
+  const auto kernel = GetParam().second;
+  const std::vector<std::uint32_t> a{1, 2, 3, 10, 20};
+  const std::vector<std::uint32_t> b{2, 3, 4, 20, 30};
+  EXPECT_EQ(kernel(a, b).count, 3u);  // {2, 3, 20}
+}
+
+TEST_P(IntersectKernels, MatchesBruteForceOnRandomSets) {
+  const auto kernel = GetParam().second;
+  stats::Xoshiro256 rng(0x5e75);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint32_t> a;
+    std::vector<std::uint32_t> b;
+    const std::size_t na = 1 + rng.below(500);
+    const std::size_t nb = 1 + rng.below(500);
+    for (std::size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<std::uint32_t>(rng.below(1000)));
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<std::uint32_t>(rng.below(1000)));
+    }
+    a = sorted_unique(std::move(a));
+    b = sorted_unique(std::move(b));
+    ASSERT_EQ(kernel(a, b).count, brute_count(a, b)) << "trial " << trial;
+  }
+}
+
+TEST_P(IntersectKernels, SymmetricCounts) {
+  const auto kernel = GetParam().second;
+  const std::vector<std::uint32_t> a{1, 5, 9, 13, 17, 100, 1000};
+  const std::vector<std::uint32_t> b{5, 13, 1000, 2000};
+  EXPECT_EQ(kernel(a, b).count, kernel(b, a).count);
+}
+
+TEST_P(IntersectKernels, OpsArePositiveForNonTrivialWork) {
+  const auto kernel = GetParam().second;
+  const std::vector<std::uint32_t> a{1, 2, 3};
+  const std::vector<std::uint32_t> b{2, 3, 4};
+  EXPECT_GT(kernel(a, b).ops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, IntersectKernels,
+    ::testing::Values(std::make_pair(std::string("probe"), &intersect_probe),
+                      std::make_pair(std::string("merge"), &intersect_merge),
+                      std::make_pair(std::string("gallop"),
+                                     &intersect_gallop)),
+    [](const auto& info) { return info.param.first; });
+
+TEST(IntersectCosts, ProbeCostScalesWithMinSize) {
+  // The Redis model property: cost ~ min * log(max), so doubling only the
+  // larger set barely changes cost while doubling the smaller set does.
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  std::vector<std::uint32_t> larger;
+  for (std::uint32_t i = 0; i < 100; ++i) small.push_back(i * 97);
+  for (std::uint32_t i = 0; i < 10000; ++i) large.push_back(i * 7);
+  for (std::uint32_t i = 0; i < 20000; ++i) larger.push_back(i * 7);
+  const auto base = intersect_probe(small, large).ops;
+  const auto bigger_big = intersect_probe(small, larger).ops;
+  EXPECT_LT(bigger_big, base * 1.3);  // log factor only
+
+  std::vector<std::uint32_t> small2 = small;
+  for (std::uint32_t i = 0; i < 100; ++i) small2.push_back(50000 + i * 13);
+  std::sort(small2.begin(), small2.end());
+  const auto bigger_small = intersect_probe(small2, large).ops;
+  EXPECT_GT(bigger_small, base * 1.7);  // ~2x probes
+}
+
+TEST(IntersectCosts, GallopBeatsProbeOnSkewedSizes) {
+  // Galloping with a moving hint is sub-logarithmic per element when the
+  // small set is dense in a prefix of the large set.
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::uint32_t i = 0; i < 1000; ++i) small.push_back(i);
+  for (std::uint32_t i = 0; i < 1000000; ++i) large.push_back(i);
+  EXPECT_LT(intersect_gallop(small, large).ops,
+            intersect_probe(small, large).ops);
+}
+
+TEST(IntersectValues, MaterializesCorrectElements) {
+  const std::vector<std::uint32_t> a{1, 2, 3, 10};
+  const std::vector<std::uint32_t> b{2, 10, 11};
+  const auto values = intersect_values(a, b);
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{2, 10}));
+}
+
+}  // namespace
+}  // namespace reissue::systems

@@ -1,0 +1,12 @@
+// Thin entry point; all command logic lives (and is tested) in
+// reissue::cli::run_cli.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "reissue/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return reissue::cli::run_cli(args, std::cout, std::cerr);
+}
