@@ -7,126 +7,136 @@
 //   Fig. 3c -- optimal SingleR reissue point: fraction of requests still
 //              outstanding at d, and the reissue probability q.
 //
+// Runs on the exp:: experiment engine: every (workload x budget x policy)
+// cell is replicated with deterministic seed substreams and fanned across
+// threads, and the reduction ratios carry across-replication 95% CIs.
+// Replications of a workload share per-replication seeds (common random
+// numbers), so each ratio is computed pairwise against the same-seed
+// baseline run.
+//
 // Paper-expected shape: SingleR >= SingleD everywhere, strictly better
 // below ~15% budgets; SingleD useless below 5% (Independent) / 10%
 // (Correlated) and actively harmful below ~10% on Queueing; SingleR's
 // optimal q < 1 at small budgets and grows toward 1.
+//
+// usage: fig3_policy_comparison [replications=3] [threads=0] [queries=40000]
 #include <cstdio>
-#include <functional>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "reissue/core/optimizer.hpp"
-#include "reissue/sim/metrics.hpp"
-#include "reissue/sim/workloads.hpp"
+#include "reissue/exp/runner.hpp"
+#include "reissue/stats/summary.hpp"
 
 using namespace reissue;
 
 namespace {
 
 constexpr double kPercentile = 0.95;
+const std::vector<double> kBudgets{0.01, 0.02, 0.03, 0.05, 0.08,
+                                   0.10, 0.15, 0.20, 0.30};
 
-struct Row {
-  double budget = 0.0;
-  double ratio_single_r = 0.0;
-  double ratio_single_d = 0.0;
-  double remediation_r = 0.0;
-  double remediation_d = 0.0;
-  double outstanding_at_d = 0.0;
-  double probability = 0.0;
-  double measured_rate_r = 0.0;
-};
-
-enum class Kind { kIndependent, kCorrelated, kQueueing };
-
-sim::Cluster make_workload(Kind kind, std::uint64_t seed) {
-  sim::workloads::WorkloadOptions opts;
-  opts.queries = 40000;
-  opts.warmup = 4000;
-  opts.seed = seed;
-  switch (kind) {
-    case Kind::kIndependent:
-      return sim::workloads::make_independent(opts);
-    case Kind::kCorrelated:
-      return sim::workloads::make_correlated(0.5, opts);
-    case Kind::kQueueing:
-      return sim::workloads::make_queueing(0.30, 0.5, opts);
+exp::ScenarioSpec make_scenario(const std::string& name,
+                                exp::WorkloadKind kind, double ratio,
+                                std::size_t queries) {
+  exp::ScenarioSpec spec;
+  spec.name = name;
+  spec.kind = kind;
+  spec.utilization = 0.30;
+  spec.ratio = ratio;
+  spec.queries = queries;
+  spec.warmup = queries / 10;
+  spec.percentile = kPercentile;
+  // Cell 0 is the baseline; cells 2i+1 / 2i+2 are SingleR / SingleD tuned
+  // to budget i (paper §5.1 tunes both adaptively to meet the budget).
+  spec.policies.push_back(exp::parse_policy_spec("none"));
+  for (double budget : kBudgets) {
+    spec.policies.push_back(exp::PolicySpec::tuned_single_r(budget));
+    spec.policies.push_back(exp::PolicySpec::tuned_single_d(budget));
   }
-  throw std::logic_error("unreachable");
+  return spec;
 }
 
-Row evaluate_budget(Kind kind, double budget) {
-  sim::Cluster cluster = make_workload(kind, 0x5eed);
-  const auto base =
-      sim::evaluate_policy(cluster, core::ReissuePolicy::none(), kPercentile);
-
-  Row row;
-  row.budget = budget;
-  if (budget <= 0.0) {
-    row.ratio_single_r = row.ratio_single_d = 1.0;
-    return row;
+/// Mean and 95% CI of the per-replication paired ratio base/policy.
+stats::MeanInterval paired_ratio(const exp::CellResult& base,
+                                 const exp::CellResult& cell) {
+  stats::RunningStats ratios;
+  for (std::size_t r = 0; r < cell.replications.size(); ++r) {
+    const double policy_tail = cell.replications[r].tail;
+    if (policy_tail > 0.0) {
+      ratios.add(base.replications[r].tail / policy_tail);
+    }
   }
-
-  sim::PolicyEvaluation eval_r;
-  sim::PolicyEvaluation eval_d;
-  if (kind == Kind::kQueueing) {
-    // Under queueing, both policies need adaptive refinement to satisfy
-    // their budget (paper §5.1).
-    eval_r = sim::tune_single_r(cluster, kPercentile, budget, 6).final_eval;
-    eval_d = sim::tune_single_d(cluster, kPercentile, budget, 6).final_eval;
-  } else {
-    const auto probe = cluster.run(core::ReissuePolicy::single_r(0.0, budget));
-    const auto rx = probe.primary_cdf();
-    const auto opt = core::compute_optimal_single_r_correlated(
-        rx, probe.joint(), kPercentile, budget);
-    eval_r = sim::evaluate_policy(cluster, opt.policy(), kPercentile);
-    eval_d = sim::evaluate_policy(
-        cluster, core::single_d_for_budget(rx, budget), kPercentile);
-  }
-
-  row.ratio_single_r =
-      sim::reduction_ratio(base.tail_latency, eval_r.tail_latency);
-  row.ratio_single_d =
-      sim::reduction_ratio(base.tail_latency, eval_d.tail_latency);
-  row.remediation_r = eval_r.remediation_rate;
-  row.remediation_d = eval_d.remediation_rate;
-  row.probability = eval_r.policy.probability();
-  row.measured_rate_r = eval_r.reissue_rate;
-
-  // "% requests outstanding at d" measured against the primary
-  // distribution the policy actually faced.
-  const auto run = cluster.run(eval_r.policy);
-  row.outstanding_at_d = run.primary_cdf().tail(eval_r.policy.delay());
-  return row;
+  return stats::mean_ci95(ratios);
 }
 
-void run_workload(const char* name, Kind kind) {
-  const std::vector<double> budgets{0.01, 0.02, 0.03, 0.05, 0.08,
-                                    0.10, 0.15, 0.20, 0.30};
-  const auto rows = bench::sweep<Row>(
-      budgets.size(),
-      [&](std::size_t i) { return evaluate_budget(kind, budgets[i]); });
+double mean_of(const exp::CellResult& cell, double exp::ReplicationMetrics::*field) {
+  stats::RunningStats acc;
+  for (const auto& rep : cell.replications) acc.add(rep.*field);
+  return acc.mean();
+}
 
-  bench::header(std::string("Figure 3 (") + name + ")");
-  std::printf(
-      "%7s | %9s %9s | %7s %7s | %11s %6s %7s\n", "budget", "R-ratio",
-      "D-ratio", "R-rem", "D-rem", "outstanding", "q", "R-rate");
-  for (const auto& row : rows) {
+double mean_probability(const exp::CellResult& cell) {
+  stats::RunningStats acc;
+  for (const auto& rep : cell.replications) {
+    if (rep.policy.stage_count() == 1) acc.add(rep.policy.probability());
+  }
+  return acc.mean();
+}
+
+void print_workload(const char* title, const std::vector<exp::CellResult>& cells,
+                    std::size_t first_cell) {
+  bench::header(std::string("Figure 3 (") + title + ")");
+  std::printf("%7s | %9s %6s %9s %6s | %7s %7s | %11s %6s %7s\n", "budget",
+              "R-ratio", "+-", "D-ratio", "+-", "R-rem", "D-rem",
+              "outstanding", "q", "R-rate");
+  const exp::CellResult& base = cells[first_cell];
+  for (std::size_t i = 0; i < kBudgets.size(); ++i) {
+    const exp::CellResult& cell_r = cells[first_cell + 1 + 2 * i];
+    const exp::CellResult& cell_d = cells[first_cell + 2 + 2 * i];
+    const auto ratio_r = paired_ratio(base, cell_r);
+    const auto ratio_d = paired_ratio(base, cell_d);
     std::printf(
-        "%6.1f%% | %9.3f %9.3f | %7.3f %7.3f | %10.1f%% %6.2f %6.1f%%\n",
-        100.0 * row.budget, row.ratio_single_r, row.ratio_single_d,
-        row.remediation_r, row.remediation_d, 100.0 * row.outstanding_at_d,
-        row.probability, 100.0 * row.measured_rate_r);
+        "%6.1f%% | %9.3f %6.3f %9.3f %6.3f | %7.3f %7.3f | %10.1f%% %6.2f "
+        "%6.1f%%\n",
+        100.0 * kBudgets[i], ratio_r.mean, ratio_r.half_width, ratio_d.mean,
+        ratio_d.half_width,
+        mean_of(cell_r, &exp::ReplicationMetrics::remediation),
+        mean_of(cell_d, &exp::ReplicationMetrics::remediation),
+        100.0 * mean_of(cell_r, &exp::ReplicationMetrics::outstanding_at_delay),
+        mean_probability(cell_r),
+        100.0 * mean_of(cell_r, &exp::ReplicationMetrics::reissue_rate));
   }
 }
 
 }  // namespace
 
-int main() {
-  bench::note("Fig 3a = R-ratio vs D-ratio columns; Fig 3b = R-rem/D-rem; "
-              "Fig 3c = outstanding/q columns");
-  run_workload("Independent", Kind::kIndependent);
-  run_workload("Correlated, r=0.5", Kind::kCorrelated);
-  run_workload("Queueing, 30% util", Kind::kQueueing);
+int main(int argc, char** argv) {
+  exp::SweepOptions options;
+  options.replications =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 3;
+  options.threads = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+  const std::size_t queries =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 40000;
+
+  const std::vector<exp::ScenarioSpec> scenarios = {
+      make_scenario("independent", exp::WorkloadKind::kIndependent, 0.0,
+                    queries),
+      make_scenario("correlated", exp::WorkloadKind::kCorrelated, 0.5,
+                    queries),
+      make_scenario("queueing", exp::WorkloadKind::kQueueing, 0.5, queries),
+  };
+
+  bench::note("Fig 3a = R-ratio vs D-ratio columns (95% CI half-width in "
+              "+-); Fig 3b = R-rem/D-rem; Fig 3c = outstanding/q columns");
+  bench::note("replications=" + std::to_string(options.replications) +
+              " queries=" + std::to_string(queries));
+
+  const auto cells = exp::run_sweep(scenarios, options);
+  const std::size_t cells_per_workload = 1 + 2 * kBudgets.size();
+  print_workload("Independent", cells, 0 * cells_per_workload);
+  print_workload("Correlated, r=0.5", cells, 1 * cells_per_workload);
+  print_workload("Queueing, 30% util", cells, 2 * cells_per_workload);
   return 0;
 }

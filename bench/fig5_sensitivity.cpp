@@ -9,121 +9,174 @@
 //   Fig. 5c -- P95 vs reissue rate for Baseline FIFO / Prioritized FIFO /
 //              Prioritized LIFO queue disciplines.
 //
+// All three panels are declared as exp:: scenarios and ground through one
+// run_sweep call: the engine fans every (scenario x policy x replication)
+// cell across threads with deterministic seed substreams, and each P95 is
+// reported with an across-replication 95% CI.
+//
 // Paper-expected shape: 5a increases with r but stays below the baseline
 // even at r=1; 5b better LB reduces the baseline but SingleR helps in all
 // cases; 5c priority scheme has only modest impact.
+//
+// usage: fig5_sensitivity [replications=3] [threads=0] [queries=40000]
 #include <cstdio>
-#include <functional>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "reissue/sim/metrics.hpp"
-#include "reissue/sim/workloads.hpp"
+#include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/runner.hpp"
 
 using namespace reissue;
 
 namespace {
 
 constexpr double kPercentile = 0.95;
+const std::vector<double> kRatios{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+const std::vector<double> kRates{0.0, 0.05, 0.10, 0.20, 0.30, 0.50};
 
-sim::workloads::SensitivityOptions base_options() {
-  sim::workloads::SensitivityOptions opts;
-  opts.utilization = 0.30;
-  opts.base.queries = 40000;
-  opts.base.warmup = 4000;
-  return opts;
+exp::ScenarioSpec base_scenario(const std::string& name, std::size_t queries) {
+  exp::ScenarioSpec spec;
+  spec.name = name;
+  spec.kind = exp::WorkloadKind::kQueueing;
+  spec.utilization = 0.30;
+  spec.ratio = 0.0;
+  spec.queries = queries;
+  spec.warmup = queries / 10;
+  spec.percentile = kPercentile;
+  return spec;
 }
 
-double tuned_p95(const sim::workloads::SensitivityOptions& opts,
-                 double budget) {
-  sim::Cluster cluster = sim::workloads::make_sensitivity(opts);
-  if (budget <= 0.0) {
-    return sim::evaluate_policy(cluster, core::ReissuePolicy::none(),
-                                kPercentile)
-        .tail_latency;
+/// Policy grid for one rate: the baseline for rate 0, else SingleR tuned
+/// to the rate (5 adaptive trials, as the seed bench used).
+exp::PolicySpec policy_for_rate(double rate) {
+  if (rate <= 0.0) {
+    return exp::PolicySpec::fixed_policy(core::ReissuePolicy::none());
   }
-  return sim::tune_single_r(cluster, kPercentile, budget, 5)
-      .final_eval.tail_latency;
+  return exp::PolicySpec::tuned_single_r(rate, 5);
 }
 
-void figure_5a() {
-  bench::header("Figure 5a: P95 vs correlation ratio (reissue rate 25%)");
-  const std::vector<double> ratios{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
-  auto opts0 = base_options();
-  sim::Cluster baseline_cluster = sim::workloads::make_sensitivity(opts0);
-  const double baseline =
-      sim::evaluate_policy(baseline_cluster, core::ReissuePolicy::none(),
-                           kPercentile)
-          .tail_latency;
-  const auto rows = bench::sweep<double>(ratios.size(), [&](std::size_t i) {
-    auto opts = base_options();
-    opts.ratio = ratios[i];
-    return tuned_p95(opts, 0.25);
-  });
-  std::printf("%6s  %12s  %12s\n", "r", "SingleR P95", "No-Reissue");
-  for (std::size_t i = 0; i < ratios.size(); ++i) {
-    std::printf("%6.2f  %12.1f  %12.1f\n", ratios[i], rows[i], baseline);
-  }
-  bench::note("expected: SingleR P95 grows with r yet stays below the "
-              "baseline even at r=1 (queueing delays remain hedgeable)");
-}
+struct Cell {
+  stats::MeanInterval tail;
+};
 
-void figure_5b() {
-  bench::header("Figure 5b: P95 vs reissue rate per load balancer");
-  const std::vector<double> rates{0.0, 0.05, 0.10, 0.20, 0.30, 0.50};
-  const std::vector<sim::LoadBalancerKind> kinds{
-      sim::LoadBalancerKind::kRandom, sim::LoadBalancerKind::kMinOfTwo,
-      sim::LoadBalancerKind::kMinOfAll};
-
-  std::vector<std::vector<double>> table(kinds.size());
-  for (std::size_t kind_idx = 0; kind_idx < kinds.size(); ++kind_idx) {
-    table[kind_idx] = bench::sweep<double>(rates.size(), [&](std::size_t i) {
-      auto opts = base_options();
-      opts.load_balancer = kinds[kind_idx];
-      return tuned_p95(opts, rates[i]);
-    });
-  }
-  std::printf("%7s  %10s  %10s  %10s\n", "rate", "Random", "MinOfTwo",
-              "MinOfAll");
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    std::printf("%6.0f%%  %10.1f  %10.1f  %10.1f\n", 100.0 * rates[i],
-                table[0][i], table[1][i], table[2][i]);
-  }
-  bench::note("expected: MinOfAll < MinOfTwo < Random at rate 0; SingleR "
-              "reduces P95 by ~2x or more in all cases (paper Fig. 5b)");
-}
-
-void figure_5c() {
-  bench::header("Figure 5c: P95 vs reissue rate per queue discipline");
-  const std::vector<double> rates{0.0, 0.05, 0.10, 0.20, 0.30, 0.50};
-  const std::vector<sim::QueueDisciplineKind> kinds{
-      sim::QueueDisciplineKind::kFifo,
-      sim::QueueDisciplineKind::kPrioritizedFifo,
-      sim::QueueDisciplineKind::kPrioritizedLifo};
-
-  std::vector<std::vector<double>> table(kinds.size());
-  for (std::size_t kind_idx = 0; kind_idx < kinds.size(); ++kind_idx) {
-    table[kind_idx] = bench::sweep<double>(rates.size(), [&](std::size_t i) {
-      auto opts = base_options();
-      opts.queue = kinds[kind_idx];
-      return tuned_p95(opts, rates[i]);
-    });
-  }
-  std::printf("%7s  %13s  %16s  %16s\n", "rate", "BaselineFIFO",
-              "PrioritizedFIFO", "PrioritizedLIFO");
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    std::printf("%6.0f%%  %13.1f  %16.1f  %16.1f\n", 100.0 * rates[i],
-                table[0][i], table[1][i], table[2][i]);
-  }
-  bench::note("expected: modest differences between priority schemes "
-              "(paper Fig. 5c)");
+Cell summarize(const exp::CellResult& cell) {
+  stats::RunningStats tails;
+  for (const auto& rep : cell.replications) tails.add(rep.tail);
+  return Cell{stats::mean_ci95(tails)};
 }
 
 }  // namespace
 
-int main() {
-  figure_5a();
-  figure_5b();
-  figure_5c();
+int main(int argc, char** argv) {
+  exp::SweepOptions options;
+  options.replications =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 3;
+  options.threads = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 0;
+  const std::size_t queries =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 40000;
+
+  std::vector<exp::ScenarioSpec> scenarios;
+
+  // 5a: one scenario per correlation ratio, SingleR tuned to a 25% rate;
+  // the no-reissue baseline never draws Y, so a single baseline cell (on
+  // the r=0 scenario) covers every ratio.
+  for (double r : kRatios) {
+    exp::ScenarioSpec spec = base_scenario("5a-r" + std::to_string(r).substr(0, 3),
+                                           queries);
+    spec.ratio = r;
+    if (r == kRatios.front()) {
+      spec.policies.push_back(policy_for_rate(0.0));
+    }
+    spec.policies.push_back(exp::PolicySpec::tuned_single_r(0.25, 5));
+    scenarios.push_back(spec);
+  }
+
+  // 5b: one scenario per load balancer, one tuned cell per reissue rate.
+  const std::vector<std::pair<const char*, sim::LoadBalancerKind>> balancers{
+      {"random", sim::LoadBalancerKind::kRandom},
+      {"min2", sim::LoadBalancerKind::kMinOfTwo},
+      {"minall", sim::LoadBalancerKind::kMinOfAll}};
+  for (const auto& [label, kind] : balancers) {
+    exp::ScenarioSpec spec = base_scenario(std::string("5b-") + label, queries);
+    spec.load_balancer = kind;
+    for (double rate : kRates) spec.policies.push_back(policy_for_rate(rate));
+    scenarios.push_back(spec);
+  }
+
+  // 5c: one scenario per queue discipline.
+  const std::vector<std::pair<const char*, sim::QueueDisciplineKind>> queues{
+      {"fifo", sim::QueueDisciplineKind::kFifo},
+      {"prio-fifo", sim::QueueDisciplineKind::kPrioritizedFifo},
+      {"prio-lifo", sim::QueueDisciplineKind::kPrioritizedLifo}};
+  for (const auto& [label, kind] : queues) {
+    exp::ScenarioSpec spec = base_scenario(std::string("5c-") + label, queries);
+    spec.queue = kind;
+    for (double rate : kRates) spec.policies.push_back(policy_for_rate(rate));
+    scenarios.push_back(spec);
+  }
+
+  bench::note("replications=" + std::to_string(options.replications) +
+              " queries=" + std::to_string(queries) +
+              " (+- columns are 95% CI half-widths)");
+  const auto cells = exp::run_sweep(scenarios, options);
+
+  // Cells are scenario-major in declaration order.
+  std::size_t cursor = 0;
+  const Cell baseline = summarize(cells[cursor]);
+  std::vector<Cell> by_ratio;
+  for (std::size_t i = 0; i < kRatios.size(); ++i) {
+    cursor = i == 0 ? 1 : cursor + 1;
+    by_ratio.push_back(summarize(cells[cursor]));
+  }
+  ++cursor;
+
+  bench::header("Figure 5a: P95 vs correlation ratio (reissue rate 25%)");
+  std::printf("%6s  %12s %8s  %12s %8s\n", "r", "SingleR P95", "+-",
+              "No-Reissue", "+-");
+  for (std::size_t i = 0; i < kRatios.size(); ++i) {
+    std::printf("%6.2f  %12.1f %8.1f  %12.1f %8.1f\n", kRatios[i],
+                by_ratio[i].tail.mean, by_ratio[i].tail.half_width,
+                baseline.tail.mean, baseline.tail.half_width);
+  }
+  bench::note("expected: SingleR P95 grows with r yet stays below the "
+              "baseline even at r=1 (queueing delays remain hedgeable)");
+
+  // 5b/5c cells: each scenario contributed exactly kRates.size() cells,
+  // starting after the 5a block (`cursor`).
+  const auto rate_panel_cells = [&](std::size_t scenario_offset,
+                                    std::size_t variant, std::size_t rate) {
+    return cursor + (scenario_offset + variant) * kRates.size() + rate;
+  };
+
+  bench::header("Figure 5b: P95 vs reissue rate per load balancer");
+  std::printf("%7s  %10s %8s  %10s %8s  %10s %8s\n", "rate", "Random", "+-",
+              "MinOfTwo", "+-", "MinOfAll", "+-");
+  for (std::size_t i = 0; i < kRates.size(); ++i) {
+    std::printf("%6.0f%%", 100.0 * kRates[i]);
+    for (std::size_t v = 0; v < balancers.size(); ++v) {
+      const Cell cell = summarize(cells[rate_panel_cells(0, v, i)]);
+      std::printf("  %10.1f %8.1f", cell.tail.mean, cell.tail.half_width);
+    }
+    std::printf("\n");
+  }
+  bench::note("expected: MinOfAll < MinOfTwo < Random at rate 0; SingleR "
+              "reduces P95 by ~2x or more in all cases (paper Fig. 5b)");
+
+  bench::header("Figure 5c: P95 vs reissue rate per queue discipline");
+  std::printf("%7s  %10s %8s  %10s %8s  %10s %8s\n", "rate", "FIFO", "+-",
+              "PrioFIFO", "+-", "PrioLIFO", "+-");
+  for (std::size_t i = 0; i < kRates.size(); ++i) {
+    std::printf("%6.0f%%", 100.0 * kRates[i]);
+    for (std::size_t v = 0; v < queues.size(); ++v) {
+      const Cell cell =
+          summarize(cells[rate_panel_cells(balancers.size(), v, i)]);
+      std::printf("  %10.1f %8.1f", cell.tail.mean, cell.tail.half_width);
+    }
+    std::printf("\n");
+  }
+  bench::note("expected: modest differences between priority schemes "
+              "(paper Fig. 5c)");
   return 0;
 }

@@ -8,6 +8,9 @@
 #include "reissue/core/adaptive.hpp"
 #include "reissue/core/optimizer.hpp"
 #include "reissue/core/policy_io.hpp"
+#include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/registry.hpp"
+#include "reissue/exp/runner.hpp"
 #include "reissue/sim/metrics.hpp"
 #include "reissue/sim/workloads.hpp"
 #include "reissue/systems/bridge.hpp"
@@ -28,6 +31,10 @@ usage:
   reissue_cli evaluate --workload ... --policy "SingleR d=12.5 q=0.4"
                        [--utilization U=0.3] [--percentile K=0.99]
                        [--queries N=40000] [--seed S]
+  reissue_cli sweep    --scenarios NAME[,NAME...] | --spec "name=... kind=..."
+                       [--replications N=8] [--threads N=1] [--seed S]
+                       [--percentile K] [--output FILE]
+  reissue_cli sweep --list
   reissue_cli help
 )";
 
@@ -52,11 +59,34 @@ std::uint64_t parse_u64(const ParsedArgs& args, const std::string& name,
                         std::uint64_t fallback) {
   const std::string raw = args.get(name);
   if (raw.empty()) return fallback;
+  if (raw[0] == '-') {  // stoull would silently wrap negatives
+    throw std::runtime_error("--" + name + ": must be non-negative: " + raw);
+  }
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
   try {
-    return std::stoull(raw);
+    value = std::stoull(raw, &consumed, 0);  // base 0: accepts 0x... seeds
   } catch (const std::exception&) {
     throw std::runtime_error("--" + name + ": not an integer: " + raw);
   }
+  if (consumed != raw.size()) {
+    throw std::runtime_error("--" + name + ": not an integer: " + raw);
+  }
+  return value;
+}
+
+/// Value of a flag the command cannot run without: distinguishes "flag
+/// missing" from "flag given without a value" in the diagnostic.
+std::string require_value(const ParsedArgs& args, const std::string& name,
+                          const std::string& command) {
+  if (!args.has(name)) {
+    throw std::runtime_error(command + " requires --" + name);
+  }
+  const std::string value = args.get(name);
+  if (value.empty()) {
+    throw std::runtime_error("--" + name + " requires a value");
+  }
+  return value;
 }
 
 std::vector<double> load_log(const std::string& path) {
@@ -92,8 +122,9 @@ std::vector<std::pair<double, double>> load_pairs(const std::string& path) {
 }
 
 /// Builds one of the built-in workloads as a SystemUnderTest.
-std::unique_ptr<core::SystemUnderTest> make_workload(const ParsedArgs& args) {
-  const std::string name = args.get("workload");
+std::unique_ptr<core::SystemUnderTest> make_workload(const ParsedArgs& args,
+                                                     const std::string& command) {
+  const std::string name = require_value(args, "workload", command);
   const double utilization = parse_double(args, "utilization", 0.30);
   const auto queries =
       static_cast<std::size_t>(parse_u64(args, "queries", 40000));
@@ -131,8 +162,7 @@ std::unique_ptr<core::SystemUnderTest> make_workload(const ParsedArgs& args) {
 }
 
 int cmd_optimize(const ParsedArgs& args, std::ostream& out) {
-  const std::string log_path = args.get("log");
-  if (log_path.empty()) throw std::runtime_error("optimize requires --log");
+  const std::string log_path = require_value(args, "log", "optimize");
   const double k = parse_double(args, "percentile", 0.99);
   const double budget = parse_double(args, "budget", 0.02);
 
@@ -159,7 +189,7 @@ int cmd_optimize(const ParsedArgs& args, std::ostream& out) {
 }
 
 int cmd_tune(const ParsedArgs& args, std::ostream& out) {
-  auto system = make_workload(args);
+  auto system = make_workload(args, "tune");
   core::AdaptiveConfig config;
   config.percentile = parse_double(args, "percentile", 0.99);
   config.budget = parse_double(args, "budget", 0.02);
@@ -179,17 +209,71 @@ int cmd_tune(const ParsedArgs& args, std::ostream& out) {
 }
 
 int cmd_evaluate(const ParsedArgs& args, std::ostream& out) {
-  const std::string policy_line = args.get("policy");
-  if (policy_line.empty()) throw std::runtime_error("evaluate requires --policy");
+  const std::string policy_line = require_value(args, "policy", "evaluate");
   const auto policy = core::policy_from_line(policy_line);
   const double k = parse_double(args, "percentile", 0.99);
-  auto system = make_workload(args);
+  auto system = make_workload(args, "evaluate");
   const auto eval = sim::evaluate_policy(*system, policy, k);
   out << "policy:       " << core::policy_to_line(policy) << "\n";
   out << "tail:         " << eval.tail_latency << "\n";
   out << "reissue rate: " << eval.reissue_rate << "\n";
   out << "remediation:  " << eval.remediation_rate << "\n";
   out << "utilization:  " << eval.utilization << "\n";
+  return 0;
+}
+
+int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
+  const auto& registry = exp::ScenarioRegistry::built_in();
+  if (args.has("list")) {
+    out << "scenarios:\n";
+    for (const auto& spec : registry.scenarios()) {
+      out << "  " << spec.name << "  (" << exp::to_string(spec.kind) << ", "
+          << spec.policies.size() << " policies)\n";
+    }
+    out << "catalogs:\n";
+    for (const auto& catalog : registry.catalogs()) {
+      out << "  " << catalog.name << " =";
+      for (const auto& member : catalog.members) out << " " << member;
+      out << "\n";
+    }
+    return 0;
+  }
+
+  std::vector<exp::ScenarioSpec> scenarios;
+  if (args.has("spec")) {
+    scenarios.push_back(
+        exp::parse_scenario(require_value(args, "spec", "sweep")));
+  }
+  if (args.has("scenarios")) {
+    const auto resolved =
+        registry.resolve(require_value(args, "scenarios", "sweep"));
+    scenarios.insert(scenarios.end(), resolved.begin(), resolved.end());
+  }
+  if (scenarios.empty()) {
+    throw std::runtime_error("sweep requires --scenarios or --spec");
+  }
+
+  exp::SweepOptions options;
+  options.replications =
+      static_cast<std::size_t>(parse_u64(args, "replications", 8));
+  options.threads = static_cast<std::size_t>(parse_u64(args, "threads", 1));
+  options.seed = parse_u64(args, "seed", 0x5eed);
+  options.percentile = parse_double(args, "percentile", 0.0);
+  if (args.has("percentile") &&
+      !(options.percentile > 0.0 && options.percentile < 1.0)) {
+    throw std::runtime_error("--percentile must be in (0,1)");
+  }
+
+  const auto cells = exp::aggregate(exp::run_sweep(scenarios, options));
+  if (args.has("output")) {
+    const std::string path = require_value(args, "output", "sweep");
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot open output file: " + path);
+    exp::write_csv(file, cells);
+    out << "wrote " << cells.size() << " cells to " << path << "\n";
+  } else {
+    exp::write_csv(out, cells);
+  }
   return 0;
 }
 
@@ -247,6 +331,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "optimize") return cmd_optimize(parsed, out);
     if (parsed.command == "tune") return cmd_tune(parsed, out);
     if (parsed.command == "evaluate") return cmd_evaluate(parsed, out);
+    if (parsed.command == "sweep") return cmd_sweep(parsed, out);
     err << "unknown command: " << parsed.command << "\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -20,6 +20,14 @@
 //             [--utilization U] [--percentile K] [--queries N] [--seed S]
 //       Evaluates a fixed policy on a built-in workload.
 //
+//   sweep     --scenarios NAME[,NAME...] | --spec "name=... kind=..."
+//             [--replications N] [--threads N] [--seed S] [--percentile K]
+//             [--output FILE] | --list
+//       Runs the parallel experiment engine over registry scenarios /
+//       catalogs (or an inline spec) with deterministic per-replication
+//       seed substreams, and emits per-cell CSV with tail + 95% CI
+//       columns.  Output is bit-identical for any --threads value.
+//
 //   help
 #pragma once
 

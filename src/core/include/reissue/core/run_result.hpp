@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -80,6 +81,12 @@ class SystemUnderTest {
 
   /// Executes the workload under `policy` and returns the observed logs.
   [[nodiscard]] virtual RunResult run(const ReissuePolicy& policy) = 0;
+
+  /// Re-seeds the system's stochastic streams so the next run() is an
+  /// independent replication.  Returns false when the system has no notion
+  /// of reseeding (callers such as the experiment engine then rebuild the
+  /// system instead of reusing it).
+  virtual bool reseed(std::uint64_t /*seed*/) { return false; }
 };
 
 }  // namespace reissue::core

@@ -57,6 +57,27 @@ std::string policy_to_line(const ReissuePolicy& policy) {
   return os.str();
 }
 
+namespace {
+
+/// Number in a "d=..." / "q=..." token; diagnostics name the token rather
+/// than surfacing std::stod's unhelpful what() ("stod").
+double stage_number(const std::string& token) {
+  const std::string digits = token.substr(2);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(digits, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("policy line: bad number in '" + token + "'");
+  }
+  if (consumed != digits.size()) {
+    throw std::runtime_error("policy line: bad number in '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
 ReissuePolicy policy_from_line(const std::string& line) {
   std::istringstream is(line);
   std::string family;
@@ -70,11 +91,11 @@ ReissuePolicy policy_from_line(const std::string& line) {
       throw std::runtime_error("policy line: expected d=..., got " + token);
     }
     ReissueStage stage;
-    stage.delay = std::stod(token.substr(2));
+    stage.delay = stage_number(token);
     if (!(is >> token) || token.rfind("q=", 0) != 0) {
       throw std::runtime_error("policy line: expected q=... after d=...");
     }
-    stage.probability = std::stod(token.substr(2));
+    stage.probability = stage_number(token);
     stages.push_back(stage);
   }
 

@@ -1,0 +1,119 @@
+#include "reissue/exp/aggregate.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace reissue::exp {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+}  // namespace
+
+CellStats aggregate_cell(const CellResult& cell) {
+  if (cell.replications.empty()) {
+    throw std::invalid_argument("aggregate_cell: no replications");
+  }
+  CellStats stats;
+  stats.scenario = cell.scenario;
+  stats.policy = cell.policy;
+  stats.percentile = cell.percentile;
+  stats.replications = cell.replications.size();
+
+  stats::RunningStats tails;
+  stats::RunningStats sketches;
+  stats::RunningStats means;
+  stats::RunningStats rates;
+  stats::RunningStats remediations;
+  stats::RunningStats utilizations;
+  stats::RunningStats outstanding;
+  stats::RunningStats delays;
+  stats::RunningStats probabilities;
+  for (const auto& rep : cell.replications) {
+    tails.add(rep.tail);
+    sketches.add(rep.tail_psquare);
+    means.add(rep.mean_latency);
+    rates.add(rep.reissue_rate);
+    remediations.add(rep.remediation);
+    utilizations.add(rep.utilization);
+    outstanding.add(rep.outstanding_at_delay);
+    if (rep.policy.stage_count() == 1) {
+      delays.add(rep.policy.delay());
+      probabilities.add(rep.policy.probability());
+    }
+  }
+  stats.tail = stats::mean_ci95(tails);
+  stats.tail_stddev = tails.stddev();
+  stats.tail_psquare = sketches.mean();
+  stats.mean_latency = means.mean();
+  stats.reissue_rate = rates.mean();
+  stats.remediation = remediations.mean();
+  stats.utilization = utilizations.mean();
+  stats.outstanding_at_delay = outstanding.mean();
+  stats.mean_delay = delays.mean();
+  stats.mean_probability = probabilities.mean();
+  return stats;
+}
+
+std::vector<CellStats> aggregate(const std::vector<CellResult>& cells) {
+  std::vector<CellStats> out;
+  out.reserve(cells.size());
+  for (const auto& cell : cells) out.push_back(aggregate_cell(cell));
+  return out;
+}
+
+std::string csv_header() {
+  return "scenario,policy,percentile,replications,tail_mean,tail_ci_lo,"
+         "tail_ci_hi,tail_stddev,tail_p2,mean_latency,reissue_rate,"
+         "remediation,utilization,outstanding,delay,probability";
+}
+
+std::string csv_row(const CellStats& stats) {
+  std::string row;
+  row += stats.scenario;
+  row += ',';
+  row += stats.policy;
+  row += ',';
+  row += fmt(stats.percentile);
+  row += ',';
+  row += std::to_string(stats.replications);
+  row += ',';
+  row += fmt(stats.tail.mean);
+  row += ',';
+  row += fmt(stats.tail.lo());
+  row += ',';
+  row += fmt(stats.tail.hi());
+  row += ',';
+  row += fmt(stats.tail_stddev);
+  row += ',';
+  row += fmt(stats.tail_psquare);
+  row += ',';
+  row += fmt(stats.mean_latency);
+  row += ',';
+  row += fmt(stats.reissue_rate);
+  row += ',';
+  row += fmt(stats.remediation);
+  row += ',';
+  row += fmt(stats.utilization);
+  row += ',';
+  row += fmt(stats.outstanding_at_delay);
+  row += ',';
+  row += fmt(stats.mean_delay);
+  row += ',';
+  row += fmt(stats.mean_probability);
+  return row;
+}
+
+void write_csv(std::ostream& os, const std::vector<CellStats>& cells) {
+  os << csv_header() << "\n";
+  for (const auto& cell : cells) os << csv_row(cell) << "\n";
+}
+
+}  // namespace reissue::exp

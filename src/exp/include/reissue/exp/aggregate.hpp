@@ -1,0 +1,55 @@
+// Across-replication aggregation of sweep cells: mean tail with a Student-t
+// 95% confidence interval (stats::summary), the streaming P² tail estimate
+// for comparison, and the secondary metrics the paper's figures plot.
+// Streams to CSV; numbers are printed in shortest round-trip form, so two
+// sweeps with identical cell metrics produce byte-identical CSV no matter
+// the thread count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "reissue/exp/runner.hpp"
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::exp {
+
+struct CellStats {
+  std::string scenario;
+  std::string policy;
+  double percentile = 0.0;
+  std::size_t replications = 0;
+
+  /// Mean of per-replication exact tails, with a 95% CI half-width.
+  stats::MeanInterval tail;
+  double tail_stddev = 0.0;
+  /// Mean of the per-replication P² streaming estimates of the same tail.
+  double tail_psquare = 0.0;
+
+  double mean_latency = 0.0;
+  double reissue_rate = 0.0;
+  double remediation = 0.0;
+  double utilization = 0.0;
+  double outstanding_at_delay = 0.0;
+
+  /// Mean resolved policy parameters over replications (meaningful for
+  /// single-stage policies, e.g. tuned ones; 0 otherwise).
+  double mean_delay = 0.0;
+  double mean_probability = 0.0;
+};
+
+[[nodiscard]] CellStats aggregate_cell(const CellResult& cell);
+[[nodiscard]] std::vector<CellStats> aggregate(
+    const std::vector<CellResult>& cells);
+
+/// CSV column names, in row order.
+[[nodiscard]] std::string csv_header();
+
+/// One CSV row (no trailing newline handling: callers stream rows).
+[[nodiscard]] std::string csv_row(const CellStats& stats);
+
+/// Header plus one row per cell, each '\n'-terminated.
+void write_csv(std::ostream& os, const std::vector<CellStats>& cells);
+
+}  // namespace reissue::exp

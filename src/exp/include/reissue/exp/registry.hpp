@@ -1,0 +1,55 @@
+// Named scenarios and catalogs (named scenario groups) for the experiment
+// engine.  The built-in registry covers every workload the repo can
+// simulate -- the §5.1 Independent/Correlated/Queueing models, the §6
+// Redis-like and Lucene-like substrates -- plus regimes the paper's
+// robustness discussion motivates but the seed repo could not express:
+// overload, bursty arrival phases, heterogeneous (straggler) fleets and
+// background interference.  Sweep entry points resolve a comma-separated
+// list of scenario names, catalog names, or inline "name=... kind=..."
+// spec strings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reissue/exp/scenario.hpp"
+
+namespace reissue::exp {
+
+class ScenarioRegistry {
+ public:
+  /// Registers a scenario.  Throws std::runtime_error on duplicate names
+  /// or invalid specs.
+  void add(ScenarioSpec spec);
+
+  /// Registers a catalog.  Every member must already be registered.
+  void add_catalog(std::string name, std::vector<std::string> members);
+
+  [[nodiscard]] const ScenarioSpec* find(std::string_view name) const;
+
+  /// Resolves a comma-separated list of scenario names, catalog names or
+  /// inline spec strings (anything containing '=') into specs, in order.
+  /// Throws std::runtime_error naming any unknown entry.
+  [[nodiscard]] std::vector<ScenarioSpec> resolve(std::string_view list) const;
+
+  [[nodiscard]] const std::vector<ScenarioSpec>& scenarios() const noexcept {
+    return scenarios_;
+  }
+  struct Catalog {
+    std::string name;
+    std::vector<std::string> members;
+  };
+  [[nodiscard]] const std::vector<Catalog>& catalogs() const noexcept {
+    return catalogs_;
+  }
+
+  /// The built-in catalog described above (constructed once, immutable).
+  [[nodiscard]] static const ScenarioRegistry& built_in();
+
+ private:
+  std::vector<ScenarioSpec> scenarios_;
+  std::vector<Catalog> catalogs_;
+};
+
+}  // namespace reissue::exp

@@ -1,0 +1,81 @@
+// Parallel replicated experiment runner.
+//
+// A sweep is the cross product Scenario × Policy ("cells") × Replication.
+// Tasks fan across a fixed pool of worker threads; every replication's
+// result is a pure function of (scenario spec, policy spec, derived seed),
+// and each task writes only its own preallocated slot, so sweep output is
+// bit-identical for any thread count and any execution order.
+//
+// Seed derivation (SplitMix64 substreams of stats::rng):
+//   construction seed = substream(root, scenario name)        -- shared by
+//     every replication, so expensive substrates (Redis/Lucene traces) are
+//     fixed across replications and reusable across cells;
+//   replication seed  = substream(root, scenario name, rep#)  -- applied
+//     via SystemUnderTest::reseed before each run.  All policies of a cell
+//     share the replication seed: common random numbers, the variance-
+//     reduction the cluster's seed contract was designed for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reissue/exp/scenario.hpp"
+
+namespace reissue::exp {
+
+struct SweepOptions {
+  /// Independent replications per cell (>= 1).
+  std::size_t replications = 8;
+  /// Worker threads; 0 = hardware concurrency.  Output is identical for
+  /// every value.
+  std::size_t threads = 1;
+  /// Root seed of the whole sweep.
+  std::uint64_t seed = 0x5eed;
+  /// When > 0, overrides every scenario's reporting percentile.
+  double percentile = 0.0;
+};
+
+/// Metrics of one replication of one cell.
+struct ReplicationMetrics {
+  std::uint64_t seed = 0;
+  /// Exact (sorted) percentile of the end-to-end latency log.
+  double tail = 0.0;
+  /// P² streaming estimate of the same percentile (what a live deployment
+  /// would observe without keeping the log).
+  double tail_psquare = 0.0;
+  double mean_latency = 0.0;
+  double reissue_rate = 0.0;
+  /// Remediation rate at the achieved tail (paper Fig. 3b).
+  double remediation = 0.0;
+  double utilization = 0.0;
+  /// Fraction of primaries still outstanding at the policy delay
+  /// (single-stage policies; 0 otherwise).
+  double outstanding_at_delay = 0.0;
+  /// The policy actually evaluated (tuned specs resolve per replication).
+  core::ReissuePolicy policy = core::ReissuePolicy::none();
+};
+
+/// One Scenario × Policy cell with all its replications (index = rep#).
+struct CellResult {
+  std::string scenario;
+  std::string policy;  // canonical PolicySpec token
+  double percentile = 0.0;
+  std::vector<ReplicationMetrics> replications;
+};
+
+/// Seed substream for (root, scenario, replication).  Exposed so tests can
+/// assert schedule independence.
+[[nodiscard]] std::uint64_t replication_seed(std::uint64_t root,
+                                             std::string_view scenario,
+                                             std::size_t replication);
+
+/// Runs the full sweep.  Cells are ordered scenario-major then
+/// policy-major, exactly as declared.  Throws if any scenario has an empty
+/// policy grid or a system that does not support reseeding; exceptions
+/// from workers propagate after all workers stop.
+[[nodiscard]] std::vector<CellResult> run_sweep(
+    const std::vector<ScenarioSpec>& scenarios, const SweepOptions& options);
+
+}  // namespace reissue::exp

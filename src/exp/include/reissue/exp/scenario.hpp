@@ -1,0 +1,150 @@
+// Declarative experiment scenarios for the parallel experiment engine.
+//
+// A ScenarioSpec names a workload (every builder in src/sim plus the
+// Redis-like / Lucene-like substrates of src/systems, plus regimes the
+// seed repo could not express: overload, bursty arrival phases,
+// heterogeneous server fleets, background interference), the knobs the
+// paper sweeps (utilization, service-time correlation, load balancer,
+// queue discipline, service distribution) and the policy grid to evaluate
+// on it.  Specs round-trip through a compact single-line string form --
+// whitespace-separated key=value tokens -- so scenarios can live in shell
+// commands, CSV columns and registry catalogs:
+//
+//   name=queueing-u50 kind=queueing util=0.5 ratio=0.5 servers=10
+//   queries=16000 warmup=1600 lb=random queue=fifo service=pareto:1.1:2
+//   cap=5000 percentile=0.99 policy=none policy=r:30:0.5 policy=tuned-r:0.05
+//
+// make_system() turns a spec into a core::SystemUnderTest whose
+// construction is deterministic in (spec, seed).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/load_balancer.hpp"
+#include "reissue/sim/queue_discipline.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::exp {
+
+/// One point of a scenario's policy grid: either a fixed policy, or a
+/// policy tuned on the scenario itself (the paper's §4.3 loop) toward a
+/// reissue budget.  String forms:
+///   none | immediate[:copies] | d:<delay> | r:<delay>:<prob>
+///   | multi:d1:q1[:d2:q2...] | tuned-r:<budget>[:trials]
+///   | tuned-d:<budget>[:trials]
+struct PolicySpec {
+  enum class Kind { kFixed, kTunedSingleR, kTunedSingleD };
+
+  Kind kind = Kind::kFixed;
+  core::ReissuePolicy fixed = core::ReissuePolicy::none();
+  double budget = 0.0;  // tuned kinds only
+  int trials = 6;       // tuned kinds only
+
+  [[nodiscard]] static PolicySpec fixed_policy(core::ReissuePolicy policy);
+  [[nodiscard]] static PolicySpec tuned_single_r(double budget, int trials = 6);
+  [[nodiscard]] static PolicySpec tuned_single_d(double budget, int trials = 6);
+
+  friend bool operator==(const PolicySpec&, const PolicySpec&) = default;
+};
+
+/// Canonical token form (inverse of parse_policy_spec; doubles keep full
+/// precision so the round trip is exact).
+[[nodiscard]] std::string to_string(const PolicySpec& spec);
+
+/// Parses a policy token.  Throws std::runtime_error with a one-line
+/// diagnostic on malformed input.
+[[nodiscard]] PolicySpec parse_policy_spec(std::string_view token);
+
+/// Which substrate executes the scenario.
+enum class WorkloadKind {
+  kIndependent,  // §5.1: iid service times, infinite servers
+  kCorrelated,   // §5.1: Y = r·x + Z, infinite servers
+  kQueueing,     // §5.1/§5.4: finite servers behind a load balancer
+  kRedis,        // §6.2 Redis-like substrate trace replay
+  kLucene,       // §6.3 Lucene-like substrate trace replay
+};
+
+[[nodiscard]] std::string to_string(WorkloadKind kind);
+[[nodiscard]] WorkloadKind workload_kind_from_string(std::string_view name);
+
+/// One arrival-rate phase of a bursty workload (duration in simulated time
+/// units, multiplier applied to the base arrival rate; phases cycle).
+struct BurstPhase {
+  double duration = 0.0;
+  double multiplier = 1.0;
+
+  friend bool operator==(const BurstPhase&, const BurstPhase&) = default;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  WorkloadKind kind = WorkloadKind::kQueueing;
+
+  /// Target server utilization (finite-server kinds).
+  double utilization = 0.30;
+  /// Service-time correlation ratio r (0 = independent reissue draws).
+  double ratio = 0.5;
+  std::size_t servers = 10;
+  std::size_t queries = 16000;
+  std::size_t warmup = 1600;
+  sim::LoadBalancerKind load_balancer = sim::LoadBalancerKind::kRandom;
+  sim::QueueDisciplineKind queue = sim::QueueDisciplineKind::kFifo;
+
+  /// Service-time distribution, e.g. "pareto:1.1:2", "lognormal:1:1",
+  /// "exp:0.1", "weibull:0.5:10", "uniform:1:9", "constant:5".
+  /// Ignored by the redis/lucene kinds (their traces come from executed
+  /// engine work).
+  std::string service = "pareto:1.1:2";
+  /// Truncation cap on service draws (0 = uncapped).
+  double service_cap = 5000.0;
+
+  /// Background interference: per-server episode rate and mean episode
+  /// length (lognormal episodes, log-sigma 0.6).  rate 0 disables.
+  double interference_rate = 0.0;
+  double interference_mean = 0.0;
+
+  /// Bursty arrival phases (empty = constant rate).
+  std::vector<BurstPhase> phases;
+
+  /// Heterogeneous fleets: per-server service-time multipliers (empty =
+  /// homogeneous; size must equal `servers`).
+  std::vector<double> server_speeds;
+
+  /// Tail percentile this scenario reports, in (0, 1).
+  double percentile = 0.99;
+
+  /// The policy grid evaluated on this scenario.
+  std::vector<PolicySpec> policies;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Canonical single-line form; parse_scenario() inverts it exactly.
+[[nodiscard]] std::string to_spec_string(const ScenarioSpec& spec);
+
+/// Parses the key=value form documented above.  Unknown keys, bad numbers,
+/// inconsistent fields, and keys the workload kind would silently ignore
+/// (e.g. util= for the infinite-server kinds, service= for redis/lucene)
+/// produce std::runtime_error with a one-line diagnostic naming the
+/// offending token.
+[[nodiscard]] ScenarioSpec parse_scenario(std::string_view text);
+
+/// Parses a distribution token ("pareto:1.1:2", ...).  Shared with tests.
+[[nodiscard]] stats::DistributionPtr parse_distribution(std::string_view token);
+
+/// Builds the scenario's system.  Construction is deterministic in
+/// (spec, seed); the result supports SystemUnderTest::reseed, which the
+/// runner uses to derive per-replication streams without rebuilding
+/// expensive substrates (the Redis/Lucene traces are built once per
+/// worker and shared across replications, common-random-numbers style).
+[[nodiscard]] std::unique_ptr<core::SystemUnderTest> make_system(
+    const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace reissue::exp

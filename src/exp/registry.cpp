@@ -1,0 +1,214 @@
+#include "reissue/exp/registry.hpp"
+
+#include <stdexcept>
+
+namespace reissue::exp {
+
+namespace {
+
+std::vector<std::string> split_list(std::string_view list) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto pos = list.find(',', start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(list.substr(start));
+      break;
+    }
+    parts.emplace_back(list.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+/// The shared policy grid of the catalog's simulation scenarios: baseline,
+/// a fixed probabilistic reissue point, and deterministic hedging.
+std::vector<PolicySpec> default_grid() {
+  return {PolicySpec::fixed_policy(core::ReissuePolicy::none()),
+          PolicySpec::fixed_policy(core::ReissuePolicy::single_r(30.0, 0.5)),
+          PolicySpec::fixed_policy(core::ReissuePolicy::single_d(60.0))};
+}
+
+ScenarioSpec base_queueing(std::string name, double utilization) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.kind = WorkloadKind::kQueueing;
+  spec.utilization = utilization;
+  spec.ratio = 0.5;
+  spec.queries = 16000;
+  spec.warmup = 1600;
+  spec.percentile = 0.99;
+  spec.policies = default_grid();
+  return spec;
+}
+
+ScenarioRegistry make_built_in() {
+  ScenarioRegistry registry;
+
+  // §5.1 infinite-server workloads.
+  {
+    ScenarioSpec spec;
+    spec.name = "independent";
+    spec.kind = WorkloadKind::kIndependent;
+    spec.queries = 20000;
+    spec.warmup = 2000;
+    spec.policies = default_grid();
+    registry.add(spec);
+    spec.name = "correlated";
+    spec.kind = WorkloadKind::kCorrelated;
+    spec.ratio = 0.5;
+    registry.add(spec);
+  }
+
+  // §5.1/§5.4 queueing at increasing load.
+  registry.add(base_queueing("queueing-u30", 0.30));
+  registry.add(base_queueing("queueing-u50", 0.50));
+  registry.add(base_queueing("queueing-u70", 0.70));
+
+  // Overload: utilization near saturation, where extra copies can flip
+  // from remedy to poison (Vulimiri et al., Shah et al.).
+  {
+    ScenarioSpec spec = base_queueing("overload-u90", 0.90);
+    spec.queries = 12000;
+    spec.warmup = 1200;
+    registry.add(spec);
+  }
+
+  // Bursty phases: load alternates between half and triple the base rate
+  // (the §4.4 "varying load" drift regime).
+  {
+    ScenarioSpec spec = base_queueing("bursty", 0.40);
+    spec.phases = {BurstPhase{400.0, 0.5}, BurstPhase{100.0, 3.0}};
+    registry.add(spec);
+  }
+
+  // Heterogeneous fleet: two half-speed servers and one quarter-speed
+  // straggler among ten.
+  {
+    ScenarioSpec spec = base_queueing("heterogeneous", 0.30);
+    spec.server_speeds = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 4.0};
+    registry.add(spec);
+  }
+
+  // Background interference episodes (paper §1's "temporary shortages in
+  // CPU cycles"): ~10% of each server consumed by 50-unit episodes.
+  {
+    ScenarioSpec spec = base_queueing("interference", 0.30);
+    spec.interference_rate = 0.002;
+    spec.interference_mean = 50.0;
+    registry.add(spec);
+  }
+
+  // System substrates, sized for tractable sweeps.
+  {
+    ScenarioSpec spec;
+    spec.name = "redis-small";
+    spec.kind = WorkloadKind::kRedis;
+    spec.utilization = 0.40;
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.policies = default_grid();
+    registry.add(spec);
+    spec.name = "lucene-small";
+    spec.kind = WorkloadKind::kLucene;
+    spec.queries = 4000;
+    spec.warmup = 400;
+    registry.add(spec);
+  }
+
+  registry.add_catalog("infinite-server", {"independent", "correlated"});
+  registry.add_catalog("queueing-sweep",
+                       {"queueing-u30", "queueing-u50", "queueing-u70"});
+  registry.add_catalog(
+      "regimes", {"overload-u90", "bursty", "heterogeneous", "interference"});
+  registry.add_catalog("systems-small", {"redis-small", "lucene-small"});
+  registry.add_catalog("sim-all",
+                       {"independent", "correlated", "queueing-u30",
+                        "queueing-u50", "queueing-u70", "overload-u90",
+                        "bursty", "heterogeneous", "interference"});
+  return registry;
+}
+
+}  // namespace
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  // Round-trip through the parser: validates the spec and guarantees every
+  // registered scenario is expressible as a spec string.
+  ScenarioSpec parsed = parse_scenario(to_spec_string(spec));
+  if (parsed != spec) {
+    throw std::runtime_error("scenario '" + spec.name +
+                             "' does not round-trip through its spec string");
+  }
+  if (find(spec.name) != nullptr) {
+    throw std::runtime_error("duplicate scenario name '" + spec.name + "'");
+  }
+  scenarios_.push_back(std::move(spec));
+}
+
+void ScenarioRegistry::add_catalog(std::string name,
+                                   std::vector<std::string> members) {
+  if (find(name) != nullptr) {
+    throw std::runtime_error("catalog name '" + name +
+                             "' collides with a scenario");
+  }
+  for (const auto& catalog : catalogs_) {
+    if (catalog.name == name) {
+      throw std::runtime_error("duplicate catalog name '" + name + "'");
+    }
+  }
+  for (const auto& member : members) {
+    if (find(member) == nullptr) {
+      throw std::runtime_error("catalog '" + name +
+                               "' references unknown scenario '" + member +
+                               "'");
+    }
+  }
+  catalogs_.push_back(Catalog{std::move(name), std::move(members)});
+}
+
+const ScenarioSpec* ScenarioRegistry::find(std::string_view name) const {
+  for (const auto& spec : scenarios_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<ScenarioSpec> ScenarioRegistry::resolve(
+    std::string_view list) const {
+  std::vector<ScenarioSpec> specs;
+  for (const auto& entry : split_list(list)) {
+    if (entry.empty()) continue;
+    if (entry.find('=') != std::string::npos) {
+      specs.push_back(parse_scenario(entry));
+      continue;
+    }
+    if (const ScenarioSpec* spec = find(entry)) {
+      specs.push_back(*spec);
+      continue;
+    }
+    const Catalog* catalog = nullptr;
+    for (const auto& candidate : catalogs_) {
+      if (candidate.name == entry) {
+        catalog = &candidate;
+        break;
+      }
+    }
+    if (catalog == nullptr) {
+      throw std::runtime_error("unknown scenario or catalog '" + entry + "'");
+    }
+    for (const auto& member : catalog->members) {
+      specs.push_back(*find(member));
+    }
+  }
+  if (specs.empty()) {
+    throw std::runtime_error("no scenarios selected");
+  }
+  return specs;
+}
+
+const ScenarioRegistry& ScenarioRegistry::built_in() {
+  static const ScenarioRegistry registry = make_built_in();
+  return registry;
+}
+
+}  // namespace reissue::exp

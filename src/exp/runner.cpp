@@ -1,0 +1,184 @@
+#include "reissue/exp/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "reissue/sim/metrics.hpp"
+#include "reissue/stats/psquare.hpp"
+#include "reissue/stats/rng.hpp"
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::exp {
+
+namespace {
+
+/// Child seed of `parent` for stream index `index` (deterministic, no
+/// shared state: usable from any thread in any order).
+std::uint64_t substream(std::uint64_t parent, std::uint64_t index) {
+  stats::SplitMix64 sm(parent + 0x9e3779b97f4a7c15ull * (index + 1));
+  return sm.next();
+}
+
+std::uint64_t scenario_stream(std::uint64_t root, std::string_view scenario) {
+  stats::SplitMix64 sm(root ^ stats::stream_label(scenario));
+  return sm.next();
+}
+
+/// Seed the scenario's system is *constructed* with: shared by every
+/// replication so expensive substrates (Redis/Lucene datasets and traces)
+/// are identical across replications and worker caches.
+std::uint64_t construction_seed(std::uint64_t root,
+                                std::string_view scenario) {
+  return substream(scenario_stream(root, scenario), 0);
+}
+
+struct Task {
+  std::size_t cell = 0;
+  std::size_t scenario = 0;
+  std::size_t replication = 0;
+  const PolicySpec* policy = nullptr;
+};
+
+ReplicationMetrics run_replication(core::SystemUnderTest& system,
+                                   const PolicySpec& spec, double k,
+                                   std::uint64_t seed) {
+  core::ReissuePolicy policy = core::ReissuePolicy::none();
+  switch (spec.kind) {
+    case PolicySpec::Kind::kFixed:
+      policy = spec.fixed;
+      break;
+    case PolicySpec::Kind::kTunedSingleR:
+      policy = sim::tune_single_r(system, k, spec.budget, spec.trials)
+                   .outcome.policy;
+      break;
+    case PolicySpec::Kind::kTunedSingleD:
+      policy = sim::tune_single_d(system, k, spec.budget, spec.trials)
+                   .outcome.policy;
+      break;
+  }
+
+  const core::RunResult result = system.run(policy);
+
+  ReplicationMetrics metrics;
+  metrics.seed = seed;
+  metrics.policy = policy;
+  metrics.tail = result.tail_latency(k);
+  stats::PSquareQuantile sketch(k);
+  stats::RunningStats latency;
+  for (double x : result.query_latencies) {
+    sketch.add(x);
+    latency.add(x);
+  }
+  metrics.tail_psquare = sketch.estimate();
+  metrics.mean_latency = latency.mean();
+  metrics.reissue_rate = result.measured_reissue_rate();
+  metrics.remediation = result.remediation_rate(metrics.tail);
+  metrics.utilization = result.utilization;
+  if (policy.stage_count() == 1) {
+    metrics.outstanding_at_delay = result.primary_cdf().tail(policy.delay());
+  }
+  return metrics;
+}
+
+}  // namespace
+
+std::uint64_t replication_seed(std::uint64_t root, std::string_view scenario,
+                               std::size_t replication) {
+  return substream(scenario_stream(root, scenario), replication + 1);
+}
+
+std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
+                                  const SweepOptions& options) {
+  if (options.replications == 0) {
+    throw std::invalid_argument("run_sweep: replications must be >= 1");
+  }
+  for (const auto& spec : scenarios) {
+    if (spec.policies.empty()) {
+      throw std::invalid_argument("run_sweep: scenario '" + spec.name +
+                                  "' has an empty policy grid");
+    }
+  }
+
+  // Lay out cells scenario-major, then fan (cell x replication) tasks.
+  std::vector<CellResult> cells;
+  std::vector<Task> tasks;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    const ScenarioSpec& spec = scenarios[s];
+    const double k =
+        options.percentile > 0.0 ? options.percentile : spec.percentile;
+    for (const auto& policy : spec.policies) {
+      CellResult cell;
+      cell.scenario = spec.name;
+      cell.policy = to_string(policy);
+      cell.percentile = k;
+      cell.replications.resize(options.replications);
+      const std::size_t cell_index = cells.size();
+      cells.push_back(std::move(cell));
+      for (std::size_t r = 0; r < options.replications; ++r) {
+        tasks.push_back(Task{cell_index, s, r, &policy});
+      }
+    }
+  }
+
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, tasks.size());
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  // Each worker keeps its own system per scenario (constructed with the
+  // replication-independent construction seed) and reseeds it per task, so
+  // results do not depend on which worker runs which task.
+  auto worker = [&] {
+    std::unordered_map<std::size_t, std::unique_ptr<core::SystemUnderTest>>
+        cache;
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) return;
+      const Task& task = tasks[t];
+      try {
+        const ScenarioSpec& spec = scenarios[task.scenario];
+        auto& system = cache[task.scenario];
+        if (!system) {
+          system =
+              make_system(spec, construction_seed(options.seed, spec.name));
+        }
+        const std::uint64_t seed =
+            replication_seed(options.seed, spec.name, task.replication);
+        if (!system->reseed(seed)) {
+          throw std::runtime_error("run_sweep: scenario '" + spec.name +
+                                   "' system does not support reseeding");
+        }
+        cells[task.cell].replications[task.replication] = run_replication(
+            *system, *task.policy, cells[task.cell].percentile, seed);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(tasks.size(), std::memory_order_relaxed);  // stop early
+        return;
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) workers.emplace_back(worker);
+    for (auto& w : workers) w.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return cells;
+}
+
+}  // namespace reissue::exp

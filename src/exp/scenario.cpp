@@ -1,0 +1,570 @@
+#include "reissue/exp/scenario.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/service_model.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/systems/bridge.hpp"
+
+namespace reissue::exp {
+
+namespace {
+
+/// Shortest round-trip decimal form: "0.3" stays "0.3" and parses back to
+/// the identical double, which is what makes spec round trips exact.
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+double parse_num(std::string_view what, std::string_view token) {
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error(std::string(what) + ": not a number: '" +
+                             std::string(token) + "'");
+  }
+  return value;
+}
+
+std::size_t parse_count(std::string_view what, std::string_view token) {
+  std::size_t value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error(std::string(what) + ": not a count: '" +
+                             std::string(token) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string lb_to_token(sim::LoadBalancerKind kind) {
+  switch (kind) {
+    case sim::LoadBalancerKind::kRandom: return "random";
+    case sim::LoadBalancerKind::kRoundRobin: return "rr";
+    case sim::LoadBalancerKind::kMinOfTwo: return "min2";
+    case sim::LoadBalancerKind::kMinOfAll: return "minall";
+  }
+  throw std::logic_error("unreachable");
+}
+
+sim::LoadBalancerKind lb_from_token(std::string_view token) {
+  if (token == "random") return sim::LoadBalancerKind::kRandom;
+  if (token == "rr") return sim::LoadBalancerKind::kRoundRobin;
+  if (token == "min2") return sim::LoadBalancerKind::kMinOfTwo;
+  if (token == "minall") return sim::LoadBalancerKind::kMinOfAll;
+  throw std::runtime_error("scenario spec: lb must be random|rr|min2|minall "
+                           "(got '" + std::string(token) + "')");
+}
+
+std::string queue_to_token(sim::QueueDisciplineKind kind) {
+  switch (kind) {
+    case sim::QueueDisciplineKind::kFifo: return "fifo";
+    case sim::QueueDisciplineKind::kPrioritizedFifo: return "prio-fifo";
+    case sim::QueueDisciplineKind::kPrioritizedLifo: return "prio-lifo";
+    case sim::QueueDisciplineKind::kRoundRobinConnections: return "rr-conn";
+    case sim::QueueDisciplineKind::kConnectionBatch: return "conn-batch";
+  }
+  throw std::logic_error("unreachable");
+}
+
+sim::QueueDisciplineKind queue_from_token(std::string_view token) {
+  if (token == "fifo") return sim::QueueDisciplineKind::kFifo;
+  if (token == "prio-fifo") return sim::QueueDisciplineKind::kPrioritizedFifo;
+  if (token == "prio-lifo") return sim::QueueDisciplineKind::kPrioritizedLifo;
+  if (token == "rr-conn") {
+    return sim::QueueDisciplineKind::kRoundRobinConnections;
+  }
+  if (token == "conn-batch") return sim::QueueDisciplineKind::kConnectionBatch;
+  throw std::runtime_error(
+      "scenario spec: queue must be fifo|prio-fifo|prio-lifo|rr-conn|"
+      "conn-batch (got '" + std::string(token) + "')");
+}
+
+// Which spec knobs each workload kind actually consumes (make_system
+// ignores the rest; the parser rejects them so a sweep over an ignored
+// knob cannot silently produce identical "results" per point).
+bool kind_has_finite_servers(WorkloadKind kind) {
+  return kind != WorkloadKind::kIndependent &&
+         kind != WorkloadKind::kCorrelated;
+}
+bool kind_has_ratio(WorkloadKind kind) {
+  return kind == WorkloadKind::kCorrelated || kind == WorkloadKind::kQueueing;
+}
+bool kind_has_service(WorkloadKind kind) {
+  return kind != WorkloadKind::kRedis && kind != WorkloadKind::kLucene;
+}
+bool kind_is_queueing(WorkloadKind kind) {
+  return kind == WorkloadKind::kQueueing;
+}
+
+bool key_applies(const std::string& key, WorkloadKind kind) {
+  if (key == "util" || key == "servers") return kind_has_finite_servers(kind);
+  if (key == "ratio") return kind_has_ratio(kind);
+  if (key == "service" || key == "cap") return kind_has_service(kind);
+  if (key == "lb" || key == "queue" || key == "interference" ||
+      key == "phases" || key == "speeds") {
+    return kind_is_queueing(kind);
+  }
+  return true;
+}
+
+void validate(const ScenarioSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::runtime_error("scenario spec: missing name");
+  }
+  if (spec.name.find(',') != std::string::npos) {
+    throw std::runtime_error("scenario spec: name must not contain ','");
+  }
+  if (!(spec.percentile > 0.0 && spec.percentile < 1.0)) {
+    throw std::runtime_error("scenario spec: percentile must be in (0,1)");
+  }
+  if (spec.queries == 0 || spec.warmup >= spec.queries) {
+    throw std::runtime_error("scenario spec: need queries > warmup >= 0");
+  }
+  if (!spec.server_speeds.empty() &&
+      spec.server_speeds.size() != spec.servers) {
+    throw std::runtime_error(
+        "scenario spec: speeds must list one multiplier per server");
+  }
+  if ((spec.interference_rate > 0.0) != (spec.interference_mean > 0.0)) {
+    throw std::runtime_error(
+        "scenario spec: interference needs both rate and mean > 0");
+  }
+  for (const auto& phase : spec.phases) {
+    if (!(phase.duration > 0.0) || !(phase.multiplier > 0.0)) {
+      throw std::runtime_error(
+          "scenario spec: phases need positive duration and multiplier");
+    }
+  }
+}
+
+}  // namespace
+
+PolicySpec PolicySpec::fixed_policy(core::ReissuePolicy policy) {
+  PolicySpec spec;
+  spec.kind = Kind::kFixed;
+  spec.fixed = std::move(policy);
+  return spec;
+}
+
+PolicySpec PolicySpec::tuned_single_r(double budget, int trials) {
+  PolicySpec spec;
+  spec.kind = Kind::kTunedSingleR;
+  spec.budget = budget;
+  spec.trials = trials;
+  return spec;
+}
+
+PolicySpec PolicySpec::tuned_single_d(double budget, int trials) {
+  PolicySpec spec;
+  spec.kind = Kind::kTunedSingleD;
+  spec.budget = budget;
+  spec.trials = trials;
+  return spec;
+}
+
+std::string to_string(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicySpec::Kind::kTunedSingleR:
+      return "tuned-r:" + fmt(spec.budget) + ":" + std::to_string(spec.trials);
+    case PolicySpec::Kind::kTunedSingleD:
+      return "tuned-d:" + fmt(spec.budget) + ":" + std::to_string(spec.trials);
+    case PolicySpec::Kind::kFixed:
+      break;
+  }
+  const core::ReissuePolicy& policy = spec.fixed;
+  switch (policy.family()) {
+    case core::PolicyFamily::kNoReissue:
+      return "none";
+    case core::PolicyFamily::kImmediate:
+      return "immediate:" + std::to_string(policy.stage_count());
+    case core::PolicyFamily::kSingleD:
+      return "d:" + fmt(policy.delay());
+    case core::PolicyFamily::kSingleR:
+      return "r:" + fmt(policy.delay()) + ":" + fmt(policy.probability());
+    case core::PolicyFamily::kMultipleR: {
+      std::string out = "multi";
+      for (const auto& stage : policy.stages()) {
+        out += ":" + fmt(stage.delay) + ":" + fmt(stage.probability);
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+PolicySpec parse_policy_spec(std::string_view token) {
+  const auto parts = split(token, ':');
+  const std::string_view head = parts[0];
+  const std::size_t args = parts.size() - 1;
+  const auto bad = [&](const char* expected) -> std::runtime_error {
+    return std::runtime_error("policy spec '" + std::string(token) +
+                              "': expected " + expected);
+  };
+
+  if (head == "none") {
+    if (args != 0) throw bad("none (no arguments)");
+    return PolicySpec::fixed_policy(core::ReissuePolicy::none());
+  }
+  if (head == "immediate") {
+    if (args > 1) throw bad("immediate[:copies]");
+    const std::size_t copies =
+        args == 1 ? parse_count("policy spec copies", parts[1]) : 1;
+    if (copies == 0) throw bad("immediate copies >= 1");
+    return PolicySpec::fixed_policy(core::ReissuePolicy::immediate(copies));
+  }
+  if (head == "d") {
+    if (args != 1) throw bad("d:<delay>");
+    return PolicySpec::fixed_policy(
+        core::ReissuePolicy::single_d(parse_num("policy spec delay", parts[1])));
+  }
+  if (head == "r") {
+    if (args != 2) throw bad("r:<delay>:<prob>");
+    return PolicySpec::fixed_policy(core::ReissuePolicy::single_r(
+        parse_num("policy spec delay", parts[1]),
+        parse_num("policy spec probability", parts[2])));
+  }
+  if (head == "multi") {
+    if (args == 0 || args % 2 != 0) throw bad("multi:d1:q1[:d2:q2...]");
+    std::vector<core::ReissueStage> stages;
+    for (std::size_t i = 1; i < parts.size(); i += 2) {
+      stages.push_back(
+          core::ReissueStage{parse_num("policy spec delay", parts[i]),
+                             parse_num("policy spec probability", parts[i + 1])});
+    }
+    return PolicySpec::fixed_policy(
+        core::ReissuePolicy::multiple_r(std::move(stages)));
+  }
+  if (head == "tuned-r" || head == "tuned-d") {
+    if (args < 1 || args > 2) throw bad("tuned-r:<budget>[:trials]");
+    const double budget = parse_num("policy spec budget", parts[1]);
+    const int trials =
+        args == 2 ? static_cast<int>(parse_count("policy spec trials", parts[2]))
+                  : 6;
+    if (!(budget > 0.0)) throw bad("a positive budget");
+    if (trials < 1) throw bad("trials >= 1");
+    return head == "tuned-r" ? PolicySpec::tuned_single_r(budget, trials)
+                             : PolicySpec::tuned_single_d(budget, trials);
+  }
+  throw std::runtime_error(
+      "policy spec '" + std::string(token) +
+      "': unknown form (want none|immediate|d|r|multi|tuned-r|tuned-d)");
+}
+
+std::string to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kIndependent: return "independent";
+    case WorkloadKind::kCorrelated: return "correlated";
+    case WorkloadKind::kQueueing: return "queueing";
+    case WorkloadKind::kRedis: return "redis";
+    case WorkloadKind::kLucene: return "lucene";
+  }
+  throw std::logic_error("unreachable");
+}
+
+WorkloadKind workload_kind_from_string(std::string_view name) {
+  if (name == "independent") return WorkloadKind::kIndependent;
+  if (name == "correlated") return WorkloadKind::kCorrelated;
+  if (name == "queueing") return WorkloadKind::kQueueing;
+  if (name == "redis") return WorkloadKind::kRedis;
+  if (name == "lucene") return WorkloadKind::kLucene;
+  throw std::runtime_error(
+      "scenario spec: kind must be independent|correlated|queueing|redis|"
+      "lucene (got '" + std::string(name) + "')");
+}
+
+std::string to_spec_string(const ScenarioSpec& spec) {
+  std::ostringstream os;
+  os << "name=" << spec.name;
+  os << " kind=" << to_string(spec.kind);
+  if (kind_has_finite_servers(spec.kind)) {
+    os << " util=" << fmt(spec.utilization);
+  }
+  if (kind_has_ratio(spec.kind)) os << " ratio=" << fmt(spec.ratio);
+  if (kind_has_finite_servers(spec.kind)) os << " servers=" << spec.servers;
+  os << " queries=" << spec.queries;
+  os << " warmup=" << spec.warmup;
+  if (kind_is_queueing(spec.kind)) {
+    os << " lb=" << lb_to_token(spec.load_balancer);
+    os << " queue=" << queue_to_token(spec.queue);
+  }
+  if (kind_has_service(spec.kind)) {
+    os << " service=" << spec.service;
+    os << " cap=" << fmt(spec.service_cap);
+  }
+  if (kind_is_queueing(spec.kind) && spec.interference_rate > 0.0) {
+    os << " interference=" << fmt(spec.interference_rate) << ":"
+       << fmt(spec.interference_mean);
+  }
+  if (kind_is_queueing(spec.kind) && !spec.phases.empty()) {
+    os << " phases=";
+    for (std::size_t i = 0; i < spec.phases.size(); ++i) {
+      if (i) os << ",";
+      os << fmt(spec.phases[i].duration) << ":"
+         << fmt(spec.phases[i].multiplier);
+    }
+  }
+  if (kind_is_queueing(spec.kind) && !spec.server_speeds.empty()) {
+    os << " speeds=";
+    for (std::size_t i = 0; i < spec.server_speeds.size(); ++i) {
+      if (i) os << ",";
+      os << fmt(spec.server_speeds[i]);
+    }
+  }
+  os << " percentile=" << fmt(spec.percentile);
+  for (const auto& policy : spec.policies) {
+    os << " policy=" << to_string(policy);
+  }
+  return os.str();
+}
+
+ScenarioSpec parse_scenario(std::string_view text) {
+  ScenarioSpec spec;
+  spec.policies.clear();
+
+  std::istringstream is{std::string(text)};
+  std::string token;
+  std::vector<std::string> seen;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("scenario spec: expected key=value, got '" +
+                               token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (value.empty()) {
+      throw std::runtime_error("scenario spec: empty value for '" + key + "'");
+    }
+    seen.push_back(key);
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "kind") {
+      spec.kind = workload_kind_from_string(value);
+    } else if (key == "util") {
+      spec.utilization = parse_num("scenario spec util", value);
+    } else if (key == "ratio") {
+      spec.ratio = parse_num("scenario spec ratio", value);
+    } else if (key == "servers") {
+      spec.servers = parse_count("scenario spec servers", value);
+    } else if (key == "queries") {
+      spec.queries = parse_count("scenario spec queries", value);
+    } else if (key == "warmup") {
+      spec.warmup = parse_count("scenario spec warmup", value);
+    } else if (key == "lb") {
+      spec.load_balancer = lb_from_token(value);
+    } else if (key == "queue") {
+      spec.queue = queue_from_token(value);
+    } else if (key == "service") {
+      spec.service = value;
+      (void)parse_distribution(value);  // fail fast on bad tokens
+    } else if (key == "cap") {
+      spec.service_cap = parse_num("scenario spec cap", value);
+    } else if (key == "interference") {
+      const auto parts = split(value, ':');
+      if (parts.size() != 2) {
+        throw std::runtime_error(
+            "scenario spec: interference wants <rate>:<mean>");
+      }
+      spec.interference_rate = parse_num("scenario spec interference", parts[0]);
+      spec.interference_mean = parse_num("scenario spec interference", parts[1]);
+    } else if (key == "phases") {
+      spec.phases.clear();
+      for (const auto& entry : split(value, ',')) {
+        const auto parts = split(entry, ':');
+        if (parts.size() != 2) {
+          throw std::runtime_error(
+              "scenario spec: phases want <duration>:<multiplier>[,...]");
+        }
+        spec.phases.push_back(
+            BurstPhase{parse_num("scenario spec phase duration", parts[0]),
+                       parse_num("scenario spec phase multiplier", parts[1])});
+      }
+    } else if (key == "speeds") {
+      spec.server_speeds.clear();
+      for (const auto& entry : split(value, ',')) {
+        spec.server_speeds.push_back(parse_num("scenario spec speed", entry));
+      }
+    } else if (key == "percentile") {
+      spec.percentile = parse_num("scenario spec percentile", value);
+    } else if (key == "policy") {
+      spec.policies.push_back(parse_policy_spec(value));
+    } else {
+      throw std::runtime_error("scenario spec: unknown key '" + key + "'");
+    }
+  }
+  // Keys may precede kind=, so applicability is checked after the loop.
+  for (const auto& key : seen) {
+    if (!key_applies(key, spec.kind)) {
+      throw std::runtime_error("scenario spec: key '" + key +
+                               "' does not apply to kind " +
+                               to_string(spec.kind));
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+stats::DistributionPtr parse_distribution(std::string_view token) {
+  const auto parts = split(token, ':');
+  const std::string_view head = parts[0];
+  const std::size_t args = parts.size() - 1;
+  const auto want = [&](std::size_t n, const char* usage) {
+    if (args != n) {
+      throw std::runtime_error("distribution '" + std::string(token) +
+                               "': expected " + usage);
+    }
+  };
+  if (head == "pareto") {
+    want(2, "pareto:<shape>:<mode>");
+    return stats::make_pareto(parse_num("pareto shape", parts[1]),
+                              parse_num("pareto mode", parts[2]));
+  }
+  if (head == "lognormal") {
+    want(2, "lognormal:<mu>:<sigma>");
+    return stats::make_lognormal(parse_num("lognormal mu", parts[1]),
+                                 parse_num("lognormal sigma", parts[2]));
+  }
+  if (head == "exp") {
+    want(1, "exp:<rate>");
+    return stats::make_exponential(parse_num("exp rate", parts[1]));
+  }
+  if (head == "weibull") {
+    want(2, "weibull:<shape>:<scale>");
+    return stats::make_weibull(parse_num("weibull shape", parts[1]),
+                               parse_num("weibull scale", parts[2]));
+  }
+  if (head == "uniform") {
+    want(2, "uniform:<lo>:<hi>");
+    return stats::make_uniform(parse_num("uniform lo", parts[1]),
+                               parse_num("uniform hi", parts[2]));
+  }
+  if (head == "constant") {
+    want(1, "constant:<value>");
+    return stats::make_constant(parse_num("constant value", parts[1]));
+  }
+  throw std::runtime_error(
+      "distribution '" + std::string(token) +
+      "': unknown family (want pareto|lognormal|exp|weibull|uniform|constant)");
+}
+
+namespace {
+
+stats::DistributionPtr service_distribution(const ScenarioSpec& spec) {
+  stats::DistributionPtr dist = parse_distribution(spec.service);
+  if (spec.service_cap > 0.0) {
+    dist = stats::make_truncated(std::move(dist), spec.service_cap);
+  }
+  return dist;
+}
+
+double service_mean(const stats::Distribution& dist) {
+  const double mean = dist.mean();
+  if (std::isfinite(mean) && mean > 0.0) return mean;
+  return sim::workloads::empirical_mean_service(dist);
+}
+
+std::shared_ptr<sim::ServiceModel> service_model(const ScenarioSpec& spec,
+                                                 stats::DistributionPtr dist) {
+  if (spec.ratio > 0.0) {
+    return sim::make_correlated_service(std::move(dist), spec.ratio);
+  }
+  return sim::make_iid_service(std::move(dist));
+}
+
+}  // namespace
+
+std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
+                                                   std::uint64_t seed) {
+  validate(spec);
+  switch (spec.kind) {
+    case WorkloadKind::kIndependent:
+    case WorkloadKind::kCorrelated: {
+      auto dist = service_distribution(spec);
+      sim::ClusterConfig config;
+      config.infinite_servers = true;
+      config.servers = 0;
+      config.queries = spec.queries;
+      config.warmup = spec.warmup;
+      config.seed = seed;
+      // Arrivals only order events for infinite-server runs; pace them at
+      // the default Queueing rate for comparability (as src/sim/workloads
+      // does).
+      config.arrival_rate = sim::arrival_rate_for_utilization(
+          sim::workloads::kDefaultUtilization,
+          sim::workloads::kDefaultServers, service_mean(*dist));
+      std::shared_ptr<sim::ServiceModel> model =
+          spec.kind == WorkloadKind::kIndependent
+              ? sim::make_iid_service(dist)
+              : service_model(spec, dist);
+      return std::make_unique<sim::Cluster>(config, std::move(model));
+    }
+    case WorkloadKind::kQueueing: {
+      auto dist = service_distribution(spec);
+      sim::ClusterConfig config;
+      config.servers = spec.servers;
+      config.queries = spec.queries;
+      config.warmup = spec.warmup;
+      config.seed = seed;
+      config.load_balancer = spec.load_balancer;
+      config.queue = spec.queue;
+      config.arrival_rate = sim::arrival_rate_for_utilization(
+          spec.utilization, spec.servers, service_mean(*dist));
+      for (const auto& phase : spec.phases) {
+        config.arrival_phases.push_back(
+            sim::ClusterConfig::RatePhase{phase.duration, phase.multiplier});
+      }
+      config.server_speeds = spec.server_speeds;
+      if (spec.interference_rate > 0.0) {
+        config.interference_rate = spec.interference_rate;
+        // LogNormal episodes with the requested mean (log-sigma 0.6, the
+        // systems bridge's interference shape).
+        constexpr double kSigma = 0.6;
+        config.interference_duration = stats::make_lognormal(
+            std::log(spec.interference_mean) - 0.5 * kSigma * kSigma, kSigma);
+      }
+      return std::make_unique<sim::Cluster>(config, service_model(spec, dist));
+    }
+    case WorkloadKind::kRedis:
+    case WorkloadKind::kLucene: {
+      systems::SystemHarnessOptions options;
+      options.utilization = spec.utilization;
+      options.servers = spec.servers;
+      options.queries = spec.queries;
+      options.warmup = spec.warmup;
+      options.seed = seed;
+      auto harness = spec.kind == WorkloadKind::kRedis
+                         ? systems::make_redis_harness(options)
+                         : systems::make_lucene_harness(options);
+      return std::make_unique<sim::Cluster>(std::move(harness.cluster));
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace reissue::exp

@@ -70,6 +70,21 @@ Cluster::Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service)
   if (config_.connections == 0) {
     throw std::invalid_argument("Cluster: connections must be > 0");
   }
+  if (!config_.server_speeds.empty()) {
+    if (config_.infinite_servers) {
+      throw std::invalid_argument(
+          "Cluster: server_speeds require finite servers");
+    }
+    if (config_.server_speeds.size() != config_.servers) {
+      throw std::invalid_argument(
+          "Cluster: server_speeds size must equal servers");
+    }
+    for (double speed : config_.server_speeds) {
+      if (!(speed > 0.0)) {
+        throw std::invalid_argument("Cluster: server_speeds must be > 0");
+      }
+    }
+  }
   for (const auto& phase : config_.arrival_phases) {
     if (!(phase.duration > 0.0) || !(phase.multiplier > 0.0)) {
       throw std::invalid_argument(
@@ -183,6 +198,9 @@ core::RunResult Cluster::run(const core::ReissuePolicy& policy) {
     }
     const std::size_t idx = balancer->pick(servers, lb_rng, exclude);
     if (kind == CopyKind::kPrimary) qs.primary_server = idx;
+    if (!cfg.server_speeds.empty()) {
+      request.service_time *= cfg.server_speeds[idx];
+    }
     servers[idx].submit(request, now);
   };
 

@@ -78,6 +78,13 @@ struct ClusterConfig {
   double interference_rate = 0.0;
   stats::DistributionPtr interference_duration;
 
+  /// Heterogeneous fleets: per-server service-time multiplier.  Empty
+  /// means the paper's homogeneous model; otherwise size must equal
+  /// `servers` and speeds[i] scales every copy's service time on server i
+  /// (2.0 = a half-speed machine).  Straggler servers are a classic tail
+  /// source the reissue policies must route around.
+  std::vector<double> server_speeds;
+
   /// Root seed; every run derives identical per-component streams, so two
   /// runs with equal seeds see identical arrivals and primary service
   /// times (common random numbers across policies).
@@ -97,6 +104,13 @@ class Cluster final : public core::SystemUnderTest {
   /// Simulates one full run under `policy` and returns the logs.
   /// Deterministic in (config.seed, policy).
   [[nodiscard]] core::RunResult run(const core::ReissuePolicy& policy) override;
+
+  /// Replication hook: swaps the root seed so the next run() draws fresh
+  /// arrival/service/coin streams.  Deterministic given the new seed.
+  bool reseed(std::uint64_t seed) override {
+    config_.seed = seed;
+    return true;
+  }
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
   [[nodiscard]] ClusterConfig& mutable_config() noexcept { return config_; }

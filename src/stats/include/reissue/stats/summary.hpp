@@ -30,6 +30,21 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// A two-sided confidence interval around a sample mean.
+struct MeanInterval {
+  double mean = 0.0;
+  /// Half-width of the interval; lo()/hi() are mean -/+ half_width.
+  double half_width = 0.0;
+
+  [[nodiscard]] double lo() const noexcept { return mean - half_width; }
+  [[nodiscard]] double hi() const noexcept { return mean + half_width; }
+};
+
+/// 95% Student-t confidence interval for the mean of the accumulated
+/// sample (t on n-1 degrees of freedom, normal critical value for n > 30).
+/// Degenerate by convention: n <= 1 yields half_width 0.
+[[nodiscard]] MeanInterval mean_ci95(const RunningStats& stats);
+
 /// Nearest-rank percentile of an unsorted sample (copies + sorts).
 /// p in [0, 100].  Throws on empty input.
 [[nodiscard]] double percentile(std::vector<double> values, double p);

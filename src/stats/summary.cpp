@@ -42,6 +42,26 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+MeanInterval mean_ci95(const RunningStats& stats) {
+  MeanInterval interval;
+  interval.mean = stats.mean();
+  const std::size_t n = stats.count();
+  if (n <= 1) return interval;
+  // Two-sided 95% Student-t critical values for df = 1..30; z beyond.
+  static constexpr double kT95[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t df = n - 1;
+  const double t = df <= 30 ? kT95[df - 1] : 1.960;
+  // RunningStats::variance is the population variance m2/n; the CI needs
+  // the unbiased sample variance m2/(n-1).
+  const double sample_var =
+      stats.variance() * static_cast<double>(n) / static_cast<double>(df);
+  interval.half_width = t * std::sqrt(sample_var / static_cast<double>(n));
+  return interval;
+}
+
 double percentile(std::vector<double> values, double p) {
   std::sort(values.begin(), values.end());
   return percentile_sorted(values, p);

@@ -189,5 +189,132 @@ TEST(Cli, EvaluateRejectsMalformedPolicy) {
   EXPECT_EQ(result.code, 1);
 }
 
+// ------------------------------------------------- error-path diagnostics
+
+TEST(Cli, MalformedPolicyNumberGetsClearDiagnostic) {
+  const auto result = run({"evaluate", "--workload", "independent",
+                           "--policy", "SingleR d=abc q=0.5"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("bad number in 'd=abc'"), std::string::npos)
+      << result.err;
+  EXPECT_EQ(result.err.find("stod"), std::string::npos) << result.err;
+}
+
+TEST(Cli, PolicyTrailingGarbageGetsClearDiagnostic) {
+  const auto result = run({"evaluate", "--workload", "independent",
+                           "--policy", "SingleR d=12xyz q=0.5"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("bad number"), std::string::npos) << result.err;
+}
+
+TEST(Cli, PolicyFlagWithoutValueGetsClearDiagnostic) {
+  const auto result =
+      run({"evaluate", "--workload", "independent", "--policy"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--policy requires a value"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, LogFlagWithoutValueGetsClearDiagnostic) {
+  const auto result = run({"optimize", "--log", "--budget", "0.05"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--log requires a value"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, TuneWithoutWorkloadFlagFails) {
+  const auto result = run({"tune"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--workload"), std::string::npos) << result.err;
+}
+
+// --------------------------------------------------------------- sweep
+
+constexpr const char* kTinySpec =
+    "name=tiny kind=queueing util=0.3 servers=4 queries=1200 warmup=120 "
+    "percentile=0.95 policy=none policy=r:20:0.5";
+
+TEST(Cli, SweepListShowsRegistry) {
+  const auto result = run({"sweep", "--list"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("queueing-sweep"), std::string::npos);
+  EXPECT_NE(result.out.find("heterogeneous"), std::string::npos);
+}
+
+TEST(Cli, SweepInlineSpecEmitsCsvWithConfidenceColumns) {
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "3", "--threads", "2", "--seed", "7"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_EQ(result.out.rfind("scenario,policy,percentile", 0), 0u);
+  EXPECT_NE(result.out.find("tail_ci_lo"), std::string::npos);
+  EXPECT_NE(result.out.find("tiny,none,0.95,3,"), std::string::npos);
+  EXPECT_NE(result.out.find("tiny,r:20:0.5,0.95,3,"), std::string::npos);
+}
+
+TEST(Cli, SweepOutputIsBitIdenticalAcrossThreadCounts) {
+  const auto serial = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "3", "--threads", "1", "--seed", "7"});
+  const auto parallel = run({"sweep", "--spec", kTinySpec, "--replications",
+                             "3", "--threads", "8", "--seed", "7"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(parallel.code, 0) << parallel.err;
+  EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Cli, SweepWritesOutputFile) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "reissue_sweep_out.csv";
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "2", "--output", path.string()});
+  ASSERT_EQ(result.code, 0) << result.err;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.rfind("scenario,policy", 0), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Cli, NegativeCountFlagGetsClearDiagnostic) {
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "-1"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--replications"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("non-negative"), std::string::npos) << result.err;
+}
+
+TEST(Cli, SweepRejectsOutOfRangePercentile) {
+  for (const char* k : {"1.5", "1", "0", "-0.5"}) {
+    const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                             "1", "--percentile", k});
+    EXPECT_EQ(result.code, 1) << k;
+    EXPECT_NE(result.err.find("--percentile must be in (0,1)"),
+              std::string::npos)
+        << k << ": " << result.err;
+  }
+}
+
+TEST(Cli, SweepRejectsIgnoredSpecKeys) {
+  const auto result = run(
+      {"sweep", "--spec", "name=x kind=independent util=0.5 policy=none",
+       "--replications", "1"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("does not apply"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, SweepUnknownScenarioFails) {
+  const auto result = run({"sweep", "--scenarios", "warp-speed"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("unknown scenario"), std::string::npos);
+}
+
+TEST(Cli, SweepWithoutSelectionFails) {
+  const auto result = run({"sweep"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--scenarios"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace reissue::cli

@@ -1,0 +1,77 @@
+#include "reissue/exp/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace reissue::exp {
+namespace {
+
+CellResult cell_with_tails(std::vector<double> tails) {
+  CellResult cell;
+  cell.scenario = "s";
+  cell.policy = "none";
+  cell.percentile = 0.99;
+  for (std::size_t i = 0; i < tails.size(); ++i) {
+    ReplicationMetrics rep;
+    rep.seed = i;
+    rep.tail = tails[i];
+    rep.tail_psquare = tails[i] + 0.5;
+    rep.mean_latency = 10.0 + static_cast<double>(i);
+    rep.reissue_rate = 0.05;
+    rep.policy = core::ReissuePolicy::single_r(20.0, 0.5);
+    cell.replications.push_back(rep);
+  }
+  return cell;
+}
+
+TEST(Aggregate, MeanAndStudentTInterval) {
+  const auto stats = aggregate_cell(cell_with_tails({1.0, 2.0, 3.0}));
+  EXPECT_EQ(stats.replications, 3u);
+  EXPECT_DOUBLE_EQ(stats.tail.mean, 2.0);
+  // Sample stddev 1.0, so the 95% CI half-width is t_{0.975,2}/sqrt(3).
+  EXPECT_NEAR(stats.tail.half_width, 4.303 / std::sqrt(3.0), 1e-9);
+  EXPECT_NEAR(stats.tail.lo(), 2.0 - stats.tail.half_width, 1e-12);
+  EXPECT_NEAR(stats.tail.hi(), 2.0 + stats.tail.half_width, 1e-12);
+  EXPECT_NEAR(stats.tail_psquare, 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.mean_delay, 20.0);
+  EXPECT_DOUBLE_EQ(stats.mean_probability, 0.5);
+}
+
+TEST(Aggregate, SingleReplicationHasZeroWidthInterval) {
+  const auto stats = aggregate_cell(cell_with_tails({7.0}));
+  EXPECT_DOUBLE_EQ(stats.tail.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.tail.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(stats.tail_stddev, 0.0);
+}
+
+TEST(Aggregate, RejectsEmptyCells) {
+  EXPECT_THROW(aggregate_cell(CellResult{}), std::invalid_argument);
+}
+
+TEST(Csv, HeaderNamesTailAndConfidenceColumns) {
+  const std::string header = csv_header();
+  for (const char* column : {"scenario", "policy", "tail_mean", "tail_ci_lo",
+                             "tail_ci_hi", "tail_p2", "reissue_rate"}) {
+    EXPECT_NE(header.find(column), std::string::npos) << column;
+  }
+}
+
+TEST(Csv, RowsAreStableAndParseable) {
+  const auto stats = aggregate_cell(cell_with_tails({1.0, 2.0, 3.0}));
+  const std::string row = csv_row(stats);
+  EXPECT_EQ(row, csv_row(stats));  // formatting is deterministic
+  EXPECT_EQ(row.rfind("s,none,0.99,3,2,", 0), 0u) << row;
+
+  std::ostringstream os;
+  write_csv(os, {stats, stats});
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // header + two cells
+}
+
+}  // namespace
+}  // namespace reissue::exp

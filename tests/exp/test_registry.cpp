@@ -1,0 +1,68 @@
+#include "reissue/exp/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace reissue::exp {
+namespace {
+
+TEST(Registry, BuiltInCoversEveryWorkloadKindAndNewRegimes) {
+  const auto& registry = ScenarioRegistry::built_in();
+  for (const char* name :
+       {"independent", "correlated", "queueing-u30", "queueing-u50",
+        "queueing-u70", "overload-u90", "bursty", "heterogeneous",
+        "interference", "redis-small", "lucene-small"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST(Registry, BuiltInScenariosRoundTripThroughSpecStrings) {
+  for (const auto& spec : ScenarioRegistry::built_in().scenarios()) {
+    EXPECT_EQ(parse_scenario(to_spec_string(spec)), spec) << spec.name;
+  }
+}
+
+TEST(Registry, ResolvesCatalogInDeclaredOrder) {
+  const auto specs =
+      ScenarioRegistry::built_in().resolve("queueing-sweep");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].name, "queueing-u30");
+  EXPECT_EQ(specs[1].name, "queueing-u50");
+  EXPECT_EQ(specs[2].name, "queueing-u70");
+}
+
+TEST(Registry, ResolvesCommaListsAndInlineSpecs) {
+  const auto specs = ScenarioRegistry::built_in().resolve(
+      "independent,name=adhoc kind=queueing policy=none");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "independent");
+  EXPECT_EQ(specs[1].name, "adhoc");
+}
+
+TEST(Registry, ResolveRejectsUnknownNames) {
+  EXPECT_THROW(ScenarioRegistry::built_in().resolve("warp-speed"),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioRegistry::built_in().resolve(""), std::runtime_error);
+}
+
+TEST(Registry, AddRejectsDuplicatesAndBadCatalogs) {
+  ScenarioRegistry registry;
+  ScenarioSpec spec;
+  spec.name = "a";
+  spec.policies = {parse_policy_spec("none")};
+  registry.add(spec);
+  EXPECT_THROW(registry.add(spec), std::runtime_error);
+  EXPECT_THROW(registry.add_catalog("c", {"missing"}), std::runtime_error);
+  registry.add_catalog("c", {"a"});
+  EXPECT_THROW(registry.add_catalog("c", {"a"}), std::runtime_error);
+  EXPECT_THROW(registry.add_catalog("a", {}), std::runtime_error);
+}
+
+TEST(Registry, EveryBuiltInScenarioHasAPolicyGrid) {
+  for (const auto& spec : ScenarioRegistry::built_in().scenarios()) {
+    EXPECT_FALSE(spec.policies.empty()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace reissue::exp

@@ -1,0 +1,162 @@
+#include "reissue/exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "reissue/exp/aggregate.hpp"
+
+namespace reissue::exp {
+namespace {
+
+std::vector<ScenarioSpec> tiny_scenarios() {
+  ScenarioSpec spec;
+  spec.name = "tiny-q30";
+  spec.kind = WorkloadKind::kQueueing;
+  spec.servers = 4;
+  spec.queries = 1200;
+  spec.warmup = 120;
+  spec.percentile = 0.95;
+  spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:20:0.5")};
+  ScenarioSpec other = spec;
+  other.name = "tiny-q60";
+  other.utilization = 0.60;
+  return {spec, other};
+}
+
+std::string sweep_csv(const std::vector<ScenarioSpec>& scenarios,
+                      SweepOptions options) {
+  std::ostringstream os;
+  write_csv(os, aggregate(run_sweep(scenarios, options)));
+  return os.str();
+}
+
+TEST(ReplicationSeed, DeterministicAndDistinct) {
+  const auto a = replication_seed(1, "s", 0);
+  EXPECT_EQ(a, replication_seed(1, "s", 0));
+  EXPECT_NE(a, replication_seed(1, "s", 1));
+  EXPECT_NE(a, replication_seed(2, "s", 0));
+  EXPECT_NE(a, replication_seed(1, "t", 0));
+}
+
+TEST(RunSweep, CellLayoutIsScenarioMajor) {
+  SweepOptions options;
+  options.replications = 2;
+  const auto cells = run_sweep(tiny_scenarios(), options);
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].scenario, "tiny-q30");
+  EXPECT_EQ(cells[0].policy, "none");
+  EXPECT_EQ(cells[1].scenario, "tiny-q30");
+  EXPECT_EQ(cells[1].policy, "r:20:0.5");
+  EXPECT_EQ(cells[2].scenario, "tiny-q60");
+  EXPECT_EQ(cells[3].scenario, "tiny-q60");
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.replications.size(), 2u);
+    EXPECT_DOUBLE_EQ(cell.percentile, 0.95);
+  }
+}
+
+TEST(RunSweep, BitIdenticalAcrossThreadCounts) {
+  const auto scenarios = tiny_scenarios();
+  SweepOptions options;
+  options.replications = 3;
+  options.seed = 0xabc;
+
+  options.threads = 1;
+  const std::string serial = sweep_csv(scenarios, options);
+  options.threads = 2;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+  options.threads = 8;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+  // And across repeated runs with the same root seed.
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+}
+
+TEST(RunSweep, RootSeedChangesResults) {
+  const auto scenarios = tiny_scenarios();
+  SweepOptions options;
+  options.replications = 2;
+  options.seed = 1;
+  const std::string a = sweep_csv(scenarios, options);
+  options.seed = 2;
+  EXPECT_NE(sweep_csv(scenarios, options), a);
+}
+
+TEST(RunSweep, PoliciesShareReplicationSeeds) {
+  // Common random numbers: every policy of a scenario sees the same
+  // per-replication seed, so policy comparisons are paired.
+  SweepOptions options;
+  options.replications = 3;
+  const auto cells = run_sweep(tiny_scenarios(), options);
+  for (std::size_t r = 0; r < options.replications; ++r) {
+    EXPECT_EQ(cells[0].replications[r].seed, cells[1].replications[r].seed);
+    EXPECT_EQ(cells[2].replications[r].seed, cells[3].replications[r].seed);
+    EXPECT_EQ(cells[0].replications[r].seed,
+              replication_seed(options.seed, "tiny-q30", r));
+  }
+  // Distinct replications draw distinct streams with distinct outcomes.
+  EXPECT_NE(cells[0].replications[0].seed, cells[0].replications[1].seed);
+  EXPECT_NE(cells[0].replications[0].tail, cells[0].replications[1].tail);
+}
+
+TEST(RunSweep, ReissuePoliciesActuallyReissue) {
+  SweepOptions options;
+  options.replications = 2;
+  const auto cells = run_sweep(tiny_scenarios(), options);
+  for (const auto& rep : cells[0].replications) {
+    EXPECT_DOUBLE_EQ(rep.reissue_rate, 0.0);  // baseline cell
+  }
+  for (const auto& rep : cells[1].replications) {
+    EXPECT_GT(rep.reissue_rate, 0.0);
+    EXPECT_GT(rep.outstanding_at_delay, 0.0);
+    EXPECT_EQ(rep.policy, core::ReissuePolicy::single_r(20.0, 0.5));
+  }
+}
+
+TEST(RunSweep, TunedPolicyResolvesPerReplication) {
+  auto scenarios = tiny_scenarios();
+  scenarios.resize(1);
+  scenarios[0].policies = {parse_policy_spec("tuned-r:0.2:2")};
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 2;
+  const auto cells = run_sweep(scenarios, options);
+  ASSERT_EQ(cells.size(), 1u);
+  for (const auto& rep : cells[0].replications) {
+    EXPECT_EQ(rep.policy.stage_count(), 1u);
+    EXPECT_GT(rep.reissue_rate, 0.0);
+  }
+}
+
+TEST(RunSweep, PercentileOverrideApplies) {
+  SweepOptions options;
+  options.replications = 1;
+  options.percentile = 0.5;
+  const auto cells = run_sweep(tiny_scenarios(), options);
+  for (const auto& cell : cells) EXPECT_DOUBLE_EQ(cell.percentile, 0.5);
+}
+
+TEST(RunSweep, RejectsDegenerateInputs) {
+  SweepOptions options;
+  options.replications = 0;
+  EXPECT_THROW(run_sweep(tiny_scenarios(), options), std::invalid_argument);
+  options.replications = 1;
+  ScenarioSpec no_policies;
+  no_policies.name = "empty";
+  EXPECT_THROW(run_sweep({no_policies}, options), std::invalid_argument);
+}
+
+TEST(RunSweep, WorkerExceptionsPropagate) {
+  ScenarioSpec bad;
+  bad.name = "bad";
+  bad.service = "constant:0";  // zero service mean -> arrival rate blows up
+  bad.service_cap = 0.0;
+  bad.policies = {parse_policy_spec("none")};
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 2;
+  EXPECT_THROW((void)run_sweep({bad}, options), std::exception);
+}
+
+}  // namespace
+}  // namespace reissue::exp

@@ -1,0 +1,230 @@
+#include "reissue/exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reissue/sim/cluster.hpp"
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::exp {
+namespace {
+
+// ----------------------------------------------------------- PolicySpec
+
+TEST(PolicySpec, RoundTripsEveryForm) {
+  const std::vector<std::string> forms = {
+      "none",
+      "immediate:2",
+      "d:12.5",
+      "r:30:0.5",
+      "multi:10:0.25:40:0.75",
+      "tuned-r:0.05:6",
+      "tuned-d:0.1:4",
+  };
+  for (const auto& form : forms) {
+    const PolicySpec spec = parse_policy_spec(form);
+    EXPECT_EQ(to_string(spec), form) << form;
+    EXPECT_EQ(parse_policy_spec(to_string(spec)), spec) << form;
+  }
+}
+
+TEST(PolicySpec, ParsesFixedPolicies) {
+  EXPECT_EQ(parse_policy_spec("none").fixed, core::ReissuePolicy::none());
+  EXPECT_EQ(parse_policy_spec("d:8").fixed, core::ReissuePolicy::single_d(8));
+  EXPECT_EQ(parse_policy_spec("r:8:0.25").fixed,
+            core::ReissuePolicy::single_r(8, 0.25));
+  EXPECT_EQ(parse_policy_spec("immediate").fixed,
+            core::ReissuePolicy::immediate(1));
+}
+
+TEST(PolicySpec, ParsesTunedDefaults) {
+  const PolicySpec spec = parse_policy_spec("tuned-r:0.02");
+  EXPECT_EQ(spec.kind, PolicySpec::Kind::kTunedSingleR);
+  EXPECT_DOUBLE_EQ(spec.budget, 0.02);
+  EXPECT_EQ(spec.trials, 6);
+}
+
+TEST(PolicySpec, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_policy_spec("bogus"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("r:10"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("r:abc:0.5"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("multi:10:0.5:20"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("tuned-r:-0.1"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("none:1"), std::runtime_error);
+}
+
+// ---------------------------------------------------------- ScenarioSpec
+
+ScenarioSpec full_spec() {
+  ScenarioSpec spec;
+  spec.name = "kitchen-sink";
+  spec.kind = WorkloadKind::kQueueing;
+  spec.utilization = 0.45;
+  spec.ratio = 0.3;
+  spec.servers = 4;
+  spec.queries = 3000;
+  spec.warmup = 300;
+  spec.load_balancer = sim::LoadBalancerKind::kMinOfTwo;
+  spec.queue = sim::QueueDisciplineKind::kPrioritizedFifo;
+  spec.service = "lognormal:1:1";
+  spec.service_cap = 1000.0;
+  spec.interference_rate = 0.002;
+  spec.interference_mean = 25.0;
+  spec.phases = {BurstPhase{200.0, 0.5}, BurstPhase{50.0, 3.0}};
+  spec.server_speeds = {1.0, 1.0, 2.0, 4.0};
+  spec.percentile = 0.95;
+  spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:20:0.5"),
+                   parse_policy_spec("tuned-r:0.1:3")};
+  return spec;
+}
+
+TEST(ScenarioSpec, RoundTripsThroughSpecString) {
+  const ScenarioSpec spec = full_spec();
+  const std::string text = to_spec_string(spec);
+  EXPECT_EQ(parse_scenario(text), spec) << text;
+}
+
+TEST(ScenarioSpec, RoundTripsDefaults) {
+  ScenarioSpec spec;
+  spec.name = "plain";
+  spec.policies = {parse_policy_spec("none")};
+  EXPECT_EQ(parse_scenario(to_spec_string(spec)), spec);
+}
+
+TEST(ScenarioSpec, ParserDiagnostics) {
+  EXPECT_THROW(parse_scenario("kind=queueing"), std::runtime_error);  // no name
+  EXPECT_THROW(parse_scenario("name=x kind=warp"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x util=fast"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x stray"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x unknown=1"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x percentile=1.5"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x queries=100 warmup=100"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x servers=4 speeds=1,2"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x interference=0.1"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x service=warp:1"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=a,b"), std::runtime_error);
+}
+
+TEST(ScenarioSpec, RejectsKeysTheKindWouldIgnore) {
+  // Sweeping an ignored knob must fail loudly, not emit identical rows.
+  EXPECT_THROW(parse_scenario("name=x kind=independent util=0.5 policy=none"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x util=0.5 kind=independent policy=none"),
+               std::runtime_error);  // key order must not matter
+  EXPECT_THROW(parse_scenario("name=x kind=independent ratio=0.5"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x kind=correlated lb=min2"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x kind=redis service=exp:1"),
+               std::runtime_error);
+  EXPECT_THROW(parse_scenario("name=x kind=lucene speeds=1,2"),
+               std::runtime_error);
+  // The same keys are fine where they apply.
+  EXPECT_NO_THROW(parse_scenario("name=x kind=correlated ratio=0.5"));
+  EXPECT_NO_THROW(parse_scenario("name=x kind=redis util=0.5"));
+}
+
+// ------------------------------------------------------- parse_distribution
+
+TEST(ParseDistribution, KnownFamilies) {
+  EXPECT_NEAR(parse_distribution("constant:5")->mean(), 5.0, 1e-12);
+  EXPECT_NEAR(parse_distribution("exp:0.1")->mean(), 10.0, 1e-12);
+  EXPECT_NEAR(parse_distribution("uniform:2:4")->mean(), 3.0, 1e-12);
+  EXPECT_GT(parse_distribution("pareto:1.1:2")->mean(), 2.0);
+  EXPECT_GT(parse_distribution("lognormal:1:1")->mean(), 0.0);
+  EXPECT_GT(parse_distribution("weibull:0.5:10")->mean(), 0.0);
+}
+
+TEST(ParseDistribution, Diagnostics) {
+  EXPECT_THROW(parse_distribution("warp:1"), std::runtime_error);
+  EXPECT_THROW(parse_distribution("pareto:1.1"), std::runtime_error);
+  EXPECT_THROW(parse_distribution("exp:fast"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ make_system
+
+ScenarioSpec tiny_queueing() {
+  ScenarioSpec spec;
+  spec.name = "tiny";
+  spec.servers = 4;
+  spec.queries = 1200;
+  spec.warmup = 120;
+  spec.percentile = 0.95;
+  spec.policies = {parse_policy_spec("none")};
+  return spec;
+}
+
+TEST(MakeSystem, DeterministicInSpecAndSeed) {
+  const ScenarioSpec spec = tiny_queueing();
+  auto a = make_system(spec, 42);
+  auto b = make_system(spec, 42);
+  const auto policy = core::ReissuePolicy::single_r(10.0, 0.5);
+  const auto ra = a->run(policy);
+  const auto rb = b->run(policy);
+  ASSERT_EQ(ra.query_latencies.size(), rb.query_latencies.size());
+  EXPECT_EQ(ra.query_latencies, rb.query_latencies);
+  EXPECT_EQ(ra.reissues_issued, rb.reissues_issued);
+}
+
+TEST(MakeSystem, ReseedChangesDraws) {
+  const ScenarioSpec spec = tiny_queueing();
+  auto system = make_system(spec, 42);
+  const auto r1 = system->run(core::ReissuePolicy::none());
+  ASSERT_TRUE(system->reseed(43));
+  const auto r2 = system->run(core::ReissuePolicy::none());
+  EXPECT_NE(r1.query_latencies, r2.query_latencies);
+  ASSERT_TRUE(system->reseed(42));
+  const auto r3 = system->run(core::ReissuePolicy::none());
+  EXPECT_EQ(r1.query_latencies, r3.query_latencies);
+}
+
+TEST(MakeSystem, InfiniteServerKindsRun) {
+  ScenarioSpec spec = tiny_queueing();
+  spec.kind = WorkloadKind::kIndependent;
+  const auto result = make_system(spec, 7)->run(core::ReissuePolicy::none());
+  EXPECT_EQ(result.queries, spec.queries - spec.warmup);
+  EXPECT_DOUBLE_EQ(result.utilization, 0.0);
+
+  spec.kind = WorkloadKind::kCorrelated;
+  spec.ratio = 0.5;
+  const auto correlated =
+      make_system(spec, 7)->run(core::ReissuePolicy::single_r(5.0, 1.0));
+  EXPECT_GT(correlated.reissues_issued, 0u);
+}
+
+TEST(MakeSystem, HeterogeneousSpeedsSlowTheTail) {
+  ScenarioSpec spec = tiny_queueing();
+  spec.service = "constant:4";
+  spec.service_cap = 0.0;
+  spec.ratio = 0.0;
+  const auto base = make_system(spec, 11)->run(core::ReissuePolicy::none());
+  spec.server_speeds = {1.0, 1.0, 8.0, 8.0};
+  const auto slow = make_system(spec, 11)->run(core::ReissuePolicy::none());
+  // Same arrivals, two servers running 8x slower: the mean must rise.
+  stats::RunningStats b, s;
+  for (double x : base.query_latencies) b.add(x);
+  for (double x : slow.query_latencies) s.add(x);
+  EXPECT_GT(s.mean(), b.mean());
+}
+
+TEST(MakeSystem, BurstyPhasesRun) {
+  ScenarioSpec spec = tiny_queueing();
+  spec.phases = {BurstPhase{100.0, 0.5}, BurstPhase{25.0, 3.0}};
+  const auto result = make_system(spec, 3)->run(core::ReissuePolicy::none());
+  EXPECT_EQ(result.queries, spec.queries - spec.warmup);
+}
+
+TEST(MakeSystem, InterferenceRaisesUtilization) {
+  ScenarioSpec spec = tiny_queueing();
+  spec.queries = 4000;
+  spec.warmup = 400;
+  const auto base = make_system(spec, 5)->run(core::ReissuePolicy::none());
+  spec.interference_rate = 0.01;
+  spec.interference_mean = 20.0;
+  const auto noisy = make_system(spec, 5)->run(core::ReissuePolicy::none());
+  EXPECT_GT(noisy.utilization, base.utilization);
+}
+
+}  // namespace
+}  // namespace reissue::exp

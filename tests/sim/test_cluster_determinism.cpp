@@ -1,0 +1,108 @@
+// The common-random-numbers guarantee of cluster.hpp: runs are
+// deterministic in (config.seed, policy), bit-for-bit, regardless of how
+// many engine threads execute runs concurrently and across repeated runs
+// on one instance.
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <string>
+#include <vector>
+
+#include "reissue/core/run_result.hpp"
+#include "reissue/runtime/executor.hpp"
+#include "reissue/sim/workloads.hpp"
+
+namespace reissue::sim {
+namespace {
+
+void append(std::string& out, double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  ASSERT_EQ(ec, std::errc{});
+  out.append(buf, end);
+  out.push_back('\n');
+}
+
+/// Byte-exact textual fingerprint of every log the run produced.
+std::string fingerprint(const core::RunResult& result) {
+  std::string out;
+  out += "queries=" + std::to_string(result.queries) + "\n";
+  out += "reissues=" + std::to_string(result.reissues_issued) + "\n";
+  append(out, result.utilization);
+  for (double x : result.query_latencies) append(out, x);
+  for (double x : result.primary_latencies) append(out, x);
+  for (double x : result.reissue_latencies) append(out, x);
+  for (double x : result.reissue_delays) append(out, x);
+  for (const auto& [x, y] : result.correlated_pairs) {
+    append(out, x);
+    append(out, y);
+  }
+  return out;
+}
+
+workloads::WorkloadOptions tiny_options() {
+  workloads::WorkloadOptions opts;
+  opts.queries = 3000;
+  opts.warmup = 300;
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+TEST(ClusterDeterminism, RepeatedRunsAreByteIdentical) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, tiny_options());
+  const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+  const std::string first = fingerprint(cluster.run(policy));
+  EXPECT_EQ(fingerprint(cluster.run(policy)), first);
+}
+
+TEST(ClusterDeterminism, ByteIdenticalAcrossEngineThreadCounts) {
+  const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+  constexpr std::size_t kRuns = 8;
+
+  // Reference: serial runs, one fresh cluster per slot.
+  std::vector<std::string> reference(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    Cluster cluster = workloads::make_queueing(0.4, 0.5, tiny_options());
+    reference[i] = fingerprint(cluster.run(policy));
+  }
+  for (std::size_t i = 1; i < kRuns; ++i) {
+    ASSERT_EQ(reference[i], reference[0]);  // same seed, same logs
+  }
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<std::string> observed(kRuns);
+    runtime::parallel_for(
+        kRuns,
+        [&](std::size_t i) {
+          Cluster cluster = workloads::make_queueing(0.4, 0.5, tiny_options());
+          observed[i] = fingerprint(cluster.run(policy));
+        },
+        threads);
+    for (std::size_t i = 0; i < kRuns; ++i) {
+      EXPECT_EQ(observed[i], reference[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ClusterDeterminism, ReseedHookSwitchesStreamsDeterministically) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, tiny_options());
+  core::SystemUnderTest& system = cluster;
+  const std::string at_seed = fingerprint(system.run(core::ReissuePolicy::none()));
+  ASSERT_TRUE(system.reseed(0xfeed));
+  const std::string at_feed = fingerprint(system.run(core::ReissuePolicy::none()));
+  EXPECT_NE(at_feed, at_seed);
+  ASSERT_TRUE(system.reseed(0x5eed));
+  EXPECT_EQ(fingerprint(system.run(core::ReissuePolicy::none())), at_seed);
+}
+
+TEST(ClusterDeterminism, DistinctSeedsDiverge) {
+  auto opts = tiny_options();
+  Cluster a = workloads::make_queueing(0.4, 0.5, opts);
+  opts.seed = 0xfeed;
+  Cluster b = workloads::make_queueing(0.4, 0.5, opts);
+  const auto policy = core::ReissuePolicy::none();
+  EXPECT_NE(fingerprint(a.run(policy)), fingerprint(b.run(policy)));
+}
+
+}  // namespace
+}  // namespace reissue::sim

@@ -79,6 +79,36 @@ TEST(Percentile, UnsortedInputHandled) {
   EXPECT_DOUBLE_EQ(percentile({50, 10, 40, 30, 20}, 50.0), 30.0);
 }
 
+TEST(MeanCi95, StudentTIntervalMatchesHandComputation) {
+  RunningStats stats;
+  for (double x : {1.0, 2.0, 3.0}) stats.add(x);
+  const MeanInterval ci = mean_ci95(stats);
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  // Sample stddev 1, n = 3, t_{0.975, 2} = 4.303.
+  EXPECT_NEAR(ci.half_width, 4.303 / std::sqrt(3.0), 1e-9);
+  EXPECT_DOUBLE_EQ(ci.lo(), ci.mean - ci.half_width);
+  EXPECT_DOUBLE_EQ(ci.hi(), ci.mean + ci.half_width);
+}
+
+TEST(MeanCi95, DegenerateSamples) {
+  RunningStats empty;
+  EXPECT_DOUBLE_EQ(mean_ci95(empty).half_width, 0.0);
+  RunningStats one;
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(mean_ci95(one).mean, 5.0);
+  EXPECT_DOUBLE_EQ(mean_ci95(one).half_width, 0.0);
+}
+
+TEST(MeanCi95, LargeSamplesUseNormalCriticalValue) {
+  RunningStats stats;
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) stats.add(rng.uniform());
+  const MeanInterval ci = mean_ci95(stats);
+  const double expected =
+      1.960 * std::sqrt(stats.variance() * 1000.0 / 999.0 / 1000.0);
+  EXPECT_NEAR(ci.half_width, expected, 1e-12);
+}
+
 TEST(PercentileSorted, AgreesWithUnsortedVariant) {
   Xoshiro256 rng(6);
   std::vector<double> v;
