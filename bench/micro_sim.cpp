@@ -1,9 +1,14 @@
-// Microbenchmarks for the discrete-event simulation substrate: raw event
-// throughput and full cluster-run cost (the unit of work every figure
-// sweep repeats hundreds of times).
+// Microbenchmarks for the discrete-event simulation substrate: raw typed-
+// event throughput, full cluster-run cost, and the experiment engine's
+// replication pipeline (the unit of work every sweep cell repeats) in full
+// vs streaming log mode at deep-tail scale.  The queries/sec counter is
+// the figure recorded in BENCH_sim_throughput.json.
 #include <benchmark/benchmark.h>
 
+#include "reissue/exp/runner.hpp"
+#include "reissue/exp/scenario.hpp"
 #include "reissue/sim/cluster.hpp"
+#include "reissue/sim/event.hpp"
 #include "reissue/sim/event_queue.hpp"
 #include "reissue/sim/workloads.hpp"
 
@@ -14,14 +19,14 @@ namespace {
 void BM_EventQueueChurn(benchmark::State& state) {
   // Schedule/execute cycles through a rolling horizon.
   for (auto _ : state) {
-    sim::EventQueue events;
-    int fired = 0;
-    for (int i = 0; i < 1024; ++i) {
-      events.schedule(static_cast<double>(i % 37), [&fired](double) {
-        ++fired;
-      });
+    sim::EventQueue<sim::SimEvent> events;
+    std::uint64_t fired = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+      events.schedule(static_cast<double>(i % 37),
+                      sim::SimEvent::reissue_stage(i, 0));
     }
-    events.run_to_completion();
+    events.run_to_completion(
+        [&fired](const sim::SimEvent&, double) { ++fired; });
     benchmark::DoNotOptimize(fired);
   }
   state.SetItemsProcessed(state.iterations() * 1024);
@@ -56,6 +61,40 @@ void BM_ClusterRunSingleR(benchmark::State& state) {
                           static_cast<benchmark::IterationCount>(queries));
 }
 BENCHMARK(BM_ClusterRunSingleR)->Arg(10000)->Arg(40000);
+
+/// The experiment engine's unit of work — run_cell_replication — at 10^6
+/// queries per cell.  Arg(0) selects the policy grid point, Arg(1) the
+/// core::LogMode (0 = full logs + exact sorted percentiles, 1 = streaming
+/// TailSummary accumulators).  The "queries/s" counter is the sweep-cell
+/// throughput the ROADMAP tracks.
+void BM_ReplicationPipeline(benchmark::State& state) {
+  constexpr std::size_t kQueries = 1000000;
+  const bool reissue = state.range(0) != 0;
+  const auto mode = state.range(1) == 0 ? core::LogMode::kFull
+                                        : core::LogMode::kStreaming;
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = kQueries;
+  opts.warmup = kQueries / 10;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+  const exp::PolicySpec spec = exp::parse_policy_spec(
+      reissue ? "r:30:0.5" : "none");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exp::run_cell_replication(cluster, spec, 0.99, opts.seed, mode));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(kQueries));
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kQueries),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ReplicationPipeline)
+    ->ArgNames({"reissue", "streaming"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ClusterRunQueueDisciplines(benchmark::State& state) {
   sim::workloads::SensitivityOptions opts;

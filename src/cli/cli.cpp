@@ -33,7 +33,8 @@ usage:
                        [--queries N=40000] [--seed S]
   reissue_cli sweep    --scenarios NAME[,NAME...] | --spec "name=... kind=..."
                        [--replications N=8] [--threads N=1] [--seed S]
-                       [--percentile K] [--output FILE]
+                       [--percentile K] [--queries N] [--warmup N]
+                       [--full-logs] [--output FILE]
   reissue_cli sweep --list
   reissue_cli help
 )";
@@ -55,8 +56,11 @@ double parse_double(const ParsedArgs& args, const std::string& name,
   return value;
 }
 
+/// `base` 10 for counts; seeds pass 0 so 0x... hex is accepted.  Base 10
+/// for everything else keeps zero-padded decimals ("0100") from silently
+/// parsing as octal.
 std::uint64_t parse_u64(const ParsedArgs& args, const std::string& name,
-                        std::uint64_t fallback) {
+                        std::uint64_t fallback, int base = 10) {
   const std::string raw = args.get(name);
   if (raw.empty()) return fallback;
   if (raw[0] == '-') {  // stoull would silently wrap negatives
@@ -65,7 +69,7 @@ std::uint64_t parse_u64(const ParsedArgs& args, const std::string& name,
   std::size_t consumed = 0;
   std::uint64_t value = 0;
   try {
-    value = std::stoull(raw, &consumed, 0);  // base 0: accepts 0x... seeds
+    value = std::stoull(raw, &consumed, base);
   } catch (const std::exception&) {
     throw std::runtime_error("--" + name + ": not an integer: " + raw);
   }
@@ -73,6 +77,10 @@ std::uint64_t parse_u64(const ParsedArgs& args, const std::string& name,
     throw std::runtime_error("--" + name + ": not an integer: " + raw);
   }
   return value;
+}
+
+std::uint64_t parse_seed(const ParsedArgs& args, std::uint64_t fallback) {
+  return parse_u64(args, "seed", fallback, 0);  // base 0: accepts 0x...
 }
 
 /// Value of a flag the command cannot run without: distinguishes "flag
@@ -128,7 +136,7 @@ std::unique_ptr<core::SystemUnderTest> make_workload(const ParsedArgs& args,
   const double utilization = parse_double(args, "utilization", 0.30);
   const auto queries =
       static_cast<std::size_t>(parse_u64(args, "queries", 40000));
-  const std::uint64_t seed = parse_u64(args, "seed", 0x5eed);
+  const std::uint64_t seed = parse_seed(args, 0x5eed);
 
   if (name == "independent" || name == "correlated" || name == "queueing") {
     sim::workloads::WorkloadOptions opts;
@@ -253,16 +261,45 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
     throw std::runtime_error("sweep requires --scenarios or --spec");
   }
 
+  // Deep-tail scaling: override every resolved scenario's per-replication
+  // query count (and warmup) from the command line, so p99.9 cells can be
+  // run at 10^6 queries without editing specs.
+  if (args.has("queries") || args.has("warmup")) {
+    const auto queries =
+        static_cast<std::size_t>(parse_u64(args, "queries", 0));
+    const auto warmup = static_cast<std::size_t>(parse_u64(args, "warmup", 0));
+    if (args.has("queries") && queries == 0) {
+      throw std::runtime_error("--queries must be > 0");
+    }
+    for (auto& spec : scenarios) {
+      if (args.has("queries")) {
+        spec.queries = queries;
+        // Keep the conventional 10% warmup unless explicitly overridden.
+        if (!args.has("warmup")) spec.warmup = queries / 10;
+      }
+      if (args.has("warmup")) spec.warmup = warmup;
+      if (spec.warmup >= spec.queries) {
+        throw std::runtime_error(
+            "--warmup must be < queries (scenario '" + spec.name + "' has " +
+            std::to_string(spec.queries) + " queries, warmup " +
+            std::to_string(spec.warmup) + ")");
+      }
+    }
+  }
+
   exp::SweepOptions options;
   options.replications =
       static_cast<std::size_t>(parse_u64(args, "replications", 8));
   options.threads = static_cast<std::size_t>(parse_u64(args, "threads", 1));
-  options.seed = parse_u64(args, "seed", 0x5eed);
+  options.seed = parse_seed(args, 0x5eed);
   options.percentile = parse_double(args, "percentile", 0.0);
   if (args.has("percentile") &&
       !(options.percentile > 0.0 && options.percentile < 1.0)) {
     throw std::runtime_error("--percentile must be in (0,1)");
   }
+  // Streaming accumulators are the default; --full-logs restores exact
+  // sorted-log percentiles (materializes per-query logs per replication).
+  if (args.has("full-logs")) options.log_mode = core::LogMode::kFull;
 
   const auto cells = exp::aggregate(exp::run_sweep(scenarios, options));
   if (args.has("output")) {

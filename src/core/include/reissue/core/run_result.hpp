@@ -72,6 +72,67 @@ struct RunResult {
   [[nodiscard]] double remediation_rate(double t) const;
 };
 
+/// How a run's observations are delivered to the caller.
+///
+///   kFull      — materialize the complete X/Y logs as a RunResult: what
+///                the §4.2 optimizer and the conditional-CDF estimator
+///                consume.  Memory and post-processing cost grow with the
+///                query count.
+///   kStreaming — feed each observation into a RunObserver as the run
+///                finalizes, without materializing the logs: O(1) memory
+///                per metric, the mode the experiment engine uses for
+///                deep-tail sweeps at 10^6 queries per cell.
+enum class LogMode { kFull, kStreaming };
+
+/// Streaming consumer of one run's observations (LogMode::kStreaming).
+///
+/// Contract: queries are reported in query-id (arrival) order, each
+/// query's issued reissue copies in issue order; whether on_reissue calls
+/// interleave with on_query calls is unspecified.  on_complete fires
+/// exactly once, last, and carries the authoritative totals (observers
+/// must not count on_reissue calls to obtain reissues_issued: replayed
+/// runs omit cancelled copies).
+class RunObserver {
+ public:
+  virtual ~RunObserver() = default;
+
+  /// One logged (post-warmup) query: end-to-end latency (first response
+  /// among all copies) and the primary copy's own response time (X).
+  virtual void on_query(double latency, double primary) = 0;
+
+  /// One issued reissue copy of a logged query: the paired primary
+  /// response (X), the copy's own response measured from its dispatch (Y),
+  /// the reissue delay actually in effect, and whether the copy was lazily
+  /// cancelled (cancelled copies carry no real Y observation).
+  virtual void on_reissue(double primary, double response, double delay,
+                          bool cancelled) = 0;
+
+  /// Run totals: logged queries, issued reissues (cancelled included) and
+  /// mean server utilization.
+  virtual void on_complete(std::size_t queries, std::size_t reissues_issued,
+                           double utilization) = 0;
+};
+
+/// RunObserver that materializes the full RunResult logs; LogMode::kFull
+/// is defined as streaming into this builder.
+class RunResultBuilder final : public RunObserver {
+ public:
+  /// `expected_queries` pre-sizes the per-query logs.
+  explicit RunResultBuilder(std::size_t expected_queries = 0);
+
+  void on_query(double latency, double primary) override;
+  void on_reissue(double primary, double response, double delay,
+                  bool cancelled) override;
+  void on_complete(std::size_t queries, std::size_t reissues_issued,
+                   double utilization) override;
+
+  /// Moves the accumulated result out; the builder is then empty.
+  [[nodiscard]] RunResult take();
+
+ private:
+  RunResult result_;
+};
+
 /// Abstract system the adaptive controller (§4.3) drives: run the workload
 /// under a policy, observe the logs.  Implemented by the DES cluster and
 /// the system-substrate harnesses.
@@ -79,8 +140,17 @@ class SystemUnderTest {
  public:
   virtual ~SystemUnderTest() = default;
 
-  /// Executes the workload under `policy` and returns the observed logs.
+  /// Executes the workload under `policy` and returns the observed logs
+  /// (LogMode::kFull).
   [[nodiscard]] virtual RunResult run(const ReissuePolicy& policy) = 0;
+
+  /// Executes the workload under `policy`, streaming observations into
+  /// `observer` (LogMode::kStreaming).  The default implementation runs a
+  /// full run and replays its logs, so every system supports streaming
+  /// consumers; systems with a true streaming path (the DES cluster)
+  /// override this to skip log materialization entirely.
+  virtual void run_streaming(const ReissuePolicy& policy,
+                             RunObserver& observer);
 
   /// Re-seeds the system's stochastic streams so the next run() is an
   /// independent replication.  Returns false when the system has no notion

@@ -1,6 +1,7 @@
 #include "reissue/core/run_result.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "reissue/stats/summary.hpp"
 
@@ -32,6 +33,59 @@ stats::JointSamples RunResult::joint() const {
   self.reserve(primary_latencies.size());
   for (double x : primary_latencies) self.emplace_back(x, x);
   return stats::JointSamples(std::move(self));
+}
+
+RunResultBuilder::RunResultBuilder(std::size_t expected_queries) {
+  result_.query_latencies.reserve(expected_queries);
+  result_.primary_latencies.reserve(expected_queries);
+}
+
+void RunResultBuilder::on_query(double latency, double primary) {
+  result_.query_latencies.push_back(latency);
+  result_.primary_latencies.push_back(primary);
+}
+
+void RunResultBuilder::on_reissue(double primary, double response,
+                                  double delay, bool cancelled) {
+  if (cancelled) return;  // no real Y observation
+  result_.reissue_latencies.push_back(response);
+  result_.correlated_pairs.emplace_back(primary, response);
+  result_.reissue_delays.push_back(delay);
+}
+
+void RunResultBuilder::on_complete(std::size_t queries,
+                                   std::size_t reissues_issued,
+                                   double utilization) {
+  result_.queries = queries;
+  result_.reissues_issued = reissues_issued;
+  result_.utilization = utilization;
+}
+
+RunResult RunResultBuilder::take() { return std::move(result_); }
+
+void SystemUnderTest::run_streaming(const ReissuePolicy& policy,
+                                    RunObserver& observer) {
+  const RunResult result = run(policy);
+  if (result.query_latencies.size() != result.primary_latencies.size()) {
+    throw std::logic_error("run_streaming: X logs out of sync");
+  }
+  for (std::size_t i = 0; i < result.query_latencies.size(); ++i) {
+    observer.on_query(result.query_latencies[i], result.primary_latencies[i]);
+  }
+  // Replayed reissue logs contain only uncancelled copies; on_complete
+  // carries the authoritative issue count.
+  if (!result.reissue_latencies.empty() &&
+      (result.correlated_pairs.size() != result.reissue_latencies.size() ||
+       result.reissue_delays.size() != result.reissue_latencies.size())) {
+    throw std::logic_error("run_streaming: Y logs out of sync");
+  }
+  for (std::size_t i = 0; i < result.reissue_latencies.size(); ++i) {
+    observer.on_reissue(result.correlated_pairs[i].first,
+                        result.reissue_latencies[i], result.reissue_delays[i],
+                        /*cancelled=*/false);
+  }
+  observer.on_complete(result.queries, result.reissues_issued,
+                       result.utilization);
 }
 
 double RunResult::remediation_rate(double t) const {

@@ -35,6 +35,16 @@ struct SweepOptions {
   std::uint64_t seed = 0x5eed;
   /// When > 0, overrides every scenario's reporting percentile.
   double percentile = 0.0;
+  /// How each replication's measurement run observes the system.
+  /// kStreaming (the default) feeds latencies straight into streaming
+  /// accumulators — stats::TailSummary histogram tail (<= 0.1% relative
+  /// error) and the P² sketch — without materializing logs, which is what
+  /// makes 10^6-query deep-tail cells affordable.  kFull keeps the exact
+  /// sorted-log percentiles.  Tuned policy specs always tune on full logs
+  /// (the optimizer needs the X/Y distributions); the mode only selects
+  /// how the final measurement run is observed.  Either mode is
+  /// bit-identical across thread counts.
+  core::LogMode log_mode = core::LogMode::kStreaming;
 };
 
 /// Metrics of one replication of one cell.
@@ -70,6 +80,15 @@ struct CellResult {
 [[nodiscard]] std::uint64_t replication_seed(std::uint64_t root,
                                              std::string_view scenario,
                                              std::size_t replication);
+
+/// One replication of one cell: resolves `spec` (tuning on the system if
+/// the spec asks for it), measures the resolved policy at percentile `k`
+/// under `mode`, and summarizes.  The engine's unit of work — public so
+/// benches and tests can measure it in isolation.  The system must already
+/// be reseeded to `seed` (recorded in the metrics verbatim).
+[[nodiscard]] ReplicationMetrics run_cell_replication(
+    core::SystemUnderTest& system, const PolicySpec& spec, double k,
+    std::uint64_t seed, core::LogMode mode = core::LogMode::kStreaming);
 
 /// Runs the full sweep.  Cells are ordered scenario-major then
 /// policy-major, exactly as declared.  Throws if any scenario has an empty

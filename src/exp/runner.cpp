@@ -12,6 +12,7 @@
 #include "reissue/stats/psquare.hpp"
 #include "reissue/stats/rng.hpp"
 #include "reissue/stats/summary.hpp"
+#include "reissue/stats/tail_summary.hpp"
 
 namespace reissue::exp {
 
@@ -44,11 +45,91 @@ struct Task {
   const PolicySpec* policy = nullptr;
 };
 
-ReplicationMetrics run_replication(core::SystemUnderTest& system,
-                                   const PolicySpec& spec, double k,
-                                   std::uint64_t seed) {
+/// Streaming accumulator for one measurement run (core::LogMode::
+/// kStreaming): the X stream goes straight into a TailSummary, never
+/// materialized; only the budget-bounded reissue triples are kept, because
+/// the remediation rate needs them against the tail estimate known only at
+/// the end.
+class StreamingMetricsObserver final : public core::RunObserver {
+ public:
+  StreamingMetricsObserver(double k, const core::ReissuePolicy& policy)
+      : latency_(k),
+        single_stage_(policy.stage_count() == 1),
+        stage_delay_(single_stage_ ? policy.delay() : 0.0) {}
+
+  void on_query(double latency, double primary) override {
+    latency_.add(latency);
+    if (single_stage_ && primary > stage_delay_) ++primaries_over_delay_;
+  }
+
+  void on_reissue(double primary, double response, double delay,
+                  bool cancelled) override {
+    if (cancelled) return;  // no real Y observation
+    reissues_.push_back(ReissueTriple{primary, response, delay});
+  }
+
+  void on_complete(std::size_t queries, std::size_t reissues_issued,
+                   double utilization) override {
+    queries_ = queries;
+    reissues_issued_ = reissues_issued;
+    utilization_ = utilization;
+  }
+
+  void fill(ReplicationMetrics& metrics) const {
+    metrics.tail = latency_.quantile();
+    metrics.tail_psquare = latency_.psquare();
+    metrics.mean_latency = latency_.mean();
+    metrics.reissue_rate =
+        queries_ == 0 ? 0.0
+                      : static_cast<double>(reissues_issued_) /
+                            static_cast<double>(queries_);
+    metrics.utilization = utilization_;
+    if (!reissues_.empty()) {
+      std::size_t remediated = 0;
+      for (const auto& triple : reissues_) {
+        if (triple.primary > metrics.tail &&
+            triple.response < metrics.tail - triple.delay) {
+          ++remediated;
+        }
+      }
+      metrics.remediation = static_cast<double>(remediated) /
+                            static_cast<double>(reissues_.size());
+    }
+    if (single_stage_ && latency_.count() > 0) {
+      metrics.outstanding_at_delay =
+          static_cast<double>(primaries_over_delay_) /
+          static_cast<double>(latency_.count());
+    }
+  }
+
+ private:
+  struct ReissueTriple {
+    double primary;
+    double response;
+    double delay;
+  };
+
+  stats::TailSummary latency_;
+  bool single_stage_;
+  double stage_delay_;
+  std::size_t primaries_over_delay_ = 0;
+  std::vector<ReissueTriple> reissues_;
+  std::size_t queries_ = 0;
+  std::size_t reissues_issued_ = 0;
+  double utilization_ = 0.0;
+};
+
+}  // namespace
+
+ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
+                                        const PolicySpec& spec, double k,
+                                        std::uint64_t seed,
+                                        core::LogMode mode) {
   core::ReissuePolicy policy = core::ReissuePolicy::none();
   switch (spec.kind) {
+    // Tuned specs resolve by running the §4.3 loop on the system itself;
+    // the tuner always consumes full logs (the optimizer needs the X/Y
+    // distributions), so `mode` governs only the measurement run below.
     case PolicySpec::Kind::kFixed:
       policy = spec.fixed;
       break;
@@ -62,11 +143,18 @@ ReplicationMetrics run_replication(core::SystemUnderTest& system,
       break;
   }
 
-  const core::RunResult result = system.run(policy);
-
   ReplicationMetrics metrics;
   metrics.seed = seed;
   metrics.policy = policy;
+
+  if (mode == core::LogMode::kStreaming) {
+    StreamingMetricsObserver observer(k, policy);
+    system.run_streaming(policy, observer);
+    observer.fill(metrics);
+    return metrics;
+  }
+
+  const core::RunResult result = system.run(policy);
   metrics.tail = result.tail_latency(k);
   stats::PSquareQuantile sketch(k);
   stats::RunningStats latency;
@@ -85,8 +173,6 @@ ReplicationMetrics run_replication(core::SystemUnderTest& system,
   return metrics;
 }
 
-}  // namespace
-
 std::uint64_t replication_seed(std::uint64_t root, std::string_view scenario,
                                std::size_t replication) {
   return substream(scenario_stream(root, scenario), replication + 1);
@@ -97,10 +183,20 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
   if (options.replications == 0) {
     throw std::invalid_argument("run_sweep: replications must be >= 1");
   }
-  for (const auto& spec : scenarios) {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioSpec& spec = scenarios[i];
     if (spec.policies.empty()) {
       throw std::invalid_argument("run_sweep: scenario '" + spec.name +
                                   "' has an empty policy grid");
+    }
+    // Seed substreams derive from the scenario name, so duplicate names
+    // would silently share RNG streams (breaking the independent-
+    // replication assumption) and emit indistinguishable CSV rows.
+    for (std::size_t j = i + 1; j < scenarios.size(); ++j) {
+      if (scenarios[j].name == spec.name) {
+        throw std::invalid_argument("run_sweep: duplicate scenario name '" +
+                                    spec.name + "'");
+      }
     }
   }
 
@@ -158,8 +254,10 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
           throw std::runtime_error("run_sweep: scenario '" + spec.name +
                                    "' system does not support reseeding");
         }
-        cells[task.cell].replications[task.replication] = run_replication(
-            *system, *task.policy, cells[task.cell].percentile, seed);
+        cells[task.cell].replications[task.replication] =
+            run_cell_replication(*system, *task.policy,
+                                 cells[task.cell].percentile, seed,
+                                 options.log_mode);
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

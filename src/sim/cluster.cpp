@@ -1,40 +1,12 @@
 #include "reissue/sim/cluster.hpp"
 
 #include <cmath>
-#include <limits>
-#include <optional>
 #include <stdexcept>
-#include <vector>
+#include <utility>
 
-#include "reissue/sim/event_queue.hpp"
-#include "reissue/sim/server.hpp"
+#include "reissue/sim/simulation.hpp"
 
 namespace reissue::sim {
-
-namespace {
-
-constexpr std::size_t kNoServer = std::numeric_limits<std::size_t>::max();
-
-struct IssuedCopy {
-  double dispatch = 0.0;
-  double service = 0.0;
-  double response = -1.0;
-  bool cancelled = false;
-};
-
-struct QueryState {
-  double arrival = 0.0;
-  double primary_service = 0.0;
-  std::size_t primary_server = kNoServer;
-  double primary_response = -1.0;
-  bool primary_cancelled = false;
-  bool done = false;
-  double completion = 0.0;
-  std::uint32_t connection = 0;
-  std::vector<IssuedCopy> reissues;
-};
-
-}  // namespace
 
 double arrival_rate_for_utilization(double utilization, std::size_t servers,
                                     double mean_service) {
@@ -50,42 +22,43 @@ double arrival_rate_for_utilization(double utilization, std::size_t servers,
   return utilization * static_cast<double>(servers) / mean_service;
 }
 
-Cluster::Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service)
-    : config_(config), service_(std::move(service)) {
-  if (!service_) throw std::invalid_argument("Cluster: null service model");
-  if (config_.queries == 0) {
+void validate(const ClusterConfig& config) {
+  if (config.queries == 0) {
     throw std::invalid_argument("Cluster: queries must be > 0");
   }
-  if (config_.warmup >= config_.queries) {
+  if (config.warmup >= config.queries) {
     throw std::invalid_argument("Cluster: warmup must be < queries");
   }
-  if (!config_.infinite_servers) {
-    if (config_.servers == 0) {
+  if (!config.infinite_servers) {
+    if (config.servers == 0) {
       throw std::invalid_argument("Cluster: servers must be > 0");
     }
-    if (!(config_.arrival_rate > 0.0)) {
+    if (!(config.arrival_rate > 0.0)) {
       throw std::invalid_argument("Cluster: arrival_rate must be > 0");
     }
   }
-  if (config_.connections == 0) {
+  if (config.connections == 0) {
     throw std::invalid_argument("Cluster: connections must be > 0");
   }
-  if (!config_.server_speeds.empty()) {
-    if (config_.infinite_servers) {
+  if (config.cancellation_overhead < 0.0) {
+    throw std::invalid_argument("Cluster: cancellation_overhead must be >= 0");
+  }
+  if (!config.server_speeds.empty()) {
+    if (config.infinite_servers) {
       throw std::invalid_argument(
           "Cluster: server_speeds require finite servers");
     }
-    if (config_.server_speeds.size() != config_.servers) {
+    if (config.server_speeds.size() != config.servers) {
       throw std::invalid_argument(
           "Cluster: server_speeds size must equal servers");
     }
-    for (double speed : config_.server_speeds) {
+    for (double speed : config.server_speeds) {
       if (!(speed > 0.0)) {
         throw std::invalid_argument("Cluster: server_speeds must be > 0");
       }
     }
   }
-  for (const auto& phase : config_.arrival_phases) {
+  for (const auto& phase : config.arrival_phases) {
     if (!(phase.duration > 0.0) || !(phase.multiplier > 0.0)) {
       throw std::invalid_argument(
           "Cluster: arrival phases need positive duration and multiplier");
@@ -93,196 +66,30 @@ Cluster::Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service)
   }
 }
 
+Cluster::Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service)
+    : config_(std::move(config)),
+      service_(std::move(service)),
+      scratch_(std::make_unique<RunScratch>()) {
+  if (!service_) throw std::invalid_argument("Cluster: null service model");
+  validate(config_);
+}
+
+Cluster::Cluster(Cluster&&) noexcept = default;
+Cluster& Cluster::operator=(Cluster&&) noexcept = default;
+Cluster::~Cluster() = default;
+
 core::RunResult Cluster::run(const core::ReissuePolicy& policy) {
-  const ClusterConfig& cfg = config_;
-  const auto stages = policy.stages();
+  validate(config_);  // before sizing the builder from a mutated config
+  core::RunResultBuilder builder(config_.queries - config_.warmup);
+  run_streaming(policy, builder);
+  return builder.take();
+}
 
-  EventQueue events;
-  stats::Xoshiro256 root(cfg.seed);
-  stats::Xoshiro256 arrival_rng = root.split(stats::stream_label("arrival"));
-  stats::Xoshiro256 service_rng = root.split(stats::stream_label("service"));
-  stats::Xoshiro256 lb_rng = root.split(stats::stream_label("lb"));
-  stats::Xoshiro256 coin_rng = root.split(stats::stream_label("coin"));
-
-  std::vector<QueryState> queries(cfg.queries);
-  std::vector<Server> servers;
-  std::unique_ptr<LoadBalancer> balancer;
-
-  auto on_copy_complete = [&](const Request& request, double now) {
-    if (request.kind == CopyKind::kBackground) return;
-    QueryState& qs = queries[request.query_id];
-    const double response = now - request.dispatch_time;
-    if (request.kind == CopyKind::kPrimary) {
-      qs.primary_response = response;
-    } else {
-      qs.reissues.at(request.copy_index - 1).response = response;
-    }
-    if (!qs.done) {
-      qs.done = true;
-      qs.completion = now;
-    }
-  };
-
-  if (!cfg.infinite_servers) {
-    servers.reserve(cfg.servers);
-    for (std::size_t i = 0; i < cfg.servers; ++i) {
-      servers.emplace_back(i, make_queue_discipline(cfg.queue));
-    }
-    for (auto& server : servers) {
-      server.attach(&events, on_copy_complete);
-      if (cfg.cancel_on_completion) {
-        server.set_cancellation(
-            [&queries](const Request& request) {
-              if (request.kind == CopyKind::kBackground) return false;
-              QueryState& qs = queries[request.query_id];
-              if (!qs.done) return false;
-              if (request.kind == CopyKind::kPrimary) {
-                qs.primary_cancelled = true;
-              } else {
-                qs.reissues.at(request.copy_index - 1).cancelled = true;
-              }
-              return true;
-            },
-            cfg.cancellation_overhead);
-      }
-    }
-    balancer = make_load_balancer(cfg.load_balancer);
-
-    // Background interference episodes (see ClusterConfig): pre-scheduled
-    // per-server Poisson arrivals over the expected arrival horizon.
-    if (cfg.interference_rate > 0.0) {
-      if (!cfg.interference_duration) {
-        throw std::invalid_argument(
-            "Cluster: interference_rate > 0 requires interference_duration");
-      }
-      stats::Xoshiro256 interference_rng =
-          root.split(stats::stream_label("interference"));
-      const double horizon_est =
-          static_cast<double>(cfg.queries) / cfg.arrival_rate;
-      for (std::size_t s = 0; s < cfg.servers; ++s) {
-        double t = 0.0;
-        for (;;) {
-          t += -std::log(interference_rng.uniform_pos()) /
-               cfg.interference_rate;
-          if (t > horizon_est) break;
-          const double duration =
-              cfg.interference_duration->sample(interference_rng);
-          events.schedule(t, [&servers, s, duration](double now) {
-            Request background;
-            background.query_id = std::numeric_limits<std::uint64_t>::max();
-            background.kind = CopyKind::kBackground;
-            background.dispatch_time = now;
-            background.service_time = duration;
-            background.connection = std::numeric_limits<std::uint32_t>::max();
-            servers[s].submit(background, now);
-          });
-        }
-      }
-    }
-  }
-
-  auto dispatch_copy = [&](std::uint64_t id, CopyKind kind,
-                           std::uint32_t copy_index, double service_time,
-                           double now) {
-    QueryState& qs = queries[id];
-    Request request{id, kind, copy_index, now, service_time, qs.connection};
-    if (cfg.infinite_servers) {
-      events.schedule(now + service_time, [&, request](double at) {
-        on_copy_complete(request, at);
-      });
-      return;
-    }
-    std::optional<std::size_t> exclude;
-    if (kind == CopyKind::kReissue && cfg.exclude_primary_server) {
-      exclude = qs.primary_server;
-    }
-    const std::size_t idx = balancer->pick(servers, lb_rng, exclude);
-    if (kind == CopyKind::kPrimary) qs.primary_server = idx;
-    if (!cfg.server_speeds.empty()) {
-      request.service_time *= cfg.server_speeds[idx];
-    }
-    servers[idx].submit(request, now);
-  };
-
-  auto stage_check = [&](std::uint64_t id, core::ReissueStage stage,
-                         double now) {
-    QueryState& qs = queries[id];
-    // Completion status is checked immediately before sending (paper §6.1).
-    if (qs.done) return;
-    if (!coin_rng.bernoulli(stage.probability)) return;
-    const double y = service_->reissue(id, qs.primary_service, service_rng);
-    qs.reissues.push_back(IssuedCopy{now, y, -1.0, false});
-    dispatch_copy(id, CopyKind::kReissue,
-                  static_cast<std::uint32_t>(qs.reissues.size()), y, now);
-  };
-
-  // Cyclic arrival-rate multiplier at time t (workload drift, §4.4).
-  double phase_cycle = 0.0;
-  for (const auto& phase : cfg.arrival_phases) phase_cycle += phase.duration;
-  auto rate_at = [&](double t) {
-    if (cfg.arrival_phases.empty()) return cfg.arrival_rate;
-    double offset = std::fmod(t, phase_cycle);
-    for (const auto& phase : cfg.arrival_phases) {
-      if (offset < phase.duration) {
-        return cfg.arrival_rate * phase.multiplier;
-      }
-      offset -= phase.duration;
-    }
-    return cfg.arrival_rate * cfg.arrival_phases.back().multiplier;
-  };
-
-  std::uint64_t next_query = 0;
-  // Arrival closure schedules itself until cfg.queries queries exist.
-  std::function<void(double)> arrive = [&](double now) {
-    const std::uint64_t id = next_query++;
-    QueryState& qs = queries[id];
-    qs.arrival = now;
-    qs.connection = static_cast<std::uint32_t>(id % cfg.connections);
-    qs.primary_service = service_->primary(id, service_rng);
-    dispatch_copy(id, CopyKind::kPrimary, 0, qs.primary_service, now);
-    for (const auto& stage : stages) {
-      events.schedule(now + stage.delay, [&, id, stage](double at) {
-        stage_check(id, stage, at);
-      });
-    }
-    if (next_query < cfg.queries) {
-      const double dt = -std::log(arrival_rng.uniform_pos()) / rate_at(now);
-      events.schedule(now + dt, arrive);
-    }
-  };
-
-  events.schedule(0.0, arrive);
-  const double horizon = events.run_to_completion();
-
-  // ----- Collect logs (post-warmup queries only). --------------------
-  core::RunResult result;
-  const std::size_t logged = cfg.queries - cfg.warmup;
-  result.queries = logged;
-  result.query_latencies.reserve(logged);
-  result.primary_latencies.reserve(logged);
-  for (std::size_t id = cfg.warmup; id < cfg.queries; ++id) {
-    const QueryState& qs = queries[id];
-    if (!qs.done || qs.primary_response < 0.0) {
-      throw std::logic_error("Cluster: query did not complete");
-    }
-    result.query_latencies.push_back(qs.completion - qs.arrival);
-    result.primary_latencies.push_back(qs.primary_response);
-    for (const auto& copy : qs.reissues) {
-      ++result.reissues_issued;
-      if (copy.cancelled) continue;  // no real Y observation
-      result.reissue_latencies.push_back(copy.response);
-      result.correlated_pairs.emplace_back(qs.primary_response, copy.response);
-      result.reissue_delays.push_back(copy.dispatch - qs.arrival);
-    }
-  }
-
-  if (!cfg.infinite_servers && horizon > 0.0) {
-    double busy = 0.0;
-    for (const auto& server : servers) busy += server.busy_time();
-    result.utilization =
-        busy / (static_cast<double>(cfg.servers) * horizon);
-  }
-  return result;
+void Cluster::run_streaming(const core::ReissuePolicy& policy,
+                            core::RunObserver& observer) {
+  validate(config_);  // mutable_config() may have broken the invariants
+  Simulation simulation(config_, *service_, policy, observer, *scratch_);
+  simulation.run();
 }
 
 }  // namespace reissue::sim

@@ -97,13 +97,31 @@ struct ClusterConfig {
                                                   std::size_t servers,
                                                   double mean_service);
 
+/// Validates a cluster configuration, throwing std::invalid_argument on
+/// the first violated invariant.  Run by the Cluster constructor and again
+/// at the top of every run(), so configurations mutated through
+/// mutable_config() fail loudly instead of corrupting a run.
+void validate(const ClusterConfig& config);
+
+struct RunScratch;  // reusable simulation buffers (simulation.hpp)
+
 class Cluster final : public core::SystemUnderTest {
  public:
   Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service);
+  Cluster(Cluster&&) noexcept;
+  Cluster& operator=(Cluster&&) noexcept;
+  ~Cluster() override;
 
-  /// Simulates one full run under `policy` and returns the logs.
-  /// Deterministic in (config.seed, policy).
+  /// Simulates one full run under `policy` and returns the logs
+  /// (core::LogMode::kFull).  Deterministic in (config.seed, policy).
   [[nodiscard]] core::RunResult run(const core::ReissuePolicy& policy) override;
+
+  /// Simulates one run under `policy`, streaming observations into
+  /// `observer` without materializing the X/Y logs
+  /// (core::LogMode::kStreaming).  The observation sequence is identical
+  /// to the logs run() would have produced for the same seed.
+  void run_streaming(const core::ReissuePolicy& policy,
+                     core::RunObserver& observer) override;
 
   /// Replication hook: swaps the root seed so the next run() draws fresh
   /// arrival/service/coin streams.  Deterministic given the new seed.
@@ -113,12 +131,17 @@ class Cluster final : public core::SystemUnderTest {
   }
 
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  /// Mutable access for scenario builders; the next run() re-validates the
+  /// mutated configuration (see validate()).
   [[nodiscard]] ClusterConfig& mutable_config() noexcept { return config_; }
   [[nodiscard]] const ServiceModel& service_model() const { return *service_; }
 
  private:
   ClusterConfig config_;
   std::shared_ptr<ServiceModel> service_;
+  /// Per-run simulation buffers, reused across runs so replications touch
+  /// warm memory (Cluster is single-threaded by contract).
+  std::unique_ptr<RunScratch> scratch_;
 };
 
 }  // namespace reissue::sim

@@ -1,0 +1,100 @@
+// POD typed events for the simulation hot path.
+//
+// Every scheduled occurrence in a cluster run is one of five kinds, carrying
+// a fixed-size 16-byte payload instead of a heap-allocated closure.  The
+// Simulation class (simulation.hpp) dispatches on the kind; the event queue
+// stores events by value, so scheduling never allocates beyond the heap
+// vector's amortized growth, and a heap entry (time + seq + payload) is two
+// moves of 16 bytes away from its final position per sift level.
+//
+//   kArrival          — the zero tag; client arrivals are merged by
+//                       (time, seq) key directly (EventQueue::claim_key)
+//                       and never heap-scheduled, so no SimEvent of this
+//                       kind is ever constructed.  See Simulation.
+//   kReissueStage     — a policy stage (d_i, q_i) fires for query(): payload
+//                       is the stage index into the policy.
+//   kCopyComplete     — server() finishes its in-service copy (the copy
+//                       itself is held by the server, one at a time).  A
+//                       background copy completing this way is the end of
+//                       an interference episode.
+//   kDirectComplete   — a copy completes on the infinite-server substrate
+//                       (no queueing, so no server involved): payload is
+//                       the copy identity; its dispatch time is recovered
+//                       from the per-query state.
+//   kInterferenceStart— a background interference episode of duration()
+//                       begins occupying server().
+//
+// The two scalar payload slots (`a`: 32-bit, `b`: 64-bit) are interpreted
+// per kind through the named accessors; unused slots are zero.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "reissue/sim/request.hpp"
+
+namespace reissue::sim {
+
+enum class EventKind : std::uint8_t {
+  kArrival,
+  kReissueStage,
+  kCopyComplete,
+  kDirectComplete,
+  kInterferenceStart,
+};
+
+struct SimEvent {
+  EventKind kind = EventKind::kArrival;
+  /// kDirectComplete: which kind of copy finished.
+  CopyKind copy = CopyKind::kPrimary;
+  /// kReissueStage: index into the policy's stage list.
+  std::uint16_t stage = 0;
+  /// kCopyComplete / kInterferenceStart: server index.
+  /// kDirectComplete: copy index (0 primary, 1-based reissue otherwise).
+  std::uint32_t a = 0;
+  /// kReissueStage / kDirectComplete: query id.
+  /// kInterferenceStart: episode duration (bit-cast double).
+  std::uint64_t b = 0;
+
+  [[nodiscard]] std::uint32_t server() const noexcept { return a; }
+  [[nodiscard]] std::uint32_t copy_index() const noexcept { return a; }
+  [[nodiscard]] std::uint64_t query() const noexcept { return b; }
+  [[nodiscard]] double duration() const noexcept {
+    return std::bit_cast<double>(b);
+  }
+
+  [[nodiscard]] static SimEvent reissue_stage(std::uint64_t query,
+                                              std::uint16_t stage) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kReissueStage;
+    ev.stage = stage;
+    ev.b = query;
+    return ev;
+  }
+  [[nodiscard]] static SimEvent copy_complete(std::uint32_t server) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kCopyComplete;
+    ev.a = server;
+    return ev;
+  }
+  [[nodiscard]] static SimEvent direct_complete(const Request& request) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kDirectComplete;
+    ev.copy = request.kind;
+    ev.a = request.copy_index;
+    ev.b = request.query_id;
+    return ev;
+  }
+  [[nodiscard]] static SimEvent interference_start(std::uint32_t server,
+                                                   double duration) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kInterferenceStart;
+    ev.a = server;
+    ev.b = std::bit_cast<std::uint64_t>(duration);
+    return ev;
+  }
+};
+
+static_assert(sizeof(SimEvent) == 16, "SimEvent must stay a 16-byte POD");
+
+}  // namespace reissue::sim

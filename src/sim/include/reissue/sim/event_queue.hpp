@@ -1,32 +1,120 @@
-// Deterministic discrete-event queue: a min-heap ordered by (time, seq).
-// The monotone sequence number breaks time ties in insertion order, so a
-// simulation is bit-reproducible regardless of heap internals.
+// Deterministic discrete-event queue: a binary min-heap ordered by
+// (time, seq).  The monotone sequence number breaks time ties in insertion
+// order, and because (time, seq) is a strict total order the pop sequence
+// is bit-reproducible regardless of heap internals.
+//
+// The queue is generic over a by-value payload (the simulator uses the POD
+// SimEvent of event.hpp) and dispatches through a caller-supplied callable,
+// so the hot path performs no type erasure and no per-event allocation.
 #pragma once
 
+#include <cassert>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace reissue::sim {
 
-using EventFn = std::function<void(double now)>;
+/// The position of an event in the queue's total order.  Keys compare
+/// lexicographically, so external event sources that draw their seq from
+/// allocate_seq() merge deterministically with the heap (see Simulation).
+struct EventKey {
+  double time = 0.0;
+  std::uint64_t seq = 0;
 
+  [[nodiscard]] bool before(const EventKey& other) const noexcept {
+    if (time != other.time) return time < other.time;
+    return seq < other.seq;
+  }
+};
+
+template <typename Payload>
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute time `time` (must be >= current time and
-  /// finite; throws std::invalid_argument otherwise).
-  void schedule(double time, EventFn fn);
+  /// Schedules `payload` at absolute time `time` (must be >= current time
+  /// and finite; throws std::invalid_argument otherwise).
+  void schedule(double time, Payload payload) {
+    check_time(time);
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Pre-sizes the heap storage (events pending at once, not total).
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
+  /// Returns the queue to its initial state — empty, now() == 0, fresh
+  /// sequence numbers — while keeping the heap's capacity, so back-to-back
+  /// simulation runs reuse warm memory.
+  void reset() noexcept {
+    heap_.clear();
+    now_ = 0.0;
+    next_seq_ = 0;
+    executed_ = 0;
+  }
+
+  /// Claims the next sequence number without enqueueing, for event sources
+  /// that keep their own (already time-ordered) queues but participate in
+  /// this queue's (time, seq) total order.  `time` is validated exactly
+  /// like schedule().
+  [[nodiscard]] EventKey claim_key(double time) {
+    check_time(time);
+    return EventKey{time, next_seq_++};
+  }
+
+  /// Key of the earliest queued event; meaningless when empty().
+  [[nodiscard]] EventKey peek_key() const noexcept {
+    return heap_.empty() ? EventKey{} : EventKey{heap_.front().time,
+                                                 heap_.front().seq};
+  }
+
+  /// Removes and returns the earliest event, advancing now().
+  /// Precondition: !empty().
+  [[nodiscard]] Payload pop() {
+    Entry top = std::move(heap_.front());
+    pop_root();
+    now_ = top.time;
+    ++executed_;
+    return std::move(top.payload);
+  }
+
+  /// Advances now() to `time` when an externally-queued event (see
+  /// claim_key) executes.  Must not move backwards.
+  void advance_to(double time) {
+    assert(time >= now_);
+    now_ = time;
+    ++executed_;
+  }
+
+  /// Executes the single earliest event through `dispatch(payload, now)`;
+  /// returns false if the queue is empty.
+  template <typename Dispatch>
+  bool step(Dispatch&& dispatch) {
+    if (heap_.empty()) return false;
+    Payload payload = pop();
+    dispatch(payload, now_);
+    return true;
+  }
 
   /// Runs events in order until the queue empties.  Returns the time of
   /// the last executed event (or the initial time if none ran).
-  double run_to_completion();
+  template <typename Dispatch>
+  double run_to_completion(Dispatch&& dispatch) {
+    while (step(dispatch)) {
+    }
+    return now_;
+  }
 
   /// Runs events with time <= horizon; later events stay queued.
-  double run_until(double horizon);
-
-  /// Executes the single earliest event; returns false if empty.
-  bool step();
+  template <typename Dispatch>
+  double run_until(double horizon, Dispatch&& dispatch) {
+    while (!heap_.empty() && heap_.front().time <= horizon) {
+      step(dispatch);
+    }
+    return now_;
+  }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
@@ -34,22 +122,114 @@ class EventQueue {
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
-  struct Event {
+  struct Entry {
     double time;
     std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    Payload payload;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void check_time(double time) const {
+    if (!std::isfinite(time)) {
+      throw std::invalid_argument("EventQueue: non-finite event time");
+    }
+    if (time < now_) {
+      throw std::invalid_argument("EventQueue: event scheduled in the past");
+    }
+  }
+
+  /// Strict total order: earlier time first, insertion order on ties.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    Entry moving = std::move(heap_[i]);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(moving, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(moving);
+  }
+
+  void pop_root() {
+    Entry last = std::move(heap_.back());
+    heap_.pop_back();
+    if (heap_.empty()) return;
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], last)) break;
+      heap_[i] = std::move(heap_[child]);
+      i = child;
+    }
+    heap_[i] = std::move(last);
+  }
+
+  std::vector<Entry> heap_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+};
+
+/// Min-queue for a SMALL, bounded pending count (the simulator uses it for
+/// service completions on finite-server runs, where at most one completion
+/// per server is outstanding).  Keys are EventKeys claimed from an
+/// EventQueue, so both structures share one total order.  peek is O(1) via
+/// a cached min index; push is O(1); pop rescans the (cache-resident)
+/// array, which beats heap sifts up to a few dozen entries.
+template <typename Payload>
+class BoundedMinQueue {
+ public:
+  void push(EventKey key, Payload payload) {
+    if (entries_.empty() || key.before(entries_[min_index_].key)) {
+      min_index_ = entries_.size();
+    }
+    entries_.push_back(Entry{key, std::move(payload)});
+  }
+
+  /// Key of the earliest entry; meaningless when empty().
+  [[nodiscard]] EventKey peek_key() const noexcept {
+    return entries_.empty() ? EventKey{} : entries_[min_index_].key;
+  }
+
+  /// Removes and returns the earliest entry.  Precondition: !empty().
+  [[nodiscard]] Payload pop() {
+    assert(!entries_.empty());
+    Payload payload = std::move(entries_[min_index_].payload);
+    entries_[min_index_] = std::move(entries_.back());
+    entries_.pop_back();
+    min_index_ = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].key.before(entries_[min_index_].key)) min_index_ = i;
+    }
+    return payload;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return entries_.size();
+  }
+
+  /// Empties the queue, keeping capacity for reuse.
+  void reset() noexcept {
+    entries_.clear();
+    min_index_ = 0;
+  }
+
+ private:
+  struct Entry {
+    EventKey key;
+    Payload payload;
+  };
+
+  std::vector<Entry> entries_;
+  std::size_t min_index_ = 0;
 };
 
 }  // namespace reissue::sim

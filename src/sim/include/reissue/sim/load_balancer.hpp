@@ -24,6 +24,19 @@ enum class LoadBalancerKind { kRandom, kRoundRobin, kMinOfTwo, kMinOfAll };
 
 [[nodiscard]] std::string to_string(LoadBalancerKind kind);
 
+/// Uniform index in [0, n) skipping `exclude` when it can be avoided: the
+/// kRandom policy, and the sampling primitive of kMinOfTwo.  Inline so the
+/// simulator's hot path can use it without the virtual dispatch.
+[[nodiscard]] inline std::size_t random_server_index(
+    std::size_t n, stats::Xoshiro256& rng, std::optional<std::size_t> exclude) {
+  if (n == 0) throw std::logic_error("load balancer: no servers");
+  if (!exclude.has_value() || n == 1 || *exclude >= n) {
+    return static_cast<std::size_t>(rng.below(n));
+  }
+  const auto idx = static_cast<std::size_t>(rng.below(n - 1));
+  return idx < *exclude ? idx : idx + 1;
+}
+
 class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;

@@ -48,6 +48,16 @@ class QueueDiscipline {
 
   [[nodiscard]] virtual std::size_t size() const = 0;
   [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// True when push-then-pop on an empty queue returns the pushed request
+  /// AND leaves the discipline in the same state as never having seen it.
+  /// Lets the server skip the queue entirely when a copy arrives at an
+  /// idle worker (the hot path at moderate utilization).  False for
+  /// disciplines with cross-pop state (the connection round-robin cursor
+  /// advances and lanes register on every pop/push).
+  [[nodiscard]] virtual bool bypassable_when_empty() const noexcept {
+    return false;
+  }
 };
 
 /// Fresh instance of the given discipline (one per server).

@@ -1,54 +1,115 @@
-// A single-worker server with a pluggable queue discipline.  The server
-// schedules its own service-completion events on the shared EventQueue and
-// reports each finished copy through a completion handler installed by the
-// cluster.  Busy time is accumulated for utilization measurement.
+// A single-worker server with a pluggable queue discipline.
+//
+// The server is a passive component of the event core: it holds its queue
+// and the one copy in service, while the Simulation (simulation.hpp) owns
+// event scheduling.  The caller enqueues copies, asks the server to start
+// the next one (receiving the service cost to schedule as a kCopyComplete
+// event) and hands completions back via finish().  No callbacks are stored,
+// so the hot path involves no type-erased calls.  Busy time is accumulated
+// for utilization measurement.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
-#include <functional>
 #include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
 
-#include "reissue/sim/event_queue.hpp"
 #include "reissue/sim/queue_discipline.hpp"
 #include "reissue/sim/request.hpp"
 
 namespace reissue::sim {
 
-/// Called when a copy finishes service.  `now` is the completion time.
-using CompletionHandler = std::function<void(const Request&, double now)>;
-
-/// Optional hook consulted when a request reaches the head of the queue;
-/// returning true replaces its service time with `cancel_cost` (the
-/// cancellation-overhead extension, cf. Lee et al. [20]).
-using CancellationCheck = std::function<bool(const Request&)>;
+/// A copy that just entered service: the caller schedules its completion
+/// at start time + `cost`.
+struct ServiceStart {
+  Request request;
+  double cost = 0.0;
+};
 
 class Server {
  public:
-  Server(std::size_t id, std::unique_ptr<QueueDiscipline> queue);
+  Server(std::size_t id, std::unique_ptr<QueueDiscipline> queue)
+      : id_(id), queue_(std::move(queue)) {
+    if (!queue_) throw std::invalid_argument("Server requires a queue");
+    bypassable_ = queue_->bypassable_when_empty();
+  }
 
   Server(Server&&) noexcept = default;
   Server& operator=(Server&&) noexcept = default;
 
-  /// Wires the server to the simulation.  Must be called before submit().
-  void attach(EventQueue* events, CompletionHandler on_complete);
+  /// Accepts a copy into the queue discipline.  Callers follow up with
+  /// try_start() to begin service if the server is idle.
+  void enqueue(const Request& request) {
+    queue_->push(request);
+    ++queued_;
+  }
 
-  /// Enables lazy cancellation: requests whose check returns true at
-  /// service start are charged `cancel_cost` instead of their service time.
-  void set_cancellation(CancellationCheck check, double cancel_cost);
+  /// True when a newly arriving copy may start service directly without
+  /// touching the queue discipline: the server is idle, nothing is queued,
+  /// and the discipline has no cross-pop state (bypassable_when_empty).
+  [[nodiscard]] bool can_start_directly() const noexcept {
+    return !busy_ && queued_ == 0 && bypassable_;
+  }
 
-  /// Accepts a copy at time `now`; starts service immediately if idle.
-  void submit(const Request& request, double now);
+  /// Starts `request` immediately, skipping the queue.  Precondition:
+  /// can_start_directly().  Semantics are identical to
+  /// enqueue() + try_start() for a bypassable discipline.
+  template <typename CancelFn>
+  [[nodiscard]] double start_directly(const Request& request,
+                                      CancelFn&& cancelled,
+                                      double cancel_cost) {
+    assert(can_start_directly());
+    const double cost =
+        cancelled(request) ? cancel_cost : request.service_time;
+    busy_ = true;
+    busy_time_ += cost;
+    current_ = request;
+    return cost;
+  }
+
+  /// If idle and work is queued, pops the next copy through the
+  /// discipline, marks the server busy and returns the started service.
+  /// `cancelled(request)` is consulted at service start (the lazy-
+  /// cancellation extension, cf. Lee et al. [20]): returning true replaces
+  /// the copy's service time with `cancel_cost` (must be >= 0).  Returns
+  /// nullopt when already busy or nothing is queued.
+  template <typename CancelFn>
+  [[nodiscard]] std::optional<ServiceStart> try_start(CancelFn&& cancelled,
+                                                      double cancel_cost) {
+    assert(cancel_cost >= 0.0);
+    if (busy_ || queued_ == 0) return std::nullopt;
+    ServiceStart start;
+    start.request = queue_->pop();
+    --queued_;
+    start.cost =
+        cancelled(start.request) ? cancel_cost : start.request.service_time;
+    busy_ = true;
+    busy_time_ += start.cost;
+    current_ = start.request;
+    return start;
+  }
+
+  /// Completes the in-service copy (the caller's kCopyComplete event fired)
+  /// and returns it; the server becomes idle.  Precondition: busy().
+  Request finish() {
+    assert(busy_);
+    busy_ = false;
+    ++completed_;
+    return current_;
+  }
 
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
 
   /// Queued copies, excluding the one in service.
-  [[nodiscard]] std::size_t queue_length() const { return queue_->size(); }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return queued_; }
 
   /// Queue length plus the in-service copy; the load signal used by
   /// Min-of-Two / Min-of-All balancing.
-  [[nodiscard]] std::size_t load() const {
-    return queue_->size() + (busy_ ? 1 : 0);
+  [[nodiscard]] std::size_t load() const noexcept {
+    return queued_ + (busy_ ? 1 : 0);
   }
 
   /// Total time spent serving copies.
@@ -58,16 +119,13 @@ class Server {
   [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
 
  private:
-  void start_next(double now);
-  void finish(Request request, double now);
-
   std::size_t id_;
   std::unique_ptr<QueueDiscipline> queue_;
-  EventQueue* events_ = nullptr;
-  CompletionHandler on_complete_;
-  CancellationCheck cancel_check_;
-  double cancel_cost_ = 0.0;
+  Request current_{};
+  /// Mirrors queue_->size() so load checks skip the virtual call.
+  std::size_t queued_ = 0;
   bool busy_ = false;
+  bool bypassable_ = false;
   double busy_time_ = 0.0;
   std::size_t completed_ = 0;
 };

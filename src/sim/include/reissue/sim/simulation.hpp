@@ -1,0 +1,237 @@
+// The per-run simulation engine behind Cluster::run.
+//
+// One Simulation owns everything a single run touches — RNG streams, the
+// typed event queue, per-query state, servers, the load balancer — and
+// dispatches the POD SimEvents of event.hpp from a single switch.  This
+// replaces the previous design in which Cluster::run captured the same
+// state in nested std::function closures, paying a heap allocation per
+// scheduled event.
+//
+// Per-query reissue bookkeeping lives in a pooled arena: a query can issue
+// at most one copy per policy stage, so copy slot i of query q is
+// arena[q * stage_count + i] — no per-query vector allocations, and the
+// hot-path lookups are asserted unchecked accesses instead of .at().
+//
+// Only service completions and interference episodes go through the event
+// heap.  The other two event sources are already time-ordered streams —
+// the next client arrival (one pending at a time) and each policy stage's
+// checks (arrival + d_i, so per-stage FIFO order) — and are merged with
+// the heap by (time, seq) key (EventQueue::claim_key), which preserves the
+// exact total order the all-heap implementation produced while cutting
+// heap traffic by ~2/3 on reissue-heavy runs.
+//
+// Results are delivered through a core::RunObserver, which is what makes
+// LogMode a caller choice: Cluster::run streams into a RunResultBuilder
+// (full logs, bit-identical to the closure-based implementation for equal
+// seeds), while Cluster::run_streaming streams into the caller's
+// accumulators without materializing logs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/event.hpp"
+#include "reissue/sim/event_queue.hpp"
+#include "reissue/sim/load_balancer.hpp"
+#include "reissue/sim/server.hpp"
+#include "reissue/stats/rng.hpp"
+
+namespace reissue::sim {
+
+namespace detail {
+
+// Both arenas are allocated uninitialized: every QueryState field is
+// written before it can be read (most at arrival; `completion` at first
+// completion, `primary_server` at primary dispatch), and an IssuedCopy
+// slot is fully written when its stage issues; slots at index >=
+// reissue_count are never read.
+struct IssuedCopy {
+  double dispatch;
+  double service;
+  double response;  // -1 until the copy completes
+  bool cancelled;
+};
+
+struct QueryState {
+  double arrival;
+  double primary_service;
+  double completion;
+  double primary_response;  // -1 until the primary completes
+  std::uint32_t primary_server;
+  std::uint32_t connection;
+  std::uint32_t reissue_count;
+  bool primary_cancelled;
+  bool done;
+};
+
+/// One pending reissue-stage check in a per-stage FIFO; the query id is
+/// implicit (queries enter every stage ring in id order).
+struct StageEntry {
+  double time;
+  std::uint64_t seq;
+};
+
+/// Pointer-based FIFO over a pre-sized slab (one slot per query, so no
+/// reallocation can invalidate the cursors); head - base == the query id
+/// of the front entry.
+struct StageRing {
+  StageEntry* base = nullptr;
+  StageEntry* head = nullptr;
+  StageEntry* tail = nullptr;
+
+  [[nodiscard]] bool empty() const noexcept { return head == tail; }
+  [[nodiscard]] const StageEntry& front() const noexcept { return *head; }
+  void push(StageEntry entry) noexcept { *tail++ = entry; }
+};
+
+/// Uninitialized growable array (the capacity-tracking half of the scratch
+/// reuse story; contents are meaningless between runs by design).
+template <typename T>
+struct RawArena {
+  std::unique_ptr<T[]> data;
+  std::size_t capacity = 0;
+
+  /// Ensures room for `n` elements, reallocating uninitialized storage
+  /// only on growth; never preserves contents.
+  T* ensure(std::size_t n) {
+    if (n > capacity) {
+      data = std::make_unique_for_overwrite<T[]>(n);
+      capacity = n;
+    }
+    return data.get();
+  }
+};
+
+}  // namespace detail
+
+/// Reusable per-run buffers.  A Cluster keeps one RunScratch across runs
+/// so replications and benches touch warm pages instead of paying tens of
+/// MB of first-touch page faults per run; every byte handed out is
+/// rewritten by the next run before being read (see detail::RawArena).
+struct RunScratch {
+  RunScratch() = default;
+  RunScratch(const RunScratch&) = delete;
+  RunScratch& operator=(const RunScratch&) = delete;
+  RunScratch(RunScratch&&) = default;
+  RunScratch& operator=(RunScratch&&) = default;
+
+  detail::RawArena<detail::QueryState> queries;
+  detail::RawArena<detail::IssuedCopy> arena;
+  std::vector<detail::StageRing> stage_rings;
+  detail::RawArena<detail::StageEntry> stage_entries;
+  EventQueue<SimEvent> events;
+  BoundedMinQueue<SimEvent> completions;
+  detail::RawArena<double> arrival_times;
+  detail::RawArena<double> primary_services;
+};
+
+class Simulation {
+ public:
+  /// Binds a run to its inputs; all referenced objects must outlive the
+  /// Simulation.  Construction derives the RNG streams and pre-schedules
+  /// interference episodes; run() executes to completion and feeds
+  /// `observer`.  `scratch` carries reusable buffers across runs; a given
+  /// RunScratch must serve at most one live Simulation at a time.
+  Simulation(const ClusterConfig& config, ServiceModel& service,
+             const core::ReissuePolicy& policy, core::RunObserver& observer,
+             RunScratch& scratch);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Runs the whole simulation and streams the post-warmup observations
+  /// into the observer.  Call at most once.
+  void run();
+
+ private:
+  using IssuedCopy = detail::IssuedCopy;
+  using QueryState = detail::QueryState;
+  using StageRing = detail::StageRing;
+
+  template <int StageCount, bool ScanMode>
+  void run_loop();
+  void dispatch(const SimEvent& event, double now);
+  void on_arrival(double now);
+  void on_reissue_stage(std::uint64_t id, std::size_t stage_index, double now);
+  void handle_completion(CopyKind kind, std::uint64_t id,
+                         std::uint32_t copy_index, double dispatch_time,
+                         double now);
+  void dispatch_copy(std::uint64_t id, CopyKind kind, std::uint32_t copy_index,
+                     double service_time, double now);
+  void complete_on_server(std::uint32_t server, double now);
+  void submit_to_server(std::size_t server, const Request& request, double now);
+  void start_next_on(std::size_t server, double now);
+  void schedule_completion(double time, std::size_t server);
+  void schedule_arrival(double time);
+  [[nodiscard]] double rate_at(double t) const;
+  [[nodiscard]] IssuedCopy& reissue_slot(std::uint64_t id, std::uint32_t slot);
+  void finalize(double horizon);
+
+  /// Lazy-cancellation predicate consulted at service start; marks the
+  /// copy cancelled as a side effect (the extension of ClusterConfig::
+  /// cancel_on_completion).
+  [[nodiscard]] auto cancel_check() {
+    return [this](const Request& request) {
+      if (!cfg_.cancel_on_completion) return false;
+      if (request.kind == CopyKind::kBackground) return false;
+      QueryState& qs = queries_[request.query_id];
+      if (!qs.done) return false;
+      if (request.kind == CopyKind::kPrimary) {
+        qs.primary_cancelled = true;
+      } else {
+        reissue_slot(request.query_id, request.copy_index - 1).cancelled = true;
+      }
+      return true;
+    };
+  }
+
+  const ClusterConfig& cfg_;
+  ServiceModel& service_;
+  core::RunObserver& observer_;
+  std::span<const core::ReissueStage> stages_;
+
+  EventQueue<SimEvent>& events_;
+  /// Completion events on finite-server, interference-free runs: at most
+  /// one pending per server, so a scan queue beats the heap (which then
+  /// stays empty).  Keys come from events_.claim_key — one total order.
+  BoundedMinQueue<SimEvent>& completions_;
+  bool scan_completions_ = false;
+  stats::Xoshiro256 arrival_rng_;
+  stats::Xoshiro256 service_rng_;
+  stats::Xoshiro256 lb_rng_;
+  stats::Xoshiro256 coin_rng_;
+
+  QueryState* queries_ = nullptr;
+  /// Pooled reissue-copy arena, queries x stage_count.
+  IssuedCopy* arena_ = nullptr;
+  /// Pre-drawn arrival times (always) and primary service times (policies
+  /// without reissue stages only — reissue draws interleave on the service
+  /// stream, so they pin primary draws to event order).  Values are
+  /// bit-identical to drawing inside the event loop; batching merely lets
+  /// consecutive pow/log calls pipeline instead of serializing behind the
+  /// event dispatch dependency chain.
+  const double* arrival_times_ = nullptr;
+  const double* primary_services_ = nullptr;
+  std::vector<Server> servers_;
+  std::unique_ptr<LoadBalancer> balancer_;
+
+  /// The single pending client-arrival event (claim_key-merged).
+  EventKey arrival_key_;
+  bool arrival_pending_ = false;
+  /// Per-stage FIFOs of pending reissue checks (claim_key-merged).
+  std::span<StageRing> stage_rings_;
+
+  std::uint64_t next_query_ = 0;
+  /// Round-robin client connection cursor; equals id % cfg_.connections
+  /// for sequential ids without paying an integer division per arrival.
+  std::uint32_t next_connection_ = 0;
+  double phase_cycle_ = 0.0;
+};
+
+}  // namespace reissue::sim

@@ -21,22 +21,11 @@ std::string to_string(LoadBalancerKind kind) {
 
 namespace {
 
-/// Uniform index in [0, n) skipping `exclude` when it can be avoided.
-std::size_t random_index(std::size_t n, stats::Xoshiro256& rng,
-                         std::optional<std::size_t> exclude) {
-  if (n == 0) throw std::logic_error("load balancer: no servers");
-  if (!exclude.has_value() || n == 1 || *exclude >= n) {
-    return static_cast<std::size_t>(rng.below(n));
-  }
-  const auto idx = static_cast<std::size_t>(rng.below(n - 1));
-  return idx < *exclude ? idx : idx + 1;
-}
-
 class RandomBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
                    std::optional<std::size_t> exclude) override {
-    return random_index(servers.size(), rng, exclude);
+    return random_server_index(servers.size(), rng, exclude);
   }
 };
 
@@ -61,8 +50,8 @@ class MinOfTwoBalancer final : public LoadBalancer {
  public:
   std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
                    std::optional<std::size_t> exclude) override {
-    const std::size_t a = random_index(servers.size(), rng, exclude);
-    const std::size_t b = random_index(servers.size(), rng, exclude);
+    const std::size_t a = random_server_index(servers.size(), rng, exclude);
+    const std::size_t b = random_server_index(servers.size(), rng, exclude);
     return servers[b].load() < servers[a].load() ? b : a;
   }
 };

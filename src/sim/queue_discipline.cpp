@@ -38,6 +38,8 @@ class FifoQueue final : public QueueDiscipline {
 
   std::size_t size() const override { return queue_.size(); }
 
+  bool bypassable_when_empty() const noexcept override { return true; }
+
  private:
   std::deque<Request> queue_;
 };
@@ -78,6 +80,8 @@ class PrioritizedQueue final : public QueueDiscipline {
   }
 
   std::size_t size() const override { return primary_.size() + reissue_.size(); }
+
+  bool bypassable_when_empty() const noexcept override { return true; }
 
  private:
   bool reissue_lifo_;

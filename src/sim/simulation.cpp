@@ -1,0 +1,426 @@
+#include "reissue/sim/simulation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace reissue::sim {
+
+Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
+                       const core::ReissuePolicy& policy,
+                       core::RunObserver& observer, RunScratch& scratch)
+    : cfg_(config),
+      service_(service),
+      observer_(observer),
+      stages_(policy.stages()),
+      events_(scratch.events),
+      completions_(scratch.completions) {
+  // Stream derivation order is part of the determinism contract: arrival,
+  // service, lb, coin, then (only when enabled) interference.
+  stats::Xoshiro256 root(cfg_.seed);
+  arrival_rng_ = root.split(stats::stream_label("arrival"));
+  service_rng_ = root.split(stats::stream_label("service"));
+  lb_rng_ = root.split(stats::stream_label("lb"));
+  coin_rng_ = root.split(stats::stream_label("coin"));
+
+  events_.reset();
+  completions_.reset();
+  // The scan queue holds at most one pending completion per server, and
+  // its O(pending) pop only beats heap sifts while that stays small; big
+  // fleets keep the heap.
+  constexpr std::size_t kScanQueueMaxServers = 64;
+  scan_completions_ = !cfg_.infinite_servers &&
+                      !(cfg_.interference_rate > 0.0) &&
+                      cfg_.servers <= kScanQueueMaxServers;
+  queries_ = scratch.queries.ensure(cfg_.queries);
+  arena_ = scratch.arena.ensure(cfg_.queries * stages_.size());
+  if (scratch.stage_rings.size() < stages_.size()) {
+    scratch.stage_rings.resize(stages_.size());
+  }
+  stage_rings_ = std::span(scratch.stage_rings.data(), stages_.size());
+  detail::StageEntry* slab =
+      scratch.stage_entries.ensure(cfg_.queries * stages_.size());
+  for (std::size_t j = 0; j < stage_rings_.size(); ++j) {
+    StageRing& ring = stage_rings_[j];
+    ring.base = ring.head = ring.tail = slab + j * cfg_.queries;
+  }
+
+  if (!cfg_.infinite_servers) {
+    servers_.reserve(cfg_.servers);
+    for (std::size_t i = 0; i < cfg_.servers; ++i) {
+      servers_.emplace_back(i, make_queue_discipline(cfg_.queue));
+    }
+    balancer_ = make_load_balancer(cfg_.load_balancer);
+
+    // Background interference episodes (see ClusterConfig): pre-scheduled
+    // per-server Poisson arrivals over the expected arrival horizon.
+    if (cfg_.interference_rate > 0.0) {
+      if (!cfg_.interference_duration) {
+        throw std::invalid_argument(
+            "Cluster: interference_rate > 0 requires interference_duration");
+      }
+      stats::Xoshiro256 interference_rng =
+          root.split(stats::stream_label("interference"));
+      const double horizon_est =
+          static_cast<double>(cfg_.queries) / cfg_.arrival_rate;
+      for (std::size_t s = 0; s < cfg_.servers; ++s) {
+        double t = 0.0;
+        for (;;) {
+          t += -std::log(interference_rng.uniform_pos()) /
+               cfg_.interference_rate;
+          if (t > horizon_est) break;
+          const double duration =
+              cfg_.interference_duration->sample(interference_rng);
+          events_.schedule(t, SimEvent::interference_start(
+                                  static_cast<std::uint32_t>(s), duration));
+        }
+      }
+    }
+  }
+
+  for (const auto& phase : cfg_.arrival_phases) phase_cycle_ += phase.duration;
+
+  // Batch-draw the order-independent RNG streams (see the member docs):
+  // the arrival stream is a pure recurrence t_{i+1} = t_i + dt(t_i), and
+  // without reissue stages the service stream is consumed in query-id
+  // order, so both can be drawn in tight loops where the libm calls
+  // pipeline.  Draw order within each stream is unchanged.
+  {
+    double* times = scratch.arrival_times.ensure(cfg_.queries);
+    double now = 0.0;
+    times[0] = 0.0;
+    if (cfg_.arrival_phases.empty()) {
+      for (std::size_t i = 1; i < cfg_.queries; ++i) {
+        now += -std::log(arrival_rng_.uniform_pos()) / cfg_.arrival_rate;
+        times[i] = now;
+      }
+    } else {
+      for (std::size_t i = 1; i < cfg_.queries; ++i) {
+        now += -std::log(arrival_rng_.uniform_pos()) / rate_at(now);
+        times[i] = now;
+      }
+    }
+    arrival_times_ = times;
+  }
+  if (stages_.empty()) {
+    double* services = scratch.primary_services.ensure(cfg_.queries);
+    for (std::size_t i = 0; i < cfg_.queries; ++i) {
+      services[i] = service_.primary(i, service_rng_);
+    }
+    primary_services_ = services;
+  }
+
+  schedule_arrival(0.0);
+}
+
+void Simulation::schedule_arrival(double time) {
+  arrival_key_ = events_.claim_key(time);
+  arrival_pending_ = true;
+}
+
+void Simulation::run() {
+  // The merge loop is the hottest code in the simulator; specialize it on
+  // the policy's stage count so the per-iteration candidate scan has no
+  // loop for the ubiquitous no-reissue and single-stage cases.
+  if (stage_rings_.empty()) {
+    scan_completions_ ? run_loop<0, true>() : run_loop<0, false>();
+  } else if (stage_rings_.size() == 1) {
+    scan_completions_ ? run_loop<1, true>() : run_loop<1, false>();
+  } else {
+    scan_completions_ ? run_loop<-1, true>() : run_loop<-1, false>();
+  }
+  finalize(events_.now());
+}
+
+/// Dispatches events from the three merged sources — the heap
+/// (completions, interference), the pending arrival, and the per-stage
+/// reissue-check FIFOs — in (time, seq) order.  All keys come from the
+/// queue's claim counter, so the dispatch order is exactly the order the
+/// all-heap implementation produced.  `StageCount` is the compile-time
+/// ring count (-1 = generic); `ScanMode` selects which completion queue is
+/// live (scan queue xor heap — the other is empty for the whole run).
+template <int StageCount, bool ScanMode>
+void Simulation::run_loop() {
+  constexpr std::size_t kFromHeap = std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t kFromArrival = kFromHeap - 1;
+  constexpr std::size_t kFromCompletions = kFromHeap - 2;
+  const std::size_t rings =
+      StageCount >= 0 ? static_cast<std::size_t>(StageCount)
+                      : stage_rings_.size();
+  for (;;) {
+    std::size_t source = kFromHeap;
+    EventKey best;
+    bool have = false;
+    if constexpr (ScanMode) {
+      if (!completions_.empty()) {
+        source = kFromCompletions;
+        best = completions_.peek_key();
+        have = true;
+      }
+    } else {
+      if (!events_.empty()) {
+        best = events_.peek_key();
+        have = true;
+      }
+    }
+    if (arrival_pending_ && (!have || arrival_key_.before(best))) {
+      source = kFromArrival;
+      best = arrival_key_;
+      have = true;
+    }
+    for (std::size_t j = 0; j < rings; ++j) {
+      const StageRing& ring = stage_rings_[j];
+      if (ring.empty()) continue;
+      const EventKey key{ring.front().time, ring.front().seq};
+      if (!have || key.before(best)) {
+        source = j;
+        best = key;
+        have = true;
+      }
+    }
+    if (!have) return;
+
+    if (source == kFromHeap) {
+      const SimEvent event = events_.pop();
+      dispatch(event, events_.now());
+    } else if (source == kFromCompletions) {
+      // Scan-queue entries are always service completions: skip the kind
+      // switch.
+      const SimEvent event = completions_.pop();
+      events_.advance_to(best.time);
+      complete_on_server(event.server(), best.time);
+    } else if (source == kFromArrival) {
+      arrival_pending_ = false;
+      events_.advance_to(best.time);
+      on_arrival(best.time);
+    } else {
+      StageRing& ring = stage_rings_[source];
+      const auto id = static_cast<std::uint64_t>(ring.head++ - ring.base);
+      events_.advance_to(best.time);
+      on_reissue_stage(id, source, best.time);
+    }
+  }
+}
+
+void Simulation::dispatch(const SimEvent& event, double now) {
+  switch (event.kind) {
+    case EventKind::kArrival:
+      assert(!"arrivals merge via claim_key and are never heap-scheduled");
+      return;
+    case EventKind::kReissueStage:
+      on_reissue_stage(event.query(), event.stage, now);
+      return;
+    case EventKind::kCopyComplete:
+      complete_on_server(event.server(), now);
+      return;
+    case EventKind::kDirectComplete: {
+      // The copy's dispatch time lives in the per-query state: primaries
+      // dispatch at arrival, reissue copies at their recorded issue time.
+      const std::uint64_t id = event.query();
+      const double dispatch_time =
+          event.copy == CopyKind::kPrimary
+              ? queries_[id].arrival
+              : reissue_slot(id, event.copy_index() - 1).dispatch;
+      handle_completion(event.copy, id, event.copy_index(), dispatch_time,
+                        now);
+      return;
+    }
+    case EventKind::kInterferenceStart: {
+      Request background;
+      background.query_id = std::numeric_limits<std::uint64_t>::max();
+      background.kind = CopyKind::kBackground;
+      background.dispatch_time = now;
+      background.service_time = event.duration();
+      background.connection = std::numeric_limits<std::uint32_t>::max();
+      submit_to_server(event.server(), background, now);
+      return;
+    }
+  }
+}
+
+/// Server `server` finished its in-service copy: report it, then pull the
+/// next copy (completion first, so a same-query copy behind it sees
+/// qs.done and can be lazily cancelled).
+void Simulation::complete_on_server(std::uint32_t server, double now) {
+  Server& srv = servers_[server];
+  const Request request = srv.finish();
+  handle_completion(request.kind, request.query_id, request.copy_index,
+                    request.dispatch_time, now);
+  if (srv.queue_length() > 0) start_next_on(server, now);
+}
+
+/// Cyclic arrival-rate multiplier at time t (workload drift, §4.4).
+double Simulation::rate_at(double t) const {
+  if (cfg_.arrival_phases.empty()) return cfg_.arrival_rate;
+  double offset = std::fmod(t, phase_cycle_);
+  for (const auto& phase : cfg_.arrival_phases) {
+    if (offset < phase.duration) {
+      return cfg_.arrival_rate * phase.multiplier;
+    }
+    offset -= phase.duration;
+  }
+  return cfg_.arrival_rate * cfg_.arrival_phases.back().multiplier;
+}
+
+Simulation::IssuedCopy& Simulation::reissue_slot(std::uint64_t id,
+                                                 std::uint32_t slot) {
+  assert(id < cfg_.queries);
+  assert(slot < stages_.size());
+  assert(slot < queries_[id].reissue_count);
+  return arena_[id * stages_.size() + slot];
+}
+
+void Simulation::on_arrival(double now) {
+  const std::uint64_t id = next_query_++;
+  QueryState& qs = queries_[id];
+  // Initialization of the uninitialized-by-design backing array.  Two
+  // fields are deliberately skipped: `completion` is written before every
+  // read (finalize reads it only when `done`), and `primary_server` is
+  // written at primary dispatch, which precedes any reissue's exclusion
+  // lookup.
+  qs.arrival = now;
+  double primary_service;
+  if (primary_services_ != nullptr) {
+    // Pre-drawn (no reissue stages), so qs.primary_service — which only
+    // the reissue draw reads — can stay unwritten.
+    primary_service = primary_services_[id];
+  } else {
+    primary_service = service_.primary(id, service_rng_);
+    qs.primary_service = primary_service;
+  }
+  qs.primary_response = -1.0;
+  qs.connection = next_connection_;
+  if (++next_connection_ == cfg_.connections) next_connection_ = 0;
+  qs.reissue_count = 0;
+  qs.primary_cancelled = false;
+  qs.done = false;
+  dispatch_copy(id, CopyKind::kPrimary, 0, primary_service, now);
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    // Claimed in scheduling order, exactly where the all-heap version
+    // called schedule(); queries enter each ring in id order.
+    const EventKey key = events_.claim_key(now + stages_[i].delay);
+    stage_rings_[i].push(detail::StageEntry{key.time, key.seq});
+  }
+  if (next_query_ < cfg_.queries) {
+    schedule_arrival(arrival_times_[next_query_]);
+  }
+}
+
+void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
+                                  double now) {
+  QueryState& qs = queries_[id];
+  // Completion status is checked immediately before sending (paper §6.1).
+  if (qs.done) return;
+  const core::ReissueStage& stage = stages_[stage_index];
+  if (!coin_rng_.bernoulli(stage.probability)) return;
+  const double y = service_.reissue(id, qs.primary_service, service_rng_);
+  const std::uint32_t slot = qs.reissue_count++;
+  reissue_slot(id, slot) = IssuedCopy{now, y, -1.0, false};
+  dispatch_copy(id, CopyKind::kReissue, slot + 1, y, now);
+}
+
+void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
+                                   std::uint32_t copy_index,
+                                   double dispatch_time, double now) {
+  if (kind == CopyKind::kBackground) return;
+  assert(id < cfg_.queries);
+  QueryState& qs = queries_[id];
+  const double response = now - dispatch_time;
+  if (kind == CopyKind::kPrimary) {
+    qs.primary_response = response;
+  } else {
+    reissue_slot(id, copy_index - 1).response = response;
+  }
+  if (!qs.done) {
+    qs.done = true;
+    qs.completion = now;
+  }
+}
+
+void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
+                               std::uint32_t copy_index, double service_time,
+                               double now) {
+  QueryState& qs = queries_[id];
+  Request request{id, kind, copy_index, now, service_time, qs.connection};
+  if (cfg_.infinite_servers) {
+    events_.schedule(now + service_time, SimEvent::direct_complete(request));
+    return;
+  }
+  std::optional<std::size_t> exclude;
+  if (kind == CopyKind::kReissue && cfg_.exclude_primary_server) {
+    exclude = static_cast<std::size_t>(qs.primary_server);
+  }
+  // Devirtualized fast path for the default uniform-random balancer (same
+  // draw as RandomBalancer::pick — both call random_server_index).
+  const std::size_t idx =
+      cfg_.load_balancer == LoadBalancerKind::kRandom
+          ? random_server_index(servers_.size(), lb_rng_, exclude)
+          : balancer_->pick(servers_, lb_rng_, exclude);
+  if (kind == CopyKind::kPrimary) {
+    qs.primary_server = static_cast<std::uint32_t>(idx);
+  }
+  if (!cfg_.server_speeds.empty()) {
+    request.service_time *= cfg_.server_speeds[idx];
+  }
+  submit_to_server(idx, request, now);
+}
+
+void Simulation::submit_to_server(std::size_t server, const Request& request,
+                                  double now) {
+  Server& srv = servers_[server];
+  if (srv.can_start_directly()) {
+    // Idle-worker fast path: identical semantics to enqueue + try_start
+    // for bypassable disciplines (the common case at moderate load).
+    const double cost = srv.start_directly(request, cancel_check(),
+                                           cfg_.cancellation_overhead);
+    schedule_completion(now + cost, server);
+    return;
+  }
+  srv.enqueue(request);
+  // A busy server picks the copy up from its queue at its next finish.
+  if (!srv.busy()) start_next_on(server, now);
+}
+
+void Simulation::start_next_on(std::size_t server, double now) {
+  if (const auto started = servers_[server].try_start(
+          cancel_check(), cfg_.cancellation_overhead)) {
+    schedule_completion(now + started->cost, server);
+  }
+}
+
+void Simulation::schedule_completion(double time, std::size_t server) {
+  const auto event = SimEvent::copy_complete(static_cast<std::uint32_t>(server));
+  if (scan_completions_) {
+    completions_.push(events_.claim_key(time), event);
+  } else {
+    events_.schedule(time, event);
+  }
+}
+
+void Simulation::finalize(double horizon) {
+  std::size_t reissues_issued = 0;
+  for (std::size_t id = cfg_.warmup; id < cfg_.queries; ++id) {
+    const QueryState& qs = queries_[id];
+    if (!qs.done || qs.primary_response < 0.0) {
+      throw std::logic_error("Cluster: query did not complete");
+    }
+    observer_.on_query(qs.completion - qs.arrival, qs.primary_response);
+    for (std::uint32_t slot = 0; slot < qs.reissue_count; ++slot) {
+      const IssuedCopy& copy = arena_[id * stages_.size() + slot];
+      ++reissues_issued;
+      observer_.on_reissue(qs.primary_response, copy.response,
+                           copy.dispatch - qs.arrival, copy.cancelled);
+    }
+  }
+
+  double utilization = 0.0;
+  if (!cfg_.infinite_servers && horizon > 0.0) {
+    double busy = 0.0;
+    for (const auto& server : servers_) busy += server.busy_time();
+    utilization = busy / (static_cast<double>(cfg_.servers) * horizon);
+  }
+  observer_.on_complete(cfg_.queries - cfg_.warmup, reissues_issued,
+                        utilization);
+}
+
+}  // namespace reissue::sim

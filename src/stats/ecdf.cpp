@@ -1,6 +1,7 @@
 #include "reissue/stats/ecdf.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -12,6 +13,24 @@ EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
     throw std::invalid_argument("EmpiricalCdf requires at least one sample");
   }
   std::sort(sorted_.begin(), sorted_.end());
+  finish_moments();
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : EmpiricalCdf(std::vector<double>(samples.begin(), samples.end())) {}
+
+EmpiricalCdf EmpiricalCdf::from_sorted(std::vector<double> sorted) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("EmpiricalCdf requires at least one sample");
+  }
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  EmpiricalCdf cdf;
+  cdf.sorted_ = std::move(sorted);
+  cdf.finish_moments();
+  return cdf;
+}
+
+void EmpiricalCdf::finish_moments() {
   double sum = 0.0;
   for (double v : sorted_) sum += v;
   mean_ = sum / static_cast<double>(sorted_.size());

@@ -18,9 +18,18 @@ class EmpiricalCdf {
  public:
   EmpiricalCdf() = default;
 
-  /// Builds the ECDF by copying and sorting `samples`.  Throws
-  /// std::invalid_argument on an empty input.
+  /// Builds the ECDF by sorting `samples` in place (move in to avoid the
+  /// copy).  Throws std::invalid_argument on an empty input.
   explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// Builds the ECDF from a borrowed sample view (copies, then sorts); the
+  /// path for callers that must keep their log intact, e.g.
+  /// RunResult::primary_cdf.
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  /// Adopts an already-ascending vector without re-sorting (asserted in
+  /// debug builds).  Throws std::invalid_argument on an empty input.
+  [[nodiscard]] static EmpiricalCdf from_sorted(std::vector<double> sorted);
 
   /// Number of samples.
   [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
@@ -55,6 +64,8 @@ class EmpiricalCdf {
   }
 
  private:
+  void finish_moments();
+
   std::vector<double> sorted_;
   double mean_ = 0.0;
   double stddev_ = 0.0;

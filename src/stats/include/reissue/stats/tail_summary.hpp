@@ -1,0 +1,74 @@
+// Streaming tail summary: everything the experiment engine reports about a
+// latency stream, in O(1) memory per sample.
+//
+// Combines running sum/min/max moments, the P² sketch of the tracked
+// percentile, and a log-bucketed histogram quantile estimator in the style
+// of DDSketch (Masson et al., VLDB'19): bucket i covers
+// (gamma^(i-1), gamma^i], so any quantile is recovered with bounded
+// relative error (gamma - 1, default 0.1%).  This is the accumulator
+// behind core::LogMode::kStreaming sweeps, where 10^6-query runs would
+// otherwise materialize and sort multi-megabyte logs per replication.
+//
+// Deterministic: the summary is a pure function of the added sequence, so
+// streaming sweeps stay bit-identical across thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "reissue/stats/psquare.hpp"
+
+namespace reissue::stats {
+
+class TailSummary {
+ public:
+  /// Tracks the p-quantile (p in (0,1)) of the stream; `relative_error`
+  /// bounds the histogram quantile error (must be in (0, 0.5]).
+  explicit TailSummary(double percentile, double relative_error = 1e-3);
+
+  void add(double x);
+
+  /// Histogram estimate of the tracked percentile (upper bucket edge:
+  /// overestimates by at most the relative error).  0 when empty.
+  [[nodiscard]] double quantile() const { return quantile(percentile_); }
+
+  /// Histogram estimate of an arbitrary p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  /// P² streaming estimate of the tracked percentile.
+  [[nodiscard]] double psquare() const { return sketch_.estimate(); }
+
+  [[nodiscard]] double percentile() const noexcept { return percentile_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  /// Bucket index of a positive value: ceil(log_gamma(x)), computed from
+  /// the double's exponent bits plus a table-interpolated log2 of the
+  /// mantissa (no libm call on the hot path; interpolation error < 1e-5 in
+  /// log2, absorbed into the advertised relative error).
+  [[nodiscard]] std::int64_t bucket_index(double x) const;
+
+  double percentile_;
+  double gamma_;
+  double log2_gamma_inv_;
+  /// Plain sum/min/max accumulators: a Welford pass would pay a division
+  /// per sample for variance this type does not report.
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  PSquareQuantile sketch_;
+  /// counts_[i] holds values in (gamma^(base_+i-1), gamma^(base_+i)].
+  std::vector<std::uint64_t> counts_;
+  std::int64_t base_ = 0;
+  /// Values <= 0 (zero-latency degenerate observations).
+  std::uint64_t non_positive_ = 0;
+};
+
+}  // namespace reissue::stats

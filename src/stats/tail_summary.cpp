@@ -1,0 +1,125 @@
+#include "reissue/stats/tail_summary.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace reissue::stats {
+
+namespace {
+
+/// ceil for values far inside the int64 range, without the libm call the
+/// generic x86-64 baseline would emit.
+std::int64_t ceil_to_int64(double y) {
+  auto i = static_cast<std::int64_t>(y);
+  if (static_cast<double>(i) < y) ++i;
+  return i;
+}
+
+/// log2(1 + k/256) for k = 0..256; linear interpolation between entries
+/// has error < (1/256)^2 / (8 ln 2) ~ 2.8e-6 in log2.
+const std::array<double, 257>& log2_mantissa_table() {
+  static const std::array<double, 257> table = [] {
+    std::array<double, 257> t{};
+    for (std::size_t k = 0; k <= 256; ++k) {
+      t[k] = std::log2(1.0 + static_cast<double>(k) / 256.0);
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+TailSummary::TailSummary(double percentile, double relative_error)
+    : percentile_(percentile),
+      gamma_(1.0 + relative_error),
+      log2_gamma_inv_(1.0 / std::log2(1.0 + relative_error)),
+      sketch_(percentile) {
+  if (!(percentile > 0.0 && percentile < 1.0)) {
+    throw std::invalid_argument("TailSummary: percentile must be in (0,1)");
+  }
+  if (!(relative_error > 0.0 && relative_error <= 0.5)) {
+    throw std::invalid_argument(
+        "TailSummary: relative_error must be in (0, 0.5]");
+  }
+  (void)log2_mantissa_table();  // build outside the hot path
+}
+
+std::int64_t TailSummary::bucket_index(double x) const {
+  if (x < std::numeric_limits<double>::min()) {
+    // Subnormal stragglers: exponent bits are zero, take the slow path.
+    return ceil_to_int64(std::log2(x) * log2_gamma_inv_);
+  }
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const auto exponent =
+      static_cast<std::int64_t>((bits >> 52) & 0x7ff) - 1023;
+  const std::uint64_t mantissa = bits & ((std::uint64_t{1} << 52) - 1);
+  const auto& table = log2_mantissa_table();
+  const std::size_t slot = mantissa >> 44;  // top 8 bits
+  const double frac =
+      static_cast<double>(mantissa & ((std::uint64_t{1} << 44) - 1)) *
+      0x1.0p-44;
+  const double log2_mantissa =
+      table[slot] + frac * (table[slot + 1] - table[slot]);
+  return ceil_to_int64((static_cast<double>(exponent) + log2_mantissa) *
+                       log2_gamma_inv_);
+}
+
+void TailSummary::add(double x) {
+  ++count_;
+  sum_ += x;
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  sketch_.add(x);
+  if (!(x > 0.0)) {
+    ++non_positive_;
+    return;
+  }
+  const std::int64_t index = bucket_index(x);
+  if (counts_.empty()) {
+    base_ = index;
+    counts_.push_back(0);
+  } else if (index < base_) {
+    // Grow downward (rare: a new global minimum bucket).
+    counts_.insert(counts_.begin(),
+                   static_cast<std::size_t>(base_ - index), 0);
+    base_ = index;
+  } else if (index >= base_ + static_cast<std::int64_t>(counts_.size())) {
+    counts_.resize(static_cast<std::size_t>(index - base_) + 1, 0);
+  }
+  ++counts_[static_cast<std::size_t>(index - base_)];
+}
+
+double TailSummary::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("TailSummary: quantile p must be in [0,1]");
+  }
+  const std::uint64_t n = count_;
+  if (n == 0) return 0.0;
+  // Nearest rank, matching EmpiricalCdf::quantile / stats::percentile.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  if (rank <= non_positive_) return min();
+  std::uint64_t cumulative = non_positive_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      const double edge = std::pow(
+          gamma_, static_cast<double>(base_) + static_cast<double>(i));
+      return std::min(edge, max_);
+    }
+  }
+  return max_;  // unreachable unless counts drifted
+}
+
+}  // namespace reissue::stats

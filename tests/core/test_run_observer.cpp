@@ -1,0 +1,95 @@
+// The LogMode / RunObserver abstraction on SystemUnderTest: the
+// RunResultBuilder round-trips observations into RunResult logs, and the
+// base-class run_streaming default replays a full run so systems without a
+// native streaming path still serve streaming consumers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "reissue/core/run_result.hpp"
+#include "synthetic_system.hpp"
+
+namespace reissue::core {
+namespace {
+
+TEST(RunResultBuilder, MaterializesObservationsInOrder) {
+  RunResultBuilder builder(2);
+  builder.on_query(3.0, 5.0);
+  builder.on_query(2.0, 2.0);
+  builder.on_reissue(5.0, 1.5, 1.0, /*cancelled=*/false);
+  builder.on_reissue(5.0, 9.9, 1.2, /*cancelled=*/true);  // no Y log
+  builder.on_complete(2, 2, 0.25);
+  const RunResult result = builder.take();
+
+  EXPECT_EQ(result.query_latencies, (std::vector<double>{3.0, 2.0}));
+  EXPECT_EQ(result.primary_latencies, (std::vector<double>{5.0, 2.0}));
+  EXPECT_EQ(result.reissue_latencies, (std::vector<double>{1.5}));
+  EXPECT_EQ(result.reissue_delays, (std::vector<double>{1.0}));
+  ASSERT_EQ(result.correlated_pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.correlated_pairs[0].first, 5.0);
+  // on_complete totals are authoritative (cancelled copies count).
+  EXPECT_EQ(result.queries, 2u);
+  EXPECT_EQ(result.reissues_issued, 2u);
+  EXPECT_DOUBLE_EQ(result.utilization, 0.25);
+}
+
+/// Observer that accumulates simple tallies for replay verification.
+class TallyObserver final : public RunObserver {
+ public:
+  std::size_t queries = 0;
+  std::size_t reissues = 0;
+  double latency_sum = 0.0;
+  std::size_t reported_queries = 0;
+  std::size_t reported_reissues = 0;
+
+  void on_query(double latency, double) override {
+    ++queries;
+    latency_sum += latency;
+  }
+  void on_reissue(double, double, double, bool) override { ++reissues; }
+  void on_complete(std::size_t q, std::size_t r, double) override {
+    reported_queries = q;
+    reported_reissues = r;
+  }
+};
+
+TEST(RunStreaming, DefaultImplementationReplaysAFullRun) {
+  // StaticSystem does not override run_streaming: the base class runs the
+  // workload and replays its logs.
+  testing::StaticSystem system(stats::make_exponential(0.1),
+                               stats::make_exponential(0.1), 0.0,
+                               /*queries=*/5000);
+  const auto policy = ReissuePolicy::single_r(5.0, 0.5);
+  const RunResult full = system.run(policy);
+
+  TallyObserver tally;
+  system.run_streaming(policy, tally);
+  EXPECT_EQ(tally.queries, full.query_latencies.size());
+  EXPECT_EQ(tally.reissues, full.reissue_latencies.size());
+  EXPECT_EQ(tally.reported_queries, full.queries);
+  EXPECT_EQ(tally.reported_reissues, full.reissues_issued);
+  double expected_sum = 0.0;
+  for (double x : full.query_latencies) expected_sum += x;
+  EXPECT_DOUBLE_EQ(tally.latency_sum, expected_sum);
+}
+
+TEST(RunStreaming, BuilderRoundTripMatchesRun) {
+  testing::StaticSystem system(stats::make_pareto(1.1, 2.0),
+                               stats::make_pareto(1.1, 2.0), 0.5,
+                               /*queries=*/2000);
+  const auto policy = ReissuePolicy::single_r(10.0, 0.4);
+  const RunResult direct = system.run(policy);
+  RunResultBuilder builder;
+  system.run_streaming(policy, builder);
+  const RunResult replayed = builder.take();
+  EXPECT_EQ(replayed.query_latencies, direct.query_latencies);
+  EXPECT_EQ(replayed.primary_latencies, direct.primary_latencies);
+  EXPECT_EQ(replayed.reissue_latencies, direct.reissue_latencies);
+  EXPECT_EQ(replayed.reissue_delays, direct.reissue_delays);
+  EXPECT_EQ(replayed.correlated_pairs, direct.correlated_pairs);
+  EXPECT_EQ(replayed.queries, direct.queries);
+  EXPECT_EQ(replayed.reissues_issued, direct.reissues_issued);
+}
+
+}  // namespace
+}  // namespace reissue::core

@@ -136,6 +136,70 @@ TEST(RunSweep, PercentileOverrideApplies) {
   for (const auto& cell : cells) EXPECT_DOUBLE_EQ(cell.percentile, 0.5);
 }
 
+TEST(RunSweep, StreamingModeApproximatesFullMode) {
+  auto scenarios = tiny_scenarios();
+  scenarios.resize(1);
+  SweepOptions options;
+  options.replications = 2;
+
+  options.log_mode = core::LogMode::kFull;
+  const auto full = run_sweep(scenarios, options);
+  options.log_mode = core::LogMode::kStreaming;
+  const auto streaming = run_sweep(scenarios, options);
+
+  ASSERT_EQ(full.size(), streaming.size());
+  for (std::size_t c = 0; c < full.size(); ++c) {
+    for (std::size_t r = 0; r < options.replications; ++r) {
+      const auto& f = full[c].replications[r];
+      const auto& s = streaming[c].replications[r];
+      // The histogram tail estimate is within its configured relative
+      // error of the exact sorted percentile.
+      EXPECT_NEAR(s.tail, f.tail, f.tail * 3e-3) << full[c].policy;
+      // Identical observation order: the P² sketch agrees exactly, the
+      // remaining metrics up to accumulation order.
+      EXPECT_DOUBLE_EQ(s.tail_psquare, f.tail_psquare);
+      EXPECT_NEAR(s.mean_latency, f.mean_latency,
+                  1e-9 * (1.0 + f.mean_latency));
+      EXPECT_DOUBLE_EQ(s.reissue_rate, f.reissue_rate);
+      EXPECT_DOUBLE_EQ(s.utilization, f.utilization);
+      EXPECT_NEAR(s.outstanding_at_delay, f.outstanding_at_delay, 1e-12);
+    }
+  }
+}
+
+TEST(RunSweep, FullModeAlsoBitIdenticalAcrossThreadCounts) {
+  const auto scenarios = tiny_scenarios();
+  SweepOptions options;
+  options.replications = 2;
+  options.log_mode = core::LogMode::kFull;
+  options.threads = 1;
+  const std::string serial = sweep_csv(scenarios, options);
+  options.threads = 8;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+}
+
+TEST(RunCellReplication, IsTheSweepUnitOfWork) {
+  // The public per-cell entry point (what bench/micro_sim measures) agrees
+  // with what run_sweep records for the same seed.
+  auto scenarios = tiny_scenarios();
+  scenarios.resize(1);
+  SweepOptions options;
+  options.replications = 1;
+  const auto cells = run_sweep(scenarios, options);
+
+  auto system = make_system(scenarios[0], /*seed=*/0);  // rebuilt below
+  const std::uint64_t seed =
+      replication_seed(options.seed, scenarios[0].name, 0);
+  // Reconstruct exactly as the worker does: construction seed is derived
+  // internally, so rebuild through run_sweep's contract (reseed).
+  ASSERT_TRUE(system->reseed(seed));
+  const auto metrics = run_cell_replication(
+      *system, scenarios[0].policies[0], scenarios[0].percentile, seed,
+      options.log_mode);
+  EXPECT_EQ(metrics.seed, cells[0].replications[0].seed);
+  EXPECT_DOUBLE_EQ(metrics.tail, cells[0].replications[0].tail);
+}
+
 TEST(RunSweep, RejectsDegenerateInputs) {
   SweepOptions options;
   options.replications = 0;
@@ -144,6 +208,16 @@ TEST(RunSweep, RejectsDegenerateInputs) {
   ScenarioSpec no_policies;
   no_policies.name = "empty";
   EXPECT_THROW(run_sweep({no_policies}, options), std::invalid_argument);
+}
+
+TEST(RunSweep, RejectsDuplicateScenarioNames) {
+  // Seed substreams key on the scenario name: duplicates would share RNG
+  // streams and emit indistinguishable CSV rows.
+  auto scenarios = tiny_scenarios();
+  scenarios[1].name = scenarios[0].name;
+  SweepOptions options;
+  options.replications = 1;
+  EXPECT_THROW(run_sweep(scenarios, options), std::invalid_argument);
 }
 
 TEST(RunSweep, WorkerExceptionsPropagate) {

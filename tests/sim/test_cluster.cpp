@@ -37,6 +37,37 @@ TEST(Cluster, RejectsBadConfig) {
   EXPECT_THROW(Cluster(small_config(), nullptr), std::invalid_argument);
 }
 
+TEST(Cluster, MutatedConfigIsRevalidatedAtRun) {
+  // mutable_config() bypasses the constructor: run() must re-run
+  // validate() so a broken mutation fails loudly instead of corrupting
+  // the run.
+  Cluster cluster(small_config(),
+                  make_iid_service(stats::make_exponential(0.1)));
+  cluster.mutable_config().warmup = cluster.config().queries;
+  EXPECT_THROW((void)cluster.run(core::ReissuePolicy::none()),
+               std::invalid_argument);
+  cluster.mutable_config().warmup = 400;
+  cluster.mutable_config().servers = 0;
+  EXPECT_THROW((void)cluster.run(core::ReissuePolicy::none()),
+               std::invalid_argument);
+  cluster.mutable_config().servers = 4;
+  cluster.mutable_config().server_speeds = {1.0};  // size != servers
+  EXPECT_THROW((void)cluster.run(core::ReissuePolicy::none()),
+               std::invalid_argument);
+  cluster.mutable_config().server_speeds.clear();
+  EXPECT_NO_THROW((void)cluster.run(core::ReissuePolicy::none()));
+}
+
+TEST(Cluster, ValidateIsTheConstructorCheck) {
+  ClusterConfig config = small_config();
+  EXPECT_NO_THROW(validate(config));
+  config.connections = 0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+  config = small_config();
+  config.cancellation_overhead = -1.0;
+  EXPECT_THROW(validate(config), std::invalid_argument);
+}
+
 TEST(Cluster, AllQueriesCompleteAndLogsAreConsistent) {
   Cluster cluster(small_config(),
                   make_iid_service(stats::make_exponential(0.1)));

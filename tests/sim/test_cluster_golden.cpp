@@ -1,0 +1,223 @@
+// Old-vs-new golden-log test for the typed-event-core refactor.
+//
+// Each hash below is the FNV-1a fingerprint of the complete RunResult logs
+// (queries, reissue counts, utilization, every latency in every log, in
+// order) produced by the PRE-refactor closure-based simulator for a fixed
+// (workload, seed, policy).  The refactored Simulation must reproduce them
+// bit-for-bit: any change to RNG stream derivation, event ordering
+// (including (time, seq) tie-breaks), arena bookkeeping or log collection
+// shows up as a hash mismatch.
+//
+// The reference values depend on the exact libm the baseline was built
+// against (pow/log are not correctly rounded, so bit patterns vary across
+// libm builds).  A probe checks two sentinel computations first and skips
+// the hash comparisons — loudly — on a different libm, where "identical to
+// the recorded baseline" is unobservable.  Determinism per se is still
+// covered on every platform by test_cluster_determinism.cpp.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::sim {
+namespace {
+
+/// libm sentinels recorded together with the golden hashes.
+constexpr std::uint64_t kPowProbe = 0x3ff5201fdad96895ull;
+constexpr std::uint64_t kLogProbe = 0xc000bc233ad9edd6ull;
+
+bool libm_matches_baseline() {
+  const double a = std::pow(0.7366218546322401, -1.0 / 1.1);
+  const double b = std::log(0.1234567890123456789);
+  return std::bit_cast<std::uint64_t>(a) == kPowProbe &&
+         std::bit_cast<std::uint64_t>(b) == kLogProbe;
+}
+
+void append(std::string& out, double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  ASSERT_EQ(ec, std::errc{});
+  out.append(buf, end);
+  out.push_back('\n');
+}
+
+/// Byte-exact textual fingerprint of every log the run produced (the same
+/// shape test_cluster_determinism.cpp uses).
+std::string fingerprint(const core::RunResult& result) {
+  std::string out;
+  out += "queries=" + std::to_string(result.queries) + "\n";
+  out += "reissues=" + std::to_string(result.reissues_issued) + "\n";
+  append(out, result.utilization);
+  for (double x : result.query_latencies) append(out, x);
+  for (double x : result.primary_latencies) append(out, x);
+  for (double x : result.reissue_latencies) append(out, x);
+  for (double x : result.reissue_delays) append(out, x);
+  for (const auto& [x, y] : result.correlated_pairs) {
+    append(out, x);
+    append(out, y);
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+workloads::WorkloadOptions golden_options() {
+  workloads::WorkloadOptions opts;
+  opts.queries = 2500;
+  opts.warmup = 250;
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+/// Every ClusterConfig extension at once: heterogeneous speeds, min-of-two
+/// balancing, prioritized queueing, lazy cancellation, interference
+/// episodes and bursty arrival phases.
+Cluster kitchen_sink() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.arrival_rate = arrival_rate_for_utilization(0.5, 6, 22.0);
+  cfg.queries = 2500;
+  cfg.warmup = 250;
+  cfg.load_balancer = LoadBalancerKind::kMinOfTwo;
+  cfg.queue = QueueDisciplineKind::kPrioritizedFifo;
+  cfg.exclude_primary_server = true;
+  cfg.cancel_on_completion = true;
+  cfg.cancellation_overhead = 0.1;
+  cfg.interference_rate = 0.002;
+  cfg.interference_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.server_speeds = {1.0, 1.0, 1.5, 1.0, 2.0, 1.0};
+  cfg.arrival_phases = {{500.0, 1.0}, {250.0, 1.8}};
+  cfg.seed = 0x601de;
+  auto service = make_correlated_service(
+      stats::make_truncated(stats::make_pareto(1.1, 2.0), 5000.0), 0.5);
+  return Cluster(cfg, std::move(service));
+}
+
+void expect_golden(Cluster cluster, const core::ReissuePolicy& policy,
+                   std::uint64_t expected) {
+  const std::string print = fingerprint(cluster.run(policy));
+  EXPECT_EQ(fnv1a(print), expected);
+}
+
+#define REQUIRE_BASELINE_LIBM()                                        \
+  if (!libm_matches_baseline()) {                                      \
+    GTEST_SKIP() << "different libm than the recorded golden baseline" \
+                    " (pow/log bit patterns differ)";                  \
+  }
+
+TEST(ClusterGolden, QueueingNoReissue) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(workloads::make_queueing(0.4, 0.5, golden_options()),
+                core::ReissuePolicy::none(), 0xdf8655a30f62ce89ull);
+}
+
+TEST(ClusterGolden, QueueingSingleR) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(workloads::make_queueing(0.4, 0.5, golden_options()),
+                core::ReissuePolicy::single_r(20.0, 0.5),
+                0xb509a7468c6db895ull);
+}
+
+TEST(ClusterGolden, QueueingDoubleR) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(workloads::make_queueing(0.4, 0.5, golden_options()),
+                core::ReissuePolicy::double_r(5.0, 0.3, 15.0, 0.8),
+                0xdfc6affa2d1fe8c6ull);
+}
+
+TEST(ClusterGolden, QueueingImmediate) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(workloads::make_queueing(0.4, 0.5, golden_options()),
+                core::ReissuePolicy::immediate(2), 0xe177ffa3cbafbe8full);
+}
+
+TEST(ClusterGolden, IndependentSingleR) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(workloads::make_independent(golden_options()),
+                core::ReissuePolicy::single_r(10.0, 0.5),
+                0x0721eb9646d62a74ull);
+}
+
+TEST(ClusterGolden, CorrelatedSingleD) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(workloads::make_correlated(0.5, golden_options()),
+                core::ReissuePolicy::single_d(12.5), 0xe947da380bec1bb6ull);
+}
+
+TEST(ClusterGolden, SensitivityRoundRobinConnections) {
+  REQUIRE_BASELINE_LIBM();
+  workloads::SensitivityOptions sopts;
+  sopts.service = stats::make_exponential(0.1);
+  sopts.queue = QueueDisciplineKind::kRoundRobinConnections;
+  sopts.load_balancer = LoadBalancerKind::kRoundRobin;
+  sopts.base = golden_options();
+  expect_golden(workloads::make_sensitivity(sopts),
+                core::ReissuePolicy::single_r(15.0, 0.4),
+                0x420bf20fef2c43e7ull);
+}
+
+TEST(ClusterGolden, KitchenSink) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(kitchen_sink(), core::ReissuePolicy::single_r(15.0, 0.6),
+                0x833d6a64b670a7dcull);
+}
+
+// Independent of libm: the streaming path and the full-log path must
+// observe identical data — run() is defined as streaming into a
+// RunResultBuilder, and this pins that equivalence for external observers.
+class RecordingObserver final : public core::RunObserver {
+ public:
+  void on_query(double latency, double primary) override {
+    result_.query_latencies.push_back(latency);
+    result_.primary_latencies.push_back(primary);
+  }
+  void on_reissue(double primary, double response, double delay,
+                  bool cancelled) override {
+    ++issued_;
+    if (cancelled) return;
+    result_.reissue_latencies.push_back(response);
+    result_.correlated_pairs.emplace_back(primary, response);
+    result_.reissue_delays.push_back(delay);
+  }
+  void on_complete(std::size_t queries, std::size_t reissues_issued,
+                   double utilization) override {
+    result_.queries = queries;
+    result_.reissues_issued = reissues_issued;
+    result_.utilization = utilization;
+  }
+
+  [[nodiscard]] const core::RunResult& result() const { return result_; }
+  [[nodiscard]] std::size_t issued_calls() const { return issued_; }
+
+ private:
+  core::RunResult result_;
+  std::size_t issued_ = 0;
+};
+
+TEST(ClusterGolden, StreamingObserverSeesTheFullLogs) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, golden_options());
+  const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+  const core::RunResult full = cluster.run(policy);
+  RecordingObserver observer;
+  cluster.run_streaming(policy, observer);
+  EXPECT_EQ(fingerprint(observer.result()), fingerprint(full));
+  EXPECT_EQ(observer.issued_calls(), full.reissues_issued);
+}
+
+}  // namespace
+}  // namespace reissue::sim

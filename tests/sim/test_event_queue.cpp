@@ -1,104 +1,162 @@
+// Ordering contract of the typed event core: events run in (time, seq)
+// order — time ties break in insertion order — run_until leaves later
+// events queued, and schedule() rejects past/non-finite times.  The queue
+// is generic over its payload; these tests drive it with int payloads and
+// with the simulator's POD SimEvent.
 #include "reissue/sim/event_queue.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
-
 #include <vector>
+
+#include "reissue/sim/event.hpp"
 
 namespace reissue::sim {
 namespace {
 
 TEST(EventQueue, RunsInTimeOrder) {
-  EventQueue q;
+  EventQueue<int> q;
   std::vector<int> order;
-  q.schedule(3.0, [&](double) { order.push_back(3); });
-  q.schedule(1.0, [&](double) { order.push_back(1); });
-  q.schedule(2.0, [&](double) { order.push_back(2); });
-  q.run_to_completion();
+  q.schedule(3.0, 3);
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  q.run_to_completion([&](int v, double) { order.push_back(v); });
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueue, TiesBreakInInsertionOrder) {
-  EventQueue q;
+  EventQueue<int> q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(5.0, [&order, i](double) { order.push_back(i); });
+    q.schedule(5.0, i);
   }
-  q.run_to_completion();
+  q.run_to_completion([&](int v, double) { order.push_back(v); });
+  ASSERT_EQ(order.size(), 10u);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
+TEST(EventQueue, ManyTiedEventsStayInInsertionOrderAcrossTimes) {
+  // Interleave two tied timestamps; each group must preserve insertion
+  // order regardless of heap internals.
+  EventQueue<int> q;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    q.schedule(i % 2 == 0 ? 1.0 : 2.0, i);
+  }
+  q.run_to_completion([&](int v, double) { order.push_back(v); });
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[i], 2 * i);           // all time-1.0 events first...
+    EXPECT_EQ(order[32 + i], 2 * i + 1);  // ...then the time-2.0 events
+  }
+}
+
 TEST(EventQueue, NowAdvancesWithEvents) {
-  EventQueue q;
-  q.schedule(2.5, [&](double now) { EXPECT_DOUBLE_EQ(now, 2.5); });
-  q.schedule(7.5, [&](double now) { EXPECT_DOUBLE_EQ(now, 7.5); });
-  const double end = q.run_to_completion();
+  EventQueue<int> q;
+  q.schedule(2.5, 0);
+  q.schedule(7.5, 1);
+  int fired = 0;
+  const double end = q.run_to_completion([&](int v, double now) {
+    ++fired;
+    if (v == 0) EXPECT_DOUBLE_EQ(now, 2.5);
+    if (v == 1) EXPECT_DOUBLE_EQ(now, 7.5);
+  });
+  EXPECT_EQ(fired, 2);
   EXPECT_DOUBLE_EQ(end, 7.5);
   EXPECT_DOUBLE_EQ(q.now(), 7.5);
   EXPECT_EQ(q.executed(), 2u);
 }
 
 TEST(EventQueue, EventsCanScheduleEvents) {
-  EventQueue q;
+  EventQueue<int> q;
   int fired = 0;
-  q.schedule(1.0, [&](double now) {
+  q.schedule(1.0, 0);
+  q.run_to_completion([&](int v, double now) {
     ++fired;
-    q.schedule(now + 1.0, [&](double) { ++fired; });
+    if (v == 0) q.schedule(now + 1.0, 1);
   });
-  q.run_to_completion();
   EXPECT_EQ(fired, 2);
   EXPECT_DOUBLE_EQ(q.now(), 2.0);
 }
 
 TEST(EventQueue, RejectsPastAndNonFiniteEvents) {
-  EventQueue q;
-  q.schedule(5.0, [](double) {});
-  q.run_to_completion();  // now == 5
-  EXPECT_THROW(q.schedule(4.0, [](double) {}), std::invalid_argument);
-  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(),
-                          [](double) {}),
+  EventQueue<int> q;
+  q.schedule(5.0, 0);
+  q.run_to_completion([](int, double) {});  // now == 5
+  EXPECT_THROW(q.schedule(4.0, 1), std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::infinity(), 1),
                std::invalid_argument);
-  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(),
-                          [](double) {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(), 1),
+               std::invalid_argument);
+  EXPECT_TRUE(q.empty());  // rejected events were not enqueued
 }
 
 TEST(EventQueue, RunUntilLeavesLaterEventsPending) {
-  EventQueue q;
+  EventQueue<int> q;
   int fired = 0;
-  q.schedule(1.0, [&](double) { ++fired; });
-  q.schedule(2.0, [&](double) { ++fired; });
-  q.schedule(10.0, [&](double) { ++fired; });
-  q.run_until(5.0);
+  const auto count = [&](int, double) { ++fired; };
+  q.schedule(1.0, 0);
+  q.schedule(2.0, 1);
+  q.schedule(10.0, 2);
+  q.run_until(5.0, count);
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(q.pending(), 1u);
-  q.run_to_completion();
+  q.run_to_completion(count);
   EXPECT_EQ(fired, 3);
 }
 
 TEST(EventQueue, StepExecutesExactlyOne) {
-  EventQueue q;
+  EventQueue<int> q;
   int fired = 0;
-  q.schedule(1.0, [&](double) { ++fired; });
-  q.schedule(2.0, [&](double) { ++fired; });
-  EXPECT_TRUE(q.step());
+  const auto count = [&](int, double) { ++fired; };
+  q.schedule(1.0, 0);
+  q.schedule(2.0, 1);
+  EXPECT_TRUE(q.step(count));
   EXPECT_EQ(fired, 1);
-  EXPECT_TRUE(q.step());
-  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.step(count));
+  EXPECT_FALSE(q.step(count));
   EXPECT_EQ(fired, 2);
 }
 
 TEST(EventQueue, SameTimeChainedSchedulingIsAllowed) {
-  // An event may schedule another event at the *same* timestamp.
-  EventQueue q;
+  // An event may schedule another event at the *same* timestamp; it runs
+  // after every previously queued event at that time.
+  EventQueue<int> q;
   std::vector<int> order;
-  q.schedule(1.0, [&](double now) {
-    order.push_back(1);
-    q.schedule(now, [&](double) { order.push_back(2); });
+  q.schedule(1.0, 1);
+  q.run_to_completion([&](int v, double now) {
+    order.push_back(v);
+    if (v == 1) q.schedule(now, 2);
   });
-  q.run_to_completion();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, CarriesTypedSimEvents) {
+  // The simulator's payload round-trips untouched through the heap.
+  EventQueue<SimEvent> q;
+  q.schedule(2.0, SimEvent::reissue_stage(/*query=*/42, /*stage=*/3));
+  q.schedule(1.0, SimEvent::interference_start(/*server=*/7, /*duration=*/9.5));
+  std::vector<SimEvent> seen;
+  q.run_to_completion(
+      [&](const SimEvent& ev, double) { seen.push_back(ev); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].kind, EventKind::kInterferenceStart);
+  EXPECT_EQ(seen[0].server(), 7u);
+  EXPECT_DOUBLE_EQ(seen[0].duration(), 9.5);
+  EXPECT_EQ(seen[1].kind, EventKind::kReissueStage);
+  EXPECT_EQ(seen[1].query(), 42u);
+  EXPECT_EQ(seen[1].stage, 3u);
+}
+
+TEST(EventQueue, ReserveDoesNotAffectSemantics) {
+  EventQueue<int> q;
+  q.reserve(1024);
+  std::vector<int> order;
+  for (int i = 9; i >= 0; --i) q.schedule(static_cast<double>(i), i);
+  q.run_to_completion([&](int v, double) { order.push_back(v); });
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
 }  // namespace

@@ -18,14 +18,15 @@ std::vector<Server> make_servers(std::size_t n) {
   return servers;
 }
 
-/// Loads server `idx` with `count` queued requests.
-void load_server(Server& server, EventQueue& events, std::size_t count) {
-  server.attach(&events, [](const Request&, double) {});
+/// Loads server `idx` with `count` outstanding requests (one in service,
+/// the rest queued), mirroring the old submit-while-busy behaviour.
+void load_server(Server& server, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) {
     Request r;
     r.query_id = i;
     r.service_time = 1000.0;  // effectively forever
-    server.submit(r, 0.0);
+    server.enqueue(r);
+    (void)server.try_start([](const Request&) { return false; }, 0.0);
   }
 }
 
@@ -78,10 +79,9 @@ TEST(RoundRobinBalancer, SkipsExcluded) {
 }
 
 TEST(MinOfTwoBalancer, PrefersShorterQueues) {
-  EventQueue events;
   auto servers = make_servers(2);
-  load_server(servers[0], events, 10);
-  load_server(servers[1], events, 0);
+  load_server(servers[0], 10);
+  load_server(servers[1], 0);
   auto lb = make_load_balancer(LoadBalancerKind::kMinOfTwo);
   stats::Xoshiro256 rng(6);
   int picked_idle = 0;
@@ -94,12 +94,11 @@ TEST(MinOfTwoBalancer, PrefersShorterQueues) {
 }
 
 TEST(MinOfAllBalancer, AlwaysPicksGlobalMinimum) {
-  EventQueue events;
   auto servers = make_servers(4);
-  load_server(servers[0], events, 5);
-  load_server(servers[1], events, 2);
-  load_server(servers[2], events, 7);
-  load_server(servers[3], events, 2);
+  load_server(servers[0], 5);
+  load_server(servers[1], 2);
+  load_server(servers[2], 7);
+  load_server(servers[3], 2);
   auto lb = make_load_balancer(LoadBalancerKind::kMinOfAll);
   stats::Xoshiro256 rng(7);
   for (int i = 0; i < 100; ++i) {
@@ -120,10 +119,9 @@ TEST(MinOfAllBalancer, SharesTiesRandomly) {
 }
 
 TEST(MinOfAllBalancer, RespectsExclusion) {
-  EventQueue events;
   auto servers = make_servers(3);
-  load_server(servers[1], events, 1);
-  load_server(servers[2], events, 1);
+  load_server(servers[1], 1);
+  load_server(servers[2], 1);
   // Server 0 is idle (global minimum) but excluded.
   auto lb = make_load_balancer(LoadBalancerKind::kMinOfAll);
   stats::Xoshiro256 rng(9);

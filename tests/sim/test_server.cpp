@@ -1,8 +1,14 @@
+// The passive server of the typed event core: the test plays the
+// Simulation's role, scheduling kCopyComplete events for every started
+// service and handing completions back through finish().
 #include "reissue/sim/server.hpp"
 
 #include <gtest/gtest.h>
 
 #include <vector>
+
+#include "reissue/sim/event.hpp"
+#include "reissue/sim/event_queue.hpp"
 
 namespace reissue::sim {
 namespace {
@@ -21,24 +27,52 @@ struct Completion {
   double at;
 };
 
+constexpr auto kNeverCancel = [](const Request&) { return false; };
+
+/// Minimal event-core harness around one server: submit() enqueues and
+/// starts idle service exactly as Simulation::submit_to_server does, and
+/// the dispatch loop completes copies and starts the next queued one.
 class ServerTest : public ::testing::Test {
  protected:
-  void attach(Server& server) {
-    server.attach(&events_, [this](const Request& r, double now) {
-      completions_.push_back({r.query_id, now});
+  template <typename CancelFn>
+  void submit(Server& server, const Request& request, double now,
+              CancelFn&& cancelled, double cancel_cost = 0.0) {
+    server.enqueue(request);
+    start_next(server, now, cancelled, cancel_cost);
+  }
+
+  void submit(Server& server, const Request& request, double now) {
+    submit(server, request, now, kNeverCancel);
+  }
+
+  template <typename CancelFn>
+  void start_next(Server& server, double now, CancelFn&& cancelled,
+                  double cancel_cost) {
+    if (const auto started = server.try_start(cancelled, cancel_cost)) {
+      events_.schedule(now + started->cost, SimEvent::copy_complete(0));
+    }
+  }
+
+  template <typename CancelFn>
+  void run(Server& server, CancelFn&& cancelled, double cancel_cost = 0.0) {
+    events_.run_to_completion([&](const SimEvent&, double now) {
+      const Request done = server.finish();
+      completions_.push_back({done.query_id, now});
+      start_next(server, now, cancelled, cancel_cost);
     });
   }
 
-  EventQueue events_;
+  void run(Server& server) { run(server, kNeverCancel); }
+
+  EventQueue<SimEvent> events_;
   std::vector<Completion> completions_;
 };
 
 TEST_F(ServerTest, ServesSingleRequest) {
   Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  attach(server);
-  server.submit(make_request(1, 5.0), 0.0);
+  submit(server, make_request(1, 5.0), 0.0);
   EXPECT_TRUE(server.busy());
-  events_.run_to_completion();
+  run(server);
   ASSERT_EQ(completions_.size(), 1u);
   EXPECT_EQ(completions_[0].id, 1u);
   EXPECT_DOUBLE_EQ(completions_[0].at, 5.0);
@@ -49,12 +83,11 @@ TEST_F(ServerTest, ServesSingleRequest) {
 
 TEST_F(ServerTest, QueuedRequestsServeBackToBack) {
   Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  attach(server);
-  server.submit(make_request(1, 3.0), 0.0);
-  server.submit(make_request(2, 4.0), 0.0);
+  submit(server, make_request(1, 3.0), 0.0);
+  submit(server, make_request(2, 4.0), 0.0);
   EXPECT_EQ(server.queue_length(), 1u);
   EXPECT_EQ(server.load(), 2u);
-  events_.run_to_completion();
+  run(server);
   ASSERT_EQ(completions_.size(), 2u);
   EXPECT_DOUBLE_EQ(completions_[0].at, 3.0);
   EXPECT_DOUBLE_EQ(completions_[1].at, 7.0);
@@ -63,28 +96,33 @@ TEST_F(ServerTest, QueuedRequestsServeBackToBack) {
 
 TEST_F(ServerTest, IdleGapsDoNotAccrueBusyTime) {
   Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  attach(server);
-  server.submit(make_request(1, 2.0), 0.0);
-  events_.run_to_completion();
-  // Submit again much later (manually advance via a scheduled event).
-  events_.schedule(10.0, [&](double now) {
-    server.submit(make_request(2, 3.0), now);
-  });
-  events_.run_to_completion();
+  submit(server, make_request(1, 2.0), 0.0);
+  run(server);
+  // Submit again much later: only serving accrues busy time.
+  submit(server, make_request(2, 3.0), 10.0);
+  run(server);
   EXPECT_DOUBLE_EQ(server.busy_time(), 5.0);
   EXPECT_DOUBLE_EQ(completions_[1].at, 13.0);
 }
 
-TEST_F(ServerTest, SubmitBeforeAttachThrows) {
+TEST_F(ServerTest, TryStartWhileBusyReturnsNothing) {
   Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  EXPECT_THROW(server.submit(make_request(1, 1.0), 0.0), std::logic_error);
+  submit(server, make_request(1, 5.0), 0.0);
+  server.enqueue(make_request(2, 1.0));
+  EXPECT_FALSE(server.try_start(kNeverCancel, 0.0).has_value());
+  EXPECT_EQ(server.queue_length(), 1u);
+}
+
+TEST_F(ServerTest, TryStartOnEmptyQueueReturnsNothing) {
+  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
+  EXPECT_FALSE(server.try_start(kNeverCancel, 0.0).has_value());
+  EXPECT_FALSE(server.busy());
 }
 
 TEST_F(ServerTest, ZeroServiceTimeCompletesImmediately) {
   Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  attach(server);
-  server.submit(make_request(1, 0.0), 1.0);
-  events_.run_to_completion();
+  submit(server, make_request(1, 0.0), 1.0);
+  run(server);
   ASSERT_EQ(completions_.size(), 1u);
   EXPECT_DOUBLE_EQ(completions_[0].at, 1.0);
 }
@@ -92,13 +130,12 @@ TEST_F(ServerTest, ZeroServiceTimeCompletesImmediately) {
 TEST_F(ServerTest, PrioritizedQueueReordersUnderServer) {
   Server server(0,
                 make_queue_discipline(QueueDisciplineKind::kPrioritizedFifo));
-  attach(server);
   // While request 1 is in service, a reissue then a primary arrive; the
   // primary must be served first.
-  server.submit(make_request(1, 10.0), 0.0);
-  server.submit(make_request(2, 1.0, CopyKind::kReissue), 0.0);
-  server.submit(make_request(3, 1.0, CopyKind::kPrimary), 0.0);
-  events_.run_to_completion();
+  submit(server, make_request(1, 10.0), 0.0);
+  submit(server, make_request(2, 1.0, CopyKind::kReissue), 0.0);
+  submit(server, make_request(3, 1.0, CopyKind::kPrimary), 0.0);
+  run(server);
   ASSERT_EQ(completions_.size(), 3u);
   EXPECT_EQ(completions_[1].id, 3u);
   EXPECT_EQ(completions_[2].id, 2u);
@@ -106,26 +143,20 @@ TEST_F(ServerTest, PrioritizedQueueReordersUnderServer) {
 
 TEST_F(ServerTest, CancellationChargesOverheadOnly) {
   Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  attach(server);
-  bool cancel_second = true;
-  server.set_cancellation(
-      [&](const Request& r) { return cancel_second && r.query_id == 2; },
-      /*cancel_cost=*/0.5);
-  server.submit(make_request(1, 4.0), 0.0);
-  server.submit(make_request(2, 100.0), 0.0);  // will be cancelled at pop
-  server.submit(make_request(3, 2.0), 0.0);
-  events_.run_to_completion();
+  const auto cancel_second = [](const Request& r) { return r.query_id == 2; };
+  constexpr double kOverhead = 0.5;
+  submit(server, make_request(1, 4.0), 0.0, cancel_second, kOverhead);
+  submit(server, make_request(2, 100.0), 0.0, cancel_second, kOverhead);
+  submit(server, make_request(3, 2.0), 0.0, cancel_second, kOverhead);
+  run(server, cancel_second, kOverhead);
   ASSERT_EQ(completions_.size(), 3u);
   EXPECT_DOUBLE_EQ(completions_[1].at, 4.5);  // 4.0 + 0.5 overhead
   EXPECT_DOUBLE_EQ(completions_[2].at, 6.5);
   EXPECT_DOUBLE_EQ(server.busy_time(), 6.5);
 }
 
-TEST_F(ServerTest, NegativeCancellationCostRejected) {
-  Server server(0, make_queue_discipline(QueueDisciplineKind::kFifo));
-  EXPECT_THROW(server.set_cancellation([](const Request&) { return true; },
-                                       -1.0),
-               std::invalid_argument);
+TEST_F(ServerTest, RequiresAQueueDiscipline) {
+  EXPECT_THROW(Server(0, nullptr), std::invalid_argument);
 }
 
 }  // namespace

@@ -79,6 +79,27 @@ TEST(EmpiricalCdf, CdfIsMonotone) {
   }
 }
 
+TEST(EmpiricalCdf, SpanConstructorLeavesSourceIntactAndAgrees) {
+  const std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+  const EmpiricalCdf from_span{std::span<const double>(samples)};
+  const EmpiricalCdf from_vector(samples);
+  EXPECT_EQ(samples[0], 5.0);  // borrowed view: source untouched
+  EXPECT_EQ(from_span.size(), from_vector.size());
+  EXPECT_DOUBLE_EQ(from_span.quantile(0.5), from_vector.quantile(0.5));
+  EXPECT_DOUBLE_EQ(from_span.mean(), from_vector.mean());
+}
+
+TEST(EmpiricalCdf, FromSortedSkipsTheSortButMatches) {
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  const EmpiricalCdf direct = EmpiricalCdf::from_sorted(sorted);
+  const EmpiricalCdf resorted(std::vector<double>{5.0, 4.0, 3.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(direct.quantile(0.8), resorted.quantile(0.8));
+  EXPECT_DOUBLE_EQ(direct.cdf(2.5), resorted.cdf(2.5));
+  EXPECT_DOUBLE_EQ(direct.mean(), resorted.mean());
+  EXPECT_DOUBLE_EQ(direct.stddev(), resorted.stddev());
+  EXPECT_THROW((void)EmpiricalCdf::from_sorted({}), std::invalid_argument);
+}
+
 TEST(EmpiricalCdf, QuantileInvertsCdfOnSamples) {
   Xoshiro256 rng(7);
   std::vector<double> samples;

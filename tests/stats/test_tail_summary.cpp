@@ -1,0 +1,138 @@
+#include "reissue/stats/tail_summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "reissue/stats/ecdf.hpp"
+#include "reissue/stats/rng.hpp"
+#include "reissue/stats/summary.hpp"
+
+namespace reissue::stats {
+namespace {
+
+TEST(TailSummary, RejectsBadParameters) {
+  EXPECT_THROW(TailSummary(0.0), std::invalid_argument);
+  EXPECT_THROW(TailSummary(1.0), std::invalid_argument);
+  EXPECT_THROW(TailSummary(0.99, 0.0), std::invalid_argument);
+  EXPECT_THROW(TailSummary(0.99, 0.7), std::invalid_argument);
+  TailSummary ok(0.99);
+  EXPECT_THROW((void)ok.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)ok.quantile(1.1), std::invalid_argument);
+}
+
+TEST(TailSummary, EmptySummaryIsZero) {
+  const TailSummary ts(0.99);
+  EXPECT_EQ(ts.count(), 0u);
+  EXPECT_DOUBLE_EQ(ts.quantile(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+}
+
+TEST(TailSummary, MomentsAreExact) {
+  TailSummary ts(0.5);
+  for (double x : {4.0, 1.0, 9.0, 16.0}) ts.add(x);
+  EXPECT_EQ(ts.count(), 4u);
+  EXPECT_DOUBLE_EQ(ts.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(ts.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 16.0);
+}
+
+TEST(TailSummary, QuantileWithinRelativeErrorOfExact) {
+  // Heavy-tailed sample spanning several decades — the regime the
+  // streaming sweeps run in.
+  Xoshiro256 rng(42);
+  constexpr double kRelErr = 1e-3;
+  TailSummary ts(0.99, kRelErr);
+  std::vector<double> values;
+  values.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = 2.0 * std::pow(rng.uniform_pos(), -1.0 / 1.1);
+    ts.add(x);
+    values.push_back(x);
+  }
+  // Same nearest-rank convention (ceil(p*n)) as TailSummary::quantile;
+  // going through percentile(p*100) would shift the rank by one at exact
+  // boundaries (p*100/100 != p in floating point).
+  const EmpiricalCdf cdf(values);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = cdf.quantile(p);
+    const double estimate = ts.quantile(p);
+    // The table-interpolated bucket index adds < 1e-5 in log2 on top of
+    // the bucket width.
+    EXPECT_NEAR(estimate, exact, exact * (2.5 * kRelErr))
+        << "p=" << p;
+    EXPECT_GE(estimate, ts.min());
+    EXPECT_LE(estimate, ts.max());
+  }
+}
+
+TEST(TailSummary, PSquareTracksTheConfiguredPercentile) {
+  TailSummary ts(0.9);
+  PSquareQuantile reference(0.9);
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = -std::log(rng.uniform_pos()) * 10.0;
+    ts.add(x);
+    reference.add(x);
+  }
+  EXPECT_DOUBLE_EQ(ts.psquare(), reference.estimate());
+}
+
+TEST(TailSummary, DeterministicForIdenticalStreams) {
+  TailSummary a(0.99);
+  TailSummary b(0.99);
+  Xoshiro256 rng_a(3);
+  Xoshiro256 rng_b(3);
+  for (int i = 0; i < 50000; ++i) {
+    a.add(1.0 + 100.0 * rng_a.uniform());
+    b.add(1.0 + 100.0 * rng_b.uniform());
+  }
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_DOUBLE_EQ(a.quantile(), b.quantile());
+  EXPECT_DOUBLE_EQ(a.psquare(), b.psquare());
+  EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+}
+
+TEST(TailSummary, HandlesNonPositiveObservations) {
+  TailSummary ts(0.5);
+  ts.add(0.0);
+  ts.add(-1.0);
+  ts.add(5.0);
+  EXPECT_EQ(ts.count(), 3u);
+  EXPECT_DOUBLE_EQ(ts.mean(), 4.0 / 3.0);
+  // Median rank 2 lands in the non-positive mass: reported as the min.
+  EXPECT_DOUBLE_EQ(ts.quantile(0.5), -1.0);
+  EXPECT_DOUBLE_EQ(ts.quantile(1.0), 5.0);
+}
+
+TEST(TailSummary, ExtremeMagnitudesStayBounded) {
+  TailSummary ts(0.5);
+  for (double x : {1e-12, 1e-3, 1.0, 1e6, 1e12}) ts.add(x);
+  const double q = ts.quantile(0.5);
+  EXPECT_NEAR(q, 1.0, 1e-2);
+  EXPECT_DOUBLE_EQ(ts.quantile(1.0), 1e12);
+  // Subnormal input takes the slow path but must not crash or misorder.
+  ts.add(5e-324);
+  EXPECT_DOUBLE_EQ(ts.min(), 5e-324);
+}
+
+TEST(TailSummary, NearestRankMatchesEmpiricalConvention) {
+  // Exactly representable values, one per bucket: the nearest-rank walk
+  // must agree with stats::percentile.
+  TailSummary ts(0.5, 1e-4);
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) {
+    ts.add(static_cast<double>(i));
+    values.push_back(static_cast<double>(i));
+  }
+  const EmpiricalCdf cdf(values);
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    const double exact = cdf.quantile(p);
+    EXPECT_NEAR(ts.quantile(p), exact, exact * 3e-4) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace reissue::stats
