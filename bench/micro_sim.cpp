@@ -1,9 +1,12 @@
-// Microbenchmarks for the discrete-event simulation substrate: raw typed-
-// event throughput, full cluster-run cost, and the experiment engine's
-// replication pipeline (the unit of work every sweep cell repeats) in full
-// vs streaming log mode at deep-tail scale.  The queries/sec counter is
-// the figure recorded in BENCH_sim_throughput.json.
+// Microbenchmarks for the discrete-event simulation substrate: per-
+// distribution sampling (scalar vs batched inverse-CDF transforms), raw
+// typed-event throughput, full cluster-run cost, and the experiment
+// engine's replication pipeline (the unit of work every sweep cell
+// repeats) in full vs streaming log mode at deep-tail scale.  The
+// queries/sec counter is the figure recorded in BENCH_sim_throughput.json.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "reissue/exp/runner.hpp"
 #include "reissue/exp/scenario.hpp"
@@ -11,10 +14,68 @@
 #include "reissue/sim/event.hpp"
 #include "reissue/sim/event_queue.hpp"
 #include "reissue/sim/workloads.hpp"
+#include "reissue/stats/distributions.hpp"
 
 using namespace reissue;
 
 namespace {
+
+// --------------------------------------------------- sampling pipeline
+
+/// The nine distribution families behind every service/arrival draw.  The
+/// scalar/batch pair measures what Distribution::sample_batch buys: the
+/// same RNG and libm work, minus the per-draw dependency chain.
+stats::DistributionPtr bench_distribution(int family) {
+  switch (family) {
+    case 0: return stats::make_pareto(1.1, 2.0);
+    case 1: return stats::make_lognormal(1.0, 1.0);
+    case 2: return stats::make_exponential(0.1);
+    case 3: return stats::make_weibull(0.8, 2.0);
+    case 4: return stats::make_uniform(1.0, 9.0);
+    case 5: return stats::make_constant(5.0);
+    case 6: return stats::make_truncated(stats::make_pareto(1.1, 2.0), 5000.0);
+    case 7: return stats::make_shifted(stats::make_exponential(0.5), 3.0);
+    default: {
+      std::vector<double> samples;
+      for (int i = 0; i < 1024; ++i) samples.push_back(0.5 * i);
+      return stats::make_empirical(std::move(samples));
+    }
+  }
+}
+
+constexpr const char* kFamilyNames[] = {
+    "pareto",    "lognormal", "exp",     "weibull",  "uniform",
+    "constant",  "trunc",     "shifted", "empirical"};
+
+void BM_SampleScalar(benchmark::State& state) {
+  const auto dist = bench_distribution(static_cast<int>(state.range(0)));
+  stats::Xoshiro256 rng(0x5eed);
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    for (double& v : out) v = dist->sample(rng);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(out.size()));
+  state.SetLabel(kFamilyNames[state.range(0)]);
+}
+BENCHMARK(BM_SampleScalar)->DenseRange(0, 8);
+
+void BM_SampleBatch(benchmark::State& state) {
+  const auto dist = bench_distribution(static_cast<int>(state.range(0)));
+  stats::Xoshiro256 rng(0x5eed);
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    dist->sample_batch(out, rng);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(out.size()));
+  state.SetLabel(kFamilyNames[state.range(0)]);
+}
+BENCHMARK(BM_SampleBatch)->DenseRange(0, 8);
 
 void BM_EventQueueChurn(benchmark::State& state) {
   // Schedule/execute cycles through a rolling horizon.

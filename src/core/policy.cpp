@@ -1,6 +1,7 @@
 #include "reissue/core/policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,8 +10,10 @@ namespace reissue::core {
 namespace {
 
 void validate_stage(const ReissueStage& s) {
-  if (s.delay < 0.0) {
-    throw std::invalid_argument("reissue delay must be >= 0");
+  // The negated form also rejects NaN; infinities would silently poison
+  // the simulator's (time, seq) event order downstream.
+  if (!(s.delay >= 0.0) || !std::isfinite(s.delay)) {
+    throw std::invalid_argument("reissue delay must be finite and >= 0");
   }
   if (!(s.probability >= 0.0 && s.probability <= 1.0)) {
     throw std::invalid_argument("reissue probability must be in [0,1]");

@@ -98,9 +98,13 @@ struct ScenarioSpec {
   sim::QueueDisciplineKind queue = sim::QueueDisciplineKind::kFifo;
 
   /// Service-time distribution, e.g. "pareto:1.1:2", "lognormal:1:1",
-  /// "exp:0.1", "weibull:0.5:10", "uniform:1:9", "constant:5".
-  /// Ignored by the redis/lucene kinds (their traces come from executed
-  /// engine work).
+  /// "exp:0.1", "weibull:0.5:10", "uniform:1:9", "constant:5" — or
+  /// "trace:<file>" (queueing kind only) to replay a measured service-time
+  /// log (core::policy_io latency-log format, one value per line) through
+  /// sim::make_trace_service: query i costs trace[i mod n], and reissue
+  /// copies repeat their primary's cost, so production logs sweep exactly
+  /// like synthetic distributions.  Ignored by the redis/lucene kinds
+  /// (their traces come from executed engine work).
   std::string service = "pareto:1.1:2";
   /// Truncation cap on service draws (0 = uncapped).
   double service_cap = 5000.0;
@@ -138,6 +142,12 @@ struct ScenarioSpec {
 
 /// Parses a distribution token ("pareto:1.1:2", ...).  Shared with tests.
 [[nodiscard]] stats::DistributionPtr parse_distribution(std::string_view token);
+
+/// Loads the service-time log behind a "trace:<file>" service source: the
+/// core::policy_io latency-log format (one non-negative double per line,
+/// blank lines and '#' comments allowed).  Throws std::runtime_error
+/// naming the path on I/O errors, malformed entries, or an empty log.
+[[nodiscard]] std::vector<double> load_service_trace(const std::string& path);
 
 /// Builds the scenario's system.  Construction is deterministic in
 /// (spec, seed); the result supports SystemUnderTest::reseed, which the

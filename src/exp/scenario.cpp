@@ -1,10 +1,14 @@
 #include "reissue/exp/scenario.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <fstream>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
+#include "reissue/core/policy_io.hpp"
 #include "reissue/sim/cluster.hpp"
 #include "reissue/sim/service_model.hpp"
 #include "reissue/sim/workloads.hpp"
@@ -122,6 +126,14 @@ bool kind_is_queueing(WorkloadKind kind) {
   return kind == WorkloadKind::kQueueing;
 }
 
+bool is_trace_service(std::string_view service) {
+  return service.rfind("trace:", 0) == 0;
+}
+
+std::string_view trace_path(std::string_view service) {
+  return service.substr(6);  // after "trace:"
+}
+
 bool key_applies(const std::string& key, WorkloadKind kind) {
   if (key == "util" || key == "servers") return kind_has_finite_servers(kind);
   if (key == "ratio") return kind_has_ratio(kind);
@@ -159,6 +171,17 @@ void validate(const ScenarioSpec& spec) {
     if (!(phase.duration > 0.0) || !(phase.multiplier > 0.0)) {
       throw std::runtime_error(
           "scenario spec: phases need positive duration and multiplier");
+    }
+  }
+  if (is_trace_service(spec.service)) {
+    if (trace_path(spec.service).empty()) {
+      throw std::runtime_error("scenario spec: service=trace:<file> needs a "
+                               "file path");
+    }
+    if (spec.kind != WorkloadKind::kQueueing) {
+      throw std::runtime_error(
+          "scenario spec: service=trace:<file> requires kind=queueing "
+          "(got kind " + to_string(spec.kind) + ")");
     }
   }
 }
@@ -305,7 +328,11 @@ std::string to_spec_string(const ScenarioSpec& spec) {
   if (kind_has_finite_servers(spec.kind)) {
     os << " util=" << fmt(spec.utilization);
   }
-  if (kind_has_ratio(spec.kind)) os << " ratio=" << fmt(spec.ratio);
+  // Trace replay pins reissue copies to their primary's cost; emitting the
+  // inapplicable ratio key would make the string unparseable.
+  if (kind_has_ratio(spec.kind) && !is_trace_service(spec.service)) {
+    os << " ratio=" << fmt(spec.ratio);
+  }
   if (kind_has_finite_servers(spec.kind)) os << " servers=" << spec.servers;
   os << " queries=" << spec.queries;
   os << " warmup=" << spec.warmup;
@@ -382,7 +409,9 @@ ScenarioSpec parse_scenario(std::string_view text) {
       spec.queue = queue_from_token(value);
     } else if (key == "service") {
       spec.service = value;
-      (void)parse_distribution(value);  // fail fast on bad tokens
+      // Fail fast on bad tokens; trace paths are only checked for shape
+      // here (the file itself is read by make_system, where it must exist).
+      if (!is_trace_service(value)) (void)parse_distribution(value);
     } else if (key == "cap") {
       spec.service_cap = parse_num("scenario spec cap", value);
     } else if (key == "interference") {
@@ -424,6 +453,14 @@ ScenarioSpec parse_scenario(std::string_view text) {
       throw std::runtime_error("scenario spec: key '" + key +
                                "' does not apply to kind " +
                                to_string(spec.kind));
+    }
+    // Trace replay pins reissue copies to their primary's cost, so a
+    // correlation ratio would be silently ignored — reject it like any
+    // other inapplicable knob.
+    if (key == "ratio" && is_trace_service(spec.service)) {
+      throw std::runtime_error(
+          "scenario spec: ratio does not apply to service=trace:<file> "
+          "(reissue copies replay their primary's cost)");
     }
   }
   validate(spec);
@@ -471,6 +508,24 @@ stats::DistributionPtr parse_distribution(std::string_view token) {
   throw std::runtime_error(
       "distribution '" + std::string(token) +
       "': unknown family (want pareto|lognormal|exp|weibull|uniform|constant)");
+}
+
+std::vector<double> load_service_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("service trace '" + path + "': cannot open file");
+  }
+  std::vector<double> trace;
+  try {
+    trace = core::read_latency_log(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error("service trace '" + path + "': " +
+                             std::string(e.what()));
+  }
+  if (trace.empty()) {
+    throw std::runtime_error("service trace '" + path + "': no samples");
+  }
+  return trace;
 }
 
 namespace {
@@ -525,7 +580,6 @@ std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
       return std::make_unique<sim::Cluster>(config, std::move(model));
     }
     case WorkloadKind::kQueueing: {
-      auto dist = service_distribution(spec);
       sim::ClusterConfig config;
       config.servers = spec.servers;
       config.queries = spec.queries;
@@ -533,8 +587,28 @@ std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
       config.seed = seed;
       config.load_balancer = spec.load_balancer;
       config.queue = spec.queue;
-      config.arrival_rate = sim::arrival_rate_for_utilization(
-          spec.utilization, spec.servers, service_mean(*dist));
+      std::shared_ptr<sim::ServiceModel> model;
+      if (is_trace_service(spec.service)) {
+        // Trace replay (ROADMAP trace-replay item): a measured latency log
+        // becomes the per-query service times, capped like any synthetic
+        // service, with arrivals paced off the capped trace mean.
+        auto trace =
+            load_service_trace(std::string(trace_path(spec.service)));
+        if (spec.service_cap > 0.0) {
+          for (double& v : trace) v = std::min(v, spec.service_cap);
+        }
+        const double mean =
+            std::accumulate(trace.begin(), trace.end(), 0.0) /
+            static_cast<double>(trace.size());
+        config.arrival_rate = sim::arrival_rate_for_utilization(
+            spec.utilization, spec.servers, mean);
+        model = sim::make_trace_service(std::move(trace));
+      } else {
+        auto dist = service_distribution(spec);
+        config.arrival_rate = sim::arrival_rate_for_utilization(
+            spec.utilization, spec.servers, service_mean(*dist));
+        model = service_model(spec, std::move(dist));
+      }
       for (const auto& phase : spec.phases) {
         config.arrival_phases.push_back(
             sim::ClusterConfig::RatePhase{phase.duration, phase.multiplier});
@@ -548,7 +622,7 @@ std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
         config.interference_duration = stats::make_lognormal(
             std::log(spec.interference_mean) - 0.5 * kSigma * kSigma, kSigma);
       }
-      return std::make_unique<sim::Cluster>(config, service_model(spec, dist));
+      return std::make_unique<sim::Cluster>(config, std::move(model));
     }
     case WorkloadKind::kRedis:
     case WorkloadKind::kLucene: {

@@ -1,6 +1,8 @@
 #include "reissue/sim/cluster.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -25,6 +27,11 @@ double arrival_rate_for_utilization(double utilization, std::size_t servers,
 void validate(const ClusterConfig& config) {
   if (config.queries == 0) {
     throw std::invalid_argument("Cluster: queries must be > 0");
+  }
+  // Requests carry 32-bit query ids (sim/request.hpp); the all-ones id is
+  // reserved for background interference copies.
+  if (config.queries >= std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("Cluster: queries must fit in 32 bits");
   }
   if (config.warmup >= config.queries) {
     throw std::invalid_argument("Cluster: warmup must be < queries");

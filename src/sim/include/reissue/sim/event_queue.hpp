@@ -64,6 +64,14 @@ class EventQueue {
     return EventKey{time, next_seq_++};
   }
 
+  /// claim_key without the validation, for internal callers whose times
+  /// are finite and non-decreasing by construction (now + a non-negative
+  /// cost/delay).  The invariant is asserted, not checked.
+  [[nodiscard]] EventKey claim_key_trusted(double time) noexcept {
+    assert(std::isfinite(time) && time >= now_);
+    return EventKey{time, next_seq_++};
+  }
+
   /// Key of the earliest queued event; meaningless when empty().
   [[nodiscard]] EventKey peek_key() const noexcept {
     return heap_.empty() ? EventKey{} : EventKey{heap_.front().time,

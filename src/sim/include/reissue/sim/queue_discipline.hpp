@@ -22,10 +22,54 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "reissue/sim/request.hpp"
 
 namespace reissue::sim {
+
+namespace detail {
+
+/// Growable power-of-two ring of Requests.  Replaces std::deque on the
+/// server-queue hot path: contiguous storage, no per-segment allocation,
+/// and push/pop are an index mask away from a plain array store — the
+/// discipline pop order (front or back) is exactly the deque's.  Shared
+/// by the FIFO-family disciplines and by Server's inline plain-FIFO fast
+/// path.
+class RequestRing {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tail_ - head_; }
+
+  void push_back(const Request& request) {
+    if (tail_ - head_ == buf_.size()) grow();
+    buf_[tail_++ & mask_] = request;
+  }
+
+  [[nodiscard]] Request pop_front() noexcept { return buf_[head_++ & mask_]; }
+  [[nodiscard]] Request pop_back() noexcept { return buf_[--tail_ & mask_]; }
+
+ private:
+  void grow() {
+    const std::size_t count = tail_ - head_;
+    std::vector<Request> next(buf_.empty() ? 16 : buf_.size() * 2);
+    for (std::size_t i = 0; i < count; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    mask_ = buf_.size() - 1;
+    head_ = 0;
+    tail_ = count;
+  }
+
+  std::vector<Request> buf_;
+  // Monotone cursors; physical index = cursor & mask_.
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace detail
 
 enum class QueueDisciplineKind {
   kFifo,
@@ -58,6 +102,12 @@ class QueueDiscipline {
   [[nodiscard]] virtual bool bypassable_when_empty() const noexcept {
     return false;
   }
+
+  /// True when the discipline is a plain single FIFO with no extra state,
+  /// i.e. push/pop are exactly RequestRing push_back/pop_front.  Lets the
+  /// server inline the queue operations instead of dispatching virtually
+  /// on every enqueue and service start (the hottest queue path).
+  [[nodiscard]] virtual bool plain_fifo() const noexcept { return false; }
 };
 
 /// Fresh instance of the given discipline (one per server).

@@ -15,18 +15,23 @@ enum class CopyKind : std::uint8_t {
   kBackground,
 };
 
+/// 32 bytes: requests are copied through queue disciplines and server
+/// slots on every dispatch, so the layout packs doubles first.  Query ids
+/// are 32-bit here (ClusterConfig validation caps queries accordingly);
+/// background copies carry the all-ones id and are recognized by kind
+/// before the id is ever used.
 struct Request {
-  std::uint64_t query_id = 0;
-  CopyKind kind = CopyKind::kPrimary;
-  /// 0 for the primary copy; 1-based index into the query's issued
-  /// reissue copies otherwise.
-  std::uint32_t copy_index = 0;
   /// Absolute simulation time this copy was handed to the load balancer.
   double dispatch_time = 0.0;
   /// Intrinsic service cost (time units on a server).
   double service_time = 0.0;
+  std::uint32_t query_id = 0;
+  /// 0 for the primary copy; 1-based index into the query's issued
+  /// reissue copies otherwise.
+  std::uint32_t copy_index = 0;
   /// Client connection index (round-robin-connection queueing only).
   std::uint32_t connection = 0;
+  CopyKind kind = CopyKind::kPrimary;
 };
 
 }  // namespace reissue::sim

@@ -21,28 +21,28 @@
 
 namespace reissue::sim {
 
-/// A copy that just entered service: the caller schedules its completion
-/// at start time + `cost`.
-struct ServiceStart {
-  Request request;
-  double cost = 0.0;
-};
-
 class Server {
  public:
   Server(std::size_t id, std::unique_ptr<QueueDiscipline> queue)
       : id_(id), queue_(std::move(queue)) {
     if (!queue_) throw std::invalid_argument("Server requires a queue");
     bypassable_ = queue_->bypassable_when_empty();
+    fifo_ = queue_->plain_fifo();
   }
 
   Server(Server&&) noexcept = default;
   Server& operator=(Server&&) noexcept = default;
 
   /// Accepts a copy into the queue discipline.  Callers follow up with
-  /// try_start() to begin service if the server is idle.
+  /// try_start() to begin service if the server is idle.  Plain-FIFO
+  /// disciplines are served from an inline ring with identical order, so
+  /// the per-copy virtual push/pop disappears from the hot path.
   void enqueue(const Request& request) {
-    queue_->push(request);
+    if (fifo_) {
+      ring_.push_back(request);
+    } else {
+      queue_->push(request);
+    }
     ++queued_;
   }
 
@@ -70,35 +70,38 @@ class Server {
   }
 
   /// If idle and work is queued, pops the next copy through the
-  /// discipline, marks the server busy and returns the started service.
-  /// `cancelled(request)` is consulted at service start (the lazy-
-  /// cancellation extension, cf. Lee et al. [20]): returning true replaces
-  /// the copy's service time with `cancel_cost` (must be >= 0).  Returns
-  /// nullopt when already busy or nothing is queued.
+  /// discipline, marks the server busy and returns the started service
+  /// cost (the caller schedules completion at now + cost; the copy itself
+  /// is `current()`).  `cancelled(request)` is consulted at service start
+  /// (the lazy-cancellation extension, cf. Lee et al. [20]): returning
+  /// true replaces the copy's service time with `cancel_cost` (must be
+  /// >= 0).  Returns nullopt when already busy or nothing is queued.
   template <typename CancelFn>
-  [[nodiscard]] std::optional<ServiceStart> try_start(CancelFn&& cancelled,
-                                                      double cancel_cost) {
+  [[nodiscard]] std::optional<double> try_start(CancelFn&& cancelled,
+                                                double cancel_cost) {
     assert(cancel_cost >= 0.0);
     if (busy_ || queued_ == 0) return std::nullopt;
-    ServiceStart start;
-    start.request = queue_->pop();
+    current_ = fifo_ ? ring_.pop_front() : queue_->pop();
     --queued_;
-    start.cost =
-        cancelled(start.request) ? cancel_cost : start.request.service_time;
+    const double cost =
+        cancelled(current_) ? cancel_cost : current_.service_time;
     busy_ = true;
-    busy_time_ += start.cost;
-    current_ = start.request;
-    return start;
+    busy_time_ += cost;
+    return cost;
   }
 
   /// Completes the in-service copy (the caller's kCopyComplete event fired)
-  /// and returns it; the server becomes idle.  Precondition: busy().
-  Request finish() {
+  /// and returns it; the server becomes idle.  The reference stays valid
+  /// until the next service start.  Precondition: busy().
+  const Request& finish() {
     assert(busy_);
     busy_ = false;
     ++completed_;
     return current_;
   }
+
+  /// The copy in service (or the last one served when idle).
+  [[nodiscard]] const Request& current() const noexcept { return current_; }
 
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
   [[nodiscard]] bool busy() const noexcept { return busy_; }
@@ -121,11 +124,15 @@ class Server {
  private:
   std::size_t id_;
   std::unique_ptr<QueueDiscipline> queue_;
+  /// Inline queue storage when the discipline is a plain FIFO (fifo_);
+  /// queue_ then never sees a request.
+  detail::RequestRing ring_;
   Request current_{};
-  /// Mirrors queue_->size() so load checks skip the virtual call.
+  /// Mirrors the queued-copy count so load checks skip the virtual call.
   std::size_t queued_ = 0;
   bool busy_ = false;
   bool bypassable_ = false;
+  bool fifo_ = false;
   double busy_time_ = 0.0;
   std::size_t completed_ = 0;
 };

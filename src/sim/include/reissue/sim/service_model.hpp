@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,26 @@ namespace reissue::sim {
 
 class ServiceModel {
  public:
+  /// How the model consumes its service RNG stream.  This is the contract
+  /// that decides whether Simulation may draw service values ahead of
+  /// event order (see simulation.cpp): batching is only bit-identical to
+  /// the scalar event-time draws if moving a draw earlier cannot change
+  /// its value.
+  enum class DrawOrder {
+    /// Unknown consumption pattern: primary()/reissue() must be called at
+    /// event time, in event order.  Safe default for external models.
+    kOpaque,
+    /// primary() and reissue() each consume exactly one draw of one shared
+    /// sample stream, and the k-th draw of that stream has the same value
+    /// whichever call consumes it.  draw_batch()/primary_from_draw()/
+    /// reissue_from_draw() expose the stream for batched refills.
+    kSharedStream,
+    /// reissue() consumes no RNG, so the service stream is consumed by
+    /// primary() alone, in query-id (= arrival) order, and every primary
+    /// can be pre-drawn with primary_batch().
+    kPrimaryOnly,
+  };
+
   virtual ~ServiceModel() = default;
 
   /// Service time of the primary copy of query `query_id`.
@@ -36,6 +57,41 @@ class ServiceModel {
   [[nodiscard]] virtual double reissue(std::uint64_t query_id,
                                        double primary_service,
                                        stats::Xoshiro256& rng) = 0;
+
+  /// Batch equivalent of calling primary() for the consecutive query ids
+  /// [first_query, first_query + out.size()), bit-identical draw-for-draw.
+  /// The default is that scalar loop; models whose distributions support
+  /// Distribution::sample_batch override it so the libm transforms
+  /// pipeline.
+  virtual void primary_batch(std::uint64_t first_query, std::span<double> out,
+                             stats::Xoshiro256& rng);
+
+  /// Batch equivalent of calling reissue() for copies whose primaries had
+  /// service times `primary_services`: out[i] is the reissue draw for
+  /// primary_services[i].  Query ids are not threaded through — none of
+  /// the built-in models key reissue draws on the id — so this form suits
+  /// tuning/analysis loops that batch Y draws for a block of X's.
+  virtual void reissue_batch(std::span<const double> primary_services,
+                             std::span<double> out, stats::Xoshiro256& rng);
+
+  [[nodiscard]] virtual DrawOrder draw_order() const {
+    return DrawOrder::kOpaque;
+  }
+
+  /// kSharedStream only: the next out.size() values of the shared sample
+  /// stream, bit-identical to the draws primary()/reissue() would have
+  /// consumed.  Default throws std::logic_error.
+  virtual void draw_batch(std::span<double> out, stats::Xoshiro256& rng);
+
+  /// kSharedStream only: primary service time from a pre-drawn stream
+  /// value.  Default throws std::logic_error.
+  [[nodiscard]] virtual double primary_from_draw(double draw) const;
+
+  /// kSharedStream only: reissue service time from a pre-drawn stream
+  /// value and the copy's primary service time.  Default throws
+  /// std::logic_error.
+  [[nodiscard]] virtual double reissue_from_draw(double draw,
+                                                 double primary_service) const;
 
   [[nodiscard]] virtual std::string name() const = 0;
 };

@@ -58,24 +58,28 @@ struct IssuedCopy {
   bool cancelled;
 };
 
+/// 40 bytes/query; this array is the simulator's biggest working set, so
+/// the connection index is not stored (it equals id % connections by
+/// construction — primaries thread the arrival counter through, reissue
+/// dispatches recompute it).
 struct QueryState {
   double arrival;
   double primary_service;
   double completion;
   double primary_response;  // -1 until the primary completes
   std::uint32_t primary_server;
-  std::uint32_t connection;
-  std::uint32_t reissue_count;
+  std::uint16_t reissue_count;
   bool primary_cancelled;
   bool done;
 };
 
-/// One pending reissue-stage check in a per-stage FIFO; the query id is
-/// implicit (queries enter every stage ring in id order).
-struct StageEntry {
-  double time;
-  std::uint64_t seq;
-};
+/// One pending reissue-stage check in a per-stage FIFO: just the claimed
+/// merge sequence number.  The query id is implicit (queries enter every
+/// stage ring in id order) and the fire time is recomputed exactly as it
+/// was claimed — arrival_times[id] + the ring's stage delay, the same two
+/// operands in the same order — so storing it would double the ring
+/// traffic for no information.
+using StageEntry = std::uint64_t;
 
 /// Pointer-based FIFO over a pre-sized slab (one slot per query, so no
 /// reallocation can invalidate the cursors); head - base == the query id
@@ -84,10 +88,12 @@ struct StageRing {
   StageEntry* base = nullptr;
   StageEntry* head = nullptr;
   StageEntry* tail = nullptr;
+  /// This ring's reissue-stage delay (mirrors the policy stage).
+  double delay = 0.0;
 
   [[nodiscard]] bool empty() const noexcept { return head == tail; }
-  [[nodiscard]] const StageEntry& front() const noexcept { return *head; }
-  void push(StageEntry entry) noexcept { *tail++ = entry; }
+  [[nodiscard]] StageEntry front_seq() const noexcept { return *head; }
+  void push(StageEntry seq) noexcept { *tail++ = seq; }
 };
 
 /// Uninitialized growable array (the capacity-tracking half of the scratch
@@ -126,9 +132,12 @@ struct RunScratch {
   std::vector<detail::StageRing> stage_rings;
   detail::RawArena<detail::StageEntry> stage_entries;
   EventQueue<SimEvent> events;
-  BoundedMinQueue<SimEvent> completions;
+  /// Scan-mode completion queue; the payload is just the server index (the
+  /// in-service Request already lives on the server).
+  BoundedMinQueue<std::uint32_t> completions;
   detail::RawArena<double> arrival_times;
   detail::RawArena<double> primary_services;
+  detail::RawArena<double> service_draws;
 };
 
 class Simulation {
@@ -163,12 +172,14 @@ class Simulation {
                          std::uint32_t copy_index, double dispatch_time,
                          double now);
   void dispatch_copy(std::uint64_t id, CopyKind kind, std::uint32_t copy_index,
+                     std::uint32_t connection,
                      double service_time, double now);
   void complete_on_server(std::uint32_t server, double now);
   void submit_to_server(std::size_t server, const Request& request, double now);
   void start_next_on(std::size_t server, double now);
   void schedule_completion(double time, std::size_t server);
   void schedule_arrival(double time);
+  [[nodiscard]] double next_service_draw();
   [[nodiscard]] double rate_at(double t) const;
   [[nodiscard]] IssuedCopy& reissue_slot(std::uint64_t id, std::uint32_t slot);
   void finalize(double horizon);
@@ -198,9 +209,10 @@ class Simulation {
 
   EventQueue<SimEvent>& events_;
   /// Completion events on finite-server, interference-free runs: at most
-  /// one pending per server, so a scan queue beats the heap (which then
-  /// stays empty).  Keys come from events_.claim_key — one total order.
-  BoundedMinQueue<SimEvent>& completions_;
+  /// one pending per server, so a compact scan queue beats the heap (which
+  /// then stays empty).  Keys come from events_.claim_key — one total
+  /// order.
+  BoundedMinQueue<std::uint32_t>& completions_;
   bool scan_completions_ = false;
   stats::Xoshiro256 arrival_rng_;
   stats::Xoshiro256 service_rng_;
@@ -211,13 +223,24 @@ class Simulation {
   /// Pooled reissue-copy arena, queries x stage_count.
   IssuedCopy* arena_ = nullptr;
   /// Pre-drawn arrival times (always) and primary service times (policies
-  /// without reissue stages only — reissue draws interleave on the service
-  /// stream, so they pin primary draws to event order).  Values are
+  /// without reissue stages, plus DrawOrder::kPrimaryOnly models, whose
+  /// service stream is consumed in query-id order either way).  Values are
   /// bit-identical to drawing inside the event loop; batching merely lets
   /// consecutive pow/log calls pipeline instead of serializing behind the
   /// event dispatch dependency chain.
   const double* arrival_times_ = nullptr;
   const double* primary_services_ = nullptr;
+  /// DrawOrder::kSharedStream models with reissue stages: primary and
+  /// reissue draws interleave on the service stream in event order, which
+  /// pins *when* each draw is consumed but not *what* it is — the k-th
+  /// stream draw has the same value whichever call consumes it.  So the
+  /// stream is refilled in chunks through ServiceModel::draw_batch (the
+  /// batched libm transforms) and handed out one value at a time in event
+  /// order via next_service_draw().
+  double* draw_buffer_ = nullptr;
+  std::size_t draw_pos_ = 0;
+  std::size_t draw_len_ = 0;
+  bool batch_shared_stream_ = false;
   std::vector<Server> servers_;
   std::unique_ptr<LoadBalancer> balancer_;
 
@@ -232,6 +255,10 @@ class Simulation {
   /// for sequential ids without paying an integer division per arrival.
   std::uint32_t next_connection_ = 0;
   double phase_cycle_ = 0.0;
+  /// Latest key time of a dead stage check retired without a merge
+  /// iteration (see run_loop); folded into the finalize horizon so the
+  /// utilization denominator matches the one the skip-free loop produced.
+  double skipped_horizon_ = 0.0;
 };
 
 }  // namespace reissue::sim

@@ -25,23 +25,25 @@ std::string to_string(QueueDisciplineKind kind) {
 
 namespace {
 
+using detail::RequestRing;
+
 class FifoQueue final : public QueueDiscipline {
  public:
   void push(const Request& request) override { queue_.push_back(request); }
 
   Request pop() override {
     if (queue_.empty()) throw std::logic_error("FifoQueue::pop on empty");
-    Request r = queue_.front();
-    queue_.pop_front();
-    return r;
+    return queue_.pop_front();
   }
 
   std::size_t size() const override { return queue_.size(); }
 
   bool bypassable_when_empty() const noexcept override { return true; }
 
+  bool plain_fifo() const noexcept override { return true; }
+
  private:
-  std::deque<Request> queue_;
+  RequestRing queue_;
 };
 
 /// Two queues; primaries strictly first.  `reissue_lifo` selects the pop
@@ -61,22 +63,11 @@ class PrioritizedQueue final : public QueueDiscipline {
   }
 
   Request pop() override {
-    if (!primary_.empty()) {
-      Request r = primary_.front();
-      primary_.pop_front();
-      return r;
-    }
+    if (!primary_.empty()) return primary_.pop_front();
     if (reissue_.empty()) {
       throw std::logic_error("PrioritizedQueue::pop on empty");
     }
-    if (reissue_lifo_) {
-      Request r = reissue_.back();
-      reissue_.pop_back();
-      return r;
-    }
-    Request r = reissue_.front();
-    reissue_.pop_front();
-    return r;
+    return reissue_lifo_ ? reissue_.pop_back() : reissue_.pop_front();
   }
 
   std::size_t size() const override { return primary_.size() + reissue_.size(); }
@@ -85,8 +76,8 @@ class PrioritizedQueue final : public QueueDiscipline {
 
  private:
   bool reissue_lifo_;
-  std::deque<Request> primary_;
-  std::deque<Request> reissue_;
+  RequestRing primary_;
+  RequestRing reissue_;
 };
 
 /// Per-connection FIFOs served in cyclic connection order, modeling

@@ -1,9 +1,43 @@
 #include "reissue/sim/service_model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace reissue::sim {
+
+void ServiceModel::primary_batch(std::uint64_t first_query,
+                                 std::span<double> out,
+                                 stats::Xoshiro256& rng) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = primary(first_query + i, rng);
+  }
+}
+
+void ServiceModel::reissue_batch(std::span<const double> primary_services,
+                                 std::span<double> out,
+                                 stats::Xoshiro256& rng) {
+  // Query ids are not part of this form (see the header); 0 keeps the
+  // built-in models' id-independent draws exact.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = reissue(0, primary_services[i], rng);
+  }
+}
+
+void ServiceModel::draw_batch(std::span<double>, stats::Xoshiro256&) {
+  throw std::logic_error("ServiceModel::draw_batch: draw_order() is not "
+                         "kSharedStream");
+}
+
+double ServiceModel::primary_from_draw(double) const {
+  throw std::logic_error("ServiceModel::primary_from_draw: draw_order() is "
+                         "not kSharedStream");
+}
+
+double ServiceModel::reissue_from_draw(double, double) const {
+  throw std::logic_error("ServiceModel::reissue_from_draw: draw_order() is "
+                         "not kSharedStream");
+}
 
 namespace {
 
@@ -20,6 +54,26 @@ class IidService final : public ServiceModel {
   double reissue(std::uint64_t, double, stats::Xoshiro256& rng) override {
     return dist_->sample(rng);
   }
+
+  void primary_batch(std::uint64_t, std::span<double> out,
+                     stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+  }
+
+  void reissue_batch(std::span<const double>, std::span<double> out,
+                     stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+  }
+
+  DrawOrder draw_order() const override { return DrawOrder::kSharedStream; }
+
+  void draw_batch(std::span<double> out, stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+  }
+
+  double primary_from_draw(double draw) const override { return draw; }
+
+  double reissue_from_draw(double draw, double) const override { return draw; }
 
   std::string name() const override { return "IID[" + dist_->name() + "]"; }
 
@@ -46,6 +100,32 @@ class CorrelatedService final : public ServiceModel {
     return ratio_ * primary_service + dist_->sample(rng);
   }
 
+  void primary_batch(std::uint64_t, std::span<double> out,
+                     stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+  }
+
+  void reissue_batch(std::span<const double> primary_services,
+                     std::span<double> out, stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      // Same operands, same order as the scalar reissue(): ratio*x + Z.
+      out[i] = ratio_ * primary_services[i] + out[i];
+    }
+  }
+
+  DrawOrder draw_order() const override { return DrawOrder::kSharedStream; }
+
+  void draw_batch(std::span<double> out, stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+  }
+
+  double primary_from_draw(double draw) const override { return draw; }
+
+  double reissue_from_draw(double draw, double primary_service) const override {
+    return ratio_ * primary_service + draw;
+  }
+
   std::string name() const override {
     return "Correlated[r=" + std::to_string(ratio_) + "," + dist_->name() + "]";
   }
@@ -70,6 +150,18 @@ class IdenticalService final : public ServiceModel {
                  stats::Xoshiro256&) override {
     return primary_service;
   }
+
+  void primary_batch(std::uint64_t, std::span<double> out,
+                     stats::Xoshiro256& rng) override {
+    dist_->sample_batch(out, rng);
+  }
+
+  void reissue_batch(std::span<const double> primary_services,
+                     std::span<double> out, stats::Xoshiro256&) override {
+    std::copy(primary_services.begin(), primary_services.end(), out.begin());
+  }
+
+  DrawOrder draw_order() const override { return DrawOrder::kPrimaryOnly; }
 
   std::string name() const override {
     return "Identical[" + dist_->name() + "]";
@@ -101,6 +193,25 @@ class TraceService final : public ServiceModel {
     // The reissue copy executes the same query: identical intrinsic cost.
     return primary_service;
   }
+
+  void primary_batch(std::uint64_t first_query, std::span<double> out,
+                     stats::Xoshiro256& rng) override {
+    const std::size_t n = trace_.size();
+    if (resample_) {
+      for (double& v : out) v = trace_[rng.below(n)];
+      return;
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = trace_[(first_query + i) % n];
+    }
+  }
+
+  void reissue_batch(std::span<const double> primary_services,
+                     std::span<double> out, stats::Xoshiro256&) override {
+    std::copy(primary_services.begin(), primary_services.end(), out.begin());
+  }
+
+  DrawOrder draw_order() const override { return DrawOrder::kPrimaryOnly; }
 
   std::string name() const override {
     return "Trace[n=" + std::to_string(trace_.size()) + "]";

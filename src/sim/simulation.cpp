@@ -1,10 +1,20 @@
 #include "reissue/sim/simulation.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 namespace reissue::sim {
+
+namespace {
+
+/// Refill granularity of the shared service-draw stream.  Big enough that
+/// the batched pow/log transforms amortize the refill bookkeeping, small
+/// enough (8 KB) to stay L1-resident next to the per-query state.
+constexpr std::size_t kServiceDrawChunk = 1024;
+
+}  // namespace
 
 Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
                        const core::ReissuePolicy& policy,
@@ -32,6 +42,10 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   scan_completions_ = !cfg_.infinite_servers &&
                       !(cfg_.interference_rate > 0.0) &&
                       cfg_.servers <= kScanQueueMaxServers;
+  // QueryState::reissue_count is 16-bit (one issued copy per stage).
+  if (stages_.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("Cluster: policy stage count must fit 16 bits");
+  }
   queries_ = scratch.queries.ensure(cfg_.queries);
   arena_ = scratch.arena.ensure(cfg_.queries * stages_.size());
   if (scratch.stage_rings.size() < stages_.size()) {
@@ -43,6 +57,7 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   for (std::size_t j = 0; j < stage_rings_.size(); ++j) {
     StageRing& ring = stage_rings_[j];
     ring.base = ring.head = ring.tail = slab + j * cfg_.queries;
+    ring.delay = stages_[j].delay;
   }
 
   if (!cfg_.infinite_servers) {
@@ -102,19 +117,39 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
     }
     arrival_times_ = times;
   }
-  if (stages_.empty()) {
+  const ServiceModel::DrawOrder order = service_.draw_order();
+  if (stages_.empty() || order == ServiceModel::DrawOrder::kPrimaryOnly) {
+    // The service stream is consumed in query-id order (no reissue draws,
+    // or a model whose reissue() consumes no RNG), so every primary can be
+    // pre-drawn through the batch API.
     double* services = scratch.primary_services.ensure(cfg_.queries);
-    for (std::size_t i = 0; i < cfg_.queries; ++i) {
-      services[i] = service_.primary(i, service_rng_);
-    }
+    service_.primary_batch(0, std::span(services, cfg_.queries), service_rng_);
     primary_services_ = services;
+  } else if (order == ServiceModel::DrawOrder::kSharedStream) {
+    batch_shared_stream_ = true;
+    draw_buffer_ = scratch.service_draws.ensure(kServiceDrawChunk);
   }
 
   schedule_arrival(0.0);
 }
 
+/// Next value of the shared service-draw stream (kSharedStream batching).
+/// Chunked refills draw the stream in its native order, so the k-th value
+/// handed out here is bit-identical to the k-th scalar primary()/reissue()
+/// draw; the final partial chunk over-draws the service stream past what
+/// the run consumes, which is unobservable (the stream is private to this
+/// run and never re-derived from).
+double Simulation::next_service_draw() {
+  if (draw_pos_ == draw_len_) {
+    draw_len_ = kServiceDrawChunk;
+    service_.draw_batch(std::span(draw_buffer_, draw_len_), service_rng_);
+    draw_pos_ = 0;
+  }
+  return draw_buffer_[draw_pos_++];
+}
+
 void Simulation::schedule_arrival(double time) {
-  arrival_key_ = events_.claim_key(time);
+  arrival_key_ = events_.claim_key_trusted(time);
   arrival_pending_ = true;
 }
 
@@ -129,7 +164,7 @@ void Simulation::run() {
   } else {
     scan_completions_ ? run_loop<-1, true>() : run_loop<-1, false>();
   }
-  finalize(events_.now());
+  finalize(std::max(events_.now(), skipped_horizon_));
 }
 
 /// Dispatches events from the three merged sources — the heap
@@ -139,57 +174,83 @@ void Simulation::run() {
 /// all-heap implementation produced.  `StageCount` is the compile-time
 /// ring count (-1 = generic); `ScanMode` selects which completion queue is
 /// live (scan queue xor heap — the other is empty for the whole run).
+///
+/// Structure: only on_arrival creates arrivals and stage entries, so the
+/// earliest arrival/stage event — the *barrier* — is invariant while the
+/// completion source dispatches.  Each outer iteration therefore computes
+/// the barrier once, drains every completion that precedes it in a tight
+/// loop (no re-merge per event), then dispatches the barrier event itself.
 template <int StageCount, bool ScanMode>
 void Simulation::run_loop() {
-  constexpr std::size_t kFromHeap = std::numeric_limits<std::size_t>::max();
-  constexpr std::size_t kFromArrival = kFromHeap - 1;
-  constexpr std::size_t kFromCompletions = kFromHeap - 2;
+  constexpr std::size_t kFromArrival = std::numeric_limits<std::size_t>::max();
   const std::size_t rings =
       StageCount >= 0 ? static_cast<std::size_t>(StageCount)
                       : stage_rings_.size();
   for (;;) {
-    std::size_t source = kFromHeap;
+    std::size_t source = kFromArrival;
     EventKey best;
     bool have = false;
-    if constexpr (ScanMode) {
-      if (!completions_.empty()) {
-        source = kFromCompletions;
-        best = completions_.peek_key();
-        have = true;
-      }
-    } else {
-      if (!events_.empty()) {
-        best = events_.peek_key();
-        have = true;
-      }
-    }
-    if (arrival_pending_ && (!have || arrival_key_.before(best))) {
-      source = kFromArrival;
+    if (arrival_pending_) {
       best = arrival_key_;
       have = true;
     }
     for (std::size_t j = 0; j < rings; ++j) {
-      const StageRing& ring = stage_rings_[j];
-      if (ring.empty()) continue;
-      const EventKey key{ring.front().time, ring.front().seq};
-      if (!have || key.before(best)) {
+      StageRing& ring = stage_rings_[j];
+      for (;;) {
+        if (ring.empty()) break;
+        const auto front_id = static_cast<std::uint64_t>(ring.head - ring.base);
+        // Recomputed exactly as claimed: arrival time + stage delay.
+        const EventKey key{arrival_times_[front_id] + ring.delay,
+                           ring.front_seq()};
+        // A front that loses the merge stays queued either way — its done
+        // flag is only worth loading once it is the prospective winner.
+        if (have && !key.before(best)) break;
+        // Dead-entry fast path: a stage check for an already-completed
+        // query dispatches to a no-op — no RNG consumed, no state touched
+        // — so it is retired here without a merge iteration.  `done` is
+        // monotone, and a live front that wins the merge has nothing
+        // earlier left to complete it first, so retiring now is
+        // indistinguishable from dispatching at fire time.  Only the run
+        // horizon observes retired entries (they used to advance now());
+        // skipped_horizon_ carries that into finalize.
+        if (queries_[front_id].done) {
+          if (key.time > skipped_horizon_) skipped_horizon_ = key.time;
+          ++ring.head;
+          continue;
+        }
         source = j;
         best = key;
         have = true;
+        break;
+      }
+    }
+    // Completion drain up to the barrier.  A completion may push further
+    // completions (a freed server starts its next queued copy), which the
+    // per-iteration peek re-merges; it can never move the barrier.  A
+    // drained completion may mark the barrier's query done, turning the
+    // barrier's stage check into the same no-op dispatching it would have
+    // produced — key order, RNG consumption and the run horizon are
+    // identical either way.
+    if constexpr (ScanMode) {
+      while (!completions_.empty()) {
+        const EventKey key = completions_.peek_key();
+        if (have && !key.before(best)) break;
+        // Scan-queue entries are always service completions (the payload
+        // is the server index): skip the kind switch.
+        const std::uint32_t server = completions_.pop();
+        events_.advance_to(key.time);
+        complete_on_server(server, key.time);
+      }
+    } else {
+      while (!events_.empty()) {
+        if (have && !events_.peek_key().before(best)) break;
+        const SimEvent event = events_.pop();
+        dispatch(event, events_.now());
       }
     }
     if (!have) return;
 
-    if (source == kFromHeap) {
-      const SimEvent event = events_.pop();
-      dispatch(event, events_.now());
-    } else if (source == kFromCompletions) {
-      // Scan-queue entries are always service completions: skip the kind
-      // switch.
-      const SimEvent event = completions_.pop();
-      events_.advance_to(best.time);
-      complete_on_server(event.server(), best.time);
-    } else if (source == kFromArrival) {
+    if (source == kFromArrival) {
       arrival_pending_ = false;
       events_.advance_to(best.time);
       on_arrival(best.time);
@@ -227,7 +288,7 @@ void Simulation::dispatch(const SimEvent& event, double now) {
     }
     case EventKind::kInterferenceStart: {
       Request background;
-      background.query_id = std::numeric_limits<std::uint64_t>::max();
+      background.query_id = std::numeric_limits<std::uint32_t>::max();
       background.kind = CopyKind::kBackground;
       background.dispatch_time = now;
       background.service_time = event.duration();
@@ -243,7 +304,7 @@ void Simulation::dispatch(const SimEvent& event, double now) {
 /// qs.done and can be lazily cancelled).
 void Simulation::complete_on_server(std::uint32_t server, double now) {
   Server& srv = servers_[server];
-  const Request request = srv.finish();
+  const Request& request = srv.finish();
   handle_completion(request.kind, request.query_id, request.copy_index,
                     request.dispatch_time, now);
   if (srv.queue_length() > 0) start_next_on(server, now);
@@ -281,25 +342,30 @@ void Simulation::on_arrival(double now) {
   qs.arrival = now;
   double primary_service;
   if (primary_services_ != nullptr) {
-    // Pre-drawn (no reissue stages), so qs.primary_service — which only
-    // the reissue draw reads — can stay unwritten.
     primary_service = primary_services_[id];
+    // With no reissue stages, qs.primary_service — which only the reissue
+    // draw reads — can stay unwritten; kPrimaryOnly models reach here with
+    // stages and need it stored for their reissue() calls.
+    if (!stages_.empty()) qs.primary_service = primary_service;
+  } else if (batch_shared_stream_) {
+    primary_service = service_.primary_from_draw(next_service_draw());
+    qs.primary_service = primary_service;
   } else {
     primary_service = service_.primary(id, service_rng_);
     qs.primary_service = primary_service;
   }
   qs.primary_response = -1.0;
-  qs.connection = next_connection_;
+  const std::uint32_t connection = next_connection_;
   if (++next_connection_ == cfg_.connections) next_connection_ = 0;
   qs.reissue_count = 0;
   qs.primary_cancelled = false;
   qs.done = false;
-  dispatch_copy(id, CopyKind::kPrimary, 0, primary_service, now);
+  dispatch_copy(id, CopyKind::kPrimary, 0, connection, primary_service, now);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     // Claimed in scheduling order, exactly where the all-heap version
     // called schedule(); queries enter each ring in id order.
-    const EventKey key = events_.claim_key(now + stages_[i].delay);
-    stage_rings_[i].push(detail::StageEntry{key.time, key.seq});
+    const EventKey key = events_.claim_key_trusted(now + stages_[i].delay);
+    stage_rings_[i].push(key.seq);
   }
   if (next_query_ < cfg_.queries) {
     schedule_arrival(arrival_times_[next_query_]);
@@ -313,10 +379,16 @@ void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
   if (qs.done) return;
   const core::ReissueStage& stage = stages_[stage_index];
   if (!coin_rng_.bernoulli(stage.probability)) return;
-  const double y = service_.reissue(id, qs.primary_service, service_rng_);
+  const double y =
+      batch_shared_stream_
+          ? service_.reissue_from_draw(next_service_draw(), qs.primary_service)
+          : service_.reissue(id, qs.primary_service, service_rng_);
   const std::uint32_t slot = qs.reissue_count++;
   reissue_slot(id, slot) = IssuedCopy{now, y, -1.0, false};
-  dispatch_copy(id, CopyKind::kReissue, slot + 1, y, now);
+  // The arrival counter wraps at cfg_.connections, so the copy's
+  // connection is recomputable instead of stored per query.
+  const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
+  dispatch_copy(id, CopyKind::kReissue, slot + 1, connection, y, now);
 }
 
 void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
@@ -338,10 +410,17 @@ void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
 }
 
 void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
-                               std::uint32_t copy_index, double service_time,
+                               std::uint32_t copy_index,
+                               std::uint32_t connection, double service_time,
                                double now) {
   QueryState& qs = queries_[id];
-  Request request{id, kind, copy_index, now, service_time, qs.connection};
+  Request request;
+  request.dispatch_time = now;
+  request.service_time = service_time;
+  request.query_id = static_cast<std::uint32_t>(id);
+  request.copy_index = copy_index;
+  request.connection = connection;
+  request.kind = kind;
   if (cfg_.infinite_servers) {
     events_.schedule(now + service_time, SimEvent::direct_complete(request));
     return;
@@ -382,18 +461,19 @@ void Simulation::submit_to_server(std::size_t server, const Request& request,
 }
 
 void Simulation::start_next_on(std::size_t server, double now) {
-  if (const auto started = servers_[server].try_start(
+  if (const auto cost = servers_[server].try_start(
           cancel_check(), cfg_.cancellation_overhead)) {
-    schedule_completion(now + started->cost, server);
+    schedule_completion(now + *cost, server);
   }
 }
 
 void Simulation::schedule_completion(double time, std::size_t server) {
-  const auto event = SimEvent::copy_complete(static_cast<std::uint32_t>(server));
   if (scan_completions_) {
-    completions_.push(events_.claim_key(time), event);
+    completions_.push(events_.claim_key_trusted(time),
+                      static_cast<std::uint32_t>(server));
   } else {
-    events_.schedule(time, event);
+    events_.schedule(time,
+                     SimEvent::copy_complete(static_cast<std::uint32_t>(server)));
   }
 }
 

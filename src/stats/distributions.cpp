@@ -15,6 +15,12 @@ void require(bool cond, const char* msg) {
 
 }  // namespace
 
+// ------------------------------------------------------------ base class
+
+void Distribution::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  for (double& v : out) v = sample(rng);
+}
+
 // ---------------------------------------------------------------- Pareto
 
 Pareto::Pareto(double shape, double mode) : shape_(shape), mode_(mode) {
@@ -25,6 +31,12 @@ Pareto::Pareto(double shape, double mode) : shape_(shape), mode_(mode) {
 double Pareto::sample(Xoshiro256& rng) const {
   // Inverse CDF on u in (0,1]: x = mode * u^{-1/shape}.
   return mode_ * std::pow(rng.uniform_pos(), -1.0 / shape_);
+}
+
+void Pareto::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  rng.fill_uniform_pos(out);
+  const double exponent = -1.0 / shape_;
+  for (double& v : out) v = mode_ * std::pow(v, exponent);
 }
 
 double Pareto::cdf(double x) const {
@@ -56,6 +68,11 @@ double LogNormal::sample(Xoshiro256& rng) const {
   return std::exp(mu_ + sigma_ * normal_quantile(rng.uniform_pos()));
 }
 
+void LogNormal::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  rng.fill_uniform_pos(out);
+  for (double& v : out) v = std::exp(mu_ + sigma_ * normal_quantile(v));
+}
+
 double LogNormal::cdf(double x) const {
   if (x <= 0.0) return 0.0;
   return normal_cdf((std::log(x) - mu_) / sigma_);
@@ -81,6 +98,11 @@ Exponential::Exponential(double rate) : rate_(rate) {
 
 double Exponential::sample(Xoshiro256& rng) const {
   return -std::log(rng.uniform_pos()) / rate_;
+}
+
+void Exponential::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  rng.fill_uniform_pos(out);
+  for (double& v : out) v = -std::log(v) / rate_;
 }
 
 double Exponential::cdf(double x) const {
@@ -110,6 +132,12 @@ double Weibull::sample(Xoshiro256& rng) const {
   return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
 }
 
+void Weibull::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  rng.fill_uniform_pos(out);
+  const double exponent = 1.0 / shape_;
+  for (double& v : out) v = scale_ * std::pow(-std::log(v), exponent);
+}
+
 double Weibull::cdf(double x) const {
   if (x <= 0.0) return 0.0;
   return 1.0 - std::exp(-std::pow(x / scale_, shape_));
@@ -134,6 +162,11 @@ Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
 
 double Uniform::sample(Xoshiro256& rng) const {
   return lo_ + (hi_ - lo_) * rng.uniform();
+}
+
+void Uniform::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  rng.fill_uniform(out);
+  for (double& v : out) v = lo_ + (hi_ - lo_) * v;
 }
 
 double Uniform::cdf(double x) const {
@@ -161,9 +194,17 @@ Constant::Constant(double value) : value_(value) {
 
 double Constant::sample(Xoshiro256&) const { return value_; }
 
+void Constant::sample_batch(std::span<double> out, Xoshiro256&) const {
+  // sample() consumes no RNG, so neither may the batch.
+  for (double& v : out) v = value_;
+}
+
 double Constant::cdf(double x) const { return x >= value_ ? 1.0 : 0.0; }
 
-double Constant::quantile(double) const { return value_; }
+double Constant::quantile(double p) const {
+  require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
+  return value_;
+}
 
 double Constant::mean() const { return value_; }
 
@@ -194,6 +235,11 @@ double Truncated::sample(Xoshiro256& rng) const {
   return std::min(base_->sample(rng), cap_);
 }
 
+void Truncated::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  base_->sample_batch(out, rng);
+  for (double& v : out) v = std::min(v, cap_);
+}
+
 double Truncated::cdf(double x) const {
   if (x >= cap_) return 1.0;
   return base_->cdf(x);
@@ -222,6 +268,11 @@ double Shifted::sample(Xoshiro256& rng) const {
   return offset_ + base_->sample(rng);
 }
 
+void Shifted::sample_batch(std::span<double> out, Xoshiro256& rng) const {
+  base_->sample_batch(out, rng);
+  for (double& v : out) v = offset_ + v;
+}
+
 double Shifted::cdf(double x) const { return base_->cdf(x - offset_); }
 
 double Shifted::quantile(double p) const { return offset_ + base_->quantile(p); }
@@ -246,6 +297,15 @@ double EmpiricalSampler::sample(Xoshiro256& rng) const {
   return sorted_[rng.below(sorted_.size())];
 }
 
+void EmpiricalSampler::sample_batch(std::span<double> out,
+                                    Xoshiro256& rng) const {
+  // No libm in this path; batching only hoists the virtual dispatch.  The
+  // rejection loop inside below() keeps the per-draw RNG consumption
+  // identical to sample().
+  const std::size_t n = sorted_.size();
+  for (double& v : out) v = sorted_[rng.below(n)];
+}
+
 double EmpiricalSampler::cdf(double x) const {
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
   return static_cast<double>(it - sorted_.begin()) /
@@ -254,7 +314,15 @@ double EmpiricalSampler::cdf(double x) const {
 
 double EmpiricalSampler::quantile(double p) const {
   require(p >= 0.0 && p < 1.0, "quantile p must be in [0,1)");
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted_.size()));
+  // Smallest x with cdf(x) >= p is sorted_[ceil(p*n) - 1]: cdf(sorted_[k])
+  // >= (k+1)/n, with equality only when sorted_[k] ends a tie run.  At
+  // exact lattice points p = k/n the k-th sample already satisfies the
+  // bound, so flooring (the previous implementation) overshot by one.
+  std::size_t idx = 0;
+  if (p > 0.0) {
+    const double scaled = p * static_cast<double>(sorted_.size());
+    idx = static_cast<std::size_t>(std::ceil(scaled)) - 1;
+  }
   return sorted_[std::min(idx, sorted_.size() - 1)];
 }
 

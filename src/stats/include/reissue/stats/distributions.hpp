@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,14 @@ class Distribution {
 
   /// Draw one variate using the supplied RNG stream.
   [[nodiscard]] virtual double sample(Xoshiro256& rng) const = 0;
+
+  /// Draw out.size() variates, bit-identical draw-for-draw to calling
+  /// sample() in a loop (same RNG consumption, same libm calls).  The
+  /// default is that loop; the closed-form inverse-CDF families override
+  /// it with a bulk uniform fill (Xoshiro256::fill_uniform_pos) followed by
+  /// a tight transform loop, which frees the expensive pow/log calls from
+  /// the per-draw RNG dependency chain so they pipeline across elements.
+  virtual void sample_batch(std::span<double> out, Xoshiro256& rng) const;
 
   /// Pr(X <= x).
   [[nodiscard]] virtual double cdf(double x) const = 0;
@@ -45,6 +54,7 @@ class Pareto final : public Distribution {
  public:
   Pareto(double shape, double mode);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -62,6 +72,7 @@ class LogNormal final : public Distribution {
  public:
   LogNormal(double mu, double sigma);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -77,6 +88,7 @@ class Exponential final : public Distribution {
  public:
   explicit Exponential(double rate);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -92,6 +104,7 @@ class Weibull final : public Distribution {
  public:
   Weibull(double shape, double scale);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -107,6 +120,7 @@ class Uniform final : public Distribution {
  public:
   Uniform(double lo, double hi);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -122,6 +136,7 @@ class Constant final : public Distribution {
  public:
   explicit Constant(double value);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -141,6 +156,7 @@ class Truncated final : public Distribution {
  public:
   Truncated(DistributionPtr base, double cap);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -158,6 +174,7 @@ class Shifted final : public Distribution {
  public:
   Shifted(DistributionPtr base, double offset);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;
@@ -175,6 +192,7 @@ class EmpiricalSampler final : public Distribution {
  public:
   explicit EmpiricalSampler(std::vector<double> samples);
   [[nodiscard]] double sample(Xoshiro256& rng) const override;
+  void sample_batch(std::span<double> out, Xoshiro256& rng) const override;
   [[nodiscard]] double cdf(double x) const override;
   [[nodiscard]] double quantile(double p) const override;
   [[nodiscard]] double mean() const override;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <string_view>
 
 namespace reissue::stats {
@@ -66,6 +67,21 @@ class Xoshiro256 {
   /// Uniform double in (0, 1] — safe as input to log() in inverse CDFs.
   constexpr double uniform_pos() noexcept {
     return 1.0 - uniform();
+  }
+
+  /// Bulk uniform draws: out[i] = uniform(), in order — bit-identical to
+  /// calling uniform() out.size() times.  The generator recurrence is
+  /// inherently serial, but hoisting the draws out of a consumer loop frees
+  /// the caller's transform (pow/log/...) from the per-draw dependency
+  /// chain so consecutive libm calls can pipeline.
+  constexpr void fill_uniform(std::span<double> out) noexcept {
+    for (double& v : out) v = uniform();
+  }
+
+  /// Bulk draws in (0, 1] — bit-identical to repeated uniform_pos(); safe
+  /// as input to log() in batched inverse CDFs.
+  constexpr void fill_uniform_pos(std::span<double> out) noexcept {
+    for (double& v : out) v = uniform_pos();
   }
 
   /// Uniform integer in [0, n).  n must be > 0.

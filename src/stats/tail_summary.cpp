@@ -20,7 +20,10 @@ std::int64_t ceil_to_int64(double y) {
 }
 
 /// log2(1 + k/256) for k = 0..256; linear interpolation between entries
-/// has error < (1/256)^2 / (8 ln 2) ~ 2.8e-6 in log2.
+/// has error < (1/256)^2 / (8 ln 2) ~ 2.8e-6 in log2.  Function-local
+/// static (not a namespace-scope global): lazy init is immune to static-
+/// initialization order, and the TailSummary constructor pre-touches it
+/// so the hot path only pays the guard's predicted branch.
 const std::array<double, 257>& log2_mantissa_table() {
   static const std::array<double, 257> table = [] {
     std::array<double, 257> t{};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 namespace reissue::core {
@@ -52,6 +53,13 @@ TEST(Policy, ValidationRejectsBadStages) {
   EXPECT_THROW(ReissuePolicy::single_r(1.0, -0.1), std::invalid_argument);
   EXPECT_THROW(ReissuePolicy::single_r(1.0, 1.1), std::invalid_argument);
   EXPECT_THROW(ReissuePolicy::single_d(-0.5), std::invalid_argument);
+  // Non-finite delays would poison the simulator's (time, seq) event
+  // order, so they must fail here, not downstream.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ReissuePolicy::single_d(nan), std::invalid_argument);
+  EXPECT_THROW(ReissuePolicy::single_d(inf), std::invalid_argument);
+  EXPECT_THROW(ReissuePolicy::single_r(nan, 0.5), std::invalid_argument);
 }
 
 TEST(Policy, MultipleRSortsStagesByDelay) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <fstream>
+
 #include "reissue/sim/cluster.hpp"
 #include "reissue/stats/summary.hpp"
 
@@ -213,6 +216,113 @@ TEST(MakeSystem, BurstyPhasesRun) {
   spec.phases = {BurstPhase{100.0, 0.5}, BurstPhase{25.0, 3.0}};
   const auto result = make_system(spec, 3)->run(core::ReissuePolicy::none());
   EXPECT_EQ(result.queries, spec.queries - spec.warmup);
+}
+
+// ------------------------------------------------ service=trace:<file>
+
+/// Writes `lines` to a fresh file under the test temp dir and returns its
+/// path.
+std::string write_trace(const std::string& name, const std::string& lines) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << lines;
+  return path;
+}
+
+TEST(ScenarioSpec, TraceServiceRoundTrips) {
+  ScenarioSpec spec;
+  spec.name = "replay";
+  spec.kind = WorkloadKind::kQueueing;
+  spec.service = "trace:/var/logs/service_times.log";
+  spec.policies = {parse_policy_spec("none")};
+  // Parsing only checks the token's shape; the file is read by
+  // make_system, so a round trip must not require it to exist.
+  EXPECT_EQ(parse_scenario(to_spec_string(spec)), spec);
+}
+
+TEST(ScenarioSpec, TraceServiceDiagnostics) {
+  EXPECT_THROW(parse_scenario("name=x service=trace:"), std::runtime_error);
+  EXPECT_THROW(
+      parse_scenario("name=x kind=independent service=trace:/tmp/t.log"),
+      std::runtime_error);
+  // Reissue copies replay their primary's cost, so a correlation ratio
+  // would be silently ignored — rejected in either key order.
+  EXPECT_THROW(
+      parse_scenario("name=x service=trace:/tmp/t.log ratio=0.5"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_scenario("name=x ratio=0.5 service=trace:/tmp/t.log"),
+      std::runtime_error);
+}
+
+TEST(LoadServiceTrace, ReadsTheLatencyLogFormat) {
+  const std::string path = write_trace("trace_ok.log",
+                                       "# measured service times\n"
+                                       "1.5\n"
+                                       "  2.5  # with comment\n"
+                                       "\n"
+                                       "30\n");
+  const auto trace = load_service_trace(path);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0], 1.5);
+  EXPECT_DOUBLE_EQ(trace[1], 2.5);
+  EXPECT_DOUBLE_EQ(trace[2], 30.0);
+}
+
+TEST(LoadServiceTrace, DiagnosticsNameThePath) {
+  EXPECT_THROW(load_service_trace("/nonexistent/trace.log"),
+               std::runtime_error);
+  const std::string empty = write_trace("trace_empty.log", "# nothing\n\n");
+  EXPECT_THROW(load_service_trace(empty), std::runtime_error);
+  const std::string garbage = write_trace("trace_bad.log", "1.5\nwat\n");
+  EXPECT_THROW(load_service_trace(garbage), std::runtime_error);
+  try {
+    (void)load_service_trace(garbage);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(garbage), std::string::npos);
+  }
+}
+
+TEST(MakeSystem, TraceServiceReplaysTheLog) {
+  const std::string path =
+      write_trace("trace_replay.log", "1\n2\n3\n4\n5\n6\n7\n8000\n");
+  ScenarioSpec spec = tiny_queueing();
+  spec.service = "trace:" + path;
+  spec.service_cap = 100.0;  // caps the 8000 outlier like any service draw
+
+  auto a = make_system(spec, 42);
+  auto b = make_system(spec, 42);
+  const auto policy = core::ReissuePolicy::single_r(5.0, 0.5);
+  const auto ra = a->run(policy);
+  const auto rb = b->run(policy);
+  EXPECT_EQ(ra.query_latencies, rb.query_latencies);
+  EXPECT_EQ(ra.reissues_issued, rb.reissues_issued);
+  EXPECT_EQ(ra.queries, spec.queries - spec.warmup);
+
+  // The built system really is trace-backed (not a parsed distribution).
+  auto* cluster = dynamic_cast<sim::Cluster*>(a.get());
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->service_model().name(), "Trace[n=8]");
+  // Every copy costs at least the trace minimum.
+  for (double x : ra.primary_latencies) EXPECT_GE(x, 1.0);
+
+  // The cap really applies to trace draws: uncapped, the 8000 outlier
+  // must change the run (and its arrival pacing, via the trace mean).
+  ScenarioSpec uncapped = spec;
+  uncapped.service_cap = 0.0;
+  const auto ru = make_system(uncapped, 42)->run(policy);
+  EXPECT_NE(ra.query_latencies, ru.query_latencies);
+  const double max_capped =
+      *std::max_element(ra.primary_latencies.begin(),
+                        ra.primary_latencies.end());
+  const double max_uncapped =
+      *std::max_element(ru.primary_latencies.begin(),
+                        ru.primary_latencies.end());
+  // Uncapped runs serve the 8000-cost outlier, so the worst primary
+  // response dwarfs anything a cap=100 run can produce.
+  EXPECT_GE(max_uncapped, 8000.0);
+  EXPECT_LT(max_capped, max_uncapped);
 }
 
 TEST(MakeSystem, InterferenceRaisesUtilization) {

@@ -48,8 +48,8 @@ class ServerTest : public ::testing::Test {
   template <typename CancelFn>
   void start_next(Server& server, double now, CancelFn&& cancelled,
                   double cancel_cost) {
-    if (const auto started = server.try_start(cancelled, cancel_cost)) {
-      events_.schedule(now + started->cost, SimEvent::copy_complete(0));
+    if (const auto cost = server.try_start(cancelled, cancel_cost)) {
+      events_.schedule(now + *cost, SimEvent::copy_complete(0));
     }
   }
 

@@ -1,0 +1,269 @@
+// ServiceModel contracts: the batch API must be bit-identical to the
+// scalar draws it replaces (the invariant Simulation's pre-draw paths rely
+// on), DrawOrder must describe each built-in model truthfully, and
+// TraceService replay — deterministic wraparound and resample mode — must
+// be identical under run() and run_streaming().
+#include "reissue/sim/service_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+
+namespace reissue::sim {
+namespace {
+
+// ----------------------------------------- TraceService scalar semantics
+
+TEST(TraceService, ReplayWrapsAroundTheTrace) {
+  const std::vector<double> trace = {1.0, 2.5, 3.0, 4.25, 7.5};
+  auto model = make_trace_service(trace);
+  stats::Xoshiro256 rng(7);
+  for (std::uint64_t i = 0; i < 3 * trace.size() + 2; ++i) {
+    EXPECT_DOUBLE_EQ(model->primary(i, rng), trace[i % trace.size()])
+        << "query " << i;
+  }
+  // Replay consumes no RNG: the stream is untouched.
+  stats::Xoshiro256 fresh(7);
+  EXPECT_EQ(rng(), fresh());
+}
+
+TEST(TraceService, ReissueRepeatsThePrimaryWithoutRng) {
+  auto model = make_trace_service({2.0, 9.0});
+  stats::Xoshiro256 rng(11);
+  EXPECT_DOUBLE_EQ(model->reissue(0, 9.0, rng), 9.0);
+  EXPECT_DOUBLE_EQ(model->reissue(123, 2.0, rng), 2.0);
+  stats::Xoshiro256 fresh(11);
+  EXPECT_EQ(rng(), fresh());
+  EXPECT_EQ(model->draw_order(), ServiceModel::DrawOrder::kPrimaryOnly);
+}
+
+TEST(TraceService, PrimaryBatchMatchesScalarAcrossWraparound) {
+  const std::vector<double> trace = {1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0};
+  auto model = make_trace_service(trace);
+  stats::Xoshiro256 scalar_rng(3);
+  stats::Xoshiro256 batch_rng(3);
+  // Start mid-trace and span several wraps.
+  const std::uint64_t first = 5;
+  std::vector<double> scalar(4 * trace.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    scalar[i] = model->primary(first + i, scalar_rng);
+  }
+  std::vector<double> batch(scalar.size());
+  model->primary_batch(first, batch, batch_rng);
+  EXPECT_EQ(scalar, batch);
+}
+
+TEST(TraceService, ResampleModeIsSeedDeterministicAndBatchIdentical) {
+  const std::vector<double> trace = {1.0, 2.0, 4.0, 8.0};
+  auto model = make_trace_service(trace, /*resample=*/true);
+  stats::Xoshiro256 scalar_rng(0xabcd);
+  std::vector<double> scalar(257);
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    // Resampling ignores the query id; draws come off the RNG stream.
+    scalar[i] = model->primary(i, scalar_rng);
+    EXPECT_TRUE(scalar[i] == 1.0 || scalar[i] == 2.0 || scalar[i] == 4.0 ||
+                scalar[i] == 8.0);
+  }
+  stats::Xoshiro256 batch_rng(0xabcd);
+  std::vector<double> batch(scalar.size());
+  model->primary_batch(0, batch, batch_rng);
+  EXPECT_EQ(scalar, batch);
+  EXPECT_EQ(scalar_rng(), batch_rng());
+}
+
+// -------------------------- batch APIs are bit-identical to scalar draws
+
+TEST(ServiceModelBatch, IidPrimaryAndReissueBatchesMatchScalar) {
+  auto model = make_iid_service(stats::make_pareto(1.1, 2.0));
+  EXPECT_EQ(model->draw_order(), ServiceModel::DrawOrder::kSharedStream);
+
+  stats::Xoshiro256 scalar_rng(21);
+  std::vector<double> scalar(1000);
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    scalar[i] = model->primary(i, scalar_rng);
+  }
+  stats::Xoshiro256 batch_rng(21);
+  std::vector<double> batch(scalar.size());
+  model->primary_batch(0, batch, batch_rng);
+  EXPECT_EQ(scalar, batch);
+
+  // IID reissue draws ignore the primary; same stream, same values.
+  stats::Xoshiro256 scalar_r(22);
+  stats::Xoshiro256 batch_r(22);
+  std::vector<double> primaries(500, 3.0);
+  std::vector<double> scalar_y(primaries.size());
+  for (std::size_t i = 0; i < primaries.size(); ++i) {
+    scalar_y[i] = model->reissue(i, primaries[i], scalar_r);
+  }
+  std::vector<double> batch_y(primaries.size());
+  model->reissue_batch(primaries, batch_y, batch_r);
+  EXPECT_EQ(scalar_y, batch_y);
+}
+
+TEST(ServiceModelBatch, CorrelatedReissueBatchMatchesScalar) {
+  auto model =
+      make_correlated_service(stats::make_lognormal(1.0, 1.0), /*ratio=*/0.5);
+  EXPECT_EQ(model->draw_order(), ServiceModel::DrawOrder::kSharedStream);
+  stats::Xoshiro256 scalar_rng(5);
+  stats::Xoshiro256 batch_rng(5);
+  std::vector<double> primaries;
+  for (std::size_t i = 0; i < 777; ++i) {
+    primaries.push_back(2.0 + 0.25 * static_cast<double>(i % 13));
+  }
+  std::vector<double> scalar(primaries.size());
+  for (std::size_t i = 0; i < primaries.size(); ++i) {
+    scalar[i] = model->reissue(i, primaries[i], scalar_rng);
+  }
+  std::vector<double> batch(primaries.size());
+  model->reissue_batch(primaries, batch, batch_rng);
+  // Bit equality: ratio*x + Z with the same operand order as the scalar.
+  EXPECT_EQ(scalar, batch);
+}
+
+TEST(ServiceModelBatch, IdenticalServiceCopiesPrimariesWithoutRng) {
+  auto model = make_identical_service(stats::make_exponential(0.1));
+  EXPECT_EQ(model->draw_order(), ServiceModel::DrawOrder::kPrimaryOnly);
+  stats::Xoshiro256 rng(9);
+  const std::vector<double> primaries = {1.0, 4.5, 0.25};
+  std::vector<double> out(primaries.size());
+  model->reissue_batch(primaries, out, rng);
+  EXPECT_EQ(out, primaries);
+  stats::Xoshiro256 fresh(9);
+  EXPECT_EQ(rng(), fresh());
+}
+
+/// The invariant Simulation::next_service_draw builds on: for a
+/// kSharedStream model, any event-order interleaving of primary()/
+/// reissue() calls equals draw_batch() + the from_draw transforms applied
+/// in the same order.
+TEST(ServiceModelBatch, SharedStreamDrawsAreOrderInvariant) {
+  auto model =
+      make_correlated_service(stats::make_pareto(1.1, 2.0), /*ratio=*/0.5);
+  // p = primary, r = reissue (against the last primary drawn).
+  const std::string ops = "pprprrpprpppprrrpr";
+  stats::Xoshiro256 scalar_rng(0x5eed);
+  std::vector<double> scalar;
+  double last_primary = 1.0;
+  for (const char op : ops) {
+    if (op == 'p') {
+      last_primary = model->primary(scalar.size(), scalar_rng);
+      scalar.push_back(last_primary);
+    } else {
+      scalar.push_back(model->reissue(0, last_primary, scalar_rng));
+    }
+  }
+
+  stats::Xoshiro256 batch_rng(0x5eed);
+  std::vector<double> draws(ops.size());
+  model->draw_batch(draws, batch_rng);
+  std::vector<double> batched;
+  last_primary = 1.0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i] == 'p') {
+      last_primary = model->primary_from_draw(draws[i]);
+      batched.push_back(last_primary);
+    } else {
+      batched.push_back(model->reissue_from_draw(draws[i], last_primary));
+    }
+  }
+  EXPECT_EQ(scalar, batched);
+  EXPECT_EQ(scalar_rng(), batch_rng());
+}
+
+// -------------------------------------------- kOpaque default behaviour
+
+class OpaqueModel final : public ServiceModel {
+ public:
+  double primary(std::uint64_t, stats::Xoshiro256& rng) override {
+    return 1.0 + rng.uniform();
+  }
+  double reissue(std::uint64_t, double primary_service,
+                 stats::Xoshiro256& rng) override {
+    return primary_service + rng.uniform();
+  }
+  std::string name() const override { return "Opaque"; }
+};
+
+TEST(ServiceModelBatch, OpaqueDefaultsLoopScalarAndRejectStreamApi) {
+  OpaqueModel model;
+  EXPECT_EQ(model.draw_order(), ServiceModel::DrawOrder::kOpaque);
+
+  stats::Xoshiro256 scalar_rng(1);
+  stats::Xoshiro256 batch_rng(1);
+  std::vector<double> scalar(64);
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    scalar[i] = model.primary(i, scalar_rng);
+  }
+  std::vector<double> batch(scalar.size());
+  model.primary_batch(0, batch, batch_rng);
+  EXPECT_EQ(scalar, batch);
+
+  std::vector<double> buf(4);
+  EXPECT_THROW(model.draw_batch(buf, batch_rng), std::logic_error);
+  EXPECT_THROW((void)model.primary_from_draw(0.5), std::logic_error);
+  EXPECT_THROW((void)model.reissue_from_draw(0.5, 1.0), std::logic_error);
+}
+
+// ------------------- trace replay: run() vs run_streaming() determinism
+
+ClusterConfig trace_config(std::size_t queries) {
+  ClusterConfig config;
+  config.servers = 4;
+  config.queries = queries;
+  config.warmup = queries / 10;
+  config.arrival_rate = 0.8;
+  config.seed = 0x7ace;
+  return config;
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.query_latencies, b.query_latencies);
+  EXPECT_EQ(a.primary_latencies, b.primary_latencies);
+  EXPECT_EQ(a.reissue_latencies, b.reissue_latencies);
+  EXPECT_EQ(a.correlated_pairs, b.correlated_pairs);
+  EXPECT_EQ(a.reissue_delays, b.reissue_delays);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.reissues_issued, b.reissues_issued);
+  EXPECT_EQ(a.utilization, b.utilization);
+}
+
+core::RunResult streamed(Cluster& cluster, const core::ReissuePolicy& policy) {
+  core::RunResultBuilder builder;
+  cluster.run_streaming(policy, builder);
+  return builder.take();
+}
+
+TEST(TraceServiceCluster, WraparoundReplayIsDeterministicAcrossModes) {
+  // 9-point trace, 3000 queries: every query wraps many times over.
+  const std::vector<double> trace = {0.5, 1.0, 1.5, 2.0, 3.0,
+                                     4.0, 6.0, 9.0, 30.0};
+  const auto policy = core::ReissuePolicy::single_r(4.0, 0.5);
+  Cluster cluster(trace_config(3000), make_trace_service(trace));
+  const core::RunResult first = cluster.run(policy);
+  const core::RunResult second = cluster.run(policy);
+  expect_identical(first, second);
+  expect_identical(first, streamed(cluster, policy));
+  ASSERT_EQ(first.queries, 3000u - 300u);
+  EXPECT_GT(first.reissues_issued, 0u);
+}
+
+TEST(TraceServiceCluster, ResampleModeIsDeterministicAcrossModes) {
+  const std::vector<double> trace = {0.5, 1.0, 2.0, 4.0, 25.0};
+  const auto policy = core::ReissuePolicy::single_r(3.0, 1.0);
+  Cluster cluster(trace_config(2000),
+                  make_trace_service(trace, /*resample=*/true));
+  const core::RunResult first = cluster.run(policy);
+  const core::RunResult second = cluster.run(policy);
+  expect_identical(first, second);
+  expect_identical(first, streamed(cluster, policy));
+  EXPECT_GT(first.reissues_issued, 0u);
+}
+
+}  // namespace
+}  // namespace reissue::sim

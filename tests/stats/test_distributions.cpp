@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -228,6 +229,162 @@ INSTANTIATE_TEST_SUITE_P(
         NamedDistribution{"weibull", make_weibull(0.8, 2.0)},
         NamedDistribution{"uniform", make_uniform(0.0, 5.0)}),
     [](const auto& info) { return info.param.label; });
+
+// ------------------------------- all nine families, for the suites below
+
+std::vector<NamedDistribution> all_families() {
+  return {
+      NamedDistribution{"pareto", make_pareto(1.1, 2.0)},
+      NamedDistribution{"lognormal", make_lognormal(1.0, 1.0)},
+      NamedDistribution{"exponential", make_exponential(0.1)},
+      NamedDistribution{"weibull", make_weibull(0.8, 2.0)},
+      NamedDistribution{"uniform", make_uniform(1.0, 9.0)},
+      NamedDistribution{"constant", make_constant(5.0)},
+      NamedDistribution{"truncated_pareto",
+                        make_truncated(make_pareto(1.1, 2.0), 100.0)},
+      NamedDistribution{"shifted_exponential",
+                        make_shifted(make_exponential(0.5), 3.0)},
+      NamedDistribution{"empirical_ties",
+                        make_empirical({1.0, 1.0, 2.0, 2.0, 2.0, 7.5})},
+  };
+}
+
+// ------------------------------------ batched sampling is bit-identical
+
+class SampleBatchBitIdentical
+    : public ::testing::TestWithParam<NamedDistribution> {};
+
+TEST_P(SampleBatchBitIdentical, MatchesScalarLoopDrawForDraw) {
+  const auto& dist = *GetParam().dist;
+  constexpr std::size_t kDraws = 4096;
+  Xoshiro256 scalar_rng(0xbeef);
+  std::vector<double> scalar(kDraws);
+  for (double& v : scalar) v = dist.sample(scalar_rng);
+
+  Xoshiro256 batch_rng(0xbeef);
+  std::vector<double> batch(kDraws);
+  dist.sample_batch(batch, batch_rng);
+  // Bit equality, not closeness: the batch path must make the exact same
+  // RNG and libm calls.
+  EXPECT_EQ(scalar, batch);
+  // And leave the generator in the same state.
+  EXPECT_EQ(scalar_rng(), batch_rng());
+}
+
+TEST_P(SampleBatchBitIdentical, ChunkedBatchesMatchOneBatch) {
+  const auto& dist = *GetParam().dist;
+  constexpr std::size_t kDraws = 3000;
+  Xoshiro256 whole_rng(0xf00d);
+  std::vector<double> whole(kDraws);
+  dist.sample_batch(whole, whole_rng);
+
+  Xoshiro256 chunk_rng(0xf00d);
+  std::vector<double> chunked(kDraws);
+  std::span<double> rest(chunked);
+  for (std::size_t len : {1ul, 7ul, 1024ul, 1500ul}) {
+    dist.sample_batch(rest.subspan(0, len), chunk_rng);
+    rest = rest.subspan(len);
+  }
+  dist.sample_batch(rest, chunk_rng);
+  EXPECT_EQ(whole, chunked);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SampleBatchBitIdentical,
+                         ::testing::ValuesIn(all_families()),
+                         [](const auto& info) { return info.param.label; });
+
+// ----------------------- quantile/cdf round trip incl. the edge cases
+
+/// quantile() documents "smallest x with cdf(x) >= p".  This suite pins
+/// both halves of that definition across every family, including p = 0,
+/// p -> 1, Truncated's atom at the cap, Shifted's offset and
+/// EmpiricalSampler's ties.
+class QuantileIsGeneralizedInverse
+    : public ::testing::TestWithParam<NamedDistribution> {};
+
+TEST_P(QuantileIsGeneralizedInverse, CdfOfQuantileReachesP) {
+  const auto& dist = *GetParam().dist;
+  std::vector<double> grid = {0.0,  1e-12, 0.01, 0.25, 0.5,
+                              0.75, 0.99,  0.999999, 1.0 - 1e-12};
+  for (double k = 1.0; k <= 6.0; k += 1.0) grid.push_back(k / 6.0 - 1e-13);
+  for (const double p : grid) {
+    if (!(p >= 0.0 && p < 1.0)) continue;
+    const double q = dist.quantile(p);
+    // The analytic inverses round, so cdf(quantile(p)) may land a few ulps
+    // under p for the continuous families; the discrete step semantics
+    // (atoms, ties) are pinned exactly by the *Edges tests below.
+    EXPECT_GE(dist.cdf(q), p - 1e-9) << GetParam().label << " p=" << p;
+  }
+}
+
+TEST_P(QuantileIsGeneralizedInverse, NothingSmallerReachesP) {
+  const auto& dist = *GetParam().dist;
+  for (const double p : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const double q = dist.quantile(p);
+    // Slightly below the quantile the cdf must fall short of p (up to the
+    // approximation error of the analytic inverses).
+    const double below = q - 1e-6 * std::max(1.0, std::abs(q));
+    EXPECT_LT(dist.cdf(below), p + 1e-6) << GetParam().label << " p=" << p;
+  }
+}
+
+TEST_P(QuantileIsGeneralizedInverse, ExtremesStayFiniteAndOrdered) {
+  const auto& dist = *GetParam().dist;
+  const double q0 = dist.quantile(0.0);
+  const double q_hi = dist.quantile(1.0 - 1e-12);
+  EXPECT_TRUE(std::isfinite(q0)) << GetParam().label;
+  EXPECT_TRUE(std::isfinite(q_hi)) << GetParam().label;
+  EXPECT_LE(q0, q_hi) << GetParam().label;
+  EXPECT_THROW((void)dist.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)dist.quantile(1.0), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, QuantileIsGeneralizedInverse,
+                         ::testing::ValuesIn(all_families()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(TruncatedEdges, QuantileHitsTheAtomAtTheCap) {
+  const auto base = make_pareto(1.1, 2.0);
+  const Truncated t(base, 100.0);
+  const double mass_below_cap = base->cdf(100.0);
+  // Above the base mass the smallest x with cdf(x) >= p is exactly the
+  // cap (the atom); below it the base quantile applies untouched.
+  EXPECT_DOUBLE_EQ(t.quantile(mass_below_cap + 1e-6), 100.0);
+  EXPECT_DOUBLE_EQ(t.quantile(1.0 - 1e-12), 100.0);
+  EXPECT_DOUBLE_EQ(t.quantile(0.5), base->quantile(0.5));
+  EXPECT_DOUBLE_EQ(t.quantile(0.0), base->quantile(0.0));
+}
+
+TEST(ShiftedEdges, OffsetAppliesAtBothEnds) {
+  const Shifted s(make_uniform(0.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 3.0);
+  EXPECT_NEAR(s.quantile(1.0 - 1e-12), 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.cdf(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(7.0), 1.0);
+}
+
+TEST(EmpiricalEdges, QuantileHonorsTiesAtLatticePoints) {
+  // cdf steps: 1 -> 2/6, 2 -> 5/6, 7.5 -> 1.
+  const EmpiricalSampler e({1.0, 1.0, 2.0, 2.0, 2.0, 7.5});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  // Exactly at a step the step value itself is the smallest x with
+  // cdf(x) >= p — flooring used to overshoot to the next sample.
+  EXPECT_DOUBLE_EQ(e.quantile(2.0 / 6.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(5.0 / 6.0), 2.0);
+  EXPECT_DOUBLE_EQ(e.quantile(2.0 / 6.0 + 1e-9), 2.0);
+  EXPECT_DOUBLE_EQ(e.quantile(5.0 / 6.0 + 1e-9), 7.5);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0 - 1e-12), 7.5);
+  // The documented contract, checked exhaustively against the sample set.
+  for (double p = 0.0; p < 1.0; p += 0.001) {
+    const double q = e.quantile(p);
+    EXPECT_GE(e.cdf(q), p) << "p=" << p;
+    for (double candidate : {1.0, 2.0, 7.5}) {
+      if (candidate < q) {
+        EXPECT_LT(e.cdf(candidate), p) << "p=" << p;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace reissue::stats

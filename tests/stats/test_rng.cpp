@@ -6,6 +6,7 @@
 #include <cmath>
 #include <array>
 #include <set>
+#include <span>
 #include <vector>
 
 namespace reissue::stats {
@@ -120,6 +121,47 @@ TEST(StreamLabel, DistinctNamesDistinctLabels) {
   EXPECT_NE(stream_label("arrival"), stream_label("service"));
   EXPECT_NE(stream_label("lb"), stream_label("coin"));
   EXPECT_EQ(stream_label("arrival"), stream_label("arrival"));
+}
+
+TEST(Xoshiro256, FillUniformMatchesScalarDraws) {
+  Xoshiro256 scalar(97);
+  Xoshiro256 bulk(97);
+  std::vector<double> buf(1000);
+  bulk.fill_uniform(buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], scalar.uniform()) << "draw " << i;
+  }
+  // Both generators must end in the same state.
+  ASSERT_EQ(bulk(), scalar());
+}
+
+TEST(Xoshiro256, FillUniformPosMatchesScalarDrawsAndIsPositive) {
+  Xoshiro256 scalar(131);
+  Xoshiro256 bulk(131);
+  std::vector<double> buf(1000);
+  bulk.fill_uniform_pos(buf);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], scalar.uniform_pos()) << "draw " << i;
+    ASSERT_GT(buf[i], 0.0);
+    ASSERT_LE(buf[i], 1.0);
+  }
+  ASSERT_EQ(bulk(), scalar());
+}
+
+TEST(Xoshiro256, FillUniformChunkingIsInvisible) {
+  Xoshiro256 whole(53);
+  Xoshiro256 chunked(53);
+  std::vector<double> a(777);
+  std::vector<double> b(777);
+  whole.fill_uniform(a);
+  // Same stream drawn as uneven chunks.
+  std::span<double> rest(b);
+  for (std::size_t len : {1ul, 10ul, 255ul, 511ul}) {
+    chunked.fill_uniform(rest.subspan(0, len));
+    rest = rest.subspan(len);
+  }
+  chunked.fill_uniform(rest);
+  EXPECT_EQ(a, b);
 }
 
 TEST(Xoshiro256, PassesSimpleBitBalance) {
