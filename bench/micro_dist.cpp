@@ -1,0 +1,114 @@
+// Microbenchmarks for the distributed sweep layer (src/dist): canonical
+// cell planning, the shard worker end to end (sweep compute plus journal,
+// raw CSV and manifest I/O), and the merge coordinator (manifest
+// validation, content hashing, row parsing and reassembly).  Worker and
+// merge are the overheads sharding adds on top of the sweep itself; both
+// should stay negligible next to cell compute.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "reissue/dist/merge.hpp"
+#include "reissue/dist/shard.hpp"
+#include "reissue/dist/worker.hpp"
+#include "reissue/exp/runner.hpp"
+#include "reissue/exp/scenario.hpp"
+
+using namespace reissue;
+
+namespace {
+
+std::vector<exp::ScenarioSpec> bench_scenarios(std::size_t scenarios) {
+  std::vector<exp::ScenarioSpec> specs;
+  for (std::size_t s = 0; s < scenarios; ++s) {
+    exp::ScenarioSpec spec = exp::parse_scenario(
+        "name=bench-" + std::to_string(s) +
+        " kind=queueing util=0.3 servers=4 queries=2000 warmup=200 "
+        "percentile=0.95 policy=none policy=r:20:0.5 policy=d:60");
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+exp::SweepOptions bench_options() {
+  exp::SweepOptions options;
+  options.replications = 2;
+  options.seed = 0x5eed;
+  return options;
+}
+
+std::string bench_dir() {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "reissue_micro_dist";
+  std::filesystem::create_directories(dir);
+  return dir.string() + "/";
+}
+
+/// Planning is pure arithmetic over the spec list: it runs on every
+/// worker and at merge, so it must stay trivial even for wide sweeps.
+void BM_ShardPlan(benchmark::State& state) {
+  const auto scenarios =
+      bench_scenarios(static_cast<std::size_t>(state.range(0)));
+  const auto options = bench_options();
+  const dist::ShardRef shard{1, 16};
+  for (auto _ : state) {
+    const auto plan = exp::enumerate_cells(scenarios, options);
+    auto range = dist::shard_cell_range(plan.size(), shard);
+    benchmark::DoNotOptimize(plan.data());
+    benchmark::DoNotOptimize(range);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_ShardPlan)->Arg(4)->Arg(64);
+
+/// One whole shard: cell compute plus journal appends, atomic raw CSV and
+/// manifest writes.  queries/sec here vs BM_ReplicationPipeline in
+/// micro_sim is the sharding tax.
+void BM_ShardWorker(benchmark::State& state) {
+  const auto scenarios = bench_scenarios(1);
+  const std::string raw = bench_dir() + "worker_shard.csv";
+  dist::WorkerOptions worker;
+  worker.shard = dist::ShardRef{0, 1};
+  worker.raw_output = raw;
+  worker.sweep = bench_options();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto report = dist::run_shard(scenarios, worker);
+    cells = report.cells_total;
+    benchmark::DoNotOptimize(report.manifest.hash);
+  }
+  const auto queries_per_run = static_cast<benchmark::IterationCount>(
+      cells * worker.sweep.replications * scenarios[0].queries);
+  state.SetItemsProcessed(state.iterations() * queries_per_run);
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * queries_per_run),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardWorker)->Unit(benchmark::kMillisecond);
+
+/// Merge of a pre-built 3-shard sweep: validation + hashing + parsing +
+/// reassembly, no simulation at all.
+void BM_MergeShards(benchmark::State& state) {
+  const auto scenarios = bench_scenarios(4);
+  std::vector<std::string> paths;
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    dist::WorkerOptions worker;
+    worker.shard = dist::ShardRef{i, 3};
+    worker.raw_output = bench_dir() + "merge_s" + std::to_string(i) + ".csv";
+    worker.sweep = bench_options();
+    rows += dist::run_shard(scenarios, worker).manifest.rows;
+    paths.push_back(worker.raw_output);
+  }
+  for (auto _ : state) {
+    const auto report = dist::merge_shards(paths);
+    benchmark::DoNotOptimize(report.cells.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(rows));
+}
+BENCHMARK(BM_MergeShards)->Unit(benchmark::kMillisecond);
+
+}  // namespace

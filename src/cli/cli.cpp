@@ -8,6 +8,10 @@
 #include "reissue/core/adaptive.hpp"
 #include "reissue/core/optimizer.hpp"
 #include "reissue/core/policy_io.hpp"
+#include "reissue/dist/io.hpp"
+#include "reissue/dist/merge.hpp"
+#include "reissue/dist/shard.hpp"
+#include "reissue/dist/worker.hpp"
 #include "reissue/exp/aggregate.hpp"
 #include "reissue/exp/registry.hpp"
 #include "reissue/exp/runner.hpp"
@@ -35,7 +39,10 @@ usage:
                        [--replications N=8] [--threads N=1] [--seed S]
                        [--percentile K] [--queries N] [--warmup N]
                        [--full-logs] [--output FILE]
+                       [--shard i/N --raw-output FILE [--journal FILE]
+                        [--max-cells N]]
   reissue_cli sweep --list
+  reissue_cli merge    --inputs FILE[,FILE...] [--output FILE]
   reissue_cli help
 )";
 
@@ -301,13 +308,84 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
   // sorted-log percentiles (materializes per-query logs per replication).
   if (args.has("full-logs")) options.log_mode = core::LogMode::kFull;
 
+  // Distributed mode: run one shard of the sweep and emit the raw
+  // replication CSV + manifest for `reissue_cli merge`, checkpointing
+  // completed cells to a journal so a killed shard resumes for free.
+  if (args.has("shard") || args.has("raw-output")) {
+    if (!args.has("raw-output")) {
+      throw std::runtime_error("sweep --shard requires --raw-output");
+    }
+    if (args.has("output")) {
+      throw std::runtime_error(
+          "sweep: --output and --raw-output are mutually exclusive "
+          "(merge the raw shards to get the aggregated CSV)");
+    }
+    dist::WorkerOptions worker;
+    if (args.has("shard")) {
+      worker.shard = dist::parse_shard(require_value(args, "shard", "sweep"));
+    }
+    worker.raw_output = require_value(args, "raw-output", "sweep");
+    if (args.has("journal")) {
+      worker.journal = require_value(args, "journal", "sweep");
+    }
+    worker.sweep = options;
+    worker.max_new_cells =
+        static_cast<std::size_t>(parse_u64(args, "max-cells", 0));
+    const auto report = dist::run_shard(scenarios, worker);
+    out << "shard " << dist::to_string(report.manifest.shard) << ": ";
+    if (report.finished) {
+      out << report.cells_total << " cells (" << report.manifest.rows
+          << " rows) -> " << worker.raw_output;
+      if (report.cells_resumed > 0) {
+        out << " (" << report.cells_resumed << " resumed from journal)";
+      }
+      out << "\n";
+    } else {
+      out << "checkpointed " << (report.cells_resumed + report.cells_run)
+          << "/" << report.cells_total
+          << " cells; rerun the same command to resume\n";
+    }
+    return 0;
+  }
+
   const auto cells = exp::aggregate(exp::run_sweep(scenarios, options));
   if (args.has("output")) {
     const std::string path = require_value(args, "output", "sweep");
-    std::ofstream file(path);
-    if (!file) throw std::runtime_error("cannot open output file: " + path);
-    exp::write_csv(file, cells);
+    std::ostringstream csv;
+    exp::write_csv(csv, cells);
+    dist::atomic_write_file(path, csv.str());
     out << "wrote " << cells.size() << " cells to " << path << "\n";
+  } else {
+    exp::write_csv(out, cells);
+  }
+  return 0;
+}
+
+int cmd_merge(const ParsedArgs& args, std::ostream& out) {
+  const std::string list = require_value(args, "inputs", "merge");
+  std::vector<std::string> paths;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto pos = list.find(',', start);
+    const std::string entry =
+        list.substr(start, pos == std::string::npos ? pos : pos - start);
+    if (!entry.empty()) paths.push_back(entry);
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  if (paths.empty()) {
+    throw std::runtime_error("merge --inputs needs at least one file");
+  }
+
+  const auto report = dist::merge_shards(paths);
+  const auto cells = exp::aggregate(report.cells);
+  if (args.has("output")) {
+    const std::string path = require_value(args, "output", "merge");
+    std::ostringstream csv;
+    exp::write_csv(csv, cells);
+    dist::atomic_write_file(path, csv.str());
+    out << "merged " << report.shards << " shards (" << report.rows
+        << " rows) into " << cells.size() << " cells -> " << path << "\n";
   } else {
     exp::write_csv(out, cells);
   }
@@ -369,6 +447,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "tune") return cmd_tune(parsed, out);
     if (parsed.command == "evaluate") return cmd_evaluate(parsed, out);
     if (parsed.command == "sweep") return cmd_sweep(parsed, out);
+    if (parsed.command == "merge") return cmd_merge(parsed, out);
     err << "unknown command: " << parsed.command << "\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -23,10 +23,21 @@
 //   sweep     --scenarios NAME[,NAME...] | --spec "name=... kind=..."
 //             [--replications N] [--threads N] [--seed S] [--percentile K]
 //             [--output FILE] | --list
+//             [--shard i/N --raw-output FILE [--journal FILE] [--max-cells N]]
 //       Runs the parallel experiment engine over registry scenarios /
 //       catalogs (or an inline spec) with deterministic per-replication
 //       seed substreams, and emits per-cell CSV with tail + 95% CI
 //       columns.  Output is bit-identical for any --threads value.
+//       With --shard i/N --raw-output FILE, runs only that slice of the
+//       sweep's canonical cell plan (src/dist) and emits replication-level
+//       raw CSV plus a manifest, checkpointing completed cells to a
+//       journal so a killed shard resumes without recomputation.
+//
+//   merge     --inputs FILE[,FILE...] [--output FILE]
+//       Validates the shards' manifests (same sweep, complete and disjoint
+//       shard set, intact file hashes), reassembles the cells in canonical
+//       order and aggregates them: the merged CSV is byte-identical to
+//       `sweep` run in one process with any thread count.
 //
 //   help
 #pragma once

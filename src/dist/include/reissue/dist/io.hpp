@@ -1,0 +1,38 @@
+// Small file and hashing utilities shared by the distributed-sweep layer:
+// whole-file reads, atomic writes (temp file + rename, so an interrupted
+// worker or merge never leaves a truncated CSV behind), and the FNV-1a
+// content hash that shard manifests pin their raw files with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace reissue::dist {
+
+/// FNV-1a 64-bit over raw bytes: stable across platforms, cheap enough to
+/// hash multi-megabyte shard files at merge time.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Lower-case 16-digit hex form of a 64-bit value (manifest hash lines,
+/// journal fingerprints -- the two must format identically).
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+/// Reads a whole file as bytes.  Throws std::runtime_error naming the path
+/// on open/read failure.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Writes `contents` to `path` atomically: the bytes land in `path + ".tmp"`
+/// first and are renamed over `path` only after a clean close, so readers
+/// never observe a truncated file.  Throws std::runtime_error naming the
+/// path on failure (the temp file is removed).
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace reissue::dist

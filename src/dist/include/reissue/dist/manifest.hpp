@@ -1,0 +1,75 @@
+// Shard manifests: the metadata a worker emits next to its raw
+// replication CSV so the merge coordinator can verify -- before touching a
+// single row -- that every shard ran the same sweep (same scenario specs,
+// root seed, replication count, percentile override and log mode), that
+// the shard set is complete and disjoint, and that each raw file still
+// holds exactly the bytes its worker wrote (row count + FNV-1a content
+// hash).  A mismatched shard is rejected at merge time instead of silently
+// corrupting the merged CSV.
+//
+// Manifests round-trip through a fixed-order line-oriented text form:
+//
+//   reissue-shard-manifest v1
+//   shard 0/3
+//   cells 0 3
+//   total-cells 9
+//   replications 8
+//   seed 24397
+//   percentile 0
+//   log-mode streaming
+//   rows 24
+//   hash 8c5fa1f3209c1e17
+//   scenario name=queueing-u30 kind=queueing ...
+//   scenario ...
+//
+// Scenario lines carry exp::to_spec_string forms in sweep order; spec
+// strings round-trip doubles exactly, so re-deriving the cell plan from a
+// manifest reproduces the worker's plan bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reissue/core/run_result.hpp"
+#include "reissue/dist/shard.hpp"
+
+namespace reissue::dist {
+
+struct Manifest {
+  ShardRef shard;
+  CellRange cells;               ///< Canonical cell index range [begin, end).
+  std::size_t total_cells = 0;   ///< Cells in the whole sweep.
+  std::size_t replications = 0;  ///< Replications per cell.
+  std::uint64_t seed = 0;        ///< Root seed of the whole sweep.
+  double percentile = 0.0;       ///< Sweep-wide override (0 = per-scenario).
+  core::LogMode log_mode = core::LogMode::kStreaming;
+  std::size_t rows = 0;          ///< Data rows in the raw CSV.
+  std::uint64_t hash = 0;        ///< fnv1a64 of the raw CSV file bytes.
+  /// exp::to_spec_string of every sweep scenario, in sweep order.
+  std::vector<std::string> scenarios;
+
+  friend bool operator==(const Manifest&, const Manifest&) = default;
+};
+
+[[nodiscard]] std::string to_string(core::LogMode mode);
+[[nodiscard]] core::LogMode log_mode_from_string(std::string_view token);
+
+/// The text form documented above (inverse of parse_manifest).
+[[nodiscard]] std::string to_text(const Manifest& manifest);
+
+/// Parses the text form.  Throws std::runtime_error with a one-line
+/// diagnostic naming the malformed line.
+[[nodiscard]] Manifest parse_manifest(std::string_view text);
+
+/// Hash of everything that identifies the shard's slice of the sweep
+/// (shard, cell range, specs, seed, replications, percentile, log mode) --
+/// rows and content hash excluded.  Journals are stamped with this so a
+/// resumed worker refuses checkpoints from a different sweep or shard.
+[[nodiscard]] std::uint64_t shard_fingerprint(const Manifest& manifest);
+
+/// Conventional manifest path for a raw shard CSV ("FILE.manifest").
+[[nodiscard]] std::string manifest_path(const std::string& raw_path);
+
+}  // namespace reissue::dist

@@ -1,0 +1,43 @@
+// Merge coordinator: validates shard manifests, verifies raw file
+// integrity, reassembles cells in canonical order, and hands back
+// CellResults ready for exp::aggregate -- so the merged CSV is
+// byte-identical to `reissue_cli sweep` run in one process at any thread
+// count.
+//
+// Everything is re-derived and cross-checked rather than trusted: the
+// scenario specs in the manifests are re-parsed and re-planned, each
+// shard's claimed cell range is recomputed from the planner, file bytes
+// are re-hashed against the manifest, and every row's (cell, replication,
+// scenario, policy, percentile) must land exactly where the plan says.
+// Missing shards, duplicate shards, shards from a different sweep, and
+// tampered or truncated files all produce targeted errors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reissue/exp/runner.hpp"
+
+namespace reissue::dist {
+
+struct MergeReport {
+  /// The full sweep's cells in canonical order, ready for exp::aggregate.
+  std::vector<exp::CellResult> cells;
+  /// Scenario specs reconstructed from the manifests, in sweep order.
+  std::vector<exp::ScenarioSpec> scenarios;
+  /// Sweep options reconstructed from the manifests (replications, seed,
+  /// percentile override, log mode; threads is not part of the output
+  /// contract and stays default).
+  exp::SweepOptions options;
+  std::size_t shards = 0;
+  std::size_t rows = 0;
+};
+
+/// Merges the shards' raw CSVs (manifests are read from
+/// manifest_path(raw_path) next to each file).  Throws std::runtime_error
+/// with a targeted diagnostic on any inconsistency.
+[[nodiscard]] MergeReport merge_shards(
+    const std::vector<std::string>& raw_paths);
+
+}  // namespace reissue::dist

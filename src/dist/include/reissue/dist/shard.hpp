@@ -1,0 +1,47 @@
+// Deterministic shard planner for distributed sweeps.
+//
+// A sweep's cells (exp::enumerate_cells order: scenario-major, then
+// policy-major) form index space [0, C).  Shard i of N owns the contiguous
+// range [floor(i*C/N), floor((i+1)*C/N)): ranges are disjoint, cover every
+// cell, never differ in size by more than one, and depend only on (C, N) --
+// so any machine that knows the sweep spec computes the same plan, and the
+// merge coordinator can verify a shard's claimed range without trusting it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace reissue::dist {
+
+/// "i/N": this worker runs shard index i of N total shards.
+struct ShardRef {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  friend bool operator==(const ShardRef&, const ShardRef&) = default;
+};
+
+/// Canonical "i/N" form (inverse of parse_shard).
+[[nodiscard]] std::string to_string(const ShardRef& shard);
+
+/// Parses "i/N" with 0 <= i < N, N >= 1.  Throws std::runtime_error with a
+/// one-line diagnostic on malformed input.
+[[nodiscard]] ShardRef parse_shard(std::string_view token);
+
+/// Half-open cell index range [begin, end) owned by a shard.
+struct CellRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const noexcept { return end - begin; }
+  friend bool operator==(const CellRange&, const CellRange&) = default;
+};
+
+/// The contiguous slice of [0, total_cells) owned by `shard`.  Empty when
+/// there are fewer cells than shards and this shard drew no cell.  Throws
+/// std::invalid_argument on an invalid shard (index >= count or count 0).
+[[nodiscard]] CellRange shard_cell_range(std::size_t total_cells,
+                                         const ShardRef& shard);
+
+}  // namespace reissue::dist

@@ -1,0 +1,77 @@
+// Shard worker: runs one shard of a distributed sweep and emits the raw
+// replication-level CSV plus its manifest.
+//
+// The worker computes the same canonical cell plan as the local runner
+// (exp::enumerate_cells), slices its shard's contiguous range, and runs
+// the cells one at a time -- replications of a cell fan across the
+// configured threads with per-thread system caches, reseeded per
+// replication exactly like exp::run_sweep, so every row is bit-identical
+// to the row a single-process sweep would produce.
+//
+// Checkpoint/resume: after each completed cell the worker appends the
+// cell's raw rows plus a "cell-done" marker to a journal file and flushes.
+// A killed worker rerun with the same options validates the journal's
+// shard fingerprint, trusts completed cells verbatim (rows are replayed
+// byte-for-byte into the final file), discards any partial trailing cell,
+// and computes only what is missing.  The finished raw CSV and manifest
+// are written atomically and the journal is removed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "reissue/dist/manifest.hpp"
+#include "reissue/dist/shard.hpp"
+#include "reissue/exp/runner.hpp"
+
+namespace reissue::dist {
+
+struct WorkerOptions {
+  /// Which slice of the sweep this worker owns.
+  ShardRef shard;
+  /// Raw replication CSV path (required).  The manifest lands next to it
+  /// at manifest_path(raw_output).
+  std::string raw_output;
+  /// Checkpoint journal path; empty = raw_output + ".journal".
+  std::string journal;
+  /// Replications / threads / seed / percentile / log mode of the whole
+  /// sweep -- must be identical across shards (the manifest pins them).
+  /// Worker parallelism is bounded by the replication count: cells run one
+  /// at a time so every checkpoint is a whole cell (shard wider, not
+  /// deeper, to use more cores than a cell has replications).
+  exp::SweepOptions sweep;
+  /// Stop after computing this many new cells, leaving the journal in
+  /// place (0 = run to completion).  Both an incremental work budget for
+  /// preemptible machines and the checkpoint test hook.
+  std::size_t max_new_cells = 0;
+};
+
+struct WorkerReport {
+  /// The shard's manifest; rows/hash are populated only when `finished`.
+  Manifest manifest;
+  /// True once the raw CSV + manifest are on disk and the journal is gone.
+  bool finished = false;
+  std::size_t cells_total = 0;    ///< Cells in this shard's range.
+  std::size_t cells_resumed = 0;  ///< Recovered from the journal.
+  std::size_t cells_run = 0;      ///< Computed by this invocation.
+};
+
+/// Conventional journal path for a raw shard CSV ("FILE.journal").
+[[nodiscard]] std::string journal_path(const std::string& raw_path);
+
+/// The manifest a finished run of this shard will produce, minus rows and
+/// content hash: the planning/validation half of run_shard, shared with
+/// the merge coordinator and with tests.  Throws on invalid sweeps (same
+/// contract as exp::run_sweep) or an invalid shard.
+[[nodiscard]] Manifest plan_manifest(
+    const std::vector<exp::ScenarioSpec>& scenarios,
+    const exp::SweepOptions& sweep, const ShardRef& shard);
+
+/// Runs (or resumes) one shard.  Throws std::runtime_error on I/O errors,
+/// a journal from a different sweep/shard, or corrupted journal entries.
+[[nodiscard]] WorkerReport run_shard(
+    const std::vector<exp::ScenarioSpec>& scenarios,
+    const WorkerOptions& options);
+
+}  // namespace reissue::dist

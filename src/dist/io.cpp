@@ -1,0 +1,50 @@
+#include "reissue/dist/io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reissue::dist {
+
+std::string hex64(std::uint64_t value) {
+  char buf[16];
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = "0123456789abcdef"[value & 0xf];
+    value >>= 4;
+  }
+  return std::string(buf, sizeof buf);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("cannot read file: " + path);
+  return std::move(os).str();
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open output file: " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.close();
+    if (out.fail()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("cannot write output file: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace reissue::dist

@@ -1,0 +1,181 @@
+#include "reissue/dist/manifest.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "reissue/dist/io.hpp"
+
+namespace reissue::dist {
+
+namespace {
+
+constexpr std::string_view kMagic = "reissue-shard-manifest v1";
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+[[noreturn]] void bad_line(std::string_view what, std::string_view line) {
+  throw std::runtime_error("manifest: expected '" + std::string(what) +
+                           "', got '" + std::string(line) + "'");
+}
+
+/// Consumes the next line; empty iterator position throws.
+class LineReader {
+ public:
+  explicit LineReader(std::string_view text) : rest_(text) {}
+
+  [[nodiscard]] bool done() const noexcept { return rest_.empty(); }
+
+  std::string_view next(std::string_view what) {
+    if (rest_.empty()) {
+      throw std::runtime_error("manifest: missing '" + std::string(what) +
+                               "' line");
+    }
+    const auto pos = rest_.find('\n');
+    std::string_view line;
+    if (pos == std::string_view::npos) {
+      line = rest_;
+      rest_ = {};
+    } else {
+      line = rest_.substr(0, pos);
+      rest_.remove_prefix(pos + 1);
+    }
+    return line;
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+/// Value part of "key value", enforcing the key.
+std::string_view keyed(std::string_view key, std::string_view line) {
+  if (line.size() <= key.size() || line.substr(0, key.size()) != key ||
+      line[key.size()] != ' ') {
+    bad_line(key, line);
+  }
+  return line.substr(key.size() + 1);
+}
+
+std::uint64_t parse_u64(std::string_view what, std::string_view token,
+                        int base = 10) {
+  std::uint64_t value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value, base);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error("manifest: " + std::string(what) +
+                             ": not a number: '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+double parse_num(std::string_view what, std::string_view token) {
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error("manifest: " + std::string(what) +
+                             ": not a number: '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string to_string(core::LogMode mode) {
+  return mode == core::LogMode::kFull ? "full" : "streaming";
+}
+
+core::LogMode log_mode_from_string(std::string_view token) {
+  if (token == "full") return core::LogMode::kFull;
+  if (token == "streaming") return core::LogMode::kStreaming;
+  throw std::runtime_error("manifest: log-mode must be full|streaming "
+                           "(got '" + std::string(token) + "')");
+}
+
+std::string to_text(const Manifest& manifest) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "shard " << to_string(manifest.shard) << "\n";
+  os << "cells " << manifest.cells.begin << " " << manifest.cells.end << "\n";
+  os << "total-cells " << manifest.total_cells << "\n";
+  os << "replications " << manifest.replications << "\n";
+  os << "seed " << manifest.seed << "\n";
+  os << "percentile " << fmt(manifest.percentile) << "\n";
+  os << "log-mode " << to_string(manifest.log_mode) << "\n";
+  os << "rows " << manifest.rows << "\n";
+  os << "hash " << hex64(manifest.hash) << "\n";
+  for (const auto& scenario : manifest.scenarios) {
+    os << "scenario " << scenario << "\n";
+  }
+  return os.str();
+}
+
+Manifest parse_manifest(std::string_view text) {
+  LineReader lines(text);
+  if (lines.next(kMagic) != kMagic) {
+    throw std::runtime_error("manifest: missing '" + std::string(kMagic) +
+                             "' header");
+  }
+  Manifest manifest;
+  manifest.shard = parse_shard(keyed("shard", lines.next("shard")));
+
+  {
+    const std::string_view value = keyed("cells", lines.next("cells"));
+    const auto space = value.find(' ');
+    if (space == std::string_view::npos) bad_line("cells <begin> <end>", value);
+    manifest.cells.begin = static_cast<std::size_t>(
+        parse_u64("cells begin", value.substr(0, space)));
+    manifest.cells.end = static_cast<std::size_t>(
+        parse_u64("cells end", value.substr(space + 1)));
+    if (manifest.cells.end < manifest.cells.begin) {
+      throw std::runtime_error("manifest: cells end before begin");
+    }
+  }
+  manifest.total_cells = static_cast<std::size_t>(
+      parse_u64("total-cells", keyed("total-cells", lines.next("total-cells"))));
+  manifest.replications = static_cast<std::size_t>(parse_u64(
+      "replications", keyed("replications", lines.next("replications"))));
+  manifest.seed = parse_u64("seed", keyed("seed", lines.next("seed")));
+  manifest.percentile =
+      parse_num("percentile", keyed("percentile", lines.next("percentile")));
+  manifest.log_mode =
+      log_mode_from_string(keyed("log-mode", lines.next("log-mode")));
+  manifest.rows = static_cast<std::size_t>(
+      parse_u64("rows", keyed("rows", lines.next("rows"))));
+  {
+    const std::string_view value = keyed("hash", lines.next("hash"));
+    if (value.size() != 16) {
+      throw std::runtime_error("manifest: hash must be 16 hex digits");
+    }
+    manifest.hash = parse_u64("hash", value, 16);
+  }
+  while (!lines.done()) {
+    const std::string_view line = lines.next("scenario");
+    if (line.empty()) continue;  // tolerate a trailing newline
+    manifest.scenarios.emplace_back(keyed("scenario", line));
+  }
+  if (manifest.scenarios.empty()) {
+    throw std::runtime_error("manifest: no scenario lines");
+  }
+  return manifest;
+}
+
+std::uint64_t shard_fingerprint(const Manifest& manifest) {
+  Manifest identity = manifest;
+  identity.rows = 0;
+  identity.hash = 0;
+  return fnv1a64(to_text(identity));
+}
+
+std::string manifest_path(const std::string& raw_path) {
+  return raw_path + ".manifest";
+}
+
+}  // namespace reissue::dist

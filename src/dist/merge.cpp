@@ -1,0 +1,209 @@
+#include "reissue/dist/merge.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "reissue/dist/io.hpp"
+#include "reissue/dist/manifest.hpp"
+#include "reissue/dist/shard.hpp"
+#include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/scenario.hpp"
+
+namespace reissue::dist {
+
+namespace {
+
+/// The fields every shard of one sweep must agree on: everything except
+/// the shard index, its cell range, and the per-file row count/hash.
+Manifest sweep_identity(const Manifest& manifest) {
+  Manifest identity = manifest;
+  identity.shard.index = 0;
+  identity.cells = CellRange{};
+  identity.rows = 0;
+  identity.hash = 0;
+  return identity;
+}
+
+[[noreturn]] void mismatch(const std::string& path, const std::string& what,
+                           const std::string& got, const std::string& want) {
+  throw std::runtime_error("merge: shard '" + path + "': " + what + " is " +
+                           got + ", other shards have " + want);
+}
+
+void check_same_sweep(const std::string& path, const Manifest& m,
+                      const std::string& ref_path, const Manifest& ref) {
+  if (m.shard.count != ref.shard.count) {
+    mismatch(path, "shard count", std::to_string(m.shard.count),
+             std::to_string(ref.shard.count));
+  }
+  if (m.replications != ref.replications) {
+    mismatch(path, "replications", std::to_string(m.replications),
+             std::to_string(ref.replications));
+  }
+  if (m.seed != ref.seed) {
+    mismatch(path, "seed", std::to_string(m.seed), std::to_string(ref.seed));
+  }
+  if (m.percentile != ref.percentile) {
+    mismatch(path, "percentile", std::to_string(m.percentile),
+             std::to_string(ref.percentile));
+  }
+  if (m.log_mode != ref.log_mode) {
+    mismatch(path, "log-mode", to_string(m.log_mode),
+             to_string(ref.log_mode));
+  }
+  if (m.scenarios != ref.scenarios || m.total_cells != ref.total_cells) {
+    throw std::runtime_error("merge: shard '" + path +
+                             "' was produced by a different sweep than '" +
+                             ref_path + "' (scenario lists differ)");
+  }
+  // Belt and braces: any identity field this function grows behind.
+  if (sweep_identity(m) != sweep_identity(ref)) {
+    throw std::runtime_error("merge: shard '" + path +
+                             "' was produced by a different sweep than '" +
+                             ref_path + "'");
+  }
+}
+
+}  // namespace
+
+MergeReport merge_shards(const std::vector<std::string>& raw_paths) {
+  if (raw_paths.empty()) {
+    throw std::runtime_error("merge: no shard files given");
+  }
+
+  std::vector<Manifest> manifests;
+  manifests.reserve(raw_paths.size());
+  for (const auto& path : raw_paths) {
+    try {
+      manifests.push_back(parse_manifest(read_file(manifest_path(path))));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("merge: shard '" + path + "': " + e.what());
+    }
+  }
+
+  const Manifest& ref = manifests.front();
+  for (std::size_t i = 1; i < manifests.size(); ++i) {
+    check_same_sweep(raw_paths[i], manifests[i], raw_paths.front(), ref);
+  }
+
+  // The shard set must be exactly {0, ..., N-1}, once each.
+  const std::size_t shard_count = ref.shard.count;
+  std::vector<const std::string*> by_index(shard_count, nullptr);
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const std::size_t index = manifests[i].shard.index;
+    if (by_index[index] != nullptr) {
+      throw std::runtime_error("merge: duplicate shard " +
+                               to_string(manifests[i].shard) + " ('" +
+                               *by_index[index] + "' and '" + raw_paths[i] +
+                               "')");
+    }
+    by_index[index] = &raw_paths[i];
+  }
+  for (std::size_t index = 0; index < shard_count; ++index) {
+    if (by_index[index] == nullptr) {
+      throw std::runtime_error("merge: missing shard " +
+                               std::to_string(index) + "/" +
+                               std::to_string(shard_count));
+    }
+  }
+
+  // Re-derive the plan from the manifest's own scenario specs; a manifest
+  // whose claimed ranges disagree with the planner is corrupt.
+  MergeReport report;
+  report.shards = shard_count;
+  for (const auto& spec_string : ref.scenarios) {
+    try {
+      report.scenarios.push_back(exp::parse_scenario(spec_string));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("merge: manifest scenario '" + spec_string +
+                               "': " + e.what());
+    }
+  }
+  report.options.replications = ref.replications;
+  report.options.seed = ref.seed;
+  report.options.percentile = ref.percentile;
+  report.options.log_mode = ref.log_mode;
+  const auto plan = exp::enumerate_cells(report.scenarios, report.options);
+  if (plan.size() != ref.total_cells) {
+    throw std::runtime_error(
+        "merge: manifest total-cells " + std::to_string(ref.total_cells) +
+        " disagrees with its scenario list (" + std::to_string(plan.size()) +
+        " cells)");
+  }
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const CellRange expected =
+        shard_cell_range(plan.size(), manifests[i].shard);
+    if (manifests[i].cells != expected) {
+      throw std::runtime_error(
+          "merge: shard '" + raw_paths[i] + "': claimed cell range [" +
+          std::to_string(manifests[i].cells.begin) + ", " +
+          std::to_string(manifests[i].cells.end) +
+          ") disagrees with the planner's [" +
+          std::to_string(expected.begin) + ", " +
+          std::to_string(expected.end) + ")");
+    }
+  }
+
+  // Verify each raw file against its manifest, then collect rows.
+  std::vector<exp::RawRow> rows;
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const Manifest& m = manifests[i];
+    const std::string& path = raw_paths[i];
+    const std::string content = read_file(path);
+    if (fnv1a64(content) != m.hash) {
+      throw std::runtime_error(
+          "merge: shard '" + path +
+          "': content hash mismatch (file changed since its manifest was "
+          "written)");
+    }
+    std::istringstream is(content);
+    std::vector<exp::RawRow> shard_rows;
+    try {
+      shard_rows = exp::parse_raw_csv(is);
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("merge: shard '" + path + "': " + e.what());
+    }
+    if (shard_rows.size() != m.rows) {
+      throw std::runtime_error("merge: shard '" + path + "': manifest says " +
+                               std::to_string(m.rows) + " rows, file has " +
+                               std::to_string(shard_rows.size()));
+    }
+    for (const auto& row : shard_rows) {
+      if (row.cell < m.cells.begin || row.cell >= m.cells.end) {
+        throw std::runtime_error("merge: shard '" + path + "': row for cell " +
+                                 std::to_string(row.cell) +
+                                 " is outside the shard's range");
+      }
+      rows.push_back(row);
+    }
+  }
+
+  report.rows = rows.size();
+  report.cells = exp::cells_from_raw_rows(rows, ref.replications);
+  // Rows are confined to their shards' ranges, and those ranges partition
+  // [0, total): matching cell counts therefore means full coverage.
+  if (report.cells.size() != plan.size()) {
+    throw std::runtime_error("merge: assembled " +
+                             std::to_string(report.cells.size()) +
+                             " cells, sweep plan has " +
+                             std::to_string(plan.size()));
+  }
+
+  // Every assembled cell must sit exactly where the plan puts it.
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    const exp::CellRef& cell_ref = plan[c];
+    const exp::ScenarioSpec& spec = report.scenarios[cell_ref.scenario];
+    const exp::CellResult& cell = report.cells[c];
+    if (cell.scenario != spec.name ||
+        cell.policy != exp::to_string(spec.policies[cell_ref.policy]) ||
+        cell.percentile != cell_ref.percentile) {
+      throw std::runtime_error(
+          "merge: cell " + std::to_string(c) + " holds (" + cell.scenario +
+          ", " + cell.policy + "), the sweep plan expects (" + spec.name +
+          ", " + exp::to_string(spec.policies[cell_ref.policy]) + ")");
+    }
+  }
+  return report;
+}
+
+}  // namespace reissue::dist

@@ -1,0 +1,63 @@
+#include "reissue/dist/shard.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace reissue::dist {
+
+namespace {
+
+std::size_t parse_count(std::string_view what, std::string_view token) {
+  std::size_t value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error(std::string(what) + ": not a count: '" +
+                             std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string to_string(const ShardRef& shard) {
+  return std::to_string(shard.index) + "/" + std::to_string(shard.count);
+}
+
+ShardRef parse_shard(std::string_view token) {
+  const auto slash = token.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 == token.size()) {
+    throw std::runtime_error("shard '" + std::string(token) +
+                             "': expected i/N");
+  }
+  ShardRef shard;
+  shard.index = parse_count("shard index", token.substr(0, slash));
+  shard.count = parse_count("shard count", token.substr(slash + 1));
+  if (shard.count == 0) {
+    throw std::runtime_error("shard '" + std::string(token) +
+                             "': count must be >= 1");
+  }
+  if (shard.index >= shard.count) {
+    throw std::runtime_error("shard '" + std::string(token) +
+                             "': index must be < count");
+  }
+  return shard;
+}
+
+CellRange shard_cell_range(std::size_t total_cells, const ShardRef& shard) {
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument("shard_cell_range: invalid shard " +
+                                std::to_string(shard.index) + "/" +
+                                std::to_string(shard.count));
+  }
+  // floor(i*C/N): exact in size_t as long as i*C does not overflow, which
+  // holds for any realistic sweep (C and N are both far below 2^32).
+  CellRange range;
+  range.begin = shard.index * total_cells / shard.count;
+  range.end = (shard.index + 1) * total_cells / shard.count;
+  return range;
+}
+
+}  // namespace reissue::dist

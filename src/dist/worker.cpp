@@ -1,0 +1,328 @@
+#include "reissue/dist/worker.hpp"
+
+#include <atomic>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "reissue/dist/io.hpp"
+#include "reissue/exp/aggregate.hpp"
+
+namespace reissue::dist {
+
+namespace {
+
+constexpr std::string_view kJournalMagic = "reissue-shard-journal v1";
+
+std::string journal_header(std::uint64_t fingerprint) {
+  return std::string(kJournalMagic) + " " + hex64(fingerprint);
+}
+
+/// Completed cells recovered from a journal: canonical cell index -> raw
+/// row lines ordered by replication.  Lines are kept verbatim so a resumed
+/// shard file is byte-identical to an uninterrupted one.
+using CompletedCells = std::map<std::size_t, std::vector<std::string>>;
+
+CompletedCells parse_journal(const std::string& path,
+                             std::uint64_t fingerprint,
+                             const CellRange& range,
+                             const std::vector<exp::ScenarioSpec>& scenarios,
+                             const std::vector<exp::CellRef>& plan,
+                             const exp::SweepOptions& sweep) {
+  const std::size_t replications = sweep.replications;
+  const std::string text = read_file(path);
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != journal_header(fingerprint)) {
+    throw std::runtime_error(
+        "journal '" + path +
+        "': fingerprint mismatch (written by a different sweep or shard); "
+        "delete it to recompute this shard from scratch");
+  }
+
+  CompletedCells completed;
+  std::vector<std::string> pending;  // rows since the last cell-done marker
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("cell-done ", 0) != 0) {
+      pending.push_back(line);
+      continue;
+    }
+    std::istringstream marker(line.substr(10));
+    std::size_t cell = 0;
+    std::size_t rows = 0;
+    if (!(marker >> cell >> rows) || (marker >> std::ws, !marker.eof())) {
+      throw std::runtime_error("journal '" + path + "': malformed marker '" +
+                               line + "'");
+    }
+    if (cell < range.begin || cell >= range.end) {
+      throw std::runtime_error("journal '" + path + "': cell " +
+                               std::to_string(cell) +
+                               " is outside this shard's range");
+    }
+    if (rows != replications || pending.size() != rows) {
+      throw std::runtime_error(
+          "journal '" + path + "': cell " + std::to_string(cell) + " has " +
+          std::to_string(pending.size()) + " rows, marker claims " +
+          std::to_string(rows) + ", sweep needs " +
+          std::to_string(replications));
+    }
+    if (completed.count(cell) != 0) {
+      throw std::runtime_error("journal '" + path + "': duplicate cell " +
+                               std::to_string(cell));
+    }
+    // Order rows by replication index, verify the set is exactly 0..R-1,
+    // and check each row says exactly what the sweep plan says about its
+    // cell (including the derived seed) -- a corrupted-but-parseable
+    // journal must not leak into the shard file.  The lines themselves
+    // stay verbatim so resumed files are byte-identical.
+    const exp::ScenarioSpec& spec = scenarios[plan[cell].scenario];
+    const std::string policy =
+        exp::to_string(spec.policies[plan[cell].policy]);
+    std::vector<std::string> ordered(replications);
+    std::vector<bool> seen(replications, false);
+    for (auto& row_line : pending) {
+      exp::RawRow row;
+      try {
+        row = exp::parse_raw_csv_row(row_line);
+      } catch (const std::runtime_error& e) {
+        throw std::runtime_error("journal '" + path + "': cell " +
+                                 std::to_string(cell) + ": " + e.what());
+      }
+      if (row.cell != cell || row.replication >= replications ||
+          seen[row.replication]) {
+        throw std::runtime_error("journal '" + path + "': cell " +
+                                 std::to_string(cell) +
+                                 " holds a row for cell " +
+                                 std::to_string(row.cell) + " replication " +
+                                 std::to_string(row.replication));
+      }
+      if (row.scenario != spec.name || row.policy != policy ||
+          row.percentile != plan[cell].percentile ||
+          row.metrics.seed !=
+              exp::replication_seed(sweep.seed, spec.name, row.replication)) {
+        throw std::runtime_error(
+            "journal '" + path + "': cell " + std::to_string(cell) +
+            " replication " + std::to_string(row.replication) +
+            " does not match the sweep plan");
+      }
+      seen[row.replication] = true;
+      ordered[row.replication] = std::move(row_line);
+    }
+    completed.emplace(cell, std::move(ordered));
+    pending.clear();
+  }
+  // Rows after the last marker belong to the cell the worker was killed
+  // in; they are recomputed, not trusted.
+  return completed;
+}
+
+/// Per-thread-slot system cache, persistent across the shard's cells so
+/// expensive substrates build once per slot (mirrors run_sweep's workers).
+using SystemCache =
+    std::unordered_map<std::size_t, std::unique_ptr<core::SystemUnderTest>>;
+
+exp::CellResult run_one_cell(const std::vector<exp::ScenarioSpec>& scenarios,
+                             const exp::CellRef& ref,
+                             const exp::SweepOptions& sweep,
+                             std::vector<SystemCache>& slots) {
+  const exp::ScenarioSpec& spec = scenarios[ref.scenario];
+  const exp::PolicySpec& policy = spec.policies[ref.policy];
+  exp::CellResult cell;
+  cell.scenario = spec.name;
+  cell.policy = exp::to_string(policy);
+  cell.percentile = ref.percentile;
+  cell.replications.resize(sweep.replications);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto work = [&](std::size_t slot) {
+    SystemCache& cache = slots[slot];
+    for (;;) {
+      const std::size_t r = next.fetch_add(1, std::memory_order_relaxed);
+      if (r >= sweep.replications) return;
+      try {
+        auto& system = cache[ref.scenario];
+        if (!system) {
+          system = exp::make_system(
+              spec, exp::construction_seed(sweep.seed, spec.name));
+        }
+        const std::uint64_t seed =
+            exp::replication_seed(sweep.seed, spec.name, r);
+        if (!system->reseed(seed)) {
+          throw std::runtime_error("run_shard: scenario '" + spec.name +
+                                   "' system does not support reseeding");
+        }
+        cell.replications[r] = exp::run_cell_replication(
+            *system, policy, ref.percentile, seed, sweep.log_mode);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(sweep.replications, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (slots.size() <= 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(slots.size());
+    for (std::size_t s = 0; s < slots.size(); ++s) threads.emplace_back(work, s);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return cell;
+}
+
+}  // namespace
+
+std::string journal_path(const std::string& raw_path) {
+  return raw_path + ".journal";
+}
+
+namespace {
+
+Manifest make_manifest(const std::vector<exp::ScenarioSpec>& scenarios,
+                       const exp::SweepOptions& sweep, const ShardRef& shard,
+                       std::size_t total_cells) {
+  Manifest manifest;
+  manifest.shard = shard;
+  manifest.cells = shard_cell_range(total_cells, shard);
+  manifest.total_cells = total_cells;
+  manifest.replications = sweep.replications;
+  manifest.seed = sweep.seed;
+  manifest.percentile = sweep.percentile;
+  manifest.log_mode = sweep.log_mode;
+  for (const auto& spec : scenarios) {
+    manifest.scenarios.push_back(to_spec_string(spec));
+  }
+  return manifest;
+}
+
+}  // namespace
+
+Manifest plan_manifest(const std::vector<exp::ScenarioSpec>& scenarios,
+                       const exp::SweepOptions& sweep, const ShardRef& shard) {
+  return make_manifest(scenarios, sweep, shard,
+                       exp::enumerate_cells(scenarios, sweep).size());
+}
+
+WorkerReport run_shard(const std::vector<exp::ScenarioSpec>& scenarios,
+                       const WorkerOptions& options) {
+  if (options.raw_output.empty()) {
+    throw std::runtime_error("run_shard: raw_output path is required");
+  }
+  const auto plan = exp::enumerate_cells(scenarios, options.sweep);
+  Manifest manifest =
+      make_manifest(scenarios, options.sweep, options.shard, plan.size());
+  const CellRange range = manifest.cells;
+  const std::uint64_t fingerprint = shard_fingerprint(manifest);
+  const std::string journal =
+      options.journal.empty() ? journal_path(options.raw_output)
+                              : options.journal;
+
+  WorkerReport report;
+  report.cells_total = range.size();
+
+  CompletedCells completed;
+  if (std::filesystem::exists(journal)) {
+    completed = parse_journal(journal, fingerprint, range, scenarios, plan,
+                              options.sweep);
+  }
+  report.cells_resumed = completed.size();
+
+  // Thread slots for this shard: replications of one cell fan across them
+  // (bounded by the replication count -- the per-cell barrier is what
+  // makes every checkpoint a whole cell); caches persist across cells so
+  // substrates build once per slot.
+  std::size_t threads = options.sweep.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::max<std::size_t>(
+      1, std::min(threads, options.sweep.replications));
+  std::vector<SystemCache> slots(threads);
+
+  bool budget_hit = false;
+  if (completed.size() < range.size()) {
+    // (Re)write the journal from the validated checkpoint before
+    // appending: a killed run may have left partial rows after the last
+    // marker, and appending behind them would wedge the next resume.
+    std::string replay = journal_header(fingerprint) + "\n";
+    for (const auto& [cell, lines] : completed) {
+      for (const auto& line : lines) {
+        replay += line;
+        replay += '\n';
+      }
+      replay += "cell-done " + std::to_string(cell) + " " +
+                std::to_string(lines.size()) + "\n";
+    }
+    atomic_write_file(journal, replay);
+    std::ofstream out(journal, std::ios::binary | std::ios::app);
+    if (!out) {
+      throw std::runtime_error("run_shard: cannot open journal: " + journal);
+    }
+    for (std::size_t c = range.begin; c < range.end; ++c) {
+      if (completed.count(c) != 0) continue;
+      if (options.max_new_cells != 0 &&
+          report.cells_run >= options.max_new_cells) {
+        budget_hit = true;
+        break;
+      }
+      const exp::CellResult cell =
+          run_one_cell(scenarios, plan[c], options.sweep, slots);
+      std::vector<std::string> lines;
+      lines.reserve(cell.replications.size());
+      for (std::size_t r = 0; r < cell.replications.size(); ++r) {
+        lines.push_back(exp::raw_csv_row(cell, c, r));
+      }
+      for (const auto& line : lines) out << line << "\n";
+      out << "cell-done " << c << " " << lines.size() << "\n" << std::flush;
+      if (!out) {
+        throw std::runtime_error("run_shard: cannot append to journal: " +
+                                 journal);
+      }
+      completed.emplace(c, std::move(lines));
+      ++report.cells_run;
+    }
+  }
+
+  if (budget_hit) {
+    report.manifest = manifest;  // rows/hash stay zero: not finished
+    return report;
+  }
+
+  std::string content = exp::raw_csv_header() + "\n";
+  std::size_t rows = 0;
+  for (const auto& [cell, lines] : completed) {
+    (void)cell;
+    for (const auto& line : lines) {
+      content += line;
+      content += '\n';
+      ++rows;
+    }
+  }
+  manifest.rows = rows;
+  manifest.hash = fnv1a64(content);
+
+  atomic_write_file(options.raw_output, content);
+  atomic_write_file(manifest_path(options.raw_output), to_text(manifest));
+  std::error_code ec;
+  std::filesystem::remove(journal, ec);  // best effort: resume would no-op
+
+  report.manifest = manifest;
+  report.finished = true;
+  return report;
+}
+
+}  // namespace reissue::dist

@@ -1,8 +1,12 @@
 #include "reissue/exp/aggregate.hpp"
 
+#include <algorithm>
 #include <charconv>
+#include <istream>
 #include <ostream>
 #include <stdexcept>
+
+#include "reissue/exp/scenario.hpp"
 
 namespace reissue::exp {
 
@@ -114,6 +118,224 @@ std::string csv_row(const CellStats& stats) {
 void write_csv(std::ostream& os, const std::vector<CellStats>& cells) {
   os << csv_header() << "\n";
   for (const auto& cell : cells) os << csv_row(cell) << "\n";
+}
+
+// --------------------------------------------------------------- raw CSV
+
+namespace {
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const auto pos = line.find(',', start);
+    if (pos == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+double field_num(std::string_view column, std::string_view token) {
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error("raw csv: column " + std::string(column) +
+                             ": not a number: '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::uint64_t field_u64(std::string_view column, std::string_view token) {
+  std::uint64_t value = 0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw std::runtime_error("raw csv: column " + std::string(column) +
+                             ": not a count: '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string raw_csv_header() {
+  return "scenario,policy,percentile,cell,replication,seed,resolved_policy,"
+         "tail,tail_p2,mean_latency,reissue_rate,remediation,utilization,"
+         "outstanding";
+}
+
+std::string raw_csv_row(const CellResult& cell, std::size_t cell_index,
+                        std::size_t replication) {
+  const ReplicationMetrics& rep = cell.replications.at(replication);
+  std::string row;
+  row += cell.scenario;
+  row += ',';
+  row += cell.policy;
+  row += ',';
+  row += fmt(cell.percentile);
+  row += ',';
+  row += std::to_string(cell_index);
+  row += ',';
+  row += std::to_string(replication);
+  row += ',';
+  row += std::to_string(rep.seed);
+  row += ',';
+  row += to_string(PolicySpec::fixed_policy(rep.policy));
+  row += ',';
+  row += fmt(rep.tail);
+  row += ',';
+  row += fmt(rep.tail_psquare);
+  row += ',';
+  row += fmt(rep.mean_latency);
+  row += ',';
+  row += fmt(rep.reissue_rate);
+  row += ',';
+  row += fmt(rep.remediation);
+  row += ',';
+  row += fmt(rep.utilization);
+  row += ',';
+  row += fmt(rep.outstanding_at_delay);
+  return row;
+}
+
+void write_raw_csv(std::ostream& os, const std::vector<CellResult>& cells,
+                   std::size_t first_cell_index) {
+  os << raw_csv_header() << "\n";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t r = 0; r < cells[c].replications.size(); ++r) {
+      os << raw_csv_row(cells[c], first_cell_index + c, r) << "\n";
+    }
+  }
+}
+
+RawRow parse_raw_csv_row(std::string_view line) {
+  const auto fields = split_fields(line);
+  if (fields.size() != 14) {
+    throw std::runtime_error("raw csv: expected 14 columns, got " +
+                             std::to_string(fields.size()));
+  }
+  RawRow row;
+  row.scenario = std::string(fields[0]);
+  if (row.scenario.empty()) {
+    throw std::runtime_error("raw csv: column scenario: empty");
+  }
+  row.policy = std::string(fields[1]);
+  // Both policy tokens go through the spec parser: malformed tokens fail
+  // here instead of producing unreadable cells at aggregation time.
+  (void)parse_policy_spec(row.policy);
+  row.percentile = field_num("percentile", fields[2]);
+  row.cell = static_cast<std::size_t>(field_u64("cell", fields[3]));
+  row.replication =
+      static_cast<std::size_t>(field_u64("replication", fields[4]));
+  row.metrics.seed = field_u64("seed", fields[5]);
+  const PolicySpec resolved = parse_policy_spec(std::string(fields[6]));
+  if (resolved.kind != PolicySpec::Kind::kFixed) {
+    throw std::runtime_error(
+        "raw csv: column resolved_policy: expected a fixed policy token, "
+        "got '" + std::string(fields[6]) + "'");
+  }
+  row.metrics.policy = resolved.fixed;
+  row.metrics.tail = field_num("tail", fields[7]);
+  row.metrics.tail_psquare = field_num("tail_p2", fields[8]);
+  row.metrics.mean_latency = field_num("mean_latency", fields[9]);
+  row.metrics.reissue_rate = field_num("reissue_rate", fields[10]);
+  row.metrics.remediation = field_num("remediation", fields[11]);
+  row.metrics.utilization = field_num("utilization", fields[12]);
+  row.metrics.outstanding_at_delay = field_num("outstanding", fields[13]);
+  return row;
+}
+
+std::vector<RawRow> parse_raw_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != raw_csv_header()) {
+    throw std::runtime_error("raw csv: missing or mismatched header line");
+  }
+  std::vector<RawRow> rows;
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      rows.push_back(parse_raw_csv_row(line));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("line " + std::to_string(lineno) + ": " +
+                               e.what());
+    }
+  }
+  return rows;
+}
+
+std::vector<CellResult> cells_from_raw_rows(const std::vector<RawRow>& rows,
+                                            std::size_t replications) {
+  if (replications == 0) {
+    throw std::runtime_error("cells_from_raw_rows: replications must be >= 1");
+  }
+  if (rows.empty()) return {};
+
+  std::size_t lo = rows.front().cell;
+  std::size_t hi = rows.front().cell;
+  for (const RawRow& row : rows) {
+    lo = std::min(lo, row.cell);
+    hi = std::max(hi, row.cell);
+  }
+  const std::size_t count = hi - lo + 1;
+  if (rows.size() != count * replications) {
+    throw std::runtime_error(
+        "cells_from_raw_rows: cells " + std::to_string(lo) + ".." +
+        std::to_string(hi) + " x " + std::to_string(replications) +
+        " replications need " + std::to_string(count * replications) +
+        " rows, got " + std::to_string(rows.size()));
+  }
+
+  std::vector<CellResult> cells(count);
+  std::vector<std::vector<bool>> seen(count,
+                                      std::vector<bool>(replications, false));
+  for (const RawRow& row : rows) {
+    const std::size_t c = row.cell - lo;
+    const std::string where =
+        "cell " + std::to_string(row.cell) + " replication " +
+        std::to_string(row.replication);
+    if (row.replication >= replications) {
+      throw std::runtime_error("cells_from_raw_rows: " + where +
+                               " out of range (replications " +
+                               std::to_string(replications) + ")");
+    }
+    if (seen[c][row.replication]) {
+      throw std::runtime_error("cells_from_raw_rows: duplicate " + where);
+    }
+    seen[c][row.replication] = true;
+    CellResult& cell = cells[c];
+    if (cell.replications.empty()) {
+      cell.scenario = row.scenario;
+      cell.policy = row.policy;
+      cell.percentile = row.percentile;
+      cell.replications.resize(replications);
+    } else if (cell.scenario != row.scenario || cell.policy != row.policy ||
+               cell.percentile != row.percentile) {
+      throw std::runtime_error("cells_from_raw_rows: " + where +
+                               " disagrees with earlier rows of its cell "
+                               "(scenario/policy/percentile)");
+    }
+    cell.replications[row.replication] = row.metrics;
+  }
+  // The row-count check above leaves exactly one failure mode: a missing
+  // (cell, replication) compensated by a duplicate elsewhere -- and
+  // duplicates already threw -- or by a row in a never-seen cell inside
+  // the range.
+  for (std::size_t c = 0; c < count; ++c) {
+    if (cells[c].replications.empty()) {
+      throw std::runtime_error("cells_from_raw_rows: no rows for cell " +
+                               std::to_string(lo + c));
+    }
+  }
+  return cells;
 }
 
 }  // namespace reissue::exp

@@ -52,4 +52,52 @@ struct CellStats {
 /// Header plus one row per cell, each '\n'-terminated.
 void write_csv(std::ostream& os, const std::vector<CellStats>& cells);
 
+// --------------------------------------------------------------- raw CSV
+//
+// Replication-level rows, the wire format of distributed sweeps
+// (src/dist): one row per (cell, replication) with every
+// ReplicationMetrics field in shortest round-trip decimal form, so
+// write -> parse -> aggregate is bit-identical to aggregating in memory.
+// The resolved policy travels as its fixed PolicySpec token ("none",
+// "r:30:0.5", "multi:..."), which round-trips doubles exactly.
+
+/// Raw CSV column names, in row order.
+[[nodiscard]] std::string raw_csv_header();
+
+/// One raw row for `cell.replications[replication]`.  `cell_index` is the
+/// cell's position in the sweep's canonical plan (exp::enumerate_cells).
+[[nodiscard]] std::string raw_csv_row(const CellResult& cell,
+                                      std::size_t cell_index,
+                                      std::size_t replication);
+
+/// Header plus one row per (cell, replication), '\n'-terminated, cells at
+/// canonical indices first_cell_index, first_cell_index + 1, ...
+void write_raw_csv(std::ostream& os, const std::vector<CellResult>& cells,
+                   std::size_t first_cell_index = 0);
+
+/// One parsed raw CSV row.
+struct RawRow {
+  std::size_t cell = 0;         ///< Canonical cell index in the sweep plan.
+  std::size_t replication = 0;  ///< Replication index within the cell.
+  std::string scenario;
+  std::string policy;  ///< Canonical PolicySpec token of the cell.
+  double percentile = 0.0;
+  ReplicationMetrics metrics;
+};
+
+/// Parses one raw data row.  Throws std::runtime_error naming the column
+/// on malformed input (wrong field count, bad numbers, bad policy token).
+[[nodiscard]] RawRow parse_raw_csv_row(std::string_view line);
+
+/// Parses a whole raw CSV stream: the exact raw_csv_header() line followed
+/// by data rows.  Throws std::runtime_error naming the line number.
+[[nodiscard]] std::vector<RawRow> parse_raw_csv(std::istream& is);
+
+/// Reassembles rows (any order) into canonical CellResults: cell indices
+/// must be contiguous from the smallest, and every cell must hold
+/// replications 0..replications-1 exactly once with consistent metadata.
+/// Throws std::runtime_error naming the offending cell otherwise.
+[[nodiscard]] std::vector<CellResult> cells_from_raw_rows(
+    const std::vector<RawRow>& rows, std::size_t replications);
+
 }  // namespace reissue::exp

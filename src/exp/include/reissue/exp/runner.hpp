@@ -81,6 +81,33 @@ struct CellResult {
                                              std::string_view scenario,
                                              std::size_t replication);
 
+/// Seed the scenario's system is *constructed* with: shared by every
+/// replication (and every shard of a distributed sweep), so expensive
+/// substrates are identical no matter where a cell runs.
+[[nodiscard]] std::uint64_t construction_seed(std::uint64_t root,
+                                              std::string_view scenario);
+
+/// One Scenario × Policy cell of a sweep's canonical plan.  Cell index ==
+/// position in the enumerate_cells vector; shards of a distributed sweep
+/// partition that index space, so the plan is the contract that keeps a
+/// merged sweep byte-identical to a local one.
+struct CellRef {
+  std::size_t scenario = 0;  ///< Index into the sweep's scenario list.
+  std::size_t policy = 0;    ///< Index into that scenario's policy grid.
+  /// Resolved reporting percentile (options.percentile override applied).
+  double percentile = 0.0;
+
+  friend bool operator==(const CellRef&, const CellRef&) = default;
+};
+
+/// Enumerates the sweep's cells in canonical order: scenario-major, then
+/// policy-major, exactly the order run_sweep produces results in.  Also
+/// performs run_sweep's input validation (replications >= 1, non-empty
+/// policy grids, unique scenario names) so shard planners fail the same
+/// way the local runner would.
+[[nodiscard]] std::vector<CellRef> enumerate_cells(
+    const std::vector<ScenarioSpec>& scenarios, const SweepOptions& options);
+
 /// One replication of one cell: resolves `spec` (tuning on the system if
 /// the spec asks for it), measures the resolved policy at percentile `k`
 /// under `mode`, and summarizes.  The engine's unit of work — public so

@@ -103,8 +103,10 @@ struct ScenarioSpec {
   /// log (core::policy_io latency-log format, one value per line) through
   /// sim::make_trace_service: query i costs trace[i mod n], and reissue
   /// copies repeat their primary's cost, so production logs sweep exactly
-  /// like synthetic distributions.  Ignored by the redis/lucene kinds
-  /// (their traces come from executed engine work).
+  /// like synthetic distributions.  "trace:<file>:resample" draws service
+  /// times i.i.d. from the trace's empirical CDF instead of replaying in
+  /// order (reissue copies still repeat their primary).  Ignored by the
+  /// redis/lucene kinds (their traces come from executed engine work).
   std::string service = "pareto:1.1:2";
   /// Truncation cap on service draws (0 = uncapped).
   double service_cap = 5000.0;

@@ -30,14 +30,6 @@ std::uint64_t scenario_stream(std::uint64_t root, std::string_view scenario) {
   return sm.next();
 }
 
-/// Seed the scenario's system is *constructed* with: shared by every
-/// replication so expensive substrates (Redis/Lucene datasets and traces)
-/// are identical across replications and worker caches.
-std::uint64_t construction_seed(std::uint64_t root,
-                                std::string_view scenario) {
-  return substream(scenario_stream(root, scenario), 0);
-}
-
 struct Task {
   std::size_t cell = 0;
   std::size_t scenario = 0;
@@ -178,8 +170,13 @@ std::uint64_t replication_seed(std::uint64_t root, std::string_view scenario,
   return substream(scenario_stream(root, scenario), replication + 1);
 }
 
-std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
-                                  const SweepOptions& options) {
+std::uint64_t construction_seed(std::uint64_t root,
+                                std::string_view scenario) {
+  return substream(scenario_stream(root, scenario), 0);
+}
+
+std::vector<CellRef> enumerate_cells(const std::vector<ScenarioSpec>& scenarios,
+                                     const SweepOptions& options) {
   if (options.replications == 0) {
     throw std::invalid_argument("run_sweep: replications must be >= 1");
   }
@@ -200,24 +197,37 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
     }
   }
 
-  // Lay out cells scenario-major, then fan (cell x replication) tasks.
-  std::vector<CellResult> cells;
-  std::vector<Task> tasks;
+  std::vector<CellRef> cells;
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
     const ScenarioSpec& spec = scenarios[s];
     const double k =
         options.percentile > 0.0 ? options.percentile : spec.percentile;
-    for (const auto& policy : spec.policies) {
-      CellResult cell;
-      cell.scenario = spec.name;
-      cell.policy = to_string(policy);
-      cell.percentile = k;
-      cell.replications.resize(options.replications);
-      const std::size_t cell_index = cells.size();
-      cells.push_back(std::move(cell));
-      for (std::size_t r = 0; r < options.replications; ++r) {
-        tasks.push_back(Task{cell_index, s, r, &policy});
-      }
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      cells.push_back(CellRef{s, p, k});
+    }
+  }
+  return cells;
+}
+
+std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
+                                  const SweepOptions& options) {
+  const std::vector<CellRef> plan = enumerate_cells(scenarios, options);
+
+  // Lay out cells in plan order, then fan (cell x replication) tasks.
+  std::vector<CellResult> cells;
+  std::vector<Task> tasks;
+  for (const CellRef& ref : plan) {
+    const ScenarioSpec& spec = scenarios[ref.scenario];
+    CellResult cell;
+    cell.scenario = spec.name;
+    cell.policy = to_string(spec.policies[ref.policy]);
+    cell.percentile = ref.percentile;
+    cell.replications.resize(options.replications);
+    const std::size_t cell_index = cells.size();
+    cells.push_back(std::move(cell));
+    for (std::size_t r = 0; r < options.replications; ++r) {
+      tasks.push_back(Task{cell_index, ref.scenario, r,
+                           &spec.policies[ref.policy]});
     }
   }
 

@@ -130,8 +130,23 @@ bool is_trace_service(std::string_view service) {
   return service.rfind("trace:", 0) == 0;
 }
 
+constexpr std::string_view kResampleSuffix = ":resample";
+
+/// "trace:<file>:resample" draws i.i.d. from the trace instead of
+/// replaying it in order.  The suffix is part of the service token, so a
+/// path literally ending in ":resample" cannot be replayed -- acceptable
+/// for a mode switch that keeps the spec single-line.
+bool is_resample_trace(std::string_view service) {
+  if (!is_trace_service(service)) return false;
+  const std::string_view rest = service.substr(6);
+  return rest.size() >= kResampleSuffix.size() &&
+         rest.substr(rest.size() - kResampleSuffix.size()) == kResampleSuffix;
+}
+
 std::string_view trace_path(std::string_view service) {
-  return service.substr(6);  // after "trace:"
+  std::string_view rest = service.substr(6);  // after "trace:"
+  if (is_resample_trace(service)) rest.remove_suffix(kResampleSuffix.size());
+  return rest;
 }
 
 bool key_applies(const std::string& key, WorkloadKind kind) {
@@ -602,7 +617,8 @@ std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
             static_cast<double>(trace.size());
         config.arrival_rate = sim::arrival_rate_for_utilization(
             spec.utilization, spec.servers, mean);
-        model = sim::make_trace_service(std::move(trace));
+        model = sim::make_trace_service(std::move(trace),
+                                        is_resample_trace(spec.service));
       } else {
         auto dist = service_distribution(spec);
         config.arrival_rate = sim::arrival_rate_for_utilization(

@@ -411,5 +411,165 @@ TEST(Cli, SweepWithoutSelectionFails) {
   EXPECT_NE(result.err.find("--scenarios"), std::string::npos);
 }
 
+// ------------------------------------------- distributed sweeps (src/dist)
+
+/// Unique temp path that cleans up whatever the test left behind (the
+/// file, its manifest, its journal).
+class TempOut {
+ public:
+  explicit TempOut(const std::string& stem) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("reissue_cli_dist_" + std::to_string(counter_++) + "_" + stem))
+                .string();
+  }
+  ~TempOut() {
+    for (const char* suffix : {"", ".manifest", ".journal", ".tmp"}) {
+      std::filesystem::remove(path_ + suffix);
+    }
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Cli, SweepShardRequiresRawOutput) {
+  const auto result = run({"sweep", "--spec", kTinySpec, "--shard", "0/2"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("requires --raw-output"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, SweepShardRejectsMalformedSpecAndOutputConflict) {
+  TempOut raw("bad.csv");
+  auto result = run({"sweep", "--spec", kTinySpec, "--shard", "3/2",
+                     "--raw-output", raw.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("index must be < count"), std::string::npos)
+      << result.err;
+
+  result = run({"sweep", "--spec", kTinySpec, "--shard", "0/2",
+                "--raw-output", raw.path(), "--output", raw.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("mutually exclusive"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, ShardedSweepThenMergeMatchesSingleProcessByteForByte) {
+  const std::vector<std::string> base = {"sweep", "--spec", kTinySpec,
+                                         "--replications", "2", "--seed",
+                                         "7"};
+  auto single = base;
+  single.insert(single.end(), {"--threads", "8"});
+  const auto direct = run(single);
+  ASSERT_EQ(direct.code, 0) << direct.err;
+
+  TempOut s0("s0.csv");
+  TempOut s1("s1.csv");
+  TempOut s2("s2.csv");
+  const std::vector<std::string> paths = {s0.path(), s1.path(), s2.path()};
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto shard = base;
+    shard.insert(shard.end(), {"--shard", std::to_string(i) + "/3",
+                               "--raw-output", paths[i]});
+    const auto result = run(shard);
+    ASSERT_EQ(result.code, 0) << result.err;
+    EXPECT_NE(result.out.find("shard " + std::to_string(i) + "/3"),
+              std::string::npos)
+        << result.out;
+  }
+
+  const auto merged = run(
+      {"merge", "--inputs", paths[0] + "," + paths[1] + "," + paths[2]});
+  ASSERT_EQ(merged.code, 0) << merged.err;
+  EXPECT_EQ(merged.out, direct.out);
+
+  // --output writes the same bytes through the atomic path.
+  TempOut csv("merged.csv");
+  const auto to_file =
+      run({"merge", "--inputs", paths[0] + "," + paths[1] + "," + paths[2],
+           "--output", csv.path()});
+  ASSERT_EQ(to_file.code, 0) << to_file.err;
+  EXPECT_NE(to_file.out.find("merged 3 shards"), std::string::npos);
+  EXPECT_EQ(slurp(csv.path()), direct.out);
+  EXPECT_FALSE(std::filesystem::exists(csv.path() + ".tmp"));
+}
+
+TEST(Cli, SweepMaxCellsCheckpointsAndResumeCompletes) {
+  TempOut raw("resume.csv");
+  const std::vector<std::string> base = {
+      "sweep", "--spec", kTinySpec, "--replications", "2", "--seed", "7",
+      "--raw-output", raw.path()};
+  auto limited = base;
+  limited.insert(limited.end(), {"--max-cells", "1"});
+  const auto first = run(limited);
+  ASSERT_EQ(first.code, 0) << first.err;
+  EXPECT_NE(first.out.find("checkpointed 1/2"), std::string::npos)
+      << first.out;
+  EXPECT_TRUE(std::filesystem::exists(raw.path() + ".journal"));
+
+  const auto second = run(base);
+  ASSERT_EQ(second.code, 0) << second.err;
+  EXPECT_NE(second.out.find("(1 resumed from journal)"), std::string::npos)
+      << second.out;
+  EXPECT_FALSE(std::filesystem::exists(raw.path() + ".journal"));
+
+  TempOut fresh("fresh.csv");
+  auto clean = base;
+  clean.back() = fresh.path();
+  ASSERT_EQ(run(clean).code, 0);
+  EXPECT_EQ(slurp(raw.path()), slurp(fresh.path()));
+}
+
+TEST(Cli, MergeReportsMissingShardAndBadInputs) {
+  TempOut s0("only0.csv");
+  const auto shard = run({"sweep", "--spec", kTinySpec, "--replications",
+                          "2", "--seed", "7", "--shard", "0/2",
+                          "--raw-output", s0.path()});
+  ASSERT_EQ(shard.code, 0) << shard.err;
+
+  auto result = run({"merge", "--inputs", s0.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("missing shard 1/2"), std::string::npos)
+      << result.err;
+
+  result = run({"merge"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--inputs"), std::string::npos) << result.err;
+
+  result = run({"merge", "--inputs", ","});
+  EXPECT_EQ(result.code, 1);
+
+  result = run({"merge", "--inputs", "/nonexistent/shard.csv"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("/nonexistent/shard.csv"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, SweepOutputIsAtomicAndErrorsNameThePath) {
+  // Success leaves the file and no temp residue.
+  TempOut csv("atomic.csv");
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "1", "--output", csv.path()});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_TRUE(std::filesystem::exists(csv.path()));
+  EXPECT_FALSE(std::filesystem::exists(csv.path() + ".tmp"));
+
+  // Unwritable target: a clean one-line error naming the path.
+  const auto bad = run({"sweep", "--spec", kTinySpec, "--replications", "1",
+                        "--output", "/nonexistent-dir/out.csv"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("/nonexistent-dir/out.csv"), std::string::npos)
+      << bad.err;
+}
+
 }  // namespace
 }  // namespace reissue::cli

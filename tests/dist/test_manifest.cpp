@@ -1,0 +1,129 @@
+#include "reissue/dist/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace reissue::dist {
+namespace {
+
+Manifest sample() {
+  Manifest m;
+  m.shard = ShardRef{1, 3};
+  m.cells = CellRange{3, 6};
+  m.total_cells = 9;
+  m.replications = 8;
+  m.seed = 0x5eed;
+  m.percentile = 0.99;
+  m.log_mode = core::LogMode::kStreaming;
+  m.rows = 24;
+  m.hash = 0x0123456789abcdefull;
+  m.scenarios = {
+      "name=a kind=queueing util=0.3 ratio=0.5 servers=10 queries=100 "
+      "warmup=10 lb=random queue=fifo service=pareto:1.1:2 cap=5000 "
+      "percentile=0.99 policy=none",
+      "name=b kind=independent queries=100 warmup=10 "
+      "service=pareto:1.1:2 cap=5000 percentile=0.99 policy=none"};
+  return m;
+}
+
+TEST(Manifest, TextRoundTripsExactly) {
+  const Manifest m = sample();
+  const std::string text = to_text(m);
+  EXPECT_EQ(parse_manifest(text), m);
+  EXPECT_EQ(to_text(parse_manifest(text)), text);
+}
+
+TEST(Manifest, TextIsTheDocumentedFixedOrder) {
+  const std::string text = to_text(sample());
+  EXPECT_EQ(text.rfind("reissue-shard-manifest v1\n"
+                       "shard 1/3\n"
+                       "cells 3 6\n"
+                       "total-cells 9\n"
+                       "replications 8\n"
+                       "seed 24301\n"
+                       "percentile 0.99\n"
+                       "log-mode streaming\n"
+                       "rows 24\n"
+                       "hash 0123456789abcdef\n"
+                       "scenario name=a",
+                       0),
+            0u)
+      << text;
+}
+
+TEST(Manifest, LogModeTokens) {
+  EXPECT_EQ(to_string(core::LogMode::kFull), "full");
+  EXPECT_EQ(to_string(core::LogMode::kStreaming), "streaming");
+  EXPECT_EQ(log_mode_from_string("full"), core::LogMode::kFull);
+  EXPECT_EQ(log_mode_from_string("streaming"), core::LogMode::kStreaming);
+  EXPECT_THROW((void)log_mode_from_string("both"), std::runtime_error);
+}
+
+TEST(Manifest, ParseDiagnostics) {
+  const std::string text = to_text(sample());
+
+  // Wrong magic.
+  EXPECT_THROW((void)parse_manifest("not-a-manifest\n" + text),
+               std::runtime_error);
+  // Truncation: dropping any suffix loses a required line.
+  EXPECT_THROW((void)parse_manifest(text.substr(0, text.find("seed"))),
+               std::runtime_error);
+  // Reordered keys violate the fixed order.
+  std::string reordered = text;
+  const auto seed_pos = reordered.find("seed 24301\n");
+  reordered.erase(seed_pos, 11);
+  reordered += "seed 24301\n";
+  EXPECT_THROW((void)parse_manifest(reordered), std::runtime_error);
+  // Corrupt numbers and hashes.
+  auto corrupt = [&](const std::string& from, const std::string& to) {
+    std::string copy = text;
+    copy.replace(copy.find(from), from.size(), to);
+    return copy;
+  };
+  EXPECT_THROW((void)parse_manifest(corrupt("rows 24", "rows x")),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_manifest(corrupt("hash 0123456789abcdef", "hash 012345")),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_manifest(
+                   corrupt("hash 0123456789abcdef", "hash 0123456789abcdeg")),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_manifest(corrupt("cells 3 6", "cells 6 3")),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_manifest(corrupt("shard 1/3", "shard 3/3")),
+               std::runtime_error);
+  // A manifest without scenarios cannot re-derive its plan.
+  EXPECT_THROW(
+      (void)parse_manifest(text.substr(0, text.find("scenario name=a"))),
+      std::runtime_error);
+}
+
+TEST(Manifest, FingerprintPinsTheSliceNotTheContent) {
+  const Manifest m = sample();
+  // rows/hash are content bookkeeping: a resumed worker must accept the
+  // journal it wrote before it knew them.
+  Manifest same = m;
+  same.rows = 0;
+  same.hash = 0;
+  EXPECT_EQ(shard_fingerprint(m), shard_fingerprint(same));
+
+  Manifest other_seed = m;
+  other_seed.seed += 1;
+  EXPECT_NE(shard_fingerprint(m), shard_fingerprint(other_seed));
+  Manifest other_shard = m;
+  other_shard.shard.index = 2;
+  other_shard.cells = CellRange{6, 9};
+  EXPECT_NE(shard_fingerprint(m), shard_fingerprint(other_shard));
+  Manifest other_scenarios = m;
+  other_scenarios.scenarios.pop_back();
+  EXPECT_NE(shard_fingerprint(m), shard_fingerprint(other_scenarios));
+}
+
+TEST(ManifestPath, SitsNextToTheRawFile) {
+  EXPECT_EQ(manifest_path("/tmp/s0.csv"), "/tmp/s0.csv.manifest");
+}
+
+}  // namespace
+}  // namespace reissue::dist

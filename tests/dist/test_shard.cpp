@@ -1,0 +1,75 @@
+#include "reissue/dist/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace reissue::dist {
+namespace {
+
+TEST(ParseShard, AcceptsAndRoundTripsCanonicalForms) {
+  const ShardRef first = parse_shard("0/1");
+  EXPECT_EQ(first.index, 0u);
+  EXPECT_EQ(first.count, 1u);
+  const ShardRef mid = parse_shard("2/5");
+  EXPECT_EQ(mid.index, 2u);
+  EXPECT_EQ(mid.count, 5u);
+  EXPECT_EQ(to_string(mid), "2/5");
+  EXPECT_EQ(parse_shard(to_string(mid)), mid);
+}
+
+TEST(ParseShard, RejectsMalformedTokens) {
+  for (const char* token : {"", "1", "/", "1/", "/2", "a/b", "1/b", "a/2",
+                            "1/0", "2/2", "3/2", "-1/2", "1/2/3", "1.5/2"}) {
+    EXPECT_THROW((void)parse_shard(token), std::runtime_error) << token;
+  }
+}
+
+TEST(ShardCellRange, PartitionsEveryCellCountForAnyShardCount) {
+  for (const std::size_t cells : {0u, 1u, 2u, 5u, 9u, 10u, 97u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 5u, 7u, 16u}) {
+      std::size_t expected_begin = 0;
+      std::size_t min_size = cells;
+      std::size_t max_size = 0;
+      for (std::size_t i = 0; i < shards; ++i) {
+        const CellRange range =
+            shard_cell_range(cells, ShardRef{i, shards});
+        // Contiguous, disjoint, and in order: each shard picks up exactly
+        // where the previous one stopped.
+        EXPECT_EQ(range.begin, expected_begin) << cells << " " << shards;
+        EXPECT_LE(range.begin, range.end);
+        expected_begin = range.end;
+        min_size = std::min(min_size, range.size());
+        max_size = std::max(max_size, range.size());
+      }
+      EXPECT_EQ(expected_begin, cells);  // full coverage
+      // Near-even split: no shard is more than one cell heavier.
+      EXPECT_LE(max_size - min_size, 1u) << cells << " " << shards;
+    }
+  }
+}
+
+TEST(ShardCellRange, PinnedValues) {
+  // The planner is a cross-machine contract: pin a few exact ranges so an
+  // accidental formula change cannot silently re-shard old sweeps.
+  EXPECT_EQ(shard_cell_range(9, ShardRef{0, 3}), (CellRange{0, 3}));
+  EXPECT_EQ(shard_cell_range(9, ShardRef{1, 3}), (CellRange{3, 6}));
+  EXPECT_EQ(shard_cell_range(9, ShardRef{2, 3}), (CellRange{6, 9}));
+  EXPECT_EQ(shard_cell_range(10, ShardRef{0, 3}), (CellRange{0, 3}));
+  EXPECT_EQ(shard_cell_range(10, ShardRef{1, 3}), (CellRange{3, 6}));
+  EXPECT_EQ(shard_cell_range(10, ShardRef{2, 3}), (CellRange{6, 10}));
+  // More shards than cells: trailing shards own empty ranges.
+  EXPECT_EQ(shard_cell_range(2, ShardRef{0, 5}), (CellRange{0, 0}));
+  EXPECT_EQ(shard_cell_range(2, ShardRef{2, 5}), (CellRange{0, 1}));
+  EXPECT_EQ(shard_cell_range(2, ShardRef{4, 5}), (CellRange{1, 2}));
+}
+
+TEST(ShardCellRange, RejectsInvalidShards) {
+  EXPECT_THROW((void)shard_cell_range(4, ShardRef{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)shard_cell_range(4, ShardRef{2, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace reissue::dist

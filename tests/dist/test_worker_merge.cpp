@@ -1,0 +1,378 @@
+// End-to-end contract of the distributed sweep pipeline: shard workers +
+// merge coordinator reproduce `exp::run_sweep` byte for byte, checkpoints
+// resume without recomputation, and every tampering / mismatch path is
+// rejected with a targeted error.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "reissue/dist/io.hpp"
+#include "reissue/dist/manifest.hpp"
+#include "reissue/dist/merge.hpp"
+#include "reissue/dist/worker.hpp"
+#include "reissue/exp/aggregate.hpp"
+
+namespace reissue::dist {
+namespace {
+
+/// Fresh directory under the gtest temp root, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::path(::testing::TempDir()) /
+            ("reissue_dist_" + std::to_string(counter_++));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+/// Two tiny queueing scenarios x two policies: 4 cells, enough for shard
+/// counts {1, 2, 5} to cover lopsided and empty shards.
+std::vector<exp::ScenarioSpec> tiny_scenarios() {
+  exp::ScenarioSpec spec;
+  spec.name = "tiny-q30";
+  spec.kind = exp::WorkloadKind::kQueueing;
+  spec.servers = 4;
+  spec.queries = 800;
+  spec.warmup = 80;
+  spec.percentile = 0.95;
+  spec.policies = {exp::parse_policy_spec("none"),
+                   exp::parse_policy_spec("r:20:0.5")};
+  exp::ScenarioSpec other = spec;
+  other.name = "tiny-q60";
+  other.utilization = 0.60;
+  return {spec, other};
+}
+
+exp::SweepOptions sweep_options() {
+  exp::SweepOptions options;
+  options.replications = 3;
+  options.threads = 2;
+  options.seed = 0xabc;
+  return options;
+}
+
+std::string aggregate_csv(const std::vector<exp::CellResult>& cells) {
+  std::ostringstream os;
+  exp::write_csv(os, exp::aggregate(cells));
+  return os.str();
+}
+
+/// Runs every shard of an N-way split into `dir` and returns the raw paths.
+std::vector<std::string> run_all_shards(const TempDir& dir, std::size_t n,
+                                        const exp::SweepOptions& options) {
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerOptions worker;
+    worker.shard = ShardRef{i, n};
+    worker.raw_output =
+        dir.file("s" + std::to_string(i) + "of" + std::to_string(n) + ".csv");
+    worker.sweep = options;
+    const WorkerReport report = run_shard(tiny_scenarios(), worker);
+    EXPECT_TRUE(report.finished);
+    EXPECT_EQ(report.cells_run, report.cells_total);
+    paths.push_back(worker.raw_output);
+  }
+  return paths;
+}
+
+TEST(ShardedSweep, MergeIsByteIdenticalToSingleProcessForAnyShardCount) {
+  const auto scenarios = tiny_scenarios();
+  const auto options = sweep_options();
+  auto serial = options;
+  serial.threads = 1;
+  const std::string expected = aggregate_csv(exp::run_sweep(scenarios, serial));
+
+  TempDir dir;
+  for (const std::size_t n : {1u, 2u, 5u}) {
+    const auto paths = run_all_shards(dir, n, options);
+    const MergeReport report = merge_shards(paths);
+    EXPECT_EQ(report.shards, n);
+    EXPECT_EQ(aggregate_csv(report.cells), expected) << n << " shards";
+  }
+}
+
+TEST(ShardedSweep, SingleShardRawFileMatchesInMemorySweep) {
+  const auto scenarios = tiny_scenarios();
+  const auto options = sweep_options();
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 1, options);
+
+  std::ostringstream expected;
+  exp::write_raw_csv(expected, exp::run_sweep(scenarios, options));
+  EXPECT_EQ(read_file(paths[0]), expected.str());
+}
+
+TEST(ShardedSweep, MergeReconstructsScenariosAndOptions) {
+  TempDir dir;
+  const auto options = sweep_options();
+  const auto paths = run_all_shards(dir, 2, options);
+  const MergeReport report = merge_shards(paths);
+  EXPECT_EQ(report.scenarios, tiny_scenarios());
+  EXPECT_EQ(report.options.replications, options.replications);
+  EXPECT_EQ(report.options.seed, options.seed);
+  EXPECT_EQ(report.rows, 4u * options.replications);
+}
+
+TEST(Worker, EmptyShardProducesHeaderOnlyFileThatStillMerges) {
+  // 5 shards over 4 cells: at least one shard owns nothing.
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 5, sweep_options());
+  bool saw_empty = false;
+  for (const auto& path : paths) {
+    const Manifest m = parse_manifest(read_file(manifest_path(path)));
+    if (m.rows == 0) {
+      saw_empty = true;
+      EXPECT_EQ(read_file(path), exp::raw_csv_header() + "\n");
+    }
+  }
+  EXPECT_TRUE(saw_empty);
+  EXPECT_EQ(merge_shards(paths).cells.size(), 4u);
+}
+
+TEST(Worker, ResumesFromJournalAndReproducesTheFileByteForByte) {
+  TempDir dir;
+  const auto options = sweep_options();
+
+  WorkerOptions uninterrupted;
+  uninterrupted.shard = ShardRef{0, 1};
+  uninterrupted.raw_output = dir.file("full.csv");
+  uninterrupted.sweep = options;
+  (void)run_shard(tiny_scenarios(), uninterrupted);
+
+  WorkerOptions interrupted = uninterrupted;
+  interrupted.raw_output = dir.file("resumed.csv");
+  interrupted.max_new_cells = 1;
+  WorkerReport first = run_shard(tiny_scenarios(), interrupted);
+  EXPECT_FALSE(first.finished);
+  EXPECT_EQ(first.cells_run, 1u);
+  EXPECT_TRUE(std::filesystem::exists(journal_path(interrupted.raw_output)));
+  EXPECT_FALSE(std::filesystem::exists(interrupted.raw_output));
+
+  // Second interrupted leg: picks up the checkpoint, advances by one.
+  WorkerReport second = run_shard(tiny_scenarios(), interrupted);
+  EXPECT_FALSE(second.finished);
+  EXPECT_EQ(second.cells_resumed, 1u);
+  EXPECT_EQ(second.cells_run, 1u);
+
+  // Final leg runs only the remaining cells and must emit the exact bytes
+  // (raw file AND manifest) of the uninterrupted run.
+  interrupted.max_new_cells = 0;
+  WorkerReport last = run_shard(tiny_scenarios(), interrupted);
+  EXPECT_TRUE(last.finished);
+  EXPECT_EQ(last.cells_resumed, 2u);
+  EXPECT_EQ(last.cells_run, 2u);
+  EXPECT_FALSE(std::filesystem::exists(journal_path(interrupted.raw_output)));
+  EXPECT_EQ(read_file(interrupted.raw_output),
+            read_file(uninterrupted.raw_output));
+  EXPECT_EQ(read_file(manifest_path(interrupted.raw_output)),
+            read_file(manifest_path(uninterrupted.raw_output)));
+}
+
+TEST(Worker, DiscardsAPartialTrailingCellInTheJournal) {
+  TempDir dir;
+  WorkerOptions worker;
+  worker.shard = ShardRef{0, 1};
+  worker.raw_output = dir.file("killed.csv");
+  worker.sweep = sweep_options();
+  worker.max_new_cells = 1;
+  (void)run_shard(tiny_scenarios(), worker);
+
+  // Simulate a kill mid-cell: rows hit the journal but no marker did.
+  {
+    std::ofstream out(journal_path(worker.raw_output), std::ios::app);
+    out << "tiny-q30,r:20:0.5,0.95,1,0,42,r:20:0.5,1,1,1,0.1,0,0.5,0.2\n";
+  }
+  worker.max_new_cells = 0;
+  const WorkerReport report = run_shard(tiny_scenarios(), worker);
+  EXPECT_TRUE(report.finished);
+  EXPECT_EQ(report.cells_resumed, 1u);
+  EXPECT_EQ(report.cells_run, 3u);  // the partial cell was recomputed
+
+  WorkerOptions reference = worker;
+  reference.raw_output = dir.file("reference.csv");
+  (void)run_shard(tiny_scenarios(), reference);
+  EXPECT_EQ(read_file(worker.raw_output), read_file(reference.raw_output));
+}
+
+TEST(Worker, ResumesTwiceAcrossAPartialTail) {
+  // Regression: resuming once past a partial tail used to append the new
+  // cell behind the stale rows, wedging every later resume.
+  TempDir dir;
+  WorkerOptions worker;
+  worker.shard = ShardRef{0, 1};
+  worker.raw_output = dir.file("twice.csv");
+  worker.sweep = sweep_options();
+  worker.max_new_cells = 1;
+  (void)run_shard(tiny_scenarios(), worker);
+  {
+    std::ofstream out(journal_path(worker.raw_output), std::ios::app);
+    out << "partial,row,from,a,killed,cell\n";
+  }
+  // Interrupted again mid-sweep, then once more with another kill tail.
+  (void)run_shard(tiny_scenarios(), worker);
+  {
+    std::ofstream out(journal_path(worker.raw_output), std::ios::app);
+    out << "another,partial,tail\n";
+  }
+  worker.max_new_cells = 0;
+  const WorkerReport report = run_shard(tiny_scenarios(), worker);
+  EXPECT_TRUE(report.finished);
+  EXPECT_EQ(report.cells_resumed, 2u);
+
+  WorkerOptions reference = worker;
+  reference.raw_output = dir.file("reference.csv");
+  (void)run_shard(tiny_scenarios(), reference);
+  EXPECT_EQ(read_file(worker.raw_output), read_file(reference.raw_output));
+}
+
+TEST(Worker, RejectsAJournalFromADifferentSweep) {
+  TempDir dir;
+  WorkerOptions worker;
+  worker.shard = ShardRef{0, 1};
+  worker.raw_output = dir.file("shard.csv");
+  worker.sweep = sweep_options();
+  worker.max_new_cells = 1;
+  (void)run_shard(tiny_scenarios(), worker);
+
+  worker.sweep.seed += 1;
+  worker.max_new_cells = 0;
+  try {
+    (void)run_shard(tiny_scenarios(), worker);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Worker, RejectsCorruptedJournalRows) {
+  TempDir dir;
+  WorkerOptions worker;
+  worker.shard = ShardRef{0, 1};
+  worker.raw_output = dir.file("shard.csv");
+  worker.sweep = sweep_options();
+  worker.max_new_cells = 1;
+  (void)run_shard(tiny_scenarios(), worker);
+
+  // Corrupt a committed row (under a cell-done marker): that is data
+  // corruption, not a kill artifact, and must not be silently recomputed.
+  const std::string path = journal_path(worker.raw_output);
+  std::string journal = read_file(path);
+  journal.replace(journal.find("tiny-q30"), 8, "wrecked!");
+  atomic_write_file(path, journal);
+  worker.max_new_cells = 0;
+  EXPECT_THROW((void)run_shard(tiny_scenarios(), worker), std::runtime_error);
+}
+
+TEST(Merge, RejectsMissingAndDuplicateShards) {
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 2, sweep_options());
+  try {
+    (void)merge_shards({paths[0]});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing shard 1/2"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)merge_shards({paths[0], paths[0]});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate shard"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RejectsShardsFromDifferentSweeps) {
+  TempDir dir;
+  auto options = sweep_options();
+  WorkerOptions a;
+  a.shard = ShardRef{0, 2};
+  a.raw_output = dir.file("a.csv");
+  a.sweep = options;
+  (void)run_shard(tiny_scenarios(), a);
+  WorkerOptions b;
+  b.shard = ShardRef{1, 2};
+  b.raw_output = dir.file("b.csv");
+  b.sweep = options;
+  b.sweep.seed += 1;  // different sweep
+  (void)run_shard(tiny_scenarios(), b);
+
+  try {
+    (void)merge_shards({a.raw_output, b.raw_output});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RejectsATamperedRawFile) {
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 2, sweep_options());
+  // Flip one digit of one metric: the manifest's content hash catches it.
+  std::string content = read_file(paths[1]);
+  const auto pos = content.rfind('7');
+  ASSERT_NE(pos, std::string::npos);
+  content[pos] = '8';
+  atomic_write_file(paths[1], content);
+  try {
+    (void)merge_shards(paths);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hash mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RejectsAManifestWhoseRangeDisagreesWithThePlanner) {
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 2, sweep_options());
+  Manifest m = parse_manifest(read_file(manifest_path(paths[0])));
+  m.cells.end += 1;  // claims a cell the planner gives to shard 1
+  atomic_write_file(manifest_path(paths[0]), to_text(m));
+  try {
+    (void)merge_shards(paths);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("planner"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Merge, RejectsARowCountMismatch) {
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 1, sweep_options());
+  Manifest m = parse_manifest(read_file(manifest_path(paths[0])));
+  m.rows -= 1;
+  atomic_write_file(manifest_path(paths[0]), to_text(m));
+  EXPECT_THROW((void)merge_shards(paths), std::runtime_error);
+}
+
+TEST(Merge, RejectsEmptyInputListAndMissingFiles) {
+  EXPECT_THROW((void)merge_shards({}), std::runtime_error);
+  EXPECT_THROW((void)merge_shards({"/nonexistent/shard.csv"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace reissue::dist

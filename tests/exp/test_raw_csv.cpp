@@ -1,0 +1,198 @@
+// Raw replication-level CSV: the wire format of distributed sweeps.
+// write -> parse must be exact (shortest round-trip decimals, canonical
+// policy tokens) so that aggregating parsed rows is byte-identical to
+// aggregating in memory -- pinned here against every registry scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/registry.hpp"
+#include "reissue/exp/runner.hpp"
+
+namespace reissue::exp {
+namespace {
+
+std::vector<CellResult> two_cells() {
+  CellResult a;
+  a.scenario = "s1";
+  a.policy = "r:30:0.5";
+  a.percentile = 0.99;
+  for (std::size_t r = 0; r < 2; ++r) {
+    ReplicationMetrics rep;
+    rep.seed = 0x123456789abcdef0ull + r;
+    rep.tail = 1.0 / 3.0 + static_cast<double>(r);
+    rep.tail_psquare = 0.1;
+    rep.mean_latency = 12345.6789;
+    rep.reissue_rate = 0.05;
+    rep.remediation = 2e-9;
+    rep.utilization = 0.30000000000000004;  // not representable as "0.3"+eps
+    rep.outstanding_at_delay = 1e300;
+    rep.policy = core::ReissuePolicy::single_r(30.0, 0.5);
+    a.replications.push_back(rep);
+  }
+  CellResult b = a;
+  b.scenario = "s2";
+  b.policy = "multi:1:0.25:9.5:0.125";
+  b.replications[0].policy = core::ReissuePolicy::multiple_r(
+      {core::ReissueStage{1.0, 0.25}, core::ReissueStage{9.5, 0.125}});
+  b.replications[1].policy = core::ReissuePolicy::immediate(2);
+  return {a, b};
+}
+
+TEST(RawCsv, HeaderNamesReplicationColumns) {
+  const std::string header = raw_csv_header();
+  for (const char* column :
+       {"scenario", "policy", "percentile", "cell", "replication", "seed",
+        "resolved_policy", "tail", "tail_p2", "reissue_rate"}) {
+    EXPECT_NE(header.find(column), std::string::npos) << column;
+  }
+}
+
+TEST(RawCsv, RowsRoundTripExactly) {
+  const auto cells = two_cells();
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    for (std::size_t r = 0; r < cells[c].replications.size(); ++r) {
+      const std::string line = raw_csv_row(cells[c], 7 + c, r);
+      const RawRow row = parse_raw_csv_row(line);
+      EXPECT_EQ(row.cell, 7 + c);
+      EXPECT_EQ(row.replication, r);
+      EXPECT_EQ(row.scenario, cells[c].scenario);
+      EXPECT_EQ(row.policy, cells[c].policy);
+      const ReplicationMetrics& rep = cells[c].replications[r];
+      EXPECT_EQ(row.metrics.seed, rep.seed);
+      EXPECT_EQ(row.metrics.tail, rep.tail);
+      EXPECT_EQ(row.metrics.utilization, rep.utilization);
+      EXPECT_EQ(row.metrics.outstanding_at_delay, rep.outstanding_at_delay);
+      EXPECT_EQ(row.metrics.policy, rep.policy);
+      // Re-serializing the parsed row reproduces the line byte for byte:
+      // the property resumed journals and merge rely on.
+      CellResult copy;
+      copy.scenario = row.scenario;
+      copy.policy = row.policy;
+      copy.percentile = row.percentile;
+      copy.replications.assign(r + 1, row.metrics);
+      EXPECT_EQ(raw_csv_row(copy, row.cell, r), line);
+    }
+  }
+}
+
+TEST(RawCsv, WriteParseAssembleRoundTrips) {
+  const auto cells = two_cells();
+  std::ostringstream os;
+  write_raw_csv(os, cells, /*first_cell_index=*/5);
+
+  std::istringstream is(os.str());
+  auto rows = parse_raw_csv(is);
+  ASSERT_EQ(rows.size(), 4u);
+  // Assembly tolerates arbitrary row order (shards arrive shuffled).
+  std::reverse(rows.begin(), rows.end());
+  const auto rebuilt = cells_from_raw_rows(rows, 2);
+
+  std::ostringstream again;
+  write_raw_csv(again, rebuilt, 5);
+  EXPECT_EQ(again.str(), os.str());
+}
+
+TEST(RawCsv, ParseDiagnosticsNameTheProblem) {
+  const std::string good = raw_csv_row(two_cells()[0], 0, 0);
+
+  // Wrong column count.
+  EXPECT_THROW((void)parse_raw_csv_row("a,b,c"), std::runtime_error);
+  EXPECT_THROW((void)parse_raw_csv_row(good + ",extra"), std::runtime_error);
+  // Bad numbers name their column.
+  try {
+    (void)parse_raw_csv_row("s,none,0.99,0,0,1,none,oops,1,1,0,0,0.5,0");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("tail"), std::string::npos)
+        << e.what();
+  }
+  // Malformed policy tokens fail in both policy columns.
+  EXPECT_THROW(
+      (void)parse_raw_csv_row("s,bogus,0.99,0,0,1,none,1,1,1,0,0,0.5,0"),
+      std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_raw_csv_row("s,none,0.99,0,0,1,bogus,1,1,1,0,0,0.5,0"),
+      std::runtime_error);
+  // A tuned token is a cell label, never a resolved policy.
+  EXPECT_THROW(
+      (void)parse_raw_csv_row(
+          "s,none,0.99,0,0,1,tuned-r:0.05,1,1,1,0,0,0.5,0"),
+      std::runtime_error);
+
+  // Stream parsing: header is mandatory, errors carry the line number.
+  std::istringstream missing_header(good + "\n");
+  EXPECT_THROW((void)parse_raw_csv(missing_header), std::runtime_error);
+  std::istringstream bad_row(raw_csv_header() + "\n" + good + "\nbroken\n");
+  try {
+    (void)parse_raw_csv(bad_row);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RawCsv, AssemblyRejectsIncompleteCells) {
+  const auto cells = two_cells();
+  std::ostringstream os;
+  write_raw_csv(os, cells);
+  std::istringstream is(os.str());
+  const auto rows = parse_raw_csv(is);
+
+  // Duplicate replication.
+  auto dup = rows;
+  dup[1] = dup[0];
+  EXPECT_THROW((void)cells_from_raw_rows(dup, 2), std::runtime_error);
+  // Missing replication (row count betrays it).
+  auto missing = rows;
+  missing.pop_back();
+  EXPECT_THROW((void)cells_from_raw_rows(missing, 2), std::runtime_error);
+  // Replication index out of range.
+  auto oob = rows;
+  oob[1].replication = 5;
+  EXPECT_THROW((void)cells_from_raw_rows(oob, 2), std::runtime_error);
+  // Metadata disagreement within one cell.
+  auto skew = rows;
+  skew[1].policy = "none";
+  EXPECT_THROW((void)cells_from_raw_rows(skew, 2), std::runtime_error);
+  // A hole in the cell index range.
+  auto hole = rows;
+  for (auto& row : hole) {
+    if (row.cell == 1) row.cell = 2;
+  }
+  EXPECT_THROW((void)cells_from_raw_rows(hole, 2), std::runtime_error);
+}
+
+TEST(RawCsv, ParsedAggregationMatchesInMemoryForEveryRegistryScenario) {
+  // The satellite guarantee behind `merge`: write -> parse -> aggregate
+  // equals aggregate(run_sweep(...)) byte for byte, for every scenario the
+  // registry can produce (sized down so substrates stay cheap).
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 2;
+  options.seed = 0xfeed;
+  for (ScenarioSpec spec : ScenarioRegistry::built_in().scenarios()) {
+    spec.queries = 400;
+    spec.warmup = 40;
+    const auto cells = run_sweep({spec}, options);
+
+    std::ostringstream raw;
+    write_raw_csv(raw, cells);
+    std::istringstream is(raw.str());
+    const auto rebuilt =
+        cells_from_raw_rows(parse_raw_csv(is), options.replications);
+
+    std::ostringstream direct;
+    std::ostringstream via_raw;
+    write_csv(direct, aggregate(cells));
+    write_csv(via_raw, aggregate(rebuilt));
+    EXPECT_EQ(via_raw.str(), direct.str()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace reissue::exp

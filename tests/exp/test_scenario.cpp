@@ -325,6 +325,60 @@ TEST(MakeSystem, TraceServiceReplaysTheLog) {
   EXPECT_LT(max_capped, max_uncapped);
 }
 
+TEST(ScenarioSpec, TraceResampleRoundTrips) {
+  ScenarioSpec spec;
+  spec.name = "resample";
+  spec.kind = WorkloadKind::kQueueing;
+  spec.service = "trace:/var/logs/service_times.log:resample";
+  spec.policies = {parse_policy_spec("none")};
+  EXPECT_EQ(parse_scenario(to_spec_string(spec)), spec);
+  EXPECT_NE(to_spec_string(spec).find(
+                "service=trace:/var/logs/service_times.log:resample"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, TraceResampleDiagnostics) {
+  // The mode still needs a path...
+  EXPECT_THROW(parse_scenario("name=x service=trace::resample"),
+               std::runtime_error);
+  // ...is queueing-only like plain replay...
+  EXPECT_THROW(
+      parse_scenario(
+          "name=x kind=independent service=trace:/tmp/t.log:resample"),
+      std::runtime_error);
+  // ...and reissue copies still repeat their primary, so ratio stays
+  // inapplicable.
+  EXPECT_THROW(
+      parse_scenario("name=x service=trace:/tmp/t.log:resample ratio=0.5"),
+      std::runtime_error);
+}
+
+TEST(MakeSystem, TraceResampleDrawsIidFromTheLog) {
+  const std::string path =
+      write_trace("trace_resample.log", "1\n2\n3\n4\n5\n6\n7\n8\n");
+  ScenarioSpec spec = tiny_queueing();
+  spec.service = "trace:" + path + ":resample";
+
+  // Deterministic in (spec, seed), like every other scenario source.
+  auto a = make_system(spec, 42);
+  auto b = make_system(spec, 42);
+  const auto ra = a->run(core::ReissuePolicy::none());
+  EXPECT_EQ(ra.query_latencies,
+            b->run(core::ReissuePolicy::none()).query_latencies);
+
+  // Still trace-backed, and every draw comes from the log's support.
+  auto* cluster = dynamic_cast<sim::Cluster*>(a.get());
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->service_model().name(), "Trace[n=8]");
+  for (double x : ra.primary_latencies) EXPECT_GE(x, 1.0);
+
+  // i.i.d. draws really differ from replaying the same file in order.
+  ScenarioSpec replay = spec;
+  replay.service = "trace:" + path;
+  const auto rr = make_system(replay, 42)->run(core::ReissuePolicy::none());
+  EXPECT_NE(ra.query_latencies, rr.query_latencies);
+}
+
 TEST(MakeSystem, InterferenceRaisesUtilization) {
   ScenarioSpec spec = tiny_queueing();
   spec.queries = 4000;
