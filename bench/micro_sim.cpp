@@ -157,6 +157,35 @@ BENCHMARK(BM_ReplicationPipeline)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
+void BM_OptimalInTheLoop(benchmark::State& state) {
+  // Optimizer-in-the-loop cell cost: a full-log training run, the §4.1
+  // scan (or the §4.2 correlated variant over the probed joint samples),
+  // then the streaming measurement run -- everything an `optimal:*` sweep
+  // cell pays beyond a fixed-policy cell.
+  constexpr std::size_t kQueries = 100000;
+  const bool correlated = state.range(0) != 0;
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = kQueries;
+  opts.warmup = kQueries / 10;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+  const exp::PolicySpec spec = exp::parse_policy_spec(
+      correlated ? "optimal:0.05:corr" : "optimal:0.05");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp::run_cell_replication(
+        cluster, spec, 0.99, opts.seed, core::LogMode::kStreaming));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(kQueries));
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kQueries),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptimalInTheLoop)
+    ->ArgNames({"corr"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ClusterRunQueueDisciplines(benchmark::State& state) {
   sim::workloads::SensitivityOptions opts;
   opts.service = stats::make_exponential(0.1);

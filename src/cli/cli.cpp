@@ -36,14 +36,25 @@ usage:
                        [--utilization U=0.3] [--percentile K=0.99]
                        [--queries N=40000] [--seed S]
   reissue_cli sweep    --scenarios NAME[,NAME...] | --spec "name=... kind=..."
-                       [--replications N=8] [--threads N=1] [--seed S]
-                       [--percentile K] [--queries N] [--warmup N]
-                       [--full-logs] [--output FILE]
+                       [--policies SPEC[,SPEC...]] [--replications N=8]
+                       [--threads N=1] [--seed S] [--percentile K]
+                       [--queries N] [--warmup N] [--full-logs]
+                       [--output FILE]
                        [--shard i/N --raw-output FILE [--journal FILE]
                         [--max-cells N]]
   reissue_cli sweep --list
   reissue_cli merge    --inputs FILE[,FILE...] [--output FILE]
   reissue_cli help
+
+policy specs (scenario policy= tokens and --policies entries):
+  none | immediate[:copies] | d:<delay> | r:<delay>:<prob>
+  | multi:d1:q1[:d2:q2...] | tuned-r:<budget>[:trials]
+  | tuned-d:<budget>[:trials] | optimal:<budget>[:corr][:train=N]
+  | optimal-d:<budget>[:train=N]
+optimal:* runs the paper's data-driven optimizer per replication: a
+training run on the replication's own seed substream feeds the section 4.1
+scan (":corr": the section 4.2 correlation-aware variant; optimal-d: the
+Eq. (2) deadline policy), and the chosen (d, q) is then measured.
 )";
 
 double parse_double(const ParsedArgs& args, const std::string& name,
@@ -102,6 +113,21 @@ std::string require_value(const ParsedArgs& args, const std::string& name,
     throw std::runtime_error("--" + name + " requires a value");
   }
   return value;
+}
+
+/// Splits a comma-separated flag value, dropping empty entries.
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const auto pos = list.find(',', start);
+    const std::string entry =
+        list.substr(start, pos == std::string::npos ? pos : pos - start);
+    if (!entry.empty()) parts.push_back(entry);
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return parts;
 }
 
 std::vector<double> load_log(const std::string& path) {
@@ -294,6 +320,21 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
     }
   }
 
+  // Replace every resolved scenario's policy grid from the command line,
+  // so a registry scenario can be re-swept under e.g. optimal:* policies
+  // without an inline spec.
+  if (args.has("policies")) {
+    std::vector<exp::PolicySpec> grid;
+    for (const auto& entry :
+         split_commas(require_value(args, "policies", "sweep"))) {
+      grid.push_back(exp::parse_policy_spec(entry));
+    }
+    if (grid.empty()) {
+      throw std::runtime_error("--policies needs at least one policy spec");
+    }
+    for (auto& spec : scenarios) spec.policies = grid;
+  }
+
   exp::SweepOptions options;
   options.replications =
       static_cast<std::size_t>(parse_u64(args, "replications", 8));
@@ -362,17 +403,8 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
 }
 
 int cmd_merge(const ParsedArgs& args, std::ostream& out) {
-  const std::string list = require_value(args, "inputs", "merge");
-  std::vector<std::string> paths;
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const auto pos = list.find(',', start);
-    const std::string entry =
-        list.substr(start, pos == std::string::npos ? pos : pos - start);
-    if (!entry.empty()) paths.push_back(entry);
-    if (pos == std::string::npos) break;
-    start = pos + 1;
-  }
+  const std::vector<std::string> paths =
+      split_commas(require_value(args, "inputs", "merge"));
   if (paths.empty()) {
     throw std::runtime_error("merge --inputs needs at least one file");
   }

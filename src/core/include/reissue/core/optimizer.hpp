@@ -16,9 +16,11 @@
 // cascading -- same asymptotic family, simpler structure).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
 #include "reissue/stats/ecdf.hpp"
 #include "reissue/stats/joint_samples.hpp"
 
@@ -69,5 +71,33 @@ struct OptimizerResult {
 /// i.e. d = the (1-B) empirical quantile of RX (paper Eq. (2)).
 [[nodiscard]] ReissuePolicy single_d_for_budget(const stats::EmpiricalCdf& rx,
                                                 double budget);
+
+// --------------------------------------------- training-run entry points
+//
+// Optimizer-in-the-loop sweeps (the exp engine's `optimal:*` policy
+// specs) train the optimizer on a run's observed logs instead of
+// caller-assembled ECDFs.  `train_limit` caps the training sample count:
+// the primary log is sliced to its first `train_limit` observations and
+// the logged (primary, reissue) pairs to the proportional prefix (pairs
+// arrive in query order, so the prefix is the pairs of the kept queries
+// up to coin-flip granularity).  0 means the whole run.
+
+/// §4.1 scan (or the §4.2 correlated variant) on a training run's logs.
+/// Uncorrelated: RY is the run's reissue log when the run issued reissues,
+/// else RX itself (the Y ~ X assumption of a no-reissue training run).
+/// Correlated: the logged pairs feed the conditional estimator; a run with
+/// no reissues falls back to pairing the primary log with itself, which
+/// assumes perfect correlation and therefore predicts no benefit — train
+/// the correlated variant under a probing policy that issues reissues.
+/// Throws std::invalid_argument on an empty primary log or bad (k, B).
+[[nodiscard]] OptimizerResult optimize_single_r_from_run(
+    const RunResult& train, double k, double budget, bool correlated,
+    std::size_t train_limit = 0);
+
+/// Budget-matched SingleD (paper Eq. (2)) from a training run's primary
+/// log, sliced like optimize_single_r_from_run.
+[[nodiscard]] ReissuePolicy optimal_single_d_from_run(const RunResult& train,
+                                                      double budget,
+                                                      std::size_t train_limit = 0);
 
 }  // namespace reissue::core

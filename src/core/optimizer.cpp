@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <span>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "reissue/core/success_rate.hpp"
 
@@ -172,6 +175,67 @@ ReissuePolicy single_d_for_budget(const stats::EmpiricalCdf& rx,
   if (budget == 0.0) return ReissuePolicy::none();
   // Pr(X > d) = B  <=>  d = (1-B) quantile.
   return ReissuePolicy::single_d(rx.quantile(1.0 - budget));
+}
+
+namespace {
+
+std::span<const double> primary_slice(const RunResult& train,
+                                      std::size_t limit) {
+  std::span<const double> xs = train.primary_latencies;
+  if (xs.empty()) {
+    throw std::invalid_argument("optimizer: training run has no primary log");
+  }
+  if (limit > 0 && limit < xs.size()) xs = xs.first(limit);
+  return xs;
+}
+
+/// Pairs arrive in query order; keeping round(pairs * kept/total) of them
+/// matches a primary log sliced to its first `kept` queries.
+std::size_t pairs_to_keep(std::size_t pairs, std::size_t kept,
+                          std::size_t total) {
+  if (total == 0 || kept >= total) return pairs;
+  return std::min(pairs, (pairs * kept + total / 2) / total);
+}
+
+}  // namespace
+
+OptimizerResult optimize_single_r_from_run(const RunResult& train, double k,
+                                           double budget, bool correlated,
+                                           std::size_t train_limit) {
+  const std::span<const double> xs = primary_slice(train, train_limit);
+  const stats::EmpiricalCdf rx(xs);
+  const std::size_t keep = pairs_to_keep(train.correlated_pairs.size(),
+                                         xs.size(),
+                                         train.primary_latencies.size());
+  if (correlated) {
+    stats::JointSamples joint;
+    if (keep > 0) {
+      joint = stats::JointSamples(std::vector<std::pair<double, double>>(
+          train.correlated_pairs.begin(), train.correlated_pairs.begin() + keep));
+    } else {
+      std::vector<std::pair<double, double>> self;
+      self.reserve(xs.size());
+      for (double x : xs) self.emplace_back(x, x);
+      joint = stats::JointSamples(std::move(self));
+    }
+    return compute_optimal_single_r_correlated(rx, joint, k, budget);
+  }
+  if (keep > 0) {
+    std::vector<double> ys;
+    ys.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i) {
+      ys.push_back(train.correlated_pairs[i].second);
+    }
+    return compute_optimal_single_r(rx, stats::EmpiricalCdf(std::move(ys)), k,
+                                    budget);
+  }
+  return compute_optimal_single_r(rx, rx, k, budget);
+}
+
+ReissuePolicy optimal_single_d_from_run(const RunResult& train, double budget,
+                                        std::size_t train_limit) {
+  return single_d_for_budget(
+      stats::EmpiricalCdf(primary_slice(train, train_limit)), budget);
 }
 
 }  // namespace reissue::core

@@ -19,7 +19,10 @@ namespace reissue::dist {
 
 namespace {
 
-constexpr std::string_view kJournalMagic = "reissue-shard-journal v1";
+// v2: raw rows grew the trailing delay/probability columns; a v1 journal
+// fails the header check below with the fingerprint-mismatch guidance
+// instead of a confusing per-row column-count error.
+constexpr std::string_view kJournalMagic = "reissue-shard-journal v2";
 
 std::string journal_header(std::uint64_t fingerprint) {
   return std::string(kJournalMagic) + " " + hex64(fingerprint);

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "reissue/exp/scenario.hpp"
 
@@ -61,8 +62,8 @@ CellStats aggregate_cell(const CellResult& cell) {
   stats.remediation = remediations.mean();
   stats.utilization = utilizations.mean();
   stats.outstanding_at_delay = outstanding.mean();
-  stats.mean_delay = delays.mean();
-  stats.mean_probability = probabilities.mean();
+  stats.delay = stats::mean_ci95(delays);
+  stats.probability = stats::mean_ci95(probabilities);
   return stats;
 }
 
@@ -76,7 +77,8 @@ std::vector<CellStats> aggregate(const std::vector<CellResult>& cells) {
 std::string csv_header() {
   return "scenario,policy,percentile,replications,tail_mean,tail_ci_lo,"
          "tail_ci_hi,tail_stddev,tail_p2,mean_latency,reissue_rate,"
-         "remediation,utilization,outstanding,delay,probability";
+         "remediation,utilization,outstanding,delay_mean,delay_ci_lo,"
+         "delay_ci_hi,probability_mean,probability_ci_lo,probability_ci_hi";
 }
 
 std::string csv_row(const CellStats& stats) {
@@ -109,9 +111,17 @@ std::string csv_row(const CellStats& stats) {
   row += ',';
   row += fmt(stats.outstanding_at_delay);
   row += ',';
-  row += fmt(stats.mean_delay);
+  row += fmt(stats.delay.mean);
   row += ',';
-  row += fmt(stats.mean_probability);
+  row += fmt(stats.delay.lo());
+  row += ',';
+  row += fmt(stats.delay.hi());
+  row += ',';
+  row += fmt(stats.probability.mean);
+  row += ',';
+  row += fmt(stats.probability.lo());
+  row += ',';
+  row += fmt(stats.probability.hi());
   return row;
 }
 
@@ -168,8 +178,19 @@ std::uint64_t field_u64(std::string_view column, std::string_view token) {
 std::string raw_csv_header() {
   return "scenario,policy,percentile,cell,replication,seed,resolved_policy,"
          "tail,tail_p2,mean_latency,reissue_rate,remediation,utilization,"
-         "outstanding";
+         "outstanding,delay,probability";
 }
+
+namespace {
+
+/// The (d, q) a single-stage resolved policy chose (tuned/optimal specs
+/// resolve per replication); multi-stage and no-reissue rows carry zeros.
+std::pair<double, double> resolved_params(const core::ReissuePolicy& policy) {
+  if (policy.stage_count() != 1) return {0.0, 0.0};
+  return {policy.delay(), policy.probability()};
+}
+
+}  // namespace
 
 std::string raw_csv_row(const CellResult& cell, std::size_t cell_index,
                         std::size_t replication) {
@@ -202,6 +223,11 @@ std::string raw_csv_row(const CellResult& cell, std::size_t cell_index,
   row += fmt(rep.utilization);
   row += ',';
   row += fmt(rep.outstanding_at_delay);
+  const auto [delay, probability] = resolved_params(rep.policy);
+  row += ',';
+  row += fmt(delay);
+  row += ',';
+  row += fmt(probability);
   return row;
 }
 
@@ -217,8 +243,8 @@ void write_raw_csv(std::ostream& os, const std::vector<CellResult>& cells,
 
 RawRow parse_raw_csv_row(std::string_view line) {
   const auto fields = split_fields(line);
-  if (fields.size() != 14) {
-    throw std::runtime_error("raw csv: expected 14 columns, got " +
+  if (fields.size() != 16) {
+    throw std::runtime_error("raw csv: expected 16 columns, got " +
                              std::to_string(fields.size()));
   }
   RawRow row;
@@ -249,6 +275,15 @@ RawRow parse_raw_csv_row(std::string_view line) {
   row.metrics.remediation = field_num("remediation", fields[11]);
   row.metrics.utilization = field_num("utilization", fields[12]);
   row.metrics.outstanding_at_delay = field_num("outstanding", fields[13]);
+  // The trailing (d, q) columns are derived from resolved_policy on write;
+  // a row where they disagree was hand-edited or corrupted.
+  const auto [delay, probability] = resolved_params(row.metrics.policy);
+  if (field_num("delay", fields[14]) != delay ||
+      field_num("probability", fields[15]) != probability) {
+    throw std::runtime_error(
+        "raw csv: columns delay/probability disagree with resolved_policy '" +
+        std::string(fields[6]) + "'");
+  }
   return row;
 }
 

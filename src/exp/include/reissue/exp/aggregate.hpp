@@ -33,10 +33,12 @@ struct CellStats {
   double utilization = 0.0;
   double outstanding_at_delay = 0.0;
 
-  /// Mean resolved policy parameters over replications (meaningful for
-  /// single-stage policies, e.g. tuned ones; 0 otherwise).
-  double mean_delay = 0.0;
-  double mean_probability = 0.0;
+  /// Resolved policy parameters (d, q) over replications, each a mean with
+  /// a 95% CI half-width — the spread of what the tuned/optimal specs
+  /// actually chose per replication.  Single-stage resolved policies
+  /// contribute; cells without any stay zero.
+  stats::MeanInterval delay;
+  stats::MeanInterval probability;
 };
 
 [[nodiscard]] CellStats aggregate_cell(const CellResult& cell);
@@ -59,7 +61,10 @@ void write_csv(std::ostream& os, const std::vector<CellStats>& cells);
 // ReplicationMetrics field in shortest round-trip decimal form, so
 // write -> parse -> aggregate is bit-identical to aggregating in memory.
 // The resolved policy travels as its fixed PolicySpec token ("none",
-// "r:30:0.5", "multi:..."), which round-trips doubles exactly.
+// "r:30:0.5", "multi:..."), which round-trips doubles exactly; the
+// trailing delay/probability columns surface the chosen (d, q) of
+// single-stage resolved policies (0 otherwise) and must agree with the
+// token — the parser rejects rows where they diverge.
 
 /// Raw CSV column names, in row order.
 [[nodiscard]] std::string raw_csv_header();

@@ -87,6 +87,14 @@ struct CellResult {
 [[nodiscard]] std::uint64_t construction_seed(std::uint64_t root,
                                               std::string_view scenario);
 
+/// Seed of an optimal:* policy's training run, derived from the
+/// replication seed: the optimizer trains on its own substream and the
+/// measured run happens on `replication` itself, so optimization is
+/// out-of-sample and the measured phase still shares the cell's common
+/// random numbers with every other policy.  Exposed so tests can pin the
+/// chosen (d, q) per seed.
+[[nodiscard]] std::uint64_t training_seed(std::uint64_t replication);
+
 /// One Scenario × Policy cell of a sweep's canonical plan.  Cell index ==
 /// position in the enumerate_cells vector; shards of a distributed sweep
 /// partition that index space, so the plan is the contract that keeps a
@@ -109,10 +117,12 @@ struct CellRef {
     const std::vector<ScenarioSpec>& scenarios, const SweepOptions& options);
 
 /// One replication of one cell: resolves `spec` (tuning on the system if
-/// the spec asks for it), measures the resolved policy at percentile `k`
-/// under `mode`, and summarizes.  The engine's unit of work — public so
-/// benches and tests can measure it in isolation.  The system must already
-/// be reseeded to `seed` (recorded in the metrics verbatim).
+/// the spec asks for it; optimal:* specs run a training phase on
+/// training_seed(seed) and reseed back to `seed` before measuring),
+/// measures the resolved policy at percentile `k` under `mode`, and
+/// summarizes.  The engine's unit of work — public so benches and tests
+/// can measure it in isolation.  The system must already be reseeded to
+/// `seed` (recorded in the metrics verbatim).
 [[nodiscard]] ReplicationMetrics run_cell_replication(
     core::SystemUnderTest& system, const PolicySpec& spec, double k,
     std::uint64_t seed, core::LogMode mode = core::LogMode::kStreaming);

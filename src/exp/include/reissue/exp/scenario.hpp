@@ -33,23 +33,42 @@
 
 namespace reissue::exp {
 
-/// One point of a scenario's policy grid: either a fixed policy, or a
-/// policy tuned on the scenario itself (the paper's §4.3 loop) toward a
-/// reissue budget.  String forms:
+/// One point of a scenario's policy grid: a fixed policy, a policy tuned
+/// on the scenario itself (the paper's §4.3 loop) toward a reissue budget,
+/// or an optimizer-in-the-loop policy (the §4.1/§4.2 data-driven search,
+/// trained per replication on the scenario's own observed latency samples
+/// and then measured — the paper's train → optimize → evaluate pipeline).
+/// String forms:
 ///   none | immediate[:copies] | d:<delay> | r:<delay>:<prob>
 ///   | multi:d1:q1[:d2:q2...] | tuned-r:<budget>[:trials]
-///   | tuned-d:<budget>[:trials]
+///   | tuned-d:<budget>[:trials] | optimal:<budget>[:corr][:train=N]
+///   | optimal-d:<budget>[:train=N]
+/// `corr` selects the §4.2 correlation-aware optimizer; `train=N` caps the
+/// training phase's sample count (default: every training observation).
 struct PolicySpec {
-  enum class Kind { kFixed, kTunedSingleR, kTunedSingleD };
+  enum class Kind {
+    kFixed,
+    kTunedSingleR,
+    kTunedSingleD,
+    kOptimalSingleR,
+    kOptimalSingleD,
+  };
 
   Kind kind = Kind::kFixed;
   core::ReissuePolicy fixed = core::ReissuePolicy::none();
-  double budget = 0.0;  // tuned kinds only
-  int trials = 6;       // tuned kinds only
+  double budget = 0.0;      // tuned/optimal kinds only
+  int trials = 6;           // tuned kinds only
+  bool correlated = false;  // optimal single-r only: §4.2 variant
+  std::size_t train = 0;    // optimal kinds: training-sample cap (0 = all)
 
   [[nodiscard]] static PolicySpec fixed_policy(core::ReissuePolicy policy);
   [[nodiscard]] static PolicySpec tuned_single_r(double budget, int trials = 6);
   [[nodiscard]] static PolicySpec tuned_single_d(double budget, int trials = 6);
+  [[nodiscard]] static PolicySpec optimal_single_r(double budget,
+                                                   bool correlated = false,
+                                                   std::size_t train = 0);
+  [[nodiscard]] static PolicySpec optimal_single_d(double budget,
+                                                   std::size_t train = 0);
 
   friend bool operator==(const PolicySpec&, const PolicySpec&) = default;
 };

@@ -99,6 +99,22 @@ ScenarioRegistry make_built_in() {
     registry.add(spec);
   }
 
+  // Optimizer in the loop (§4.1/§4.2 against the no-reissue baseline):
+  // each replication trains the data-driven optimizer on its own latency
+  // samples and measures what the chosen policy delivers — the paper's
+  // headline "optimized reissue vs. baseline" comparison.  Sized so the
+  // extra training run per replication stays sweep-affordable.
+  {
+    ScenarioSpec spec = base_queueing("queueing-optimal", 0.50);
+    spec.queries = 8000;
+    spec.warmup = 800;
+    spec.policies = {parse_policy_spec("none"),
+                     parse_policy_spec("optimal:0.05"),
+                     parse_policy_spec("optimal:0.05:corr"),
+                     parse_policy_spec("optimal-d:0.05")};
+    registry.add(spec);
+  }
+
   // System substrates, sized for tractable sweeps.
   {
     ScenarioSpec spec;
@@ -121,11 +137,13 @@ ScenarioRegistry make_built_in() {
                        {"queueing-u30", "queueing-u50", "queueing-u70"});
   registry.add_catalog(
       "regimes", {"overload-u90", "bursty", "heterogeneous", "interference"});
+  registry.add_catalog("optimizer-loop", {"queueing-optimal"});
   registry.add_catalog("systems-small", {"redis-small", "lucene-small"});
   registry.add_catalog("sim-all",
                        {"independent", "correlated", "queueing-u30",
                         "queueing-u50", "queueing-u70", "overload-u90",
-                        "bursty", "heterogeneous", "interference"});
+                        "bursty", "heterogeneous", "interference",
+                        "queueing-optimal"});
   return registry;
 }
 

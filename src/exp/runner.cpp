@@ -1,5 +1,6 @@
 #include "reissue/exp/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -8,6 +9,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "reissue/core/optimizer.hpp"
 #include "reissue/sim/metrics.hpp"
 #include "reissue/stats/psquare.hpp"
 #include "reissue/stats/rng.hpp"
@@ -119,8 +121,8 @@ ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
                                         core::LogMode mode) {
   core::ReissuePolicy policy = core::ReissuePolicy::none();
   switch (spec.kind) {
-    // Tuned specs resolve by running the §4.3 loop on the system itself;
-    // the tuner always consumes full logs (the optimizer needs the X/Y
+    // Tuned and optimal specs resolve by running on the system itself;
+    // those phases always consume full logs (the optimizer needs the X/Y
     // distributions), so `mode` governs only the measurement run below.
     case PolicySpec::Kind::kFixed:
       policy = spec.fixed;
@@ -133,6 +135,40 @@ ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
       policy = sim::tune_single_d(system, k, spec.budget, spec.trials)
                    .outcome.policy;
       break;
+    case PolicySpec::Kind::kOptimalSingleR:
+    case PolicySpec::Kind::kOptimalSingleD: {
+      // §4.1/§4.2 optimizer in the loop: train on the replication's own
+      // training substream, then restore `seed` so the measured run shares
+      // the cell's common random numbers with every other policy.
+      const auto reseed_to = [&](std::uint64_t s) {
+        if (!system.reseed(s)) {
+          throw std::runtime_error(
+              "run_cell_replication: optimal:* policy specs need a system "
+              "that supports reseeding");
+        }
+      };
+      reseed_to(training_seed(seed));
+      // The plain variants observe the unperturbed baseline; the §4.2
+      // variant needs real (X, Y) joint observations, so it probes with
+      // the paper's P0 = SingleR(0, B) (§4.3) and never exceeds budget.
+      const bool correlated =
+          spec.kind == PolicySpec::Kind::kOptimalSingleR && spec.correlated;
+      const core::ReissuePolicy probe =
+          correlated
+              ? core::ReissuePolicy::single_r(0.0, std::min(spec.budget, 1.0))
+              : core::ReissuePolicy::none();
+      const core::RunResult train = system.run(probe);
+      if (spec.kind == PolicySpec::Kind::kOptimalSingleR) {
+        policy = core::optimize_single_r_from_run(train, k, spec.budget,
+                                                  correlated, spec.train)
+                     .policy();
+      } else {
+        policy =
+            core::optimal_single_d_from_run(train, spec.budget, spec.train);
+      }
+      reseed_to(seed);
+      break;
+    }
   }
 
   ReplicationMetrics metrics;
@@ -173,6 +209,11 @@ std::uint64_t replication_seed(std::uint64_t root, std::string_view scenario,
 std::uint64_t construction_seed(std::uint64_t root,
                                 std::string_view scenario) {
   return substream(scenario_stream(root, scenario), 0);
+}
+
+std::uint64_t training_seed(std::uint64_t replication) {
+  stats::SplitMix64 sm(replication ^ stats::stream_label("optimal-train"));
+  return sm.next();
 }
 
 std::vector<CellRef> enumerate_cells(const std::vector<ScenarioSpec>& scenarios,

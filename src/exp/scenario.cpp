@@ -226,12 +226,40 @@ PolicySpec PolicySpec::tuned_single_d(double budget, int trials) {
   return spec;
 }
 
+PolicySpec PolicySpec::optimal_single_r(double budget, bool correlated,
+                                        std::size_t train) {
+  PolicySpec spec;
+  spec.kind = Kind::kOptimalSingleR;
+  spec.budget = budget;
+  spec.correlated = correlated;
+  spec.train = train;
+  return spec;
+}
+
+PolicySpec PolicySpec::optimal_single_d(double budget, std::size_t train) {
+  PolicySpec spec;
+  spec.kind = Kind::kOptimalSingleD;
+  spec.budget = budget;
+  spec.train = train;
+  return spec;
+}
+
 std::string to_string(const PolicySpec& spec) {
   switch (spec.kind) {
     case PolicySpec::Kind::kTunedSingleR:
       return "tuned-r:" + fmt(spec.budget) + ":" + std::to_string(spec.trials);
     case PolicySpec::Kind::kTunedSingleD:
       return "tuned-d:" + fmt(spec.budget) + ":" + std::to_string(spec.trials);
+    case PolicySpec::Kind::kOptimalSingleR:
+    case PolicySpec::Kind::kOptimalSingleD: {
+      std::string out = spec.kind == PolicySpec::Kind::kOptimalSingleR
+                            ? "optimal:"
+                            : "optimal-d:";
+      out += fmt(spec.budget);
+      if (spec.correlated) out += ":corr";
+      if (spec.train > 0) out += ":train=" + std::to_string(spec.train);
+      return out;
+    }
     case PolicySpec::Kind::kFixed:
       break;
   }
@@ -309,9 +337,40 @@ PolicySpec parse_policy_spec(std::string_view token) {
     return head == "tuned-r" ? PolicySpec::tuned_single_r(budget, trials)
                              : PolicySpec::tuned_single_d(budget, trials);
   }
+  if (head == "optimal" || head == "optimal-d") {
+    const bool deadline = head == "optimal-d";
+    const char* usage = deadline ? "optimal-d:<budget>[:train=N]"
+                                 : "optimal:<budget>[:corr][:train=N]";
+    if (args < 1) throw bad(usage);
+    const double budget = parse_num("policy spec budget", parts[1]);
+    // The budget is a reissue-rate fraction; anything outside (0, 1] would
+    // only fail (or be clamped) mid-sweep, deep inside the optimizer.
+    if (!(budget > 0.0 && budget <= 1.0)) throw bad("a budget in (0, 1]");
+    bool correlated = false;
+    std::size_t train = 0;
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      const std::string_view option = parts[i];
+      if (option == "corr") {
+        // Eq. (2)'s deadline policy depends only on the X distribution, so
+        // a correlation flag on optimal-d would be silently ignored.
+        if (deadline) throw bad("optimal-d without corr (Eq. (2) uses only X)");
+        if (correlated) throw bad("corr at most once");
+        correlated = true;
+      } else if (option.rfind("train=", 0) == 0) {
+        if (train > 0) throw bad("train= at most once");
+        train = parse_count("policy spec train", option.substr(6));
+        if (train == 0) throw bad("train >= 1");
+      } else {
+        throw bad(usage);
+      }
+    }
+    return deadline ? PolicySpec::optimal_single_d(budget, train)
+                    : PolicySpec::optimal_single_r(budget, correlated, train);
+  }
   throw std::runtime_error(
       "policy spec '" + std::string(token) +
-      "': unknown form (want none|immediate|d|r|multi|tuned-r|tuned-d)");
+      "': unknown form (want none|immediate|d|r|multi|tuned-r|tuned-d|"
+      "optimal|optimal-d)");
 }
 
 std::string to_string(WorkloadKind kind) {

@@ -357,6 +357,61 @@ TEST(Cli, ZeroPaddedCountsParseAsDecimalNotOctal) {
       << hex_count.err;
 }
 
+TEST(Cli, SweepPoliciesOverrideReplacesTheGrid) {
+  // --policies re-sweeps the resolved scenarios under a new policy grid;
+  // the optimizer-in-the-loop specs are the motivating case.
+  const auto result =
+      run({"sweep", "--spec", kTinySpec, "--policies",
+           "none,optimal:0.2:corr,optimal-d:0.2", "--replications", "2",
+           "--seed", "7"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("tiny,none,"), std::string::npos) << result.out;
+  EXPECT_NE(result.out.find("tiny,optimal:0.2:corr,"), std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("tiny,optimal-d:0.2,"), std::string::npos)
+      << result.out;
+  // The grid is replaced, not appended: the spec's own policies are gone.
+  EXPECT_EQ(result.out.find("tiny,r:20:0.5,"), std::string::npos)
+      << result.out;
+}
+
+TEST(Cli, SweepOptimalPoliciesAreBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> base = {
+      "sweep",  "--spec", kTinySpec,        "--policies",
+      "optimal:0.2:corr", "--replications", "2",
+      "--seed", "7"};
+  auto serial = base;
+  serial.insert(serial.end(), {"--threads", "1"});
+  auto parallel = base;
+  parallel.insert(parallel.end(), {"--threads", "8"});
+  const auto a = run(serial);
+  const auto b = run(parallel);
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST(Cli, SweepPoliciesDiagnostics) {
+  // Malformed tokens surface the policy-spec parser's diagnostic.
+  auto result = run({"sweep", "--spec", kTinySpec, "--policies",
+                     "optimal:0.05:fast", "--replications", "1"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("optimal:0.05:fast"), std::string::npos)
+      << result.err;
+
+  result = run({"sweep", "--spec", kTinySpec, "--policies", ",",
+                "--replications", "1"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--policies needs at least one policy spec"),
+            std::string::npos)
+      << result.err;
+
+  result = run({"sweep", "--spec", kTinySpec, "--policies"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--policies requires a value"), std::string::npos)
+      << result.err;
+}
+
 TEST(Cli, SweepRejectsDuplicateScenarioNames) {
   // --spec shadowing a registry scenario name would share its seed
   // substreams and emit indistinguishable rows; the runner rejects it.

@@ -156,6 +156,106 @@ TEST(Optimizer, IdenticalSamplesDegenerate) {
   EXPECT_DOUBLE_EQ(result.predicted_tail_latency, 7.0);
 }
 
+// ------------------------------------------ training-run entry points
+
+/// A training run shaped like what the optimizer-in-the-loop path sees:
+/// primaries drawn from `dist`, with (X, Y) pairs for a `pair_rate`
+/// fraction of queries.
+RunResult synthetic_training_run(const stats::Distribution& dist,
+                                 std::size_t n, double pair_rate,
+                                 std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  RunResult run;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = dist.sample(rng);
+    run.primary_latencies.push_back(x);
+    run.query_latencies.push_back(x);
+    if (static_cast<double>(i % 100) < pair_rate * 100.0) {
+      const double y = dist.sample(rng);
+      run.reissue_latencies.push_back(y);
+      run.correlated_pairs.emplace_back(x, y);
+      run.reissue_delays.push_back(0.0);
+    }
+  }
+  run.queries = n;
+  run.reissues_issued = run.reissue_latencies.size();
+  return run;
+}
+
+TEST(OptimizerFromRun, MatchesCdfEntryPointsOnTheSameLogs) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const RunResult train = synthetic_training_run(*dist, 8000, 0.0, 61);
+  // No reissues in the run: RY falls back to RX, exactly the §4.1 call.
+  const auto from_run =
+      optimize_single_r_from_run(train, 0.95, 0.05, /*correlated=*/false);
+  const auto direct = compute_optimal_single_r(
+      train.primary_cdf(), train.primary_cdf(), 0.95, 0.05);
+  EXPECT_DOUBLE_EQ(from_run.delay, direct.delay);
+  EXPECT_DOUBLE_EQ(from_run.probability, direct.probability);
+  EXPECT_DOUBLE_EQ(from_run.predicted_tail_latency,
+                   direct.predicted_tail_latency);
+
+  // With pairs, the correlated path matches feeding them in directly.
+  const RunResult probed = synthetic_training_run(*dist, 8000, 0.2, 62);
+  const auto corr =
+      optimize_single_r_from_run(probed, 0.95, 0.05, /*correlated=*/true);
+  const auto corr_direct = compute_optimal_single_r_correlated(
+      probed.primary_cdf(), probed.joint(), 0.95, 0.05);
+  EXPECT_DOUBLE_EQ(corr.delay, corr_direct.delay);
+  EXPECT_DOUBLE_EQ(corr.probability, corr_direct.probability);
+
+  // The deadline variant is Eq. (2) on the primary log.
+  EXPECT_EQ(optimal_single_d_from_run(train, 0.1),
+            single_d_for_budget(train.primary_cdf(), 0.1));
+}
+
+TEST(OptimizerFromRun, TrainLimitSlicesTheLogsProportionally) {
+  const auto dist = stats::make_pareto(1.1, 2.0);
+  const RunResult train = synthetic_training_run(*dist, 8000, 0.2, 63);
+
+  // Capped to the first half: identical to an explicitly halved run.
+  RunResult half;
+  half.primary_latencies.assign(train.primary_latencies.begin(),
+                                train.primary_latencies.begin() + 4000);
+  half.correlated_pairs.assign(
+      train.correlated_pairs.begin(),
+      train.correlated_pairs.begin() +
+          static_cast<std::ptrdiff_t>(train.correlated_pairs.size() / 2));
+  const auto capped =
+      optimize_single_r_from_run(train, 0.95, 0.05, /*correlated=*/true,
+                                 /*train_limit=*/4000);
+  const auto direct = compute_optimal_single_r_correlated(
+      half.primary_cdf(), stats::JointSamples(half.correlated_pairs), 0.95,
+      0.05);
+  EXPECT_DOUBLE_EQ(capped.delay, direct.delay);
+  EXPECT_DOUBLE_EQ(capped.probability, direct.probability);
+
+  // A limit at or above the log size is a no-op.
+  const auto full = optimize_single_r_from_run(train, 0.95, 0.05, false);
+  const auto over =
+      optimize_single_r_from_run(train, 0.95, 0.05, false, 100000);
+  EXPECT_DOUBLE_EQ(full.delay, over.delay);
+
+  // Eq. (2) on the sliced log.
+  EXPECT_EQ(optimal_single_d_from_run(train, 0.1, 4000),
+            single_d_for_budget(half.primary_cdf(), 0.1));
+}
+
+TEST(OptimizerFromRun, RejectsEmptyTrainingRuns) {
+  const RunResult empty;
+  EXPECT_THROW(optimize_single_r_from_run(empty, 0.95, 0.05, false),
+               std::invalid_argument);
+  EXPECT_THROW(optimal_single_d_from_run(empty, 0.05),
+               std::invalid_argument);
+  // Bad (k, B) propagate from the underlying optimizers.
+  const RunResult train =
+      synthetic_training_run(*stats::make_exponential(1.0), 100, 0.0, 64);
+  EXPECT_THROW(optimize_single_r_from_run(train, 1.5, 0.05, false),
+               std::invalid_argument);
+  EXPECT_THROW(optimize_single_r_from_run(train, 0.95, -0.05, false),
+               std::invalid_argument);
+}
+
 TEST(Optimizer, OptimalQBelowOneAtSmallBudgets) {
   // Fig. 3c behaviour: at small budgets the optimal policy reissues early
   // with q < 1 rather than late with q = 1.

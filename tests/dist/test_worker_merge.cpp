@@ -108,6 +108,38 @@ TEST(ShardedSweep, MergeIsByteIdenticalToSingleProcessForAnyShardCount) {
   }
 }
 
+TEST(ShardedSweep, OptimalPolicyCellsMergeByteIdenticalToSingleProcess) {
+  // Optimizer-in-the-loop cells (policy=optimal:*) train per replication;
+  // the chosen (d, q) travels through the raw CSV's resolved_policy token
+  // and delay/probability columns, so a 3-shard merge must reproduce the
+  // single-process sweep byte for byte like any fixed-policy cell.
+  auto scenarios = tiny_scenarios();
+  scenarios[0].policies = {exp::parse_policy_spec("none"),
+                           exp::parse_policy_spec("optimal:0.2"),
+                           exp::parse_policy_spec("optimal:0.2:corr")};
+  scenarios[1].policies = {exp::parse_policy_spec("optimal-d:0.2:train=400")};
+  const auto options = sweep_options();
+  auto serial = options;
+  serial.threads = 1;
+  const std::string expected =
+      aggregate_csv(exp::run_sweep(scenarios, serial));
+
+  TempDir dir;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < 3; ++i) {
+    WorkerOptions worker;
+    worker.shard = ShardRef{i, 3};
+    worker.raw_output = dir.file("opt" + std::to_string(i) + ".csv");
+    worker.sweep = options;
+    const WorkerReport report = run_shard(scenarios, worker);
+    EXPECT_TRUE(report.finished);
+    paths.push_back(worker.raw_output);
+  }
+  const MergeReport report = merge_shards(paths);
+  EXPECT_EQ(report.shards, 3u);
+  EXPECT_EQ(aggregate_csv(report.cells), expected);
+}
+
 TEST(ShardedSweep, SingleShardRawFileMatchesInMemorySweep) {
   const auto scenarios = tiny_scenarios();
   const auto options = sweep_options();

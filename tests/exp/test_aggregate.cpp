@@ -35,8 +35,37 @@ TEST(Aggregate, MeanAndStudentTInterval) {
   EXPECT_NEAR(stats.tail.lo(), 2.0 - stats.tail.half_width, 1e-12);
   EXPECT_NEAR(stats.tail.hi(), 2.0 + stats.tail.half_width, 1e-12);
   EXPECT_NEAR(stats.tail_psquare, 2.5, 1e-12);
-  EXPECT_DOUBLE_EQ(stats.mean_delay, 20.0);
-  EXPECT_DOUBLE_EQ(stats.mean_probability, 0.5);
+  EXPECT_DOUBLE_EQ(stats.delay.mean, 20.0);
+  EXPECT_DOUBLE_EQ(stats.probability.mean, 0.5);
+  // Identical resolved policies across replications: zero-width intervals.
+  EXPECT_DOUBLE_EQ(stats.delay.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(stats.probability.half_width, 0.0);
+}
+
+TEST(Aggregate, ResolvedPolicyParametersGetConfidenceIntervals) {
+  // Tuned/optimal specs resolve a different (d, q) per replication; the
+  // aggregate reports their spread, not just the mean.
+  CellResult cell = cell_with_tails({1.0, 2.0, 3.0});
+  cell.replications[0].policy = core::ReissuePolicy::single_r(10.0, 0.2);
+  cell.replications[1].policy = core::ReissuePolicy::single_r(20.0, 0.5);
+  cell.replications[2].policy = core::ReissuePolicy::single_r(30.0, 0.8);
+  const auto stats = aggregate_cell(cell);
+  EXPECT_DOUBLE_EQ(stats.delay.mean, 20.0);
+  EXPECT_NEAR(stats.delay.half_width, 4.303 * 10.0 / std::sqrt(3.0), 1e-6);
+  EXPECT_NEAR(stats.delay.lo(), 20.0 - stats.delay.half_width, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.probability.mean, 0.5);
+  EXPECT_GT(stats.probability.half_width, 0.0);
+}
+
+TEST(Aggregate, MultiStagePoliciesLeaveParameterColumnsZero) {
+  CellResult cell = cell_with_tails({1.0, 2.0});
+  for (auto& rep : cell.replications) {
+    rep.policy = core::ReissuePolicy::double_r(1.0, 0.5, 2.0, 0.5);
+  }
+  const auto stats = aggregate_cell(cell);
+  EXPECT_DOUBLE_EQ(stats.delay.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.delay.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(stats.probability.mean, 0.0);
 }
 
 TEST(Aggregate, SingleReplicationHasZeroWidthInterval) {
@@ -52,8 +81,10 @@ TEST(Aggregate, RejectsEmptyCells) {
 
 TEST(Csv, HeaderNamesTailAndConfidenceColumns) {
   const std::string header = csv_header();
-  for (const char* column : {"scenario", "policy", "tail_mean", "tail_ci_lo",
-                             "tail_ci_hi", "tail_p2", "reissue_rate"}) {
+  for (const char* column :
+       {"scenario", "policy", "tail_mean", "tail_ci_lo", "tail_ci_hi",
+        "tail_p2", "reissue_rate", "delay_mean", "delay_ci_lo", "delay_ci_hi",
+        "probability_mean", "probability_ci_lo", "probability_ci_hi"}) {
     EXPECT_NE(header.find(column), std::string::npos) << column;
   }
 }

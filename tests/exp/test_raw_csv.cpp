@@ -46,7 +46,8 @@ TEST(RawCsv, HeaderNamesReplicationColumns) {
   const std::string header = raw_csv_header();
   for (const char* column :
        {"scenario", "policy", "percentile", "cell", "replication", "seed",
-        "resolved_policy", "tail", "tail_p2", "reissue_rate"}) {
+        "resolved_policy", "tail", "tail_p2", "reissue_rate", "delay",
+        "probability"}) {
     EXPECT_NE(header.find(column), std::string::npos) << column;
   }
 }
@@ -104,7 +105,7 @@ TEST(RawCsv, ParseDiagnosticsNameTheProblem) {
   EXPECT_THROW((void)parse_raw_csv_row(good + ",extra"), std::runtime_error);
   // Bad numbers name their column.
   try {
-    (void)parse_raw_csv_row("s,none,0.99,0,0,1,none,oops,1,1,0,0,0.5,0");
+    (void)parse_raw_csv_row("s,none,0.99,0,0,1,none,oops,1,1,0,0,0.5,0,0,0");
     FAIL() << "expected std::runtime_error";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("tail"), std::string::npos)
@@ -112,15 +113,39 @@ TEST(RawCsv, ParseDiagnosticsNameTheProblem) {
   }
   // Malformed policy tokens fail in both policy columns.
   EXPECT_THROW(
-      (void)parse_raw_csv_row("s,bogus,0.99,0,0,1,none,1,1,1,0,0,0.5,0"),
+      (void)parse_raw_csv_row("s,bogus,0.99,0,0,1,none,1,1,1,0,0,0.5,0,0,0"),
       std::runtime_error);
   EXPECT_THROW(
-      (void)parse_raw_csv_row("s,none,0.99,0,0,1,bogus,1,1,1,0,0,0.5,0"),
+      (void)parse_raw_csv_row("s,none,0.99,0,0,1,bogus,1,1,1,0,0,0.5,0,0,0"),
       std::runtime_error);
   // A tuned token is a cell label, never a resolved policy.
   EXPECT_THROW(
       (void)parse_raw_csv_row(
-          "s,none,0.99,0,0,1,tuned-r:0.05,1,1,1,0,0,0.5,0"),
+          "s,none,0.99,0,0,1,tuned-r:0.05,1,1,1,0,0,0.5,0,0,0"),
+      std::runtime_error);
+  // An optimal token is a cell label, never a resolved policy (the spec
+  // resolves to a concrete r:<d>:<q> per replication).
+  EXPECT_THROW(
+      (void)parse_raw_csv_row(
+          "s,optimal:0.05:corr,0.99,0,0,1,optimal:0.05:corr,1,1,1,0,0,0.5,0,"
+          "0,0"),
+      std::runtime_error);
+  // The trailing (d, q) columns must agree with resolved_policy: a
+  // hand-edited delay or probability is rejected, not silently dropped.
+  EXPECT_NO_THROW(
+      (void)parse_raw_csv_row("s,none,0.99,0,0,1,r:30:0.5,1,1,1,0,0,0.5,0,"
+                              "30,0.5"));
+  try {
+    (void)parse_raw_csv_row("s,none,0.99,0,0,1,r:30:0.5,1,1,1,0,0,0.5,0,"
+                            "31,0.5");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("resolved_policy"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(
+      (void)parse_raw_csv_row("s,none,0.99,0,0,1,r:30:0.5,1,1,1,0,0,0.5,0,"
+                              "30,0.25"),
       std::runtime_error);
 
   // Stream parsing: header is mandatory, errors carry the line number.

@@ -128,6 +128,102 @@ TEST(RunSweep, TunedPolicyResolvesPerReplication) {
   }
 }
 
+TEST(TrainingSeed, DeterministicAndDistinctFromReplicationSeed) {
+  const std::uint64_t rep = replication_seed(1, "s", 0);
+  EXPECT_EQ(training_seed(rep), training_seed(rep));
+  EXPECT_NE(training_seed(rep), rep);
+  EXPECT_NE(training_seed(rep), training_seed(replication_seed(1, "s", 1)));
+}
+
+TEST(RunSweep, OptimalPolicyResolvesPerReplication) {
+  // The §4.1/§4.2 loop: train -> optimize -> measure.  Every replication
+  // must resolve to a concrete single-stage policy that spends budget.
+  auto scenarios = tiny_scenarios();
+  scenarios.resize(1);
+  scenarios[0].policies = {parse_policy_spec("optimal:0.2"),
+                           parse_policy_spec("optimal:0.2:corr"),
+                           parse_policy_spec("optimal-d:0.2")};
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 2;
+  const auto cells = run_sweep(scenarios, options);
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& cell : cells) {
+    for (const auto& rep : cell.replications) {
+      ASSERT_EQ(rep.policy.stage_count(), 1u) << cell.policy;
+      EXPECT_GT(rep.reissue_rate, 0.0) << cell.policy;
+      EXPECT_GE(rep.policy.delay(), 0.0) << cell.policy;
+      EXPECT_GT(rep.policy.probability(), 0.0) << cell.policy;
+    }
+  }
+  // Distinct training substreams resolve distinct policies across
+  // replications (the optimizer really runs per replication).
+  EXPECT_NE(cells[0].replications[0].policy, cells[0].replications[1].policy);
+  // The deadline variant pins q = 1 (Eq. (2) is deterministic).
+  for (const auto& rep : cells[2].replications) {
+    EXPECT_DOUBLE_EQ(rep.policy.probability(), 1.0);
+  }
+}
+
+TEST(RunSweep, OptimalPolicyChoiceIsPinnedPerSeed) {
+  // Determinism contract: for a given (root seed, scenario, replication)
+  // the optimizer's chosen (d, q) is a pure function -- identical across
+  // repeated runs and every thread count.
+  auto scenarios = tiny_scenarios();
+  scenarios.resize(1);
+  scenarios[0].policies = {parse_policy_spec("optimal:0.2:corr")};
+  SweepOptions options;
+  options.replications = 3;
+  options.seed = 0xfeed;
+
+  options.threads = 1;
+  const auto serial = run_sweep(scenarios, options);
+  options.threads = 8;
+  const auto parallel = run_sweep(scenarios, options);
+  const auto again = run_sweep(scenarios, options);
+  for (std::size_t r = 0; r < options.replications; ++r) {
+    const auto& chosen = serial[0].replications[r].policy;
+    EXPECT_EQ(chosen, parallel[0].replications[r].policy);
+    EXPECT_EQ(chosen, again[0].replications[r].policy);
+    EXPECT_DOUBLE_EQ(serial[0].replications[r].tail,
+                     parallel[0].replications[r].tail);
+  }
+}
+
+TEST(RunSweep, OptimalSweepIsBitIdenticalAcrossThreadCounts) {
+  auto scenarios = tiny_scenarios();
+  scenarios[0].policies = {parse_policy_spec("none"),
+                           parse_policy_spec("optimal:0.1"),
+                           parse_policy_spec("optimal:0.1:corr")};
+  scenarios[1].policies = {parse_policy_spec("optimal-d:0.1:train=500")};
+  SweepOptions options;
+  options.replications = 2;
+  options.seed = 0xabc;
+  options.threads = 1;
+  const std::string serial = sweep_csv(scenarios, options);
+  options.threads = 8;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+}
+
+TEST(RunSweep, OptimalTrainCapChangesTheChosenPolicy) {
+  // train=N slices the training logs, so a tight cap must be able to move
+  // the optimum; determinism per cap still holds.
+  auto scenarios = tiny_scenarios();
+  scenarios.resize(1);
+  scenarios[0].policies = {parse_policy_spec("optimal:0.2"),
+                           parse_policy_spec("optimal:0.2:train=64")};
+  SweepOptions options;
+  options.replications = 2;
+  const auto cells = run_sweep(scenarios, options);
+  ASSERT_EQ(cells.size(), 2u);
+  bool any_difference = false;
+  for (std::size_t r = 0; r < options.replications; ++r) {
+    any_difference |= cells[0].replications[r].policy !=
+                      cells[1].replications[r].policy;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
 TEST(RunSweep, PercentileOverrideApplies) {
   SweepOptions options;
   options.replications = 1;

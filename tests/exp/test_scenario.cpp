@@ -22,6 +22,12 @@ TEST(PolicySpec, RoundTripsEveryForm) {
       "multi:10:0.25:40:0.75",
       "tuned-r:0.05:6",
       "tuned-d:0.1:4",
+      "optimal:0.05",
+      "optimal:0.05:corr",
+      "optimal:0.05:train=4000",
+      "optimal:0.05:corr:train=4000",
+      "optimal-d:0.1",
+      "optimal-d:0.1:train=2000",
   };
   for (const auto& form : forms) {
     const PolicySpec spec = parse_policy_spec(form);
@@ -55,6 +61,61 @@ TEST(PolicySpec, RejectsMalformedTokens) {
   EXPECT_THROW(parse_policy_spec("none:1"), std::runtime_error);
 }
 
+TEST(PolicySpec, ParsesOptimalForms) {
+  const PolicySpec plain = parse_policy_spec("optimal:0.05");
+  EXPECT_EQ(plain.kind, PolicySpec::Kind::kOptimalSingleR);
+  EXPECT_DOUBLE_EQ(plain.budget, 0.05);
+  EXPECT_FALSE(plain.correlated);
+  EXPECT_EQ(plain.train, 0u);
+
+  const PolicySpec corr = parse_policy_spec("optimal:0.1:corr:train=500");
+  EXPECT_TRUE(corr.correlated);
+  EXPECT_EQ(corr.train, 500u);
+
+  // corr/train are accepted in either order; to_string canonicalizes.
+  EXPECT_EQ(parse_policy_spec("optimal:0.1:train=500:corr"), corr);
+  EXPECT_EQ(to_string(corr), "optimal:0.1:corr:train=500");
+
+  const PolicySpec deadline = parse_policy_spec("optimal-d:0.02:train=100");
+  EXPECT_EQ(deadline.kind, PolicySpec::Kind::kOptimalSingleD);
+  EXPECT_DOUBLE_EQ(deadline.budget, 0.02);
+  EXPECT_EQ(deadline.train, 100u);
+}
+
+TEST(PolicySpec, RejectsMalformedOptimalTokens) {
+  // Budget is mandatory, numeric, and a reissue-rate fraction in (0, 1]
+  // (anything larger would only fail or be clamped mid-sweep).
+  EXPECT_THROW(parse_policy_spec("optimal"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:0"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:-0.05"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:1.5"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal-d:1.5"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:lots"), std::runtime_error);
+  // Options must be corr or train=N, each at most once.
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:fast"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:corr:corr"),
+               std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:train=1:train=2"),
+               std::runtime_error);
+  // train needs a positive count.
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:train="), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:train=0"), std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:train=abc"),
+               std::runtime_error);
+  EXPECT_THROW(parse_policy_spec("optimal:0.05:train=-5"), std::runtime_error);
+  // The deadline variant has no correlation knob (Eq. (2) uses only X).
+  EXPECT_THROW(parse_policy_spec("optimal-d:0.05:corr"), std::runtime_error);
+  // Diagnostics name the offending token.
+  try {
+    (void)parse_policy_spec("optimal:0.05:fast");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("optimal:0.05:fast"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 // ---------------------------------------------------------- ScenarioSpec
 
 ScenarioSpec full_spec() {
@@ -76,7 +137,8 @@ ScenarioSpec full_spec() {
   spec.server_speeds = {1.0, 1.0, 2.0, 4.0};
   spec.percentile = 0.95;
   spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:20:0.5"),
-                   parse_policy_spec("tuned-r:0.1:3")};
+                   parse_policy_spec("tuned-r:0.1:3"),
+                   parse_policy_spec("optimal:0.05:corr:train=1000")};
   return spec;
 }
 
