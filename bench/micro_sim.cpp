@@ -10,6 +10,8 @@
 
 #include "reissue/exp/runner.hpp"
 #include "reissue/exp/scenario.hpp"
+#include "reissue/obs/counters.hpp"
+#include "reissue/obs/trace_ring.hpp"
 #include "reissue/sim/cluster.hpp"
 #include "reissue/sim/event.hpp"
 #include "reissue/sim/event_queue.hpp"
@@ -184,6 +186,54 @@ BENCHMARK(BM_OptimalInTheLoop)
     ->ArgNames({"corr"})
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cost of the observability layer on the hot simulation loop.  Mode 0 is
+/// the observed-build baseline with no observer attached (the `if
+/// (observer)` null checks are all that remains); mode 1 attaches the
+/// CountingObserver (cheapest live observer: a handful of increments per
+/// event); mode 2 attaches the binary RingTraceObserver (every event
+/// serialized into the overwrite-oldest ring).  The obs-off-vs-baseline
+/// delta recorded in BENCH_sim_throughput.json comes from an interleaved
+/// A/B against the pre-obs binary, not from this single-binary benchmark.
+void BM_ObsModes(benchmark::State& state) {
+  constexpr std::size_t kQueries = 100000;
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = kQueries;
+  opts.warmup = kQueries / 10;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+  const auto policy = core::ReissuePolicy::single_r(30.0, 0.5);
+
+  obs::CountingObserver counting;
+  obs::RingTraceObserver ring(std::size_t{1} << 20);
+  const char* label = "off";
+  switch (state.range(0)) {
+    case 1:
+      cluster.set_sim_observer(&counting);
+      label = "counting";
+      break;
+    case 2:
+      cluster.set_sim_observer(&ring);
+      label = "ring-trace";
+      break;
+    default:
+      break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.run(policy));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(kQueries));
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kQueries),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(label);
+}
+BENCHMARK(BM_ObsModes)
+    ->ArgNames({"obs"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ClusterRunQueueDisciplines(benchmark::State& state) {

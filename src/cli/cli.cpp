@@ -1,6 +1,9 @@
 #include "reissue/cli/cli.hpp"
 
+#include <chrono>
 #include <fstream>
+#include <mutex>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +18,10 @@
 #include "reissue/exp/aggregate.hpp"
 #include "reissue/exp/registry.hpp"
 #include "reissue/exp/runner.hpp"
+#include "reissue/obs/counters.hpp"
+#include "reissue/obs/timeseries.hpp"
+#include "reissue/obs/trace.hpp"
+#include "reissue/obs/trace_ring.hpp"
 #include "reissue/sim/metrics.hpp"
 #include "reissue/sim/workloads.hpp"
 #include "reissue/systems/bridge.hpp"
@@ -39,11 +46,14 @@ usage:
                        [--policies SPEC[,SPEC...]] [--replications N=8]
                        [--threads N=1] [--seed S] [--percentile K]
                        [--queries N] [--warmup N] [--full-logs]
-                       [--output FILE]
+                       [--output FILE] [--stats] [--progress]
+                       [--trace FILE] [--trace-bin FILE [--trace-capacity N]]
+                       [--timeseries FILE --window W]
                        [--shard i/N --raw-output FILE [--journal FILE]
                         [--max-cells N]]
   reissue_cli sweep --list
   reissue_cli merge    --inputs FILE[,FILE...] [--output FILE]
+  reissue_cli trace-summarize --input FILE
   reissue_cli help
 
 policy specs (scenario policy= tokens and --policies entries):
@@ -55,6 +65,18 @@ optimal:* runs the paper's data-driven optimizer per replication: a
 training run on the replication's own seed substream feeds the section 4.1
 scan (":corr": the section 4.2 correlation-aware variant; optimal-d: the
 Eq. (2) deadline policy), and the chosen (d, q) is then measured.
+
+observability (passive: never changes sweep output):
+  --trace FILE       Chrome trace-event JSON (Perfetto / chrome://tracing);
+                     requires --threads 1
+  --trace-bin FILE   compact binary event ring (read with trace-summarize);
+                     requires --threads 1; --trace-capacity sets the ring
+                     size in events (default 1048576, overwrite-oldest)
+  --timeseries FILE  windowed time-series CSV; requires --threads 1 and
+                     --window W (simulated-time window width)
+  --stats            run counters + wall-clock phase timers on stderr
+                     (shard mode: per-cell timings side file instead)
+  --progress         per-cell progress + ETA on stderr
 )";
 
 double parse_double(const ParsedArgs& args, const std::string& name,
@@ -263,7 +285,27 @@ int cmd_evaluate(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
+/// Builds the ETA-printing progress callback shared by local and shard
+/// sweeps.  `err_mutex` serializes worker threads onto the stream.
+std::function<void(std::size_t, std::size_t)> make_progress(
+    std::ostream& err, std::mutex& err_mutex) {
+  const auto start = std::chrono::steady_clock::now();
+  return [&err, &err_mutex, start](std::size_t done, std::size_t total) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double eta =
+        done > 0 ? elapsed * static_cast<double>(total - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+    std::lock_guard lock(err_mutex);
+    err << "progress: " << done << "/" << total << " cells, "
+        << static_cast<std::uint64_t>(elapsed) << "s elapsed, eta "
+        << static_cast<std::uint64_t>(eta) << "s\n";
+  };
+}
+
+int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const auto& registry = exp::ScenarioRegistry::built_in();
   if (args.has("list")) {
     out << "scenarios:\n";
@@ -349,6 +391,31 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
   // sorted-log percentiles (materializes per-query logs per replication).
   if (args.has("full-logs")) options.log_mode = core::LogMode::kFull;
 
+  // Observability flags.  All of them are passive diagnostics: the sweep
+  // CSV on stdout / --output stays byte-identical with any combination.
+  const bool want_trace = args.has("trace");
+  const bool want_trace_bin = args.has("trace-bin");
+  const bool want_timeseries = args.has("timeseries");
+  const bool want_stats = args.has("stats");
+  const bool want_progress = args.has("progress");
+#if !REISSUE_OBS_ENABLED
+  // The event-stream observers are dead code in this build: the simulator
+  // never calls their hooks, so a "trace" would be an empty document.
+  // Reject up front instead of writing one.
+  if (want_trace || want_trace_bin || want_timeseries) {
+    throw std::runtime_error(
+        "sweep: --trace/--trace-bin/--timeseries need observability "
+        "compiled in (this binary was built with -DREISSUE_OBS=OFF)");
+  }
+#endif
+  if (args.has("trace-capacity") && !want_trace_bin) {
+    throw std::runtime_error("--trace-capacity requires --trace-bin");
+  }
+  if (args.has("window") && !want_timeseries) {
+    throw std::runtime_error("--window requires --timeseries");
+  }
+  std::mutex err_mutex;
+
   // Distributed mode: run one shard of the sweep and emit the raw
   // replication CSV + manifest for `reissue_cli merge`, checkpointing
   // completed cells to a journal so a killed shard resumes for free.
@@ -361,6 +428,11 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
           "sweep: --output and --raw-output are mutually exclusive "
           "(merge the raw shards to get the aggregated CSV)");
     }
+    if (want_trace || want_trace_bin || want_timeseries) {
+      throw std::runtime_error(
+          "sweep: --trace/--trace-bin/--timeseries are not supported in "
+          "shard mode (trace a local single-threaded sweep instead)");
+    }
     dist::WorkerOptions worker;
     if (args.has("shard")) {
       worker.shard = dist::parse_shard(require_value(args, "shard", "sweep"));
@@ -372,6 +444,10 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
     worker.sweep = options;
     worker.max_new_cells =
         static_cast<std::size_t>(parse_u64(args, "max-cells", 0));
+    if (want_progress) worker.on_cell_done = make_progress(err, err_mutex);
+    // Per-cell wall-clock timings land in a side file next to the raw CSV
+    // -- never inside it, so the manifest hash is unaffected.
+    if (want_stats) worker.timings_output = worker.raw_output + ".timings.csv";
     const auto report = dist::run_shard(scenarios, worker);
     out << "shard " << dist::to_string(report.manifest.shard) << ": ";
     if (report.finished) {
@@ -389,7 +465,83 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
     return 0;
   }
 
+  // Local mode: wire up the requested observers.  The trace and
+  // time-series observers keep per-run state, so they need a single
+  // deterministic event stream -- hence the --threads 1 requirement.
+  if ((want_trace || want_trace_bin || want_timeseries) &&
+      options.threads != 1) {
+    throw std::runtime_error(
+        "sweep: --trace/--trace-bin/--timeseries require --threads 1");
+  }
+  obs::MultiObserver multi;
+  std::ofstream trace_file;
+  std::optional<obs::TraceObserver> tracer;
+  if (want_trace) {
+    const std::string path = require_value(args, "trace", "sweep");
+    trace_file.open(path, std::ios::binary);
+    if (!trace_file) {
+      throw std::runtime_error("cannot open trace file: " + path);
+    }
+    tracer.emplace(trace_file);
+    multi.add(&*tracer);
+  }
+  std::optional<obs::RingTraceObserver> ring;
+  std::string trace_bin_path;
+  if (want_trace_bin) {
+    trace_bin_path = require_value(args, "trace-bin", "sweep");
+    const auto capacity = static_cast<std::size_t>(
+        parse_u64(args, "trace-capacity", std::size_t{1} << 20));
+    if (capacity == 0) {
+      throw std::runtime_error("--trace-capacity must be > 0");
+    }
+    ring.emplace(capacity);
+    multi.add(&*ring);
+  }
+  std::optional<obs::TimeSeriesObserver> series;
+  std::string timeseries_path;
+  if (want_timeseries) {
+    timeseries_path = require_value(args, "timeseries", "sweep");
+    obs::TimeSeriesOptions ts;
+    ts.window = parse_double(args, "window", 0.0);
+    if (!(ts.window > 0.0)) {
+      throw std::runtime_error("--timeseries requires --window > 0");
+    }
+    if (options.percentile > 0.0) ts.percentile = options.percentile;
+    series.emplace(ts);
+    multi.add(&*series);
+  }
+  obs::CountingObserver counting;
+  obs::PhaseTimers timers;
+  if (want_stats) {
+    multi.add(&counting);
+    options.timers = &timers;
+  }
+  if (!multi.empty()) options.sim_observer = &multi;
+  if (want_progress) options.on_cell_done = make_progress(err, err_mutex);
+
   const auto cells = exp::aggregate(exp::run_sweep(scenarios, options));
+
+  if (tracer) {
+    tracer->finish();
+    trace_file.close();
+    if (!trace_file) {
+      throw std::runtime_error("error writing trace file");
+    }
+  }
+  if (ring) {
+    obs::write_trace_ring(trace_bin_path, ring->ring());
+  }
+  if (series) {
+    std::ostringstream csv;
+    series->write_csv(csv);
+    dist::atomic_write_file(timeseries_path, csv.str());
+  }
+  if (want_stats) {
+    err << "counters:\n"
+        << obs::format_counters(counting.total(), counting.runs())
+        << "timers:\n"
+        << obs::format_timers(timers);
+  }
   if (args.has("output")) {
     const std::string path = require_value(args, "output", "sweep");
     std::ostringstream csv;
@@ -399,6 +551,12 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out) {
   } else {
     exp::write_csv(out, cells);
   }
+  return 0;
+}
+
+int cmd_trace_summarize(const ParsedArgs& args, std::ostream& out) {
+  const std::string input = require_value(args, "input", "trace-summarize");
+  out << obs::summarize_trace(obs::read_trace_ring(input));
   return 0;
 }
 
@@ -478,8 +636,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "optimize") return cmd_optimize(parsed, out);
     if (parsed.command == "tune") return cmd_tune(parsed, out);
     if (parsed.command == "evaluate") return cmd_evaluate(parsed, out);
-    if (parsed.command == "sweep") return cmd_sweep(parsed, out);
+    if (parsed.command == "sweep") return cmd_sweep(parsed, out, err);
     if (parsed.command == "merge") return cmd_merge(parsed, out);
+    if (parsed.command == "trace-summarize") {
+      return cmd_trace_summarize(parsed, out);
+    }
     err << "unknown command: " << parsed.command << "\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,16 @@ struct WorkerOptions {
   /// place (0 = run to completion).  Both an incremental work budget for
   /// preemptible machines and the checkpoint test hook.
   std::size_t max_new_cells = 0;
+  /// Optional progress callback fired after each cell this invocation
+  /// completes: (cells_done_in_shard including resumed, cells_total).
+  /// Called from the coordinating thread; keep it cheap.
+  std::function<void(std::size_t, std::size_t)> on_cell_done;
+  /// When non-empty, per-cell wall-clock timings for cells computed by
+  /// this invocation are written here as CSV (cell,scenario,policy,
+  /// seconds).  A diagnostic side file only: it is written next to — and
+  /// never included in — the hashed raw CSV, so shard-merge byte-identity
+  /// is unaffected.  Resumed cells have no timing (they did not run).
+  std::string timings_output;
 };
 
 struct WorkerReport {

@@ -1,6 +1,8 @@
 #include "reissue/dist/worker.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <chrono>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -187,6 +189,22 @@ exp::CellResult run_one_cell(const std::vector<exp::ScenarioSpec>& scenarios,
   return cell;
 }
 
+/// One timings-side-file row for a newly computed cell.
+std::string timing_row(std::size_t cell, const exp::CellResult& result,
+                       double seconds) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), seconds);
+  std::string row = std::to_string(cell);
+  row += ',';
+  row += result.scenario;
+  row += ',';
+  row += result.policy;
+  row += ',';
+  row.append(buf, ec == std::errc() ? end : buf);
+  row += '\n';
+  return row;
+}
+
 }  // namespace
 
 std::string journal_path(const std::string& raw_path) {
@@ -257,6 +275,7 @@ WorkerReport run_shard(const std::vector<exp::ScenarioSpec>& scenarios,
   std::vector<SystemCache> slots(threads);
 
   bool budget_hit = false;
+  std::vector<std::string> timing_rows;
   if (completed.size() < range.size()) {
     // (Re)write the journal from the validated checkpoint before
     // appending: a killed run may have left partial rows after the last
@@ -282,8 +301,13 @@ WorkerReport run_shard(const std::vector<exp::ScenarioSpec>& scenarios,
         budget_hit = true;
         break;
       }
+      const auto cell_start = std::chrono::steady_clock::now();
       const exp::CellResult cell =
           run_one_cell(scenarios, plan[c], options.sweep, slots);
+      const double cell_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        cell_start)
+              .count();
       std::vector<std::string> lines;
       lines.reserve(cell.replications.size());
       for (std::size_t r = 0; r < cell.replications.size(); ++r) {
@@ -295,9 +319,21 @@ WorkerReport run_shard(const std::vector<exp::ScenarioSpec>& scenarios,
         throw std::runtime_error("run_shard: cannot append to journal: " +
                                  journal);
       }
+      if (!options.timings_output.empty()) {
+        timing_rows.push_back(timing_row(c, cell, cell_seconds));
+      }
       completed.emplace(c, std::move(lines));
       ++report.cells_run;
+      if (options.on_cell_done) {
+        options.on_cell_done(completed.size(), range.size());
+      }
     }
+  }
+  if (!options.timings_output.empty()) {
+    // Diagnostic side file: never part of the hashed raw CSV/manifest.
+    std::string timings = "cell,scenario,policy,seconds\n";
+    for (const auto& row : timing_rows) timings += row;
+    atomic_write_file(options.timings_output, timings);
   }
 
   if (budget_hit) {

@@ -18,10 +18,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "reissue/exp/scenario.hpp"
+
+namespace reissue::sim {
+class SimObserver;  // passive per-event hooks (sim/sim_observer.hpp)
+}
+namespace reissue::obs {
+class PhaseTimers;  // wall-clock phase accumulators (obs/counters.hpp)
+}
 
 namespace reissue::exp {
 
@@ -45,6 +53,20 @@ struct SweepOptions {
   /// how the final measurement run is observed.  Either mode is
   /// bit-identical across thread counts.
   core::LogMode log_mode = core::LogMode::kStreaming;
+  /// Optional passive observer installed on every sim::Cluster the sweep
+  /// constructs (non-Cluster systems are left unobserved).  Hooks fire
+  /// from worker threads, so with threads > 1 the observer must be
+  /// thread-safe (obs::CountingObserver is; the trace/time-series
+  /// observers are not and require threads == 1).  Observation never
+  /// changes sweep output: results stay byte-identical.
+  sim::SimObserver* sim_observer = nullptr;
+  /// Optional wall-clock phase accumulators (train/optimize/evaluate per
+  /// replication).  Thread-safe by contract (obs::PhaseTimers is).
+  obs::PhaseTimers* timers = nullptr;
+  /// Optional progress callback fired as each cell finishes its last
+  /// replication: (cells_done, cells_total).  Called from worker threads;
+  /// must be thread-safe and cheap.
+  std::function<void(std::size_t, std::size_t)> on_cell_done;
 };
 
 /// Metrics of one replication of one cell.
@@ -122,10 +144,12 @@ struct CellRef {
 /// measures the resolved policy at percentile `k` under `mode`, and
 /// summarizes.  The engine's unit of work — public so benches and tests
 /// can measure it in isolation.  The system must already be reseeded to
-/// `seed` (recorded in the metrics verbatim).
+/// `seed` (recorded in the metrics verbatim).  `timers`, when non-null,
+/// accumulates wall-clock "train"/"optimize"/"evaluate" phases.
 [[nodiscard]] ReplicationMetrics run_cell_replication(
     core::SystemUnderTest& system, const PolicySpec& spec, double k,
-    std::uint64_t seed, core::LogMode mode = core::LogMode::kStreaming);
+    std::uint64_t seed, core::LogMode mode = core::LogMode::kStreaming,
+    obs::PhaseTimers* timers = nullptr);
 
 /// Runs the full sweep.  Cells are ordered scenario-major then
 /// policy-major, exactly as declared.  Throws if any scenario has an empty

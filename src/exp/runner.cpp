@@ -10,6 +10,8 @@
 #include <unordered_map>
 
 #include "reissue/core/optimizer.hpp"
+#include "reissue/obs/counters.hpp"
+#include "reissue/sim/cluster.hpp"
 #include "reissue/sim/metrics.hpp"
 #include "reissue/stats/psquare.hpp"
 #include "reissue/stats/rng.hpp"
@@ -118,7 +120,8 @@ class StreamingMetricsObserver final : public core::RunObserver {
 ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
                                         const PolicySpec& spec, double k,
                                         std::uint64_t seed,
-                                        core::LogMode mode) {
+                                        core::LogMode mode,
+                                        obs::PhaseTimers* timers) {
   core::ReissuePolicy policy = core::ReissuePolicy::none();
   switch (spec.kind) {
     // Tuned and optimal specs resolve by running on the system itself;
@@ -127,14 +130,18 @@ ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
     case PolicySpec::Kind::kFixed:
       policy = spec.fixed;
       break;
-    case PolicySpec::Kind::kTunedSingleR:
+    case PolicySpec::Kind::kTunedSingleR: {
+      obs::PhaseTimer scope(timers, "train");
       policy = sim::tune_single_r(system, k, spec.budget, spec.trials)
                    .outcome.policy;
       break;
-    case PolicySpec::Kind::kTunedSingleD:
+    }
+    case PolicySpec::Kind::kTunedSingleD: {
+      obs::PhaseTimer scope(timers, "train");
       policy = sim::tune_single_d(system, k, spec.budget, spec.trials)
                    .outcome.policy;
       break;
+    }
     case PolicySpec::Kind::kOptimalSingleR:
     case PolicySpec::Kind::kOptimalSingleD: {
       // §4.1/§4.2 optimizer in the loop: train on the replication's own
@@ -157,14 +164,21 @@ ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
           correlated
               ? core::ReissuePolicy::single_r(0.0, std::min(spec.budget, 1.0))
               : core::ReissuePolicy::none();
-      const core::RunResult train = system.run(probe);
-      if (spec.kind == PolicySpec::Kind::kOptimalSingleR) {
-        policy = core::optimize_single_r_from_run(train, k, spec.budget,
-                                                  correlated, spec.train)
-                     .policy();
-      } else {
-        policy =
-            core::optimal_single_d_from_run(train, spec.budget, spec.train);
+      core::RunResult train;
+      {
+        obs::PhaseTimer scope(timers, "train");
+        train = system.run(probe);
+      }
+      {
+        obs::PhaseTimer scope(timers, "optimize");
+        if (spec.kind == PolicySpec::Kind::kOptimalSingleR) {
+          policy = core::optimize_single_r_from_run(train, k, spec.budget,
+                                                    correlated, spec.train)
+                       .policy();
+        } else {
+          policy =
+              core::optimal_single_d_from_run(train, spec.budget, spec.train);
+        }
       }
       reseed_to(seed);
       break;
@@ -176,12 +190,14 @@ ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
   metrics.policy = policy;
 
   if (mode == core::LogMode::kStreaming) {
+    obs::PhaseTimer scope(timers, "evaluate");
     StreamingMetricsObserver observer(k, policy);
     system.run_streaming(policy, observer);
     observer.fill(metrics);
     return metrics;
   }
 
+  obs::PhaseTimer scope(timers, "evaluate");
   const core::RunResult result = system.run(policy);
   metrics.tail = result.tail_latency(k);
   stats::PSquareQuantile sketch(k);
@@ -282,6 +298,19 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  // Progress bookkeeping: a cell is done when its last replication lands,
+  // whichever worker ran it.
+  std::unique_ptr<std::atomic<std::size_t>[]> cell_remaining;
+  std::atomic<std::size_t> cells_done{0};
+  if (options.on_cell_done) {
+    cell_remaining =
+        std::make_unique<std::atomic<std::size_t>[]>(cells.size());
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      cell_remaining[c].store(options.replications,
+                              std::memory_order_relaxed);
+    }
+  }
+
   // Each worker keeps its own system per scenario (constructed with the
   // replication-independent construction seed) and reseeds it per task, so
   // results do not depend on which worker runs which task.
@@ -298,6 +327,13 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
         if (!system) {
           system =
               make_system(spec, construction_seed(options.seed, spec.name));
+          // Passive observation of simulated scenarios; non-Cluster
+          // systems (live bridges) simply stay unobserved.
+          if (options.sim_observer != nullptr) {
+            if (auto* cluster = dynamic_cast<sim::Cluster*>(system.get())) {
+              cluster->set_sim_observer(options.sim_observer);
+            }
+          }
         }
         const std::uint64_t seed =
             replication_seed(options.seed, spec.name, task.replication);
@@ -308,7 +344,14 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
         cells[task.cell].replications[task.replication] =
             run_cell_replication(*system, *task.policy,
                                  cells[task.cell].percentile, seed,
-                                 options.log_mode);
+                                 options.log_mode, options.timers);
+        if (options.on_cell_done &&
+            cell_remaining[task.cell].fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          const std::size_t done =
+              cells_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+          options.on_cell_done(done, cells.size());
+        }
       } catch (...) {
         std::lock_guard lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

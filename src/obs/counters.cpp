@@ -1,0 +1,58 @@
+#include "reissue/obs/counters.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace reissue::obs {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+void line(std::string& out, const char* name, std::uint64_t value) {
+  out += name;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string format_counters(const sim::RunCounters& c, std::uint64_t runs) {
+  std::string out;
+  line(out, "runs", runs);
+  line(out, "arrivals", c.arrivals);
+  line(out, "heap_pops", c.heap_pops);
+  line(out, "scan_pops", c.scan_pops);
+  line(out, "stage_checks", c.stage_checks);
+  line(out, "stage_retired", c.stage_retired);
+  line(out, "reissues_issued", c.reissues_issued);
+  line(out, "reissues_suppressed_completed", c.reissues_suppressed_completed);
+  line(out, "reissues_suppressed_coin", c.reissues_suppressed_coin);
+  line(out, "reissues_wasted", c.reissues_wasted);
+  line(out, "copies_cancelled", c.copies_cancelled);
+  line(out, "interference_episodes", c.interference_episodes);
+  line(out, "reissue_inflight_peak", c.reissue_inflight_peak);
+  line(out, "arena_slots_high_water", c.arena_slots);
+  return out;
+}
+
+std::string format_timers(const PhaseTimers& timers) {
+  std::string out;
+  for (const auto& entry : timers.entries()) {
+    out += entry.phase;
+    out += ' ';
+    out += fmt(entry.seconds);
+    out += "s x";
+    out += std::to_string(entry.count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace reissue::obs

@@ -1,0 +1,202 @@
+// Run introspection primitives: counter accumulation, wall-clock phase
+// timers, and observer fan-out.
+//
+// The simulator maintains sim::RunCounters itself while any observer is
+// attached (sim/sim_observer.hpp); this header supplies the consumer side
+// — a thread-safe accumulator whose on_run_end collects counters across
+// every run of a sweep (workers run concurrently, so the accumulator is
+// the one place a lock appears), a registry of named wall-clock phase
+// timers for the experiment pipeline (plan/train/optimize/evaluate/
+// aggregate), and a MultiObserver for composing several observers on one
+// Cluster.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "reissue/sim/sim_observer.hpp"
+
+namespace reissue::obs {
+
+/// Accumulates the simulator's whole-run counters across runs.  All hooks
+/// except on_run_end are inherited no-ops, so attaching one costs nothing
+/// measurable on the hot path; on_run_end locks, which is fine at
+/// once-per-run frequency.  Safe to share across sweep worker threads.
+class CountingObserver final : public sim::SimObserver {
+ public:
+  void on_run_end(double /*horizon*/, double /*utilization*/,
+                  const sim::RunCounters& counters) override {
+    std::lock_guard lock(mutex_);
+    total_ += counters;
+    ++runs_;
+  }
+
+  [[nodiscard]] sim::RunCounters total() const {
+    std::lock_guard lock(mutex_);
+    return total_;
+  }
+
+  [[nodiscard]] std::uint64_t runs() const {
+    std::lock_guard lock(mutex_);
+    return runs_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  sim::RunCounters total_;
+  std::uint64_t runs_ = 0;
+};
+
+/// Counter glossary block for `sweep --stats`: one "name value" line per
+/// counter, in a fixed order (see README "Observability" for meanings).
+[[nodiscard]] std::string format_counters(const sim::RunCounters& counters,
+                                          std::uint64_t runs);
+
+/// Named wall-clock phase accumulators.  Thread-safe; phases are summed
+/// across threads, so with a worker pool the totals can exceed elapsed
+/// wall time (they measure where the CPUs went, not the critical path).
+class PhaseTimers {
+ public:
+  struct Entry {
+    std::string phase;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  void add(const std::string& phase, double seconds) {
+    std::lock_guard lock(mutex_);
+    Phase& p = phases_[phase];
+    p.seconds += seconds;
+    ++p.count;
+  }
+
+  /// Sorted by phase name (std::map order) — deterministic output.
+  [[nodiscard]] std::vector<Entry> entries() const {
+    std::lock_guard lock(mutex_);
+    std::vector<Entry> out;
+    out.reserve(phases_.size());
+    for (const auto& [name, p] : phases_) {
+      out.push_back(Entry{name, p.seconds, p.count});
+    }
+    return out;
+  }
+
+ private:
+  struct Phase {
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  mutable std::mutex mutex_;
+  std::map<std::string, Phase> phases_;
+};
+
+/// "phase seconds count" lines in entries() order.
+[[nodiscard]] std::string format_timers(const PhaseTimers& timers);
+
+/// RAII phase scope: accumulates the enclosed wall time into `timers`
+/// under `phase`.  A null `timers` makes the scope free — call sites
+/// never need their own guard.
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseTimers* timers, const char* phase)
+      : timers_(timers), phase_(phase) {
+    if (timers_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() {
+    if (timers_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timers_->add(phase_, std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  PhaseTimers* timers_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Forwards every hook to each child, in order.  Children must outlive
+/// the MultiObserver's runs; thread safety is the children's concern.
+class MultiObserver final : public sim::SimObserver {
+ public:
+  /// Null children are ignored (lets callers add optional observers
+  /// unconditionally).
+  void add(sim::SimObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return children_.empty(); }
+
+  void on_run_begin(const RunInfo& run) override {
+    for (auto* c : children_) c->on_run_begin(run);
+  }
+  void on_arrival(double now, std::uint64_t query) override {
+    for (auto* c : children_) c->on_arrival(now, query);
+  }
+  void on_reissue_scheduled(double now, std::uint64_t query,
+                            std::uint16_t stage, double fire_time) override {
+    for (auto* c : children_) {
+      c->on_reissue_scheduled(now, query, stage, fire_time);
+    }
+  }
+  void on_reissue_issued(double now, std::uint64_t query,
+                         std::uint16_t stage) override {
+    for (auto* c : children_) c->on_reissue_issued(now, query, stage);
+  }
+  void on_reissue_suppressed(double now, std::uint64_t query,
+                             std::uint16_t stage, bool by_completion) override {
+    for (auto* c : children_) {
+      c->on_reissue_suppressed(now, query, stage, by_completion);
+    }
+  }
+  void on_dispatch(double now, std::uint64_t query, sim::CopyKind kind,
+                   std::uint32_t copy_index, std::uint32_t server,
+                   double service_time) override {
+    for (auto* c : children_) {
+      c->on_dispatch(now, query, kind, copy_index, server, service_time);
+    }
+  }
+  void on_service_start(double now, std::uint32_t server,
+                        const sim::Request& request, double cost) override {
+    for (auto* c : children_) c->on_service_start(now, server, request, cost);
+  }
+  void on_copy_cancelled(double now, std::uint32_t server, std::uint64_t query,
+                         std::uint32_t copy_index) override {
+    for (auto* c : children_) {
+      c->on_copy_cancelled(now, server, query, copy_index);
+    }
+  }
+  void on_copy_complete(double now, std::uint64_t query, sim::CopyKind kind,
+                        std::uint32_t copy_index, double response) override {
+    for (auto* c : children_) {
+      c->on_copy_complete(now, query, kind, copy_index, response);
+    }
+  }
+  void on_query_done(double now, std::uint64_t query, double latency) override {
+    for (auto* c : children_) c->on_query_done(now, query, latency);
+  }
+  void on_server_state(double now, std::uint32_t server, std::size_t queued,
+                       bool busy) override {
+    for (auto* c : children_) c->on_server_state(now, server, queued, busy);
+  }
+  void on_interference(double now, std::uint32_t server,
+                       double duration) override {
+    for (auto* c : children_) c->on_interference(now, server, duration);
+  }
+  void on_run_end(double horizon, double utilization,
+                  const sim::RunCounters& counters) override {
+    for (auto* c : children_) c->on_run_end(horizon, utilization, counters);
+  }
+
+ private:
+  std::vector<sim::SimObserver*> children_;
+};
+
+}  // namespace reissue::obs

@@ -1,0 +1,117 @@
+// Windowed time-series of simulator state, sampled on simulated-time
+// boundaries.
+//
+// The sweep CSVs report one scalar per (scenario, policy) cell; this
+// observer exposes the *dynamics* inside a run — per-server queue depth
+// and busy fraction, in-flight reissue copies, windowed latency tails
+// (both the P² sketch and the log-bucket histogram of
+// stats::TailSummary) — as a tidy CSV with one row per (window, series):
+//
+//   run,window,t_start,t_end,series,server,value
+//
+// Sampling semantics: windows are [k*W, (k+1)*W) in simulated time.
+// Depth-like series (queue_depth, inflight_reissues) are point samples at
+// the window boundary; busy_fraction integrates server busy time over the
+// window; count/latency series aggregate the events inside the window.
+// The final window of a run is truncated at the run horizon and its busy
+// fraction uses the truncated width.
+//
+// Unlike RunResult, the observer sees warmup queries too: `completions`
+// summed over a run's windows equals ClusterConfig::queries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "reissue/sim/sim_observer.hpp"
+#include "reissue/stats/tail_summary.hpp"
+
+namespace reissue::obs {
+
+struct TimeSeriesOptions {
+  /// Window width in simulated time units; must be > 0.
+  double window = 0.0;
+  /// Tracked windowed tail (the latency_p series).
+  double percentile = 0.99;
+};
+
+/// Not thread-safe: attach to a single-threaded sweep.
+class TimeSeriesObserver final : public sim::SimObserver {
+ public:
+  explicit TimeSeriesObserver(TimeSeriesOptions options);
+
+  static constexpr const char* kCsvHeader =
+      "run,window,t_start,t_end,series,server,value";
+
+  /// All rows emitted so far (runs flush their tail window at on_run_end).
+  void write_csv(std::ostream& out) const;
+
+  /// End-of-run-equivalent tail summary over every query latency seen
+  /// (all runs, warmup included).  Its histogram quantile is a pure
+  /// function of the latency multiset, so it must agree exactly with a
+  /// TailSummary fed the same latencies in any order — the windowed-vs-
+  /// end-of-run consistency contract tests pin this.
+  [[nodiscard]] const stats::TailSummary& overall() const noexcept {
+    return overall_;
+  }
+
+  void on_run_begin(const RunInfo& run) override;
+  void on_arrival(double now, std::uint64_t query) override;
+  void on_reissue_issued(double now, std::uint64_t query,
+                         std::uint16_t stage) override;
+  void on_reissue_suppressed(double now, std::uint64_t query,
+                             std::uint16_t stage, bool by_completion) override;
+  void on_dispatch(double now, std::uint64_t query, sim::CopyKind kind,
+                   std::uint32_t copy_index, std::uint32_t server,
+                   double service_time) override;
+  void on_copy_complete(double now, std::uint64_t query, sim::CopyKind kind,
+                        std::uint32_t copy_index, double response) override;
+  void on_query_done(double now, std::uint64_t query, double latency) override;
+  void on_server_state(double now, std::uint32_t server, std::size_t queued,
+                       bool busy) override;
+  void on_run_end(double horizon, double utilization,
+                  const sim::RunCounters& counters) override;
+
+ private:
+  struct Row {
+    std::uint32_t run;
+    std::uint64_t window;
+    double t_start;
+    double t_end;
+    const char* series;
+    std::int64_t server;  // -1 for run-global series
+    double value;
+  };
+
+  struct ServerState {
+    std::size_t depth = 0;
+    bool busy = false;
+    double last_change = 0.0;
+    double busy_accum = 0.0;
+  };
+
+  /// Flushes every window that ends at or before `now`.
+  void roll(double now);
+  /// Emits the rows for the window [t0, t1); `width` is t1 - t0 except
+  /// for the run's truncated final window.
+  void flush_window(double t1, double width);
+  void global_row(const char* series, double value);
+
+  TimeSeriesOptions options_;
+  std::vector<Row> rows_;
+  stats::TailSummary overall_;
+
+  std::uint32_t run_ = 0;
+  std::uint64_t window_ = 0;
+  double t0_ = 0.0;
+  std::vector<ServerState> servers_;
+  std::uint64_t inflight_ = 0;
+  std::uint64_t completions_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t suppressed_ = 0;
+  std::optional<stats::TailSummary> window_tail_;
+};
+
+}  // namespace reissue::obs

@@ -1,0 +1,99 @@
+// Chrome trace-event JSON emission (TraceObserver).
+//
+// Produces the JSON object format of the Trace Event spec — loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing — from the simulator's
+// SimObserver hooks.  Layout: each run becomes one "process" (pid = run
+// ordinal), with tid 0 the client track (instants: arrival, reissue
+// scheduled/issued/suppressed, cancellation, query done) and tid 1+s the
+// span track of server s ("X" complete events at service start, duration
+// = actual occupancy).  Infinite-server runs fan spans across a fixed set
+// of lanes (query id mod kInfiniteLanes) since there is no server
+// identity to track.  Per-server queue depth goes out as "C" counter
+// events so Perfetto renders depth graphs.
+//
+// One simulated time unit is mapped to one microsecond of trace time
+// (Chrome's native ts unit); simulated time is unitless anyway.
+//
+// Intended for small diagnostic runs: the emitter favors schema clarity
+// over volume.  High-volume runs should use the binary ring
+// (obs/trace_ring.hpp) instead.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "reissue/sim/sim_observer.hpp"
+
+namespace reissue::obs {
+
+struct TraceObserverOptions {
+  /// Emit "reissue-scheduled" instants at arrival (one per policy stage).
+  bool scheduled_instants = true;
+  /// Emit "dispatch" instants (largely redundant with service spans).
+  bool dispatch_instants = false;
+  /// Emit per-server queue-depth counter events.
+  bool counter_events = true;
+  /// Emit "response" instants at copy completion (redundant with span
+  /// ends; useful when grepping the JSON rather than viewing it).
+  bool response_instants = false;
+};
+
+class TraceObserver final : public sim::SimObserver {
+ public:
+  /// Span lanes for infinite-server runs.
+  static constexpr std::uint32_t kInfiniteLanes = 32;
+
+  /// Starts the JSON document on `out`; the stream must outlive the
+  /// observer.  Not thread-safe: trace one single-threaded sweep.
+  explicit TraceObserver(std::ostream& out, TraceObserverOptions options = {});
+  ~TraceObserver() override;
+
+  TraceObserver(const TraceObserver&) = delete;
+  TraceObserver& operator=(const TraceObserver&) = delete;
+
+  /// Closes the JSON document; idempotent (the destructor calls it).
+  void finish();
+
+  void on_run_begin(const RunInfo& run) override;
+  void on_arrival(double now, std::uint64_t query) override;
+  void on_reissue_scheduled(double now, std::uint64_t query,
+                            std::uint16_t stage, double fire_time) override;
+  void on_reissue_issued(double now, std::uint64_t query,
+                         std::uint16_t stage) override;
+  void on_reissue_suppressed(double now, std::uint64_t query,
+                             std::uint16_t stage, bool by_completion) override;
+  void on_dispatch(double now, std::uint64_t query, sim::CopyKind kind,
+                   std::uint32_t copy_index, std::uint32_t server,
+                   double service_time) override;
+  void on_service_start(double now, std::uint32_t server,
+                        const sim::Request& request, double cost) override;
+  void on_copy_cancelled(double now, std::uint32_t server, std::uint64_t query,
+                         std::uint32_t copy_index) override;
+  void on_copy_complete(double now, std::uint64_t query, sim::CopyKind kind,
+                        std::uint32_t copy_index, double response) override;
+  void on_query_done(double now, std::uint64_t query, double latency) override;
+  void on_server_state(double now, std::uint32_t server, std::size_t queued,
+                       bool busy) override;
+  void on_interference(double now, std::uint32_t server,
+                       double duration) override;
+
+ private:
+  /// Comma/newline bookkeeping before each event object.
+  void begin_event();
+  void metadata(const char* kind, std::uint32_t tid, const char* name,
+                std::uint64_t name_suffix, bool suffixed);
+  /// Client-track instant: {"name":…,"ph":"i","s":"t",…,"args":{…}}.
+  void instant(double ts, const char* name, std::uint64_t query,
+               std::int64_t stage);
+  [[nodiscard]] std::uint32_t span_tid(std::uint32_t server,
+                                       std::uint64_t query) const;
+
+  std::ostream& out_;
+  TraceObserverOptions options_;
+  bool first_ = true;
+  bool finished_ = false;
+  std::uint32_t run_ = 0;  // current pid (1-based once a run begins)
+  bool infinite_ = false;
+};
+
+}  // namespace reissue::obs

@@ -1,0 +1,143 @@
+// Compact binary trace ring for high-volume runs.
+//
+// The JSON TraceObserver (obs/trace.hpp) costs ~100 bytes of text per
+// event; at millions of events per run that dominates the run itself.
+// The ring keeps the *last* `capacity` events as fixed 32-byte PODs with
+// overwrite-oldest semantics — the crash-dump / flight-recorder model —
+// and serializes to a small self-describing binary file that
+// `reissue_cli trace-summarize` reads back.
+//
+// File layout (native endianness, fields little-endian on every platform
+// this repo targets):
+//   8 bytes  magic "RISSTRC1"
+//   u64      total events pushed (>= record count when the ring wrapped)
+//   u64      record count
+//   records  TraceRecord[record_count], oldest first
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reissue/sim/sim_observer.hpp"
+
+namespace reissue::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kRunBegin = 0,
+  kArrival = 1,
+  kReissueScheduled = 2,
+  kReissueIssued = 3,
+  kReissueSuppressedCompletion = 4,
+  kReissueSuppressedCoin = 5,
+  kDispatch = 6,
+  kServiceStart = 7,
+  kCopyCancelled = 8,
+  kCopyComplete = 9,
+  kQueryDone = 10,
+  kInterference = 11,
+  kServerState = 12,
+  kRunEnd = 13,
+};
+
+/// One traced event.  `value` is the kind-specific payload: service time
+/// for dispatch/service-start, response for copy-complete, latency for
+/// query-done, duration for interference, queue depth for server-state,
+/// utilization for run-end, fire time for reissue-scheduled.
+struct TraceRecord {
+  double ts = 0.0;
+  double value = 0.0;
+  std::uint64_t query = 0;
+  std::uint32_t server = 0;
+  std::uint16_t stage = 0;
+  std::uint8_t event = 0;
+  std::uint8_t copy = 0;
+};
+static_assert(sizeof(TraceRecord) == 32, "records are written raw");
+
+/// Fixed-capacity overwrite-oldest event buffer.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity);
+
+  void push(const TraceRecord& record) noexcept {
+    records_[next_] = record;
+    if (++next_ == records_.size()) next_ = 0;
+    ++total_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return records_.size();
+  }
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_ < records_.size() ? static_cast<std::size_t>(total_)
+                                    : records_.size();
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// SimObserver writing every hook into a TraceRing.  Not thread-safe:
+/// attach to a single-threaded sweep.
+class RingTraceObserver final : public sim::SimObserver {
+ public:
+  explicit RingTraceObserver(std::size_t capacity) : ring_(capacity) {}
+
+  [[nodiscard]] const TraceRing& ring() const noexcept { return ring_; }
+
+  void on_run_begin(const RunInfo& run) override;
+  void on_arrival(double now, std::uint64_t query) override;
+  void on_reissue_scheduled(double now, std::uint64_t query,
+                            std::uint16_t stage, double fire_time) override;
+  void on_reissue_issued(double now, std::uint64_t query,
+                         std::uint16_t stage) override;
+  void on_reissue_suppressed(double now, std::uint64_t query,
+                             std::uint16_t stage, bool by_completion) override;
+  void on_dispatch(double now, std::uint64_t query, sim::CopyKind kind,
+                   std::uint32_t copy_index, std::uint32_t server,
+                   double service_time) override;
+  void on_service_start(double now, std::uint32_t server,
+                        const sim::Request& request, double cost) override;
+  void on_copy_cancelled(double now, std::uint32_t server, std::uint64_t query,
+                         std::uint32_t copy_index) override;
+  void on_copy_complete(double now, std::uint64_t query, sim::CopyKind kind,
+                        std::uint32_t copy_index, double response) override;
+  void on_query_done(double now, std::uint64_t query, double latency) override;
+  void on_server_state(double now, std::uint32_t server, std::size_t queued,
+                       bool busy) override;
+  void on_interference(double now, std::uint32_t server,
+                       double duration) override;
+  void on_run_end(double horizon, double utilization,
+                  const sim::RunCounters& counters) override;
+
+ private:
+  TraceRing ring_;
+};
+
+/// Serializes the ring (see the header comment for the layout); throws
+/// std::runtime_error on I/O failure.
+void write_trace_ring(const std::string& path, const TraceRing& ring);
+
+struct TraceRingFile {
+  std::uint64_t total_pushed = 0;
+  std::vector<TraceRecord> records;  // oldest first
+};
+
+/// Reads a file written by write_trace_ring; throws std::runtime_error on
+/// missing file, bad magic, or truncation.
+[[nodiscard]] TraceRingFile read_trace_ring(const std::string& path);
+
+/// Human-readable digest of a ring file: per-kind counts, time range,
+/// completed-query latency stats, busiest servers.  What trace-summarize
+/// prints.
+[[nodiscard]] std::string summarize_trace(const TraceRingFile& file);
+
+}  // namespace reissue::obs

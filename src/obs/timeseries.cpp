@@ -1,0 +1,171 @@
+#include "reissue/obs/timeseries.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace reissue::obs {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+}  // namespace
+
+TimeSeriesObserver::TimeSeriesObserver(TimeSeriesOptions options)
+    : options_(options), overall_(options.percentile) {
+  if (!(options_.window > 0.0)) {
+    throw std::invalid_argument("TimeSeriesObserver: window must be > 0");
+  }
+  if (!(options_.percentile > 0.0 && options_.percentile < 1.0)) {
+    throw std::invalid_argument(
+        "TimeSeriesObserver: percentile must be in (0,1)");
+  }
+}
+
+void TimeSeriesObserver::on_run_begin(const RunInfo& run) {
+  ++run_;
+  window_ = 0;
+  t0_ = 0.0;
+  servers_.assign(run.infinite_servers ? 0 : run.servers, ServerState{});
+  inflight_ = 0;
+  completions_ = 0;
+  issued_ = 0;
+  suppressed_ = 0;
+  window_tail_.emplace(options_.percentile);
+}
+
+void TimeSeriesObserver::global_row(const char* series, double value) {
+  rows_.push_back(Row{run_, window_, t0_, t0_ + options_.window, series, -1,
+                      value});
+}
+
+void TimeSeriesObserver::flush_window(double t1, double width) {
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerState& state = servers_[s];
+    // Integrate the current busy stretch up to the boundary.
+    if (state.busy) state.busy_accum += t1 - state.last_change;
+    state.last_change = t1;
+    const double fraction = width > 0.0 ? state.busy_accum / width : 0.0;
+    rows_.push_back(Row{run_, window_, t0_, t1, "busy_fraction",
+                        static_cast<std::int64_t>(s), fraction});
+    rows_.push_back(Row{run_, window_, t0_, t1, "queue_depth",
+                        static_cast<std::int64_t>(s),
+                        static_cast<double>(state.depth)});
+    state.busy_accum = 0.0;
+  }
+  rows_.push_back(Row{run_, window_, t0_, t1, "inflight_reissues", -1,
+                      static_cast<double>(inflight_)});
+  rows_.push_back(Row{run_, window_, t0_, t1, "completions", -1,
+                      static_cast<double>(completions_)});
+  rows_.push_back(Row{run_, window_, t0_, t1, "reissues_issued", -1,
+                      static_cast<double>(issued_)});
+  rows_.push_back(Row{run_, window_, t0_, t1, "reissues_suppressed", -1,
+                      static_cast<double>(suppressed_)});
+  if (window_tail_->count() > 0) {
+    rows_.push_back(Row{run_, window_, t0_, t1, "latency_mean", -1,
+                        window_tail_->mean()});
+    rows_.push_back(Row{run_, window_, t0_, t1, "latency_p", -1,
+                        window_tail_->quantile()});
+    rows_.push_back(Row{run_, window_, t0_, t1, "latency_psquare", -1,
+                        window_tail_->psquare()});
+  }
+  completions_ = 0;
+  issued_ = 0;
+  suppressed_ = 0;
+  window_tail_.emplace(options_.percentile);
+}
+
+void TimeSeriesObserver::roll(double now) {
+  while (now >= t0_ + options_.window) {
+    const double t1 = t0_ + options_.window;
+    flush_window(t1, options_.window);
+    t0_ = t1;
+    ++window_;
+  }
+}
+
+void TimeSeriesObserver::on_arrival(double now, std::uint64_t /*query*/) {
+  roll(now);
+}
+
+void TimeSeriesObserver::on_reissue_issued(double now,
+                                           std::uint64_t /*query*/,
+                                           std::uint16_t /*stage*/) {
+  roll(now);
+  ++inflight_;
+  ++issued_;
+}
+
+void TimeSeriesObserver::on_reissue_suppressed(double /*now*/,
+                                               std::uint64_t /*query*/,
+                                               std::uint16_t /*stage*/,
+                                               bool /*by_completion*/) {
+  // Retired suppressions report their would-be fire time, which can be
+  // ahead of the loop's current time — never roll windows forward off
+  // them; attribute to the window being filled.
+  ++suppressed_;
+}
+
+void TimeSeriesObserver::on_dispatch(double now, std::uint64_t /*query*/,
+                                     sim::CopyKind /*kind*/,
+                                     std::uint32_t /*copy_index*/,
+                                     std::uint32_t /*server*/,
+                                     double /*service_time*/) {
+  roll(now);
+}
+
+void TimeSeriesObserver::on_copy_complete(double now, std::uint64_t /*query*/,
+                                          sim::CopyKind kind,
+                                          std::uint32_t /*copy_index*/,
+                                          double /*response*/) {
+  roll(now);
+  if (kind == sim::CopyKind::kReissue && inflight_ > 0) --inflight_;
+}
+
+void TimeSeriesObserver::on_query_done(double now, std::uint64_t /*query*/,
+                                       double latency) {
+  roll(now);
+  ++completions_;
+  window_tail_->add(latency);
+  overall_.add(latency);
+}
+
+void TimeSeriesObserver::on_server_state(double now, std::uint32_t server,
+                                         std::size_t queued, bool busy) {
+  roll(now);
+  if (server >= servers_.size()) return;
+  ServerState& state = servers_[server];
+  if (state.busy) state.busy_accum += now - state.last_change;
+  state.last_change = now;
+  state.busy = busy;
+  state.depth = queued;
+}
+
+void TimeSeriesObserver::on_run_end(double horizon, double /*utilization*/,
+                                    const sim::RunCounters& /*counters*/) {
+  roll(horizon);
+  // Truncated final window (skipped when the horizon landed exactly on a
+  // boundary and nothing accumulated after it).
+  const double width = horizon - t0_;
+  if (width > 0.0 || completions_ > 0 || issued_ > 0 || suppressed_ > 0) {
+    flush_window(horizon, width);
+  }
+}
+
+void TimeSeriesObserver::write_csv(std::ostream& out) const {
+  out << kCsvHeader << '\n';
+  for (const Row& row : rows_) {
+    out << row.run << ',' << row.window << ',' << fmt(row.t_start) << ','
+        << fmt(row.t_end) << ',' << row.series << ',';
+    if (row.server >= 0) out << row.server;
+    out << ',' << fmt(row.value) << '\n';
+  }
+}
+
+}  // namespace reissue::obs

@@ -1,0 +1,198 @@
+#include "reissue/obs/trace.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+namespace reissue::obs {
+
+namespace {
+
+/// Shortest round-trip decimal (matches the CSV writers' convention).
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+const char* copy_name(sim::CopyKind kind) {
+  switch (kind) {
+    case sim::CopyKind::kPrimary:
+      return "primary";
+    case sim::CopyKind::kReissue:
+      return "reissue";
+    case sim::CopyKind::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TraceObserver::TraceObserver(std::ostream& out, TraceObserverOptions options)
+    : out_(out), options_(options) {
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+TraceObserver::~TraceObserver() { finish(); }
+
+void TraceObserver::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "\n]}\n";
+  out_.flush();
+}
+
+void TraceObserver::begin_event() {
+  out_ << (first_ ? "\n" : ",\n");
+  first_ = false;
+}
+
+void TraceObserver::metadata(const char* kind, std::uint32_t tid,
+                             const char* name, std::uint64_t name_suffix,
+                             bool suffixed) {
+  begin_event();
+  out_ << "{\"ph\":\"M\",\"name\":\"" << kind << "\",\"pid\":" << run_
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << name;
+  if (suffixed) out_ << name_suffix;
+  out_ << "\"}}";
+}
+
+std::uint32_t TraceObserver::span_tid(std::uint32_t server,
+                                      std::uint64_t query) const {
+  if (server == kNoServer) {
+    return 1 + static_cast<std::uint32_t>(query % kInfiniteLanes);
+  }
+  return 1 + server;
+}
+
+void TraceObserver::on_run_begin(const RunInfo& run) {
+  ++run_;
+  infinite_ = run.infinite_servers;
+  metadata("process_name", 0, "run ", run_, true);
+  metadata("thread_name", 0, "client", 0, false);
+  if (run.infinite_servers) {
+    for (std::uint32_t lane = 0; lane < kInfiniteLanes; ++lane) {
+      metadata("thread_name", 1 + lane, "lane ", lane, true);
+    }
+  } else {
+    for (std::uint32_t s = 0; s < run.servers; ++s) {
+      metadata("thread_name", 1 + s, "server ", s, true);
+    }
+  }
+}
+
+void TraceObserver::instant(double ts, const char* name, std::uint64_t query,
+                            std::int64_t stage) {
+  begin_event();
+  out_ << "{\"name\":\"" << name << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+       << run_ << ",\"tid\":0,\"ts\":" << fmt(ts) << ",\"args\":{\"q\":"
+       << query;
+  if (stage >= 0) out_ << ",\"stage\":" << stage;
+  out_ << "}}";
+}
+
+void TraceObserver::on_arrival(double now, std::uint64_t query) {
+  instant(now, "arrival", query, -1);
+}
+
+void TraceObserver::on_reissue_scheduled(double now, std::uint64_t query,
+                                         std::uint16_t stage,
+                                         double fire_time) {
+  if (!options_.scheduled_instants) return;
+  begin_event();
+  out_ << "{\"name\":\"reissue-scheduled\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+       << run_ << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":"
+       << query << ",\"stage\":" << stage << ",\"fire\":" << fmt(fire_time)
+       << "}}";
+}
+
+void TraceObserver::on_reissue_issued(double now, std::uint64_t query,
+                                      std::uint16_t stage) {
+  instant(now, "reissue-issued", query, stage);
+}
+
+void TraceObserver::on_reissue_suppressed(double now, std::uint64_t query,
+                                          std::uint16_t stage,
+                                          bool by_completion) {
+  begin_event();
+  out_ << "{\"name\":\"reissue-suppressed\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+       << run_ << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":"
+       << query << ",\"stage\":" << stage << ",\"by\":\""
+       << (by_completion ? "completion" : "coin") << "\"}}";
+}
+
+void TraceObserver::on_dispatch(double now, std::uint64_t query,
+                                sim::CopyKind kind, std::uint32_t copy_index,
+                                std::uint32_t server, double service_time) {
+  if (!options_.dispatch_instants) return;
+  begin_event();
+  out_ << "{\"name\":\"dispatch\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << run_
+       << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":" << query
+       << ",\"kind\":\"" << copy_name(kind) << "\",\"copy\":" << copy_index;
+  if (server != kNoServer) out_ << ",\"server\":" << server;
+  out_ << ",\"service\":" << fmt(service_time) << "}}";
+}
+
+void TraceObserver::on_service_start(double now, std::uint32_t server,
+                                     const sim::Request& request,
+                                     double cost) {
+  begin_event();
+  out_ << "{\"name\":\"" << copy_name(request.kind)
+       << "\",\"ph\":\"X\",\"pid\":" << run_ << ",\"tid\":"
+       << span_tid(server, request.query_id) << ",\"ts\":" << fmt(now)
+       << ",\"dur\":" << fmt(cost) << ",\"args\":{";
+  if (request.kind != sim::CopyKind::kBackground) {
+    out_ << "\"q\":" << request.query_id << ",\"copy\":" << request.copy_index;
+  }
+  out_ << "}}";
+}
+
+void TraceObserver::on_copy_cancelled(double now, std::uint32_t server,
+                                      std::uint64_t query,
+                                      std::uint32_t copy_index) {
+  begin_event();
+  out_ << "{\"name\":\"cancel\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << run_
+       << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":" << query
+       << ",\"copy\":" << copy_index << ",\"server\":" << server << "}}";
+}
+
+void TraceObserver::on_copy_complete(double now, std::uint64_t query,
+                                     sim::CopyKind kind,
+                                     std::uint32_t copy_index,
+                                     double response) {
+  if (!options_.response_instants) return;
+  begin_event();
+  out_ << "{\"name\":\"response\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << run_
+       << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":" << query
+       << ",\"kind\":\"" << copy_name(kind) << "\",\"copy\":" << copy_index
+       << ",\"response\":" << fmt(response) << "}}";
+}
+
+void TraceObserver::on_query_done(double now, std::uint64_t query,
+                                  double latency) {
+  begin_event();
+  out_ << "{\"name\":\"done\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << run_
+       << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":" << query
+       << ",\"latency\":" << fmt(latency) << "}}";
+}
+
+void TraceObserver::on_server_state(double now, std::uint32_t server,
+                                    std::size_t queued, bool /*busy*/) {
+  if (!options_.counter_events) return;
+  begin_event();
+  out_ << "{\"name\":\"queue\",\"ph\":\"C\",\"pid\":" << run_
+       << ",\"ts\":" << fmt(now) << ",\"args\":{\"s" << server
+       << "\":" << queued << "}}";
+}
+
+void TraceObserver::on_interference(double now, std::uint32_t server,
+                                    double duration) {
+  begin_event();
+  out_ << "{\"name\":\"interference\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+       << run_ << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"server\":"
+       << server << ",\"duration\":" << fmt(duration) << "}}";
+}
+
+}  // namespace reissue::obs

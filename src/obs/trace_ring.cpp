@@ -1,0 +1,279 @@
+#include "reissue/obs/trace_ring.hpp"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "reissue/stats/tail_summary.hpp"
+
+namespace reissue::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'I', 'S', 'S', 'T', 'R', 'C', '1'};
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+constexpr std::array<const char*, 14> kKindNames = {
+    "run-begin",          "arrival",
+    "reissue-scheduled",  "reissue-issued",
+    "reissue-suppressed-completion", "reissue-suppressed-coin",
+    "dispatch",           "service-start",
+    "copy-cancelled",     "copy-complete",
+    "query-done",         "interference",
+    "server-state",       "run-end",
+};
+
+TraceRecord make(TraceEventKind kind, double ts, double value,
+                 std::uint64_t query, std::uint32_t server,
+                 std::uint16_t stage, std::uint8_t copy) {
+  TraceRecord r;
+  r.ts = ts;
+  r.value = value;
+  r.query = query;
+  r.server = server;
+  r.stage = stage;
+  r.event = static_cast<std::uint8_t>(kind);
+  r.copy = copy;
+  return r;
+}
+
+std::uint8_t clamp_copy(std::uint32_t copy_index) {
+  return static_cast<std::uint8_t>(std::min<std::uint32_t>(copy_index, 0xff));
+}
+
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRing: capacity must be > 0");
+  }
+  records_.resize(capacity);
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::vector<TraceRecord> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest record: at 0 before the ring wraps, at next_ after.
+  const std::size_t start = total_ <= records_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(records_[(start + i) % records_.size()]);
+  }
+  return out;
+}
+
+void RingTraceObserver::on_run_begin(const RunInfo& run) {
+  ring_.push(make(TraceEventKind::kRunBegin, 0.0, run.arrival_rate, run.seed,
+                  static_cast<std::uint32_t>(run.servers),
+                  static_cast<std::uint16_t>(run.stages), 0));
+}
+
+void RingTraceObserver::on_arrival(double now, std::uint64_t query) {
+  ring_.push(make(TraceEventKind::kArrival, now, 0.0, query, 0, 0, 0));
+}
+
+void RingTraceObserver::on_reissue_scheduled(double now, std::uint64_t query,
+                                             std::uint16_t stage,
+                                             double fire_time) {
+  ring_.push(make(TraceEventKind::kReissueScheduled, now, fire_time, query, 0,
+                  stage, 0));
+}
+
+void RingTraceObserver::on_reissue_issued(double now, std::uint64_t query,
+                                          std::uint16_t stage) {
+  ring_.push(make(TraceEventKind::kReissueIssued, now, 0.0, query, 0, stage,
+                  0));
+}
+
+void RingTraceObserver::on_reissue_suppressed(double now, std::uint64_t query,
+                                              std::uint16_t stage,
+                                              bool by_completion) {
+  ring_.push(make(by_completion
+                      ? TraceEventKind::kReissueSuppressedCompletion
+                      : TraceEventKind::kReissueSuppressedCoin,
+                  now, 0.0, query, 0, stage, 0));
+}
+
+void RingTraceObserver::on_dispatch(double now, std::uint64_t query,
+                                    sim::CopyKind /*kind*/,
+                                    std::uint32_t copy_index,
+                                    std::uint32_t server,
+                                    double service_time) {
+  ring_.push(make(TraceEventKind::kDispatch, now, service_time, query, server,
+                  0, clamp_copy(copy_index)));
+}
+
+void RingTraceObserver::on_service_start(double now, std::uint32_t server,
+                                         const sim::Request& request,
+                                         double cost) {
+  ring_.push(make(TraceEventKind::kServiceStart, now, cost, request.query_id,
+                  server, 0, clamp_copy(request.copy_index)));
+}
+
+void RingTraceObserver::on_copy_cancelled(double now, std::uint32_t server,
+                                          std::uint64_t query,
+                                          std::uint32_t copy_index) {
+  ring_.push(make(TraceEventKind::kCopyCancelled, now, 0.0, query, server, 0,
+                  clamp_copy(copy_index)));
+}
+
+void RingTraceObserver::on_copy_complete(double now, std::uint64_t query,
+                                         sim::CopyKind /*kind*/,
+                                         std::uint32_t copy_index,
+                                         double response) {
+  ring_.push(make(TraceEventKind::kCopyComplete, now, response, query, 0, 0,
+                  clamp_copy(copy_index)));
+}
+
+void RingTraceObserver::on_query_done(double now, std::uint64_t query,
+                                      double latency) {
+  ring_.push(make(TraceEventKind::kQueryDone, now, latency, query, 0, 0, 0));
+}
+
+void RingTraceObserver::on_server_state(double now, std::uint32_t server,
+                                        std::size_t queued, bool busy) {
+  ring_.push(make(TraceEventKind::kServerState, now,
+                  static_cast<double>(queued), 0, server, 0,
+                  busy ? 1 : 0));
+}
+
+void RingTraceObserver::on_interference(double now, std::uint32_t server,
+                                        double duration) {
+  ring_.push(make(TraceEventKind::kInterference, now, duration, 0, server, 0,
+                  0));
+}
+
+void RingTraceObserver::on_run_end(double horizon, double utilization,
+                                   const sim::RunCounters& /*counters*/) {
+  ring_.push(make(TraceEventKind::kRunEnd, horizon, utilization, 0, 0, 0, 0));
+}
+
+void write_trace_ring(const std::string& path, const TraceRing& ring) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("write_trace_ring: cannot open " + path);
+  }
+  const std::vector<TraceRecord> records = ring.snapshot();
+  const std::uint64_t total = ring.total_pushed();
+  const std::uint64_t count = records.size();
+  out.write(kMagic, sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&total), sizeof total);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  if (!records.empty()) {
+    out.write(reinterpret_cast<const char*>(records.data()),
+              static_cast<std::streamsize>(records.size() *
+                                           sizeof(TraceRecord)));
+  }
+  if (!out) {
+    throw std::runtime_error("write_trace_ring: write failed for " + path);
+  }
+}
+
+TraceRingFile read_trace_ring(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_trace_ring: cannot open " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("read_trace_ring: bad magic in " + path);
+  }
+  TraceRingFile file;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&file.total_pushed),
+          sizeof file.total_pushed);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in) {
+    throw std::runtime_error("read_trace_ring: truncated header in " + path);
+  }
+  // Sanity bound so a corrupt count cannot drive a giant allocation.
+  constexpr std::uint64_t kMaxRecords = (1ull << 32) / sizeof(TraceRecord);
+  if (count > kMaxRecords) {
+    throw std::runtime_error("read_trace_ring: implausible record count in " +
+                             path);
+  }
+  file.records.resize(static_cast<std::size_t>(count));
+  if (count > 0) {
+    in.read(reinterpret_cast<char*>(file.records.data()),
+            static_cast<std::streamsize>(count * sizeof(TraceRecord)));
+  }
+  if (!in) {
+    throw std::runtime_error("read_trace_ring: truncated records in " + path);
+  }
+  return file;
+}
+
+std::string summarize_trace(const TraceRingFile& file) {
+  std::array<std::uint64_t, kKindNames.size()> counts{};
+  double t_min = 0.0, t_max = 0.0;
+  bool any_ts = false;
+  stats::TailSummary latencies(0.99);
+  std::map<std::uint32_t, double> busy;  // server -> occupied time
+  for (const TraceRecord& r : file.records) {
+    if (r.event < counts.size()) ++counts[r.event];
+    const auto kind = static_cast<TraceEventKind>(r.event);
+    if (kind != TraceEventKind::kRunBegin) {
+      if (!any_ts || r.ts < t_min) t_min = r.ts;
+      if (!any_ts || r.ts > t_max) t_max = r.ts;
+      any_ts = true;
+    }
+    if (kind == TraceEventKind::kQueryDone) latencies.add(r.value);
+    if (kind == TraceEventKind::kServiceStart &&
+        r.server != sim::SimObserver::kNoServer) {
+      busy[r.server] += r.value;
+    }
+  }
+
+  std::string out;
+  out += "events retained " + std::to_string(file.records.size()) +
+         " of " + std::to_string(file.total_pushed);
+  const std::uint64_t dropped =
+      file.total_pushed > file.records.size()
+          ? file.total_pushed - file.records.size()
+          : 0;
+  out += " (dropped " + std::to_string(dropped) + " oldest)\n";
+  if (any_ts) {
+    out += "time range [" + fmt(t_min) + ", " + fmt(t_max) + "]\n";
+  }
+  for (std::size_t k = 0; k < kKindNames.size(); ++k) {
+    if (counts[k] == 0) continue;
+    out += std::string(kKindNames[k]) + " " + std::to_string(counts[k]) + "\n";
+  }
+  if (latencies.count() > 0) {
+    out += "query latency mean " + fmt(latencies.mean()) + " p50 " +
+           fmt(latencies.quantile(0.5)) + " p99 " +
+           fmt(latencies.quantile(0.99)) + " max " + fmt(latencies.max()) +
+           " (n=" + std::to_string(latencies.count()) + ")\n";
+  }
+  if (!busy.empty()) {
+    // Top 5 busiest servers by retained service-start occupancy.
+    std::vector<std::pair<std::uint32_t, double>> servers(busy.begin(),
+                                                          busy.end());
+    std::sort(servers.begin(), servers.end(), [](const auto& a,
+                                                 const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    out += "busiest servers:";
+    const std::size_t top = std::min<std::size_t>(servers.size(), 5);
+    for (std::size_t i = 0; i < top; ++i) {
+      out += " s" + std::to_string(servers[i].first) + "=" +
+             fmt(servers[i].second);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace reissue::obs

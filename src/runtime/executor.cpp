@@ -30,6 +30,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     if (stopping_) throw std::runtime_error("ThreadPool: submit after stop");
     tasks_.push_back(std::move(task));
+    ++submitted_;
   }
   task_ready_.notify_one();
 }
@@ -37,6 +38,17 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  std::lock_guard lock(mutex_);
+  ThreadPoolStats s;
+  s.threads = workers_.size();
+  s.queued = tasks_.size();
+  s.active = active_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  return s;
 }
 
 void ThreadPool::worker_loop() {
@@ -54,6 +66,7 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard lock(mutex_);
       --active_;
+      ++completed_;
       if (tasks_.empty() && active_ == 0) idle_.notify_all();
     }
   }

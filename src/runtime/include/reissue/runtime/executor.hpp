@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -13,6 +14,15 @@
 #include <vector>
 
 namespace reissue::runtime {
+
+/// Point-in-time view of a ThreadPool (see ThreadPool::stats()).
+struct ThreadPoolStats {
+  std::size_t threads = 0;
+  std::size_t queued = 0;  ///< Tasks waiting for a worker (gauge).
+  std::size_t active = 0;  ///< Tasks currently executing (gauge).
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+};
 
 class ThreadPool {
  public:
@@ -33,6 +43,9 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Snapshot of queue depth, in-flight tasks, and lifetime counters.
+  [[nodiscard]] ThreadPoolStats stats() const;
+
  private:
   void worker_loop();
 
@@ -42,6 +55,8 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::condition_variable idle_;
   std::size_t active_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
   bool stopping_ = false;
 };
 

@@ -27,6 +27,7 @@
 #include "reissue/core/policy.hpp"
 #include "reissue/runtime/clock.hpp"
 #include "reissue/runtime/completion_table.hpp"
+#include "reissue/stats/psquare.hpp"
 #include "reissue/stats/rng.hpp"
 
 namespace reissue::runtime {
@@ -38,9 +39,37 @@ using DispatchFn = std::function<void(std::uint64_t query_id, bool is_reissue)>;
 struct ReissueClientConfig {
   /// Maximum in-flight queries tracked (completion-table ring size).
   std::size_t table_capacity = 1 << 16;
-  /// Poll granularity of the reissue thread when idle-waiting, ms.
+  /// Legacy knob, kept for API compatibility (must stay > 0).  The reissue
+  /// thread now condition-waits until the earliest pending deadline (new
+  /// submissions re-arm it via the queue condition variable), so no fixed
+  /// polling happens at this granularity any more.
   double poll_interval_ms = 1.0;
   std::uint64_t seed = 0xc11e;
+};
+
+/// Point-in-time introspection of a ReissueClient (see stats()).  Counter
+/// fields are monotonically increasing; gauges reflect the snapshot
+/// moment.  Latency quantiles are streaming P-square estimates of
+/// first-response latency in milliseconds (0 until the first sample).
+struct ReissueClientStats {
+  std::uint64_t queries_submitted = 0;
+  /// Queries whose first response has arrived.
+  std::uint64_t first_responses = 0;
+  std::uint64_t reissues_issued = 0;
+  /// Reissues skipped because the completion-table check found the query
+  /// already answered (the paper's "check before sending" win).
+  std::uint64_t reissues_suppressed_completed = 0;
+  /// Reissues skipped by the policy's probability coin.
+  std::uint64_t reissues_suppressed_coin = 0;
+  /// Entries currently waiting in the reissue heap (gauge).
+  std::size_t pending_reissues = 0;
+  std::size_t table_capacity = 0;
+  /// Queries currently outstanding, clamped to the table size (gauge).
+  std::size_t table_occupancy = 0;
+  std::uint64_t latency_samples = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
 };
 
 class ReissueClient {
@@ -77,6 +106,11 @@ class ReissueClient {
     return queries_submitted_.load(std::memory_order_relaxed);
   }
 
+  /// Consistent-enough point-in-time snapshot of the client's counters,
+  /// gauges, and first-response latency tails.  Safe to call concurrently
+  /// with submit/on_response; cheap (two brief lock acquisitions).
+  [[nodiscard]] ReissueClientStats stats() const;
+
   /// Blocks until the reissue queue has drained (all due entries decided);
   /// useful in tests and for graceful shutdown.
   void drain();
@@ -108,7 +142,7 @@ class ReissueClient {
   mutable std::mutex policy_mutex_;
   std::shared_ptr<const core::ReissuePolicy> policy_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   /// Min-heap by due time: MultipleR re-enqueues can come due before
   /// earlier-submitted entries, so FIFO order is not due order.
@@ -119,6 +153,19 @@ class ReissueClient {
   stats::Xoshiro256 coin_rng_;
   std::atomic<std::uint64_t> reissues_issued_{0};
   std::atomic<std::uint64_t> queries_submitted_{0};
+  std::atomic<std::uint64_t> first_responses_{0};
+  std::atomic<std::uint64_t> reissues_suppressed_completed_{0};
+  std::atomic<std::uint64_t> reissues_suppressed_coin_{0};
+
+  /// Submit timestamp per table slot, written before CompletionTable::
+  /// begin's release store and read after complete's acquire, so the
+  /// first-response path sees the matching submit time without extra
+  /// synchronization.
+  std::vector<double> submit_ms_;
+  mutable std::mutex latency_mutex_;
+  stats::PSquareQuantile latency_p50_;
+  stats::PSquareQuantile latency_p99_;
+  stats::PSquareQuantile latency_p999_;
 
   std::thread reissue_thread_;
 };

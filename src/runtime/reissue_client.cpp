@@ -1,5 +1,6 @@
 #include "reissue/runtime/reissue_client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -13,7 +14,11 @@ ReissueClient::ReissueClient(const Clock& clock, DispatchFn dispatch,
       config_(config),
       table_(config.table_capacity),
       policy_(std::make_shared<const core::ReissuePolicy>(std::move(policy))),
-      coin_rng_(config.seed) {
+      coin_rng_(config.seed),
+      submit_ms_(config.table_capacity, 0.0),
+      latency_p50_(0.5),
+      latency_p99_(0.99),
+      latency_p999_(0.999) {
   if (!dispatch_) throw std::invalid_argument("ReissueClient: null dispatch");
   if (!(config_.poll_interval_ms > 0.0)) {
     throw std::invalid_argument("ReissueClient: poll interval must be > 0");
@@ -44,10 +49,13 @@ void ReissueClient::set_policy(core::ReissuePolicy policy) {
 core::ReissuePolicy ReissueClient::policy() const { return *snapshot(); }
 
 void ReissueClient::submit(std::uint64_t query_id) {
+  const double now = clock_.now_ms();
+  // Written before begin()'s release store so on_response's acquire via
+  // complete() observes the submit time of its own generation.
+  submit_ms_[query_id % submit_ms_.size()] = now;
   table_.begin(query_id);
   queries_submitted_.fetch_add(1, std::memory_order_relaxed);
   auto policy = snapshot();
-  const double now = clock_.now_ms();
   dispatch_(query_id, /*is_reissue=*/false);
   if (!policy->reissues()) return;
   {
@@ -59,7 +67,48 @@ void ReissueClient::submit(std::uint64_t query_id) {
 }
 
 bool ReissueClient::on_response(std::uint64_t query_id) {
-  return table_.complete(query_id);
+  if (!table_.complete(query_id)) return false;
+  first_responses_.fetch_add(1, std::memory_order_relaxed);
+  const double latency =
+      clock_.now_ms() - submit_ms_[query_id % submit_ms_.size()];
+  {
+    std::lock_guard lock(latency_mutex_);
+    latency_p50_.add(latency);
+    latency_p99_.add(latency);
+    latency_p999_.add(latency);
+  }
+  return true;
+}
+
+ReissueClientStats ReissueClient::stats() const {
+  ReissueClientStats s;
+  s.queries_submitted = queries_submitted_.load(std::memory_order_relaxed);
+  s.first_responses = first_responses_.load(std::memory_order_relaxed);
+  s.reissues_issued = reissues_issued_.load(std::memory_order_relaxed);
+  s.reissues_suppressed_completed =
+      reissues_suppressed_completed_.load(std::memory_order_relaxed);
+  s.reissues_suppressed_coin =
+      reissues_suppressed_coin_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(queue_mutex_);
+    s.pending_reissues = queue_.size();
+  }
+  s.table_capacity = table_.capacity();
+  const std::uint64_t outstanding =
+      s.queries_submitted > s.first_responses
+          ? s.queries_submitted - s.first_responses
+          : 0;
+  s.table_occupancy =
+      static_cast<std::size_t>(std::min<std::uint64_t>(outstanding,
+                                                       s.table_capacity));
+  {
+    std::lock_guard lock(latency_mutex_);
+    s.latency_samples = latency_p50_.count();
+    s.latency_p50_ms = latency_p50_.estimate();
+    s.latency_p99_ms = latency_p99_.estimate();
+    s.latency_p999_ms = latency_p999_.estimate();
+  }
+  return s;
 }
 
 void ReissueClient::drain() {
@@ -80,11 +129,11 @@ void ReissueClient::reissue_loop() {
     const double due = queue_.top().due_ms;
     const double now = clock_.now_ms();
     if (now < due) {
-      // Bounded poll-wait: tracks both wall time and ManualClock advances
-      // in tests, and re-checks the heap top after new submissions.
-      const double wait_ms = std::min(due - now, config_.poll_interval_ms);
+      // Sleep until the earliest deadline.  An earlier-due submission
+      // re-arms the wait through the condition variable, so no fixed-rate
+      // polling is needed; the loop re-checks the heap top on every wake.
       queue_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
-                                   std::max(wait_ms, 0.01)));
+                                   std::max(due - now, 0.01)));
       continue;
     }
 
@@ -95,8 +144,13 @@ void ReissueClient::reissue_loop() {
     lock.unlock();
     const auto stage = entry.policy->stages()[entry.stage];
     // Completion status checked immediately before sending (paper §6.1).
-    if (!table_.is_complete(entry.query_id) &&
-        coin_rng_.bernoulli(stage.probability)) {
+    // The coin is only flipped for still-outstanding queries, so the RNG
+    // stream is independent of response timing for completed ones.
+    if (table_.is_complete(entry.query_id)) {
+      reissues_suppressed_completed_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!coin_rng_.bernoulli(stage.probability)) {
+      reissues_suppressed_coin_.fetch_add(1, std::memory_order_relaxed);
+    } else {
       dispatch_(entry.query_id, /*is_reissue=*/true);
       reissues_issued_.fetch_add(1, std::memory_order_relaxed);
     }

@@ -95,7 +95,8 @@ core::RunResult Cluster::run(const core::ReissuePolicy& policy) {
 void Cluster::run_streaming(const core::ReissuePolicy& policy,
                             core::RunObserver& observer) {
   validate(config_);  // mutable_config() may have broken the invariants
-  Simulation simulation(config_, *service_, policy, observer, *scratch_);
+  Simulation simulation(config_, *service_, policy, observer, *scratch_,
+                        sim_observer_);
   simulation.run();
 }
 

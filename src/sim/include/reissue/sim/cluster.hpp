@@ -104,6 +104,7 @@ struct ClusterConfig {
 void validate(const ClusterConfig& config);
 
 struct RunScratch;  // reusable simulation buffers (simulation.hpp)
+class SimObserver;  // passive per-event hooks (sim_observer.hpp)
 
 class Cluster final : public core::SystemUnderTest {
  public:
@@ -130,6 +131,17 @@ class Cluster final : public core::SystemUnderTest {
     return true;
   }
 
+  /// Installs a passive per-event observer fed by every subsequent run
+  /// (null to detach).  Observers never change what a run computes — logs
+  /// and golden hashes are identical with or without one — and must
+  /// outlive the runs they observe.  See sim/sim_observer.hpp.
+  void set_sim_observer(SimObserver* observer) noexcept {
+    sim_observer_ = observer;
+  }
+  [[nodiscard]] SimObserver* sim_observer() const noexcept {
+    return sim_observer_;
+  }
+
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
   /// Mutable access for scenario builders; the next run() re-validates the
   /// mutated configuration (see validate()).
@@ -142,6 +154,8 @@ class Cluster final : public core::SystemUnderTest {
   /// Per-run simulation buffers, reused across runs so replications touch
   /// warm memory (Cluster is single-threaded by contract).
   std::unique_ptr<RunScratch> scratch_;
+  /// Optional passive event observer, not owned.
+  SimObserver* sim_observer_ = nullptr;
 };
 
 }  // namespace reissue::sim

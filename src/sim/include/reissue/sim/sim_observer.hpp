@@ -1,0 +1,156 @@
+// Passive per-event observation hooks for sim::Simulation.
+//
+// A SimObserver sees every mechanism-level event the simulator dispatches
+// — arrivals, reissue scheduling/issue/suppression, dispatches, service
+// starts, lazy cancellations, copy completions, first responses, server
+// state transitions — without participating in the run: hooks draw no RNG,
+// schedule no events, and never observe mutable simulator state, so a run
+// with an observer attached is bit-identical (same logs, same golden
+// hashes) to one without.  Implementations live in src/obs; this interface
+// lives in sim so the simulator core has no dependency on them.
+//
+// Cost model: when REISSUE_OBS_ENABLED is 0 (cmake -DREISSUE_OBS=OFF),
+// Simulation::observed() is a false constant and every hook call folds out
+// of the binary.  When compiled in but no observer is installed (the
+// default), the cost is a null-pointer test outside the merge loop and a
+// dedicated template instantiation inside it — measured indistinguishable
+// from the obs-off build (see BENCH_sim_throughput.json).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "reissue/sim/request.hpp"
+
+// Compile-time master switch; the build sets REISSUE_OBS_ENABLED=0 when
+// configured with -DREISSUE_OBS=OFF.
+#ifndef REISSUE_OBS_ENABLED
+#define REISSUE_OBS_ENABLED 1
+#endif
+
+namespace reissue::sim {
+
+/// Cheap whole-run counters maintained by the simulator itself while an
+/// observer is attached (if constexpr-gated inside the merge loop, plain
+/// branches elsewhere).  All fields cover the entire run including warmup
+/// — unlike RunResult, which is post-warmup only.
+struct RunCounters {
+  /// Queries that arrived (== ClusterConfig::queries at run end).
+  std::uint64_t arrivals = 0;
+  /// Events popped from the binary heap (completions, interference).
+  std::uint64_t heap_pops = 0;
+  /// Completions popped from the scan-mode bounded queue.
+  std::uint64_t scan_pops = 0;
+  /// Reissue-stage checks dispatched live from the stage rings.
+  std::uint64_t stage_checks = 0;
+  /// Dead stage entries (query already done) retired by the merge loop's
+  /// fast path without a dispatch.
+  std::uint64_t stage_retired = 0;
+  std::uint64_t reissues_issued = 0;
+  /// Stage checks suppressed because the query had completed (paper §6.1
+  /// "checked immediately before sending"); includes `stage_retired`.
+  std::uint64_t reissues_suppressed_completed = 0;
+  /// Stage checks whose probability coin came up tails.
+  std::uint64_t reissues_suppressed_coin = 0;
+  /// Issued reissue copies that did not deliver the first response
+  /// (completed after the query was already done, or were cancelled) —
+  /// the paper's wasted-work measure.  Computed at finalize.
+  std::uint64_t reissues_wasted = 0;
+  /// Copies lazily cancelled at service start (cancel_on_completion).
+  std::uint64_t copies_cancelled = 0;
+  std::uint64_t interference_episodes = 0;
+  /// Peak simultaneously in-flight reissue copies.  Accumulates by max.
+  std::uint64_t reissue_inflight_peak = 0;
+  /// Reissue-copy arena slots this run (queries x stages) — the
+  /// simulator's biggest allocation.  Accumulates by max (high-water).
+  std::uint64_t arena_slots = 0;
+
+  RunCounters& operator+=(const RunCounters& other) noexcept {
+    arrivals += other.arrivals;
+    heap_pops += other.heap_pops;
+    scan_pops += other.scan_pops;
+    stage_checks += other.stage_checks;
+    stage_retired += other.stage_retired;
+    reissues_issued += other.reissues_issued;
+    reissues_suppressed_completed += other.reissues_suppressed_completed;
+    reissues_suppressed_coin += other.reissues_suppressed_coin;
+    reissues_wasted += other.reissues_wasted;
+    copies_cancelled += other.copies_cancelled;
+    interference_episodes += other.interference_episodes;
+    if (other.reissue_inflight_peak > reissue_inflight_peak) {
+      reissue_inflight_peak = other.reissue_inflight_peak;
+    }
+    if (other.arena_slots > arena_slots) arena_slots = other.arena_slots;
+    return *this;
+  }
+};
+
+class SimObserver {
+ public:
+  /// Server index meaning "no server" (infinite-server dispatches).
+  static constexpr std::uint32_t kNoServer = 0xffffffffu;
+
+  /// What a run looks like before its first event; passed to
+  /// on_run_begin so observers can size per-server state.
+  struct RunInfo {
+    std::size_t servers = 0;
+    bool infinite_servers = false;
+    std::size_t queries = 0;
+    std::size_t warmup = 0;
+    std::size_t stages = 0;
+    std::uint64_t seed = 0;
+    double arrival_rate = 0.0;
+  };
+
+  virtual ~SimObserver() = default;
+
+  virtual void on_run_begin(const RunInfo& /*run*/) {}
+  virtual void on_arrival(double /*now*/, std::uint64_t /*query*/) {}
+  /// A stage check was scheduled to fire at `fire_time` (arrival + d_i).
+  virtual void on_reissue_scheduled(double /*now*/, std::uint64_t /*query*/,
+                                    std::uint16_t /*stage*/,
+                                    double /*fire_time*/) {}
+  virtual void on_reissue_issued(double /*now*/, std::uint64_t /*query*/,
+                                 std::uint16_t /*stage*/) {}
+  /// `by_completion` distinguishes the §6.1 completion check from a coin
+  /// tails.  Suppressions retired by the merge loop's dead-entry fast path
+  /// report their would-be fire time as `now`, which may be ahead of
+  /// previously reported events (trace consumers must not assume global
+  /// timestamp order; Perfetto does not).
+  virtual void on_reissue_suppressed(double /*now*/, std::uint64_t /*query*/,
+                                     std::uint16_t /*stage*/,
+                                     bool /*by_completion*/) {}
+  /// A copy was handed to the load balancer; `server` is kNoServer on
+  /// infinite-server runs, `service_time` includes any server speed
+  /// multiplier.
+  virtual void on_dispatch(double /*now*/, std::uint64_t /*query*/,
+                           CopyKind /*kind*/, std::uint32_t /*copy_index*/,
+                           std::uint32_t /*server*/, double /*service_time*/) {}
+  /// A copy (including background interference work) began service;
+  /// `cost` is the actual occupancy (cancellation overhead if cancelled).
+  virtual void on_service_start(double /*now*/, std::uint32_t /*server*/,
+                                const Request& /*request*/, double /*cost*/) {}
+  virtual void on_copy_cancelled(double /*now*/, std::uint32_t /*server*/,
+                                 std::uint64_t /*query*/,
+                                 std::uint32_t /*copy_index*/) {}
+  /// A primary/reissue copy completed; `response` is measured from the
+  /// copy's own dispatch.
+  virtual void on_copy_complete(double /*now*/, std::uint64_t /*query*/,
+                                CopyKind /*kind*/, std::uint32_t /*copy_index*/,
+                                double /*response*/) {}
+  /// First response for the query: its latency is determined.
+  virtual void on_query_done(double /*now*/, std::uint64_t /*query*/,
+                             double /*latency*/) {}
+  /// Queue depth / busy transition on a finite server, reported after the
+  /// state change settled (post enqueue-or-start, post completion).
+  virtual void on_server_state(double /*now*/, std::uint32_t /*server*/,
+                               std::size_t /*queued*/, bool /*busy*/) {}
+  virtual void on_interference(double /*now*/, std::uint32_t /*server*/,
+                               double /*duration*/) {}
+  /// End of run: final horizon, the utilization reported to the
+  /// RunObserver, and the simulator's whole-run counters.
+  virtual void on_run_end(double /*horizon*/, double /*utilization*/,
+                          const RunCounters& /*counters*/) {}
+};
+
+}  // namespace reissue::sim

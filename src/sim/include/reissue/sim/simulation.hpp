@@ -40,6 +40,7 @@
 #include "reissue/sim/event_queue.hpp"
 #include "reissue/sim/load_balancer.hpp"
 #include "reissue/sim/server.hpp"
+#include "reissue/sim/sim_observer.hpp"
 #include "reissue/stats/rng.hpp"
 
 namespace reissue::sim {
@@ -147,9 +148,11 @@ class Simulation {
   /// interference episodes; run() executes to completion and feeds
   /// `observer`.  `scratch` carries reusable buffers across runs; a given
   /// RunScratch must serve at most one live Simulation at a time.
+  /// `sim_observer` (optional) receives the passive per-event hooks of
+  /// sim_observer.hpp; it never changes what the run computes.
   Simulation(const ClusterConfig& config, ServiceModel& service,
              const core::ReissuePolicy& policy, core::RunObserver& observer,
-             RunScratch& scratch);
+             RunScratch& scratch, SimObserver* sim_observer = nullptr);
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -163,19 +166,44 @@ class Simulation {
   using QueryState = detail::QueryState;
   using StageRing = detail::StageRing;
 
-  template <int StageCount, bool ScanMode>
+  /// True when hook calls must fire: observability is compiled in and an
+  /// observer is installed.  A false constant under -DREISSUE_OBS=OFF, so
+  /// every `if (observed())` block folds out of the binary.
+  [[nodiscard]] bool observed() const noexcept {
+#if REISSUE_OBS_ENABLED
+    return obs_ != nullptr;
+#else
+    return false;
+#endif
+  }
+
+  // The whole hot call tree below run_loop is templated on `Observed`:
+  // the unobserved instantiations carry no hook calls, no counter
+  // updates, and no null checks — the same machine code the simulator
+  // had before the observability layer existed.
+  template <int StageCount>
+  void run_stages();
+  template <int StageCount, bool ScanMode, bool Observed>
   void run_loop();
+  template <bool Observed>
   void dispatch(const SimEvent& event, double now);
+  template <bool Observed>
   void on_arrival(double now);
+  template <bool Observed>
   void on_reissue_stage(std::uint64_t id, std::size_t stage_index, double now);
+  template <bool Observed>
   void handle_completion(CopyKind kind, std::uint64_t id,
                          std::uint32_t copy_index, double dispatch_time,
                          double now);
+  template <bool Observed>
   void dispatch_copy(std::uint64_t id, CopyKind kind, std::uint32_t copy_index,
                      std::uint32_t connection,
                      double service_time, double now);
+  template <bool Observed>
   void complete_on_server(std::uint32_t server, double now);
+  template <bool Observed>
   void submit_to_server(std::size_t server, const Request& request, double now);
+  template <bool Observed>
   void start_next_on(std::size_t server, double now);
   void schedule_completion(double time, std::size_t server);
   void schedule_arrival(double time);
@@ -186,9 +214,10 @@ class Simulation {
 
   /// Lazy-cancellation predicate consulted at service start; marks the
   /// copy cancelled as a side effect (the extension of ClusterConfig::
-  /// cancel_on_completion).
-  [[nodiscard]] auto cancel_check() {
-    return [this](const Request& request) {
+  /// cancel_on_completion).  `server`/`now` only feed the observer hook.
+  template <bool Observed>
+  [[nodiscard]] auto cancel_check(std::size_t server, double now) {
+    return [this, server, now](const Request& request) {
       if (!cfg_.cancel_on_completion) return false;
       if (request.kind == CopyKind::kBackground) return false;
       QueryState& qs = queries_[request.query_id];
@@ -198,6 +227,11 @@ class Simulation {
       } else {
         reissue_slot(request.query_id, request.copy_index - 1).cancelled = true;
       }
+      if constexpr (Observed) {
+        ++counters_.copies_cancelled;
+        obs_->on_copy_cancelled(now, static_cast<std::uint32_t>(server),
+                                request.query_id, request.copy_index);
+      }
       return true;
     };
   }
@@ -205,6 +239,17 @@ class Simulation {
   const ClusterConfig& cfg_;
   ServiceModel& service_;
   core::RunObserver& observer_;
+  /// Optional passive event observer (sim_observer.hpp); null for the
+  /// common unobserved run.
+  SimObserver* obs_ = nullptr;
+  /// Whole-run counters, maintained only while observed().
+  RunCounters counters_;
+  /// Currently in-flight reissue copies (observed() bookkeeping for
+  /// counters_.reissue_inflight_peak).
+  std::uint64_t reissue_inflight_ = 0;
+  /// Reissue copies that delivered their query's first response
+  /// (observed() bookkeeping for counters_.reissues_wasted).
+  std::uint64_t reissue_wins_ = 0;
   std::span<const core::ReissueStage> stages_;
 
   EventQueue<SimEvent>& events_;

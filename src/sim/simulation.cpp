@@ -18,10 +18,12 @@ constexpr std::size_t kServiceDrawChunk = 1024;
 
 Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
                        const core::ReissuePolicy& policy,
-                       core::RunObserver& observer, RunScratch& scratch)
+                       core::RunObserver& observer, RunScratch& scratch,
+                       SimObserver* sim_observer)
     : cfg_(config),
       service_(service),
       observer_(observer),
+      obs_(sim_observer),
       stages_(policy.stages()),
       events_(scratch.events),
       completions_(scratch.completions) {
@@ -154,17 +156,43 @@ void Simulation::schedule_arrival(double time) {
 }
 
 void Simulation::run() {
+  if (observed()) {
+    counters_.arena_slots = cfg_.queries * stages_.size();
+    SimObserver::RunInfo info;
+    info.servers = cfg_.infinite_servers ? 0 : cfg_.servers;
+    info.infinite_servers = cfg_.infinite_servers;
+    info.queries = cfg_.queries;
+    info.warmup = cfg_.warmup;
+    info.stages = stages_.size();
+    info.seed = cfg_.seed;
+    info.arrival_rate = cfg_.arrival_rate;
+    obs_->on_run_begin(info);
+  }
   // The merge loop is the hottest code in the simulator; specialize it on
   // the policy's stage count so the per-iteration candidate scan has no
   // loop for the ubiquitous no-reissue and single-stage cases.
   if (stage_rings_.empty()) {
-    scan_completions_ ? run_loop<0, true>() : run_loop<0, false>();
+    run_stages<0>();
   } else if (stage_rings_.size() == 1) {
-    scan_completions_ ? run_loop<1, true>() : run_loop<1, false>();
+    run_stages<1>();
   } else {
-    scan_completions_ ? run_loop<-1, true>() : run_loop<-1, false>();
+    run_stages<-1>();
   }
   finalize(std::max(events_.now(), skipped_horizon_));
+}
+
+/// Second dispatch layer: scan mode and observation are orthogonal
+/// compile-time axes of the merge loop (the observed instantiations keep
+/// counter updates out of the unobserved hot path entirely).
+template <int StageCount>
+void Simulation::run_stages() {
+  if (scan_completions_) {
+    observed() ? run_loop<StageCount, true, true>()
+               : run_loop<StageCount, true, false>();
+  } else {
+    observed() ? run_loop<StageCount, false, true>()
+               : run_loop<StageCount, false, false>();
+  }
 }
 
 /// Dispatches events from the three merged sources — the heap
@@ -180,7 +208,7 @@ void Simulation::run() {
 /// completion source dispatches.  Each outer iteration therefore computes
 /// the barrier once, drains every completion that precedes it in a tight
 /// loop (no re-merge per event), then dispatches the barrier event itself.
-template <int StageCount, bool ScanMode>
+template <int StageCount, bool ScanMode, bool Observed>
 void Simulation::run_loop() {
   constexpr std::size_t kFromArrival = std::numeric_limits<std::size_t>::max();
   const std::size_t rings =
@@ -215,6 +243,14 @@ void Simulation::run_loop() {
         // skipped_horizon_ carries that into finalize.
         if (queries_[front_id].done) {
           if (key.time > skipped_horizon_) skipped_horizon_ = key.time;
+          if constexpr (Observed) {
+            // A retired entry is a completion-suppressed check that never
+            // needed dispatching; report it at its would-be fire time.
+            ++counters_.stage_retired;
+            ++counters_.reissues_suppressed_completed;
+            obs_->on_reissue_suppressed(key.time, front_id,
+                                        static_cast<std::uint16_t>(j), true);
+          }
           ++ring.head;
           continue;
         }
@@ -239,13 +275,15 @@ void Simulation::run_loop() {
         // is the server index): skip the kind switch.
         const std::uint32_t server = completions_.pop();
         events_.advance_to(key.time);
-        complete_on_server(server, key.time);
+        if constexpr (Observed) ++counters_.scan_pops;
+        complete_on_server<Observed>(server, key.time);
       }
     } else {
       while (!events_.empty()) {
         if (have && !events_.peek_key().before(best)) break;
         const SimEvent event = events_.pop();
-        dispatch(event, events_.now());
+        if constexpr (Observed) ++counters_.heap_pops;
+        dispatch<Observed>(event, events_.now());
       }
     }
     if (!have) return;
@@ -253,26 +291,27 @@ void Simulation::run_loop() {
     if (source == kFromArrival) {
       arrival_pending_ = false;
       events_.advance_to(best.time);
-      on_arrival(best.time);
+      on_arrival<Observed>(best.time);
     } else {
       StageRing& ring = stage_rings_[source];
       const auto id = static_cast<std::uint64_t>(ring.head++ - ring.base);
       events_.advance_to(best.time);
-      on_reissue_stage(id, source, best.time);
+      on_reissue_stage<Observed>(id, source, best.time);
     }
   }
 }
 
+template <bool Observed>
 void Simulation::dispatch(const SimEvent& event, double now) {
   switch (event.kind) {
     case EventKind::kArrival:
       assert(!"arrivals merge via claim_key and are never heap-scheduled");
       return;
     case EventKind::kReissueStage:
-      on_reissue_stage(event.query(), event.stage, now);
+      on_reissue_stage<Observed>(event.query(), event.stage, now);
       return;
     case EventKind::kCopyComplete:
-      complete_on_server(event.server(), now);
+      complete_on_server<Observed>(event.server(), now);
       return;
     case EventKind::kDirectComplete: {
       // The copy's dispatch time lives in the per-query state: primaries
@@ -282,18 +321,22 @@ void Simulation::dispatch(const SimEvent& event, double now) {
           event.copy == CopyKind::kPrimary
               ? queries_[id].arrival
               : reissue_slot(id, event.copy_index() - 1).dispatch;
-      handle_completion(event.copy, id, event.copy_index(), dispatch_time,
-                        now);
+      handle_completion<Observed>(event.copy, id, event.copy_index(),
+                                  dispatch_time, now);
       return;
     }
     case EventKind::kInterferenceStart: {
+      if constexpr (Observed) {
+        ++counters_.interference_episodes;
+        obs_->on_interference(now, event.server(), event.duration());
+      }
       Request background;
       background.query_id = std::numeric_limits<std::uint32_t>::max();
       background.kind = CopyKind::kBackground;
       background.dispatch_time = now;
       background.service_time = event.duration();
       background.connection = std::numeric_limits<std::uint32_t>::max();
-      submit_to_server(event.server(), background, now);
+      submit_to_server<Observed>(event.server(), background, now);
       return;
     }
   }
@@ -302,12 +345,16 @@ void Simulation::dispatch(const SimEvent& event, double now) {
 /// Server `server` finished its in-service copy: report it, then pull the
 /// next copy (completion first, so a same-query copy behind it sees
 /// qs.done and can be lazily cancelled).
+template <bool Observed>
 void Simulation::complete_on_server(std::uint32_t server, double now) {
   Server& srv = servers_[server];
   const Request& request = srv.finish();
-  handle_completion(request.kind, request.query_id, request.copy_index,
-                    request.dispatch_time, now);
-  if (srv.queue_length() > 0) start_next_on(server, now);
+  handle_completion<Observed>(request.kind, request.query_id,
+                              request.copy_index, request.dispatch_time, now);
+  if (srv.queue_length() > 0) start_next_on<Observed>(server, now);
+  if constexpr (Observed) {
+    obs_->on_server_state(now, server, srv.queue_length(), srv.busy());
+  }
 }
 
 /// Cyclic arrival-rate multiplier at time t (workload drift, §4.4).
@@ -331,6 +378,7 @@ Simulation::IssuedCopy& Simulation::reissue_slot(std::uint64_t id,
   return arena_[id * stages_.size() + slot];
 }
 
+template <bool Observed>
 void Simulation::on_arrival(double now) {
   const std::uint64_t id = next_query_++;
   QueryState& qs = queries_[id];
@@ -360,37 +408,74 @@ void Simulation::on_arrival(double now) {
   qs.reissue_count = 0;
   qs.primary_cancelled = false;
   qs.done = false;
-  dispatch_copy(id, CopyKind::kPrimary, 0, connection, primary_service, now);
+  if constexpr (Observed) {
+    ++counters_.arrivals;
+    obs_->on_arrival(now, id);
+  }
+  dispatch_copy<Observed>(id, CopyKind::kPrimary, 0, connection,
+                          primary_service, now);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     // Claimed in scheduling order, exactly where the all-heap version
     // called schedule(); queries enter each ring in id order.
     const EventKey key = events_.claim_key_trusted(now + stages_[i].delay);
     stage_rings_[i].push(key.seq);
   }
+  if constexpr (Observed) {
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      obs_->on_reissue_scheduled(now, id, static_cast<std::uint16_t>(i),
+                                 now + stages_[i].delay);
+    }
+  }
   if (next_query_ < cfg_.queries) {
     schedule_arrival(arrival_times_[next_query_]);
   }
 }
 
+template <bool Observed>
 void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
                                   double now) {
   QueryState& qs = queries_[id];
+  if constexpr (Observed) ++counters_.stage_checks;
   // Completion status is checked immediately before sending (paper §6.1).
-  if (qs.done) return;
+  if (qs.done) {
+    if constexpr (Observed) {
+      ++counters_.reissues_suppressed_completed;
+      obs_->on_reissue_suppressed(now, id,
+                                  static_cast<std::uint16_t>(stage_index),
+                                  true);
+    }
+    return;
+  }
   const core::ReissueStage& stage = stages_[stage_index];
-  if (!coin_rng_.bernoulli(stage.probability)) return;
+  if (!coin_rng_.bernoulli(stage.probability)) {
+    if constexpr (Observed) {
+      ++counters_.reissues_suppressed_coin;
+      obs_->on_reissue_suppressed(now, id,
+                                  static_cast<std::uint16_t>(stage_index),
+                                  false);
+    }
+    return;
+  }
   const double y =
       batch_shared_stream_
           ? service_.reissue_from_draw(next_service_draw(), qs.primary_service)
           : service_.reissue(id, qs.primary_service, service_rng_);
   const std::uint32_t slot = qs.reissue_count++;
   reissue_slot(id, slot) = IssuedCopy{now, y, -1.0, false};
+  if constexpr (Observed) {
+    ++counters_.reissues_issued;
+    if (++reissue_inflight_ > counters_.reissue_inflight_peak) {
+      counters_.reissue_inflight_peak = reissue_inflight_;
+    }
+    obs_->on_reissue_issued(now, id, static_cast<std::uint16_t>(stage_index));
+  }
   // The arrival counter wraps at cfg_.connections, so the copy's
   // connection is recomputable instead of stored per query.
   const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
-  dispatch_copy(id, CopyKind::kReissue, slot + 1, connection, y, now);
+  dispatch_copy<Observed>(id, CopyKind::kReissue, slot + 1, connection, y, now);
 }
 
+template <bool Observed>
 void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
                                    std::uint32_t copy_index,
                                    double dispatch_time, double now) {
@@ -403,12 +488,22 @@ void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
   } else {
     reissue_slot(id, copy_index - 1).response = response;
   }
-  if (!qs.done) {
+  const bool first = !qs.done;
+  if (first) {
     qs.done = true;
     qs.completion = now;
   }
+  if constexpr (Observed) {
+    obs_->on_copy_complete(now, id, kind, copy_index, response);
+    if (kind == CopyKind::kReissue) {
+      if (reissue_inflight_ > 0) --reissue_inflight_;
+      if (first) ++reissue_wins_;
+    }
+    if (first) obs_->on_query_done(now, id, now - qs.arrival);
+  }
 }
 
+template <bool Observed>
 void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
                                std::uint32_t copy_index,
                                std::uint32_t connection, double service_time,
@@ -422,6 +517,12 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
   request.connection = connection;
   request.kind = kind;
   if (cfg_.infinite_servers) {
+    if constexpr (Observed) {
+      obs_->on_dispatch(now, id, kind, copy_index, SimObserver::kNoServer,
+                        service_time);
+      obs_->on_service_start(now, SimObserver::kNoServer, request,
+                             service_time);
+    }
     events_.schedule(now + service_time, SimEvent::direct_complete(request));
     return;
   }
@@ -441,29 +542,50 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
   if (!cfg_.server_speeds.empty()) {
     request.service_time *= cfg_.server_speeds[idx];
   }
-  submit_to_server(idx, request, now);
+  if constexpr (Observed) {
+    obs_->on_dispatch(now, id, kind, copy_index,
+                      static_cast<std::uint32_t>(idx), request.service_time);
+  }
+  submit_to_server<Observed>(idx, request, now);
 }
 
+template <bool Observed>
 void Simulation::submit_to_server(std::size_t server, const Request& request,
                                   double now) {
   Server& srv = servers_[server];
   if (srv.can_start_directly()) {
     // Idle-worker fast path: identical semantics to enqueue + try_start
     // for bypassable disciplines (the common case at moderate load).
-    const double cost = srv.start_directly(request, cancel_check(),
-                                           cfg_.cancellation_overhead);
+    const double cost =
+        srv.start_directly(request, cancel_check<Observed>(server, now),
+                           cfg_.cancellation_overhead);
     schedule_completion(now + cost, server);
+    if constexpr (Observed) {
+      obs_->on_service_start(now, static_cast<std::uint32_t>(server), request,
+                             cost);
+      obs_->on_server_state(now, static_cast<std::uint32_t>(server),
+                            srv.queue_length(), srv.busy());
+    }
     return;
   }
   srv.enqueue(request);
   // A busy server picks the copy up from its queue at its next finish.
-  if (!srv.busy()) start_next_on(server, now);
+  if (!srv.busy()) start_next_on<Observed>(server, now);
+  if constexpr (Observed) {
+    obs_->on_server_state(now, static_cast<std::uint32_t>(server),
+                          srv.queue_length(), srv.busy());
+  }
 }
 
+template <bool Observed>
 void Simulation::start_next_on(std::size_t server, double now) {
   if (const auto cost = servers_[server].try_start(
-          cancel_check(), cfg_.cancellation_overhead)) {
+          cancel_check<Observed>(server, now), cfg_.cancellation_overhead)) {
     schedule_completion(now + *cost, server);
+    if constexpr (Observed) {
+      obs_->on_service_start(now, static_cast<std::uint32_t>(server),
+                             servers_[server].current(), *cost);
+    }
   }
 }
 
@@ -501,6 +623,16 @@ void Simulation::finalize(double horizon) {
   }
   observer_.on_complete(cfg_.queries - cfg_.warmup, reissues_issued,
                         utilization);
+
+  if (observed()) {
+    // Wasted reissues over the whole run (warmup included, matching the
+    // other counters): issued copies that did not deliver their query's
+    // first response.  Exact by construction — handle_completion counts
+    // the winners — where re-deriving it from dispatch + response times
+    // would be off by FP rounding on the winner itself.
+    counters_.reissues_wasted = counters_.reissues_issued - reissue_wins_;
+    obs_->on_run_end(horizon, utilization, counters_);
+  }
 }
 
 }  // namespace reissue::sim

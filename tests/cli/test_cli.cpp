@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "reissue/sim/sim_observer.hpp"  // REISSUE_OBS_ENABLED
 #include "reissue/stats/distributions.hpp"
 #include "reissue/stats/rng.hpp"
 
@@ -624,6 +625,180 @@ TEST(Cli, SweepOutputIsAtomicAndErrorsNameThePath) {
   EXPECT_EQ(bad.code, 1);
   EXPECT_NE(bad.err.find("/nonexistent-dir/out.csv"), std::string::npos)
       << bad.err;
+}
+
+// -------------------------------------------------------- observability
+
+// The event-stream flags (--trace/--trace-bin/--timeseries) only exist in
+// builds with observability compiled in; under -DREISSUE_OBS=OFF the CLI
+// rejects them up front, which the #else branch below pins.
+#if REISSUE_OBS_ENABLED
+
+TEST(Cli, SweepTraceFlagsRequireSingleThread) {
+  TempOut trace("trace.json");
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "1", "--threads", "2", "--trace", trace.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("require --threads 1"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, SweepObservabilityFlagValidation) {
+  auto result = run({"sweep", "--spec", kTinySpec, "--trace-capacity", "64"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--trace-capacity requires --trace-bin"),
+            std::string::npos)
+      << result.err;
+
+  result = run({"sweep", "--spec", kTinySpec, "--window", "50"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--window requires --timeseries"),
+            std::string::npos)
+      << result.err;
+
+  TempOut ts("ts.csv");
+  result = run({"sweep", "--spec", kTinySpec, "--replications", "1",
+                "--timeseries", ts.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--timeseries requires --window > 0"),
+            std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, SweepShardModeRejectsTraceFlags) {
+  TempOut raw("shardtrace.csv");
+  TempOut trace("shardtrace.json");
+  const auto result =
+      run({"sweep", "--spec", kTinySpec, "--shard", "0/2", "--raw-output",
+           raw.path(), "--trace", trace.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("not supported in shard mode"), std::string::npos)
+      << result.err;
+}
+
+TEST(Cli, TracedSweepLeavesCsvByteIdenticalAndWritesTraceDocument) {
+  const std::vector<std::string> base = {"sweep", "--spec", kTinySpec,
+                                         "--replications", "2", "--seed",
+                                         "7", "--threads", "1"};
+  const auto plain = run(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  TempOut trace("trace.json");
+  auto traced_args = base;
+  traced_args.insert(traced_args.end(), {"--trace", trace.path()});
+  const auto traced = run(traced_args);
+  ASSERT_EQ(traced.code, 0) << traced.err;
+  EXPECT_EQ(traced.out, plain.out);  // tracing never perturbs the CSV
+
+  const std::string doc = slurp(trace.path());
+  EXPECT_EQ(doc.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u)
+      << doc.substr(0, 80);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"arrival\""), std::string::npos);
+}
+
+TEST(Cli, TraceSummarizeReadsTheBinaryRing) {
+  TempOut ring("ring.bin");
+  const auto swept =
+      run({"sweep", "--spec", kTinySpec, "--replications", "1", "--seed",
+           "7", "--threads", "1", "--trace-bin", ring.path()});
+  ASSERT_EQ(swept.code, 0) << swept.err;
+
+  const auto digest = run({"trace-summarize", "--input", ring.path()});
+  ASSERT_EQ(digest.code, 0) << digest.err;
+  EXPECT_NE(digest.out.find("events retained"), std::string::npos)
+      << digest.out;
+  EXPECT_NE(digest.out.find("query latency mean"), std::string::npos)
+      << digest.out;
+
+  const auto missing = run({"trace-summarize"});
+  EXPECT_EQ(missing.code, 1);
+  EXPECT_NE(missing.err.find("--input"), std::string::npos) << missing.err;
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+TEST(Cli, SweepStatsPrintsCountersWithoutTouchingStdout) {
+  const std::vector<std::string> base = {"sweep", "--spec", kTinySpec,
+                                         "--replications", "2", "--seed",
+                                         "7"};
+  const auto plain = run(base);
+  ASSERT_EQ(plain.code, 0) << plain.err;
+
+  auto stats_args = base;
+  stats_args.push_back("--stats");
+  const auto with_stats = run(stats_args);
+  ASSERT_EQ(with_stats.code, 0) << with_stats.err;
+  EXPECT_EQ(with_stats.out, plain.out);  // stats live on stderr only
+  EXPECT_NE(with_stats.err.find("counters:"), std::string::npos)
+      << with_stats.err;
+  EXPECT_NE(with_stats.err.find("arrivals "), std::string::npos);
+  EXPECT_NE(with_stats.err.find("timers:"), std::string::npos);
+}
+
+TEST(Cli, SweepProgressGoesToStderrOnly) {
+  const std::vector<std::string> base = {"sweep", "--spec", kTinySpec,
+                                         "--replications", "1", "--seed",
+                                         "7"};
+  const auto plain = run(base);
+  auto progress_args = base;
+  progress_args.push_back("--progress");
+  const auto with_progress = run(progress_args);
+  ASSERT_EQ(with_progress.code, 0) << with_progress.err;
+  EXPECT_EQ(with_progress.out, plain.out);
+  EXPECT_NE(with_progress.err.find("progress: "), std::string::npos)
+      << with_progress.err;
+  EXPECT_NE(with_progress.err.find("2/2 cells"), std::string::npos)
+      << with_progress.err;
+}
+
+#if REISSUE_OBS_ENABLED
+
+TEST(Cli, SweepTimeseriesWritesWindowCsv) {
+  TempOut ts("series.csv");
+  const auto result =
+      run({"sweep", "--spec", kTinySpec, "--replications", "1", "--seed",
+           "7", "--threads", "1", "--timeseries", ts.path(), "--window",
+           "50"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  const std::string csv = slurp(ts.path());
+  EXPECT_EQ(csv.rfind("run,window,t_start,t_end,series,server,value", 0), 0u)
+      << csv.substr(0, 80);
+  EXPECT_NE(csv.find("busy_fraction"), std::string::npos);
+  EXPECT_NE(csv.find("queue_depth"), std::string::npos);
+}
+
+#else  // !REISSUE_OBS_ENABLED
+
+TEST(Cli, ObsOffBuildRejectsEventStreamFlags) {
+  TempOut trace("trace.json");
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "1", "--threads", "1", "--trace", trace.path()});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("-DREISSUE_OBS=OFF"), std::string::npos)
+      << result.err;
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+TEST(Cli, SweepShardStatsWritesTimingsSideFile) {
+  TempOut raw("timed.csv");
+  const auto result =
+      run({"sweep", "--spec", kTinySpec, "--replications", "1", "--seed",
+           "7", "--shard", "0/1", "--raw-output", raw.path(), "--stats"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  const std::string timings = slurp(raw.path() + ".timings.csv");
+  EXPECT_EQ(timings.rfind("cell,scenario,policy,seconds", 0), 0u)
+      << timings.substr(0, 80);
+  // The side file never contaminates the hashed shard CSV: re-running
+  // without --stats produces the identical raw file.
+  TempOut clean("clean.csv");
+  const auto plain =
+      run({"sweep", "--spec", kTinySpec, "--replications", "1", "--seed",
+           "7", "--shard", "0/1", "--raw-output", clean.path()});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  EXPECT_EQ(slurp(raw.path()), slurp(clean.path()));
+  std::filesystem::remove(raw.path() + ".timings.csv");
 }
 
 }  // namespace

@@ -1,0 +1,165 @@
+// Run-counter accounting, phase timers, and the formatting helpers behind
+// `sweep --stats`.
+#include "reissue/obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/workloads.hpp"
+
+namespace reissue::obs {
+namespace {
+
+sim::workloads::WorkloadOptions small_options() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 2000;
+  // No warmup: RunResult then reports the same query population the
+  // observer sees, so their reissue counts must agree exactly.
+  opts.warmup = 0;
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+// Everything the simulator feeds the observers only happens in builds with
+// observability compiled in; under -DREISSUE_OBS=OFF the hooks are dead
+// code, so the sim-driven tests are gated out with the feature.
+#if REISSUE_OBS_ENABLED
+
+TEST(Counters, EveryScheduledStageIsDecidedExactlyOnce) {
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, small_options());
+  CountingObserver counting;
+  cluster.set_sim_observer(&counting);
+  const auto result = cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+  const sim::RunCounters c = counting.total();
+
+  EXPECT_EQ(counting.runs(), 1u);
+  EXPECT_EQ(c.arrivals, 2000u);
+  // One stage per arrival; each scheduled reissue is exactly one of
+  // issued / coin-suppressed / completion-suppressed.
+  EXPECT_EQ(c.arrivals, c.reissues_issued + c.reissues_suppressed_coin +
+                            c.reissues_suppressed_completed);
+  EXPECT_EQ(c.reissues_issued, result.reissues_issued);
+  EXPECT_LE(c.reissues_wasted, c.reissues_issued);
+  // Dead-entry retirements are a subset of completion suppressions.
+  EXPECT_LE(c.stage_retired, c.reissues_suppressed_completed);
+  // Completions drain through exactly one of the two queues (scan mode
+  // xor heap), but something must have drained.
+  EXPECT_GT(c.heap_pops + c.scan_pops, 0u);
+  EXPECT_GT(c.reissue_inflight_peak, 0u);
+  EXPECT_EQ(c.arena_slots, 2000u);  // queries * stage_count
+}
+
+TEST(Counters, MultiStagePolicySchedulesEveryStage) {
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, small_options());
+  CountingObserver counting;
+  cluster.set_sim_observer(&counting);
+  (void)cluster.run(core::ReissuePolicy::double_r(5.0, 0.3, 15.0, 0.8));
+  const sim::RunCounters c = counting.total();
+  EXPECT_EQ(c.arrivals * 2, c.reissues_issued + c.reissues_suppressed_coin +
+                                c.reissues_suppressed_completed);
+}
+
+TEST(Counters, AccumulatesAcrossRuns) {
+  auto cluster = sim::workloads::make_independent(small_options());
+  CountingObserver counting;
+  cluster.set_sim_observer(&counting);
+  (void)cluster.run(core::ReissuePolicy::single_r(10.0, 0.5));
+  (void)cluster.run(core::ReissuePolicy::single_r(10.0, 0.5));
+  EXPECT_EQ(counting.runs(), 2u);
+  EXPECT_EQ(counting.total().arrivals, 4000u);
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+TEST(Counters, FormatCountersPinsTheGlossaryLines) {
+  sim::RunCounters c;
+  c.arrivals = 10;
+  c.heap_pops = 11;
+  c.scan_pops = 1;
+  c.stage_checks = 4;
+  c.stage_retired = 2;
+  c.reissues_issued = 3;
+  c.reissues_suppressed_completed = 5;
+  c.reissues_suppressed_coin = 2;
+  c.reissues_wasted = 1;
+  c.copies_cancelled = 0;
+  c.interference_episodes = 0;
+  c.reissue_inflight_peak = 2;
+  c.arena_slots = 10;
+  EXPECT_EQ(format_counters(c, 1),
+            "runs 1\n"
+            "arrivals 10\n"
+            "heap_pops 11\n"
+            "scan_pops 1\n"
+            "stage_checks 4\n"
+            "stage_retired 2\n"
+            "reissues_issued 3\n"
+            "reissues_suppressed_completed 5\n"
+            "reissues_suppressed_coin 2\n"
+            "reissues_wasted 1\n"
+            "copies_cancelled 0\n"
+            "interference_episodes 0\n"
+            "reissue_inflight_peak 2\n"
+            "arena_slots_high_water 10\n");
+}
+
+TEST(Counters, PlusEqualsSumsCountsAndMaxesPeaks) {
+  sim::RunCounters a;
+  a.arrivals = 5;
+  a.reissue_inflight_peak = 3;
+  a.arena_slots = 100;
+  sim::RunCounters b;
+  b.arrivals = 7;
+  b.reissue_inflight_peak = 2;
+  b.arena_slots = 200;
+  a += b;
+  EXPECT_EQ(a.arrivals, 12u);
+  EXPECT_EQ(a.reissue_inflight_peak, 3u);  // peak, not sum
+  EXPECT_EQ(a.arena_slots, 200u);          // high water, not sum
+}
+
+TEST(PhaseTimers, AccumulatesScopesSortedByName) {
+  PhaseTimers timers;
+  { PhaseTimer scope(&timers, "train"); }
+  { PhaseTimer scope(&timers, "train"); }
+  { PhaseTimer scope(&timers, "evaluate"); }
+  const auto entries = timers.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].phase, "evaluate");
+  EXPECT_EQ(entries[0].count, 1u);
+  EXPECT_EQ(entries[1].phase, "train");
+  EXPECT_EQ(entries[1].count, 2u);
+  EXPECT_GE(entries[1].seconds, 0.0);
+  const std::string text = format_timers(timers);
+  EXPECT_NE(text.find("evaluate "), std::string::npos);
+  EXPECT_NE(text.find("train "), std::string::npos);
+}
+
+TEST(PhaseTimers, NullRegistryMakesScopesFree) {
+  PhaseTimer scope(nullptr, "anything");  // must not crash or allocate
+}
+
+TEST(MultiObserver, ForwardsToEveryChildAndIgnoresNull) {
+  CountingObserver a;
+  CountingObserver b;
+  MultiObserver multi;
+  EXPECT_TRUE(multi.empty());
+  multi.add(nullptr);
+  EXPECT_TRUE(multi.empty());
+  multi.add(&a);
+  multi.add(&b);
+  EXPECT_FALSE(multi.empty());
+
+#if REISSUE_OBS_ENABLED
+  auto cluster = sim::workloads::make_independent(small_options());
+  cluster.set_sim_observer(&multi);
+  (void)cluster.run(core::ReissuePolicy::single_r(10.0, 0.5));
+  EXPECT_EQ(a.runs(), 1u);
+  EXPECT_EQ(b.runs(), 1u);
+  EXPECT_EQ(a.total().arrivals, b.total().arrivals);
+#endif
+}
+
+}  // namespace
+}  // namespace reissue::obs

@@ -1,0 +1,194 @@
+// The observability layer's hard contract: observers are passive.  A run
+// with any combination of observers attached must produce bit-identical
+// results to an unobserved run — same RNG streams, same event order, same
+// logs — and sweep CSVs must stay byte-identical across thread counts
+// with observation compiled in and attached.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/runner.hpp"
+#include "reissue/exp/scenario.hpp"
+#include "reissue/obs/counters.hpp"
+#include "reissue/obs/timeseries.hpp"
+#include "reissue/obs/trace.hpp"
+#include "reissue/obs/trace_ring.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/service_model.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::obs {
+namespace {
+
+sim::workloads::WorkloadOptions run_options() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 1500;
+  opts.warmup = 150;
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.reissues_issued, b.reissues_issued);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.query_latencies, b.query_latencies);
+  EXPECT_EQ(a.primary_latencies, b.primary_latencies);
+  EXPECT_EQ(a.reissue_latencies, b.reissue_latencies);
+  EXPECT_EQ(a.reissue_delays, b.reissue_delays);
+  EXPECT_EQ(a.correlated_pairs, b.correlated_pairs);
+}
+
+exp::SweepOptions sweep_options(std::size_t threads) {
+  exp::SweepOptions options;
+  options.replications = 3;
+  options.threads = threads;
+  options.seed = 0x5eed;
+  return options;
+}
+
+std::string sweep_csv(const std::vector<exp::ScenarioSpec>& scenarios,
+                      const exp::SweepOptions& options) {
+  std::ostringstream csv;
+  exp::write_csv(csv, exp::aggregate(exp::run_sweep(scenarios, options)));
+  return csv.str();
+}
+
+std::vector<exp::ScenarioSpec> sweep_scenarios() {
+  return {exp::parse_scenario(
+      "name=obs-identity kind=queueing util=0.4 servers=8 queries=800 "
+      "warmup=80 policy=r:12:0.5 policy=d:20")};
+}
+
+// The identity tests attach real observers to real runs, which requires
+// observability compiled in; under -DREISSUE_OBS=OFF there is nothing to
+// compare against (hooks are dead code by construction).
+#if REISSUE_OBS_ENABLED
+
+TEST(ObserverIdentity, FullObserverStackLeavesRunResultsBitIdentical) {
+  const auto policy = core::ReissuePolicy::single_r(12.0, 0.5);
+
+  auto plain = sim::workloads::make_queueing(0.4, 0.5, run_options());
+  const core::RunResult baseline = plain.run(policy);
+
+  std::ostringstream trace_json;
+  CountingObserver counting;
+  RingTraceObserver ring(1 << 16);
+  TimeSeriesObserver series({50.0, 0.99});
+  MultiObserver multi;
+  {
+    TraceObserver tracer(trace_json);
+    multi.add(&tracer);
+    multi.add(&ring);
+    multi.add(&series);
+    multi.add(&counting);
+    auto observed = sim::workloads::make_queueing(0.4, 0.5, run_options());
+    observed.set_sim_observer(&multi);
+    const core::RunResult traced = observed.run(policy);
+    expect_identical(traced, baseline);
+  }
+  // The observers really did watch the run.
+  EXPECT_EQ(counting.runs(), 1u);
+  EXPECT_GT(ring.ring().total_pushed(), 0u);
+  EXPECT_GT(trace_json.str().size(), 100u);
+}
+
+TEST(ObserverIdentity, KitchenSinkFeaturesStayIdenticalUnderObservation) {
+  // Cancellation, interference, heterogeneous speeds: the observer hooks
+  // sit on every one of those paths, so cover them all at once.
+  sim::ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.arrival_rate =
+      sim::arrival_rate_for_utilization(0.5, 6, 22.0);
+  cfg.queries = 1500;
+  cfg.warmup = 150;
+  cfg.load_balancer = sim::LoadBalancerKind::kMinOfTwo;
+  cfg.queue = sim::QueueDisciplineKind::kPrioritizedFifo;
+  cfg.exclude_primary_server = true;
+  cfg.cancel_on_completion = true;
+  cfg.cancellation_overhead = 0.1;
+  cfg.interference_rate = 0.002;
+  cfg.interference_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.server_speeds = {1.0, 1.0, 1.5, 1.0, 2.0, 1.0};
+  cfg.seed = 0x601de;
+  const auto policy = core::ReissuePolicy::single_r(15.0, 0.6);
+
+  auto make = [&] {
+    return sim::Cluster(
+        cfg, sim::make_correlated_service(
+                 stats::make_truncated(stats::make_pareto(1.1, 2.0), 5000.0),
+                 0.5));
+  };
+  auto plain = make();
+  const core::RunResult baseline = plain.run(policy);
+
+  CountingObserver counting;
+  auto observed = make();
+  observed.set_sim_observer(&counting);
+  expect_identical(observed.run(policy), baseline);
+  const sim::RunCounters c = counting.total();
+  EXPECT_GT(c.copies_cancelled, 0u);
+  EXPECT_GT(c.interference_episodes, 0u);
+}
+
+TEST(ObserverIdentity, SweepCsvUnchangedByObserversAcrossThreadCounts) {
+  const auto scenarios = sweep_scenarios();
+  const std::string baseline = sweep_csv(scenarios, sweep_options(1));
+
+  // Thread-safe observer, 1 and 2 worker threads.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    CountingObserver counting;
+    PhaseTimers timers;
+    auto options = sweep_options(threads);
+    options.sim_observer = &counting;
+    options.timers = &timers;
+    EXPECT_EQ(sweep_csv(scenarios, options), baseline)
+        << "threads=" << threads;
+    EXPECT_EQ(counting.runs(), 2 * 3u);  // cells * replications
+    EXPECT_FALSE(timers.entries().empty());
+  }
+
+  // Single-threaded observers (trace + time-series + ring) all at once.
+  std::ostringstream trace_json;
+  TraceObserver tracer(trace_json);
+  RingTraceObserver ring(1 << 14);
+  TimeSeriesObserver series({100.0, 0.99});
+  MultiObserver multi;
+  multi.add(&tracer);
+  multi.add(&ring);
+  multi.add(&series);
+  auto options = sweep_options(1);
+  options.sim_observer = &multi;
+  EXPECT_EQ(sweep_csv(scenarios, options), baseline);
+  EXPECT_GT(ring.ring().total_pushed(), 0u);
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+TEST(ObserverIdentity, ProgressCallbackReportsEveryCellOnce) {
+  const auto scenarios = sweep_scenarios();
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> last_done{0};
+  std::atomic<std::size_t> total{0};
+  auto options = sweep_options(2);
+  options.on_cell_done = [&](std::size_t done, std::size_t cells) {
+    ++calls;
+    last_done = done;
+    total = cells;
+  };
+  const std::string csv = sweep_csv(scenarios, options);
+  EXPECT_EQ(calls.load(), 2u);      // one per cell
+  EXPECT_EQ(last_done.load(), 2u);  // monotone, ends at cells_total
+  EXPECT_EQ(total.load(), 2u);
+  EXPECT_EQ(csv, sweep_csv(scenarios, sweep_options(1)));
+}
+
+}  // namespace
+}  // namespace reissue::obs

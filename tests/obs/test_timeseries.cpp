@@ -1,0 +1,189 @@
+// Windowed time-series observer: CSV shape, window bookkeeping, and the
+// windowed-vs-end-of-run tail consistency contract.
+#include "reissue/obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/stats/tail_summary.hpp"
+
+namespace reissue::obs {
+namespace {
+
+sim::workloads::WorkloadOptions no_warmup_options() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 1500;
+  opts.warmup = 0;  // RunResult and the observer then see the same queries
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+struct CsvRow {
+  std::uint32_t run = 0;
+  std::uint64_t window = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+  std::string series;
+  std::string server;
+  double value = 0.0;
+};
+
+std::vector<CsvRow> parse_csv(const TimeSeriesObserver& observer) {
+  std::ostringstream out;
+  observer.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  EXPECT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, TimeSeriesObserver::kCsvHeader);
+  std::vector<CsvRow> rows;
+  while (std::getline(in, line)) {
+    std::istringstream cells(line);
+    std::string cell;
+    CsvRow row;
+    std::getline(cells, cell, ',');
+    row.run = static_cast<std::uint32_t>(std::stoul(cell));
+    std::getline(cells, cell, ',');
+    row.window = std::stoull(cell);
+    std::getline(cells, cell, ',');
+    row.t_start = std::stod(cell);
+    std::getline(cells, cell, ',');
+    row.t_end = std::stod(cell);
+    std::getline(cells, row.series, ',');
+    std::getline(cells, row.server, ',');
+    std::getline(cells, cell);
+    row.value = std::stod(cell);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(TimeSeries, ValidatesOptions) {
+  EXPECT_THROW(TimeSeriesObserver({0.0, 0.99}), std::invalid_argument);
+  EXPECT_THROW(TimeSeriesObserver({-1.0, 0.99}), std::invalid_argument);
+  EXPECT_THROW(TimeSeriesObserver({100.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(TimeSeriesObserver({100.0, 1.0}), std::invalid_argument);
+}
+
+// Sim-driven tests below need the simulator to actually call the hooks,
+// which only happens with observability compiled in.
+#if REISSUE_OBS_ENABLED
+
+TEST(TimeSeries, WindowedTailAgreesWithEndOfRunSummary) {
+  // The observer's overall() digest must agree *exactly* with a
+  // TailSummary fed the same latencies in a different order: the
+  // histogram quantile is a pure function of the latency multiset.
+  TimeSeriesObserver observer({25.0, 0.99});
+  auto observed = sim::workloads::make_queueing(0.4, 0.5, no_warmup_options());
+  observed.set_sim_observer(&observer);
+  const auto policy = core::ReissuePolicy::single_r(12.0, 0.5);
+  (void)observed.run(policy);
+
+  auto plain = sim::workloads::make_queueing(0.4, 0.5, no_warmup_options());
+  const core::RunResult result = plain.run(policy);
+  ASSERT_EQ(result.query_latencies.size(), 1500u);
+
+  stats::TailSummary reference(0.99);
+  // Reverse order: order independence is part of the contract.
+  for (auto it = result.query_latencies.rbegin();
+       it != result.query_latencies.rend(); ++it) {
+    reference.add(*it);
+  }
+  EXPECT_EQ(observer.overall().count(), reference.count());
+  EXPECT_EQ(observer.overall().quantile(), reference.quantile());
+  EXPECT_EQ(observer.overall().max(), reference.max());
+}
+
+TEST(TimeSeries, CompletionsAcrossWindowsSumToTheQueryCount) {
+  TimeSeriesObserver observer({50.0, 0.99});
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, no_warmup_options());
+  cluster.set_sim_observer(&observer);
+  (void)cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+
+  double completions = 0.0;
+  for (const CsvRow& row : parse_csv(observer)) {
+    if (row.series == "completions") completions += row.value;
+  }
+  EXPECT_EQ(completions, 1500.0);
+}
+
+TEST(TimeSeries, WindowsTileSimulatedTime) {
+  const double window = 40.0;
+  TimeSeriesObserver observer({window, 0.99});
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, no_warmup_options());
+  cluster.set_sim_observer(&observer);
+  (void)cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+
+  const auto rows = parse_csv(observer);
+  ASSERT_FALSE(rows.empty());
+  double max_t_end = 0.0;
+  for (const CsvRow& row : rows) {
+    EXPECT_EQ(row.t_start, row.window * window);
+    EXPECT_LE(row.t_end, row.t_start + window);
+    EXPECT_GT(row.t_end, row.t_start);
+    max_t_end = std::max(max_t_end, row.t_end);
+  }
+  // Only the final (truncated) window may end off the grid.
+  for (const CsvRow& row : rows) {
+    if (row.t_end != max_t_end) EXPECT_EQ(row.t_end, (row.window + 1) * window);
+  }
+}
+
+TEST(TimeSeries, EmitsPerServerDepthAndBusySeries) {
+  TimeSeriesObserver observer({50.0, 0.99});
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, no_warmup_options());
+  cluster.set_sim_observer(&observer);
+  (void)cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+
+  bool saw_depth = false;
+  bool saw_busy = false;
+  bool saw_global_blank_server = false;
+  for (const CsvRow& row : parse_csv(observer)) {
+    if (row.series == "queue_depth") {
+      saw_depth = true;
+      EXPECT_FALSE(row.server.empty());
+    }
+    if (row.series == "busy_fraction") {
+      saw_busy = true;
+      EXPECT_GE(row.value, 0.0);
+      EXPECT_LE(row.value, 1.0);
+    }
+    if (row.series == "inflight_reissues" && row.server.empty()) {
+      saw_global_blank_server = true;
+    }
+  }
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_busy);
+  EXPECT_TRUE(saw_global_blank_server);
+}
+
+TEST(TimeSeries, SecondRunRestartsWindowNumbering) {
+  TimeSeriesObserver observer({50.0, 0.99});
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, no_warmup_options());
+  cluster.set_sim_observer(&observer);
+  const auto policy = core::ReissuePolicy::single_r(12.0, 0.5);
+  (void)cluster.run(policy);
+  (void)cluster.run(policy);
+
+  std::map<std::uint32_t, std::uint64_t> first_window;
+  for (const CsvRow& row : parse_csv(observer)) {
+    const auto [it, inserted] = first_window.emplace(row.run, row.window);
+    if (!inserted && row.window < it->second) it->second = row.window;
+  }
+  ASSERT_EQ(first_window.size(), 2u);
+  EXPECT_EQ(first_window.at(1), 0u);
+  EXPECT_EQ(first_window.at(2), 0u);
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+}  // namespace
+}  // namespace reissue::obs

@@ -1,0 +1,140 @@
+// Schema-pinning tests for the Chrome trace-event JSON emitter: the
+// document frame, the event shapes, and the per-run process layout are
+// contract — Perfetto and chrome://tracing load this format as-is, so any
+// change here is a visible format break, not an implementation detail.
+#include "reissue/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/workloads.hpp"
+
+namespace reissue::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (auto pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+sim::workloads::WorkloadOptions tiny_options() {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 50;
+  opts.warmup = 0;
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+std::string trace_of(sim::Cluster cluster, const core::ReissuePolicy& policy,
+                     TraceObserverOptions options = {}, int runs = 1) {
+  std::ostringstream out;
+  {
+    TraceObserver tracer(out, options);
+    cluster.set_sim_observer(&tracer);
+    for (int r = 0; r < runs; ++r) (void)cluster.run(policy);
+    tracer.finish();
+  }
+  return out.str();
+}
+
+TEST(Trace, DocumentFrameIsTheTraceEventObjectFormat) {
+  const std::string json =
+      trace_of(sim::workloads::make_queueing(0.4, 0.5, tiny_options()),
+               core::ReissuePolicy::single_r(12.0, 0.5));
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  ASSERT_GE(json.size(), 4u);
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+  // Every event object is one line; no trailing comma before the close.
+  EXPECT_EQ(count_occurrences(json, ",\n]"), 0u);
+}
+
+// Event-content assertions need the simulator to call the hooks, which
+// only happens with observability compiled in (the frame and finish
+// tests above/below hold either way).
+#if REISSUE_OBS_ENABLED
+
+TEST(Trace, EmitsMetadataInstantsSpansAndCounters) {
+  const std::string json =
+      trace_of(sim::workloads::make_queueing(0.4, 0.5, tiny_options()),
+               core::ReissuePolicy::single_r(12.0, 0.5));
+  // Process/thread naming metadata.
+  EXPECT_GE(count_occurrences(json, "\"ph\":\"M\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"process_name\""), 1u);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"client\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"server 0\"}"), std::string::npos);
+  // One arrival instant per query, on the client track (tid 0).
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"arrival\""), 50u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"done\""), 50u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"reissue-scheduled\""), 50u);
+  // Service spans are complete events with durations.
+  EXPECT_GE(count_occurrences(json, "\"ph\":\"X\""), 50u);
+  EXPECT_GT(count_occurrences(json, "\"dur\":"), 0u);
+  EXPECT_GT(count_occurrences(json, "\"name\":\"primary\""), 0u);
+  // Queue-depth counter events for the finite servers.
+  EXPECT_GT(count_occurrences(json, "\"ph\":\"C\""), 0u);
+  EXPECT_NE(json.find("\"name\":\"queue\""), std::string::npos);
+  // Suppressions carry their cause.
+  const auto suppressed = count_occurrences(json, "\"name\":\"reissue-suppressed\"");
+  const auto issued = count_occurrences(json, "\"name\":\"reissue-issued\"");
+  EXPECT_EQ(suppressed + issued, 50u);
+  if (suppressed > 0) {
+    EXPECT_GT(count_occurrences(json, "\"by\":\"completion\"") +
+                  count_occurrences(json, "\"by\":\"coin\""),
+              0u);
+  }
+}
+
+TEST(Trace, EachRunBecomesItsOwnProcess) {
+  const std::string json =
+      trace_of(sim::workloads::make_queueing(0.4, 0.5, tiny_options()),
+               core::ReissuePolicy::single_r(12.0, 0.5), {}, /*runs=*/2);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"run 1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"run 2\"}"), std::string::npos);
+  EXPECT_GT(count_occurrences(json, "\"pid\":2,"), 0u);
+}
+
+TEST(Trace, InfiniteServerRunsFanSpansAcrossLanes) {
+  const std::string json =
+      trace_of(sim::workloads::make_independent(tiny_options()),
+               core::ReissuePolicy::single_r(10.0, 0.5));
+  EXPECT_NE(json.find("\"args\":{\"name\":\"lane 0\"}"), std::string::npos);
+  // No finite servers, so no queue-depth counters.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 0u);
+}
+
+TEST(Trace, OptionsGateTheOptionalEventFamilies) {
+  TraceObserverOptions options;
+  options.scheduled_instants = false;
+  options.counter_events = false;
+  options.dispatch_instants = true;
+  options.response_instants = true;
+  const std::string json =
+      trace_of(sim::workloads::make_queueing(0.4, 0.5, tiny_options()),
+               core::ReissuePolicy::single_r(12.0, 0.5), options);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"reissue-scheduled\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"dispatch\""), 50u + count_occurrences(json, "\"name\":\"reissue-issued\""));
+  EXPECT_GE(count_occurrences(json, "\"name\":\"response\""), 50u);
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+TEST(Trace, FinishIsIdempotent) {
+  std::ostringstream out;
+  TraceObserver tracer(out);
+  tracer.finish();
+  tracer.finish();
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+}  // namespace
+}  // namespace reissue::obs

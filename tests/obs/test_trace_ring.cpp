@@ -1,0 +1,173 @@
+// Binary trace ring: overwrite-oldest semantics, file round trip, and the
+// trace-summarize digest.
+#include "reissue/obs/trace_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/workloads.hpp"
+
+namespace reissue::obs {
+namespace {
+
+class TempPath {
+ public:
+  TempPath() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("reissue_ring_test_" + std::to_string(counter_++) + ".bin"))
+                .string();
+  }
+  ~TempPath() { std::filesystem::remove(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+TraceRecord record_at(double ts) {
+  TraceRecord r;
+  r.ts = ts;
+  r.event = static_cast<std::uint8_t>(TraceEventKind::kArrival);
+  r.query = static_cast<std::uint64_t>(ts);
+  return r;
+}
+
+TEST(TraceRing, RejectsZeroCapacity) {
+  EXPECT_THROW(TraceRing(0), std::invalid_argument);
+}
+
+TEST(TraceRing, KeepsTheNewestEventsOldestFirst) {
+  TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) ring.push(record_at(i));
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().ts, 2.0);
+  EXPECT_EQ(records.back().ts, 5.0);
+}
+
+TEST(TraceRing, SnapshotBeforeWrapIsInsertionOrder) {
+  TraceRing ring(8);
+  for (int i = 0; i < 3; ++i) ring.push(record_at(i));
+  const auto records = ring.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].ts, 0.0);
+  EXPECT_EQ(records[2].ts, 2.0);
+}
+
+TEST(TraceRing, FileRoundTripPreservesRecordsAndTotal) {
+  TraceRing ring(4);
+  for (int i = 0; i < 7; ++i) ring.push(record_at(i));
+  TempPath file;
+  write_trace_ring(file.path(), ring);
+  const TraceRingFile loaded = read_trace_ring(file.path());
+  EXPECT_EQ(loaded.total_pushed, 7u);
+  ASSERT_EQ(loaded.records.size(), 4u);
+  EXPECT_EQ(loaded.records.front().ts, 3.0);
+  EXPECT_EQ(loaded.records.back().ts, 6.0);
+  EXPECT_EQ(loaded.records.back().query, 6u);
+}
+
+TEST(TraceRing, ReadRejectsMissingAndMalformedFiles) {
+  EXPECT_THROW(read_trace_ring("/nonexistent/ring.bin"), std::runtime_error);
+  TempPath file;
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "not a ring file";
+  }
+  EXPECT_THROW(read_trace_ring(file.path()), std::runtime_error);
+}
+
+// The RingTraceObserver tests drive real runs and need the simulator to
+// call the hooks, i.e. observability compiled in.
+#if REISSUE_OBS_ENABLED
+
+TEST(RingTraceObserver, EventCountsMatchTheRunInvariants) {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 500;
+  opts.warmup = 0;  // so RunResult counts the same reissues the ring sees
+  opts.seed = 0x5eed;
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, opts);
+  RingTraceObserver observer(1 << 16);
+  cluster.set_sim_observer(&observer);
+  const auto result = cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+
+  std::size_t arrivals = 0;
+  std::size_t done = 0;
+  std::size_t issued = 0;
+  std::size_t suppressed = 0;
+  std::size_t dispatches = 0;
+  std::size_t completes = 0;
+  for (const TraceRecord& r : observer.ring().snapshot()) {
+    switch (static_cast<TraceEventKind>(r.event)) {
+      case TraceEventKind::kArrival: ++arrivals; break;
+      case TraceEventKind::kQueryDone: ++done; break;
+      case TraceEventKind::kReissueIssued: ++issued; break;
+      case TraceEventKind::kReissueSuppressedCompletion:
+      case TraceEventKind::kReissueSuppressedCoin: ++suppressed; break;
+      case TraceEventKind::kDispatch: ++dispatches; break;
+      case TraceEventKind::kCopyComplete: ++completes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(arrivals, 500u);
+  EXPECT_EQ(done, 500u);
+  EXPECT_EQ(issued + suppressed, 500u);
+  EXPECT_EQ(issued, result.reissues_issued);
+  EXPECT_EQ(dispatches, arrivals + issued);
+  EXPECT_EQ(completes, dispatches);  // no cancellation in this workload
+}
+
+TEST(RingTraceObserver, SummarizeReportsCountsAndLatencyDigest) {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 300;
+  opts.warmup = 0;
+  opts.seed = 0x5eed;
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, opts);
+  RingTraceObserver observer(1 << 16);
+  cluster.set_sim_observer(&observer);
+  (void)cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+
+  TempPath file;
+  write_trace_ring(file.path(), observer.ring());
+  const std::string digest = summarize_trace(read_trace_ring(file.path()));
+  EXPECT_NE(digest.find("events retained"), std::string::npos);
+  EXPECT_NE(digest.find("arrival 300"), std::string::npos);
+  EXPECT_NE(digest.find("query-done 300"), std::string::npos);
+  EXPECT_NE(digest.find("query latency mean"), std::string::npos);
+  EXPECT_NE(digest.find("(n=300)"), std::string::npos);
+  EXPECT_NE(digest.find("busiest servers"), std::string::npos);
+}
+
+TEST(RingTraceObserver, OverwritesOldestWhenUndersized) {
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = 500;
+  opts.warmup = 0;
+  opts.seed = 0x5eed;
+  auto cluster = sim::workloads::make_queueing(0.4, 0.5, opts);
+  RingTraceObserver observer(64);
+  cluster.set_sim_observer(&observer);
+  (void)cluster.run(core::ReissuePolicy::single_r(12.0, 0.5));
+  EXPECT_EQ(observer.ring().size(), 64u);
+  EXPECT_GT(observer.ring().total_pushed(), 64u);
+  // Retained events are the newest, still sorted oldest-first.
+  const auto records = observer.ring().snapshot();
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].ts, records[i].ts);
+  }
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+}  // namespace
+}  // namespace reissue::obs

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace reissue::runtime {
@@ -40,6 +41,39 @@ TEST(ThreadPool, DrainsOnDestruction) {
     }
   }  // destructor joins
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, StatsTrackSubmissionAndCompletion) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  const ThreadPoolStats s = pool.stats();
+  EXPECT_EQ(s.threads, 2u);
+  EXPECT_EQ(s.submitted, 50u);
+  EXPECT_EQ(s.completed, 50u);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.active, 0u);
+}
+
+TEST(ThreadPool, StatsSeeInFlightWork) {
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!started.load()) std::this_thread::yield();
+  const ThreadPoolStats mid = pool.stats();
+  EXPECT_EQ(mid.active, 1u);
+  EXPECT_EQ(mid.submitted, 1u);
+  EXPECT_EQ(mid.completed, 0u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.stats().completed, 1u);
 }
 
 TEST(ParallelFor, CoversAllIndicesExactlyOnce) {

@@ -187,6 +187,78 @@ TEST(ReissueClient, ConcurrentSubmittersAreSafe) {
   EXPECT_NEAR(rate, 0.5, 0.07);
 }
 
+TEST(ReissueClient, StatsCountSuppressionByCompletion) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_d(5.0), fast_config());
+  constexpr std::uint64_t kQueries = 20;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    client.submit(i);
+    client.on_response(i);  // complete before the 5 ms deadline
+  }
+  client.drain();
+  const ReissueClientStats s = client.stats();
+  EXPECT_EQ(s.queries_submitted, kQueries);
+  EXPECT_EQ(s.first_responses, kQueries);
+  EXPECT_EQ(s.reissues_issued, 0u);
+  EXPECT_EQ(s.reissues_suppressed_completed, kQueries);
+  EXPECT_EQ(s.reissues_suppressed_coin, 0u);
+  EXPECT_EQ(s.pending_reissues, 0u);
+  EXPECT_EQ(s.table_occupancy, 0u);
+}
+
+TEST(ReissueClient, StatsCountCoinSuppression) {
+  WallClock clock;
+  RecordingBackend backend;
+  // q=0 and nothing completes: every scheduled reissue loses the coin.
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_r(0.0, 0.0), fast_config());
+  constexpr std::uint64_t kQueries = 100;
+  for (std::uint64_t i = 0; i < kQueries; ++i) client.submit(i);
+  client.drain();
+  const ReissueClientStats s = client.stats();
+  EXPECT_EQ(s.reissues_issued, 0u);
+  EXPECT_EQ(s.reissues_suppressed_coin, kQueries);
+  EXPECT_EQ(s.reissues_suppressed_completed, 0u);
+  EXPECT_TRUE(backend.reissues().empty());
+}
+
+TEST(ReissueClient, StatsExposeLatencyDigestAndOccupancy) {
+  WallClock clock;
+  RecordingBackend backend;
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::none(), fast_config());
+  constexpr std::uint64_t kQueries = 200;
+  for (std::uint64_t i = 0; i < kQueries; ++i) {
+    client.submit(i);
+    client.on_response(i);
+  }
+  const ReissueClientStats s = client.stats();
+  EXPECT_EQ(s.latency_samples, kQueries);
+  EXPECT_GE(s.latency_p50_ms, 0.0);
+  EXPECT_GE(s.latency_p99_ms, 0.0);
+  EXPECT_GE(s.latency_p999_ms, 0.0);
+  EXPECT_EQ(s.table_occupancy, 0u);  // everything answered
+  EXPECT_GT(s.table_capacity, 0u);
+}
+
+TEST(ReissueClient, StatsPendingReissuesIsALiveGauge) {
+  WallClock clock;
+  RecordingBackend backend;
+  // Deadline far in the future: entries sit in the heap while we look.
+  ReissueClient client(clock, backend.dispatch(),
+                       core::ReissuePolicy::single_d(60000.0), fast_config());
+  for (std::uint64_t i = 0; i < 5; ++i) client.submit(i);
+  ReissueClientStats s = client.stats();
+  EXPECT_EQ(s.pending_reissues, 5u);
+  EXPECT_EQ(s.table_occupancy, 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) client.on_response(i);
+  s = client.stats();
+  EXPECT_EQ(s.table_occupancy, 0u);   // answered queries leave the table
+  EXPECT_EQ(s.pending_reissues, 5u);  // heap entries retire at fire time
+}
+
 TEST(ReissueClient, RejectsBadConstruction) {
   WallClock clock;
   EXPECT_THROW(ReissueClient(clock, nullptr, core::ReissuePolicy::none()),
