@@ -6,6 +6,8 @@
 // queries/sec counter is the figure recorded in BENCH_sim_throughput.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <vector>
 
 #include "reissue/exp/runner.hpp"
@@ -125,22 +127,56 @@ void BM_ClusterRunSingleR(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterRunSingleR)->Arg(10000)->Arg(40000);
 
+core::LogMode bench_log_mode(std::int64_t arg) {
+  switch (arg) {
+    case 0: return core::LogMode::kFull;
+    case 1: return core::LogMode::kStreaming;
+    default: return core::LogMode::kStreamingUnordered;
+  }
+}
+
+constexpr const char* kModeNames[] = {"full", "replay", "completion"};
+
 /// The experiment engine's unit of work — run_cell_replication — at 10^6
 /// queries per cell.  Arg(0) selects the policy grid point, Arg(1) the
 /// core::LogMode (0 = full logs + exact sorted percentiles, 1 = streaming
-/// TailSummary accumulators).  The "queries/s" counter is the sweep-cell
+/// accumulators fed by the replay pass, 2 = completion-order streaming,
+/// the sweep default).  The "queries/s" counter is the sweep-cell
 /// throughput the ROADMAP tracks.
+///
+/// The setup-vs-run split: cold_ms times one replication on a freshly
+/// constructed Cluster (workload build + cold simulation scratch: arena,
+/// event storage, server pool), warm_ms one replication after the scratch
+/// is warm — the steady-state cost every later replication of a sweep
+/// cell pays.  setup_ms is their difference, i.e. what cell-granular
+/// scheduling amortizes across a cell's replications.
 void BM_ReplicationPipeline(benchmark::State& state) {
   constexpr std::size_t kQueries = 1000000;
   const bool reissue = state.range(0) != 0;
-  const auto mode = state.range(1) == 0 ? core::LogMode::kFull
-                                        : core::LogMode::kStreaming;
+  const auto mode = bench_log_mode(state.range(1));
   sim::workloads::WorkloadOptions opts;
   opts.queries = kQueries;
   opts.warmup = kQueries / 10;
-  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
   const exp::PolicySpec spec = exp::parse_policy_spec(
       reissue ? "r:30:0.5" : "none");
+
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto ms = [](auto d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+  const auto t0 = now();
+  sim::Cluster fresh = sim::workloads::make_queueing(0.30, 0.5, opts);
+  benchmark::DoNotOptimize(
+      exp::run_cell_replication(fresh, spec, 0.99, opts.seed, mode));
+  const auto t1 = now();
+  benchmark::DoNotOptimize(
+      exp::run_cell_replication(fresh, spec, 0.99, opts.seed, mode));
+  const auto t2 = now();
+  state.counters["cold_ms"] = ms(t1 - t0);
+  state.counters["warm_ms"] = ms(t2 - t1);
+  state.counters["setup_ms"] = ms((t1 - t0) - (t2 - t1));
+
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         exp::run_cell_replication(cluster, spec, 0.99, opts.seed, mode));
@@ -150,13 +186,47 @@ void BM_ReplicationPipeline(benchmark::State& state) {
   state.counters["queries/s"] = benchmark::Counter(
       static_cast<double>(state.iterations() * kQueries),
       benchmark::Counter::kIsRate);
+  state.SetLabel(kModeNames[state.range(1)]);
 }
 BENCHMARK(BM_ReplicationPipeline)
-    ->ArgNames({"reissue", "streaming"})
+    ->ArgNames({"reissue", "mode"})
     ->Args({0, 0})
     ->Args({0, 1})
+    ->Args({0, 2})
     ->Args({1, 0})
     ->Args({1, 1})
+    ->Args({1, 2})
+    ->Unit(benchmark::kMillisecond);
+
+/// The three metric modes head to head on one mid-size cell: full
+/// sorted-log percentiles, replay-order streaming (the golden reference)
+/// and completion-order streaming (the default).  Isolates what the
+/// metric-accumulation strategy itself costs, with the workload, policy
+/// and seed held fixed.
+void BM_MetricModes(benchmark::State& state) {
+  constexpr std::size_t kQueries = 100000;
+  const auto mode = bench_log_mode(state.range(0));
+  sim::workloads::WorkloadOptions opts;
+  opts.queries = kQueries;
+  opts.warmup = kQueries / 10;
+  sim::Cluster cluster = sim::workloads::make_queueing(0.30, 0.5, opts);
+  const exp::PolicySpec spec = exp::parse_policy_spec("r:30:0.5");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exp::run_cell_replication(cluster, spec, 0.99, opts.seed, mode));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<benchmark::IterationCount>(kQueries));
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kQueries),
+      benchmark::Counter::kIsRate);
+  state.SetLabel(kModeNames[state.range(0)]);
+}
+BENCHMARK(BM_MetricModes)
+    ->ArgNames({"mode"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_OptimalInTheLoop(benchmark::State& state) {

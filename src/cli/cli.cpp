@@ -45,7 +45,8 @@ usage:
   reissue_cli sweep    --scenarios NAME[,NAME...] | --spec "name=... kind=..."
                        [--policies SPEC[,SPEC...]] [--replications N=8]
                        [--threads N=1] [--seed S] [--percentile K]
-                       [--queries N] [--warmup N] [--full-logs]
+                       [--queries N] [--warmup N]
+                       [--metric-mode completion|replay|full] [--full-logs]
                        [--output FILE] [--stats] [--progress]
                        [--trace FILE] [--trace-bin FILE [--trace-capacity N]]
                        [--timeseries FILE --window W]
@@ -66,6 +67,15 @@ training run on the replication's own seed substream feeds the section 4.1
 scan (":corr": the section 4.2 correlation-aware variant; optimal-d: the
 Eq. (2) deadline policy), and the chosen (d, q) is then measured.
 
+metric modes (--metric-mode, default completion):
+  completion  streaming accumulators fed in completion order from inside
+              the event loop (fastest; histogram tail / counts / rates
+              bit-identical to replay, P2 column differs deterministically)
+  replay      streaming accumulators fed in query-id order via the
+              end-of-run replay pass (the golden-pinned reference)
+  full        exact sorted-log percentiles from materialized logs
+              (--full-logs is the legacy spelling)
+
 observability (passive: never changes sweep output):
   --trace FILE       Chrome trace-event JSON (Perfetto / chrome://tracing);
                      requires --threads 1
@@ -74,7 +84,9 @@ observability (passive: never changes sweep output):
                      size in events (default 1048576, overwrite-oldest)
   --timeseries FILE  windowed time-series CSV; requires --threads 1 and
                      --window W (simulated-time window width)
-  --stats            run counters + wall-clock phase timers on stderr
+  --stats            run counters + wall-clock phase timers on stderr,
+                     plus one per-cell counter line (heap/scan pops, stage
+                     checks/retired) as each cell completes
                      (shard mode: per-cell timings side file instead)
   --progress         per-cell progress + ETA on stderr
 )";
@@ -387,9 +399,28 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       !(options.percentile > 0.0 && options.percentile < 1.0)) {
     throw std::runtime_error("--percentile must be in (0,1)");
   }
-  // Streaming accumulators are the default; --full-logs restores exact
-  // sorted-log percentiles (materializes per-query logs per replication).
-  if (args.has("full-logs")) options.log_mode = core::LogMode::kFull;
+  // Completion-order streaming accumulators are the default; --metric-mode
+  // selects the replay-order streaming reference or exact sorted-log
+  // percentiles (--full-logs is the legacy spelling of full).
+  if (args.has("metric-mode")) {
+    const std::string mode = require_value(args, "metric-mode", "sweep");
+    if (mode == "completion") {
+      options.log_mode = core::LogMode::kStreamingUnordered;
+    } else if (mode == "replay") {
+      options.log_mode = core::LogMode::kStreaming;
+    } else if (mode == "full") {
+      options.log_mode = core::LogMode::kFull;
+    } else {
+      throw std::runtime_error(
+          "--metric-mode must be completion|replay|full (got '" + mode + "')");
+    }
+    if (args.has("full-logs") && options.log_mode != core::LogMode::kFull) {
+      throw std::runtime_error(
+          "sweep: --full-logs contradicts --metric-mode " + mode);
+    }
+  } else if (args.has("full-logs")) {
+    options.log_mode = core::LogMode::kFull;
+  }
 
   // Observability flags.  All of them are passive diagnostics: the sweep
   // CSV on stdout / --output stays byte-identical with any combination.
@@ -515,6 +546,20 @@ int cmd_sweep(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (want_stats) {
     multi.add(&counting);
     options.timers = &timers;
+    // One stderr line per cell as it completes, so working-set regressions
+    // (heap/scan pops, stage checks/retired) are visible per cell without
+    // a profiler.  Counters cover every run the cell performed, training
+    // runs included; they are all-zero under -DREISSUE_OBS=OFF.
+    options.on_cell_stats = [&err, &err_mutex](const exp::CellResult& cell,
+                                               const sim::RunCounters& c,
+                                               std::uint64_t runs) {
+      std::lock_guard lock(err_mutex);
+      err << "cell " << cell.scenario << " " << cell.policy << ": runs "
+          << runs << " heap_pops " << c.heap_pops << " scan_pops "
+          << c.scan_pops << " stage_checks " << c.stage_checks
+          << " stage_retired " << c.stage_retired << " reissues_issued "
+          << c.reissues_issued << "\n";
+    };
   }
   if (!multi.empty()) options.sim_observer = &multi;
   if (want_progress) options.on_cell_done = make_progress(err, err_mutex);

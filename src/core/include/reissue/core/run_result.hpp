@@ -80,18 +80,33 @@ struct RunResult {
 ///                query count.
 ///   kStreaming — feed each observation into a RunObserver as the run
 ///                finalizes, without materializing the logs: O(1) memory
-///                per metric, the mode the experiment engine uses for
-///                deep-tail sweeps at 10^6 queries per cell.
-enum class LogMode { kFull, kStreaming };
+///                per metric, in the same query-id order kFull logs carry
+///                (the "replay" metric mode — golden-pinned against kFull).
+///   kStreamingUnordered
+///              — feed each observation into a RunObserver the moment it
+///                becomes known, in completion order, skipping the
+///                end-of-run replay pass over the per-query state
+///                entirely.  The observation *multiset* is identical to
+///                kStreaming (same values, bit-for-bit) but the delivery
+///                order is not, so order-sensitive accumulators (the P²
+///                sketch) produce different — still deterministic —
+///                estimates and carry their own pinned baselines.  The
+///                experiment engine's default for deep-tail sweeps.
+enum class LogMode { kFull, kStreaming, kStreamingUnordered };
 
-/// Streaming consumer of one run's observations (LogMode::kStreaming).
+/// Streaming consumer of one run's observations (LogMode::kStreaming and
+/// LogMode::kStreamingUnordered).
 ///
-/// Contract: queries are reported in query-id (arrival) order, each
-/// query's issued reissue copies in issue order; whether on_reissue calls
-/// interleave with on_query calls is unspecified.  on_complete fires
-/// exactly once, last, and carries the authoritative totals (observers
-/// must not count on_reissue calls to obtain reissues_issued: replayed
-/// runs omit cancelled copies).
+/// Ordered contract (kStreaming): queries are reported in query-id
+/// (arrival) order, each query's issued reissue copies in issue order;
+/// whether on_reissue calls interleave with on_query calls is unspecified.
+/// Unordered contract (kStreamingUnordered): the same calls with the same
+/// arguments arrive in an unspecified — but deterministic per (system,
+/// seed, policy) — order; a query is reported once all its inputs are
+/// known (for the DES cluster: at its primary copy's completion).  In both
+/// modes on_complete fires exactly once, last, and carries the
+/// authoritative totals (observers must not count on_reissue calls to
+/// obtain reissues_issued: cancelled copies are omitted).
 class RunObserver {
  public:
   virtual ~RunObserver() = default;
@@ -151,6 +166,18 @@ class SystemUnderTest {
   /// override this to skip log materialization entirely.
   virtual void run_streaming(const ReissuePolicy& policy,
                              RunObserver& observer);
+
+  /// Executes the workload under `policy`, streaming observations into
+  /// `observer` in completion order (LogMode::kStreamingUnordered).  The
+  /// unordered contract permits any deterministic delivery order, so the
+  /// default implementation simply delegates to run_streaming (replay
+  /// order is one legal order); systems with a native completion-order
+  /// path (the DES cluster) override this to accumulate metrics inside
+  /// the event loop and skip the finalize replay pass.
+  virtual void run_streaming_unordered(const ReissuePolicy& policy,
+                                       RunObserver& observer) {
+    run_streaming(policy, observer);
+  }
 
   /// Re-seeds the system's stochastic streams so the next run() is an
   /// independent replication.  Returns false when the system has no notion

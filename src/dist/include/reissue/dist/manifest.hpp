@@ -44,7 +44,7 @@ struct Manifest {
   std::size_t replications = 0;  ///< Replications per cell.
   std::uint64_t seed = 0;        ///< Root seed of the whole sweep.
   double percentile = 0.0;       ///< Sweep-wide override (0 = per-scenario).
-  core::LogMode log_mode = core::LogMode::kStreaming;
+  core::LogMode log_mode = core::LogMode::kStreamingUnordered;
   std::size_t rows = 0;          ///< Data rows in the raw CSV.
   std::uint64_t hash = 0;        ///< fnv1a64 of the raw CSV file bytes.
   /// exp::to_spec_string of every sweep scenario, in sweep order.

@@ -89,14 +89,23 @@ double parse_num(std::string_view what, std::string_view token) {
 }  // namespace
 
 std::string to_string(core::LogMode mode) {
-  return mode == core::LogMode::kFull ? "full" : "streaming";
+  switch (mode) {
+    case core::LogMode::kFull:
+      return "full";
+    case core::LogMode::kStreaming:
+      return "streaming";
+    case core::LogMode::kStreamingUnordered:
+      return "completion";
+  }
+  throw std::logic_error("manifest: unknown log mode");
 }
 
 core::LogMode log_mode_from_string(std::string_view token) {
   if (token == "full") return core::LogMode::kFull;
   if (token == "streaming") return core::LogMode::kStreaming;
-  throw std::runtime_error("manifest: log-mode must be full|streaming "
-                           "(got '" + std::string(token) + "')");
+  if (token == "completion") return core::LogMode::kStreamingUnordered;
+  throw std::runtime_error("manifest: log-mode must be full|streaming|"
+                           "completion (got '" + std::string(token) + "')");
 }
 
 std::string to_text(const Manifest& manifest) {

@@ -6,6 +6,15 @@
 // and each task writes only its own preallocated slot, so sweep output is
 // bit-identical for any thread count and any execution order.
 //
+// Scheduling granularity: when the sweep has at least as many cells as
+// worker threads (the common case), each task is a whole cell and its R
+// replications run back-to-back on one worker — every run after the first
+// reuses the worker's cached system, its warm simulation scratch and its
+// warm server pool, so per-run setup amortizes across the cell.  Small
+// sweeps fall back to one-task-per-replication to keep every thread busy.
+// The granularity is unobservable in the output (each replication is a
+// pure function of its seed).
+//
 // Seed derivation (SplitMix64 substreams of stats::rng):
 //   construction seed = substream(root, scenario name)        -- shared by
 //     every replication, so expensive substrates (Redis/Lucene traces) are
@@ -25,13 +34,16 @@
 #include "reissue/exp/scenario.hpp"
 
 namespace reissue::sim {
-class SimObserver;  // passive per-event hooks (sim/sim_observer.hpp)
+class SimObserver;   // passive per-event hooks (sim/sim_observer.hpp)
+struct RunCounters;  // whole-run counters (sim/sim_observer.hpp)
 }
 namespace reissue::obs {
 class PhaseTimers;  // wall-clock phase accumulators (obs/counters.hpp)
 }
 
 namespace reissue::exp {
+
+struct CellResult;  // defined below
 
 struct SweepOptions {
   /// Independent replications per cell (>= 1).
@@ -44,15 +56,20 @@ struct SweepOptions {
   /// When > 0, overrides every scenario's reporting percentile.
   double percentile = 0.0;
   /// How each replication's measurement run observes the system.
-  /// kStreaming (the default) feeds latencies straight into streaming
-  /// accumulators — stats::TailSummary histogram tail (<= 0.1% relative
-  /// error) and the P² sketch — without materializing logs, which is what
-  /// makes 10^6-query deep-tail cells affordable.  kFull keeps the exact
-  /// sorted-log percentiles.  Tuned policy specs always tune on full logs
-  /// (the optimizer needs the X/Y distributions); the mode only selects
-  /// how the final measurement run is observed.  Either mode is
-  /// bit-identical across thread counts.
-  core::LogMode log_mode = core::LogMode::kStreaming;
+  /// kStreamingUnordered (the default) feeds latencies straight into the
+  /// streaming accumulators — stats::TailSummary histogram tail (<= 0.1%
+  /// relative error) and the P² sketch — in completion order, from inside
+  /// the simulator's event loop, skipping the end-of-run replay pass
+  /// entirely; this is what makes 10^6-query deep-tail cells affordable.
+  /// kStreaming is the replay-order reference: the same accumulators fed
+  /// in query-id order (its histogram tail, counts and rates are
+  /// bit-identical to kStreamingUnordered; only the order-sensitive P²
+  /// column and the FP-summation mean differ, deterministically).  kFull
+  /// keeps the exact sorted-log percentiles.  Tuned policy specs always
+  /// tune on full logs (the optimizer needs the X/Y distributions); the
+  /// mode only selects how the final measurement run is observed.  Every
+  /// mode is bit-identical across thread counts and shard splits.
+  core::LogMode log_mode = core::LogMode::kStreamingUnordered;
   /// Optional passive observer installed on every sim::Cluster the sweep
   /// constructs (non-Cluster systems are left unobserved).  Hooks fire
   /// from worker threads, so with threads > 1 the observer must be
@@ -67,6 +84,18 @@ struct SweepOptions {
   /// replication: (cells_done, cells_total).  Called from worker threads;
   /// must be thread-safe and cheap.
   std::function<void(std::size_t, std::size_t)> on_cell_done;
+  /// Optional per-cell introspection: fired once per cell, after its last
+  /// replication, with the completed CellResult and the sim::RunCounters
+  /// accumulated over every run the cell performed (training runs of
+  /// tuned/optimal:* specs included) plus the run count.  Setting this
+  /// forces cell-granular scheduling (all replications of a cell on one
+  /// worker) so the counters can be attributed per cell; sweep output is
+  /// byte-identical either way.  Counters are all-zero for non-Cluster
+  /// systems and under -DREISSUE_OBS=OFF.  Called from worker threads;
+  /// must be thread-safe.
+  std::function<void(const CellResult&, const sim::RunCounters&,
+                     std::uint64_t runs)>
+      on_cell_stats;
 };
 
 /// Metrics of one replication of one cell.

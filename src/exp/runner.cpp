@@ -34,10 +34,14 @@ std::uint64_t scenario_stream(std::uint64_t root, std::string_view scenario) {
   return sm.next();
 }
 
+/// One unit of worker scheduling: replications [rep_begin, rep_end) of one
+/// cell.  Cell-granular scheduling emits one task per cell spanning all
+/// replications; replication-granular scheduling emits width-1 tasks.
 struct Task {
   std::size_t cell = 0;
   std::size_t scenario = 0;
-  std::size_t replication = 0;
+  std::size_t rep_begin = 0;
+  std::size_t rep_end = 0;
   const PolicySpec* policy = nullptr;
 };
 
@@ -189,10 +193,19 @@ ReplicationMetrics run_cell_replication(core::SystemUnderTest& system,
   metrics.seed = seed;
   metrics.policy = policy;
 
-  if (mode == core::LogMode::kStreaming) {
+  if (mode == core::LogMode::kStreaming ||
+      mode == core::LogMode::kStreamingUnordered) {
     obs::PhaseTimer scope(timers, "evaluate");
     StreamingMetricsObserver observer(k, policy);
-    system.run_streaming(policy, observer);
+    // Same accumulators either way; completion-order delivery feeds them
+    // from inside the event loop (no replay pass).  Every accumulator but
+    // the P² sketch and the FP-summation mean is order-insensitive, so
+    // those two columns are the only ones that differ between the modes.
+    if (mode == core::LogMode::kStreaming) {
+      system.run_streaming(policy, observer);
+    } else {
+      system.run_streaming_unordered(policy, observer);
+    }
     observer.fill(metrics);
     return metrics;
   }
@@ -270,7 +283,20 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
                                   const SweepOptions& options) {
   const std::vector<CellRef> plan = enumerate_cells(scenarios, options);
 
-  // Lay out cells in plan order, then fan (cell x replication) tasks.
+  std::size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  // Scheduling granularity (see the header): whole cells when there are
+  // enough of them to keep every worker busy — each cell's replications
+  // then run back-to-back on one worker, reusing its cached system and
+  // warm simulation scratch — else per-replication tasks.  Per-cell stats
+  // require cell granularity (counters are attributed per cell).
+  const bool cell_granular =
+      options.on_cell_stats != nullptr || plan.size() >= threads;
+
+  // Lay out cells in plan order, then fan the tasks.
   std::vector<CellResult> cells;
   std::vector<Task> tasks;
   for (const CellRef& ref : plan) {
@@ -282,16 +308,17 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
     cell.replications.resize(options.replications);
     const std::size_t cell_index = cells.size();
     cells.push_back(std::move(cell));
-    for (std::size_t r = 0; r < options.replications; ++r) {
-      tasks.push_back(Task{cell_index, ref.scenario, r,
+    if (cell_granular) {
+      tasks.push_back(Task{cell_index, ref.scenario, 0, options.replications,
                            &spec.policies[ref.policy]});
+    } else {
+      for (std::size_t r = 0; r < options.replications; ++r) {
+        tasks.push_back(Task{cell_index, ref.scenario, r, r + 1,
+                             &spec.policies[ref.policy]});
+      }
     }
   }
 
-  std::size_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
   threads = std::min(threads, tasks.size());
 
   std::atomic<std::size_t> next{0};
@@ -335,19 +362,46 @@ std::vector<CellResult> run_sweep(const std::vector<ScenarioSpec>& scenarios,
             }
           }
         }
-        const std::uint64_t seed =
-            replication_seed(options.seed, spec.name, task.replication);
-        if (!system->reseed(seed)) {
-          throw std::runtime_error("run_sweep: scenario '" + spec.name +
-                                   "' system does not support reseeding");
+        // Per-cell counter attribution: chain a cell-local accumulator
+        // behind the sweep-wide observer for the duration of this task
+        // (cell-granular by construction when on_cell_stats is set).
+        // Observation is passive, so the chain never changes results.
+        obs::CountingObserver cell_counters;
+        obs::MultiObserver cell_chain;
+        sim::Cluster* cluster = nullptr;
+        if (options.on_cell_stats) {
+          cluster = dynamic_cast<sim::Cluster*>(system.get());
+          if (cluster != nullptr) {
+            cell_chain.add(options.sim_observer);
+            cell_chain.add(&cell_counters);
+            cluster->set_sim_observer(&cell_chain);
+          }
         }
-        cells[task.cell].replications[task.replication] =
-            run_cell_replication(*system, *task.policy,
-                                 cells[task.cell].percentile, seed,
-                                 options.log_mode, options.timers);
-        if (options.on_cell_done &&
+        for (std::size_t r = task.rep_begin; r < task.rep_end; ++r) {
+          const std::uint64_t seed =
+              replication_seed(options.seed, spec.name, r);
+          if (!system->reseed(seed)) {
+            throw std::runtime_error("run_sweep: scenario '" + spec.name +
+                                     "' system does not support reseeding");
+          }
+          cells[task.cell].replications[r] =
+              run_cell_replication(*system, *task.policy,
+                                   cells[task.cell].percentile, seed,
+                                   options.log_mode, options.timers);
+        }
+        if (cluster != nullptr) {
+          cluster->set_sim_observer(options.sim_observer);
+        }
+        const std::size_t width = task.rep_end - task.rep_begin;
+        const bool cell_finished =
+            !cell_remaining ||
             cell_remaining[task.cell].fetch_sub(
-                1, std::memory_order_acq_rel) == 1) {
+                width, std::memory_order_acq_rel) == width;
+        if (cell_finished && options.on_cell_stats) {
+          options.on_cell_stats(cells[task.cell], cell_counters.total(),
+                                cell_counters.runs());
+        }
+        if (cell_finished && options.on_cell_done) {
           const std::size_t done =
               cells_done.fetch_add(1, std::memory_order_acq_rel) + 1;
           options.on_cell_done(done, cells.size());

@@ -100,4 +100,12 @@ void Cluster::run_streaming(const core::ReissuePolicy& policy,
   simulation.run();
 }
 
+void Cluster::run_streaming_unordered(const core::ReissuePolicy& policy,
+                                      core::RunObserver& observer) {
+  validate(config_);  // mutable_config() may have broken the invariants
+  Simulation simulation(config_, *service_, policy, observer, *scratch_,
+                        sim_observer_, /*unordered=*/true);
+  simulation.run();
+}
+
 }  // namespace reissue::sim

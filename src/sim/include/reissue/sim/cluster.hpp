@@ -124,6 +124,15 @@ class Cluster final : public core::SystemUnderTest {
   void run_streaming(const core::ReissuePolicy& policy,
                      core::RunObserver& observer) override;
 
+  /// Simulates one run under `policy`, streaming observations into
+  /// `observer` in completion order (core::LogMode::kStreamingUnordered):
+  /// metrics accumulate inside the event loop and the end-of-run replay
+  /// pass over the per-query state is skipped.  The observation multiset
+  /// is bit-identical to run_streaming for the same seed; only the
+  /// delivery order — deterministic in (config.seed, policy) — differs.
+  void run_streaming_unordered(const core::ReissuePolicy& policy,
+                               core::RunObserver& observer) override;
+
   /// Replication hook: swaps the root seed so the next run() draws fresh
   /// arrival/service/coin streams.  Deterministic given the new seed.
   bool reseed(std::uint64_t seed) override {

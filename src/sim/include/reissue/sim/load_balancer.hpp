@@ -12,8 +12,8 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "reissue/sim/server.hpp"
 #include "reissue/stats/rng.hpp"
@@ -43,7 +43,7 @@ class LoadBalancer {
 
   /// Picks a server index in [0, servers.size()), never `exclude` (when
   /// provided and more than one server exists).
-  [[nodiscard]] virtual std::size_t pick(const std::vector<Server>& servers,
+  [[nodiscard]] virtual std::size_t pick(std::span<const Server> servers,
                                          stats::Xoshiro256& rng,
                                          std::optional<std::size_t> exclude) = 0;
 };

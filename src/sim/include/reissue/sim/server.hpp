@@ -121,6 +121,17 @@ class Server {
   /// Copies fully served.
   [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
 
+  /// Zeroes the per-run statistics so a warm server pool can serve the
+  /// next run (RunScratch reuse).  Precondition: the server is idle with
+  /// an empty queue — i.e. the previous run drained completely — so the
+  /// reset leaves it indistinguishable from a freshly constructed server
+  /// with the same discipline.
+  void reset_run_stats() noexcept {
+    assert(!busy_ && queued_ == 0);
+    busy_time_ = 0.0;
+    completed_ = 0;
+  }
+
  private:
   std::size_t id_;
   std::unique_ptr<QueueDiscipline> queue_;

@@ -7,6 +7,14 @@
 // state in nested std::function closures, paying a heap allocation per
 // scheduled event.
 //
+// Per-query state is structure-of-arrays: the merge loop's stage-retire
+// check touches only the `done` byte array (64 queries per cache line),
+// the completion path touches only the completion/primary-response
+// arrays, and the cold dispatch-side fields (primary server, service
+// draw) live in their own arrays — nothing shares a cache line with data
+// another loop needs.  Arrival times are never duplicated per query; the
+// pre-drawn arrival_times array is the single source.
+//
 // Per-query reissue bookkeeping lives in a pooled arena: a query can issue
 // at most one copy per policy stage, so copy slot i of query q is
 // arena[q * stage_count + i] — no per-query vector allocations, and the
@@ -23,8 +31,10 @@
 // Results are delivered through a core::RunObserver, which is what makes
 // LogMode a caller choice: Cluster::run streams into a RunResultBuilder
 // (full logs, bit-identical to the closure-based implementation for equal
-// seeds), while Cluster::run_streaming streams into the caller's
-// accumulators without materializing logs.
+// seeds), Cluster::run_streaming streams into the caller's accumulators
+// in the same query-id order, and Cluster::run_streaming_unordered feeds
+// the caller from inside handle_completion — completion order, no
+// end-of-run replay pass (core::LogMode::kStreamingUnordered).
 #pragma once
 
 #include <cstdint>
@@ -47,31 +57,29 @@ namespace reissue::sim {
 
 namespace detail {
 
-// Both arenas are allocated uninitialized: every QueryState field is
+// All per-query arenas are allocated uninitialized: every field is
 // written before it can be read (most at arrival; `completion` at first
 // completion, `primary_server` at primary dispatch), and an IssuedCopy
 // slot is fully written when its stage issues; slots at index >=
 // reissue_count are never read.
 struct IssuedCopy {
   double dispatch;
-  double service;
   double response;  // -1 until the copy completes
   bool cancelled;
 };
 
-/// 40 bytes/query; this array is the simulator's biggest working set, so
-/// the connection index is not stored (it equals id % connections by
-/// construction — primaries thread the arrival counter through, reissue
-/// dispatches recompute it).
-struct QueryState {
-  double arrival;
-  double primary_service;
+/// Hot per-query record (32 B, two queries per cache line).  Everything a
+/// completion touches except `done` lives here: splitting these five
+/// fields into parallel arrays costs a completion five cache-line streams
+/// where one suffices.  `done` stays a dense byte array of its own — the
+/// stage-retire scan reads it alone, 64 queries per line — and arrival
+/// times stay in the pre-drawn batch arena.
+struct QueryHot {
   double completion;
-  double primary_response;  // -1 until the primary completes
+  double primary_response;
+  double primary_service;
   std::uint32_t primary_server;
   std::uint16_t reissue_count;
-  bool primary_cancelled;
-  bool done;
 };
 
 /// One pending reissue-stage check in a per-stage FIFO: just the claimed
@@ -121,6 +129,10 @@ struct RawArena {
 /// so replications and benches touch warm pages instead of paying tens of
 /// MB of first-touch page faults per run; every byte handed out is
 /// rewritten by the next run before being read (see detail::RawArena).
+/// The server pool persists too: a run whose (count, discipline) matches
+/// the previous run's reuses the servers — and their heap-allocated queue
+/// disciplines and request rings — after a cheap stat reset, so batched
+/// replications stop paying per-run construction.
 struct RunScratch {
   RunScratch() = default;
   RunScratch(const RunScratch&) = delete;
@@ -128,7 +140,11 @@ struct RunScratch {
   RunScratch(RunScratch&&) = default;
   RunScratch& operator=(RunScratch&&) = default;
 
-  detail::RawArena<detail::QueryState> queries;
+  // Per-query state (indexed by query id): the dense stage-retire byte
+  // array plus the hot completion-path record (see detail::QueryHot).
+  detail::RawArena<std::uint8_t> done;
+  detail::RawArena<detail::QueryHot> query_hot;
+
   detail::RawArena<detail::IssuedCopy> arena;
   std::vector<detail::StageRing> stage_rings;
   detail::RawArena<detail::StageEntry> stage_entries;
@@ -139,6 +155,13 @@ struct RunScratch {
   detail::RawArena<double> arrival_times;
   detail::RawArena<double> primary_services;
   detail::RawArena<double> service_draws;
+
+  /// Warm server pool (see struct docs).  `servers_queue` records the
+  /// discipline the pool was built with; `servers_ready` is false until
+  /// the first run builds it.
+  std::vector<Server> servers;
+  QueueDisciplineKind servers_queue = QueueDisciplineKind::kFifo;
+  bool servers_ready = false;
 };
 
 class Simulation {
@@ -150,9 +173,13 @@ class Simulation {
   /// RunScratch must serve at most one live Simulation at a time.
   /// `sim_observer` (optional) receives the passive per-event hooks of
   /// sim_observer.hpp; it never changes what the run computes.
+  /// `unordered` selects the completion-order observation contract
+  /// (core::LogMode::kStreamingUnordered): the observer is fed from
+  /// handle_completion and the finalize replay pass is skipped.
   Simulation(const ClusterConfig& config, ServiceModel& service,
              const core::ReissuePolicy& policy, core::RunObserver& observer,
-             RunScratch& scratch, SimObserver* sim_observer = nullptr);
+             RunScratch& scratch, SimObserver* sim_observer = nullptr,
+             bool unordered = false);
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -163,7 +190,6 @@ class Simulation {
 
  private:
   using IssuedCopy = detail::IssuedCopy;
-  using QueryState = detail::QueryState;
   using StageRing = detail::StageRing;
 
   /// True when hook calls must fire: observability is compiled in and an
@@ -177,33 +203,35 @@ class Simulation {
 #endif
   }
 
-  // The whole hot call tree below run_loop is templated on `Observed`:
-  // the unobserved instantiations carry no hook calls, no counter
-  // updates, and no null checks — the same machine code the simulator
-  // had before the observability layer existed.
+  // The whole hot call tree below run_loop is templated on `Observed` and
+  // `Unordered`: the unobserved ordered instantiations carry no hook
+  // calls, no counter updates, no null checks and no emission branches —
+  // the same machine code the simulator had before either axis existed.
   template <int StageCount>
   void run_stages();
-  template <int StageCount, bool ScanMode, bool Observed>
+  template <int StageCount, bool ScanMode>
+  void run_mode();
+  template <int StageCount, bool ScanMode, bool Observed, bool Unordered>
   void run_loop();
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void dispatch(const SimEvent& event, double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void on_arrival(double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void on_reissue_stage(std::uint64_t id, std::size_t stage_index, double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void handle_completion(CopyKind kind, std::uint64_t id,
                          std::uint32_t copy_index, double dispatch_time,
                          double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void dispatch_copy(std::uint64_t id, CopyKind kind, std::uint32_t copy_index,
                      std::uint32_t connection,
                      double service_time, double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void complete_on_server(std::uint32_t server, double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void submit_to_server(std::size_t server, const Request& request, double now);
-  template <bool Observed>
+  template <bool Observed, bool Unordered>
   void start_next_on(std::size_t server, double now);
   void schedule_completion(double time, std::size_t server);
   void schedule_arrival(double time);
@@ -215,17 +243,19 @@ class Simulation {
   /// Lazy-cancellation predicate consulted at service start; marks the
   /// copy cancelled as a side effect (the extension of ClusterConfig::
   /// cancel_on_completion).  `server`/`now` only feed the observer hook.
-  template <bool Observed>
+  /// A cancelled copy still occupies its server for cancellation_overhead
+  /// and then completes like any other, so the unordered emission needs no
+  /// special case here: handle_completion sees every issued copy exactly
+  /// once, cancelled or not.
+  template <bool Observed, bool Unordered>
   [[nodiscard]] auto cancel_check(std::size_t server, double now) {
     return [this, server, now](const Request& request) {
       if (!cfg_.cancel_on_completion) return false;
       if (request.kind == CopyKind::kBackground) return false;
-      QueryState& qs = queries_[request.query_id];
-      if (!qs.done) return false;
-      if (request.kind == CopyKind::kPrimary) {
-        qs.primary_cancelled = true;
-      } else {
-        reissue_slot(request.query_id, request.copy_index - 1).cancelled = true;
+      if (!done_[request.query_id]) return false;
+      if (request.kind == CopyKind::kReissue) {
+        reissue_slot(request.query_id, request.copy_index - 1).cancelled =
+            true;
       }
       if constexpr (Observed) {
         ++counters_.copies_cancelled;
@@ -259,12 +289,23 @@ class Simulation {
   /// order.
   BoundedMinQueue<std::uint32_t>& completions_;
   bool scan_completions_ = false;
+  /// Completion-order observation contract (see constructor).
+  bool unordered_ = false;
+  /// cfg_.warmup, cached next to the completion-path hot fields.
+  std::uint64_t warmup_ = 0;
+  /// Unordered-mode totals: post-warmup queries emitted (validated
+  /// against the expected count at finalize) and post-warmup reissue
+  /// copies issued (the replay pass used to re-derive both).
+  std::uint64_t logged_queries_ = 0;
+  std::uint64_t logged_reissues_ = 0;
   stats::Xoshiro256 arrival_rng_;
   stats::Xoshiro256 service_rng_;
   stats::Xoshiro256 lb_rng_;
   stats::Xoshiro256 coin_rng_;
 
-  QueryState* queries_ = nullptr;
+  // Per-query state (see RunScratch / detail::QueryHot).
+  std::uint8_t* done_ = nullptr;
+  detail::QueryHot* hot_ = nullptr;
   /// Pooled reissue-copy arena, queries x stage_count.
   IssuedCopy* arena_ = nullptr;
   /// Pre-drawn arrival times (always) and primary service times (policies
@@ -286,7 +327,11 @@ class Simulation {
   std::size_t draw_pos_ = 0;
   std::size_t draw_len_ = 0;
   bool batch_shared_stream_ = false;
-  std::vector<Server> servers_;
+  /// The warm server pool (RunScratch::servers); empty for
+  /// infinite-server runs.
+  std::span<Server> servers_;
+  /// Only constructed for stateful balancer kinds; the default kRandom
+  /// path is devirtualized and never consults it.
   std::unique_ptr<LoadBalancer> balancer_;
 
   /// The single pending client-arrival event (claim_key-merged).

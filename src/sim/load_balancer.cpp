@@ -23,7 +23,7 @@ namespace {
 
 class RandomBalancer final : public LoadBalancer {
  public:
-  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
+  std::size_t pick(std::span<const Server> servers, stats::Xoshiro256& rng,
                    std::optional<std::size_t> exclude) override {
     return random_server_index(servers.size(), rng, exclude);
   }
@@ -31,7 +31,7 @@ class RandomBalancer final : public LoadBalancer {
 
 class RoundRobinBalancer final : public LoadBalancer {
  public:
-  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256&,
+  std::size_t pick(std::span<const Server> servers, stats::Xoshiro256&,
                    std::optional<std::size_t> exclude) override {
     const std::size_t n = servers.size();
     if (n == 0) throw std::logic_error("load balancer: no servers");
@@ -48,7 +48,7 @@ class RoundRobinBalancer final : public LoadBalancer {
 
 class MinOfTwoBalancer final : public LoadBalancer {
  public:
-  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
+  std::size_t pick(std::span<const Server> servers, stats::Xoshiro256& rng,
                    std::optional<std::size_t> exclude) override {
     const std::size_t a = random_server_index(servers.size(), rng, exclude);
     const std::size_t b = random_server_index(servers.size(), rng, exclude);
@@ -58,7 +58,7 @@ class MinOfTwoBalancer final : public LoadBalancer {
 
 class MinOfAllBalancer final : public LoadBalancer {
  public:
-  std::size_t pick(const std::vector<Server>& servers, stats::Xoshiro256& rng,
+  std::size_t pick(std::span<const Server> servers, stats::Xoshiro256& rng,
                    std::optional<std::size_t> exclude) override {
     std::size_t best = std::numeric_limits<std::size_t>::max();
     std::size_t best_load = std::numeric_limits<std::size_t>::max();

@@ -19,14 +19,16 @@ constexpr std::size_t kServiceDrawChunk = 1024;
 Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
                        const core::ReissuePolicy& policy,
                        core::RunObserver& observer, RunScratch& scratch,
-                       SimObserver* sim_observer)
+                       SimObserver* sim_observer, bool unordered)
     : cfg_(config),
       service_(service),
       observer_(observer),
       obs_(sim_observer),
       stages_(policy.stages()),
       events_(scratch.events),
-      completions_(scratch.completions) {
+      completions_(scratch.completions),
+      unordered_(unordered),
+      warmup_(config.warmup) {
   // Stream derivation order is part of the determinism contract: arrival,
   // service, lb, coin, then (only when enabled) interference.
   stats::Xoshiro256 root(cfg_.seed);
@@ -44,11 +46,12 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   scan_completions_ = !cfg_.infinite_servers &&
                       !(cfg_.interference_rate > 0.0) &&
                       cfg_.servers <= kScanQueueMaxServers;
-  // QueryState::reissue_count is 16-bit (one issued copy per stage).
+  // The per-query reissue count is 16-bit (one issued copy per stage).
   if (stages_.size() > std::numeric_limits<std::uint16_t>::max()) {
     throw std::invalid_argument("Cluster: policy stage count must fit 16 bits");
   }
-  queries_ = scratch.queries.ensure(cfg_.queries);
+  done_ = scratch.done.ensure(cfg_.queries);
+  hot_ = scratch.query_hot.ensure(cfg_.queries);
   arena_ = scratch.arena.ensure(cfg_.queries * stages_.size());
   if (scratch.stage_rings.size() < stages_.size()) {
     scratch.stage_rings.resize(stages_.size());
@@ -63,11 +66,39 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   }
 
   if (!cfg_.infinite_servers) {
-    servers_.reserve(cfg_.servers);
-    for (std::size_t i = 0; i < cfg_.servers; ++i) {
-      servers_.emplace_back(i, make_queue_discipline(cfg_.queue));
+    // Reuse the scratch's warm server pool when its shape matches and the
+    // previous run drained (always true for a run that finished; the idle
+    // scan guards against a pool abandoned by a throwing run).
+    std::vector<Server>& pool = scratch.servers;
+    bool reuse = scratch.servers_ready && scratch.servers_queue == cfg_.queue &&
+                 pool.size() == cfg_.servers;
+    if (reuse) {
+      for (const Server& s : pool) {
+        if (s.busy() || s.queue_length() != 0) {
+          reuse = false;
+          break;
+        }
+      }
     }
-    balancer_ = make_load_balancer(cfg_.load_balancer);
+    if (reuse) {
+      for (Server& s : pool) s.reset_run_stats();
+    } else {
+      scratch.servers_ready = false;
+      pool.clear();
+      pool.reserve(cfg_.servers);
+      for (std::size_t i = 0; i < cfg_.servers; ++i) {
+        pool.emplace_back(i, make_queue_discipline(cfg_.queue));
+      }
+      scratch.servers_queue = cfg_.queue;
+      scratch.servers_ready = true;
+    }
+    servers_ = std::span(pool);
+    // The default kRandom path is devirtualized in dispatch_copy and never
+    // consults a balancer object; only stateful kinds need one (and a
+    // fresh one per run — RoundRobin carries a cursor).
+    if (cfg_.load_balancer != LoadBalancerKind::kRandom) {
+      balancer_ = make_load_balancer(cfg_.load_balancer);
+    }
 
     // Background interference episodes (see ClusterConfig): pre-scheduled
     // per-server Poisson arrivals over the expected arrival horizon.
@@ -181,17 +212,29 @@ void Simulation::run() {
   finalize(std::max(events_.now(), skipped_horizon_));
 }
 
-/// Second dispatch layer: scan mode and observation are orthogonal
-/// compile-time axes of the merge loop (the observed instantiations keep
-/// counter updates out of the unobserved hot path entirely).
+/// Second dispatch layer: scan mode is a compile-time axis of the merge
+/// loop; run_mode adds the observation and delivery-order axes.
 template <int StageCount>
 void Simulation::run_stages() {
   if (scan_completions_) {
-    observed() ? run_loop<StageCount, true, true>()
-               : run_loop<StageCount, true, false>();
+    run_mode<StageCount, true>();
   } else {
-    observed() ? run_loop<StageCount, false, true>()
-               : run_loop<StageCount, false, false>();
+    run_mode<StageCount, false>();
+  }
+}
+
+/// Third dispatch layer: observation and delivery order are orthogonal
+/// compile-time axes (the observed instantiations keep counter updates out
+/// of the unobserved hot path; the ordered instantiations carry no
+/// emission branches).
+template <int StageCount, bool ScanMode>
+void Simulation::run_mode() {
+  if (unordered_) {
+    observed() ? run_loop<StageCount, ScanMode, true, true>()
+               : run_loop<StageCount, ScanMode, false, true>();
+  } else {
+    observed() ? run_loop<StageCount, ScanMode, true, false>()
+               : run_loop<StageCount, ScanMode, false, false>();
   }
 }
 
@@ -208,7 +251,7 @@ void Simulation::run_stages() {
 /// completion source dispatches.  Each outer iteration therefore computes
 /// the barrier once, drains every completion that precedes it in a tight
 /// loop (no re-merge per event), then dispatches the barrier event itself.
-template <int StageCount, bool ScanMode, bool Observed>
+template <int StageCount, bool ScanMode, bool Observed, bool Unordered>
 void Simulation::run_loop() {
   constexpr std::size_t kFromArrival = std::numeric_limits<std::size_t>::max();
   const std::size_t rings =
@@ -241,7 +284,7 @@ void Simulation::run_loop() {
         // indistinguishable from dispatching at fire time.  Only the run
         // horizon observes retired entries (they used to advance now());
         // skipped_horizon_ carries that into finalize.
-        if (queries_[front_id].done) {
+        if (done_[front_id]) {
           if (key.time > skipped_horizon_) skipped_horizon_ = key.time;
           if constexpr (Observed) {
             // A retired entry is a completion-suppressed check that never
@@ -276,14 +319,14 @@ void Simulation::run_loop() {
         const std::uint32_t server = completions_.pop();
         events_.advance_to(key.time);
         if constexpr (Observed) ++counters_.scan_pops;
-        complete_on_server<Observed>(server, key.time);
+        complete_on_server<Observed, Unordered>(server, key.time);
       }
     } else {
       while (!events_.empty()) {
         if (have && !events_.peek_key().before(best)) break;
         const SimEvent event = events_.pop();
         if constexpr (Observed) ++counters_.heap_pops;
-        dispatch<Observed>(event, events_.now());
+        dispatch<Observed, Unordered>(event, events_.now());
       }
     }
     if (!have) return;
@@ -291,38 +334,39 @@ void Simulation::run_loop() {
     if (source == kFromArrival) {
       arrival_pending_ = false;
       events_.advance_to(best.time);
-      on_arrival<Observed>(best.time);
+      on_arrival<Observed, Unordered>(best.time);
     } else {
       StageRing& ring = stage_rings_[source];
       const auto id = static_cast<std::uint64_t>(ring.head++ - ring.base);
       events_.advance_to(best.time);
-      on_reissue_stage<Observed>(id, source, best.time);
+      on_reissue_stage<Observed, Unordered>(id, source, best.time);
     }
   }
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::dispatch(const SimEvent& event, double now) {
   switch (event.kind) {
     case EventKind::kArrival:
       assert(!"arrivals merge via claim_key and are never heap-scheduled");
       return;
     case EventKind::kReissueStage:
-      on_reissue_stage<Observed>(event.query(), event.stage, now);
+      on_reissue_stage<Observed, Unordered>(event.query(), event.stage, now);
       return;
     case EventKind::kCopyComplete:
-      complete_on_server<Observed>(event.server(), now);
+      complete_on_server<Observed, Unordered>(event.server(), now);
       return;
     case EventKind::kDirectComplete: {
-      // The copy's dispatch time lives in the per-query state: primaries
-      // dispatch at arrival, reissue copies at their recorded issue time.
+      // The copy's dispatch time is recomputable for primaries (they
+      // dispatch at arrival) and recorded per slot for reissue copies.
       const std::uint64_t id = event.query();
       const double dispatch_time =
           event.copy == CopyKind::kPrimary
-              ? queries_[id].arrival
+              ? arrival_times_[id]
               : reissue_slot(id, event.copy_index() - 1).dispatch;
-      handle_completion<Observed>(event.copy, id, event.copy_index(),
-                                  dispatch_time, now);
+      handle_completion<Observed, Unordered>(event.copy, id,
+                                             event.copy_index(), dispatch_time,
+                                             now);
       return;
     }
     case EventKind::kInterferenceStart: {
@@ -336,22 +380,23 @@ void Simulation::dispatch(const SimEvent& event, double now) {
       background.dispatch_time = now;
       background.service_time = event.duration();
       background.connection = std::numeric_limits<std::uint32_t>::max();
-      submit_to_server<Observed>(event.server(), background, now);
+      submit_to_server<Observed, Unordered>(event.server(), background, now);
       return;
     }
   }
 }
 
 /// Server `server` finished its in-service copy: report it, then pull the
-/// next copy (completion first, so a same-query copy behind it sees
-/// qs.done and can be lazily cancelled).
-template <bool Observed>
+/// next copy (completion first, so a same-query copy behind it sees the
+/// done flag and can be lazily cancelled).
+template <bool Observed, bool Unordered>
 void Simulation::complete_on_server(std::uint32_t server, double now) {
   Server& srv = servers_[server];
   const Request& request = srv.finish();
-  handle_completion<Observed>(request.kind, request.query_id,
-                              request.copy_index, request.dispatch_time, now);
-  if (srv.queue_length() > 0) start_next_on<Observed>(server, now);
+  handle_completion<Observed, Unordered>(request.kind, request.query_id,
+                                         request.copy_index,
+                                         request.dispatch_time, now);
+  if (srv.queue_length() > 0) start_next_on<Observed, Unordered>(server, now);
   if constexpr (Observed) {
     obs_->on_server_state(now, server, srv.queue_length(), srv.busy());
   }
@@ -374,46 +419,44 @@ Simulation::IssuedCopy& Simulation::reissue_slot(std::uint64_t id,
                                                  std::uint32_t slot) {
   assert(id < cfg_.queries);
   assert(slot < stages_.size());
-  assert(slot < queries_[id].reissue_count);
+  assert(slot < hot_[id].reissue_count);
   return arena_[id * stages_.size() + slot];
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::on_arrival(double now) {
   const std::uint64_t id = next_query_++;
-  QueryState& qs = queries_[id];
-  // Initialization of the uninitialized-by-design backing array.  Two
-  // fields are deliberately skipped: `completion` is written before every
-  // read (finalize reads it only when `done`), and `primary_server` is
-  // written at primary dispatch, which precedes any reissue's exclusion
-  // lookup.
-  qs.arrival = now;
+  // Initialization of the uninitialized-by-design backing arrays.  Two are
+  // deliberately skipped: `hot_[id].completion` is written before every read (it
+  // is only read once `done_` is set), and `.primary_server` is written at
+  // primary dispatch, which precedes any reissue's exclusion lookup.
+  // `now` here is arrival_times_[id] bit-for-bit (the arrival key was
+  // claimed from that array), so the arrival time is never stored twice.
   double primary_service;
   if (primary_services_ != nullptr) {
     primary_service = primary_services_[id];
-    // With no reissue stages, qs.primary_service — which only the reissue
+    // With no reissue stages, the stored primary service — which only the reissue
     // draw reads — can stay unwritten; kPrimaryOnly models reach here with
     // stages and need it stored for their reissue() calls.
-    if (!stages_.empty()) qs.primary_service = primary_service;
+    if (!stages_.empty()) hot_[id].primary_service = primary_service;
   } else if (batch_shared_stream_) {
     primary_service = service_.primary_from_draw(next_service_draw());
-    qs.primary_service = primary_service;
+    hot_[id].primary_service = primary_service;
   } else {
     primary_service = service_.primary(id, service_rng_);
-    qs.primary_service = primary_service;
+    hot_[id].primary_service = primary_service;
   }
-  qs.primary_response = -1.0;
+  hot_[id].primary_response = -1.0;
   const std::uint32_t connection = next_connection_;
   if (++next_connection_ == cfg_.connections) next_connection_ = 0;
-  qs.reissue_count = 0;
-  qs.primary_cancelled = false;
-  qs.done = false;
+  hot_[id].reissue_count = 0;
+  done_[id] = 0;
   if constexpr (Observed) {
     ++counters_.arrivals;
     obs_->on_arrival(now, id);
   }
-  dispatch_copy<Observed>(id, CopyKind::kPrimary, 0, connection,
-                          primary_service, now);
+  dispatch_copy<Observed, Unordered>(id, CopyKind::kPrimary, 0, connection,
+                                     primary_service, now);
   for (std::size_t i = 0; i < stages_.size(); ++i) {
     // Claimed in scheduling order, exactly where the all-heap version
     // called schedule(); queries enter each ring in id order.
@@ -431,13 +474,12 @@ void Simulation::on_arrival(double now) {
   }
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
                                   double now) {
-  QueryState& qs = queries_[id];
   if constexpr (Observed) ++counters_.stage_checks;
   // Completion status is checked immediately before sending (paper §6.1).
-  if (qs.done) {
+  if (done_[id]) {
     if constexpr (Observed) {
       ++counters_.reissues_suppressed_completed;
       obs_->on_reissue_suppressed(now, id,
@@ -458,10 +500,16 @@ void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
   }
   const double y =
       batch_shared_stream_
-          ? service_.reissue_from_draw(next_service_draw(), qs.primary_service)
-          : service_.reissue(id, qs.primary_service, service_rng_);
-  const std::uint32_t slot = qs.reissue_count++;
-  reissue_slot(id, slot) = IssuedCopy{now, y, -1.0, false};
+          ? service_.reissue_from_draw(next_service_draw(),
+                                       hot_[id].primary_service)
+          : service_.reissue(id, hot_[id].primary_service, service_rng_);
+  const std::uint32_t slot = hot_[id].reissue_count++;
+  reissue_slot(id, slot) = IssuedCopy{now, -1.0, false};
+  if constexpr (Unordered) {
+    // The replay pass derives the issued-reissue total from the arena;
+    // completion-order delivery counts it at issue time instead.
+    if (id >= warmup_) ++logged_reissues_;
+  }
   if constexpr (Observed) {
     ++counters_.reissues_issued;
     if (++reissue_inflight_ > counters_.reissue_inflight_peak) {
@@ -472,26 +520,26 @@ void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
   // The arrival counter wraps at cfg_.connections, so the copy's
   // connection is recomputable instead of stored per query.
   const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
-  dispatch_copy<Observed>(id, CopyKind::kReissue, slot + 1, connection, y, now);
+  dispatch_copy<Observed, Unordered>(id, CopyKind::kReissue, slot + 1,
+                                     connection, y, now);
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
                                    std::uint32_t copy_index,
                                    double dispatch_time, double now) {
   if (kind == CopyKind::kBackground) return;
   assert(id < cfg_.queries);
-  QueryState& qs = queries_[id];
   const double response = now - dispatch_time;
   if (kind == CopyKind::kPrimary) {
-    qs.primary_response = response;
+    hot_[id].primary_response = response;
   } else {
     reissue_slot(id, copy_index - 1).response = response;
   }
-  const bool first = !qs.done;
+  const bool first = !done_[id];
   if (first) {
-    qs.done = true;
-    qs.completion = now;
+    done_[id] = 1;
+    hot_[id].completion = now;
   }
   if constexpr (Observed) {
     obs_->on_copy_complete(now, id, kind, copy_index, response);
@@ -499,16 +547,50 @@ void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
       if (reissue_inflight_ > 0) --reissue_inflight_;
       if (first) ++reissue_wins_;
     }
-    if (first) obs_->on_query_done(now, id, now - qs.arrival);
+    if (first) obs_->on_query_done(now, id, now - arrival_times_[id]);
+  }
+  if constexpr (Unordered) {
+    // Completion-order delivery (LogMode::kStreamingUnordered).  A query's
+    // observation set is closed out at its primary completion — the
+    // primary always completes (or the run fails validation), and both
+    // on_query values are final then.  Every issued reissue copy reaches
+    // this function exactly once too (a lazily cancelled copy still
+    // occupies its server for cancellation_overhead and completes), so a
+    // copy emits wherever both endpoints first become known: at its own
+    // completion if the primary already finished, otherwise in the
+    // primary-completion sweep below.  Each issued copy emits exactly
+    // once, with values bit-identical to the replay pass; only the
+    // delivery order differs.
+    if (kind == CopyKind::kPrimary) {
+      if (id >= warmup_) {
+        ++logged_queries_;
+        observer_.on_query(hot_[id].completion - arrival_times_[id], response);
+        const std::uint16_t issued = hot_[id].reissue_count;
+        for (std::uint16_t slot = 0; slot < issued; ++slot) {
+          const IssuedCopy& copy = arena_[id * stages_.size() + slot];
+          // A slot still pending (response unset) emits later, at its own
+          // completion; a completed slot's response and cancelled flag are
+          // both final here.
+          if (copy.response >= 0.0) {
+            observer_.on_reissue(response, copy.response,
+                                 copy.dispatch - arrival_times_[id],
+                                 copy.cancelled);
+          }
+        }
+      }
+    } else if (id >= warmup_ && hot_[id].primary_response >= 0.0) {
+      const IssuedCopy& copy = reissue_slot(id, copy_index - 1);
+      observer_.on_reissue(hot_[id].primary_response, response,
+                           copy.dispatch - arrival_times_[id], copy.cancelled);
+    }
   }
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
                                std::uint32_t copy_index,
                                std::uint32_t connection, double service_time,
                                double now) {
-  QueryState& qs = queries_[id];
   Request request;
   request.dispatch_time = now;
   request.service_time = service_time;
@@ -528,7 +610,7 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
   }
   std::optional<std::size_t> exclude;
   if (kind == CopyKind::kReissue && cfg_.exclude_primary_server) {
-    exclude = static_cast<std::size_t>(qs.primary_server);
+    exclude = static_cast<std::size_t>(hot_[id].primary_server);
   }
   // Devirtualized fast path for the default uniform-random balancer (same
   // draw as RandomBalancer::pick — both call random_server_index).
@@ -537,7 +619,7 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
           ? random_server_index(servers_.size(), lb_rng_, exclude)
           : balancer_->pick(servers_, lb_rng_, exclude);
   if (kind == CopyKind::kPrimary) {
-    qs.primary_server = static_cast<std::uint32_t>(idx);
+    hot_[id].primary_server = static_cast<std::uint32_t>(idx);
   }
   if (!cfg_.server_speeds.empty()) {
     request.service_time *= cfg_.server_speeds[idx];
@@ -546,19 +628,19 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
     obs_->on_dispatch(now, id, kind, copy_index,
                       static_cast<std::uint32_t>(idx), request.service_time);
   }
-  submit_to_server<Observed>(idx, request, now);
+  submit_to_server<Observed, Unordered>(idx, request, now);
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::submit_to_server(std::size_t server, const Request& request,
                                   double now) {
   Server& srv = servers_[server];
   if (srv.can_start_directly()) {
     // Idle-worker fast path: identical semantics to enqueue + try_start
     // for bypassable disciplines (the common case at moderate load).
-    const double cost =
-        srv.start_directly(request, cancel_check<Observed>(server, now),
-                           cfg_.cancellation_overhead);
+    const double cost = srv.start_directly(
+        request, cancel_check<Observed, Unordered>(server, now),
+        cfg_.cancellation_overhead);
     schedule_completion(now + cost, server);
     if constexpr (Observed) {
       obs_->on_service_start(now, static_cast<std::uint32_t>(server), request,
@@ -570,17 +652,18 @@ void Simulation::submit_to_server(std::size_t server, const Request& request,
   }
   srv.enqueue(request);
   // A busy server picks the copy up from its queue at its next finish.
-  if (!srv.busy()) start_next_on<Observed>(server, now);
+  if (!srv.busy()) start_next_on<Observed, Unordered>(server, now);
   if constexpr (Observed) {
     obs_->on_server_state(now, static_cast<std::uint32_t>(server),
                           srv.queue_length(), srv.busy());
   }
 }
 
-template <bool Observed>
+template <bool Observed, bool Unordered>
 void Simulation::start_next_on(std::size_t server, double now) {
   if (const auto cost = servers_[server].try_start(
-          cancel_check<Observed>(server, now), cfg_.cancellation_overhead)) {
+          cancel_check<Observed, Unordered>(server, now),
+          cfg_.cancellation_overhead)) {
     schedule_completion(now + *cost, server);
     if constexpr (Observed) {
       obs_->on_service_start(now, static_cast<std::uint32_t>(server),
@@ -601,17 +684,31 @@ void Simulation::schedule_completion(double time, std::size_t server) {
 
 void Simulation::finalize(double horizon) {
   std::size_t reissues_issued = 0;
-  for (std::size_t id = cfg_.warmup; id < cfg_.queries; ++id) {
-    const QueryState& qs = queries_[id];
-    if (!qs.done || qs.primary_response < 0.0) {
+  if (unordered_) {
+    // Completion-order delivery already fed the observer from inside the
+    // run; all that remains is the completeness check the replay pass
+    // performed per query (every post-warmup query emitted exactly once —
+    // a primary that never completed, e.g. lazily cancelled after a
+    // reissue win, leaves the count short) and the totals.
+    if (logged_queries_ != cfg_.queries - cfg_.warmup) {
       throw std::logic_error("Cluster: query did not complete");
     }
-    observer_.on_query(qs.completion - qs.arrival, qs.primary_response);
-    for (std::uint32_t slot = 0; slot < qs.reissue_count; ++slot) {
-      const IssuedCopy& copy = arena_[id * stages_.size() + slot];
-      ++reissues_issued;
-      observer_.on_reissue(qs.primary_response, copy.response,
-                           copy.dispatch - qs.arrival, copy.cancelled);
+    reissues_issued = logged_reissues_;
+  } else {
+    for (std::size_t id = cfg_.warmup; id < cfg_.queries; ++id) {
+      if (!done_[id] || hot_[id].primary_response < 0.0) {
+        throw std::logic_error("Cluster: query did not complete");
+      }
+      observer_.on_query(hot_[id].completion - arrival_times_[id],
+                         hot_[id].primary_response);
+      const std::uint16_t issued = hot_[id].reissue_count;
+      for (std::uint16_t slot = 0; slot < issued; ++slot) {
+        const IssuedCopy& copy = arena_[id * stages_.size() + slot];
+        ++reissues_issued;
+        observer_.on_reissue(hot_[id].primary_response, copy.response,
+                             copy.dispatch - arrival_times_[id],
+                             copy.cancelled);
+      }
     }
   }
 

@@ -338,6 +338,122 @@ TEST(Cli, SweepFullLogsModeStaysDeterministic) {
   EXPECT_EQ(full.out, full_again.out);
 }
 
+// ------------------------------------------------------- metric modes
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+TEST(Cli, SweepMetricModeCompletionIsTheDefault) {
+  const auto implicit = run({"sweep", "--spec", kTinySpec, "--replications",
+                             "2", "--seed", "7"});
+  const auto explicit_mode = run({"sweep", "--spec", kTinySpec,
+                                  "--replications", "2", "--seed", "7",
+                                  "--metric-mode", "completion"});
+  ASSERT_EQ(implicit.code, 0) << implicit.err;
+  ASSERT_EQ(explicit_mode.code, 0) << explicit_mode.err;
+  EXPECT_EQ(explicit_mode.out, implicit.out);
+}
+
+TEST(Cli, SweepMetricModeFullMatchesFullLogsSpelling) {
+  const auto mode = run({"sweep", "--spec", kTinySpec, "--replications", "2",
+                         "--seed", "7", "--metric-mode", "full"});
+  const auto legacy = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "2", "--seed", "7", "--full-logs"});
+  ASSERT_EQ(mode.code, 0) << mode.err;
+  ASSERT_EQ(legacy.code, 0) << legacy.err;
+  EXPECT_EQ(mode.out, legacy.out);
+}
+
+TEST(Cli, SweepCompletionDiffersFromReplayOnlyInOrderSensitiveColumns) {
+  // The CSV-level identity claim (what CI's mode-diff job enforces): the
+  // completion and replay modes agree byte for byte on every column except
+  // the P² sketch (tail_p2) and the FP-summation mean (mean_latency), the
+  // two order-sensitive accumulators.
+  const auto completion = run({"sweep", "--spec", kTinySpec,
+                               "--replications", "3", "--seed", "7",
+                               "--metric-mode", "completion"});
+  const auto replay = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "3", "--seed", "7", "--metric-mode", "replay"});
+  ASSERT_EQ(completion.code, 0) << completion.err;
+  ASSERT_EQ(replay.code, 0) << replay.err;
+
+  const auto completion_lines = split(completion.out, '\n');
+  const auto replay_lines = split(replay.out, '\n');
+  ASSERT_EQ(completion_lines.size(), replay_lines.size());
+  const auto header = split(completion_lines[0], ',');
+  ASSERT_GT(header.size(), 9u);
+  ASSERT_EQ(header[8], "tail_p2");
+  ASSERT_EQ(header[9], "mean_latency");
+  EXPECT_EQ(completion_lines[0], replay_lines[0]);
+  for (std::size_t row = 1; row < completion_lines.size(); ++row) {
+    if (completion_lines[row].empty() && replay_lines[row].empty()) continue;
+    const auto a = split(completion_lines[row], ',');
+    const auto b = split(replay_lines[row], ',');
+    ASSERT_EQ(a.size(), b.size()) << "row " << row;
+    for (std::size_t col = 0; col < a.size(); ++col) {
+      if (col == 8 || col == 9) continue;  // order-sensitive by contract
+      EXPECT_EQ(a[col], b[col])
+          << "row " << row << " column " << header[col];
+    }
+  }
+  // Replay stays deterministic on its own.
+  const auto replay_again = run({"sweep", "--spec", kTinySpec,
+                                 "--replications", "3", "--seed", "7",
+                                 "--metric-mode", "replay"});
+  EXPECT_EQ(replay_again.out, replay.out);
+}
+
+TEST(Cli, SweepRejectsBadMetricModeFlags) {
+  auto result = run({"sweep", "--spec", kTinySpec, "--metric-mode", "fast"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("--metric-mode must be completion|replay|full"),
+            std::string::npos)
+      << result.err;
+
+  result = run({"sweep", "--spec", kTinySpec, "--metric-mode", "completion",
+                "--full-logs"});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("contradicts"), std::string::npos) << result.err;
+
+  // --full-logs together with --metric-mode full is redundant but legal.
+  result = run({"sweep", "--spec", kTinySpec, "--replications", "1",
+                "--metric-mode", "full", "--full-logs"});
+  EXPECT_EQ(result.code, 0) << result.err;
+}
+
+TEST(Cli, SweepStatsPrintsPerCellCounterLines) {
+  const auto result = run({"sweep", "--spec", kTinySpec, "--replications",
+                           "2", "--threads", "2", "--seed", "7", "--stats"});
+  ASSERT_EQ(result.code, 0) << result.err;
+  // One line per cell, attributing the run counters (training runs
+  // included) to the cell that performed them.
+  EXPECT_NE(result.err.find("cell tiny none: runs 2"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("cell tiny r:20:0.5: runs 2"), std::string::npos)
+      << result.err;
+  EXPECT_NE(result.err.find("heap_pops"), std::string::npos) << result.err;
+  EXPECT_NE(result.err.find("stage_retired"), std::string::npos)
+      << result.err;
+  // The aggregate block still follows.
+  EXPECT_NE(result.err.find("counters:"), std::string::npos) << result.err;
+  // Diagnostics never change the CSV.
+  const auto plain = run({"sweep", "--spec", kTinySpec, "--replications",
+                          "2", "--threads", "2", "--seed", "7"});
+  EXPECT_EQ(result.out, plain.out);
+}
+
 TEST(Cli, ZeroPaddedCountsParseAsDecimalNotOctal) {
   // Count flags parse base-10 ("0100" is 100, not octal 64); only --seed
   // accepts base-prefixed input.

@@ -56,9 +56,23 @@ TEST(Manifest, TextIsTheDocumentedFixedOrder) {
 TEST(Manifest, LogModeTokens) {
   EXPECT_EQ(to_string(core::LogMode::kFull), "full");
   EXPECT_EQ(to_string(core::LogMode::kStreaming), "streaming");
+  EXPECT_EQ(to_string(core::LogMode::kStreamingUnordered), "completion");
   EXPECT_EQ(log_mode_from_string("full"), core::LogMode::kFull);
   EXPECT_EQ(log_mode_from_string("streaming"), core::LogMode::kStreaming);
+  EXPECT_EQ(log_mode_from_string("completion"),
+            core::LogMode::kStreamingUnordered);
   EXPECT_THROW((void)log_mode_from_string("both"), std::runtime_error);
+}
+
+TEST(Manifest, CompletionModeRoundTripsAndChangesTheFingerprint) {
+  Manifest streaming = sample();
+  streaming.log_mode = core::LogMode::kStreaming;
+  Manifest completion = streaming;
+  completion.log_mode = core::LogMode::kStreamingUnordered;
+  EXPECT_EQ(parse_manifest(to_text(completion)), completion);
+  // Shards from different metric modes must never merge: the mode is part
+  // of the sweep identity.
+  EXPECT_NE(shard_fingerprint(completion), shard_fingerprint(streaming));
 }
 
 TEST(Manifest, ParseDiagnostics) {

@@ -3,6 +3,7 @@
 // resume without recomputation, and every tampering / mismatch path is
 // rejected with a targeted error.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -21,11 +22,14 @@ namespace reissue::dist {
 namespace {
 
 /// Fresh directory under the gtest temp root, removed on destruction.
+/// The name includes the pid: ctest runs every test case in its own
+/// process, so a process-local counter alone collides under ctest -j.
 class TempDir {
  public:
   TempDir() {
     path_ = std::filesystem::path(::testing::TempDir()) /
-            ("reissue_dist_" + std::to_string(counter_++));
+            ("reissue_dist_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
     std::filesystem::remove_all(path_);
     std::filesystem::create_directories(path_);
   }
@@ -106,6 +110,30 @@ TEST(ShardedSweep, MergeIsByteIdenticalToSingleProcessForAnyShardCount) {
     EXPECT_EQ(report.shards, n);
     EXPECT_EQ(aggregate_csv(report.cells), expected) << n << " shards";
   }
+}
+
+TEST(ShardedSweep, CompletionModeThreeShardMergeIsByteIdentical) {
+  // The completion-order metric mode (the sweep default) pinned
+  // explicitly: a 3-shard split must reproduce the single-process sweep
+  // byte for byte, and every shard manifest must carry the "completion"
+  // log-mode token so mixed-mode merges are rejected by fingerprint.
+  const auto scenarios = tiny_scenarios();
+  auto options = sweep_options();
+  options.log_mode = core::LogMode::kStreamingUnordered;
+  auto serial = options;
+  serial.threads = 1;
+  const std::string expected = aggregate_csv(exp::run_sweep(scenarios, serial));
+
+  TempDir dir;
+  const auto paths = run_all_shards(dir, 3, options);
+  for (const auto& path : paths) {
+    const Manifest m = parse_manifest(read_file(manifest_path(path)));
+    EXPECT_EQ(m.log_mode, core::LogMode::kStreamingUnordered);
+  }
+  const MergeReport report = merge_shards(paths);
+  EXPECT_EQ(report.shards, 3u);
+  EXPECT_EQ(report.options.log_mode, core::LogMode::kStreamingUnordered);
+  EXPECT_EQ(aggregate_csv(report.cells), expected);
 }
 
 TEST(ShardedSweep, OptimalPolicyCellsMergeByteIdenticalToSingleProcess) {

@@ -1,0 +1,176 @@
+// Sweep-level contracts of the completion-order metric mode
+// (core::LogMode::kStreamingUnordered, the runner's default): registry-wide
+// equivalence against the replay-order reference, agreement with full-log
+// exact percentiles within the streaming histogram's relative-error bound,
+// and bit-identical output across thread counts.
+//
+// Equivalence claim (what CI's mode-diff job also checks on the CSV): the
+// two streaming modes feed identical observation multisets into identical
+// accumulators, so every aggregate is bit-identical EXCEPT the two
+// order-sensitive ones — the P² sketch column and the FP-summation mean —
+// which are still deterministic per seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/registry.hpp"
+#include "reissue/exp/runner.hpp"
+#include "reissue/exp/scenario.hpp"
+
+namespace reissue::exp {
+namespace {
+
+std::vector<ScenarioSpec> tiny_scenarios() {
+  ScenarioSpec spec;
+  spec.name = "tiny-q30";
+  spec.kind = WorkloadKind::kQueueing;
+  spec.servers = 4;
+  spec.queries = 1200;
+  spec.warmup = 120;
+  spec.percentile = 0.95;
+  spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:20:0.5")};
+  ScenarioSpec other = spec;
+  other.name = "tiny-q60";
+  other.utilization = 0.60;
+  return {spec, other};
+}
+
+std::string sweep_csv(const std::vector<ScenarioSpec>& scenarios,
+                      SweepOptions options) {
+  std::ostringstream os;
+  write_csv(os, aggregate(run_sweep(scenarios, options)));
+  return os.str();
+}
+
+/// The whole built-in registry, shrunk to test scale: every workload kind
+/// (infinite-server, queueing at all loads, overload, bursty,
+/// heterogeneous, interference, optimizer-in-the-loop, Redis-like and
+/// Lucene-like substrates) with its policy grid intact.
+std::vector<ScenarioSpec> shrunk_registry() {
+  std::vector<ScenarioSpec> scenarios;
+  for (ScenarioSpec spec : ScenarioRegistry::built_in().scenarios()) {
+    spec.queries = 2000;
+    spec.warmup = 200;
+    scenarios.push_back(std::move(spec));
+  }
+  return scenarios;
+}
+
+TEST(MetricModesSweep, RegistryWideCompletionMatchesReplay) {
+  const auto scenarios = shrunk_registry();
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 4;
+  options.seed = 0x715;
+
+  options.log_mode = core::LogMode::kStreaming;
+  const auto replay = run_sweep(scenarios, options);
+  options.log_mode = core::LogMode::kStreamingUnordered;
+  const auto completion = run_sweep(scenarios, options);
+
+  ASSERT_EQ(completion.size(), replay.size());
+  for (std::size_t c = 0; c < replay.size(); ++c) {
+    SCOPED_TRACE(replay[c].scenario + " / " + replay[c].policy);
+    EXPECT_EQ(completion[c].scenario, replay[c].scenario);
+    EXPECT_EQ(completion[c].policy, replay[c].policy);
+    ASSERT_EQ(completion[c].replications.size(),
+              replay[c].replications.size());
+    for (std::size_t i = 0; i < replay[c].replications.size(); ++i) {
+      const auto& r = replay[c].replications[i];
+      const auto& u = completion[c].replications[i];
+      EXPECT_EQ(u.seed, r.seed);
+      EXPECT_EQ(u.policy, r.policy);  // tuning/training is mode-independent
+      // Identical observation multiset -> identical histogram -> the tail
+      // quantile agrees bit for bit (well inside the histogram's <= 0.1%
+      // relative-error contract the ISSUE bounds it by).
+      EXPECT_DOUBLE_EQ(u.tail, r.tail);
+      // Count- and time-ratio metrics are order-insensitive: exact.
+      EXPECT_DOUBLE_EQ(u.reissue_rate, r.reissue_rate);
+      EXPECT_DOUBLE_EQ(u.remediation, r.remediation);
+      EXPECT_DOUBLE_EQ(u.utilization, r.utilization);
+      EXPECT_DOUBLE_EQ(u.outstanding_at_delay, r.outstanding_at_delay);
+      // The FP-summation mean reassociates across orders: equal to within
+      // accumulation roundoff, far below any decision threshold.
+      EXPECT_NEAR(u.mean_latency, r.mean_latency,
+                  1e-9 * std::abs(r.mean_latency) + 1e-12);
+      // The P² sketch is the one genuinely order-sensitive estimator — at
+      // deep percentiles on small samples the two orders can disagree by
+      // integer factors, which is why the column carries no equivalence
+      // claim (it has its own pinned baselines per mode instead).
+      EXPECT_TRUE(std::isfinite(u.tail_psquare));
+      EXPECT_GE(u.tail_psquare, 0.0);
+    }
+  }
+}
+
+TEST(MetricModesSweep, CompletionTailMatchesFullWithinHistogramBound) {
+  // Against kFull's exact sorted percentiles, the completion-order tail
+  // inherits the streaming histogram's documented relative-error bound
+  // (<= 0.1%; 3e-3 leaves headroom for the quantile's own grid snap).
+  const auto scenarios = tiny_scenarios();
+  SweepOptions options;
+  options.replications = 2;
+  options.seed = 0x715;
+
+  options.log_mode = core::LogMode::kFull;
+  const auto full = run_sweep(scenarios, options);
+  options.log_mode = core::LogMode::kStreamingUnordered;
+  const auto completion = run_sweep(scenarios, options);
+
+  ASSERT_EQ(completion.size(), full.size());
+  for (std::size_t c = 0; c < full.size(); ++c) {
+    for (std::size_t i = 0; i < full[c].replications.size(); ++i) {
+      const auto& f = full[c].replications[i];
+      const auto& u = completion[c].replications[i];
+      EXPECT_NEAR(u.tail, f.tail, f.tail * 3e-3);
+      EXPECT_DOUBLE_EQ(u.reissue_rate, f.reissue_rate);
+      EXPECT_DOUBLE_EQ(u.utilization, f.utilization);
+    }
+  }
+}
+
+TEST(MetricModesSweep, CompletionModeBitIdenticalAcrossThreadCounts) {
+  // Explicitly pins the new mode's schedule independence (the default-mode
+  // thread test covers it today, but only because the default happens to
+  // be kStreamingUnordered).
+  const auto scenarios = tiny_scenarios();
+  SweepOptions options;
+  options.replications = 3;
+  options.seed = 0xabc;
+  options.log_mode = core::LogMode::kStreamingUnordered;
+
+  options.threads = 1;
+  const std::string serial = sweep_csv(scenarios, options);
+  options.threads = 2;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+  options.threads = 8;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+}
+
+TEST(MetricModesSweep, RunCellReplicationHonorsUnorderedMode) {
+  const auto scenarios = tiny_scenarios();
+  auto system = make_system(scenarios[0], construction_seed(7, "tiny-q30"));
+  const PolicySpec spec = parse_policy_spec("r:20:0.5");
+  const std::uint64_t seed = replication_seed(7, "tiny-q30", 0);
+
+  ASSERT_TRUE(system->reseed(seed));
+  const auto replay = run_cell_replication(*system, spec, 0.95, seed,
+                                           core::LogMode::kStreaming);
+  ASSERT_TRUE(system->reseed(seed));
+  const auto unordered = run_cell_replication(
+      *system, spec, 0.95, seed, core::LogMode::kStreamingUnordered);
+
+  EXPECT_DOUBLE_EQ(unordered.tail, replay.tail);
+  EXPECT_DOUBLE_EQ(unordered.reissue_rate, replay.reissue_rate);
+  EXPECT_DOUBLE_EQ(unordered.utilization, replay.utilization);
+  EXPECT_TRUE(std::isfinite(unordered.tail_psquare));
+  EXPECT_GT(unordered.tail_psquare, 0.0);
+}
+
+}  // namespace
+}  // namespace reissue::exp

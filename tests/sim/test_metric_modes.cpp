@@ -1,0 +1,305 @@
+// Completion-order metric accumulation (core::LogMode::kStreamingUnordered)
+// vs the replay-order reference (kStreaming).
+//
+// The unordered contract promises the same observation *multiset* — every
+// on_query / on_reissue call with bit-identical arguments — delivered in a
+// different (completion) order, plus an identical on_complete.  The tests
+// here pin that equivalence across every mechanism the simulator composes:
+// queueing, direct-complete infinite-server runs, correlated service,
+// multi-stage policies, lazy cancellation, interference episodes,
+// heterogeneous fleets and bursty arrivals.
+//
+// The emission *order* of the unordered path is itself deterministic per
+// (system, seed, policy), so it carries its own golden hashes — gated on
+// the same libm probes as test_cluster_golden.cpp, because the observed
+// values flow through pow/log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/workloads.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::sim {
+namespace {
+
+/// libm sentinels shared with test_cluster_golden.cpp.
+constexpr std::uint64_t kPowProbe = 0x3ff5201fdad96895ull;
+constexpr std::uint64_t kLogProbe = 0xc000bc233ad9edd6ull;
+
+bool libm_matches_baseline() {
+  const double a = std::pow(0.7366218546322401, -1.0 / 1.1);
+  const double b = std::log(0.1234567890123456789);
+  return std::bit_cast<std::uint64_t>(a) == kPowProbe &&
+         std::bit_cast<std::uint64_t>(b) == kLogProbe;
+}
+
+#define REQUIRE_BASELINE_LIBM()                                        \
+  if (!libm_matches_baseline()) {                                      \
+    GTEST_SKIP() << "different libm than the recorded golden baseline" \
+                    " (pow/log bit patterns differ)";                  \
+  }
+
+struct QueryObs {
+  double latency;
+  double primary;
+
+  friend bool operator==(const QueryObs&, const QueryObs&) = default;
+  friend auto operator<=>(const QueryObs&, const QueryObs&) = default;
+};
+
+struct ReissueObs {
+  double primary;
+  double response;
+  double delay;
+  bool cancelled;
+
+  friend bool operator==(const ReissueObs&, const ReissueObs&) = default;
+  friend auto operator<=>(const ReissueObs&, const ReissueObs&) = default;
+};
+
+/// Records every observation in delivery order.
+class RecordingObserver final : public core::RunObserver {
+ public:
+  void on_query(double latency, double primary) override {
+    queries.push_back({latency, primary});
+  }
+  void on_reissue(double primary, double response, double delay,
+                  bool cancelled) override {
+    reissues.push_back({primary, response, delay, cancelled});
+  }
+  void on_complete(std::size_t queries_total, std::size_t reissues_issued,
+                   double utilization) override {
+    total_queries = queries_total;
+    total_reissues = reissues_issued;
+    total_utilization = utilization;
+    ++complete_calls;
+  }
+
+  std::vector<QueryObs> queries;
+  std::vector<ReissueObs> reissues;
+  std::size_t total_queries = 0;
+  std::size_t total_reissues = 0;
+  double total_utilization = 0.0;
+  int complete_calls = 0;
+};
+
+workloads::WorkloadOptions small_options() {
+  workloads::WorkloadOptions opts;
+  opts.queries = 2500;
+  opts.warmup = 250;
+  opts.seed = 0x5eed;
+  return opts;
+}
+
+/// Every ClusterConfig extension at once (same shape as the kitchen-sink
+/// golden): heterogeneous speeds, min-of-two balancing, prioritized
+/// queueing, lazy cancellation, interference and bursty phases.
+Cluster kitchen_sink() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.arrival_rate = arrival_rate_for_utilization(0.5, 6, 22.0);
+  cfg.queries = 2500;
+  cfg.warmup = 250;
+  cfg.load_balancer = LoadBalancerKind::kMinOfTwo;
+  cfg.queue = QueueDisciplineKind::kPrioritizedFifo;
+  cfg.exclude_primary_server = true;
+  cfg.cancel_on_completion = true;
+  cfg.cancellation_overhead = 0.1;
+  cfg.interference_rate = 0.002;
+  cfg.interference_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.server_speeds = {1.0, 1.0, 1.5, 1.0, 2.0, 1.0};
+  cfg.arrival_phases = {{500.0, 1.0}, {250.0, 1.8}};
+  cfg.seed = 0x601de;
+  auto service = make_correlated_service(
+      stats::make_truncated(stats::make_pareto(1.1, 2.0), 5000.0), 0.5);
+  return Cluster(cfg, std::move(service));
+}
+
+/// Runs `cluster` under `policy` in both streaming modes and asserts the
+/// unordered observations are exactly a permutation of the replay-order
+/// reference: identical sorted multisets (bit-for-bit values) and an
+/// identical on_complete.
+void expect_same_multiset(Cluster& cluster, const core::ReissuePolicy& policy) {
+  RecordingObserver replay;
+  cluster.run_streaming(policy, replay);
+  RecordingObserver unordered;
+  cluster.run_streaming_unordered(policy, unordered);
+
+  ASSERT_EQ(replay.complete_calls, 1);
+  ASSERT_EQ(unordered.complete_calls, 1);
+  EXPECT_EQ(unordered.total_queries, replay.total_queries);
+  EXPECT_EQ(unordered.total_reissues, replay.total_reissues);
+  EXPECT_EQ(unordered.total_utilization, replay.total_utilization);
+
+  ASSERT_EQ(unordered.queries.size(), replay.queries.size());
+  ASSERT_EQ(unordered.reissues.size(), replay.reissues.size());
+  std::ranges::sort(replay.queries);
+  std::ranges::sort(unordered.queries);
+  EXPECT_EQ(unordered.queries, replay.queries);
+  std::ranges::sort(replay.reissues);
+  std::ranges::sort(unordered.reissues);
+  EXPECT_EQ(unordered.reissues, replay.reissues);
+}
+
+TEST(MetricModes, QueueingSingleRSameMultiset) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, small_options());
+  expect_same_multiset(cluster, core::ReissuePolicy::single_r(20.0, 0.5));
+}
+
+TEST(MetricModes, QueueingNoReissueSameMultiset) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, small_options());
+  expect_same_multiset(cluster, core::ReissuePolicy::none());
+}
+
+TEST(MetricModes, QueueingMultiStageSameMultiset) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, small_options());
+  expect_same_multiset(cluster,
+                       core::ReissuePolicy::double_r(5.0, 0.3, 15.0, 0.8));
+}
+
+TEST(MetricModes, IndependentDirectCompleteSameMultiset) {
+  // Infinite-server runs take the direct-complete fast path; immediate(2)
+  // exercises multiple stage-0 copies through it.
+  Cluster cluster = workloads::make_independent(small_options());
+  expect_same_multiset(cluster, core::ReissuePolicy::immediate(2));
+}
+
+TEST(MetricModes, CorrelatedSingleDSameMultiset) {
+  Cluster cluster = workloads::make_correlated(0.5, small_options());
+  expect_same_multiset(cluster, core::ReissuePolicy::single_d(12.5));
+}
+
+TEST(MetricModes, KitchenSinkSameMultiset) {
+  // Lazy cancellation is the subtle case: a cancelled copy never reaches
+  // handle_completion, so the unordered path must emit it either at its
+  // cancellation or in its primary's completion sweep.  Interference,
+  // heterogeneity and bursty phases ride along.
+  Cluster cluster = kitchen_sink();
+  expect_same_multiset(cluster, core::ReissuePolicy::single_r(15.0, 0.6));
+}
+
+TEST(MetricModes, KitchenSinkMultiStageSameMultiset) {
+  Cluster cluster = kitchen_sink();
+  expect_same_multiset(cluster,
+                       core::ReissuePolicy::double_r(4.0, 0.5, 12.0, 0.9));
+}
+
+TEST(MetricModes, UnorderedEmissionOrderIsDeterministic) {
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, small_options());
+  const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+  RecordingObserver first;
+  cluster.run_streaming_unordered(policy, first);
+  RecordingObserver second;
+  cluster.run_streaming_unordered(policy, second);
+  EXPECT_EQ(first.queries, second.queries);      // delivery order included
+  EXPECT_EQ(first.reissues, second.reissues);
+  EXPECT_EQ(first.total_utilization, second.total_utilization);
+}
+
+// ------------------------------------------------- pinned golden baselines
+
+void append(std::string& out, double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  ASSERT_EQ(ec, std::errc{});
+  out.append(buf, end);
+  out.push_back('\n');
+}
+
+/// Byte-exact fingerprint of the unordered stream in *delivery order* —
+/// the order itself is part of the kStreamingUnordered contract (it must
+/// be deterministic), so it is golden-pinned alongside the values.
+std::string unordered_fingerprint(Cluster& cluster,
+                                  const core::ReissuePolicy& policy) {
+  RecordingObserver obs;
+  cluster.run_streaming_unordered(policy, obs);
+  std::string out;
+  out += "queries=" + std::to_string(obs.total_queries) + "\n";
+  out += "reissues=" + std::to_string(obs.total_reissues) + "\n";
+  append(out, obs.total_utilization);
+  for (const auto& q : obs.queries) {
+    append(out, q.latency);
+    append(out, q.primary);
+  }
+  for (const auto& r : obs.reissues) {
+    append(out, r.primary);
+    append(out, r.response);
+    append(out, r.delay);
+    out += r.cancelled ? "c\n" : "-\n";
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+TEST(MetricModesGolden, QueueingSingleRUnordered) {
+  REQUIRE_BASELINE_LIBM();
+  Cluster cluster = workloads::make_queueing(0.4, 0.5, small_options());
+  EXPECT_EQ(fnv1a(unordered_fingerprint(
+                cluster, core::ReissuePolicy::single_r(20.0, 0.5))),
+            0xd11202033e9a2b6aull);
+}
+
+TEST(MetricModesGolden, IndependentImmediateUnordered) {
+  REQUIRE_BASELINE_LIBM();
+  Cluster cluster = workloads::make_independent(small_options());
+  EXPECT_EQ(fnv1a(unordered_fingerprint(cluster,
+                                        core::ReissuePolicy::immediate(2))),
+            0x8425fece7f4d9351ull);
+}
+
+TEST(MetricModesGolden, KitchenSinkUnordered) {
+  REQUIRE_BASELINE_LIBM();
+  Cluster cluster = kitchen_sink();
+  EXPECT_EQ(fnv1a(unordered_fingerprint(
+                cluster, core::ReissuePolicy::single_r(15.0, 0.6))),
+            0xb18f461ab91ec756ull);
+}
+
+// -------------------------------------------- default interface delegation
+
+/// Minimal SystemUnderTest with no native unordered path: the base-class
+/// run_streaming_unordered must delegate to run_streaming (replay order is
+/// one legal unordered order).
+class ReplayOnlySystem final : public core::SystemUnderTest {
+ public:
+  core::RunResult run(const core::ReissuePolicy&) override { return {}; }
+  void run_streaming(const core::ReissuePolicy&,
+                     core::RunObserver& observer) override {
+    observer.on_query(3.0, 4.0);
+    observer.on_reissue(4.0, 2.0, 1.0, false);
+    observer.on_complete(1, 1, 0.5);
+  }
+};
+
+TEST(MetricModes, DefaultUnorderedDelegatesToRunStreaming) {
+  ReplayOnlySystem system;
+  RecordingObserver obs;
+  system.run_streaming_unordered(core::ReissuePolicy::none(), obs);
+  ASSERT_EQ(obs.queries.size(), 1u);
+  EXPECT_EQ(obs.queries[0], (QueryObs{3.0, 4.0}));
+  ASSERT_EQ(obs.reissues.size(), 1u);
+  EXPECT_EQ(obs.reissues[0], (ReissueObs{4.0, 2.0, 1.0, false}));
+  EXPECT_EQ(obs.total_queries, 1u);
+  EXPECT_EQ(obs.complete_calls, 1);
+}
+
+}  // namespace
+}  // namespace reissue::sim
