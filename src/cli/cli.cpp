@@ -67,6 +67,18 @@ training run on the replication's own seed substream feeds the section 4.1
 scan (":corr": the section 4.2 correlation-aware variant; optimal-d: the
 Eq. (2) deadline policy), and the chosen (d, q) is then measured.
 
+fault & arrival spec keys (queueing scenarios):
+  faults=CLAUSE[+CLAUSE...]   seeded fault plan; one clause per family:
+    slowdown:<rate>,<factor>,<mean>    transient per-server slowdowns
+    corr:<k>,<rate>,<mean>[,<factor>]  correlated k-server degradation
+    crash:<mtbf>,<mttr>                crash + recovery (failed primary
+                                       copies retried, reissues abandoned)
+  arrival=diurnal:<period>:<amplitude>[:<steps>]  sinusoidal load curve
+  arrival=trace:<file>        replay recorded arrival timestamps (one per
+                              line, non-decreasing; replaces util=)
+all fault/arrival events use dedicated seed substreams, so thread-count
+and shard-merge byte-identity hold (see the fault-matrix catalog).
+
 metric modes (--metric-mode, default completion):
   completion  streaming accumulators fed in completion order from inside
               the event loop (fastest; histogram tail / counts / rates

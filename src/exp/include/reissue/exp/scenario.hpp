@@ -102,6 +102,45 @@ struct BurstPhase {
   friend bool operator==(const BurstPhase&, const BurstPhase&) = default;
 };
 
+/// Seeded fault plan of a scenario (queueing kind only); maps onto
+/// sim::ClusterConfig::FaultPlan with lognormal episode durations
+/// (log-sigma 0.6, the interference shape).  Spec-string grammar —
+/// '+'-joined family clauses with comma-separated arguments:
+///
+///   faults=slowdown:<rate>,<factor>,<mean-duration>
+///   faults=corr:<k>,<rate>,<mean-duration>[,<factor>]   (factor default 2)
+///   faults=crash:<mtbf>,<mttr>
+///   faults=slowdown:0.002,4,25+crash:4000,150
+///
+/// Rates are per-server Poisson onset rates (corr episodes are
+/// cluster-wide and hit k random servers each); mtbf counts from the
+/// previous recovery; mttr is the mean downtime.
+struct FaultSpec {
+  double slowdown_rate = 0.0;
+  double slowdown_factor = 1.0;
+  double slowdown_mean = 0.0;
+  std::size_t degrade_servers = 0;
+  double degrade_rate = 0.0;
+  double degrade_factor = 1.0;
+  double degrade_mean = 0.0;
+  double crash_mtbf = 0.0;
+  double crash_mttr = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return slowdown_rate > 0.0 || degrade_rate > 0.0 || crash_mtbf > 0.0;
+  }
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Canonical token form (inverse of parse_fault_spec; always emits every
+/// clause argument, so the round trip is exact).
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
+/// Parses the faults= grammar documented on FaultSpec.  Throws
+/// std::runtime_error with a one-line diagnostic on malformed input.
+[[nodiscard]] FaultSpec parse_fault_spec(std::string_view token);
+
 struct ScenarioSpec {
   std::string name;
   WorkloadKind kind = WorkloadKind::kQueueing;
@@ -137,6 +176,21 @@ struct ScenarioSpec {
 
   /// Bursty arrival phases (empty = constant rate).
   std::vector<BurstPhase> phases;
+
+  /// Arrival-process override (queueing kind only; empty = Poisson at the
+  /// util-derived rate).  "diurnal:<period>:<amplitude>[:<steps>]" bends
+  /// the rate along a sinusoidal day curve — `steps` (default 8, >= 2)
+  /// piecewise-constant phases per period, multiplier
+  /// 1 + amplitude*sin(2*pi*(i+0.5)/steps), amplitude in (0,1).
+  /// "trace:<file>" replays recorded arrival timestamps (one non-negative,
+  /// non-decreasing value per line; cycled with the trace's extrapolated
+  /// span when shorter than `queries`) — combined with service=trace:<file>
+  /// this replays a recorded incident's (arrival, service) pairs exactly.
+  /// Incompatible with phases=; trace arrivals also replace util.
+  std::string arrival;
+
+  /// Seeded fault injection (queueing kind only; empty plan = fault-free).
+  FaultSpec faults;
 
   /// Heterogeneous fleets: per-server service-time multipliers (empty =
   /// homogeneous; size must equal `servers`).

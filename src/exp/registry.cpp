@@ -115,6 +115,56 @@ ScenarioRegistry make_built_in() {
     registry.add(spec);
   }
 
+  // Fault-injection regimes (ROADMAP robustness item).  The overload-flip
+  // trio pins the paper's central caveat as a golden artifact: immediate:1
+  // doubles the offered load, so the same reissue policy that rescues the
+  // tail at util 0.35 (effective 0.7) saturates the fleet at util 0.62
+  // (effective 1.24) and destroys it.  A light slowdown plan keeps the
+  // tail fault-driven rather than purely queueing-driven.
+  {
+    ScenarioSpec spec = base_queueing("overload-flip-under", 0.35);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    // Independent redraws (ratio 0): correlated copies mute the underload
+    // win and the flip never shows.
+    spec.ratio = 0.0;
+    spec.faults = parse_fault_spec("slowdown:0.0005,3,40");
+    spec.policies = {parse_policy_spec("none"),
+                     parse_policy_spec("immediate:1"),
+                     parse_policy_spec("optimal:0.1")};
+    registry.add(spec);
+    spec.name = "overload-flip-mid";
+    spec.utilization = 0.50;
+    registry.add(spec);
+    spec.name = "overload-flip";
+    spec.utilization = 0.62;
+    registry.add(spec);
+  }
+
+  // Crash + recovery: queued copies on a crashed server fail; primaries
+  // retry, reissue copies are abandoned — so reissue is the survival
+  // mechanism for queries whose primary lands on a doomed server.
+  {
+    ScenarioSpec spec = base_queueing("crash-recovery", 0.40);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.faults = parse_fault_spec("crash:3000,120");
+    spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:30:0.5")};
+    registry.add(spec);
+  }
+
+  // Correlated degradation: cluster-wide episodes slow 3 of 10 servers at
+  // once, the regime where independent-failure reasoning breaks down.
+  {
+    ScenarioSpec spec = base_queueing("correlated-degrade", 0.40);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.faults = parse_fault_spec("corr:3,0.0008,60,3");
+    spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:30:0.5"),
+                     parse_policy_spec("d:60")};
+    registry.add(spec);
+  }
+
   // System substrates, sized for tractable sweeps.
   {
     ScenarioSpec spec;
@@ -138,6 +188,10 @@ ScenarioRegistry make_built_in() {
   registry.add_catalog(
       "regimes", {"overload-u90", "bursty", "heterogeneous", "interference"});
   registry.add_catalog("optimizer-loop", {"queueing-optimal"});
+  registry.add_catalog("fault-matrix",
+                       {"overload-flip-under", "overload-flip-mid",
+                        "overload-flip", "crash-recovery",
+                        "correlated-degrade"});
   registry.add_catalog("systems-small", {"redis-small", "lucene-small"});
   registry.add_catalog("sim-all",
                        {"independent", "correlated", "queueing-u30",
@@ -212,7 +266,12 @@ std::vector<ScenarioSpec> ScenarioRegistry::resolve(
       }
     }
     if (catalog == nullptr) {
-      throw std::runtime_error("unknown scenario or catalog '" + entry + "'");
+      std::string message = "unknown scenario or catalog '" + entry +
+                            "'.\navailable scenarios:";
+      for (const auto& spec : scenarios_) message += " " + spec.name;
+      message += "\navailable catalogs:";
+      for (const auto& candidate : catalogs_) message += " " + candidate.name;
+      throw std::runtime_error(message);
     }
     for (const auto& member : catalog->members) {
       specs.push_back(*find(member));

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <numbers>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -130,6 +131,48 @@ bool is_trace_service(std::string_view service) {
   return service.rfind("trace:", 0) == 0;
 }
 
+bool is_trace_arrival(std::string_view arrival) {
+  return arrival.rfind("trace:", 0) == 0;
+}
+
+bool is_diurnal_arrival(std::string_view arrival) {
+  return arrival.rfind("diurnal:", 0) == 0;
+}
+
+std::string_view arrival_trace_path(std::string_view arrival) {
+  return arrival.substr(6);  // after "trace:"
+}
+
+/// The parsed "diurnal:<period>:<amplitude>[:<steps>]" arrival curve.
+struct DiurnalSpec {
+  double period = 0.0;
+  double amplitude = 0.0;
+  std::size_t steps = 8;
+};
+
+DiurnalSpec parse_diurnal(std::string_view token) {
+  const auto parts = split(token, ':');
+  const auto bad = [&](const char* expected) -> std::runtime_error {
+    return std::runtime_error("scenario spec: arrival '" + std::string(token) +
+                              "': expected " + expected);
+  };
+  if (parts.size() < 3 || parts.size() > 4) {
+    throw bad("diurnal:<period>:<amplitude>[:<steps>]");
+  }
+  DiurnalSpec diurnal;
+  diurnal.period = parse_num("diurnal period", parts[1]);
+  diurnal.amplitude = parse_num("diurnal amplitude", parts[2]);
+  if (parts.size() == 4) {
+    diurnal.steps = parse_count("diurnal steps", parts[3]);
+  }
+  if (!(diurnal.period > 0.0)) throw bad("a positive period");
+  if (!(diurnal.amplitude > 0.0 && diurnal.amplitude < 1.0)) {
+    throw bad("an amplitude in (0,1)");
+  }
+  if (diurnal.steps < 2) throw bad("steps >= 2");
+  return diurnal;
+}
+
 constexpr std::string_view kResampleSuffix = ":resample";
 
 /// "trace:<file>:resample" draws i.i.d. from the trace instead of
@@ -154,7 +197,8 @@ bool key_applies(const std::string& key, WorkloadKind kind) {
   if (key == "ratio") return kind_has_ratio(kind);
   if (key == "service" || key == "cap") return kind_has_service(kind);
   if (key == "lb" || key == "queue" || key == "interference" ||
-      key == "phases" || key == "speeds") {
+      key == "phases" || key == "speeds" || key == "arrival" ||
+      key == "faults") {
     return kind_is_queueing(kind);
   }
   return true;
@@ -197,6 +241,54 @@ void validate(const ScenarioSpec& spec) {
       throw std::runtime_error(
           "scenario spec: service=trace:<file> requires kind=queueing "
           "(got kind " + to_string(spec.kind) + ")");
+    }
+  }
+  if (!spec.arrival.empty()) {
+    if (spec.kind != WorkloadKind::kQueueing) {
+      throw std::runtime_error(
+          "scenario spec: arrival= requires kind=queueing (got kind " +
+          to_string(spec.kind) + ")");
+    }
+    if (is_trace_arrival(spec.arrival)) {
+      if (arrival_trace_path(spec.arrival).empty()) {
+        throw std::runtime_error(
+            "scenario spec: arrival=trace:<file> needs a file path");
+      }
+    } else if (is_diurnal_arrival(spec.arrival)) {
+      (void)parse_diurnal(spec.arrival);
+    } else {
+      throw std::runtime_error(
+          "scenario spec: arrival must be diurnal:<period>:<amplitude>"
+          "[:<steps>] or trace:<file> (got '" + spec.arrival + "')");
+    }
+    if (!spec.phases.empty()) {
+      throw std::runtime_error(
+          "scenario spec: arrival= and phases= both shape the arrival "
+          "process; use one");
+    }
+  }
+  if (spec.faults.any()) {
+    if (spec.kind != WorkloadKind::kQueueing) {
+      throw std::runtime_error(
+          "scenario spec: faults= requires kind=queueing (got kind " +
+          to_string(spec.kind) + ")");
+    }
+    const FaultSpec& f = spec.faults;
+    if (f.slowdown_rate > 0.0 &&
+        (!(f.slowdown_factor > 1.0) || !(f.slowdown_mean > 0.0))) {
+      throw std::runtime_error(
+          "scenario spec: faults slowdown needs factor > 1 and "
+          "mean-duration > 0");
+    }
+    if (f.degrade_rate > 0.0 &&
+        (f.degrade_servers == 0 || f.degrade_servers > spec.servers ||
+         !(f.degrade_factor > 1.0) || !(f.degrade_mean > 0.0))) {
+      throw std::runtime_error(
+          "scenario spec: faults corr needs 1 <= k <= servers, factor > 1 "
+          "and mean-duration > 0");
+    }
+    if (f.crash_mtbf > 0.0 && !(f.crash_mttr > 0.0)) {
+      throw std::runtime_error("scenario spec: faults crash needs mttr > 0");
     }
   }
 }
@@ -373,6 +465,79 @@ PolicySpec parse_policy_spec(std::string_view token) {
       "optimal|optimal-d)");
 }
 
+std::string to_string(const FaultSpec& spec) {
+  std::string out;
+  const auto clause = [&out](const std::string& text) {
+    if (!out.empty()) out += '+';
+    out += text;
+  };
+  if (spec.slowdown_rate > 0.0) {
+    clause("slowdown:" + fmt(spec.slowdown_rate) + "," +
+           fmt(spec.slowdown_factor) + "," + fmt(spec.slowdown_mean));
+  }
+  if (spec.degrade_rate > 0.0) {
+    clause("corr:" + std::to_string(spec.degrade_servers) + "," +
+           fmt(spec.degrade_rate) + "," + fmt(spec.degrade_mean) + "," +
+           fmt(spec.degrade_factor));
+  }
+  if (spec.crash_mtbf > 0.0) {
+    clause("crash:" + fmt(spec.crash_mtbf) + "," + fmt(spec.crash_mttr));
+  }
+  return out;
+}
+
+FaultSpec parse_fault_spec(std::string_view token) {
+  FaultSpec spec;
+  const auto bad = [&](const char* expected) -> std::runtime_error {
+    return std::runtime_error("fault spec '" + std::string(token) +
+                              "': expected " + expected);
+  };
+  for (const auto clause : split(token, '+')) {
+    const auto colon = clause.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw bad("'+'-joined <family>:<args> clauses");
+    }
+    const std::string_view head = clause.substr(0, colon);
+    const auto args = split(clause.substr(colon + 1), ',');
+    if (head == "slowdown") {
+      if (spec.slowdown_rate > 0.0) throw bad("slowdown at most once");
+      if (args.size() != 3) throw bad("slowdown:<rate>,<factor>,<mean>");
+      spec.slowdown_rate = parse_num("fault slowdown rate", args[0]);
+      spec.slowdown_factor = parse_num("fault slowdown factor", args[1]);
+      spec.slowdown_mean = parse_num("fault slowdown mean", args[2]);
+      if (!(spec.slowdown_rate > 0.0)) throw bad("a positive slowdown rate");
+      if (!(spec.slowdown_factor > 1.0)) throw bad("a slowdown factor > 1");
+      if (!(spec.slowdown_mean > 0.0)) throw bad("a positive slowdown mean");
+    } else if (head == "corr") {
+      if (spec.degrade_rate > 0.0) throw bad("corr at most once");
+      if (args.size() < 3 || args.size() > 4) {
+        throw bad("corr:<k>,<rate>,<mean>[,<factor>]");
+      }
+      spec.degrade_servers = parse_count("fault corr k", args[0]);
+      spec.degrade_rate = parse_num("fault corr rate", args[1]);
+      spec.degrade_mean = parse_num("fault corr mean", args[2]);
+      spec.degrade_factor =
+          args.size() == 4 ? parse_num("fault corr factor", args[3]) : 2.0;
+      if (spec.degrade_servers == 0) throw bad("corr k >= 1");
+      if (!(spec.degrade_rate > 0.0)) throw bad("a positive corr rate");
+      if (!(spec.degrade_mean > 0.0)) throw bad("a positive corr mean");
+      if (!(spec.degrade_factor > 1.0)) throw bad("a corr factor > 1");
+    } else if (head == "crash") {
+      if (spec.crash_mtbf > 0.0) throw bad("crash at most once");
+      if (args.size() != 2) throw bad("crash:<mtbf>,<mttr>");
+      spec.crash_mtbf = parse_num("fault crash mtbf", args[0]);
+      spec.crash_mttr = parse_num("fault crash mttr", args[1]);
+      if (!(spec.crash_mtbf > 0.0)) throw bad("a positive crash mtbf");
+      if (!(spec.crash_mttr > 0.0)) throw bad("a positive crash mttr");
+    } else {
+      throw std::runtime_error("fault spec '" + std::string(token) +
+                               "': unknown family '" + std::string(head) +
+                               "' (want slowdown|corr|crash)");
+    }
+  }
+  return spec;
+}
+
 std::string to_string(WorkloadKind kind) {
   switch (kind) {
     case WorkloadKind::kIndependent: return "independent";
@@ -399,7 +564,9 @@ std::string to_spec_string(const ScenarioSpec& spec) {
   std::ostringstream os;
   os << "name=" << spec.name;
   os << " kind=" << to_string(spec.kind);
-  if (kind_has_finite_servers(spec.kind)) {
+  // Trace arrivals pace queries off the recorded timestamps, so util would
+  // be an inapplicable (hence unparseable) key.
+  if (kind_has_finite_servers(spec.kind) && !is_trace_arrival(spec.arrival)) {
     os << " util=" << fmt(spec.utilization);
   }
   // Trace replay pins reissue copies to their primary's cost; emitting the
@@ -429,6 +596,12 @@ std::string to_spec_string(const ScenarioSpec& spec) {
       os << fmt(spec.phases[i].duration) << ":"
          << fmt(spec.phases[i].multiplier);
     }
+  }
+  if (kind_is_queueing(spec.kind) && !spec.arrival.empty()) {
+    os << " arrival=" << spec.arrival;
+  }
+  if (kind_is_queueing(spec.kind) && spec.faults.any()) {
+    os << " faults=" << to_string(spec.faults);
   }
   if (kind_is_queueing(spec.kind) && !spec.server_speeds.empty()) {
     os << " speeds=";
@@ -513,6 +686,10 @@ ScenarioSpec parse_scenario(std::string_view text) {
       for (const auto& entry : split(value, ',')) {
         spec.server_speeds.push_back(parse_num("scenario spec speed", entry));
       }
+    } else if (key == "arrival") {
+      spec.arrival = value;
+    } else if (key == "faults") {
+      spec.faults = parse_fault_spec(value);
     } else if (key == "percentile") {
       spec.percentile = parse_num("scenario spec percentile", value);
     } else if (key == "policy") {
@@ -535,6 +712,13 @@ ScenarioSpec parse_scenario(std::string_view text) {
       throw std::runtime_error(
           "scenario spec: ratio does not apply to service=trace:<file> "
           "(reissue copies replay their primary's cost)");
+    }
+    // Trace arrivals replay recorded timestamps verbatim; a utilization
+    // target would be silently ignored, so reject it the same way.
+    if (key == "util" && is_trace_arrival(spec.arrival)) {
+      throw std::runtime_error(
+          "scenario spec: util does not apply to arrival=trace:<file> "
+          "(the recorded timestamps set the rate)");
     }
   }
   validate(spec);
@@ -687,6 +871,80 @@ std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
       for (const auto& phase : spec.phases) {
         config.arrival_phases.push_back(
             sim::ClusterConfig::RatePhase{phase.duration, phase.multiplier});
+      }
+      if (is_diurnal_arrival(spec.arrival)) {
+        // The day curve becomes piecewise-constant rate phases; the phase
+        // machinery already cycles them, so one period's steps suffice.
+        const DiurnalSpec diurnal = parse_diurnal(spec.arrival);
+        const double steps = static_cast<double>(diurnal.steps);
+        for (std::size_t i = 0; i < diurnal.steps; ++i) {
+          const double angle = 2.0 * std::numbers::pi *
+                               (static_cast<double>(i) + 0.5) / steps;
+          config.arrival_phases.push_back(sim::ClusterConfig::RatePhase{
+              diurnal.period / steps,
+              1.0 + diurnal.amplitude * std::sin(angle)});
+        }
+      } else if (is_trace_arrival(spec.arrival)) {
+        // Recorded timestamps replace the Poisson process entirely.  A
+        // trace shorter than `queries` cycles with its extrapolated span
+        // (back + one mean gap) added per lap, so laps stay disjoint and
+        // the recorded burst structure repeats intact.
+        const auto stamps = load_service_trace(
+            std::string(arrival_trace_path(spec.arrival)));
+        if (stamps.size() < 2) {
+          throw std::runtime_error("arrival trace '" +
+                                   std::string(arrival_trace_path(
+                                       spec.arrival)) +
+                                   "': need at least 2 timestamps");
+        }
+        for (std::size_t i = 1; i < stamps.size(); ++i) {
+          if (stamps[i] < stamps[i - 1]) {
+            throw std::runtime_error(
+                "arrival trace '" +
+                std::string(arrival_trace_path(spec.arrival)) +
+                "': timestamps must be non-decreasing");
+          }
+        }
+        const double back = stamps.back();
+        if (!(back > 0.0)) {
+          throw std::runtime_error(
+              "arrival trace '" +
+              std::string(arrival_trace_path(spec.arrival)) +
+              "': last timestamp must be > 0");
+        }
+        const double span =
+            back + back / static_cast<double>(stamps.size() - 1);
+        std::vector<double> schedule(spec.queries);
+        for (std::size_t i = 0; i < spec.queries; ++i) {
+          schedule[i] = stamps[i % stamps.size()] +
+                        static_cast<double>(i / stamps.size()) * span;
+        }
+        // The trace's own empirical rate, used only for horizon estimates.
+        config.arrival_rate = static_cast<double>(stamps.size() - 1) / back;
+        config.arrival_schedule = std::move(schedule);
+      }
+      if (spec.faults.any()) {
+        constexpr double kSigma = 0.6;  // the interference episode shape
+        const auto episode = [](double mean) {
+          return stats::make_lognormal(
+              std::log(mean) - 0.5 * kSigma * kSigma, kSigma);
+        };
+        const FaultSpec& f = spec.faults;
+        if (f.slowdown_rate > 0.0) {
+          config.faults.slowdown_rate = f.slowdown_rate;
+          config.faults.slowdown_factor = f.slowdown_factor;
+          config.faults.slowdown_duration = episode(f.slowdown_mean);
+        }
+        if (f.degrade_rate > 0.0) {
+          config.faults.degrade_servers = f.degrade_servers;
+          config.faults.degrade_rate = f.degrade_rate;
+          config.faults.degrade_factor = f.degrade_factor;
+          config.faults.degrade_duration = episode(f.degrade_mean);
+        }
+        if (f.crash_mtbf > 0.0) {
+          config.faults.crash_mtbf = f.crash_mtbf;
+          config.faults.crash_downtime = episode(f.crash_mttr);
+        }
       }
       config.server_speeds = spec.server_speeds;
       if (spec.interference_rate > 0.0) {

@@ -37,6 +37,12 @@ std::string format_counters(const sim::RunCounters& c, std::uint64_t runs) {
   line(out, "reissues_wasted", c.reissues_wasted);
   line(out, "copies_cancelled", c.copies_cancelled);
   line(out, "interference_episodes", c.interference_episodes);
+  line(out, "fault_slowdowns", c.fault_slowdowns);
+  line(out, "fault_degrades", c.fault_degrades);
+  line(out, "fault_crashes", c.fault_crashes);
+  line(out, "fault_copies_failed", c.fault_copies_failed);
+  line(out, "fault_dispatch_rejections", c.fault_dispatch_rejections);
+  line(out, "fault_primary_retries", c.fault_primary_retries);
   line(out, "reissue_inflight_peak", c.reissue_inflight_peak);
   line(out, "arena_slots_high_water", c.arena_slots);
   return out;

@@ -190,6 +190,21 @@ class MultiObserver final : public sim::SimObserver {
                        double duration) override {
     for (auto* c : children_) c->on_interference(now, server, duration);
   }
+  void on_fault_begin(double now, std::uint32_t server, sim::FaultKind fault,
+                      double duration) override {
+    for (auto* c : children_) c->on_fault_begin(now, server, fault, duration);
+  }
+  void on_fault_end(double now, std::uint32_t server,
+                    sim::FaultKind fault) override {
+    for (auto* c : children_) c->on_fault_end(now, server, fault);
+  }
+  void on_dispatch_failed(double now, std::uint64_t query, sim::CopyKind kind,
+                          std::uint32_t copy_index,
+                          std::uint32_t server) override {
+    for (auto* c : children_) {
+      c->on_dispatch_failed(now, query, kind, copy_index, server);
+    }
+  }
   void on_run_end(double horizon, double utilization,
                   const sim::RunCounters& counters) override {
     for (auto* c : children_) c->on_run_end(horizon, utilization, counters);

@@ -71,6 +71,13 @@ class TimeSeriesObserver final : public sim::SimObserver {
   void on_query_done(double now, std::uint64_t query, double latency) override;
   void on_server_state(double now, std::uint32_t server, std::size_t queued,
                        bool busy) override;
+  void on_fault_begin(double now, std::uint32_t server, sim::FaultKind fault,
+                      double duration) override;
+  void on_fault_end(double now, std::uint32_t server,
+                    sim::FaultKind fault) override;
+  void on_dispatch_failed(double now, std::uint64_t query, sim::CopyKind kind,
+                          std::uint32_t copy_index,
+                          std::uint32_t server) override;
   void on_run_end(double horizon, double utilization,
                   const sim::RunCounters& counters) override;
 
@@ -111,6 +118,12 @@ class TimeSeriesObserver final : public sim::SimObserver {
   std::uint64_t completions_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t suppressed_ = 0;
+  /// Fault-layer series, emitted only once a run has seen a fault hook so
+  /// fault-free runs produce byte-identical CSVs to the pre-fault schema.
+  bool faults_seen_ = false;
+  std::uint64_t faults_active_ = 0;
+  std::uint64_t fault_begins_ = 0;
+  std::uint64_t fault_copies_failed_ = 0;
   std::optional<stats::TailSummary> window_tail_;
 };
 

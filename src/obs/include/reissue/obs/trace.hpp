@@ -76,6 +76,11 @@ class TraceObserver final : public sim::SimObserver {
                        bool busy) override;
   void on_interference(double now, std::uint32_t server,
                        double duration) override;
+  void on_fault_begin(double now, std::uint32_t server, sim::FaultKind fault,
+                      double duration) override;
+  void on_dispatch_failed(double now, std::uint64_t query, sim::CopyKind kind,
+                          std::uint32_t copy_index,
+                          std::uint32_t server) override;
 
  private:
   /// Comma/newline bookkeeping before each event object.

@@ -39,6 +39,9 @@ enum class TraceEventKind : std::uint8_t {
   kInterference = 11,
   kServerState = 12,
   kRunEnd = 13,
+  kFaultBegin = 14,
+  kFaultEnd = 15,
+  kDispatchFailed = 16,
 };
 
 /// One traced event.  `value` is the kind-specific payload: service time
@@ -115,6 +118,13 @@ class RingTraceObserver final : public sim::SimObserver {
                        bool busy) override;
   void on_interference(double now, std::uint32_t server,
                        double duration) override;
+  void on_fault_begin(double now, std::uint32_t server, sim::FaultKind fault,
+                      double duration) override;
+  void on_fault_end(double now, std::uint32_t server,
+                    sim::FaultKind fault) override;
+  void on_dispatch_failed(double now, std::uint64_t query, sim::CopyKind kind,
+                          std::uint32_t copy_index,
+                          std::uint32_t server) override;
   void on_run_end(double horizon, double utilization,
                   const sim::RunCounters& counters) override;
 

@@ -37,6 +37,10 @@ void TimeSeriesObserver::on_run_begin(const RunInfo& run) {
   completions_ = 0;
   issued_ = 0;
   suppressed_ = 0;
+  faults_seen_ = false;
+  faults_active_ = 0;
+  fault_begins_ = 0;
+  fault_copies_failed_ = 0;
   window_tail_.emplace(options_.percentile);
 }
 
@@ -67,6 +71,16 @@ void TimeSeriesObserver::flush_window(double t1, double width) {
                       static_cast<double>(issued_)});
   rows_.push_back(Row{run_, window_, t0_, t1, "reissues_suppressed", -1,
                       static_cast<double>(suppressed_)});
+  if (faults_seen_) {
+    // Boundary point sample of active fault episodes (server-episodes),
+    // plus windowed begin / failed-copy counts.
+    rows_.push_back(Row{run_, window_, t0_, t1, "faults_active", -1,
+                        static_cast<double>(faults_active_)});
+    rows_.push_back(Row{run_, window_, t0_, t1, "fault_begins", -1,
+                        static_cast<double>(fault_begins_)});
+    rows_.push_back(Row{run_, window_, t0_, t1, "fault_copies_failed", -1,
+                        static_cast<double>(fault_copies_failed_)});
+  }
   if (window_tail_->count() > 0) {
     rows_.push_back(Row{run_, window_, t0_, t1, "latency_mean", -1,
                         window_tail_->mean()});
@@ -78,6 +92,8 @@ void TimeSeriesObserver::flush_window(double t1, double width) {
   completions_ = 0;
   issued_ = 0;
   suppressed_ = 0;
+  fault_begins_ = 0;
+  fault_copies_failed_ = 0;
   window_tail_.emplace(options_.percentile);
 }
 
@@ -145,6 +161,31 @@ void TimeSeriesObserver::on_server_state(double now, std::uint32_t server,
   state.last_change = now;
   state.busy = busy;
   state.depth = queued;
+}
+
+void TimeSeriesObserver::on_fault_begin(double now, std::uint32_t /*server*/,
+                                        sim::FaultKind /*fault*/,
+                                        double /*duration*/) {
+  roll(now);
+  faults_seen_ = true;
+  ++faults_active_;
+  ++fault_begins_;
+}
+
+void TimeSeriesObserver::on_fault_end(double now, std::uint32_t /*server*/,
+                                      sim::FaultKind /*fault*/) {
+  roll(now);
+  if (faults_active_ > 0) --faults_active_;
+}
+
+void TimeSeriesObserver::on_dispatch_failed(double now,
+                                            std::uint64_t /*query*/,
+                                            sim::CopyKind /*kind*/,
+                                            std::uint32_t /*copy_index*/,
+                                            std::uint32_t /*server*/) {
+  roll(now);
+  faults_seen_ = true;
+  ++fault_copies_failed_;
 }
 
 void TimeSeriesObserver::on_run_end(double horizon, double /*utilization*/,

@@ -28,6 +28,18 @@ const char* copy_name(sim::CopyKind kind) {
   return "?";
 }
 
+const char* fault_name(sim::FaultKind fault) {
+  switch (fault) {
+    case sim::FaultKind::kSlowdown:
+      return "slowdown";
+    case sim::FaultKind::kDegrade:
+      return "degrade";
+    case sim::FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
 }  // namespace
 
 TraceObserver::TraceObserver(std::ostream& out, TraceObserverOptions options)
@@ -193,6 +205,30 @@ void TraceObserver::on_interference(double now, std::uint32_t server,
   out_ << "{\"name\":\"interference\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
        << run_ << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"server\":"
        << server << ",\"duration\":" << fmt(duration) << "}}";
+}
+
+void TraceObserver::on_fault_begin(double now, std::uint32_t server,
+                                   sim::FaultKind fault, double duration) {
+  // The whole episode is known up front, so it renders as a complete span
+  // on the afflicted server's lane; on_fault_end needs no event.
+  begin_event();
+  out_ << "{\"name\":\"fault-" << fault_name(fault)
+       << "\",\"ph\":\"X\",\"pid\":" << run_ << ",\"tid\":"
+       << span_tid(server, 0) << ",\"ts\":" << fmt(now) << ",\"dur\":"
+       << fmt(duration) << ",\"args\":{\"server\":" << server << "}}";
+}
+
+void TraceObserver::on_dispatch_failed(double now, std::uint64_t query,
+                                       sim::CopyKind kind,
+                                       std::uint32_t copy_index,
+                                       std::uint32_t server) {
+  begin_event();
+  out_ << "{\"name\":\"dispatch-failed\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+       << run_ << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":"
+       << query << ",\"kind\":\"" << copy_name(kind) << "\",\"copy\":"
+       << copy_index;
+  if (server != kNoServer) out_ << ",\"server\":" << server;
+  out_ << "}}";
 }
 
 }  // namespace reissue::obs

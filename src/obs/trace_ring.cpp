@@ -23,7 +23,7 @@ std::string fmt(double value) {
   return std::string(buf, end);
 }
 
-constexpr std::array<const char*, 14> kKindNames = {
+constexpr std::array<const char*, 17> kKindNames = {
     "run-begin",          "arrival",
     "reissue-scheduled",  "reissue-issued",
     "reissue-suppressed-completion", "reissue-suppressed-coin",
@@ -31,6 +31,8 @@ constexpr std::array<const char*, 14> kKindNames = {
     "copy-cancelled",     "copy-complete",
     "query-done",         "interference",
     "server-state",       "run-end",
+    "fault-begin",        "fault-end",
+    "dispatch-failed",
 };
 
 TraceRecord make(TraceEventKind kind, double ts, double value,
@@ -151,6 +153,26 @@ void RingTraceObserver::on_interference(double now, std::uint32_t server,
                                         double duration) {
   ring_.push(make(TraceEventKind::kInterference, now, duration, 0, server, 0,
                   0));
+}
+
+void RingTraceObserver::on_fault_begin(double now, std::uint32_t server,
+                                       sim::FaultKind fault, double duration) {
+  ring_.push(make(TraceEventKind::kFaultBegin, now, duration, 0, server,
+                  static_cast<std::uint16_t>(fault), 0));
+}
+
+void RingTraceObserver::on_fault_end(double now, std::uint32_t server,
+                                     sim::FaultKind fault) {
+  ring_.push(make(TraceEventKind::kFaultEnd, now, 0.0, 0, server,
+                  static_cast<std::uint16_t>(fault), 0));
+}
+
+void RingTraceObserver::on_dispatch_failed(double now, std::uint64_t query,
+                                           sim::CopyKind /*kind*/,
+                                           std::uint32_t copy_index,
+                                           std::uint32_t server) {
+  ring_.push(make(TraceEventKind::kDispatchFailed, now, 0.0, query, server, 0,
+                  clamp_copy(copy_index)));
 }
 
 void RingTraceObserver::on_run_end(double horizon, double utilization,

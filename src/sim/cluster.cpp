@@ -71,6 +71,59 @@ void validate(const ClusterConfig& config) {
           "Cluster: arrival phases need positive duration and multiplier");
     }
   }
+  if (!config.arrival_schedule.empty()) {
+    if (config.arrival_schedule.size() != config.queries) {
+      throw std::invalid_argument(
+          "Cluster: arrival_schedule size must equal queries");
+    }
+    if (!config.arrival_phases.empty()) {
+      throw std::invalid_argument(
+          "Cluster: arrival_schedule is incompatible with arrival_phases");
+    }
+    double prev = 0.0;
+    for (double t : config.arrival_schedule) {
+      if (!(t >= prev) || !std::isfinite(t)) {
+        throw std::invalid_argument(
+            "Cluster: arrival_schedule must be non-decreasing and >= 0");
+      }
+      prev = t;
+    }
+  }
+  const ClusterConfig::FaultPlan& faults = config.faults;
+  if (faults.any() && config.infinite_servers) {
+    throw std::invalid_argument("Cluster: faults require finite servers");
+  }
+  if (faults.slowdown_rate < 0.0 || faults.degrade_rate < 0.0 ||
+      faults.crash_mtbf < 0.0) {
+    throw std::invalid_argument("Cluster: fault rates must be >= 0");
+  }
+  if (faults.slowdown_rate > 0.0) {
+    if (!faults.slowdown_duration) {
+      throw std::invalid_argument(
+          "Cluster: slowdown_rate > 0 requires slowdown_duration");
+    }
+    if (!(faults.slowdown_factor > 1.0)) {
+      throw std::invalid_argument("Cluster: slowdown_factor must be > 1");
+    }
+  }
+  if (faults.degrade_rate > 0.0) {
+    if (!faults.degrade_duration) {
+      throw std::invalid_argument(
+          "Cluster: degrade_rate > 0 requires degrade_duration");
+    }
+    if (!(faults.degrade_factor > 1.0)) {
+      throw std::invalid_argument("Cluster: degrade_factor must be > 1");
+    }
+    if (faults.degrade_servers == 0 ||
+        faults.degrade_servers > config.servers) {
+      throw std::invalid_argument(
+          "Cluster: degrade_servers must be in [1, servers]");
+    }
+  }
+  if (faults.crash_mtbf > 0.0 && !faults.crash_downtime) {
+    throw std::invalid_argument(
+        "Cluster: crash_mtbf > 0 requires crash_downtime");
+  }
 }
 
 Cluster::Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service)

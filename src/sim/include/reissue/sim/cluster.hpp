@@ -48,6 +48,15 @@ struct ClusterConfig {
   };
   std::vector<RatePhase> arrival_phases;
 
+  /// Timestamped arrival replay: when non-empty, query i arrives at
+  /// arrival_schedule[i] instead of a Poisson draw (size must equal
+  /// `queries`; non-decreasing, first entry >= 0).  `arrival_rate` is still
+  /// required > 0 — it only feeds horizon estimation (fault/interference
+  /// pre-scheduling) and should approximate queries / schedule span.
+  /// Incompatible with arrival_phases (a recorded schedule already carries
+  /// its own drift).
+  std::vector<double> arrival_schedule;
+
   /// Total queries per run, and how many initial queries are excluded
   /// from the logs as warmup.
   std::size_t queries = 40000;
@@ -84,6 +93,52 @@ struct ClusterConfig {
   /// (2.0 = a half-speed machine).  Straggler servers are a classic tail
   /// source the reissue policies must route around.
   std::vector<double> server_speeds;
+
+  /// Seeded fault injection (finite-server runs only).  All fault events
+  /// are pre-scheduled at construction from dedicated SplitMix substreams
+  /// ("fault-slowdown" / "fault-degrade" / "fault-crash"), so fault runs
+  /// keep the shard/thread byte-identity and observer-identity contracts,
+  /// and fault-free runs derive exactly the streams they always did.
+  ///
+  /// Semantics:
+  ///  * Slowdowns (GC-pause-style hiccups): per-server Poisson onsets at
+  ///    `slowdown_rate`; each episode multiplies service costs started on
+  ///    the server by `slowdown_factor` for a `slowdown_duration` draw.
+  ///    Overlapping episodes compound.  The speed in effect when a copy
+  ///    *starts service* applies to its whole cost.
+  ///  * Correlated degradation: cluster-wide Poisson episodes at
+  ///    `degrade_rate`; each hits `degrade_servers` distinct servers
+  ///    (drawn without replacement) simultaneously with multiplier
+  ///    `degrade_factor` for one shared `degrade_duration` draw.
+  ///  * Crash + recovery: per-server failures with exponential
+  ///    inter-failure time of mean `crash_mtbf` (measured from the
+  ///    previous recovery); downtime is a `crash_downtime` draw.  A
+  ///    crashed server rejects dispatch (the client redraws a live
+  ///    server), its in-service and queued copies fail — failed reissue
+  ///    copies are abandoned (logged cancelled with +inf response; the
+  ///    reissue policy's other copies are the survival mechanism), while a
+  ///    failed primary is immediately re-dispatched by the client (every
+  ///    query still completes, so crash scenarios flow through the same
+  ///    metrics pipeline).
+  struct FaultPlan {
+    double slowdown_rate = 0.0;    // per server per time unit; 0 disables
+    double slowdown_factor = 1.0;  // service-cost multiplier while active
+    stats::DistributionPtr slowdown_duration;
+
+    std::size_t degrade_servers = 0;  // k servers hit per episode
+    double degrade_rate = 0.0;        // cluster-wide episodes per time unit
+    double degrade_factor = 1.0;
+    stats::DistributionPtr degrade_duration;
+
+    double crash_mtbf = 0.0;  // mean time between failures; 0 disables
+    stats::DistributionPtr crash_downtime;
+
+    [[nodiscard]] bool any() const noexcept {
+      return slowdown_rate > 0.0 || degrade_rate > 0.0 || crash_mtbf > 0.0;
+    }
+    [[nodiscard]] bool crashes() const noexcept { return crash_mtbf > 0.0; }
+  };
+  FaultPlan faults;
 
   /// Root seed; every run derives identical per-component streams, so two
   /// runs with equal seeds see identical arrivals and primary service

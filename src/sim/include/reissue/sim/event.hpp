@@ -23,6 +23,15 @@
 //                       from the per-query state.
 //   kInterferenceStart— a background interference episode of duration()
 //                       begins occupying server().
+//   kFaultBegin       — a fault episode (fault_kind()) starts on server():
+//                       a transient slowdown, one server's share of a
+//                       correlated degradation, or a crash.  duration() is
+//                       the episode length; the matching kFaultEnd is
+//                       scheduled alongside it.
+//   kFaultEnd         — the episode of fault_kind() on server() ends.
+//   kClientRetry      — the client re-dispatches copy_index() of query()
+//                       after every server was down at dispatch time;
+//                       fired at the earliest server recovery.
 //
 // The two scalar payload slots (`a`: 32-bit, `b`: 64-bit) are interpreted
 // per kind through the named accessors; unused slots are zero.
@@ -41,26 +50,47 @@ enum class EventKind : std::uint8_t {
   kCopyComplete,
   kDirectComplete,
   kInterferenceStart,
+  kFaultBegin,
+  kFaultEnd,
+  kClientRetry,
+};
+
+/// The three seeded fault families of ClusterConfig::FaultPlan.  The tag
+/// rides in SimEvent::stage for fault events and is reported verbatim
+/// through the SimObserver fault hooks.
+enum class FaultKind : std::uint16_t {
+  kSlowdown = 0,  // GC-pause-style multiplicative speed dip on one server
+  kDegrade = 1,   // one server's share of a correlated degradation episode
+  kCrash = 2,     // server down: rejects dispatch, queued copies fail
 };
 
 struct SimEvent {
   EventKind kind = EventKind::kArrival;
-  /// kDirectComplete: which kind of copy finished.
+  /// kDirectComplete / kClientRetry: which kind of copy.
   CopyKind copy = CopyKind::kPrimary;
   /// kReissueStage: index into the policy's stage list.
+  /// kFaultBegin / kFaultEnd: the FaultKind tag.
   std::uint16_t stage = 0;
-  /// kCopyComplete / kInterferenceStart: server index.
-  /// kDirectComplete: copy index (0 primary, 1-based reissue otherwise).
+  /// kCopyComplete / kInterferenceStart / kFaultBegin / kFaultEnd: server.
+  /// kDirectComplete / kClientRetry: copy index (0 primary, 1-based
+  /// reissue otherwise).
   std::uint32_t a = 0;
-  /// kReissueStage / kDirectComplete: query id.
-  /// kInterferenceStart: episode duration (bit-cast double).
+  /// kReissueStage / kDirectComplete / kClientRetry: query id.
+  /// kInterferenceStart / kFaultBegin: episode duration (bit-cast double).
+  /// kCopyComplete: the target server's fault generation (always zero on
+  /// fault-free runs; see Simulation — a completion whose generation lags
+  /// the server's is stale, its copy died in a crash).
   std::uint64_t b = 0;
 
   [[nodiscard]] std::uint32_t server() const noexcept { return a; }
   [[nodiscard]] std::uint32_t copy_index() const noexcept { return a; }
   [[nodiscard]] std::uint64_t query() const noexcept { return b; }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return b; }
   [[nodiscard]] double duration() const noexcept {
     return std::bit_cast<double>(b);
+  }
+  [[nodiscard]] FaultKind fault_kind() const noexcept {
+    return static_cast<FaultKind>(stage);
   }
 
   [[nodiscard]] static SimEvent reissue_stage(std::uint64_t query,
@@ -71,10 +101,12 @@ struct SimEvent {
     ev.b = query;
     return ev;
   }
-  [[nodiscard]] static SimEvent copy_complete(std::uint32_t server) noexcept {
+  [[nodiscard]] static SimEvent copy_complete(
+      std::uint32_t server, std::uint64_t generation = 0) noexcept {
     SimEvent ev;
     ev.kind = EventKind::kCopyComplete;
     ev.a = server;
+    ev.b = generation;
     return ev;
   }
   [[nodiscard]] static SimEvent direct_complete(const Request& request) noexcept {
@@ -91,6 +123,33 @@ struct SimEvent {
     ev.kind = EventKind::kInterferenceStart;
     ev.a = server;
     ev.b = std::bit_cast<std::uint64_t>(duration);
+    return ev;
+  }
+  [[nodiscard]] static SimEvent fault_begin(FaultKind fault,
+                                            std::uint32_t server,
+                                            double duration) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kFaultBegin;
+    ev.stage = static_cast<std::uint16_t>(fault);
+    ev.a = server;
+    ev.b = std::bit_cast<std::uint64_t>(duration);
+    return ev;
+  }
+  [[nodiscard]] static SimEvent fault_end(FaultKind fault,
+                                          std::uint32_t server) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kFaultEnd;
+    ev.stage = static_cast<std::uint16_t>(fault);
+    ev.a = server;
+    return ev;
+  }
+  [[nodiscard]] static SimEvent client_retry(std::uint64_t query, CopyKind kind,
+                                             std::uint32_t copy_index) noexcept {
+    SimEvent ev;
+    ev.kind = EventKind::kClientRetry;
+    ev.copy = kind;
+    ev.a = copy_index;
+    ev.b = query;
     return ev;
   }
 };

@@ -55,14 +55,16 @@ class Server {
 
   /// Starts `request` immediately, skipping the queue.  Precondition:
   /// can_start_directly().  Semantics are identical to
-  /// enqueue() + try_start() for a bypassable discipline.
+  /// enqueue() + try_start() for a bypassable discipline.  `speed` scales
+  /// the service cost (fault-layer slowdowns; 1.0 — the fault-free case —
+  /// is an exact no-op, so fault-free runs stay bit-identical).
   template <typename CancelFn>
   [[nodiscard]] double start_directly(const Request& request,
-                                      CancelFn&& cancelled,
-                                      double cancel_cost) {
+                                      CancelFn&& cancelled, double cancel_cost,
+                                      double speed = 1.0) {
     assert(can_start_directly());
     const double cost =
-        cancelled(request) ? cancel_cost : request.service_time;
+        cancelled(request) ? cancel_cost : request.service_time * speed;
     busy_ = true;
     busy_time_ += cost;
     current_ = request;
@@ -75,16 +77,18 @@ class Server {
   /// is `current()`).  `cancelled(request)` is consulted at service start
   /// (the lazy-cancellation extension, cf. Lee et al. [20]): returning
   /// true replaces the copy's service time with `cancel_cost` (must be
-  /// >= 0).  Returns nullopt when already busy or nothing is queued.
+  /// >= 0).  `speed` scales non-cancelled costs as in start_directly().
+  /// Returns nullopt when already busy or nothing is queued.
   template <typename CancelFn>
   [[nodiscard]] std::optional<double> try_start(CancelFn&& cancelled,
-                                                double cancel_cost) {
+                                                double cancel_cost,
+                                                double speed = 1.0) {
     assert(cancel_cost >= 0.0);
     if (busy_ || queued_ == 0) return std::nullopt;
     current_ = fifo_ ? ring_.pop_front() : queue_->pop();
     --queued_;
     const double cost =
-        cancelled(current_) ? cancel_cost : current_.service_time;
+        cancelled(current_) ? cancel_cost : current_.service_time * speed;
     busy_ = true;
     busy_time_ += cost;
     return cost;
@@ -98,6 +102,31 @@ class Server {
     busy_ = false;
     ++completed_;
     return current_;
+  }
+
+  /// Crash support (fault layer): aborts the in-service copy, returning it
+  /// by value; the server becomes idle and `unserved` — the remaining cost
+  /// the copy will never consume (scheduled end minus crash time) — is
+  /// subtracted from busy time, so utilization reflects actual occupancy.
+  /// Precondition: busy().
+  [[nodiscard]] Request abort_in_service(double unserved) {
+    assert(busy_);
+    assert(unserved >= 0.0);
+    busy_ = false;
+    busy_time_ -= unserved;
+    return current_;
+  }
+
+  /// Crash support: pops every queued copy (in discipline order) through
+  /// `fn(const Request&)`, leaving the queue empty.  Used when a crashed
+  /// server fails its backlog.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    while (queued_ > 0) {
+      const Request request = fifo_ ? ring_.pop_front() : queue_->pop();
+      --queued_;
+      fn(request);
+    }
   }
 
   /// The copy in service (or the last one served when idle).

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "reissue/sim/event.hpp"
 #include "reissue/sim/request.hpp"
 
 // Compile-time master switch; the build sets REISSUE_OBS_ENABLED=0 when
@@ -59,6 +60,19 @@ struct RunCounters {
   /// Copies lazily cancelled at service start (cancel_on_completion).
   std::uint64_t copies_cancelled = 0;
   std::uint64_t interference_episodes = 0;
+  /// Fault-layer tallies (ClusterConfig::FaultPlan; all zero on fault-free
+  /// runs).  Slowdowns and crashes count per-server episodes begun;
+  /// degrades count server-episodes (episodes x degrade_servers).
+  std::uint64_t fault_slowdowns = 0;
+  std::uint64_t fault_degrades = 0;
+  std::uint64_t fault_crashes = 0;
+  /// Non-background copies killed by a crash (in service or queued).
+  std::uint64_t fault_copies_failed = 0;
+  /// Dispatch attempts rejected because the picked server was down (each
+  /// triggers a redraw, or a deferred kClientRetry when no server is up).
+  std::uint64_t fault_dispatch_rejections = 0;
+  /// Failed primary copies the client re-dispatched.
+  std::uint64_t fault_primary_retries = 0;
   /// Peak simultaneously in-flight reissue copies.  Accumulates by max.
   std::uint64_t reissue_inflight_peak = 0;
   /// Reissue-copy arena slots this run (queries x stages) — the
@@ -77,6 +91,12 @@ struct RunCounters {
     reissues_wasted += other.reissues_wasted;
     copies_cancelled += other.copies_cancelled;
     interference_episodes += other.interference_episodes;
+    fault_slowdowns += other.fault_slowdowns;
+    fault_degrades += other.fault_degrades;
+    fault_crashes += other.fault_crashes;
+    fault_copies_failed += other.fault_copies_failed;
+    fault_dispatch_rejections += other.fault_dispatch_rejections;
+    fault_primary_retries += other.fault_primary_retries;
     if (other.reissue_inflight_peak > reissue_inflight_peak) {
       reissue_inflight_peak = other.reissue_inflight_peak;
     }
@@ -147,6 +167,20 @@ class SimObserver {
                                std::size_t /*queued*/, bool /*busy*/) {}
   virtual void on_interference(double /*now*/, std::uint32_t /*server*/,
                                double /*duration*/) {}
+  /// A fault episode (slowdown / degrade share / crash) began on `server`
+  /// and will end at now + duration (the matching on_fault_end).
+  virtual void on_fault_begin(double /*now*/, std::uint32_t /*server*/,
+                              FaultKind /*fault*/, double /*duration*/) {}
+  virtual void on_fault_end(double /*now*/, std::uint32_t /*server*/,
+                            FaultKind /*fault*/) {}
+  /// A copy was lost to a crash fault: either its dispatch was rejected by
+  /// a down `server` (the client redraws or defers), or its server crashed
+  /// while it was queued / in service.  Failed primaries are re-dispatched
+  /// (a fresh on_dispatch follows); failed reissue copies are abandoned.
+  virtual void on_dispatch_failed(double /*now*/, std::uint64_t /*query*/,
+                                  CopyKind /*kind*/,
+                                  std::uint32_t /*copy_index*/,
+                                  std::uint32_t /*server*/) {}
   /// End of run: final horizon, the utilization reported to the
   /// RunObserver, and the simulator's whole-run counters.
   virtual void on_run_end(double /*horizon*/, double /*utilization*/,

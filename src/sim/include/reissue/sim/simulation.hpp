@@ -64,8 +64,30 @@ namespace detail {
 // reissue_count are never read.
 struct IssuedCopy {
   double dispatch;
-  double response;  // -1 until the copy completes
+  double response;  // -1 until the copy completes; +inf if it failed
+  /// The copy's own (unscaled) service requirement — what a client retry
+  /// re-dispatches when every server was down at dispatch time.
+  double service;
   bool cancelled;
+};
+
+/// Per-server fault-layer state (ClusterConfig::FaultPlan); only
+/// allocated, and only consulted, on fault-bearing runs.
+struct ServerFaultState {
+  /// Product of the active slowdown/degrade factors; scales service costs
+  /// at service start.
+  double scale = 1.0;
+  /// Recovery time of the current crash (valid while down).
+  double down_until = 0.0;
+  /// Scheduled completion time of the in-service copy — what a crash
+  /// subtracts to refund the unserved busy time.
+  double service_end = 0.0;
+  /// Bumped at every crash; completions scheduled under an older
+  /// generation are stale (their copy died with the crash).
+  std::uint64_t generation = 0;
+  std::uint16_t slow_depth = 0;
+  std::uint16_t degrade_depth = 0;
+  bool down = false;
 };
 
 /// Hot per-query record (32 B, two queries per cache line).  Everything a
@@ -162,6 +184,9 @@ struct RunScratch {
   std::vector<Server> servers;
   QueueDisciplineKind servers_queue = QueueDisciplineKind::kFifo;
   bool servers_ready = false;
+
+  /// Per-server fault state; sized (and reset) per fault-bearing run.
+  std::vector<detail::ServerFaultState> fault_states;
 };
 
 class Simulation {
@@ -233,6 +258,29 @@ class Simulation {
   void submit_to_server(std::size_t server, const Request& request, double now);
   template <bool Observed, bool Unordered>
   void start_next_on(std::size_t server, double now);
+  // Fault-layer event handlers (ClusterConfig::FaultPlan).
+  template <bool Observed, bool Unordered>
+  void on_fault_begin(const SimEvent& event, double now);
+  template <bool Observed, bool Unordered>
+  void on_fault_end(const SimEvent& event, double now);
+  /// A copy died with its crashed server: re-dispatch a primary, abandon a
+  /// reissue copy (logged cancelled with +inf response).
+  template <bool Observed, bool Unordered>
+  void fail_copy(const Request& request, std::uint32_t server, double now);
+  void recompute_scale(detail::ServerFaultState& state) const noexcept;
+  /// Speed multiplier in effect on `server` (1.0 unless slowdown/degrade
+  /// faults are active — x * 1.0 is exact, so fault-free runs are
+  /// bit-identical to the pre-fault simulator).
+  [[nodiscard]] double speed_of(std::size_t server) const noexcept {
+    return slowdowns_on_ ? fault_states_[server].scale : 1.0;
+  }
+  /// The query's unscaled primary service requirement, wherever it lives.
+  [[nodiscard]] double primary_service_of(std::uint64_t id) const noexcept {
+    return primary_services_ != nullptr ? primary_services_[id]
+                                        : hot_[id].primary_service;
+  }
+  /// Earliest recovery among down servers (precondition: at least one).
+  [[nodiscard]] double min_down_until() const noexcept;
   void schedule_completion(double time, std::size_t server);
   void schedule_arrival(double time);
   [[nodiscard]] double next_service_draw();
@@ -330,6 +378,14 @@ class Simulation {
   /// The warm server pool (RunScratch::servers); empty for
   /// infinite-server runs.
   std::span<Server> servers_;
+  /// Fault layer (ClusterConfig::FaultPlan); all flags false and the span
+  /// empty on fault-free runs, whose hot paths stay byte-identical.
+  bool faults_on_ = false;
+  bool crashes_on_ = false;
+  bool slowdowns_on_ = false;
+  std::span<detail::ServerFaultState> fault_states_;
+  /// Servers currently accepting dispatch (cfg_.servers minus down).
+  std::size_t live_servers_ = 0;
   /// Only constructed for stateful balancer kinds; the default kRandom
   /// path is devirtualized and never consults it.
   std::unique_ptr<LoadBalancer> balancer_;

@@ -41,10 +41,13 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   completions_.reset();
   // The scan queue holds at most one pending completion per server, and
   // its O(pending) pop only beats heap sifts while that stays small; big
-  // fleets keep the heap.
+  // fleets keep the heap.  Fault runs keep the heap too: crashes make
+  // scheduled completions stale (generation-tagged), which the scan
+  // queue's fixed one-slot-per-server shape cannot express.
   constexpr std::size_t kScanQueueMaxServers = 64;
   scan_completions_ = !cfg_.infinite_servers &&
                       !(cfg_.interference_rate > 0.0) &&
+                      !cfg_.faults.any() &&
                       cfg_.servers <= kScanQueueMaxServers;
   // The per-query reissue count is 16-bit (one issued copy per stage).
   if (stages_.size() > std::numeric_limits<std::uint16_t>::max()) {
@@ -124,6 +127,85 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
         }
       }
     }
+
+    // Seeded fault injection (ClusterConfig::FaultPlan): every episode is
+    // pre-scheduled here from dedicated substreams, derived after the
+    // interference stream and in a fixed slowdown → degrade → crash order,
+    // so fault-free runs (and runs enabling only a prefix of the families)
+    // consume exactly the streams they always did.  Like interference,
+    // onsets cover the expected arrival horizon.
+    faults_on_ = cfg_.faults.any();
+    if (faults_on_) {
+      crashes_on_ = cfg_.faults.crashes();
+      slowdowns_on_ =
+          cfg_.faults.slowdown_rate > 0.0 || cfg_.faults.degrade_rate > 0.0;
+      scratch.fault_states.assign(cfg_.servers, detail::ServerFaultState{});
+      fault_states_ = std::span(scratch.fault_states);
+      live_servers_ = cfg_.servers;
+      const double horizon_est =
+          static_cast<double>(cfg_.queries) / cfg_.arrival_rate;
+      if (cfg_.faults.slowdown_rate > 0.0) {
+        stats::Xoshiro256 rng = root.split(stats::stream_label("fault-slowdown"));
+        for (std::size_t s = 0; s < cfg_.servers; ++s) {
+          double t = 0.0;
+          for (;;) {
+            t += -std::log(rng.uniform_pos()) / cfg_.faults.slowdown_rate;
+            if (t > horizon_est) break;
+            const double duration = cfg_.faults.slowdown_duration->sample(rng);
+            const auto server = static_cast<std::uint32_t>(s);
+            events_.schedule(
+                t, SimEvent::fault_begin(FaultKind::kSlowdown, server,
+                                         duration));
+            events_.schedule(t + duration,
+                             SimEvent::fault_end(FaultKind::kSlowdown, server));
+          }
+        }
+      }
+      if (cfg_.faults.degrade_rate > 0.0) {
+        stats::Xoshiro256 rng = root.split(stats::stream_label("fault-degrade"));
+        // Partial Fisher–Yates over a persistent index array: each episode
+        // draws its k distinct servers without replacement.
+        std::vector<std::uint32_t> index(cfg_.servers);
+        for (std::size_t s = 0; s < cfg_.servers; ++s) {
+          index[s] = static_cast<std::uint32_t>(s);
+        }
+        double t = 0.0;
+        for (;;) {
+          t += -std::log(rng.uniform_pos()) / cfg_.faults.degrade_rate;
+          if (t > horizon_est) break;
+          const double duration = cfg_.faults.degrade_duration->sample(rng);
+          for (std::size_t i = 0; i < cfg_.faults.degrade_servers; ++i) {
+            const std::size_t j =
+                i + static_cast<std::size_t>(rng.below(cfg_.servers - i));
+            std::swap(index[i], index[j]);
+            events_.schedule(t, SimEvent::fault_begin(FaultKind::kDegrade,
+                                                      index[i], duration));
+            events_.schedule(
+                t + duration, SimEvent::fault_end(FaultKind::kDegrade,
+                                                  index[i]));
+          }
+        }
+      }
+      if (cfg_.faults.crash_mtbf > 0.0) {
+        stats::Xoshiro256 rng = root.split(stats::stream_label("fault-crash"));
+        for (std::size_t s = 0; s < cfg_.servers; ++s) {
+          double t = 0.0;
+          for (;;) {
+            // Inter-failure time counts from the previous recovery — a
+            // server cannot crash while already down.
+            t += -std::log(rng.uniform_pos()) * cfg_.faults.crash_mtbf;
+            if (t > horizon_est) break;
+            const double downtime = cfg_.faults.crash_downtime->sample(rng);
+            const auto server = static_cast<std::uint32_t>(s);
+            events_.schedule(t, SimEvent::fault_begin(FaultKind::kCrash,
+                                                      server, downtime));
+            events_.schedule(t + downtime,
+                             SimEvent::fault_end(FaultKind::kCrash, server));
+            t += downtime;
+          }
+        }
+      }
+    }
   }
 
   for (const auto& phase : cfg_.arrival_phases) phase_cycle_ += phase.duration;
@@ -135,17 +217,24 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   // pipeline.  Draw order within each stream is unchanged.
   {
     double* times = scratch.arrival_times.ensure(cfg_.queries);
-    double now = 0.0;
-    times[0] = 0.0;
-    if (cfg_.arrival_phases.empty()) {
-      for (std::size_t i = 1; i < cfg_.queries; ++i) {
-        now += -std::log(arrival_rng_.uniform_pos()) / cfg_.arrival_rate;
-        times[i] = now;
-      }
+    if (!cfg_.arrival_schedule.empty()) {
+      // Timestamped replay: the recorded schedule is the arrival stream
+      // (the Poisson arrival substream is derived but unconsumed).
+      std::copy(cfg_.arrival_schedule.begin(), cfg_.arrival_schedule.end(),
+                times);
     } else {
-      for (std::size_t i = 1; i < cfg_.queries; ++i) {
-        now += -std::log(arrival_rng_.uniform_pos()) / rate_at(now);
-        times[i] = now;
+      double now = 0.0;
+      times[0] = 0.0;
+      if (cfg_.arrival_phases.empty()) {
+        for (std::size_t i = 1; i < cfg_.queries; ++i) {
+          now += -std::log(arrival_rng_.uniform_pos()) / cfg_.arrival_rate;
+          times[i] = now;
+        }
+      } else {
+        for (std::size_t i = 1; i < cfg_.queries; ++i) {
+          now += -std::log(arrival_rng_.uniform_pos()) / rate_at(now);
+          times[i] = now;
+        }
       }
     }
     arrival_times_ = times;
@@ -354,6 +443,12 @@ void Simulation::dispatch(const SimEvent& event, double now) {
       on_reissue_stage<Observed, Unordered>(event.query(), event.stage, now);
       return;
     case EventKind::kCopyComplete:
+      // A completion scheduled before its server's crash is stale: the
+      // copy already failed with the crash (which bumped the generation).
+      if (crashes_on_ &&
+          event.generation() != fault_states_[event.server()].generation) {
+        return;
+      }
       complete_on_server<Observed, Unordered>(event.server(), now);
       return;
     case EventKind::kDirectComplete: {
@@ -370,6 +465,8 @@ void Simulation::dispatch(const SimEvent& event, double now) {
       return;
     }
     case EventKind::kInterferenceStart: {
+      // A background episode cannot start on a crashed server.
+      if (crashes_on_ && fault_states_[event.server()].down) return;
       if constexpr (Observed) {
         ++counters_.interference_episodes;
         obs_->on_interference(now, event.server(), event.duration());
@@ -381,6 +478,33 @@ void Simulation::dispatch(const SimEvent& event, double now) {
       background.service_time = event.duration();
       background.connection = std::numeric_limits<std::uint32_t>::max();
       submit_to_server<Observed, Unordered>(event.server(), background, now);
+      return;
+    }
+    case EventKind::kFaultBegin:
+      on_fault_begin<Observed, Unordered>(event, now);
+      return;
+    case EventKind::kFaultEnd:
+      on_fault_end<Observed, Unordered>(event, now);
+      return;
+    case EventKind::kClientRetry: {
+      // Deferred dispatch: every server was down when this copy was
+      // handed to the load balancer; the retry fires at the earliest
+      // recovery, whose kFaultEnd (scheduled at construction, lower seq)
+      // has already brought a server back up.
+      const std::uint64_t id = event.query();
+      const std::uint32_t copy_index = event.copy_index();
+      double service;
+      if (event.copy == CopyKind::kPrimary) {
+        service = primary_service_of(id);
+      } else {
+        IssuedCopy& slot = reissue_slot(id, copy_index - 1);
+        // The copy's response clock restarts at the actual dispatch.
+        slot.dispatch = now;
+        service = slot.service;
+      }
+      const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
+      dispatch_copy<Observed, Unordered>(id, event.copy, copy_index, connection,
+                                         service, now);
       return;
     }
   }
@@ -504,7 +628,7 @@ void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
                                        hot_[id].primary_service)
           : service_.reissue(id, hot_[id].primary_service, service_rng_);
   const std::uint32_t slot = hot_[id].reissue_count++;
-  reissue_slot(id, slot) = IssuedCopy{now, -1.0, false};
+  reissue_slot(id, slot) = IssuedCopy{now, -1.0, y, false};
   if constexpr (Unordered) {
     // The replay pass derives the issued-reissue total from the arena;
     // completion-order delivery counts it at issue time instead.
@@ -614,10 +738,44 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
   }
   // Devirtualized fast path for the default uniform-random balancer (same
   // draw as RandomBalancer::pick — both call random_server_index).
-  const std::size_t idx =
-      cfg_.load_balancer == LoadBalancerKind::kRandom
-          ? random_server_index(servers_.size(), lb_rng_, exclude)
-          : balancer_->pick(servers_, lb_rng_, exclude);
+  std::size_t idx;
+  if (!crashes_on_) [[likely]] {
+    idx = cfg_.load_balancer == LoadBalancerKind::kRandom
+              ? random_server_index(servers_.size(), lb_rng_, exclude)
+              : balancer_->pick(servers_, lb_rng_, exclude);
+  } else {
+    if (live_servers_ == 0) {
+      // Nowhere to send the copy: the client defers and retries at the
+      // earliest recovery (see EventKind::kClientRetry).
+      if constexpr (Observed) {
+        ++counters_.fault_dispatch_rejections;
+        obs_->on_dispatch_failed(now, id, kind, copy_index,
+                                 SimObserver::kNoServer);
+      }
+      events_.schedule(min_down_until(),
+                       SimEvent::client_retry(id, kind, copy_index));
+      return;
+    }
+    // Liveness beats primary-server exclusion: when the excluded server is
+    // the only one up, the reissue copy goes there.
+    if (exclude && live_servers_ == 1 && !fault_states_[*exclude].down) {
+      exclude.reset();
+    }
+    // Redraw until a live server accepts; each rejection consumes a
+    // balancer draw (the client observed a refused connection and picked
+    // again), keeping the lb stream's consumption deterministic.
+    for (;;) {
+      idx = cfg_.load_balancer == LoadBalancerKind::kRandom
+                ? random_server_index(servers_.size(), lb_rng_, exclude)
+                : balancer_->pick(servers_, lb_rng_, exclude);
+      if (!fault_states_[idx].down) break;
+      if constexpr (Observed) {
+        ++counters_.fault_dispatch_rejections;
+        obs_->on_dispatch_failed(now, id, kind, copy_index,
+                                 static_cast<std::uint32_t>(idx));
+      }
+    }
+  }
   if (kind == CopyKind::kPrimary) {
     hot_[id].primary_server = static_cast<std::uint32_t>(idx);
   }
@@ -640,7 +798,7 @@ void Simulation::submit_to_server(std::size_t server, const Request& request,
     // for bypassable disciplines (the common case at moderate load).
     const double cost = srv.start_directly(
         request, cancel_check<Observed, Unordered>(server, now),
-        cfg_.cancellation_overhead);
+        cfg_.cancellation_overhead, speed_of(server));
     schedule_completion(now + cost, server);
     if constexpr (Observed) {
       obs_->on_service_start(now, static_cast<std::uint32_t>(server), request,
@@ -663,7 +821,7 @@ template <bool Observed, bool Unordered>
 void Simulation::start_next_on(std::size_t server, double now) {
   if (const auto cost = servers_[server].try_start(
           cancel_check<Observed, Unordered>(server, now),
-          cfg_.cancellation_overhead)) {
+          cfg_.cancellation_overhead, speed_of(server))) {
     schedule_completion(now + *cost, server);
     if constexpr (Observed) {
       obs_->on_service_start(now, static_cast<std::uint32_t>(server),
@@ -672,10 +830,158 @@ void Simulation::start_next_on(std::size_t server, double now) {
   }
 }
 
+template <bool Observed, bool Unordered>
+void Simulation::on_fault_begin(const SimEvent& event, double now) {
+  const std::uint32_t server = event.server();
+  const FaultKind fault = event.fault_kind();
+  detail::ServerFaultState& state = fault_states_[server];
+  if constexpr (Observed) {
+    obs_->on_fault_begin(now, server, fault, event.duration());
+  }
+  switch (fault) {
+    case FaultKind::kSlowdown:
+      if constexpr (Observed) ++counters_.fault_slowdowns;
+      ++state.slow_depth;
+      recompute_scale(state);
+      return;
+    case FaultKind::kDegrade:
+      if constexpr (Observed) ++counters_.fault_degrades;
+      ++state.degrade_depth;
+      recompute_scale(state);
+      return;
+    case FaultKind::kCrash: {
+      if constexpr (Observed) ++counters_.fault_crashes;
+      assert(!state.down);
+      // Mark the server down (and bump the generation) before failing its
+      // copies: a re-dispatched primary must not be routed back here.
+      state.down = true;
+      state.down_until = now + event.duration();
+      ++state.generation;
+      --live_servers_;
+      Server& srv = servers_[server];
+      if (srv.busy()) {
+        // The scheduled completion is now stale (generation mismatch);
+        // refund the cost the copy will never consume so utilization
+        // reflects actual occupancy.
+        const double unserved = std::max(state.service_end - now, 0.0);
+        const Request dead = srv.abort_in_service(unserved);
+        fail_copy<Observed, Unordered>(dead, server, now);
+      }
+      srv.drain([&](const Request& request) {
+        fail_copy<Observed, Unordered>(request, server, now);
+      });
+      if constexpr (Observed) {
+        obs_->on_server_state(now, server, srv.queue_length(), srv.busy());
+      }
+      return;
+    }
+  }
+}
+
+template <bool Observed, bool Unordered>
+void Simulation::on_fault_end(const SimEvent& event, double now) {
+  const std::uint32_t server = event.server();
+  const FaultKind fault = event.fault_kind();
+  detail::ServerFaultState& state = fault_states_[server];
+  if constexpr (Observed) obs_->on_fault_end(now, server, fault);
+  switch (fault) {
+    case FaultKind::kSlowdown:
+      assert(state.slow_depth > 0);
+      --state.slow_depth;
+      recompute_scale(state);
+      return;
+    case FaultKind::kDegrade:
+      assert(state.degrade_depth > 0);
+      --state.degrade_depth;
+      recompute_scale(state);
+      return;
+    case FaultKind::kCrash:
+      // Recovery: the server rejoins empty (its backlog failed at the
+      // crash) and accepts dispatch again.
+      assert(state.down);
+      state.down = false;
+      ++live_servers_;
+      return;
+  }
+}
+
+template <bool Observed, bool Unordered>
+void Simulation::fail_copy(const Request& request, std::uint32_t server,
+                           double now) {
+  // A background episode dies silently with its server.
+  if (request.kind == CopyKind::kBackground) return;
+  const std::uint64_t id = request.query_id;
+  if constexpr (Observed) {
+    ++counters_.fault_copies_failed;
+    obs_->on_dispatch_failed(now, id, request.kind, request.copy_index,
+                             server);
+  }
+  if (request.kind == CopyKind::kPrimary) {
+    // The primary is the query's completion guarantee: the client observes
+    // the broken connection and immediately re-dispatches the same
+    // (unscaled) service requirement through a fresh balancer draw.
+    if constexpr (Observed) ++counters_.fault_primary_retries;
+    const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
+    dispatch_copy<Observed, Unordered>(id, CopyKind::kPrimary, 0, connection,
+                                       primary_service_of(id), now);
+    return;
+  }
+  // A failed reissue copy is abandoned — surviving reissue copies (and the
+  // retried primary) are the query's redundancy.  Close the slot as
+  // cancelled with an infinite response so both delivery modes emit it
+  // exactly once: if the primary already completed, this is the moment the
+  // slot's values become final (emit now, mirroring handle_completion);
+  // otherwise the primary-completion sweep picks it up.
+  IssuedCopy& slot = reissue_slot(id, request.copy_index - 1);
+  slot.cancelled = true;
+  slot.response = std::numeric_limits<double>::infinity();
+  if constexpr (Observed) {
+    if (reissue_inflight_ > 0) --reissue_inflight_;
+  }
+  if constexpr (Unordered) {
+    if (id >= warmup_ && hot_[id].primary_response >= 0.0) {
+      observer_.on_reissue(hot_[id].primary_response, slot.response,
+                           slot.dispatch - arrival_times_[id], slot.cancelled);
+    }
+  }
+}
+
+void Simulation::recompute_scale(detail::ServerFaultState& state)
+    const noexcept {
+  double scale = 1.0;
+  for (std::uint16_t i = 0; i < state.slow_depth; ++i) {
+    scale *= cfg_.faults.slowdown_factor;
+  }
+  for (std::uint16_t i = 0; i < state.degrade_depth; ++i) {
+    scale *= cfg_.faults.degrade_factor;
+  }
+  state.scale = scale;
+}
+
+double Simulation::min_down_until() const noexcept {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const detail::ServerFaultState& state : fault_states_) {
+    if (state.down && state.down_until < earliest) {
+      earliest = state.down_until;
+    }
+  }
+  assert(std::isfinite(earliest));
+  return earliest;
+}
+
 void Simulation::schedule_completion(double time, std::size_t server) {
   if (scan_completions_) {
     completions_.push(events_.claim_key_trusted(time),
                       static_cast<std::uint32_t>(server));
+  } else if (crashes_on_) {
+    // Tag the completion with the server's crash generation (and remember
+    // its time so a crash can refund the unserved cost): a crash bumps the
+    // generation, turning this event stale.
+    detail::ServerFaultState& state = fault_states_[server];
+    state.service_end = time;
+    events_.schedule(time,
+                     SimEvent::copy_complete(static_cast<std::uint32_t>(server),
+                                             state.generation));
   } else {
     events_.schedule(time,
                      SimEvent::copy_complete(static_cast<std::uint32_t>(server)));

@@ -139,5 +139,33 @@ TEST(ManifestPath, SitsNextToTheRawFile) {
   EXPECT_EQ(manifest_path("/tmp/s0.csv"), "/tmp/s0.csv.manifest");
 }
 
+TEST(Manifest, FaultAndArrivalSpecsArePartOfTheSweepIdentity) {
+  // The scenario spec line embeds faults= / arrival= tokens, so shards
+  // produced from different fault plans (or one faulted, one clean) must
+  // never fingerprint-match and thus never merge.
+  Manifest clean = sample();
+  Manifest faulted = clean;
+  faulted.scenarios[0] =
+      "name=a kind=queueing util=0.3 ratio=0.5 servers=10 queries=100 "
+      "warmup=10 lb=random queue=fifo service=pareto:1.1:2 cap=5000 "
+      "faults=crash:4000,150 percentile=0.99 policy=none";
+  EXPECT_EQ(parse_manifest(to_text(faulted)), faulted);
+  EXPECT_NE(shard_fingerprint(faulted), shard_fingerprint(clean));
+
+  Manifest other_plan = faulted;
+  other_plan.scenarios[0] =
+      "name=a kind=queueing util=0.3 ratio=0.5 servers=10 queries=100 "
+      "warmup=10 lb=random queue=fifo service=pareto:1.1:2 cap=5000 "
+      "faults=slowdown:0.002,4,25 percentile=0.99 policy=none";
+  EXPECT_NE(shard_fingerprint(other_plan), shard_fingerprint(faulted));
+
+  Manifest diurnal = clean;
+  diurnal.scenarios[0] =
+      "name=a kind=queueing util=0.3 ratio=0.5 servers=10 queries=100 "
+      "warmup=10 lb=random queue=fifo service=pareto:1.1:2 cap=5000 "
+      "arrival=diurnal:2000:0.6 percentile=0.99 policy=none";
+  EXPECT_NE(shard_fingerprint(diurnal), shard_fingerprint(clean));
+}
+
 }  // namespace
 }  // namespace reissue::dist

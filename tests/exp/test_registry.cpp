@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace reissue::exp {
 namespace {
 
@@ -10,10 +12,29 @@ TEST(Registry, BuiltInCoversEveryWorkloadKindAndNewRegimes) {
   for (const char* name :
        {"independent", "correlated", "queueing-u30", "queueing-u50",
         "queueing-u70", "overload-u90", "bursty", "heterogeneous",
-        "interference", "redis-small", "lucene-small"}) {
+        "interference", "redis-small", "lucene-small", "overload-flip-under",
+        "overload-flip-mid", "overload-flip", "crash-recovery",
+        "correlated-degrade"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
   EXPECT_EQ(registry.find("nope"), nullptr);
+}
+
+TEST(Registry, FaultMatrixSweepsUnderloadToOverload) {
+  const auto specs = ScenarioRegistry::built_in().resolve("fault-matrix");
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "overload-flip-under");
+  EXPECT_EQ(specs[1].name, "overload-flip-mid");
+  EXPECT_EQ(specs[2].name, "overload-flip");
+  EXPECT_EQ(specs[3].name, "crash-recovery");
+  EXPECT_EQ(specs[4].name, "correlated-degrade");
+  // The flip trio climbs toward overload with identical fault plans and
+  // policy grids, so p99 differences are attributable to load alone.
+  EXPECT_LT(specs[0].utilization, specs[1].utilization);
+  EXPECT_LT(specs[1].utilization, specs[2].utilization);
+  EXPECT_EQ(specs[0].faults, specs[2].faults);
+  EXPECT_EQ(specs[0].policies, specs[2].policies);
+  for (const auto& spec : specs) EXPECT_TRUE(spec.faults.any()) << spec.name;
 }
 
 TEST(Registry, BuiltInScenariosRoundTripThroughSpecStrings) {
@@ -43,6 +64,22 @@ TEST(Registry, ResolveRejectsUnknownNames) {
   EXPECT_THROW(ScenarioRegistry::built_in().resolve("warp-speed"),
                std::runtime_error);
   EXPECT_THROW(ScenarioRegistry::built_in().resolve(""), std::runtime_error);
+}
+
+TEST(Registry, ResolveErrorListsEveryAvailableName) {
+  try {
+    (void)ScenarioRegistry::built_in().resolve("warp-speed");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("warp-speed"), std::string::npos) << what;
+    for (const auto& spec : ScenarioRegistry::built_in().scenarios()) {
+      EXPECT_NE(what.find(spec.name), std::string::npos) << spec.name;
+    }
+    for (const char* catalog : {"fault-matrix", "queueing-sweep", "sim-all"}) {
+      EXPECT_NE(what.find(catalog), std::string::npos) << catalog;
+    }
+  }
 }
 
 TEST(Registry, AddRejectsDuplicatesAndBadCatalogs) {

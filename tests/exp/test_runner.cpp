@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "reissue/exp/aggregate.hpp"
+#include "reissue/exp/registry.hpp"
 
 namespace reissue::exp {
 namespace {
@@ -326,6 +330,75 @@ TEST(RunSweep, WorkerExceptionsPropagate) {
   options.replications = 2;
   options.threads = 2;
   EXPECT_THROW((void)run_sweep({bad}, options), std::exception);
+}
+
+// ------------------------------------------- overload regime matrix
+
+/// libm sentinels for the golden CSV hash (same idiom as
+/// tests/sim/test_cluster_golden.cpp: pow/log bit patterns vary across
+/// libm builds, so "identical to the recorded baseline" is only
+/// observable on the baseline libm).
+bool libm_matches_baseline() {
+  const double a = std::pow(0.7366218546322401, -1.0 / 1.1);
+  const double b = std::log(0.1234567890123456789);
+  return std::bit_cast<std::uint64_t>(a) == 0x3ff5201fdad96895ull &&
+         std::bit_cast<std::uint64_t>(b) == 0xc000bc233ad9edd6ull;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// The registry's flip scenarios with the grid cut to the two policies the
+/// sign-flip is defined over (dropping optimal:* keeps the test free of
+/// per-replication training runs).
+std::vector<ScenarioSpec> flip_scenarios() {
+  std::vector<ScenarioSpec> specs =
+      ScenarioRegistry::built_in().resolve("overload-flip-under,overload-flip");
+  for (auto& spec : specs) {
+    spec.policies = {parse_policy_spec("none"),
+                     parse_policy_spec("immediate:1")};
+  }
+  return specs;
+}
+
+TEST(OverloadFlip, ReissueHelpsInUnderloadAndHurtsInOverload) {
+  // The paper's central caveat as a pinned artifact: the same immediate:1
+  // policy that cuts p99 at util 0.35 (effective ~0.7 with the doubled
+  // load) degrades it at util 0.62 (effective past saturation).
+  SweepOptions options;
+  options.replications = 4;
+  options.threads = 2;
+  options.seed = 0x5eed;
+  const auto stats = aggregate(run_sweep(flip_scenarios(), options));
+  ASSERT_EQ(stats.size(), 4u);
+  ASSERT_EQ(stats[0].scenario, "overload-flip-under");
+  ASSERT_EQ(stats[0].policy, "none");
+  ASSERT_EQ(stats[1].policy, "immediate:1");
+  ASSERT_EQ(stats[2].scenario, "overload-flip");
+  // Underload: reissue cuts the tail.
+  EXPECT_LT(stats[1].tail.mean, stats[0].tail.mean);
+  // Overload: the same policy poisons it.
+  EXPECT_GT(stats[3].tail.mean, stats[2].tail.mean);
+  // And the load doubling is real: immediate:1 drives utilization up.
+  EXPECT_GT(stats[1].utilization, 1.5 * stats[0].utilization);
+}
+
+TEST(OverloadFlip, PerCellResultsAreGolden) {
+  if (!libm_matches_baseline()) {
+    GTEST_SKIP() << "different libm than the recorded golden baseline";
+  }
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 2;
+  options.seed = 0x5eed;
+  const std::string csv = sweep_csv(flip_scenarios(), options);
+  EXPECT_EQ(fnv1a(csv), 0x77c748e7e17058c1ull) << csv;
 }
 
 }  // namespace

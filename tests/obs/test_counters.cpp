@@ -100,6 +100,12 @@ TEST(Counters, FormatCountersPinsTheGlossaryLines) {
             "reissues_wasted 1\n"
             "copies_cancelled 0\n"
             "interference_episodes 0\n"
+            "fault_slowdowns 0\n"
+            "fault_degrades 0\n"
+            "fault_crashes 0\n"
+            "fault_copies_failed 0\n"
+            "fault_dispatch_rejections 0\n"
+            "fault_primary_retries 0\n"
             "reissue_inflight_peak 2\n"
             "arena_slots_high_water 10\n");
 }

@@ -170,6 +170,42 @@ TEST(ObserverIdentity, SweepCsvUnchangedByObserversAcrossThreadCounts) {
   EXPECT_GT(ring.ring().total_pushed(), 0u);
 }
 
+TEST(ObserverIdentity, FaultScenarioSweepIdenticalAcrossThreadsAndObservers) {
+  // The fault layer's pre-scheduled events and dedicated RNG substreams
+  // must preserve the two identity contracts at sweep level: CSVs are
+  // byte-identical across thread counts, and attaching observers changes
+  // nothing.  One scenario per fault family plus the kitchen sink.
+  const std::vector<exp::ScenarioSpec> scenarios = {
+      exp::parse_scenario(
+          "name=fault-slow kind=queueing util=0.4 servers=8 queries=900 "
+          "warmup=90 faults=slowdown:0.002,4,25 policy=none policy=r:12:0.5"),
+      exp::parse_scenario(
+          "name=fault-corr kind=queueing util=0.4 servers=8 queries=900 "
+          "warmup=90 faults=corr:3,0.002,40,3 policy=r:12:0.5"),
+      exp::parse_scenario(
+          "name=fault-crash kind=queueing util=0.4 servers=8 queries=900 "
+          "warmup=90 faults=crash:1500,120 policy=none policy=immediate:1"),
+      exp::parse_scenario(
+          "name=fault-all kind=queueing util=0.4 servers=8 queries=900 "
+          "warmup=90 faults=slowdown:0.001,3,25+corr:2,0.002,40,2"
+          "+crash:2000,120 policy=r:12:0.5")};
+  const std::string baseline = sweep_csv(scenarios, sweep_options(1));
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(sweep_csv(scenarios, sweep_options(threads)), baseline)
+        << "threads=" << threads;
+  }
+
+  CountingObserver counting;
+  auto options = sweep_options(2);
+  options.sim_observer = &counting;
+  EXPECT_EQ(sweep_csv(scenarios, options), baseline);
+  const sim::RunCounters c = counting.total();
+  EXPECT_GT(c.fault_slowdowns, 0u);
+  EXPECT_GT(c.fault_degrades, 0u);
+  EXPECT_GT(c.fault_crashes, 0u);
+}
+
 #endif  // REISSUE_OBS_ENABLED
 
 TEST(ObserverIdentity, ProgressCallbackReportsEveryCellOnce) {

@@ -177,6 +177,47 @@ TEST(ClusterGolden, KitchenSink) {
                 0x833d6a64b670a7dcull);
 }
 
+/// The kitchen sink plus the full fault plan: slowdown episodes,
+/// correlated degradation and crash/recovery layered over cancellation,
+/// interference, heterogeneous speeds and bursty phases.  Pins the fault
+/// layer's event ordering and RNG substream derivation bit-for-bit.
+Cluster faulty_kitchen_sink() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.arrival_rate = arrival_rate_for_utilization(0.5, 6, 22.0);
+  cfg.queries = 2500;
+  cfg.warmup = 250;
+  cfg.load_balancer = LoadBalancerKind::kMinOfTwo;
+  cfg.queue = QueueDisciplineKind::kPrioritizedFifo;
+  cfg.exclude_primary_server = true;
+  cfg.cancel_on_completion = true;
+  cfg.cancellation_overhead = 0.1;
+  cfg.interference_rate = 0.002;
+  cfg.interference_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.server_speeds = {1.0, 1.0, 1.5, 1.0, 2.0, 1.0};
+  cfg.arrival_phases = {{500.0, 1.0}, {250.0, 1.8}};
+  cfg.faults.slowdown_rate = 0.001;
+  cfg.faults.slowdown_factor = 3.0;
+  cfg.faults.slowdown_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.faults.degrade_servers = 2;
+  cfg.faults.degrade_rate = 0.002;
+  cfg.faults.degrade_factor = 2.0;
+  cfg.faults.degrade_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.faults.crash_mtbf = 2000.0;
+  cfg.faults.crash_downtime = stats::make_lognormal(4.0, 0.6);
+  cfg.seed = 0x601de;
+  auto service = make_correlated_service(
+      stats::make_truncated(stats::make_pareto(1.1, 2.0), 5000.0), 0.5);
+  return Cluster(cfg, std::move(service));
+}
+
+TEST(ClusterGolden, FaultyKitchenSink) {
+  REQUIRE_BASELINE_LIBM();
+  expect_golden(faulty_kitchen_sink(),
+                core::ReissuePolicy::single_r(15.0, 0.6),
+                0xd1be8f2cb9d72693ull);
+}
+
 // Independent of libm: the streaming path and the full-log path must
 // observe identical data — run() is defined as streaming into a
 // RunResultBuilder, and this pins that equivalence for external observers.

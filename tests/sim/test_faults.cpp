@@ -1,0 +1,249 @@
+// Seeded fault injection: transient slowdowns, correlated degradation,
+// and crash/recovery (ClusterConfig::FaultPlan).  Faults are part of the
+// deterministic event core, so the contracts under test are the same as
+// everywhere else: byte-identical replays for equal seeds, every query
+// completes (crashed primaries are re-dispatched), fault-free configs
+// are untouched, and the fault counters actually count.
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/service_model.hpp"
+#include "reissue/sim/sim_observer.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::sim {
+namespace {
+
+void append(std::string& out, double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  ASSERT_EQ(ec, std::errc{});
+  out.append(buf, end);
+  out.push_back('\n');
+}
+
+std::string fingerprint(const core::RunResult& result) {
+  std::string out;
+  out += "queries=" + std::to_string(result.queries) + "\n";
+  out += "reissues=" + std::to_string(result.reissues_issued) + "\n";
+  append(out, result.utilization);
+  for (double x : result.query_latencies) append(out, x);
+  for (double x : result.primary_latencies) append(out, x);
+  for (double x : result.reissue_latencies) append(out, x);
+  for (double x : result.reissue_delays) append(out, x);
+  for (const auto& [x, y] : result.correlated_pairs) {
+    append(out, x);
+    append(out, y);
+  }
+  return out;
+}
+
+ClusterConfig base_config() {
+  ClusterConfig cfg;
+  cfg.servers = 6;
+  cfg.arrival_rate = arrival_rate_for_utilization(0.4, 6, 22.0);
+  cfg.queries = 2000;
+  cfg.warmup = 200;
+  cfg.seed = 0xfa01;
+  return cfg;
+}
+
+Cluster make_cluster(const ClusterConfig& cfg) {
+  return Cluster(cfg, make_correlated_service(
+                          stats::make_truncated(
+                              stats::make_pareto(1.1, 2.0), 5000.0),
+                          0.5));
+}
+
+ClusterConfig slowdown_config() {
+  ClusterConfig cfg = base_config();
+  cfg.faults.slowdown_rate = 0.002;
+  cfg.faults.slowdown_factor = 4.0;
+  cfg.faults.slowdown_duration = stats::make_lognormal(3.0, 0.6);
+  return cfg;
+}
+
+ClusterConfig degrade_config() {
+  ClusterConfig cfg = base_config();
+  cfg.faults.degrade_servers = 3;
+  cfg.faults.degrade_rate = 0.003;
+  cfg.faults.degrade_factor = 3.0;
+  cfg.faults.degrade_duration = stats::make_lognormal(3.5, 0.6);
+  return cfg;
+}
+
+ClusterConfig crash_config() {
+  ClusterConfig cfg = base_config();
+  cfg.faults.crash_mtbf = 1500.0;
+  cfg.faults.crash_downtime = stats::make_lognormal(4.0, 0.6);
+  return cfg;
+}
+
+ClusterConfig everything_config() {
+  ClusterConfig cfg = crash_config();
+  cfg.faults.slowdown_rate = 0.001;
+  cfg.faults.slowdown_factor = 3.0;
+  cfg.faults.slowdown_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.faults.degrade_servers = 2;
+  cfg.faults.degrade_rate = 0.002;
+  cfg.faults.degrade_factor = 2.0;
+  cfg.faults.degrade_duration = stats::make_lognormal(3.0, 0.6);
+  return cfg;
+}
+
+void expect_all_queries_complete(const core::RunResult& result,
+                                 std::size_t expected) {
+  EXPECT_EQ(result.queries, expected);
+  EXPECT_EQ(result.query_latencies.size(), expected);
+  for (double latency : result.query_latencies) {
+    EXPECT_TRUE(std::isfinite(latency) && latency >= 0.0);
+  }
+}
+
+TEST(Faults, EverySeedReplaysByteIdentically) {
+  for (const ClusterConfig& cfg :
+       {slowdown_config(), degrade_config(), crash_config(),
+        everything_config()}) {
+    auto a = make_cluster(cfg);
+    auto b = make_cluster(cfg);
+    const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+    EXPECT_EQ(fingerprint(a.run(policy)), fingerprint(b.run(policy)));
+  }
+}
+
+TEST(Faults, SlowdownsRaiseLatencyButEveryQueryCompletes) {
+  auto faulty = make_cluster(slowdown_config());
+  auto clean = make_cluster(base_config());
+  const auto policy = core::ReissuePolicy::none();
+  const core::RunResult with = faulty.run(policy);
+  const core::RunResult without = clean.run(policy);
+  expect_all_queries_complete(with, 1800);
+
+  double sum_with = 0.0, sum_without = 0.0;
+  for (double x : with.query_latencies) sum_with += x;
+  for (double x : without.query_latencies) sum_without += x;
+  EXPECT_GT(sum_with, sum_without);
+}
+
+TEST(Faults, CrashesRetryPrimariesSoEveryQueryCompletes) {
+  for (const auto& policy :
+       {core::ReissuePolicy::none(), core::ReissuePolicy::single_r(20.0, 0.5),
+        core::ReissuePolicy::immediate(1)}) {
+    auto cluster = make_cluster(crash_config());
+    expect_all_queries_complete(cluster.run(policy), 1800);
+  }
+}
+
+TEST(Faults, KitchenSinkWithCancellationCompletes) {
+  ClusterConfig cfg = everything_config();
+  cfg.load_balancer = LoadBalancerKind::kMinOfTwo;
+  cfg.queue = QueueDisciplineKind::kPrioritizedFifo;
+  cfg.exclude_primary_server = true;
+  cfg.cancel_on_completion = true;
+  cfg.cancellation_overhead = 0.1;
+  cfg.interference_rate = 0.002;
+  cfg.interference_duration = stats::make_lognormal(3.0, 0.6);
+  cfg.server_speeds = {1.0, 1.0, 1.5, 1.0, 2.0, 1.0};
+  auto a = make_cluster(cfg);
+  auto b = make_cluster(cfg);
+  const auto policy = core::ReissuePolicy::single_r(15.0, 0.6);
+  const core::RunResult result = a.run(policy);
+  expect_all_queries_complete(result, 1800);
+  EXPECT_EQ(fingerprint(result), fingerprint(b.run(policy)));
+}
+
+TEST(Faults, ValidationRejectsIncompletePlans) {
+  {
+    ClusterConfig cfg = base_config();
+    cfg.faults.slowdown_rate = 0.001;  // no duration, factor 1
+    EXPECT_THROW(make_cluster(cfg), std::invalid_argument);
+  }
+  {
+    ClusterConfig cfg = base_config();
+    cfg.faults.degrade_rate = 0.001;
+    cfg.faults.degrade_factor = 2.0;
+    cfg.faults.degrade_duration = stats::make_constant(10.0);
+    cfg.faults.degrade_servers = 7;  // > servers
+    EXPECT_THROW(make_cluster(cfg), std::invalid_argument);
+  }
+  {
+    ClusterConfig cfg = base_config();
+    cfg.faults.crash_mtbf = 100.0;  // no downtime distribution
+    EXPECT_THROW(make_cluster(cfg), std::invalid_argument);
+  }
+}
+
+#if REISSUE_OBS_ENABLED
+
+/// Minimal counter sink (the obs layer has richer ones; sim tests only
+/// need the RunCounters totals).
+class CounterSink final : public SimObserver {
+ public:
+  void on_run_end(double /*horizon*/, double /*utilization*/,
+                  const RunCounters& counters) override {
+    total_ += counters;
+  }
+  [[nodiscard]] const RunCounters& total() const { return total_; }
+
+ private:
+  RunCounters total_;
+};
+
+TEST(Faults, CountersSeeSlowdownEpisodes) {
+  CounterSink sink;
+  auto cluster = make_cluster(slowdown_config());
+  cluster.set_sim_observer(&sink);
+  (void)cluster.run(core::ReissuePolicy::none());
+  EXPECT_GT(sink.total().fault_slowdowns, 0u);
+  EXPECT_EQ(sink.total().fault_degrades, 0u);
+  EXPECT_EQ(sink.total().fault_crashes, 0u);
+}
+
+TEST(Faults, DegradeEpisodesHitKServersAtOnce) {
+  CounterSink sink;
+  auto cluster = make_cluster(degrade_config());
+  cluster.set_sim_observer(&sink);
+  (void)cluster.run(core::ReissuePolicy::none());
+  EXPECT_GT(sink.total().fault_degrades, 0u);
+  // Server-episodes always arrive in groups of degrade_servers.
+  EXPECT_EQ(sink.total().fault_degrades % 3, 0u);
+}
+
+TEST(Faults, CrashesFailCopiesAndRetryPrimaries) {
+  CounterSink sink;
+  auto cluster = make_cluster(crash_config());
+  cluster.set_sim_observer(&sink);
+  expect_all_queries_complete(
+      cluster.run(core::ReissuePolicy::single_r(20.0, 0.5)), 1800);
+  const RunCounters& c = sink.total();
+  EXPECT_GT(c.fault_crashes, 0u);
+  EXPECT_GT(c.fault_copies_failed, 0u);
+  EXPECT_GT(c.fault_primary_retries, 0u);
+  EXPECT_GT(c.fault_dispatch_rejections, 0u);
+}
+
+TEST(Faults, ObserverAttachmentLeavesFaultRunsBitIdentical) {
+  for (const ClusterConfig& cfg :
+       {slowdown_config(), degrade_config(), crash_config(),
+        everything_config()}) {
+    const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+    auto plain = make_cluster(cfg);
+    const std::string baseline = fingerprint(plain.run(policy));
+    CounterSink sink;
+    auto observed = make_cluster(cfg);
+    observed.set_sim_observer(&sink);
+    EXPECT_EQ(fingerprint(observed.run(policy)), baseline);
+  }
+}
+
+#endif  // REISSUE_OBS_ENABLED
+
+}  // namespace
+}  // namespace reissue::sim
