@@ -6,14 +6,17 @@
 // The backend simulates a replicated service: each dispatched copy
 // completes on a worker thread after a LogNormal "response time"; 2% of
 // primaries hit a slow replica (10x latency), which is exactly what the
-// reissue policy remediates.
-#include <atomic>
+// reissue policy remediates.  Per-request latencies come from the
+// client's built-in sample ring (latency_ring_capacity): draining it
+// between phases yields a clean per-phase batch with no bookkeeping in
+// the backend itself.
 #include <chrono>
 #include <cstdio>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "reissue/runtime/latency_ring.hpp"
 #include "reissue/runtime/reissue_client.hpp"
 #include "reissue/stats/distributions.hpp"
 #include "reissue/stats/summary.hpp"
@@ -32,29 +35,10 @@ class MockBackend {
     double ms = base_->sample(rng_);
     if (!is_reissue && rng_.bernoulli(0.02)) ms *= 10.0;  // slow replica
     std::lock_guard lock(mutex_);
-    workers_.emplace_back([this, id, ms] {
+    workers_.emplace_back([this, id, is_reissue, ms] {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
-      if (client_->on_response(id)) {  // first copy to answer wins
-        record(id);
-      }
+      client_->on_response(id, is_reissue);  // first copy to answer wins
     });
-  }
-
-  void record(std::uint64_t id) {
-    const double now_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - epoch_).count();
-    std::lock_guard lock(mutex_);
-    latencies_.push_back(now_ms - submit_ms_.at(id));
-  }
-
-  void note_submit(std::uint64_t id) {
-    const double now_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - epoch_).count();
-    std::lock_guard lock(mutex_);
-    if (submit_ms_.size() <= id) submit_ms_.resize(id + 1);
-    submit_ms_[id] = now_ms;
   }
 
   void join_all() {
@@ -66,37 +50,25 @@ class MockBackend {
     for (auto& w : workers) w.join();
   }
 
-  std::vector<double> latencies() {
-    std::lock_guard lock(mutex_);
-    return latencies_;
-  }
-
  private:
   runtime::ReissueClient*& client_;
   stats::Xoshiro256 rng_{0xbacc};
   stats::DistributionPtr base_ = stats::make_lognormal(1.0, 0.5);
-  std::chrono::steady_clock::time_point epoch_ =
-      std::chrono::steady_clock::now();
   std::mutex mutex_;
   std::vector<std::thread> workers_;
-  std::vector<double> submit_ms_;
-  std::vector<double> latencies_;
 };
 
 double run_phase(runtime::ReissueClient& client, MockBackend& backend,
                  std::uint64_t first_id, std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) {
-    backend.note_submit(first_id + i);
     client.submit(first_id + i);
     std::this_thread::sleep_for(300us);  // open-loop-ish pacing
   }
   client.drain();
   backend.join_all();
-  auto latencies = backend.latencies();
-  latencies.erase(latencies.begin(),
-                  latencies.begin() + static_cast<long>(
-                      latencies.size() > count ? latencies.size() - count : 0));
-  return stats::percentile(std::move(latencies), 99.0);
+  // Draining between phases isolates this phase's samples.
+  const auto samples = client.drain_samples();
+  return stats::percentile(runtime::latency_values(samples), 99.0);
 }
 
 }  // namespace
@@ -106,12 +78,14 @@ int main() {
   runtime::ReissueClient* client_ptr = nullptr;
   MockBackend backend(client_ptr);
 
+  runtime::ReissueClientConfig config;
+  config.latency_ring_capacity = 4096;  // capture per-request samples
   runtime::ReissueClient client(
       clock,
       [&backend](std::uint64_t id, bool is_reissue) {
         backend.dispatch(id, is_reissue);
       },
-      core::ReissuePolicy::none());
+      core::ReissuePolicy::none(), config);
   client_ptr = &client;
 
   constexpr std::uint64_t kPhase = 2000;

@@ -1,12 +1,15 @@
 #include "reissue/cli/cli.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "reissue/core/adaptive.hpp"
 #include "reissue/core/optimizer.hpp"
@@ -19,12 +22,20 @@
 #include "reissue/exp/registry.hpp"
 #include "reissue/exp/runner.hpp"
 #include "reissue/obs/counters.hpp"
+#include "reissue/obs/runtime_metrics.hpp"
+#include "reissue/obs/runtime_timeseries.hpp"
+#include "reissue/obs/runtime_trace.hpp"
 #include "reissue/obs/timeseries.hpp"
 #include "reissue/obs/trace.hpp"
 #include "reissue/obs/trace_ring.hpp"
+#include "reissue/runtime/clock.hpp"
+#include "reissue/runtime/executor.hpp"
+#include "reissue/runtime/reissue_client.hpp"
 #include "reissue/sim/metrics.hpp"
 #include "reissue/sim/workloads.hpp"
+#include "reissue/stats/summary.hpp"
 #include "reissue/systems/bridge.hpp"
+#include "reissue/systems/live_backend.hpp"
 
 namespace reissue::cli {
 
@@ -55,6 +66,13 @@ usage:
   reissue_cli sweep --list
   reissue_cli merge    --inputs FILE[,FILE...] [--output FILE]
   reissue_cli trace-summarize --input FILE
+  reissue_cli loadgen  --backend kvstore|index|search --rate R
+                       [--duration S=5 | --requests N] [--policy SPEC=none]
+                       [--workers N=cores] [--scale X=1.0] [--seed S]
+                       [--ring-capacity N=1048576] [--percentile K=0.99]
+                       [--timeseries FILE [--window MS=1000]]
+                       [--trace-bin FILE [--trace-capacity N=1048576]]
+                       [--metrics-out FILE] [--latency-log FILE]
   reissue_cli help
 
 policy specs (scenario policy= tokens and --policies entries):
@@ -101,6 +119,19 @@ observability (passive: never changes sweep output):
                      checks/retired) as each cell completes
                      (shard mode: per-cell timings side file instead)
   --progress         per-cell progress + ETA on stderr
+
+live serving (loadgen): open-loop Poisson arrivals at --rate queries/sec
+against a real in-process backend (kvstore set intersections, inverted-
+index postings scans, BM25 search) executed on a thread pool, with
+reissue copies driven by --policy (fixed specs only: none | immediate
+| d: | r: | multi:).  Outputs:
+  --timeseries FILE  wall-clock windowed CSV, same tidy schema as sweep
+                     (--window here is in milliseconds)
+  --trace-bin FILE   binary event ring readable by trace-summarize
+  --metrics-out FILE Prometheus text exposition, atomically rewritten
+                     every window
+  --latency-log FILE drained per-request latency samples in the core
+                     latency-log format (optimizer training input)
 )";
 
 double parse_double(const ParsedArgs& args, const std::string& name,
@@ -639,6 +670,232 @@ int cmd_merge(const ParsedArgs& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_loadgen(const ParsedArgs& args, std::ostream& out,
+                std::ostream& err) {
+  const std::string backend_name = require_value(args, "backend", "loadgen");
+  const double rate = parse_double(args, "rate", 0.0);
+  if (!(rate > 0.0)) {
+    throw std::runtime_error("loadgen requires --rate > 0 (queries/sec)");
+  }
+  const auto requests = parse_u64(args, "requests", 0);
+  if (args.has("requests") && requests == 0) {
+    throw std::runtime_error("--requests must be > 0");
+  }
+  if (args.has("requests") && args.has("duration")) {
+    throw std::runtime_error(
+        "loadgen: --requests and --duration are mutually exclusive");
+  }
+  const double duration_s =
+      requests > 0 ? 0.0 : parse_double(args, "duration", 5.0);
+  if (requests == 0 && !(duration_s > 0.0)) {
+    throw std::runtime_error("--duration must be > 0 seconds");
+  }
+
+  const exp::PolicySpec spec =
+      exp::parse_policy_spec(args.get("policy", "none"));
+  if (spec.kind != exp::PolicySpec::Kind::kFixed) {
+    throw std::runtime_error(
+        "loadgen --policy must be a fixed spec (none|immediate|d:|r:|multi:);"
+        " tuned/optimal policies belong to the sweep pipeline");
+  }
+
+  const std::uint64_t seed = parse_seed(args, 0x10ad);
+  const double percentile = parse_double(args, "percentile", 0.99);
+  if (!(percentile > 0.0 && percentile < 1.0)) {
+    throw std::runtime_error("--percentile must be in (0,1)");
+  }
+
+  systems::LiveBackendOptions backend_options;
+  backend_options.scale = parse_double(args, "scale", 1.0);
+  backend_options.seed = seed;
+  const auto backend = systems::make_live_backend(backend_name,
+                                                  backend_options);
+
+  const auto workers = static_cast<std::size_t>(parse_u64(args, "workers", 0));
+  runtime::WallClock clock;
+  runtime::ThreadPool pool(workers);
+
+  std::optional<obs::RuntimeRingTracer> tracer;
+  std::string trace_bin_path;
+  if (args.has("trace-bin")) {
+    trace_bin_path = require_value(args, "trace-bin", "loadgen");
+    const auto capacity = static_cast<std::size_t>(
+        parse_u64(args, "trace-capacity", std::size_t{1} << 20));
+    if (capacity == 0) throw std::runtime_error("--trace-capacity must be > 0");
+    tracer.emplace(capacity);
+    tracer->push_run_begin(rate, seed,
+                           static_cast<std::uint32_t>(pool.thread_count()));
+  } else if (args.has("trace-capacity")) {
+    throw std::runtime_error("--trace-capacity requires --trace-bin");
+  }
+
+  runtime::ReissueClientConfig config;
+  config.seed = seed ^ 0xc011;
+  config.latency_ring_capacity = static_cast<std::size_t>(
+      parse_u64(args, "ring-capacity", std::size_t{1} << 20));
+  if (tracer) config.sink = &*tracer;
+
+  // The dispatch lambda outlives this scope inside the client, and the
+  // client cannot exist before its own dispatch function: bridge with a
+  // pointer filled in right after construction.  submit() is only called
+  // below, long after the pointer is set.
+  runtime::ReissueClient* client_ptr = nullptr;
+  const systems::LiveBackend& work = *backend;
+  runtime::DispatchFn dispatch = [&pool, &work, &client_ptr](
+                                     std::uint64_t query_id, bool is_reissue) {
+    pool.submit([&work, &client_ptr, query_id, is_reissue] {
+      work.execute(query_id);
+      client_ptr->on_response(query_id, is_reissue);
+    });
+  };
+  runtime::ReissueClient client(clock, std::move(dispatch), spec.fixed,
+                                config);
+  client_ptr = &client;
+
+  const bool want_timeseries = args.has("timeseries");
+  if (args.has("window") && !want_timeseries) {
+    throw std::runtime_error("loadgen: --window requires --timeseries");
+  }
+  std::optional<obs::RuntimeTimeSeriesSampler> sampler;
+  if (want_timeseries || args.has("metrics-out")) {
+    obs::RuntimeTimeSeriesOptions ts;
+    ts.window_ms = parse_double(args, "window", 1000.0);
+    if (!(ts.window_ms > 0.0)) {
+      throw std::runtime_error("--window must be > 0 milliseconds");
+    }
+    ts.percentile = percentile;
+    ts.pool = &pool;
+    if (args.has("metrics-out")) {
+      ts.metrics_out = require_value(args, "metrics-out", "loadgen");
+    }
+    sampler.emplace(clock, client, ts);
+    sampler->start();
+  }
+
+  // Open-loop Poisson arrivals: inter-arrival gaps are exponential with
+  // mean 1/rate, and the schedule never waits for responses — overload
+  // shows up as queueing latency, exactly what a tail-latency harness
+  // must not hide (closed-loop generators coordinate-omit it).
+  stats::Xoshiro256 arrival_rng(seed ^ 0xa221);
+  const double start_ms = clock.now_ms();
+  const double deadline_ms =
+      duration_s > 0.0 ? start_ms + duration_s * 1000.0 : 0.0;
+  double next_ms = start_ms;
+  std::uint64_t submitted = 0;
+  for (;;) {
+    if (requests > 0 && submitted >= requests) break;
+    next_ms += -std::log(arrival_rng.uniform_pos()) * 1000.0 / rate;
+    if (requests == 0 && next_ms >= deadline_ms) break;
+    for (;;) {
+      const double now = clock.now_ms();
+      if (now >= next_ms) break;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(next_ms - now));
+    }
+    client.submit(submitted++);
+  }
+  const double submit_end_ms = clock.now_ms();
+
+  // Drain: reissue queue first (no new copies after), then the executor
+  // (in-flight work finishes), then any straggler responses.
+  client.drain();
+  pool.wait_idle();
+  const double settle_deadline_ms = clock.now_ms() + 30000.0;
+  while (client.stats().first_responses < submitted &&
+         clock.now_ms() < settle_deadline_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.wait_idle();
+  }
+  const double end_ms = clock.now_ms();
+  const runtime::ReissueClientStats final_stats = client.stats();
+  if (final_stats.first_responses < submitted) {
+    err << "warning: " << (submitted - final_stats.first_responses)
+        << " requests never completed within the 30s settle timeout\n";
+  }
+
+  if (sampler) sampler->stop();
+  std::vector<runtime::LatencySample> samples =
+      sampler ? sampler->take_samples() : client.drain_samples();
+
+  if (want_timeseries) {
+    const std::string path = require_value(args, "timeseries", "loadgen");
+    std::ostringstream csv;
+    sampler->write_csv(csv);
+    dist::atomic_write_file(path, csv.str());
+  }
+  const double wall_s = (end_ms - start_ms) / 1000.0;
+  const double achieved =
+      wall_s > 0.0 ? static_cast<double>(final_stats.first_responses) / wall_s
+                   : 0.0;
+  if (tracer) {
+    tracer->push_run_end(end_ms - start_ms, achieved);
+    tracer->write(trace_bin_path);
+  }
+  if (args.has("latency-log")) {
+    const std::string path = require_value(args, "latency-log", "loadgen");
+    std::ostringstream log;
+    log << "# loadgen backend=" << backend->name() << " rate=" << rate
+        << " policy=" << core::policy_to_line(spec.fixed) << " seed=" << seed
+        << "\n";
+    core::write_latency_log(log, runtime::latency_values(samples));
+    dist::atomic_write_file(path, log.str());
+  }
+
+  out << "backend:        " << backend->name() << " (scale "
+      << backend_options.scale << ", trace " << backend->trace_length()
+      << " requests, " << pool.thread_count() << " workers)\n";
+  out << "policy:         " << core::policy_to_line(spec.fixed) << "\n";
+  out << "offered rate:   " << rate << " q/s\n";
+  out << "submitted:      " << submitted << " in "
+      << (submit_end_ms - start_ms) / 1000.0 << " s\n";
+  out << "completed:      " << final_stats.first_responses << " in " << wall_s
+      << " s (achieved " << achieved << " q/s)\n";
+  if (!samples.empty()) {
+    // Exact nearest-rank percentiles over the retained samples; the ring
+    // may have dropped the oldest under overload (reported below), in
+    // which case the digest line's P² estimates still cover every sample.
+    auto values = runtime::latency_values(samples);
+    std::uint64_t reissued_wins = 0;
+    std::uint64_t reissued_requests = 0;
+    for (const runtime::LatencySample& s : samples) {
+      reissued_requests += s.was_reissued ? 1 : 0;
+      reissued_wins += s.win_reissue ? 1 : 0;
+    }
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    out << "latency ms:     mean " << sum / static_cast<double>(values.size())
+        << "  p50 " << stats::percentile(values, 50.0) << "  p90 "
+        << stats::percentile(values, 90.0) << "  p99 "
+        << stats::percentile(values, 99.0) << "  p999 "
+        << stats::percentile(values, 99.9) << "  max "
+        << *std::max_element(values.begin(), values.end()) << "  (n="
+        << values.size() << ")\n";
+    out << "reissued:       " << reissued_requests
+        << " requests, reissue copy won " << reissued_wins << "\n";
+  }
+  out << "latency digest: p50 " << final_stats.latency_p50_ms << "  p99 "
+      << final_stats.latency_p99_ms << "  p999 " << final_stats.latency_p999_ms
+      << "  (P2 streaming, n=" << final_stats.latency_samples << ")\n";
+  out << "reissues:       issued " << final_stats.reissues_issued
+      << "  suppressed(completed) " << final_stats.reissues_suppressed_completed
+      << "  suppressed(coin) " << final_stats.reissues_suppressed_coin << "\n";
+  out << "sample ring:    recorded " << final_stats.latency_ring_recorded
+      << "  dropped " << final_stats.latency_ring_dropped << "\n";
+  if (sampler) out << "windows:        " << sampler->windows() << "\n";
+  if (tracer) {
+    out << "trace events:   " << tracer->total_pushed() << " -> "
+        << trace_bin_path << "\n";
+  }
+
+  // Final exposition after the run settles, so a scrape sees the totals.
+  if (args.has("metrics-out")) {
+    runtime::ThreadPoolStats pool_stats = pool.stats();
+    obs::write_text_atomic(require_value(args, "metrics-out", "loadgen"),
+                           obs::format_prometheus(final_stats, &pool_stats));
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string ParsedArgs::get(const std::string& name,
@@ -698,6 +955,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (parsed.command == "trace-summarize") {
       return cmd_trace_summarize(parsed, out);
     }
+    if (parsed.command == "loadgen") return cmd_loadgen(parsed, out, err);
     err << "unknown command: " << parsed.command << "\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,33 @@
+// Prometheus-style text exposition of the runtime stats snapshots
+// (ReissueClientStats, ThreadPoolStats).
+//
+// The live client/executor expose point-in-time stats() structs; this
+// renders them in the Prometheus text format (text/plain; version 0.0.4:
+// "# HELP"/"# TYPE" comments, one "name value" sample per line, counters
+// suffixed _total) so any scrape-file collector (node_exporter textfile
+// collector, vector, telegraf) ingests a live run without bespoke glue.
+// Pull-based scraping would need an HTTP server dependency; the repo's
+// deployment model is "write a file, let the host agent ship it", hence
+// write_text_atomic — rewrite via temp file + rename so a concurrent
+// reader never sees a torn exposition.
+#pragma once
+
+#include <string>
+
+#include "reissue/runtime/executor.hpp"
+#include "reissue/runtime/reissue_client.hpp"
+
+namespace reissue::obs {
+
+/// Renders a client snapshot (and optionally an executor snapshot) as
+/// Prometheus text exposition.  Field order is fixed, so two snapshots
+/// with equal values render byte-identically.
+[[nodiscard]] std::string format_prometheus(
+    const runtime::ReissueClientStats& client,
+    const runtime::ThreadPoolStats* pool = nullptr);
+
+/// Atomically replaces `path` with `text` (temp file in the same
+/// directory + rename).  Throws std::runtime_error on I/O failure.
+void write_text_atomic(const std::string& path, const std::string& text);
+
+}  // namespace reissue::obs

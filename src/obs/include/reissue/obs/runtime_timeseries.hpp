@@ -1,0 +1,134 @@
+// Wall-clock windowed time-series of a live ReissueClient, the runtime
+// analogue of TimeSeriesObserver.
+//
+// Emits the same tidy CSV schema —
+//
+//   run,window,t_start,t_end,series,server,value
+//
+// — so the sim's plotting/analysis scripts apply to live runs unchanged
+// (server is always -1: the client sees the service as one endpoint).
+// Per window it snapshots ReissueClientStats (and optionally
+// ThreadPool::stats()) and emits counter deltas plus gauges:
+//
+//   submitted, completions, reissues_issued, reissues_suppressed,
+//   ring_dropped               counter deltas inside the window
+//   inflight, pending_reissues gauges at the window boundary
+//   latency_mean, latency_p, latency_psquare
+//                              over samples drained from the client's
+//                              sample ring this window (rows omitted for
+//                              windows with no completions, like the sim)
+//   pool_queued, pool_active   executor gauges (when a pool is attached)
+//
+// Windowing semantics differ from the sim deliberately: the sim closes
+// windows at exact k*W simulated boundaries, but a wall-clock sampler
+// thread wakes up when the scheduler lets it.  Each tick closes the
+// window [last_tick, now) with the *actual* times, so reported rates are
+// honest under scheduling jitter rather than attributing a late wake's
+// events to a nominal-width window.
+//
+// The sampler drains the client's latency sample ring every tick and
+// retains the drained samples; take_samples() hands the full run's
+// chronological batch to the caller (e.g. for core::write_latency_log),
+// so enabling the time-series does not steal the latency log.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "reissue/runtime/executor.hpp"
+#include "reissue/runtime/reissue_client.hpp"
+
+namespace reissue::obs {
+
+struct RuntimeTimeSeriesOptions {
+  /// Window width in wall-clock milliseconds; must be > 0.
+  double window_ms = 1000.0;
+  /// Tracked windowed tail (the latency_p / latency_psquare series).
+  double percentile = 0.99;
+  /// When non-empty, every tick atomically rewrites this file with the
+  /// Prometheus exposition of the latest stats snapshot.
+  std::string metrics_out;
+  /// Optional executor to include pool gauges for; must outlive sampling.
+  runtime::ThreadPool* pool = nullptr;
+};
+
+class RuntimeTimeSeriesSampler {
+ public:
+  static constexpr const char* kCsvHeader =
+      "run,window,t_start,t_end,series,server,value";
+
+  /// `clock` and `client` must outlive the sampler.  Construction does not
+  /// start sampling: call start() for the background thread, or drive
+  /// tick() manually (deterministic tests use a ManualClock + tick()).
+  RuntimeTimeSeriesSampler(const runtime::Clock& clock,
+                           runtime::ReissueClient& client,
+                           RuntimeTimeSeriesOptions options);
+  ~RuntimeTimeSeriesSampler();
+
+  RuntimeTimeSeriesSampler(const RuntimeTimeSeriesSampler&) = delete;
+  RuntimeTimeSeriesSampler& operator=(const RuntimeTimeSeriesSampler&) =
+      delete;
+
+  /// Spawns the sampler thread (one tick per window).  No-op if running.
+  void start();
+
+  /// Stops the thread and flushes the final partial window.  Idempotent;
+  /// also called by the destructor.
+  void stop();
+
+  /// Closes the window [previous tick, now_ms) and emits its rows.  Called
+  /// by the sampler thread; public so tests can drive windows manually.
+  /// Not thread-safe against itself — external calls require start() to
+  /// not have been called (or stop() to have returned).
+  void tick(double now_ms);
+
+  /// Header plus every row emitted so far.
+  void write_csv(std::ostream& out) const;
+
+  /// Moves out the chronological batch of samples drained from the
+  /// client's ring across all ticks so far.
+  [[nodiscard]] std::vector<runtime::LatencySample> take_samples();
+
+  /// Windows closed so far.
+  [[nodiscard]] std::uint64_t windows() const;
+
+ private:
+  struct Row {
+    std::uint64_t window;
+    double t_start;
+    double t_end;
+    const char* series;
+    double value;
+  };
+
+  void row(const char* series, double value);
+  void sampler_loop();
+
+  const runtime::Clock& clock_;
+  runtime::ReissueClient& client_;
+  RuntimeTimeSeriesOptions options_;
+
+  /// Guards rows_/samples_/window state against write_csv()/take_samples()
+  /// racing the sampler thread's tick().
+  mutable std::mutex mutex_;
+  std::vector<Row> rows_;
+  std::vector<runtime::LatencySample> samples_;
+  std::uint64_t window_ = 0;
+  double window_start_ms_ = 0.0;
+  runtime::ReissueClientStats prev_;
+  /// Scratch for the row being assembled by tick() (under mutex_).
+  double t_end_scratch_ = 0.0;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace reissue::obs

@@ -1,0 +1,69 @@
+// ClientEventSink adapter writing live-serving events into a TraceRing.
+//
+// The sim's RingTraceObserver and this tracer produce the same 32-byte
+// binary format, so `reissue_cli trace-summarize` digests a live loadgen
+// run exactly like a simulated sweep.  Event mapping:
+//
+//   on_submit             -> kArrival   (ts = wall-clock ms since run start)
+//   on_reissue_issued     -> kReissueIssued
+//   on_reissue_suppressed -> kReissueSuppressedCompletion / ...Coin
+//   on_first_response     -> kQueryDone (value = latency ms,
+//                            copy = 1 when a reissue copy won)
+//
+// Unlike the sim observer, hooks arrive from multiple threads (submitter,
+// reissue thread, pool workers), so pushes are serialized by a mutex —
+// that cost exists only when a tracer is installed; a null sink keeps the
+// client's zero-cost default.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "reissue/obs/trace_ring.hpp"
+#include "reissue/runtime/reissue_client.hpp"
+
+namespace reissue::obs {
+
+class RuntimeRingTracer final : public runtime::ClientEventSink {
+ public:
+  explicit RuntimeRingTracer(std::size_t capacity) : ring_(capacity) {}
+
+  void on_submit(double now_ms, std::uint64_t query) override;
+  void on_reissue_issued(double now_ms, std::uint64_t query,
+                         std::uint16_t stage) override;
+  void on_reissue_suppressed(double now_ms, std::uint64_t query,
+                             std::uint16_t stage, bool by_completion) override;
+  void on_first_response(double now_ms, std::uint64_t query,
+                         double latency_ms, bool from_reissue) override;
+
+  /// Run framing, mirroring the sim's kRunBegin / kRunEnd records:
+  /// begin carries (value = offered rate, query = seed, server = workers);
+  /// end carries (ts = run length ms, value = achieved throughput qps).
+  void push_run_begin(double rate_per_s, std::uint64_t seed,
+                      std::uint32_t workers);
+  void push_run_end(double run_ms, double achieved_qps);
+
+  /// Serializes the ring via write_trace_ring (locked snapshot).
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::uint64_t total_pushed() const {
+    std::lock_guard lock(mutex_);
+    return ring_.total_pushed();
+  }
+
+  /// Locked copy of the retained records, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return ring_.snapshot();
+  }
+
+ private:
+  void push(TraceEventKind kind, double ts, double value, std::uint64_t query,
+            std::uint32_t server, std::uint16_t stage, std::uint8_t copy);
+
+  mutable std::mutex mutex_;
+  TraceRing ring_;
+};
+
+}  // namespace reissue::obs

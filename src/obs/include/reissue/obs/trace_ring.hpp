@@ -136,6 +136,13 @@ class RingTraceObserver final : public sim::SimObserver {
 /// std::runtime_error on I/O failure.
 void write_trace_ring(const std::string& path, const TraceRing& ring);
 
+/// Same file format from an already-snapshotted record sequence (oldest
+/// first).  `total_pushed` must be >= records.size(); the difference is
+/// reported as dropped-oldest by the summarizer.
+void write_trace_ring(const std::string& path,
+                      const std::vector<TraceRecord>& records,
+                      std::uint64_t total_pushed);
+
 struct TraceRingFile {
   std::uint64_t total_pushed = 0;
   std::vector<TraceRecord> records;  // oldest first

@@ -1,0 +1,146 @@
+#include "reissue/obs/runtime_metrics.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace reissue::obs {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+void metric(std::string& out, const char* name, const char* help,
+            const char* type, const std::string& value) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void counter(std::string& out, const char* name, const char* help,
+             std::uint64_t value) {
+  metric(out, name, help, "counter", std::to_string(value));
+}
+
+void gauge_u(std::string& out, const char* name, const char* help,
+             std::uint64_t value) {
+  metric(out, name, help, "gauge", std::to_string(value));
+}
+
+void gauge_d(std::string& out, const char* name, const char* help,
+             double value) {
+  metric(out, name, help, "gauge", fmt(value));
+}
+
+}  // namespace
+
+std::string format_prometheus(const runtime::ReissueClientStats& client,
+                              const runtime::ThreadPoolStats* pool) {
+  std::string out;
+  out.reserve(2048);
+  counter(out, "reissue_queries_submitted_total",
+          "Queries submitted to the reissue client.",
+          client.queries_submitted);
+  counter(out, "reissue_first_responses_total",
+          "Queries whose first response has arrived.",
+          client.first_responses);
+  counter(out, "reissue_copies_issued_total",
+          "Reissue copies actually dispatched.", client.reissues_issued);
+  // One family with a reason label, so rate() over either series works and
+  // the total suppression rate is a label-sum.
+  {
+    const char* name = "reissue_copies_suppressed_total";
+    out += "# HELP ";
+    out += name;
+    out += " Reissue copies skipped before dispatch, by reason.\n# TYPE ";
+    out += name;
+    out += " counter\n";
+    out += name;
+    out += "{reason=\"completed\"} " +
+           std::to_string(client.reissues_suppressed_completed) + "\n";
+    out += name;
+    out += "{reason=\"coin\"} " +
+           std::to_string(client.reissues_suppressed_coin) + "\n";
+  }
+  gauge_u(out, "reissue_pending_reissues",
+          "Entries waiting in the reissue heap.", client.pending_reissues);
+  gauge_u(out, "reissue_table_capacity",
+          "Completion-table slot count.", client.table_capacity);
+  gauge_u(out, "reissue_table_occupancy",
+          "Queries currently outstanding (clamped to table capacity).",
+          client.table_occupancy);
+  counter(out, "reissue_latency_samples_total",
+          "First-response latency samples folded into the digest.",
+          client.latency_samples);
+  gauge_d(out, "reissue_latency_p50_ms",
+          "Streaming P-square estimate of median first-response latency.",
+          client.latency_p50_ms);
+  gauge_d(out, "reissue_latency_p99_ms",
+          "Streaming P-square estimate of p99 first-response latency.",
+          client.latency_p99_ms);
+  gauge_d(out, "reissue_latency_p999_ms",
+          "Streaming P-square estimate of p999 first-response latency.",
+          client.latency_p999_ms);
+  gauge_u(out, "reissue_sample_ring_capacity",
+          "Latency sample-ring capacity (0 when capture is disabled).",
+          client.latency_ring_capacity);
+  gauge_u(out, "reissue_sample_ring_occupancy",
+          "Samples currently retained in the latency sample ring.",
+          client.latency_ring_occupancy);
+  counter(out, "reissue_sample_ring_recorded_total",
+          "Samples ever recorded into the latency sample ring.",
+          client.latency_ring_recorded);
+  counter(out, "reissue_sample_ring_dropped_total",
+          "Retained samples overwritten before being drained.",
+          client.latency_ring_dropped);
+  if (pool != nullptr) {
+    gauge_u(out, "reissue_pool_threads", "Executor worker threads.",
+            pool->threads);
+    gauge_u(out, "reissue_pool_queued",
+            "Tasks waiting for an executor worker.", pool->queued);
+    gauge_u(out, "reissue_pool_active",
+            "Tasks currently executing on the pool.", pool->active);
+    counter(out, "reissue_pool_tasks_submitted_total",
+            "Tasks ever submitted to the executor.", pool->submitted);
+    counter(out, "reissue_pool_tasks_completed_total",
+            "Tasks the executor has finished.", pool->completed);
+  }
+  return out;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_text_atomic: cannot open " + tmp);
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("write_text_atomic: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("write_text_atomic: rename failed for " + path);
+  }
+}
+
+}  // namespace reissue::obs

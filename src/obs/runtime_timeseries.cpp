@@ -1,0 +1,167 @@
+#include "reissue/obs/runtime_timeseries.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "reissue/obs/runtime_metrics.hpp"
+#include "reissue/stats/tail_summary.hpp"
+
+namespace reissue::obs {
+
+namespace {
+
+std::string fmt(double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  if (ec != std::errc{}) throw std::logic_error("fmt: to_chars failed");
+  return std::string(buf, end);
+}
+
+}  // namespace
+
+RuntimeTimeSeriesSampler::RuntimeTimeSeriesSampler(
+    const runtime::Clock& clock, runtime::ReissueClient& client,
+    RuntimeTimeSeriesOptions options)
+    : clock_(clock), client_(client), options_(std::move(options)) {
+  if (!(options_.window_ms > 0.0)) {
+    throw std::invalid_argument(
+        "RuntimeTimeSeriesSampler: window_ms must be > 0");
+  }
+  if (!(options_.percentile > 0.0) || !(options_.percentile < 1.0)) {
+    throw std::invalid_argument(
+        "RuntimeTimeSeriesSampler: percentile must be in (0, 1)");
+  }
+  window_start_ms_ = clock_.now_ms();
+}
+
+RuntimeTimeSeriesSampler::~RuntimeTimeSeriesSampler() { stop(); }
+
+void RuntimeTimeSeriesSampler::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { sampler_loop(); });
+}
+
+void RuntimeTimeSeriesSampler::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  started_ = false;
+  // Flush the final partial window so the tail of the run is not lost.
+  tick(clock_.now_ms());
+}
+
+void RuntimeTimeSeriesSampler::row(const char* series, double value) {
+  rows_.push_back(Row{window_, window_start_ms_, t_end_scratch_, series,
+                      value});
+}
+
+void RuntimeTimeSeriesSampler::tick(double now_ms) {
+  // Snapshot outside mutex_: stats() and drain_samples() take the
+  // client's own locks and must not nest inside ours.
+  const runtime::ReissueClientStats stats = client_.stats();
+  std::vector<runtime::LatencySample> drained = client_.drain_samples();
+  runtime::ThreadPoolStats pool_stats;
+  const bool have_pool = options_.pool != nullptr;
+  if (have_pool) pool_stats = options_.pool->stats();
+
+  {
+    std::lock_guard lock(mutex_);
+    t_end_scratch_ = now_ms;
+    row("submitted",
+        static_cast<double>(stats.queries_submitted -
+                            prev_.queries_submitted));
+    row("completions",
+        static_cast<double>(stats.first_responses - prev_.first_responses));
+    row("reissues_issued",
+        static_cast<double>(stats.reissues_issued - prev_.reissues_issued));
+    row("reissues_suppressed",
+        static_cast<double>((stats.reissues_suppressed_completed +
+                             stats.reissues_suppressed_coin) -
+                            (prev_.reissues_suppressed_completed +
+                             prev_.reissues_suppressed_coin)));
+    row("ring_dropped",
+        static_cast<double>(stats.latency_ring_dropped -
+                            prev_.latency_ring_dropped));
+    row("inflight", static_cast<double>(stats.table_occupancy));
+    row("pending_reissues", static_cast<double>(stats.pending_reissues));
+    if (!drained.empty()) {
+      // Window-local digest over the samples completed this window (rows
+      // omitted for empty windows, matching the sim observer's schema).
+      stats::TailSummary window_tail(options_.percentile);
+      for (const runtime::LatencySample& s : drained) {
+        window_tail.add(s.latency_ms);
+      }
+      row("latency_mean", window_tail.mean());
+      row("latency_p", window_tail.quantile());
+      row("latency_psquare", window_tail.psquare());
+    }
+    if (have_pool) {
+      row("pool_queued", static_cast<double>(pool_stats.queued));
+      row("pool_active", static_cast<double>(pool_stats.active));
+    }
+    samples_.insert(samples_.end(), drained.begin(), drained.end());
+    prev_ = stats;
+    window_start_ms_ = now_ms;
+    ++window_;
+  }
+
+  if (!options_.metrics_out.empty()) {
+    try {
+      write_text_atomic(
+          options_.metrics_out,
+          format_prometheus(stats, have_pool ? &pool_stats : nullptr));
+    } catch (const std::runtime_error&) {
+      // An unwritable scrape file must not kill the sampler thread (the
+      // run's primary outputs are the CSV and the latency log); stop
+      // retrying a path that already failed once.
+      options_.metrics_out.clear();
+    }
+  }
+}
+
+void RuntimeTimeSeriesSampler::write_csv(std::ostream& out) const {
+  out << kCsvHeader << '\n';
+  std::lock_guard lock(mutex_);
+  for (const Row& r : rows_) {
+    // run is always 0 (one live run per sampler); server is always -1
+    // (the client sees the backend as a single endpoint).
+    out << "0," << r.window << ',' << fmt(r.t_start) << ',' << fmt(r.t_end)
+        << ',' << r.series << ",-1," << fmt(r.value) << '\n';
+  }
+}
+
+std::vector<runtime::LatencySample> RuntimeTimeSeriesSampler::take_samples() {
+  std::lock_guard lock(mutex_);
+  return std::exchange(samples_, {});
+}
+
+std::uint64_t RuntimeTimeSeriesSampler::windows() const {
+  std::lock_guard lock(mutex_);
+  return window_;
+}
+
+void RuntimeTimeSeriesSampler::sampler_loop() {
+  std::unique_lock lock(stop_mutex_);
+  while (!stopping_) {
+    // Fixed-duration wait per window.  A late wake widens the closed
+    // window rather than backlogging ticks; tick() records actual
+    // boundaries, so rates stay honest under scheduler jitter.
+    stop_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(
+                                options_.window_ms),
+                      [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    tick(clock_.now_ms());
+    lock.lock();
+  }
+}
+
+}  // namespace reissue::obs

@@ -1,0 +1,67 @@
+#include "reissue/obs/runtime_trace.hpp"
+
+namespace reissue::obs {
+
+void RuntimeRingTracer::push(TraceEventKind kind, double ts, double value,
+                             std::uint64_t query, std::uint32_t server,
+                             std::uint16_t stage, std::uint8_t copy) {
+  TraceRecord r;
+  r.ts = ts;
+  r.value = value;
+  r.query = query;
+  r.server = server;
+  r.stage = stage;
+  r.event = static_cast<std::uint8_t>(kind);
+  r.copy = copy;
+  std::lock_guard lock(mutex_);
+  ring_.push(r);
+}
+
+void RuntimeRingTracer::on_submit(double now_ms, std::uint64_t query) {
+  push(TraceEventKind::kArrival, now_ms, 0.0, query, 0, 0, 0);
+}
+
+void RuntimeRingTracer::on_reissue_issued(double now_ms, std::uint64_t query,
+                                          std::uint16_t stage) {
+  push(TraceEventKind::kReissueIssued, now_ms, 0.0, query, 0, stage, 0);
+}
+
+void RuntimeRingTracer::on_reissue_suppressed(double now_ms,
+                                              std::uint64_t query,
+                                              std::uint16_t stage,
+                                              bool by_completion) {
+  push(by_completion ? TraceEventKind::kReissueSuppressedCompletion
+                     : TraceEventKind::kReissueSuppressedCoin,
+       now_ms, 0.0, query, 0, stage, 0);
+}
+
+void RuntimeRingTracer::on_first_response(double now_ms, std::uint64_t query,
+                                          double latency_ms,
+                                          bool from_reissue) {
+  push(TraceEventKind::kQueryDone, now_ms, latency_ms, query, 0, 0,
+       from_reissue ? 1 : 0);
+}
+
+void RuntimeRingTracer::push_run_begin(double rate_per_s, std::uint64_t seed,
+                                       std::uint32_t workers) {
+  push(TraceEventKind::kRunBegin, 0.0, rate_per_s, seed, workers, 0, 0);
+}
+
+void RuntimeRingTracer::push_run_end(double run_ms, double achieved_qps) {
+  push(TraceEventKind::kRunEnd, run_ms, achieved_qps, 0, 0, 0, 0);
+}
+
+void RuntimeRingTracer::write(const std::string& path) const {
+  // Snapshot under the lock, serialize outside it: concurrent pushes
+  // during file I/O cannot tear a record.
+  std::vector<TraceRecord> records;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard lock(mutex_);
+    records = ring_.snapshot();
+    total = ring_.total_pushed();
+  }
+  write_trace_ring(path, records, total);
+}
+
+}  // namespace reissue::obs

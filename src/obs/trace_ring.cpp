@@ -7,6 +7,7 @@
 #include <fstream>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "reissue/stats/tail_summary.hpp"
 
@@ -181,12 +182,17 @@ void RingTraceObserver::on_run_end(double horizon, double utilization,
 }
 
 void write_trace_ring(const std::string& path, const TraceRing& ring) {
+  write_trace_ring(path, ring.snapshot(), ring.total_pushed());
+}
+
+void write_trace_ring(const std::string& path,
+                      const std::vector<TraceRecord>& records,
+                      std::uint64_t total_pushed) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     throw std::runtime_error("write_trace_ring: cannot open " + path);
   }
-  const std::vector<TraceRecord> records = ring.snapshot();
-  const std::uint64_t total = ring.total_pushed();
+  const std::uint64_t total = total_pushed;
   const std::uint64_t count = records.size();
   out.write(kMagic, sizeof kMagic);
   out.write(reinterpret_cast<const char*>(&total), sizeof total);
@@ -242,6 +248,18 @@ std::string summarize_trace(const TraceRingFile& file) {
   bool any_ts = false;
   stats::TailSummary latencies(0.99);
   std::map<std::uint32_t, double> busy;  // server -> occupied time
+  // Fault digest state: episodes pair a kFaultBegin with the next
+  // kFaultEnd on the same (server, kind).  A matched pair contributes its
+  // observed duration (end.ts - begin.ts); a begin whose end fell outside
+  // the retained window falls back to the scheduled duration the begin
+  // record carries in `value`.  An unmatched end (its begin was
+  // overwritten) still counts as an episode with unknown duration.
+  constexpr std::size_t kFaultKinds = 3;
+  constexpr std::array<const char*, kFaultKinds> kFaultNames = {
+      "slowdown", "degrade", "crash"};
+  std::array<std::uint64_t, kFaultKinds> fault_episodes{};
+  std::array<double, kFaultKinds> fault_time{};
+  std::map<std::pair<std::uint32_t, std::uint16_t>, TraceRecord> open_faults;
   for (const TraceRecord& r : file.records) {
     if (r.event < counts.size()) ++counts[r.event];
     const auto kind = static_cast<TraceEventKind>(r.event);
@@ -255,6 +273,23 @@ std::string summarize_trace(const TraceRingFile& file) {
         r.server != sim::SimObserver::kNoServer) {
       busy[r.server] += r.value;
     }
+    if (kind == TraceEventKind::kFaultBegin && r.stage < kFaultKinds) {
+      ++fault_episodes[r.stage];
+      open_faults[{r.server, r.stage}] = r;
+    }
+    if (kind == TraceEventKind::kFaultEnd && r.stage < kFaultKinds) {
+      const auto it = open_faults.find({r.server, r.stage});
+      if (it != open_faults.end()) {
+        fault_time[r.stage] += r.ts - it->second.ts;
+        open_faults.erase(it);
+      } else {
+        ++fault_episodes[r.stage];  // begin dropped from the ring
+      }
+    }
+  }
+  // Begins that never saw their end: scheduled duration fallback.
+  for (const auto& [key, begin] : open_faults) {
+    fault_time[key.second] += begin.value;
   }
 
   std::string out;
@@ -277,6 +312,23 @@ std::string summarize_trace(const TraceRingFile& file) {
            fmt(latencies.quantile(0.5)) + " p99 " +
            fmt(latencies.quantile(0.99)) + " max " + fmt(latencies.max()) +
            " (n=" + std::to_string(latencies.count()) + ")\n";
+  }
+  {
+    std::uint64_t total_episodes = 0;
+    for (const std::uint64_t n : fault_episodes) total_episodes += n;
+    if (total_episodes > 0) {
+      out += "fault episodes:";
+      for (std::size_t k = 0; k < kFaultKinds; ++k) {
+        if (fault_episodes[k] == 0) continue;
+        out += " " + std::string(kFaultNames[k]) + "=" +
+               std::to_string(fault_episodes[k]);
+      }
+      out += "\n";
+      // "Degraded" covers slowdown + degrade episodes (the server still
+      // answers, slowly); "down" is crash time (dispatches rejected).
+      out += "fault time: degraded " + fmt(fault_time[0] + fault_time[1]) +
+             " down " + fmt(fault_time[2]) + "\n";
+    }
   }
   if (!busy.empty()) {
     // Top 5 busiest servers by retained service-start occupancy.

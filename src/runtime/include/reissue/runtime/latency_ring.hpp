@@ -1,0 +1,92 @@
+// Bounded latency-sample capture for the live serving path.
+//
+// The ReissueClient's P² sketches answer "what is the tail right now" in
+// O(1) space, but the closed-loop optimizer (ROADMAP: live autotuning of
+// (d, q)) needs the actual recent samples: the §4.1 scan consumes a
+// latency log, and the §4.2 variant additionally needs to know which
+// queries were reissued.  This ring keeps the *last* `capacity` completed
+// requests as (submit time, first-response latency, was_reissued,
+// win_source) tuples with overwrite-oldest semantics — the same
+// flight-recorder model as obs::TraceRing — and drains destructively, so
+// a periodic consumer (time-series sampler, re-optimization loop) always
+// sees each sample exactly once.
+//
+// Concurrency: record() is called from every transport response thread,
+// so the ring is sharded — each shard has its own mutex and sub-ring, and
+// a recording thread only ever touches one shard.  drain() locks shards
+// one at a time and merges by submit time, so the drained batch reads as
+// a chronological latency log.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace reissue::runtime {
+
+/// One completed request, as the future (d, q) optimizer consumes it.
+struct LatencySample {
+  /// Client-clock submit time (ms since the clock's epoch).
+  double submit_ms = 0.0;
+  /// First-response latency in milliseconds.
+  double latency_ms = 0.0;
+  /// A reissue copy was issued for this query before its first response.
+  bool was_reissued = false;
+  /// The first response came from a reissue copy (requires the transport
+  /// to call on_response(id, /*from_reissue=*/true) for reissue copies).
+  bool win_reissue = false;
+};
+
+/// Extracts the latency column of a drained batch, ready for
+/// core::write_latency_log / the §4.1 optimizer scan.
+[[nodiscard]] std::vector<double> latency_values(
+    const std::vector<LatencySample>& samples);
+
+class LatencySampleRing {
+ public:
+  /// `capacity` is the total retained-sample bound across all shards
+  /// (rounded up to a multiple of the shard count); `shards` bounds
+  /// record() contention and is clamped to [1, capacity].
+  explicit LatencySampleRing(std::size_t capacity, std::size_t shards = 8);
+
+  LatencySampleRing(const LatencySampleRing&) = delete;
+  LatencySampleRing& operator=(const LatencySampleRing&) = delete;
+
+  /// Appends one sample, overwriting the shard's oldest when full.
+  void record(const LatencySample& sample);
+
+  /// Removes and returns every retained sample, ordered by submit time.
+  [[nodiscard]] std::vector<LatencySample> drain();
+
+  /// Total capacity across shards.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Samples currently retained (sums shard occupancy; a concurrent
+  /// record() may make this momentarily stale, never wrong by more than
+  /// the in-flight writers).
+  [[nodiscard]] std::size_t occupancy() const;
+
+  /// Lifetime samples recorded.
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  /// Samples lost to overwrite-oldest before any drain() collected them.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<LatencySample> samples;  // fixed-size ring storage
+    std::size_t next = 0;                // next write slot
+    std::size_t size = 0;                // retained (<= samples.size())
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t per_shard_ = 0;
+  /// Shard choice is thread-affine (a thread-local token hashed over the
+  /// shard count), so a recording thread never migrates between shards.
+  std::vector<Shard> shards_;
+};
+
+}  // namespace reissue::runtime

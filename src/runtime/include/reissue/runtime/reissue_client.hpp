@@ -27,6 +27,7 @@
 #include "reissue/core/policy.hpp"
 #include "reissue/runtime/clock.hpp"
 #include "reissue/runtime/completion_table.hpp"
+#include "reissue/runtime/latency_ring.hpp"
 #include "reissue/stats/psquare.hpp"
 #include "reissue/stats/rng.hpp"
 
@@ -35,6 +36,29 @@ namespace reissue::runtime {
 /// Sends one copy of `query_id` to the service.  `is_reissue` lets the
 /// transport tag copies (e.g. for prioritized queueing on the server).
 using DispatchFn = std::function<void(std::uint64_t query_id, bool is_reissue)>;
+
+/// Passive per-request event hooks for live tracing (the runtime analogue
+/// of sim::SimObserver).  Every method has an empty default, so a sink
+/// overrides only what it records; a null sink in the config costs one
+/// predictable branch per event.  Hooks are invoked from the submitting
+/// thread (on_submit), the reissue thread (reissue decisions), and
+/// transport response threads (on_first_response) — implementations must
+/// be thread-safe.
+class ClientEventSink {
+ public:
+  virtual ~ClientEventSink() = default;
+
+  virtual void on_submit(double /*now_ms*/, std::uint64_t /*query*/) {}
+  virtual void on_reissue_issued(double /*now_ms*/, std::uint64_t /*query*/,
+                                 std::uint16_t /*stage*/) {}
+  virtual void on_reissue_suppressed(double /*now_ms*/,
+                                     std::uint64_t /*query*/,
+                                     std::uint16_t /*stage*/,
+                                     bool /*by_completion*/) {}
+  virtual void on_first_response(double /*now_ms*/, std::uint64_t /*query*/,
+                                 double /*latency_ms*/,
+                                 bool /*from_reissue*/) {}
+};
 
 struct ReissueClientConfig {
   /// Maximum in-flight queries tracked (completion-table ring size).
@@ -45,6 +69,13 @@ struct ReissueClientConfig {
   /// polling happens at this granularity any more.
   double poll_interval_ms = 1.0;
   std::uint64_t seed = 0xc11e;
+  /// Retained completed-request samples (see latency_ring.hpp); 0 disables
+  /// capture entirely — the response path then skips the ring.
+  std::size_t latency_ring_capacity = 0;
+  /// Shard count for the sample ring's mutexes.
+  std::size_t latency_ring_shards = 8;
+  /// Optional per-request trace sink; must outlive the client.
+  ClientEventSink* sink = nullptr;
 };
 
 /// Point-in-time introspection of a ReissueClient (see stats()).  Counter
@@ -66,10 +97,18 @@ struct ReissueClientStats {
   std::size_t table_capacity = 0;
   /// Queries currently outstanding, clamped to the table size (gauge).
   std::size_t table_occupancy = 0;
+  /// Latency digest fields are snapshotted under one lock acquisition
+  /// together with first_responses, so latency_samples == first_responses
+  /// and the three quantiles describe the same instant.
   std::uint64_t latency_samples = 0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_p999_ms = 0.0;
+  /// Sample-ring gauges/counters (all 0 when capture is disabled).
+  std::size_t latency_ring_capacity = 0;
+  std::size_t latency_ring_occupancy = 0;
+  std::uint64_t latency_ring_recorded = 0;
+  std::uint64_t latency_ring_dropped = 0;
 };
 
 class ReissueClient {
@@ -87,8 +126,14 @@ class ReissueClient {
   void submit(std::uint64_t query_id);
 
   /// Must be called by the transport when any copy's response arrives.
-  /// Returns true for the first response of the query.
-  bool on_response(std::uint64_t query_id);
+  /// Returns true for the first response of the query.  `from_reissue`
+  /// tags responses of reissue copies so the sample ring can attribute
+  /// the win (the one-argument overload assumes a primary response; the
+  /// digest is identical either way).
+  bool on_response(std::uint64_t query_id) {
+    return on_response(query_id, /*from_reissue=*/false);
+  }
+  bool on_response(std::uint64_t query_id, bool from_reissue);
 
   /// Atomically replaces the policy (applies to queries submitted after
   /// the call).
@@ -114,6 +159,18 @@ class ReissueClient {
   /// Blocks until the reissue queue has drained (all due entries decided);
   /// useful in tests and for graceful shutdown.
   void drain();
+
+  /// Removes and returns the sample ring's retained completed-request
+  /// samples, chronological by submit time (empty when capture is
+  /// disabled).  This is the training input of the closed-loop optimizer:
+  /// latency_values(batch) feeds core::write_latency_log / the §4.1 scan,
+  /// and was_reissued partitions the batch for the §4.2 variant.
+  [[nodiscard]] std::vector<LatencySample> drain_samples();
+
+  /// True when config.latency_ring_capacity > 0.
+  [[nodiscard]] bool captures_samples() const noexcept {
+    return ring_ != nullptr;
+  }
 
  private:
   struct PendingEntry {
@@ -162,10 +219,22 @@ class ReissueClient {
   /// first-response path sees the matching submit time without extra
   /// synchronization.
   std::vector<double> submit_ms_;
+  /// Whether a reissue copy has been issued for the slot's current
+  /// generation.  Written by the reissue thread, cleared on submit, read
+  /// on first response; relaxed is enough — a racing reissue decided at
+  /// the same instant as the response is attributable either way.
+  std::vector<std::atomic<std::uint8_t>> reissued_;
+  /// Guards the three P² estimators AND the first_responses counter:
+  /// on_response updates all four inside one critical section, so a
+  /// stats() snapshot taken under the same lock is internally consistent
+  /// (latency_samples == first_responses, quantiles from that instant).
   mutable std::mutex latency_mutex_;
   stats::PSquareQuantile latency_p50_;
   stats::PSquareQuantile latency_p99_;
   stats::PSquareQuantile latency_p999_;
+  /// Null when capture is disabled (the common, zero-cost case).
+  std::unique_ptr<LatencySampleRing> ring_;
+  ClientEventSink* sink_ = nullptr;
 
   std::thread reissue_thread_;
 };

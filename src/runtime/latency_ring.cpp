@@ -1,0 +1,103 @@
+#include "reissue/runtime/latency_ring.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace reissue::runtime {
+
+namespace {
+
+/// Distinct small integer per thread, assigned on first use; cheaper and
+/// more portable than hashing std::thread::id on every record().
+std::size_t thread_token() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t token =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+}  // namespace
+
+std::vector<double> latency_values(const std::vector<LatencySample>& samples) {
+  std::vector<double> values;
+  values.reserve(samples.size());
+  for (const LatencySample& s : samples) values.push_back(s.latency_ms);
+  return values;
+}
+
+LatencySampleRing::LatencySampleRing(std::size_t capacity, std::size_t shards) {
+  if (capacity == 0) {
+    throw std::invalid_argument("LatencySampleRing: capacity must be > 0");
+  }
+  const std::size_t shard_count = std::clamp<std::size_t>(shards, 1, capacity);
+  per_shard_ = (capacity + shard_count - 1) / shard_count;
+  capacity_ = per_shard_ * shard_count;
+  shards_ = std::vector<Shard>(shard_count);
+  for (Shard& shard : shards_) shard.samples.resize(per_shard_);
+}
+
+void LatencySampleRing::record(const LatencySample& sample) {
+  Shard& shard = shards_[thread_token() % shards_.size()];
+  std::lock_guard lock(shard.mutex);
+  shard.samples[shard.next] = sample;
+  if (++shard.next == shard.samples.size()) shard.next = 0;
+  if (shard.size < shard.samples.size()) {
+    ++shard.size;
+  } else {
+    ++shard.dropped;  // overwrote the shard's oldest retained sample
+  }
+  ++shard.recorded;
+}
+
+std::vector<LatencySample> LatencySampleRing::drain() {
+  std::vector<LatencySample> out;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    // Oldest retained sample: write cursor minus occupancy, mod capacity.
+    const std::size_t n = shard.samples.size();
+    const std::size_t start = (shard.next + n - shard.size % n) % n;
+    for (std::size_t i = 0; i < shard.size; ++i) {
+      out.push_back(shard.samples[(start + i) % n]);
+    }
+    shard.size = 0;
+    shard.next = 0;
+  }
+  // Shards are individually chronological; merge them so the batch reads
+  // as one chronological latency log.  stable_sort keeps a shard's
+  // equal-timestamp samples in record order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LatencySample& a, const LatencySample& b) {
+                     return a.submit_ms < b.submit_ms;
+                   });
+  return out;
+}
+
+std::size_t LatencySampleRing::occupancy() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.size;
+  }
+  return total;
+}
+
+std::uint64_t LatencySampleRing::recorded() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.recorded;
+  }
+  return total;
+}
+
+std::uint64_t LatencySampleRing::dropped() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.dropped;
+  }
+  return total;
+}
+
+}  // namespace reissue::runtime

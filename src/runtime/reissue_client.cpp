@@ -16,12 +16,18 @@ ReissueClient::ReissueClient(const Clock& clock, DispatchFn dispatch,
       policy_(std::make_shared<const core::ReissuePolicy>(std::move(policy))),
       coin_rng_(config.seed),
       submit_ms_(config.table_capacity, 0.0),
+      reissued_(config.table_capacity),
       latency_p50_(0.5),
       latency_p99_(0.99),
-      latency_p999_(0.999) {
+      latency_p999_(0.999),
+      sink_(config.sink) {
   if (!dispatch_) throw std::invalid_argument("ReissueClient: null dispatch");
   if (!(config_.poll_interval_ms > 0.0)) {
     throw std::invalid_argument("ReissueClient: poll interval must be > 0");
+  }
+  if (config_.latency_ring_capacity > 0) {
+    ring_ = std::make_unique<LatencySampleRing>(config_.latency_ring_capacity,
+                                                config_.latency_ring_shards);
   }
   reissue_thread_ = std::thread([this] { reissue_loop(); });
 }
@@ -51,10 +57,13 @@ core::ReissuePolicy ReissueClient::policy() const { return *snapshot(); }
 void ReissueClient::submit(std::uint64_t query_id) {
   const double now = clock_.now_ms();
   // Written before begin()'s release store so on_response's acquire via
-  // complete() observes the submit time of its own generation.
+  // complete() observes the submit time (and cleared reissue flag) of its
+  // own generation.
   submit_ms_[query_id % submit_ms_.size()] = now;
+  reissued_[query_id % reissued_.size()].store(0, std::memory_order_relaxed);
   table_.begin(query_id);
   queries_submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_ != nullptr) sink_->on_submit(now, query_id);
   auto policy = snapshot();
   dispatch_(query_id, /*is_reissue=*/false);
   if (!policy->reissues()) return;
@@ -66,24 +75,39 @@ void ReissueClient::submit(std::uint64_t query_id) {
   queue_cv_.notify_one();
 }
 
-bool ReissueClient::on_response(std::uint64_t query_id) {
+bool ReissueClient::on_response(std::uint64_t query_id, bool from_reissue) {
   if (!table_.complete(query_id)) return false;
-  first_responses_.fetch_add(1, std::memory_order_relaxed);
-  const double latency =
-      clock_.now_ms() - submit_ms_[query_id % submit_ms_.size()];
+  const double now = clock_.now_ms();
+  const double submit = submit_ms_[query_id % submit_ms_.size()];
+  const double latency = now - submit;
+  const bool was_reissued =
+      reissued_[query_id % reissued_.size()].load(std::memory_order_relaxed) !=
+      0;
   {
+    // One critical section for the digest AND its count: stats() snapshots
+    // under the same lock, so latency_samples == first_responses always.
     std::lock_guard lock(latency_mutex_);
     latency_p50_.add(latency);
     latency_p99_.add(latency);
     latency_p999_.add(latency);
+    first_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ring_) {
+    ring_->record(LatencySample{submit, latency, was_reissued, from_reissue});
+  }
+  if (sink_ != nullptr) {
+    sink_->on_first_response(now, query_id, latency, from_reissue);
   }
   return true;
+}
+
+std::vector<LatencySample> ReissueClient::drain_samples() {
+  return ring_ ? ring_->drain() : std::vector<LatencySample>{};
 }
 
 ReissueClientStats ReissueClient::stats() const {
   ReissueClientStats s;
   s.queries_submitted = queries_submitted_.load(std::memory_order_relaxed);
-  s.first_responses = first_responses_.load(std::memory_order_relaxed);
   s.reissues_issued = reissues_issued_.load(std::memory_order_relaxed);
   s.reissues_suppressed_completed =
       reissues_suppressed_completed_.load(std::memory_order_relaxed);
@@ -94,6 +118,19 @@ ReissueClientStats ReissueClient::stats() const {
     s.pending_reissues = queue_.size();
   }
   s.table_capacity = table_.capacity();
+  {
+    // One acquisition for the full latency digest and its counter:
+    // on_response updates the three estimators and first_responses inside
+    // the same critical section, so this snapshot is internally
+    // consistent (latency_samples == first_responses, three quantiles of
+    // the same sample multiset).
+    std::lock_guard lock(latency_mutex_);
+    s.first_responses = first_responses_.load(std::memory_order_relaxed);
+    s.latency_samples = latency_p50_.count();
+    s.latency_p50_ms = latency_p50_.estimate();
+    s.latency_p99_ms = latency_p99_.estimate();
+    s.latency_p999_ms = latency_p999_.estimate();
+  }
   const std::uint64_t outstanding =
       s.queries_submitted > s.first_responses
           ? s.queries_submitted - s.first_responses
@@ -101,12 +138,11 @@ ReissueClientStats ReissueClient::stats() const {
   s.table_occupancy =
       static_cast<std::size_t>(std::min<std::uint64_t>(outstanding,
                                                        s.table_capacity));
-  {
-    std::lock_guard lock(latency_mutex_);
-    s.latency_samples = latency_p50_.count();
-    s.latency_p50_ms = latency_p50_.estimate();
-    s.latency_p99_ms = latency_p99_.estimate();
-    s.latency_p999_ms = latency_p999_.estimate();
+  if (ring_) {
+    s.latency_ring_capacity = ring_->capacity();
+    s.latency_ring_occupancy = ring_->occupancy();
+    s.latency_ring_recorded = ring_->recorded();
+    s.latency_ring_dropped = ring_->dropped();
   }
   return s;
 }
@@ -148,11 +184,29 @@ void ReissueClient::reissue_loop() {
     // stream is independent of response timing for completed ones.
     if (table_.is_complete(entry.query_id)) {
       reissues_suppressed_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (sink_ != nullptr) {
+        sink_->on_reissue_suppressed(clock_.now_ms(), entry.query_id,
+                                     static_cast<std::uint16_t>(entry.stage),
+                                     /*by_completion=*/true);
+      }
     } else if (!coin_rng_.bernoulli(stage.probability)) {
       reissues_suppressed_coin_.fetch_add(1, std::memory_order_relaxed);
+      if (sink_ != nullptr) {
+        sink_->on_reissue_suppressed(clock_.now_ms(), entry.query_id,
+                                     static_cast<std::uint16_t>(entry.stage),
+                                     /*by_completion=*/false);
+      }
     } else {
+      // Flag before dispatching: if the copy races its own response, the
+      // response must still see was_reissued.
+      reissued_[entry.query_id % reissued_.size()].store(
+          1, std::memory_order_relaxed);
       dispatch_(entry.query_id, /*is_reissue=*/true);
       reissues_issued_.fetch_add(1, std::memory_order_relaxed);
+      if (sink_ != nullptr) {
+        sink_->on_reissue_issued(clock_.now_ms(), entry.query_id,
+                                 static_cast<std::uint16_t>(entry.stage));
+      }
     }
     lock.lock();
 

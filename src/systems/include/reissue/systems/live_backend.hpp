@@ -1,0 +1,59 @@
+// Self-contained request executors for live serving: each backend owns a
+// deterministically generated dataset and maps a query id to real
+// (CPU-bound, read-only) work, so the loadgen harness measures genuine
+// service-time distributions — the kvstore's giant-pair intersections and
+// the searcher's hot-term queries produce the paper's heavy tails from
+// the data shape, with no injected delays.
+//
+// Backends are immutable after construction; execute() only reads shared
+// state, so any number of executor threads may call it concurrently.
+// Query ids map onto a fixed precomputed trace via id % trace length,
+// which keeps a run reproducible for a given (backend, seed, scale) and
+// makes reissue copies of a query perform the identical work.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace reissue::systems {
+
+struct LiveBackendOptions {
+  /// Dataset scale relative to the paper-scale defaults (1.0 = the §6.2 /
+  /// §6.3 sizes: 1000 sets over [1, 10^6] / 60k docs, 30k terms).  Tests
+  /// use small fractions; floors keep tiny scales non-degenerate.
+  double scale = 1.0;
+  std::uint64_t seed = 0x11fe;
+  /// Hits returned by the search backend.
+  std::size_t top_k = 10;
+};
+
+class LiveBackend {
+ public:
+  virtual ~LiveBackend() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Performs the query's work and returns its operation count (the
+  /// deterministic service-cost proxy).  Thread-safe: read-only against
+  /// construction-time state.
+  virtual std::uint64_t execute(std::uint64_t query_id) const = 0;
+
+  /// Length of the precomputed query trace ids wrap around.
+  [[nodiscard]] virtual std::size_t trace_length() const noexcept = 0;
+};
+
+/// Builds a backend by name:
+///   "kvstore"  Redis-like set-intersection over the §6.2 dataset;
+///   "index"    single-term postings scans (cost ~ posting length, so the
+///              Zipf vocabulary yields orders-of-magnitude cost spread);
+///   "search"   BM25 top-k disjunctions from the §6.3 query pool.
+/// Throws std::invalid_argument for an unknown name or scale <= 0.
+[[nodiscard]] std::unique_ptr<LiveBackend> make_live_backend(
+    const std::string& name, const LiveBackendOptions& options = {});
+
+/// Names accepted by make_live_backend, for CLI help/validation.
+[[nodiscard]] const std::vector<std::string>& live_backend_names();
+
+}  // namespace reissue::systems

@@ -1,0 +1,153 @@
+#include "reissue/systems/live_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "reissue/systems/redis_dataset.hpp"
+#include "reissue/systems/search_workload.hpp"
+#include "reissue/systems/searcher.hpp"
+
+namespace reissue::systems {
+
+namespace {
+
+std::size_t scaled(double base, double scale, std::size_t floor_value) {
+  return std::max<std::size_t>(floor_value,
+                               static_cast<std::size_t>(base * scale));
+}
+
+class KvStoreBackend final : public LiveBackend {
+ public:
+  explicit KvStoreBackend(const LiveBackendOptions& options) {
+    RedisDatasetParams params;
+    params.sets = scaled(1000, options.scale, 16);
+    params.universe = static_cast<std::uint32_t>(
+        scaled(1000000, options.scale, 2000));
+    params.max_cardinality = scaled(400000, options.scale, 500);
+    params.seed = options.seed;
+    dataset_ = make_redis_dataset(params);
+    trace_ = make_intersect_trace(params.sets, scaled(40000, options.scale, 256),
+                                  options.seed ^ 0xcafe);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "kvstore";
+  }
+
+  std::uint64_t execute(std::uint64_t query_id) const override {
+    const IntersectQuery& q = trace_[query_id % trace_.size()];
+    return dataset_.store
+        .intersect_count(dataset_.keys[q.lhs], dataset_.keys[q.rhs])
+        .ops;
+  }
+
+  [[nodiscard]] std::size_t trace_length() const noexcept override {
+    return trace_.size();
+  }
+
+ private:
+  RedisDataset dataset_;
+  std::vector<IntersectQuery> trace_;
+};
+
+class IndexBackend final : public LiveBackend {
+ public:
+  explicit IndexBackend(const LiveBackendOptions& options) {
+    CorpusParams params;
+    params.documents = scaled(60000, options.scale, 500);
+    params.vocabulary = static_cast<std::uint32_t>(
+        scaled(30000, options.scale, 500));
+    params.seed = options.seed;
+    index_ = InvertedIndex(make_corpus(params));
+    // One term per request, Zipf-weighted like document text: most scans
+    // touch short postings, a few hit the hottest terms' giant lists.
+    ZipfSampler sampler(index_.vocabulary(), 1.05);
+    stats::Xoshiro256 rng(options.seed ^ 0x1d);
+    const std::size_t n = scaled(40000, options.scale, 256);
+    trace_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) trace_.push_back(sampler.sample(rng));
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "index"; }
+
+  std::uint64_t execute(std::uint64_t query_id) const override {
+    const std::uint32_t term = trace_[query_id % trace_.size()];
+    std::uint64_t sum = 0;
+    for (const Posting& p : index_.postings(term)) sum += p.tf;
+    return sum + index_.doc_frequency(term);
+  }
+
+  [[nodiscard]] std::size_t trace_length() const noexcept override {
+    return trace_.size();
+  }
+
+ private:
+  InvertedIndex index_;
+  std::vector<std::uint32_t> trace_;
+};
+
+class SearchBackend final : public LiveBackend {
+ public:
+  explicit SearchBackend(const LiveBackendOptions& options)
+      : top_k_(options.top_k) {
+    CorpusParams corpus_params;
+    corpus_params.documents = scaled(60000, options.scale, 500);
+    corpus_params.vocabulary = static_cast<std::uint32_t>(
+        scaled(30000, options.scale, 500));
+    corpus_params.seed = options.seed;
+    const Corpus corpus = make_corpus(corpus_params);
+    index_ = InvertedIndex(corpus);
+    searcher_ = std::make_unique<Searcher>(index_);
+    SearchWorkloadParams workload;
+    workload.distinct_queries = scaled(10000, options.scale, 64);
+    // Keep ordinary-term ranks inside small test vocabularies.
+    workload.min_rank =
+        std::min<std::uint32_t>(workload.min_rank, index_.vocabulary() / 4);
+    workload.hot_min_rank =
+        std::min<std::uint32_t>(workload.hot_min_rank, workload.min_rank / 2);
+    workload.seed = options.seed ^ 0x5ea;
+    pool_ = make_query_pool(index_.vocabulary(), workload);
+    trace_ = make_query_trace(pool_.size(), scaled(40000, options.scale, 256),
+                              options.seed ^ 0x7ace);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "search"; }
+
+  std::uint64_t execute(std::uint64_t query_id) const override {
+    const SearchQuery& q = pool_[trace_[query_id % trace_.size()]];
+    return searcher_->search(q.terms, top_k_).ops;
+  }
+
+  [[nodiscard]] std::size_t trace_length() const noexcept override {
+    return trace_.size();
+  }
+
+ private:
+  std::size_t top_k_;
+  InvertedIndex index_;
+  std::unique_ptr<Searcher> searcher_;
+  std::vector<SearchQuery> pool_;
+  std::vector<std::uint32_t> trace_;
+};
+
+}  // namespace
+
+std::unique_ptr<LiveBackend> make_live_backend(
+    const std::string& name, const LiveBackendOptions& options) {
+  if (!(options.scale > 0.0)) {
+    throw std::invalid_argument("make_live_backend: scale must be > 0");
+  }
+  if (name == "kvstore") return std::make_unique<KvStoreBackend>(options);
+  if (name == "index") return std::make_unique<IndexBackend>(options);
+  if (name == "search") return std::make_unique<SearchBackend>(options);
+  throw std::invalid_argument("make_live_backend: unknown backend '" + name +
+                              "' (expected kvstore|index|search)");
+}
+
+const std::vector<std::string>& live_backend_names() {
+  static const std::vector<std::string> names = {"kvstore", "index", "search"};
+  return names;
+}
+
+}  // namespace reissue::systems

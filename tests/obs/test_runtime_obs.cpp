@@ -1,0 +1,320 @@
+// Runtime (wall-clock) observability: Prometheus exposition, the
+// ClientEventSink -> TraceRing adapter, and the windowed time-series
+// sampler driven deterministically through a ManualClock + manual tick().
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reissue/obs/runtime_metrics.hpp"
+#include "reissue/obs/runtime_timeseries.hpp"
+#include "reissue/obs/runtime_trace.hpp"
+#include "reissue/runtime/clock.hpp"
+#include "reissue/runtime/reissue_client.hpp"
+
+namespace reissue::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(FormatPrometheus, RendersCountersGaugesAndLabels) {
+  runtime::ReissueClientStats stats;
+  stats.queries_submitted = 10;
+  stats.first_responses = 9;
+  stats.reissues_issued = 4;
+  stats.reissues_suppressed_completed = 3;
+  stats.reissues_suppressed_coin = 2;
+  stats.pending_reissues = 1;
+  stats.latency_samples = 9;
+  stats.latency_p99_ms = 12.5;
+  stats.latency_ring_capacity = 64;
+  stats.latency_ring_recorded = 9;
+
+  const std::string text = format_prometheus(stats);
+  EXPECT_NE(text.find("# TYPE reissue_queries_submitted_total counter\n"
+                      "reissue_queries_submitted_total 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("reissue_copies_suppressed_total{reason=\"completed\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("reissue_copies_suppressed_total{reason=\"coin\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE reissue_pending_reissues gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("reissue_latency_p99_ms 12.5"), std::string::npos);
+  // No pool section without a pool snapshot.
+  EXPECT_EQ(text.find("reissue_pool_threads"), std::string::npos);
+  // Deterministic: equal inputs render byte-identically.
+  EXPECT_EQ(text, format_prometheus(stats));
+}
+
+TEST(FormatPrometheus, IncludesPoolSectionWhenGiven) {
+  runtime::ReissueClientStats stats;
+  runtime::ThreadPoolStats pool;
+  pool.threads = 4;
+  pool.queued = 2;
+  pool.submitted = 100;
+  const std::string text = format_prometheus(stats, &pool);
+  EXPECT_NE(text.find("reissue_pool_threads 4"), std::string::npos);
+  EXPECT_NE(text.find("reissue_pool_queued 2"), std::string::npos);
+  EXPECT_NE(text.find("reissue_pool_tasks_submitted_total 100"),
+            std::string::npos);
+}
+
+TEST(WriteTextAtomic, ReplacesExistingContent) {
+  const std::string path = temp_path("prom_atomic.txt");
+  write_text_atomic(path, "first\n");
+  write_text_atomic(path, "second\n");
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "second\n");
+  // No leftover temp file.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(RuntimeRingTracer, MapsClientEventsOntoTraceRecords) {
+  RuntimeRingTracer tracer(64);
+  tracer.push_run_begin(250.0, 42, 8);
+  tracer.on_submit(1.0, 7);
+  tracer.on_reissue_suppressed(2.0, 7, 0, /*by_completion=*/true);
+  tracer.on_reissue_suppressed(2.5, 7, 1, /*by_completion=*/false);
+  tracer.on_reissue_issued(3.0, 7, 0);
+  tracer.on_first_response(4.0, 7, 3.0, /*from_reissue=*/true);
+  tracer.push_run_end(100.0, 240.0);
+
+  const auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 7u);
+  EXPECT_EQ(records[0].event,
+            static_cast<std::uint8_t>(TraceEventKind::kRunBegin));
+  EXPECT_DOUBLE_EQ(records[0].value, 250.0);
+  EXPECT_EQ(records[0].query, 42u);
+  EXPECT_EQ(records[0].server, 8u);
+  EXPECT_EQ(records[1].event,
+            static_cast<std::uint8_t>(TraceEventKind::kArrival));
+  EXPECT_EQ(records[2].event,
+            static_cast<std::uint8_t>(
+                TraceEventKind::kReissueSuppressedCompletion));
+  EXPECT_EQ(records[3].event,
+            static_cast<std::uint8_t>(TraceEventKind::kReissueSuppressedCoin));
+  EXPECT_EQ(records[3].stage, 1u);
+  EXPECT_EQ(records[4].event,
+            static_cast<std::uint8_t>(TraceEventKind::kReissueIssued));
+  EXPECT_EQ(records[5].event,
+            static_cast<std::uint8_t>(TraceEventKind::kQueryDone));
+  EXPECT_DOUBLE_EQ(records[5].value, 3.0);
+  EXPECT_EQ(records[5].copy, 1u);  // reissue copy won
+  EXPECT_EQ(records[6].event,
+            static_cast<std::uint8_t>(TraceEventKind::kRunEnd));
+}
+
+TEST(RuntimeRingTracer, WritesSummarizableRingFile) {
+  const std::string path = temp_path("runtime_trace.bin");
+  RuntimeRingTracer tracer(8);
+  tracer.on_submit(1.0, 1);
+  tracer.on_first_response(5.0, 1, 4.0, false);
+  tracer.write(path);
+
+  const TraceRingFile file = read_trace_ring(path);
+  EXPECT_EQ(file.total_pushed, 2u);
+  ASSERT_EQ(file.records.size(), 2u);
+  const std::string digest = summarize_trace(file);
+  EXPECT_NE(digest.find("arrival 1"), std::string::npos);
+  EXPECT_NE(digest.find("query-done 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SummarizeTrace, DigestsFaultEpisodes) {
+  TraceRing ring(16);
+  auto push = [&ring](TraceEventKind kind, double ts, double value,
+                      std::uint32_t server, std::uint16_t fault_kind) {
+    TraceRecord r;
+    r.ts = ts;
+    r.value = value;
+    r.server = server;
+    r.stage = fault_kind;
+    r.event = static_cast<std::uint8_t>(kind);
+    ring.push(r);
+  };
+  // Matched slowdown on server 0: observed duration 4.
+  push(TraceEventKind::kFaultBegin, 10.0, 99.0, 0, 0);
+  push(TraceEventKind::kFaultEnd, 14.0, 0.0, 0, 0);
+  // Unmatched crash on server 1: scheduled-duration fallback (7).
+  push(TraceEventKind::kFaultBegin, 20.0, 7.0, 1, 2);
+  // Orphan degrade end on server 2 (begin overwritten): episode only.
+  push(TraceEventKind::kFaultEnd, 30.0, 0.0, 2, 1);
+
+  const std::string digest =
+      summarize_trace(TraceRingFile{ring.total_pushed(), ring.snapshot()});
+  EXPECT_NE(digest.find("fault episodes: slowdown=1 degrade=1 crash=1"),
+            std::string::npos);
+  EXPECT_NE(digest.find("fault time: degraded 4 down 7"), std::string::npos);
+}
+
+TEST(SummarizeTrace, NoFaultSectionWithoutFaultRecords) {
+  TraceRing ring(4);
+  TraceRecord r;
+  r.event = static_cast<std::uint8_t>(TraceEventKind::kArrival);
+  ring.push(r);
+  const std::string digest =
+      summarize_trace(TraceRingFile{ring.total_pushed(), ring.snapshot()});
+  EXPECT_EQ(digest.find("fault"), std::string::npos);
+}
+
+class RuntimeTimeSeriesTest : public ::testing::Test {
+ protected:
+  RuntimeTimeSeriesTest() {
+    config_.table_capacity = 64;
+    config_.latency_ring_capacity = 32;
+    client_.emplace(clock_, [](std::uint64_t, bool) {},
+                    core::ReissuePolicy::none(), config_);
+  }
+
+  void complete(std::uint64_t id, double submit_ms, double latency_ms) {
+    clock_.set(submit_ms);
+    client_->submit(id);
+    clock_.set(submit_ms + latency_ms);
+    ASSERT_TRUE(client_->on_response(id));
+  }
+
+  runtime::ManualClock clock_;
+  runtime::ReissueClientConfig config_;
+  std::optional<runtime::ReissueClient> client_;
+};
+
+TEST_F(RuntimeTimeSeriesTest, EmitsWindowedRowsWithActualBoundaries) {
+  RuntimeTimeSeriesOptions options;
+  options.window_ms = 100.0;
+  options.percentile = 0.9;
+  RuntimeTimeSeriesSampler sampler(clock_, *client_, options);
+
+  complete(0, 10.0, 20.0);
+  complete(1, 40.0, 5.0);
+  sampler.tick(100.0);
+  complete(2, 150.0, 10.0);
+  // The second window closes late (scheduler jitter): boundaries must
+  // report the actual [100, 230) span, not a nominal 100 ms width.
+  sampler.tick(230.0);
+  EXPECT_EQ(sampler.windows(), 2u);
+
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  const auto lines = lines_of(csv.str());
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines[0], std::string(RuntimeTimeSeriesSampler::kCsvHeader));
+  EXPECT_NE(csv.str().find("0,0,0,100,submitted,-1,2"), std::string::npos);
+  EXPECT_NE(csv.str().find("0,0,0,100,completions,-1,2"), std::string::npos);
+  EXPECT_NE(csv.str().find("0,0,0,100,latency_mean,-1,12.5"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("0,1,100,230,submitted,-1,1"), std::string::npos);
+  EXPECT_NE(csv.str().find("0,1,100,230,latency_mean,-1,10"),
+            std::string::npos);
+
+  const auto samples = sampler.take_samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].submit_ms, 10.0);
+  EXPECT_DOUBLE_EQ(samples[2].submit_ms, 150.0);
+  EXPECT_TRUE(sampler.take_samples().empty());
+}
+
+TEST_F(RuntimeTimeSeriesTest, OmitsLatencyRowsForEmptyWindows) {
+  RuntimeTimeSeriesOptions options;
+  options.window_ms = 50.0;
+  RuntimeTimeSeriesSampler sampler(clock_, *client_, options);
+  sampler.tick(50.0);
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  EXPECT_EQ(csv.str().find("latency_mean"), std::string::npos);
+  EXPECT_NE(csv.str().find("0,0,0,50,completions,-1,0"), std::string::npos);
+}
+
+TEST_F(RuntimeTimeSeriesTest, RewritesMetricsFileEachTick) {
+  const std::string path = temp_path("loadgen_prom.txt");
+  RuntimeTimeSeriesOptions options;
+  options.window_ms = 100.0;
+  options.metrics_out = path;
+  RuntimeTimeSeriesSampler sampler(clock_, *client_, options);
+
+  complete(0, 10.0, 5.0);
+  sampler.tick(100.0);
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("reissue_queries_submitted_total 1"),
+              std::string::npos);
+  }
+  complete(1, 110.0, 5.0);
+  sampler.tick(200.0);
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("reissue_queries_submitted_total 2"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(RuntimeTimeSeriesTest, RejectsInvalidOptions) {
+  RuntimeTimeSeriesOptions bad_window;
+  bad_window.window_ms = 0.0;
+  EXPECT_THROW(RuntimeTimeSeriesSampler(clock_, *client_, bad_window),
+               std::invalid_argument);
+  RuntimeTimeSeriesOptions bad_percentile;
+  bad_percentile.percentile = 1.0;
+  EXPECT_THROW(RuntimeTimeSeriesSampler(clock_, *client_, bad_percentile),
+               std::invalid_argument);
+}
+
+// Started sampler thread against a wall clock: hammer the client while
+// the sampler ticks on its own.  TSan-exercised; asserts only invariants
+// (windows advance, totals conserve) because timing is nondeterministic.
+TEST(RuntimeTimeSeriesThread, SamplesConcurrentlyWithTraffic) {
+  runtime::WallClock clock;
+  runtime::ReissueClientConfig config;
+  config.table_capacity = 1 << 10;
+  config.latency_ring_capacity = 1 << 10;
+  runtime::ReissueClient client(clock, [](std::uint64_t, bool) {},
+                                core::ReissuePolicy::none(), config);
+  RuntimeTimeSeriesOptions options;
+  options.window_ms = 5.0;
+  RuntimeTimeSeriesSampler sampler(clock, client, options);
+  sampler.start();
+  for (std::uint64_t id = 0; id < 20000; ++id) {
+    client.submit(id);
+    client.on_response(id);
+  }
+  sampler.stop();
+  EXPECT_GE(sampler.windows(), 1u);
+  // Every completion's sample was either drained into the sampler or is
+  // still in the ring (none lost: ring capacity exceeded per-window load
+  // only if the sampler starved; dropped accounts for that case).
+  const auto stats = client.stats();
+  const auto samples = sampler.take_samples();
+  EXPECT_EQ(samples.size() + stats.latency_ring_occupancy +
+                stats.latency_ring_dropped,
+            20000u);
+  std::ostringstream csv;
+  sampler.write_csv(csv);
+  EXPECT_EQ(lines_of(csv.str())[0],
+            std::string(RuntimeTimeSeriesSampler::kCsvHeader));
+}
+
+}  // namespace
+}  // namespace reissue::obs

@@ -1,0 +1,205 @@
+#include "reissue/runtime/latency_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "reissue/runtime/clock.hpp"
+#include "reissue/runtime/reissue_client.hpp"
+
+namespace reissue::runtime {
+namespace {
+
+LatencySample sample(double submit, double latency, bool reissued = false,
+                     bool win = false) {
+  return LatencySample{submit, latency, reissued, win};
+}
+
+TEST(LatencySampleRing, RecordsAndDrainsChronologically) {
+  LatencySampleRing ring(8, 1);
+  ring.record(sample(3.0, 30.0));
+  ring.record(sample(1.0, 10.0));
+  ring.record(sample(2.0, 20.0));
+  EXPECT_EQ(ring.occupancy(), 3u);
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  const auto drained = ring.drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_DOUBLE_EQ(drained[0].submit_ms, 1.0);
+  EXPECT_DOUBLE_EQ(drained[1].submit_ms, 2.0);
+  EXPECT_DOUBLE_EQ(drained[2].submit_ms, 3.0);
+  EXPECT_EQ(ring.occupancy(), 0u);
+  // Lifetime counter survives the drain.
+  EXPECT_EQ(ring.recorded(), 3u);
+}
+
+TEST(LatencySampleRing, OverwritesOldestAndCountsDrops) {
+  LatencySampleRing ring(4, 1);
+  for (int i = 0; i < 10; ++i) {
+    ring.record(sample(static_cast<double>(i), 1.0));
+  }
+  EXPECT_EQ(ring.occupancy(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+
+  const auto drained = ring.drain();
+  ASSERT_EQ(drained.size(), 4u);
+  // The newest four submissions survive.
+  EXPECT_DOUBLE_EQ(drained.front().submit_ms, 6.0);
+  EXPECT_DOUBLE_EQ(drained.back().submit_ms, 9.0);
+}
+
+TEST(LatencySampleRing, CapacityRoundsUpToShardMultiple) {
+  LatencySampleRing ring(10, 4);  // 3 per shard -> 12 total
+  EXPECT_GE(ring.capacity(), 10u);
+  EXPECT_EQ(ring.capacity() % 4, 0u);
+}
+
+TEST(LatencySampleRing, ShardCountClampedToCapacity) {
+  LatencySampleRing ring(2, 64);
+  EXPECT_GE(ring.capacity(), 2u);
+  ring.record(sample(1.0, 1.0));
+  EXPECT_EQ(ring.occupancy(), 1u);
+}
+
+TEST(LatencySampleRing, RejectsZeroCapacity) {
+  EXPECT_THROW(LatencySampleRing(0), std::invalid_argument);
+}
+
+TEST(LatencySampleRing, FlagsRoundTrip) {
+  LatencySampleRing ring(4, 1);
+  ring.record(sample(1.0, 5.0, /*reissued=*/true, /*win=*/true));
+  const auto drained = ring.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(drained[0].was_reissued);
+  EXPECT_TRUE(drained[0].win_reissue);
+  EXPECT_DOUBLE_EQ(drained[0].latency_ms, 5.0);
+}
+
+TEST(LatencySampleRing, LatencyValuesExtracts) {
+  const std::vector<LatencySample> batch = {sample(1.0, 10.0),
+                                            sample(2.0, 20.0)};
+  const auto values = latency_values(batch);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 10.0);
+  EXPECT_DOUBLE_EQ(values[1], 20.0);
+}
+
+// Concurrency hammer: writers record while a reader drains and polls the
+// locked accessors.  Run under TSan in CI; the invariant checked here is
+// conservation — every recorded sample is either drained or dropped.
+TEST(LatencySampleRing, ConcurrentRecordDrainConserves) {
+  LatencySampleRing ring(1024, 8);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<std::uint64_t> drained_total{0};
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      drained_total.fetch_add(ring.drain().size(), std::memory_order_relaxed);
+      (void)ring.occupancy();
+      (void)ring.dropped();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        ring.record(sample(static_cast<double>(w * kPerWriter + i), 1.0));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  drained_total.fetch_add(ring.drain().size(), std::memory_order_relaxed);
+
+  EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(kWriters) *
+                                 kPerWriter);
+  EXPECT_EQ(drained_total.load() + ring.dropped(), ring.recorded());
+}
+
+// Client integration: the response path feeds the ring, drain_samples
+// returns the batch, and stats() reports ring occupancy.
+TEST(ReissueClientSampleRing, CapturesPerRequestSamples) {
+  ManualClock clock;
+  ReissueClientConfig config;
+  config.table_capacity = 64;
+  config.latency_ring_capacity = 16;
+  ReissueClient client(clock, [](std::uint64_t, bool) {},
+                       core::ReissuePolicy::none(), config);
+  EXPECT_TRUE(client.captures_samples());
+
+  clock.set(10.0);
+  client.submit(1);
+  clock.set(25.0);
+  EXPECT_TRUE(client.on_response(1));
+  clock.set(30.0);
+  client.submit(2);
+  clock.set(32.5);
+  EXPECT_TRUE(client.on_response(2, /*from_reissue=*/true));
+
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.latency_ring_capacity, 16u);
+  EXPECT_EQ(stats.latency_ring_occupancy, 2u);
+  EXPECT_EQ(stats.latency_ring_recorded, 2u);
+  EXPECT_EQ(stats.latency_ring_dropped, 0u);
+
+  const auto samples = client.drain_samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].submit_ms, 10.0);
+  EXPECT_DOUBLE_EQ(samples[0].latency_ms, 15.0);
+  EXPECT_FALSE(samples[0].win_reissue);
+  EXPECT_DOUBLE_EQ(samples[1].submit_ms, 30.0);
+  EXPECT_DOUBLE_EQ(samples[1].latency_ms, 2.5);
+  EXPECT_TRUE(samples[1].win_reissue);
+  EXPECT_TRUE(client.drain_samples().empty());
+}
+
+TEST(ReissueClientSampleRing, DisabledByDefaultAndZeroCost) {
+  ManualClock clock;
+  ReissueClient client(clock, [](std::uint64_t, bool) {},
+                       core::ReissuePolicy::none());
+  EXPECT_FALSE(client.captures_samples());
+  client.submit(1);
+  EXPECT_TRUE(client.on_response(1));
+  EXPECT_TRUE(client.drain_samples().empty());
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.latency_ring_capacity, 0u);
+  EXPECT_EQ(stats.latency_ring_recorded, 0u);
+}
+
+// stats() consistency contract: latency_samples == first_responses in
+// every snapshot, even while responses land concurrently.  TSan-exercised.
+TEST(ReissueClientSampleRing, StatsSnapshotIsConsistentUnderLoad) {
+  WallClock clock;
+  ReissueClientConfig config;
+  config.table_capacity = 1 << 12;
+  config.latency_ring_capacity = 1 << 12;
+  ReissueClient client(clock, [](std::uint64_t, bool) {},
+                       core::ReissuePolicy::none(), config);
+
+  constexpr std::uint64_t kQueries = 20000;
+  std::thread driver([&] {
+    for (std::uint64_t id = 0; id < kQueries; ++id) {
+      client.submit(id);
+      client.on_response(id);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const auto stats = client.stats();
+    EXPECT_EQ(stats.latency_samples, stats.first_responses);
+    EXPECT_LE(stats.first_responses, stats.queries_submitted);
+  }
+  driver.join();
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.first_responses, kQueries);
+  EXPECT_EQ(stats.latency_samples, kQueries);
+}
+
+}  // namespace
+}  // namespace reissue::runtime

@@ -1,0 +1,79 @@
+#include "reissue/systems/live_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace reissue::systems {
+namespace {
+
+LiveBackendOptions tiny() {
+  LiveBackendOptions options;
+  options.scale = 0.02;
+  options.seed = 42;
+  return options;
+}
+
+TEST(LiveBackend, BuildsEveryRegisteredBackend) {
+  for (const std::string& name : live_backend_names()) {
+    const auto backend = make_live_backend(name, tiny());
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), name);
+    EXPECT_GT(backend->trace_length(), 0u);
+    EXPECT_GT(backend->execute(0), 0u);
+  }
+}
+
+TEST(LiveBackend, RejectsUnknownNameAndBadScale) {
+  EXPECT_THROW(make_live_backend("bogus", tiny()), std::invalid_argument);
+  LiveBackendOptions bad = tiny();
+  bad.scale = 0.0;
+  EXPECT_THROW(make_live_backend("kvstore", bad), std::invalid_argument);
+}
+
+TEST(LiveBackend, ExecuteIsDeterministicAndWrapsTrace) {
+  const auto backend = make_live_backend("kvstore", tiny());
+  const std::size_t n = backend->trace_length();
+  for (std::uint64_t id : {std::uint64_t{0}, std::uint64_t{7}}) {
+    EXPECT_EQ(backend->execute(id), backend->execute(id));
+    // Reissue copies and wrapped ids perform identical work.
+    EXPECT_EQ(backend->execute(id), backend->execute(id + n));
+  }
+}
+
+TEST(LiveBackend, SameSeedSameCosts) {
+  const auto a = make_live_backend("search", tiny());
+  const auto b = make_live_backend("search", tiny());
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    EXPECT_EQ(a->execute(id), b->execute(id));
+  }
+}
+
+// Read-only execute: concurrent callers must agree with a serial pass.
+// TSan-exercised via the thread-sanitize CI job.
+TEST(LiveBackend, ExecuteIsThreadSafe) {
+  const auto backend = make_live_backend("index", tiny());
+  constexpr std::uint64_t kIds = 64;
+  std::vector<std::uint64_t> serial(kIds);
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    serial[id] = backend->execute(id);
+  }
+  constexpr int kThreads = 4;
+  std::vector<std::vector<std::uint64_t>> parallel(
+      kThreads, std::vector<std::uint64_t>(kIds));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&backend, &parallel, t] {
+      for (std::uint64_t id = 0; id < kIds; ++id) {
+        parallel[static_cast<std::size_t>(t)][id] = backend->execute(id);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& results : parallel) EXPECT_EQ(results, serial);
+}
+
+}  // namespace
+}  // namespace reissue::systems
