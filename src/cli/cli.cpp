@@ -94,8 +94,15 @@ fault & arrival spec keys (queueing scenarios):
   arrival=diurnal:<period>:<amplitude>[:<steps>]  sinusoidal load curve
   arrival=trace:<file>        replay recorded arrival timestamps (one per
                               line, non-decreasing; replaces util=)
-all fault/arrival events use dedicated seed substreams, so thread-count
-and shard-merge byte-identity hold (see the fault-matrix catalog).
+  fanout=<n>:<k>[:spread|:ec] k-of-n sibling groups: every query fans to
+                              n copies at arrival and completes at the
+                              k-th response; :spread places copies on
+                              distinct servers, :ec also scales each
+                              copy's service by 1/k (erasure-coded read);
+                              reissue policies stack on top of the group
+all fault/arrival/fanout events use dedicated seed substreams, so
+thread-count and shard-merge byte-identity hold (see the fault-matrix
+and fanout-matrix catalogs).
 
 metric modes (--metric-mode, default completion):
   completion  streaming accumulators fed in completion order from inside
@@ -844,6 +851,16 @@ int cmd_loadgen(const ParsedArgs& args, std::ostream& out,
   out << "backend:        " << backend->name() << " (scale "
       << backend_options.scale << ", trace " << backend->trace_length()
       << " requests, " << pool.thread_count() << " workers)\n";
+  // The cores note is part of the report contract: live numbers are only
+  // meaningful relative to how many cores the arrival, reissue, worker and
+  // sampler threads shared (on a single core, reissue copies compete with
+  // primaries for CPU and hedging can only add load).
+  out << "cores:          " << std::thread::hardware_concurrency()
+      << " hardware threads shared by arrival + reissue + "
+      << pool.thread_count()
+      << " workers; on few-core hosts reissue copies contend with"
+         " primaries, so tails here are a load reference, not a"
+         " tail-reduction demo\n";
   out << "policy:         " << core::policy_to_line(spec.fixed) << "\n";
   out << "offered rate:   " << rate << " q/s\n";
   out << "submitted:      " << submitted << " in "

@@ -47,7 +47,10 @@ struct Manifest {
   core::LogMode log_mode = core::LogMode::kStreamingUnordered;
   std::size_t rows = 0;          ///< Data rows in the raw CSV.
   std::uint64_t hash = 0;        ///< fnv1a64 of the raw CSV file bytes.
-  /// exp::to_spec_string of every sweep scenario, in sweep order.
+  /// exp::to_spec_string of every sweep scenario, in sweep order.  The
+  /// canonical form carries every workload token (faults=, fanout=, ...),
+  /// so shards from sweeps differing only in, say, fan-out shape identify
+  /// as different sweeps and refuse to merge.
   std::vector<std::string> scenarios;
 
   friend bool operator==(const Manifest&, const Manifest&) = default;

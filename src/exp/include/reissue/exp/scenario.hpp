@@ -141,6 +141,37 @@ struct FaultSpec {
 /// std::runtime_error with a one-line diagnostic on malformed input.
 [[nodiscard]] FaultSpec parse_fault_spec(std::string_view token);
 
+/// Fork-join sibling-group fan-out of a scenario (queueing kind only);
+/// maps onto sim::ClusterConfig::FanoutPlan.  Spec-string grammar:
+///
+///   fanout=<n>:<k>            n copies per query, k responses complete it
+///   fanout=<n>:<k>:spread     copies placed on n distinct servers
+///   fanout=<n>:<k>:ec         spread + erasure-coded shards: each copy
+///                             carries 1/k of the primary's service demand
+///
+/// n=1 (with k=1) is the degenerate group — identical to omitting the
+/// key.  Reissue policies stack on top: stage copies join the same group
+/// and count toward k.
+struct FanoutSpec {
+  enum class Mode : std::uint8_t { kIndependent, kSpread, kErasure };
+
+  std::size_t copies = 1;   // n: group size including the primary
+  std::size_t require = 1;  // k: responses that complete the query
+  Mode mode = Mode::kIndependent;
+
+  [[nodiscard]] bool active() const noexcept { return copies > 1; }
+
+  friend bool operator==(const FanoutSpec&, const FanoutSpec&) = default;
+};
+
+/// Canonical token form (inverse of parse_fanout_spec; exact round trip).
+[[nodiscard]] std::string to_string(const FanoutSpec& spec);
+
+/// Parses the fanout= grammar documented on FanoutSpec.  Throws
+/// std::runtime_error with a one-line diagnostic listing the valid forms
+/// on malformed input (including k=0, k>n, n=0).
+[[nodiscard]] FanoutSpec parse_fanout_spec(std::string_view token);
+
 struct ScenarioSpec {
   std::string name;
   WorkloadKind kind = WorkloadKind::kQueueing;
@@ -191,6 +222,9 @@ struct ScenarioSpec {
 
   /// Seeded fault injection (queueing kind only; empty plan = fault-free).
   FaultSpec faults;
+
+  /// Fork-join k-of-n fan-out (queueing kind only; default = no fan-out).
+  FanoutSpec fanout;
 
   /// Heterogeneous fleets: per-server service-time multipliers (empty =
   /// homogeneous; size must equal `servers`).

@@ -165,6 +165,71 @@ ScenarioRegistry make_built_in() {
     registry.add(spec);
   }
 
+  // Fork-join fan-out regimes (sibling-group query model).  The flip pair
+  // pins redundancy's load-dependent sign the same way the overload-flip
+  // trio does for reissue: n=3 replicated copies rescue the tail when the
+  // fleet is nearly idle (effective load 3 x 0.12) and poison it once the
+  // tripled load saturates the fleet (3 x 0.85).  Exponential service
+  // makes the overload half honest: with the default Pareto tail the
+  // min over three independent draws cuts so much work that replication
+  // wins at any load, whereas a memoryless tail wins only a 3x factor at
+  // low load and leaves in-service losers burning full draws once queues
+  // build.  Independent redraws (ratio 0) for the same reason as
+  // overload-flip: correlated copies mute the underload win.
+  {
+    ScenarioSpec spec = base_queueing("fanout-flip-under", 0.12);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.ratio = 0.0;
+    spec.service = "exp:1";
+    spec.fanout = parse_fanout_spec("3:1:spread");
+    spec.policies = {parse_policy_spec("none")};
+    registry.add(spec);
+    spec.name = "fanout-flip-over";
+    spec.utilization = 0.85;
+    registry.add(spec);
+  }
+
+  // Replicated fan-out with reissue stacked on top: every query runs as a
+  // 3-wide sibling group on distinct servers, and the reissue policy adds
+  // late-bound copies to the same group.
+  {
+    ScenarioSpec spec = base_queueing("fanout-replicated", 0.15);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.ratio = 0.0;
+    spec.fanout = parse_fanout_spec("3:1:spread");
+    spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:30:0.5"),
+                     parse_policy_spec("immediate:1")};
+    registry.add(spec);
+  }
+
+  // Erasure-coded read: 6 shards, any 4 reconstruct, each shard carrying
+  // 1/4 of the primary's service demand — redundancy without the
+  // replicated regime's load multiplication.
+  {
+    ScenarioSpec spec = base_queueing("fanout-ec", 0.30);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.ratio = 0.0;
+    spec.fanout = parse_fanout_spec("6:4:ec");
+    spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:30:0.5")};
+    registry.add(spec);
+  }
+
+  // Partition-aggregate: the query fans to every server, each partition
+  // does 1/n of the work, and the slowest partition sets the latency —
+  // the classic all-of-n barrier where reissue targets the straggler.
+  {
+    ScenarioSpec spec = base_queueing("partition-aggregate", 0.40);
+    spec.queries = 6000;
+    spec.warmup = 600;
+    spec.fanout = parse_fanout_spec("10:10:ec");
+    spec.policies = {parse_policy_spec("none"), parse_policy_spec("r:30:0.5"),
+                     parse_policy_spec("d:60")};
+    registry.add(spec);
+  }
+
   // System substrates, sized for tractable sweeps.
   {
     ScenarioSpec spec;
@@ -192,12 +257,18 @@ ScenarioRegistry make_built_in() {
                        {"overload-flip-under", "overload-flip-mid",
                         "overload-flip", "crash-recovery",
                         "correlated-degrade"});
+  registry.add_catalog("fanout-matrix",
+                       {"fanout-flip-under", "fanout-flip-over",
+                        "fanout-replicated", "fanout-ec",
+                        "partition-aggregate"});
   registry.add_catalog("systems-small", {"redis-small", "lucene-small"});
   registry.add_catalog("sim-all",
                        {"independent", "correlated", "queueing-u30",
                         "queueing-u50", "queueing-u70", "overload-u90",
                         "bursty", "heterogeneous", "interference",
-                        "queueing-optimal"});
+                        "queueing-optimal", "fanout-flip-under",
+                        "fanout-flip-over", "fanout-replicated", "fanout-ec",
+                        "partition-aggregate"});
   return registry;
 }
 

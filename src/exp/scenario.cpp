@@ -153,8 +153,11 @@ struct DiurnalSpec {
 DiurnalSpec parse_diurnal(std::string_view token) {
   const auto parts = split(token, ':');
   const auto bad = [&](const char* expected) -> std::runtime_error {
-    return std::runtime_error("scenario spec: arrival '" + std::string(token) +
-                              "': expected " + expected);
+    return std::runtime_error(
+        "scenario spec: arrival '" + std::string(token) + "': expected " +
+        expected +
+        "; valid forms: arrival=diurnal:<period>:<amplitude>[:<steps>] | "
+        "arrival=trace:<file>");
   };
   if (parts.size() < 3 || parts.size() > 4) {
     throw bad("diurnal:<period>:<amplitude>[:<steps>]");
@@ -198,7 +201,7 @@ bool key_applies(const std::string& key, WorkloadKind kind) {
   if (key == "service" || key == "cap") return kind_has_service(kind);
   if (key == "lb" || key == "queue" || key == "interference" ||
       key == "phases" || key == "speeds" || key == "arrival" ||
-      key == "faults") {
+      key == "faults" || key == "fanout") {
     return kind_is_queueing(kind);
   }
   return true;
@@ -289,6 +292,23 @@ void validate(const ScenarioSpec& spec) {
     }
     if (f.crash_mtbf > 0.0 && !(f.crash_mttr > 0.0)) {
       throw std::runtime_error("scenario spec: faults crash needs mttr > 0");
+    }
+  }
+  if (spec.fanout.active()) {
+    if (spec.kind != WorkloadKind::kQueueing) {
+      throw std::runtime_error(
+          "scenario spec: fanout= requires kind=queueing (got kind " +
+          to_string(spec.kind) + ")");
+    }
+    // n=0, k=0 and k>n are rejected at parse time; n>servers needs the
+    // full spec, so it lands here with the same valid-forms listing.
+    if (spec.fanout.copies > spec.servers) {
+      throw std::runtime_error(
+          "scenario spec: fanout copies (n=" +
+          std::to_string(spec.fanout.copies) + ") must not exceed servers (" +
+          std::to_string(spec.servers) + "); valid forms: fanout=<n>:<k> | "
+          "fanout=<n>:<k>:spread | fanout=<n>:<k>:ec with 1 <= k <= n <= "
+          "servers");
     }
   }
 }
@@ -489,8 +509,11 @@ std::string to_string(const FaultSpec& spec) {
 FaultSpec parse_fault_spec(std::string_view token) {
   FaultSpec spec;
   const auto bad = [&](const char* expected) -> std::runtime_error {
-    return std::runtime_error("fault spec '" + std::string(token) +
-                              "': expected " + expected);
+    return std::runtime_error(
+        "fault spec '" + std::string(token) + "': expected " + expected +
+        "; valid forms: faults=slowdown:<rate>,<factor>,<mean> | "
+        "corr:<k>,<rate>,<mean>[,<factor>] | crash:<mtbf>,<mttr>, clauses "
+        "joined with '+'");
   };
   for (const auto clause : split(token, '+')) {
     const auto colon = clause.find(':');
@@ -530,9 +553,53 @@ FaultSpec parse_fault_spec(std::string_view token) {
       if (!(spec.crash_mtbf > 0.0)) throw bad("a positive crash mtbf");
       if (!(spec.crash_mttr > 0.0)) throw bad("a positive crash mttr");
     } else {
-      throw std::runtime_error("fault spec '" + std::string(token) +
-                               "': unknown family '" + std::string(head) +
-                               "' (want slowdown|corr|crash)");
+      throw std::runtime_error(
+          "fault spec '" + std::string(token) + "': unknown family '" +
+          std::string(head) +
+          "'; valid forms: faults=slowdown:<rate>,<factor>,<mean> | "
+          "corr:<k>,<rate>,<mean>[,<factor>] | crash:<mtbf>,<mttr>, clauses "
+          "joined with '+'");
+    }
+  }
+  return spec;
+}
+
+std::string to_string(const FanoutSpec& spec) {
+  std::string out = std::to_string(spec.copies) + ":" +
+                    std::to_string(spec.require);
+  if (spec.mode == FanoutSpec::Mode::kSpread) out += ":spread";
+  if (spec.mode == FanoutSpec::Mode::kErasure) out += ":ec";
+  return out;
+}
+
+FanoutSpec parse_fanout_spec(std::string_view token) {
+  const auto bad = [&](const std::string& expected) -> std::runtime_error {
+    return std::runtime_error(
+        "fanout spec '" + std::string(token) + "': expected " + expected +
+        "; valid forms: fanout=<n>:<k> | fanout=<n>:<k>:spread | "
+        "fanout=<n>:<k>:ec with 1 <= k <= n <= servers");
+  };
+  const auto parts = split(token, ':');
+  if (parts.size() < 2 || parts.size() > 3) {
+    throw bad("<n>:<k>[:spread|:ec]");
+  }
+  FanoutSpec spec;
+  spec.copies = parse_count("fanout copies", parts[0]);
+  spec.require = parse_count("fanout require", parts[1]);
+  if (spec.copies == 0) throw bad("copies (n) >= 1");
+  if (spec.require == 0) throw bad("require (k) >= 1");
+  if (spec.require > spec.copies) {
+    throw bad("require (k=" + std::to_string(spec.require) +
+              ") <= copies (n=" + std::to_string(spec.copies) + ")");
+  }
+  if (parts.size() == 3) {
+    if (parts[2] == "spread") {
+      spec.mode = FanoutSpec::Mode::kSpread;
+    } else if (parts[2] == "ec") {
+      spec.mode = FanoutSpec::Mode::kErasure;
+    } else {
+      throw bad("placement 'spread' or 'ec', got '" + std::string(parts[2]) +
+                "'");
     }
   }
   return spec;
@@ -602,6 +669,9 @@ std::string to_spec_string(const ScenarioSpec& spec) {
   }
   if (kind_is_queueing(spec.kind) && spec.faults.any()) {
     os << " faults=" << to_string(spec.faults);
+  }
+  if (kind_is_queueing(spec.kind) && spec.fanout.active()) {
+    os << " fanout=" << to_string(spec.fanout);
   }
   if (kind_is_queueing(spec.kind) && !spec.server_speeds.empty()) {
     os << " speeds=";
@@ -690,6 +760,8 @@ ScenarioSpec parse_scenario(std::string_view text) {
       spec.arrival = value;
     } else if (key == "faults") {
       spec.faults = parse_fault_spec(value);
+    } else if (key == "fanout") {
+      spec.fanout = parse_fanout_spec(value);
     } else if (key == "percentile") {
       spec.percentile = parse_num("scenario spec percentile", value);
     } else if (key == "policy") {
@@ -945,6 +1017,29 @@ std::unique_ptr<core::SystemUnderTest> make_system(const ScenarioSpec& spec,
           config.faults.crash_mtbf = f.crash_mtbf;
           config.faults.crash_downtime = episode(f.crash_mttr);
         }
+      }
+      if (spec.fanout.active()) {
+        config.fanout.copies = spec.fanout.copies;
+        config.fanout.require = spec.fanout.require;
+        switch (spec.fanout.mode) {
+          case FanoutSpec::Mode::kIndependent:
+            config.fanout.placement =
+                sim::ClusterConfig::FanoutPlan::Placement::kIndependent;
+            break;
+          case FanoutSpec::Mode::kSpread:
+            config.fanout.placement =
+                sim::ClusterConfig::FanoutPlan::Placement::kSpread;
+            break;
+          case FanoutSpec::Mode::kErasure:
+            config.fanout.placement =
+                sim::ClusterConfig::FanoutPlan::Placement::kErasure;
+            break;
+        }
+        // Fan-out without cancellation would let every losing sibling run
+        // to completion, so redundancy could never pay for itself at any
+        // load; group completion cancels stragglers (lazily, at zero
+        // overhead) like the paper's cancellation extension.
+        config.cancel_on_completion = true;
       }
       config.server_speeds = spec.server_speeds;
       if (spec.interference_rate > 0.0) {

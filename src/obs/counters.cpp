@@ -43,6 +43,10 @@ std::string format_counters(const sim::RunCounters& c, std::uint64_t runs) {
   line(out, "fault_copies_failed", c.fault_copies_failed);
   line(out, "fault_dispatch_rejections", c.fault_dispatch_rejections);
   line(out, "fault_primary_retries", c.fault_primary_retries);
+  line(out, "siblings_issued", c.siblings_issued);
+  line(out, "sibling_wins", c.sibling_wins);
+  line(out, "siblings_cancelled", c.siblings_cancelled);
+  line(out, "siblings_wasted", c.siblings_wasted);
   line(out, "reissue_inflight_peak", c.reissue_inflight_peak);
   line(out, "arena_slots_high_water", c.arena_slots);
   return out;

@@ -182,6 +182,13 @@ class MultiObserver final : public sim::SimObserver {
   void on_query_done(double now, std::uint64_t query, double latency) override {
     for (auto* c : children_) c->on_query_done(now, query, latency);
   }
+  void on_group_complete(double now, std::uint64_t query,
+                         std::uint32_t responded, sim::CopyKind winner_kind,
+                         std::uint32_t winner_copy) override {
+    for (auto* c : children_) {
+      c->on_group_complete(now, query, responded, winner_kind, winner_copy);
+    }
+  }
   void on_server_state(double now, std::uint32_t server, std::size_t queued,
                        bool busy) override {
     for (auto* c : children_) c->on_server_state(now, server, queued, busy);

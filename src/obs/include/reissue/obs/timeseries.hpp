@@ -69,6 +69,9 @@ class TimeSeriesObserver final : public sim::SimObserver {
   void on_copy_complete(double now, std::uint64_t query, sim::CopyKind kind,
                         std::uint32_t copy_index, double response) override;
   void on_query_done(double now, std::uint64_t query, double latency) override;
+  void on_group_complete(double now, std::uint64_t query,
+                         std::uint32_t responded, sim::CopyKind winner_kind,
+                         std::uint32_t winner_copy) override;
   void on_server_state(double now, std::uint32_t server, std::size_t queued,
                        bool busy) override;
   void on_fault_begin(double now, std::uint32_t server, sim::FaultKind fault,
@@ -124,6 +127,11 @@ class TimeSeriesObserver final : public sim::SimObserver {
   std::uint64_t faults_active_ = 0;
   std::uint64_t fault_begins_ = 0;
   std::uint64_t fault_copies_failed_ = 0;
+  /// Fork-join fan-out series, gated the same way: fanout-free runs keep
+  /// the pre-fanout CSV schema byte-identical.
+  bool fanout_seen_ = false;
+  std::uint64_t siblings_dispatched_ = 0;
+  std::uint64_t group_completes_ = 0;
   std::optional<stats::TailSummary> window_tail_;
 };
 

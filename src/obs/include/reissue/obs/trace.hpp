@@ -72,6 +72,9 @@ class TraceObserver final : public sim::SimObserver {
   void on_copy_complete(double now, std::uint64_t query, sim::CopyKind kind,
                         std::uint32_t copy_index, double response) override;
   void on_query_done(double now, std::uint64_t query, double latency) override;
+  void on_group_complete(double now, std::uint64_t query,
+                         std::uint32_t responded, sim::CopyKind winner_kind,
+                         std::uint32_t winner_copy) override;
   void on_server_state(double now, std::uint32_t server, std::size_t queued,
                        bool busy) override;
   void on_interference(double now, std::uint32_t server,

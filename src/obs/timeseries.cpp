@@ -41,6 +41,9 @@ void TimeSeriesObserver::on_run_begin(const RunInfo& run) {
   faults_active_ = 0;
   fault_begins_ = 0;
   fault_copies_failed_ = 0;
+  fanout_seen_ = false;
+  siblings_dispatched_ = 0;
+  group_completes_ = 0;
   window_tail_.emplace(options_.percentile);
 }
 
@@ -81,6 +84,14 @@ void TimeSeriesObserver::flush_window(double t1, double width) {
     rows_.push_back(Row{run_, window_, t0_, t1, "fault_copies_failed", -1,
                         static_cast<double>(fault_copies_failed_)});
   }
+  if (fanout_seen_) {
+    // Windowed sibling dispatches (crash re-dispatches included) and
+    // k-of-n group completions.
+    rows_.push_back(Row{run_, window_, t0_, t1, "siblings_dispatched", -1,
+                        static_cast<double>(siblings_dispatched_)});
+    rows_.push_back(Row{run_, window_, t0_, t1, "group_completes", -1,
+                        static_cast<double>(group_completes_)});
+  }
   if (window_tail_->count() > 0) {
     rows_.push_back(Row{run_, window_, t0_, t1, "latency_mean", -1,
                         window_tail_->mean()});
@@ -94,6 +105,8 @@ void TimeSeriesObserver::flush_window(double t1, double width) {
   suppressed_ = 0;
   fault_begins_ = 0;
   fault_copies_failed_ = 0;
+  siblings_dispatched_ = 0;
+  group_completes_ = 0;
   window_tail_.emplace(options_.percentile);
 }
 
@@ -129,11 +142,15 @@ void TimeSeriesObserver::on_reissue_suppressed(double /*now*/,
 }
 
 void TimeSeriesObserver::on_dispatch(double now, std::uint64_t /*query*/,
-                                     sim::CopyKind /*kind*/,
+                                     sim::CopyKind kind,
                                      std::uint32_t /*copy_index*/,
                                      std::uint32_t /*server*/,
                                      double /*service_time*/) {
   roll(now);
+  if (kind == sim::CopyKind::kSibling) {
+    fanout_seen_ = true;
+    ++siblings_dispatched_;
+  }
 }
 
 void TimeSeriesObserver::on_copy_complete(double now, std::uint64_t /*query*/,
@@ -150,6 +167,15 @@ void TimeSeriesObserver::on_query_done(double now, std::uint64_t /*query*/,
   ++completions_;
   window_tail_->add(latency);
   overall_.add(latency);
+}
+
+void TimeSeriesObserver::on_group_complete(double now, std::uint64_t /*query*/,
+                                           std::uint32_t /*responded*/,
+                                           sim::CopyKind /*winner_kind*/,
+                                           std::uint32_t /*winner_copy*/) {
+  roll(now);
+  fanout_seen_ = true;
+  ++group_completes_;
 }
 
 void TimeSeriesObserver::on_server_state(double now, std::uint32_t server,

@@ -24,6 +24,8 @@ const char* copy_name(sim::CopyKind kind) {
       return "reissue";
     case sim::CopyKind::kBackground:
       return "background";
+    case sim::CopyKind::kSibling:
+      return "sibling";
   }
   return "?";
 }
@@ -188,6 +190,17 @@ void TraceObserver::on_query_done(double now, std::uint64_t query,
   out_ << "{\"name\":\"done\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << run_
        << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":" << query
        << ",\"latency\":" << fmt(latency) << "}}";
+}
+
+void TraceObserver::on_group_complete(double now, std::uint64_t query,
+                                      std::uint32_t responded,
+                                      sim::CopyKind winner_kind,
+                                      std::uint32_t winner_copy) {
+  begin_event();
+  out_ << "{\"name\":\"group-complete\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+       << run_ << ",\"tid\":0,\"ts\":" << fmt(now) << ",\"args\":{\"q\":"
+       << query << ",\"responded\":" << responded << ",\"winner\":\""
+       << copy_name(winner_kind) << "\",\"copy\":" << winner_copy << "}}";
 }
 
 void TraceObserver::on_server_state(double now, std::uint32_t server,

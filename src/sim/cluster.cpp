@@ -124,6 +124,23 @@ void validate(const ClusterConfig& config) {
     throw std::invalid_argument(
         "Cluster: crash_mtbf > 0 requires crash_downtime");
   }
+  const ClusterConfig::FanoutPlan& fanout = config.fanout;
+  if (fanout.copies == 0) {
+    throw std::invalid_argument("Cluster: fanout copies (n) must be >= 1");
+  }
+  if (fanout.require == 0 || fanout.require > fanout.copies) {
+    throw std::invalid_argument(
+        "Cluster: fanout require (k) must be in [1, copies]");
+  }
+  if (fanout.active()) {
+    if (config.infinite_servers) {
+      throw std::invalid_argument("Cluster: fanout requires finite servers");
+    }
+    if (fanout.copies > config.servers) {
+      throw std::invalid_argument(
+          "Cluster: fanout copies (n) must not exceed servers");
+    }
+  }
 }
 
 Cluster::Cluster(ClusterConfig config, std::shared_ptr<ServiceModel> service)

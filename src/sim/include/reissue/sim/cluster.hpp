@@ -140,6 +140,45 @@ struct ClusterConfig {
   };
   FaultPlan faults;
 
+  /// Fork-join fan-out (finite-server runs only): every query dispatches a
+  /// sibling group of `copies` requests at arrival — the primary plus
+  /// copies-1 kSibling copies — and completes when `require` of them have
+  /// responded (k-of-n).  Reissue policies stack on top: a reissue adds a
+  /// late sibling to the group, and every stage check is suppressed by
+  /// group completion exactly as it is by first response today.  The
+  /// degenerate plan (copies == 1) is the paper's model and leaves every
+  /// code path, RNG stream, and golden hash bit-identical.
+  ///
+  /// Placement:
+  ///  * kIndependent — every sibling takes its own load-balancer draw;
+  ///    collisions with the primary's server are allowed.
+  ///  * kSpread — siblings are placed on distinct servers (replicated
+  ///    reads): each draw picks among the servers not already holding a
+  ///    copy of the group (and not crashed), via the load balancer's
+  ///    pick_among seam.
+  ///  * kErasure — kSpread placement, plus every copy's service cost is
+  ///    scaled by 1/require (an erasure-coded read fetches 1/k of the
+  ///    object per server; k-of-n chunks reconstruct it).
+  ///
+  /// Outstanding siblings are cancelled on group completion through the
+  /// existing lazy-cancellation mechanism (cancel_on_completion /
+  /// cancellation_overhead).  A sibling lost to a crash is re-dispatched
+  /// like a failed primary — the completion rule may need it — while
+  /// failed reissue copies stay abandoned.
+  struct FanoutPlan {
+    enum class Placement : std::uint8_t { kIndependent, kSpread, kErasure };
+
+    std::size_t copies = 1;   // n: group size including the primary
+    std::size_t require = 1;  // k: responses that complete the query
+    Placement placement = Placement::kIndependent;
+
+    [[nodiscard]] bool active() const noexcept { return copies > 1; }
+    [[nodiscard]] bool spread() const noexcept {
+      return placement != Placement::kIndependent;
+    }
+  };
+  FanoutPlan fanout;
+
   /// Root seed; every run derives identical per-component streams, so two
   /// runs with equal seeds see identical arrivals and primary service
   /// times (common random numbers across policies).

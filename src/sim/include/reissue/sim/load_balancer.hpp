@@ -46,6 +46,16 @@ class LoadBalancer {
   [[nodiscard]] virtual std::size_t pick(std::span<const Server> servers,
                                          stats::Xoshiro256& rng,
                                          std::optional<std::size_t> exclude) = 0;
+
+  /// Restricted pick for fork-join spread placement: chooses one of
+  /// `candidates` (server indices, non-empty) under the same policy as
+  /// pick(), and returns the *position within candidates* so the caller
+  /// can swap-remove it and place the group's next sibling among the
+  /// rest.  The kRandom path is inlined in the simulator (a single
+  /// rng.below(candidates.size()) draw), matching RandomBalancer.
+  [[nodiscard]] virtual std::size_t pick_among(
+      std::span<const Server> servers,
+      std::span<const std::uint32_t> candidates, stats::Xoshiro256& rng) = 0;
 };
 
 [[nodiscard]] std::unique_ptr<LoadBalancer> make_load_balancer(

@@ -1,7 +1,8 @@
-// A request copy in flight: one query spawns a primary copy plus zero or
-// more reissue copies.  Requests carry their intrinsic service cost and the
-// client connection they arrived on (used by the Redis-style round-robin
-// connection discipline).
+// A request copy in flight: one query spawns a sibling group — a primary
+// copy, optional fork-join fan-out siblings dispatched with it, and zero
+// or more late-bound reissue copies.  Requests carry their intrinsic
+// service cost and the client connection they arrived on (used by the
+// Redis-style round-robin connection discipline).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +14,10 @@ enum class CopyKind : std::uint8_t {
   kReissue,
   /// Server-local background work (CPU interference); carries no query.
   kBackground,
+  /// Fork-join fan-out copy dispatched at arrival with the primary
+  /// (ClusterConfig::FanoutPlan).  Siblings share the primary's queue
+  /// priority — only late-bound reissue copies are deprioritizable.
+  kSibling,
 };
 
 /// 32 bytes: requests are copied through queue disciplines and server
@@ -26,8 +31,9 @@ struct Request {
   /// Intrinsic service cost (time units on a server).
   double service_time = 0.0;
   std::uint32_t query_id = 0;
-  /// 0 for the primary copy; 1-based index into the query's issued
-  /// reissue copies otherwise.
+  /// 0 for the primary copy; otherwise the copy's 1-based index into the
+  /// query's sibling group: fan-out siblings occupy 1..n-1, reissue
+  /// copies follow at n, n+1, ... (detail::SiblingGroups).
   std::uint32_t copy_index = 0;
   /// Client connection index (round-robin-connection queueing only).
   std::uint32_t connection = 0;

@@ -73,6 +73,17 @@ struct RunCounters {
   std::uint64_t fault_dispatch_rejections = 0;
   /// Failed primary copies the client re-dispatched.
   std::uint64_t fault_primary_retries = 0;
+  /// Fork-join sibling copies dispatched at arrival (ClusterConfig::
+  /// FanoutPlan; all four sibling tallies are zero on fanout-free runs).
+  std::uint64_t siblings_issued = 0;
+  /// Siblings that delivered their group's completing (k-th) response.
+  std::uint64_t sibling_wins = 0;
+  /// Siblings lazily cancelled at service start after group completion.
+  std::uint64_t siblings_cancelled = 0;
+  /// Issued siblings whose response did not count toward the completion
+  /// rule (completed after the group was done, or were cancelled) — the
+  /// fan-out analogue of reissues_wasted.  Computed at finalize.
+  std::uint64_t siblings_wasted = 0;
   /// Peak simultaneously in-flight reissue copies.  Accumulates by max.
   std::uint64_t reissue_inflight_peak = 0;
   /// Reissue-copy arena slots this run (queries x stages) — the
@@ -97,6 +108,10 @@ struct RunCounters {
     fault_copies_failed += other.fault_copies_failed;
     fault_dispatch_rejections += other.fault_dispatch_rejections;
     fault_primary_retries += other.fault_primary_retries;
+    siblings_issued += other.siblings_issued;
+    sibling_wins += other.sibling_wins;
+    siblings_cancelled += other.siblings_cancelled;
+    siblings_wasted += other.siblings_wasted;
     if (other.reissue_inflight_peak > reissue_inflight_peak) {
       reissue_inflight_peak = other.reissue_inflight_peak;
     }
@@ -161,6 +176,14 @@ class SimObserver {
   /// First response for the query: its latency is determined.
   virtual void on_query_done(double /*now*/, std::uint64_t /*query*/,
                              double /*latency*/) {}
+  /// The query's sibling group satisfied its k-of-n completion rule (fired
+  /// only on fan-out runs, alongside on_query_done): `responded` copies
+  /// had answered including the winner — the copy (by kind / group index)
+  /// that delivered the k-th response.
+  virtual void on_group_complete(double /*now*/, std::uint64_t /*query*/,
+                                 std::uint32_t /*responded*/,
+                                 CopyKind /*winner_kind*/,
+                                 std::uint32_t /*winner_copy*/) {}
   /// Queue depth / busy transition on a finite server, reported after the
   /// state change settled (post enqueue-or-start, post completion).
   virtual void on_server_state(double /*now*/, std::uint32_t /*server*/,

@@ -15,10 +15,14 @@
 // another loop needs.  Arrival times are never duplicated per query; the
 // pre-drawn arrival_times array is the single source.
 //
-// Per-query reissue bookkeeping lives in a pooled arena: a query can issue
-// at most one copy per policy stage, so copy slot i of query q is
-// arena[q * stage_count + i] — no per-query vector allocations, and the
-// hot-path lookups are asserted unchecked accesses instead of .at().
+// Per-query copy bookkeeping lives in a pooled arena of sibling-group
+// records (detail::SiblingGroups): each query owns one dense record of
+// its non-primary copies — fork-join fan-out siblings first, then at most
+// one reissue copy per policy stage — so copy c >= 1 of query q is
+// arena[q * stride + c - 1].  No per-query vector allocations, and the
+// hot-path lookups are asserted unchecked accesses instead of .at().  The
+// degenerate group (fanout n = 1) is the paper's model and reproduces the
+// old queries x stage_count reissue arena byte for byte.
 //
 // Only service completions and interference episodes go through the event
 // heap.  The other two event sources are already time-ordered streams —
@@ -37,6 +41,7 @@
 // end-of-run replay pass (core::LogMode::kStreamingUnordered).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -91,8 +96,8 @@ struct ServerFaultState {
 };
 
 /// Hot per-query record (32 B, two queries per cache line).  Everything a
-/// completion touches except `done` lives here: splitting these five
-/// fields into parallel arrays costs a completion five cache-line streams
+/// completion touches except `done` lives here: splitting these fields
+/// into parallel arrays costs a completion several cache-line streams
 /// where one suffices.  `done` stays a dense byte array of its own — the
 /// stage-retire scan reads it alone, 64 queries per line — and arrival
 /// times stay in the pre-drawn batch arena.
@@ -102,7 +107,12 @@ struct QueryHot {
   double primary_service;
   std::uint32_t primary_server;
   std::uint16_t reissue_count;
+  /// Responses counted toward the group's k-of-n completion rule.  Only
+  /// initialized (and only read) on fan-out runs: the degenerate group
+  /// completes on the first response without touching this field.
+  std::uint16_t responses;
 };
+static_assert(sizeof(QueryHot) == 32);
 
 /// One pending reissue-stage check in a per-stage FIFO: just the claimed
 /// merge sequence number.  The query id is implicit (queries enter every
@@ -125,6 +135,61 @@ struct StageRing {
   [[nodiscard]] bool empty() const noexcept { return head == tail; }
   [[nodiscard]] StageEntry front_seq() const noexcept { return *head; }
   void push(StageEntry seq) noexcept { *tail++ = seq; }
+};
+
+/// The per-query sibling group (ClusterConfig::FanoutPlan): layout of the
+/// pooled copy arena, the k-of-n completion rule, and the policy-stage
+/// check schedule — the bookkeeping Simulation used to interleave with its
+/// reissue special cases.  Each query's record is `stride` consecutive
+/// IssuedCopy slots: fan-out siblings at 0..fanout-2, then one slot per
+/// reissue stage; group copy index c >= 1 (request.copy_index) maps to
+/// slot c - 1 uniformly, so sibling and reissue copies share every
+/// dispatch / cancel / retry path.
+struct SiblingGroups {
+  IssuedCopy* arena = nullptr;
+  std::uint32_t fanout = 1;        // n: group size including the primary
+  std::uint32_t require = 1;       // k: responses that complete the query
+  std::uint32_t reissue_base = 0;  // fanout - 1: first reissue slot
+  std::size_t stride = 0;          // reissue_base + stage count
+  /// Per-stage FIFOs of pending reissue checks (claim_key-merged).
+  std::span<StageRing> rings;
+
+  [[nodiscard]] bool active() const noexcept { return fanout > 1; }
+
+  /// The arena slot of group copy `copy_index` (1-based: siblings, then
+  /// issued reissue copies).
+  [[nodiscard]] IssuedCopy& copy(std::uint64_t id,
+                                 std::uint32_t copy_index) const noexcept {
+    assert(copy_index >= 1 && copy_index <= stride);
+    return arena[id * stride + copy_index - 1];
+  }
+  /// The arena slot of the `slot`-th issued reissue copy.
+  [[nodiscard]] IssuedCopy& reissue(std::uint64_t id,
+                                    std::uint32_t slot) const noexcept {
+    assert(reissue_base + slot < stride);
+    return arena[id * stride + reissue_base + slot];
+  }
+  /// The group copy index of the `slot`-th issued reissue copy.
+  [[nodiscard]] std::uint32_t reissue_index(std::uint32_t slot) const noexcept {
+    return reissue_base + slot + 1;
+  }
+
+  /// Applies one counted response to the completion rule; true when it is
+  /// the completing (k-th) response.  Only called while the query is not
+  /// done, and the degenerate group completes on the first response
+  /// without touching the tally.
+  [[nodiscard]] bool complete_one(QueryHot& hot) const noexcept {
+    return !active() || ++hot.responses >= require;
+  }
+
+  /// Enqueues the arriving query's stage checks: claimed in scheduling
+  /// order, exactly where the all-heap implementation called schedule();
+  /// queries enter each ring in id order.
+  void schedule_checks(EventQueue<SimEvent>& events, double now) const {
+    for (StageRing& ring : rings) {
+      ring.push(events.claim_key_trusted(now + ring.delay).seq);
+    }
+  }
 };
 
 /// Uninitialized growable array (the capacity-tracking half of the scratch
@@ -177,6 +242,9 @@ struct RunScratch {
   detail::RawArena<double> arrival_times;
   detail::RawArena<double> primary_services;
   detail::RawArena<double> service_draws;
+  /// Candidate-server list for fork-join spread placement (fan-out runs
+  /// with FanoutPlan::spread() only).
+  detail::RawArena<std::uint32_t> spread_candidates;
 
   /// Warm server pool (see struct docs).  `servers_queue` records the
   /// discipline the pool was built with; `servers_ready` is false until
@@ -248,10 +316,24 @@ class Simulation {
   void handle_completion(CopyKind kind, std::uint64_t id,
                          std::uint32_t copy_index, double dispatch_time,
                          double now);
+  /// Dispatches the arriving query's whole sibling group: the primary via
+  /// dispatch_copy, then each fan-out sibling — spread placement picks
+  /// among the live servers not already holding a copy of the group.
   template <bool Observed, bool Unordered>
-  void dispatch_copy(std::uint64_t id, CopyKind kind, std::uint32_t copy_index,
-                     std::uint32_t connection,
-                     double service_time, double now);
+  void dispatch_group(std::uint64_t id, std::uint32_t connection,
+                      double primary_service, double now);
+  /// Picks a server for the copy and places it; returns the chosen server
+  /// index, or SimObserver::kNoServer when the copy did not land on one
+  /// (infinite servers, or a deferred kClientRetry).
+  template <bool Observed, bool Unordered>
+  std::uint32_t dispatch_copy(std::uint64_t id, CopyKind kind,
+                              std::uint32_t copy_index,
+                              std::uint32_t connection, double service_time,
+                              double now);
+  /// The post-pick half of dispatch: records the primary's server, applies
+  /// the per-server speed, reports the dispatch, submits.
+  template <bool Observed, bool Unordered>
+  void place_copy(Request& request, std::size_t server, double now);
   template <bool Observed, bool Unordered>
   void complete_on_server(std::uint32_t server, double now);
   template <bool Observed, bool Unordered>
@@ -285,7 +367,13 @@ class Simulation {
   void schedule_arrival(double time);
   [[nodiscard]] double next_service_draw();
   [[nodiscard]] double rate_at(double t) const;
-  [[nodiscard]] IssuedCopy& reissue_slot(std::uint64_t id, std::uint32_t slot);
+  /// Builds a copy's Request, applying the erasure-coding service scale
+  /// (the one chokepoint every dispatch and retry path funnels through).
+  [[nodiscard]] Request make_request(std::uint64_t id, CopyKind kind,
+                                     std::uint32_t copy_index,
+                                     std::uint32_t connection,
+                                     double service_time,
+                                     double now) const noexcept;
   void finalize(double horizon);
 
   /// Lazy-cancellation predicate consulted at service start; marks the
@@ -301,12 +389,12 @@ class Simulation {
       if (!cfg_.cancel_on_completion) return false;
       if (request.kind == CopyKind::kBackground) return false;
       if (!done_[request.query_id]) return false;
-      if (request.kind == CopyKind::kReissue) {
-        reissue_slot(request.query_id, request.copy_index - 1).cancelled =
-            true;
+      if (request.kind != CopyKind::kPrimary) {
+        group_.copy(request.query_id, request.copy_index).cancelled = true;
       }
       if constexpr (Observed) {
         ++counters_.copies_cancelled;
+        if (request.kind == CopyKind::kSibling) ++counters_.siblings_cancelled;
         obs_->on_copy_cancelled(now, static_cast<std::uint32_t>(server),
                                 request.query_id, request.copy_index);
       }
@@ -325,9 +413,12 @@ class Simulation {
   /// Currently in-flight reissue copies (observed() bookkeeping for
   /// counters_.reissue_inflight_peak).
   std::uint64_t reissue_inflight_ = 0;
-  /// Reissue copies that delivered their query's first response
+  /// Reissue copies that delivered their query's completing response
   /// (observed() bookkeeping for counters_.reissues_wasted).
   std::uint64_t reissue_wins_ = 0;
+  /// Sibling responses that counted toward their group's completion rule
+  /// (observed() bookkeeping for counters_.siblings_wasted).
+  std::uint64_t sibling_useful_ = 0;
   std::span<const core::ReissueStage> stages_;
 
   EventQueue<SimEvent>& events_;
@@ -350,12 +441,23 @@ class Simulation {
   stats::Xoshiro256 service_rng_;
   stats::Xoshiro256 lb_rng_;
   stats::Xoshiro256 coin_rng_;
+  /// Sibling service draws (fork-join fan-out).  Derived — and the parent
+  /// stream perturbed — only when the plan is active, so fanout-free runs
+  /// consume exactly the streams they always did.
+  stats::Xoshiro256 fanout_rng_;
 
   // Per-query state (see RunScratch / detail::QueryHot).
   std::uint8_t* done_ = nullptr;
   detail::QueryHot* hot_ = nullptr;
-  /// Pooled reissue-copy arena, queries x stage_count.
-  IssuedCopy* arena_ = nullptr;
+  /// The pooled sibling-group arena and its completion rule / stage
+  /// schedule (detail::SiblingGroups).
+  detail::SiblingGroups group_;
+  /// 1/k service scaling of erasure-coded fan-out (1.0 otherwise; never
+  /// applied when 1.0, so fanout-free service costs are untouched).
+  double ec_scale_ = 1.0;
+  /// Spread-placement candidate scratch (RunScratch::spread_candidates);
+  /// null unless the fan-out plan spreads.
+  std::uint32_t* spread_candidates_ = nullptr;
   /// Pre-drawn arrival times (always) and primary service times (policies
   /// without reissue stages, plus DrawOrder::kPrimaryOnly models, whose
   /// service stream is consumed in query-id order either way).  Values are
@@ -393,8 +495,6 @@ class Simulation {
   /// The single pending client-arrival event (claim_key-merged).
   EventKey arrival_key_;
   bool arrival_pending_ = false;
-  /// Per-stage FIFOs of pending reissue checks (claim_key-merged).
-  std::span<StageRing> stage_rings_;
 
   std::uint64_t next_query_ = 0;
   /// Round-robin client connection cursor; equals id % cfg_.connections

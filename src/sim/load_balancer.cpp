@@ -27,6 +27,13 @@ class RandomBalancer final : public LoadBalancer {
                    std::optional<std::size_t> exclude) override {
     return random_server_index(servers.size(), rng, exclude);
   }
+
+  std::size_t pick_among(std::span<const Server>,
+                         std::span<const std::uint32_t> candidates,
+                         stats::Xoshiro256& rng) override {
+    if (candidates.empty()) throw std::logic_error("load balancer: no servers");
+    return static_cast<std::size_t>(rng.below(candidates.size()));
+  }
 };
 
 class RoundRobinBalancer final : public LoadBalancer {
@@ -42,6 +49,15 @@ class RoundRobinBalancer final : public LoadBalancer {
     return cursor_++ % n;
   }
 
+  std::size_t pick_among(std::span<const Server>,
+                         std::span<const std::uint32_t> candidates,
+                         stats::Xoshiro256&) override {
+    if (candidates.empty()) throw std::logic_error("load balancer: no servers");
+    // Cyclic over the candidate list: siblings of one group fan out in
+    // cursor order, and successive groups keep rotating.
+    return cursor_++ % candidates.size();
+  }
+
  private:
   std::size_t cursor_ = 0;
 };
@@ -54,10 +70,42 @@ class MinOfTwoBalancer final : public LoadBalancer {
     const std::size_t b = random_server_index(servers.size(), rng, exclude);
     return servers[b].load() < servers[a].load() ? b : a;
   }
+
+  std::size_t pick_among(std::span<const Server> servers,
+                         std::span<const std::uint32_t> candidates,
+                         stats::Xoshiro256& rng) override {
+    if (candidates.empty()) throw std::logic_error("load balancer: no servers");
+    const auto a = static_cast<std::size_t>(rng.below(candidates.size()));
+    const auto b = static_cast<std::size_t>(rng.below(candidates.size()));
+    return servers[candidates[b]].load() < servers[candidates[a]].load() ? b
+                                                                         : a;
+  }
 };
 
 class MinOfAllBalancer final : public LoadBalancer {
  public:
+  std::size_t pick_among(std::span<const Server> servers,
+                         std::span<const std::uint32_t> candidates,
+                         stats::Xoshiro256& rng) override {
+    if (candidates.empty()) throw std::logic_error("load balancer: no servers");
+    std::size_t best = 0;
+    std::size_t best_load = servers[candidates[0]].load();
+    std::size_t ties = 1;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const std::size_t load = servers[candidates[i]].load();
+      if (load < best_load) {
+        best_load = load;
+        best = i;
+        ties = 1;
+      } else if (load == best_load) {
+        // Reservoir-sample among ties so equal-load servers share work.
+        ++ties;
+        if (rng.below(ties) == 0) best = i;
+      }
+    }
+    return best;
+  }
+
   std::size_t pick(std::span<const Server> servers, stats::Xoshiro256& rng,
                    std::optional<std::size_t> exclude) override {
     std::size_t best = std::numeric_limits<std::size_t>::max();

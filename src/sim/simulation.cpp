@@ -30,12 +30,16 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
       unordered_(unordered),
       warmup_(config.warmup) {
   // Stream derivation order is part of the determinism contract: arrival,
-  // service, lb, coin, then (only when enabled) interference.
+  // service, lb, coin, then (each only when enabled — split perturbs the
+  // parent) fanout, interference, faults.
   stats::Xoshiro256 root(cfg_.seed);
   arrival_rng_ = root.split(stats::stream_label("arrival"));
   service_rng_ = root.split(stats::stream_label("service"));
   lb_rng_ = root.split(stats::stream_label("lb"));
   coin_rng_ = root.split(stats::stream_label("coin"));
+  if (cfg_.fanout.active()) {
+    fanout_rng_ = root.split(stats::stream_label("fanout"));
+  }
 
   events_.reset();
   completions_.reset();
@@ -55,15 +59,26 @@ Simulation::Simulation(const ClusterConfig& config, ServiceModel& service,
   }
   done_ = scratch.done.ensure(cfg_.queries);
   hot_ = scratch.query_hot.ensure(cfg_.queries);
-  arena_ = scratch.arena.ensure(cfg_.queries * stages_.size());
+  // Sibling-group layout: fan-out siblings first, then the reissue slots.
+  group_.fanout = static_cast<std::uint32_t>(cfg_.fanout.copies);
+  group_.require = static_cast<std::uint32_t>(cfg_.fanout.require);
+  group_.reissue_base = group_.fanout - 1;
+  group_.stride = group_.reissue_base + stages_.size();
+  group_.arena = scratch.arena.ensure(cfg_.queries * group_.stride);
+  if (cfg_.fanout.placement == ClusterConfig::FanoutPlan::Placement::kErasure) {
+    ec_scale_ = 1.0 / static_cast<double>(group_.require);
+  }
+  if (cfg_.fanout.active() && cfg_.fanout.spread()) {
+    spread_candidates_ = scratch.spread_candidates.ensure(cfg_.servers);
+  }
   if (scratch.stage_rings.size() < stages_.size()) {
     scratch.stage_rings.resize(stages_.size());
   }
-  stage_rings_ = std::span(scratch.stage_rings.data(), stages_.size());
+  group_.rings = std::span(scratch.stage_rings.data(), stages_.size());
   detail::StageEntry* slab =
       scratch.stage_entries.ensure(cfg_.queries * stages_.size());
-  for (std::size_t j = 0; j < stage_rings_.size(); ++j) {
-    StageRing& ring = stage_rings_[j];
+  for (std::size_t j = 0; j < group_.rings.size(); ++j) {
+    StageRing& ring = group_.rings[j];
     ring.base = ring.head = ring.tail = slab + j * cfg_.queries;
     ring.delay = stages_[j].delay;
   }
@@ -277,7 +292,7 @@ void Simulation::schedule_arrival(double time) {
 
 void Simulation::run() {
   if (observed()) {
-    counters_.arena_slots = cfg_.queries * stages_.size();
+    counters_.arena_slots = cfg_.queries * group_.stride;
     SimObserver::RunInfo info;
     info.servers = cfg_.infinite_servers ? 0 : cfg_.servers;
     info.infinite_servers = cfg_.infinite_servers;
@@ -291,9 +306,9 @@ void Simulation::run() {
   // The merge loop is the hottest code in the simulator; specialize it on
   // the policy's stage count so the per-iteration candidate scan has no
   // loop for the ubiquitous no-reissue and single-stage cases.
-  if (stage_rings_.empty()) {
+  if (group_.rings.empty()) {
     run_stages<0>();
-  } else if (stage_rings_.size() == 1) {
+  } else if (group_.rings.size() == 1) {
     run_stages<1>();
   } else {
     run_stages<-1>();
@@ -345,7 +360,7 @@ void Simulation::run_loop() {
   constexpr std::size_t kFromArrival = std::numeric_limits<std::size_t>::max();
   const std::size_t rings =
       StageCount >= 0 ? static_cast<std::size_t>(StageCount)
-                      : stage_rings_.size();
+                      : group_.rings.size();
   for (;;) {
     std::size_t source = kFromArrival;
     EventKey best;
@@ -355,7 +370,7 @@ void Simulation::run_loop() {
       have = true;
     }
     for (std::size_t j = 0; j < rings; ++j) {
-      StageRing& ring = stage_rings_[j];
+      StageRing& ring = group_.rings[j];
       for (;;) {
         if (ring.empty()) break;
         const auto front_id = static_cast<std::uint64_t>(ring.head - ring.base);
@@ -425,7 +440,7 @@ void Simulation::run_loop() {
       events_.advance_to(best.time);
       on_arrival<Observed, Unordered>(best.time);
     } else {
-      StageRing& ring = stage_rings_[source];
+      StageRing& ring = group_.rings[source];
       const auto id = static_cast<std::uint64_t>(ring.head++ - ring.base);
       events_.advance_to(best.time);
       on_reissue_stage<Observed, Unordered>(id, source, best.time);
@@ -453,12 +468,12 @@ void Simulation::dispatch(const SimEvent& event, double now) {
       return;
     case EventKind::kDirectComplete: {
       // The copy's dispatch time is recomputable for primaries (they
-      // dispatch at arrival) and recorded per slot for reissue copies.
+      // dispatch at arrival) and recorded per group slot otherwise.
       const std::uint64_t id = event.query();
       const double dispatch_time =
           event.copy == CopyKind::kPrimary
               ? arrival_times_[id]
-              : reissue_slot(id, event.copy_index() - 1).dispatch;
+              : group_.copy(id, event.copy_index()).dispatch;
       handle_completion<Observed, Unordered>(event.copy, id,
                                              event.copy_index(), dispatch_time,
                                              now);
@@ -497,7 +512,7 @@ void Simulation::dispatch(const SimEvent& event, double now) {
       if (event.copy == CopyKind::kPrimary) {
         service = primary_service_of(id);
       } else {
-        IssuedCopy& slot = reissue_slot(id, copy_index - 1);
+        IssuedCopy& slot = group_.copy(id, copy_index);
         // The copy's response clock restarts at the actual dispatch.
         slot.dispatch = now;
         service = slot.service;
@@ -539,12 +554,23 @@ double Simulation::rate_at(double t) const {
   return cfg_.arrival_rate * cfg_.arrival_phases.back().multiplier;
 }
 
-Simulation::IssuedCopy& Simulation::reissue_slot(std::uint64_t id,
-                                                 std::uint32_t slot) {
-  assert(id < cfg_.queries);
-  assert(slot < stages_.size());
-  assert(slot < hot_[id].reissue_count);
-  return arena_[id * stages_.size() + slot];
+Request Simulation::make_request(std::uint64_t id, CopyKind kind,
+                                 std::uint32_t copy_index,
+                                 std::uint32_t connection, double service_time,
+                                 double now) const noexcept {
+  Request request;
+  request.dispatch_time = now;
+  // Erasure-coded fan-out reads 1/k of the object per copy.  Every
+  // dispatch and retry path funnels through here, so the scale applies
+  // uniformly to primaries, siblings, and reissue copies (stored slot
+  // services stay unscaled).
+  request.service_time =
+      ec_scale_ != 1.0 ? service_time * ec_scale_ : service_time;
+  request.query_id = static_cast<std::uint32_t>(id);
+  request.copy_index = copy_index;
+  request.connection = connection;
+  request.kind = kind;
+  return request;
 }
 
 template <bool Observed, bool Unordered>
@@ -574,19 +600,19 @@ void Simulation::on_arrival(double now) {
   const std::uint32_t connection = next_connection_;
   if (++next_connection_ == cfg_.connections) next_connection_ = 0;
   hot_[id].reissue_count = 0;
+  if (group_.active()) hot_[id].responses = 0;
   done_[id] = 0;
   if constexpr (Observed) {
     ++counters_.arrivals;
     obs_->on_arrival(now, id);
   }
-  dispatch_copy<Observed, Unordered>(id, CopyKind::kPrimary, 0, connection,
-                                     primary_service, now);
-  for (std::size_t i = 0; i < stages_.size(); ++i) {
-    // Claimed in scheduling order, exactly where the all-heap version
-    // called schedule(); queries enter each ring in id order.
-    const EventKey key = events_.claim_key_trusted(now + stages_[i].delay);
-    stage_rings_[i].push(key.seq);
+  if (!group_.active()) {
+    dispatch_copy<Observed, Unordered>(id, CopyKind::kPrimary, 0, connection,
+                                       primary_service, now);
+  } else {
+    dispatch_group<Observed, Unordered>(id, connection, primary_service, now);
   }
+  group_.schedule_checks(events_, now);
   if constexpr (Observed) {
     for (std::size_t i = 0; i < stages_.size(); ++i) {
       obs_->on_reissue_scheduled(now, id, static_cast<std::uint16_t>(i),
@@ -595,6 +621,51 @@ void Simulation::on_arrival(double now) {
   }
   if (next_query_ < cfg_.queries) {
     schedule_arrival(arrival_times_[next_query_]);
+  }
+}
+
+/// Dispatches the arriving query's sibling group: the primary through the
+/// normal path, then each fan-out sibling.  Spread placement draws from
+/// the candidate pool of live servers not already holding a copy of this
+/// group (falling back to an independent draw once the pool is exhausted
+/// by crashes); every placement consumes the lb stream.
+template <bool Observed, bool Unordered>
+void Simulation::dispatch_group(std::uint64_t id, std::uint32_t connection,
+                                double primary_service, double now) {
+  const std::uint32_t primary_server = dispatch_copy<Observed, Unordered>(
+      id, CopyKind::kPrimary, 0, connection, primary_service, now);
+  std::size_t candidates = 0;
+  if (spread_candidates_ != nullptr) {
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (crashes_on_ && fault_states_[s].down) continue;
+      if (s == primary_server) continue;
+      spread_candidates_[candidates++] = static_cast<std::uint32_t>(s);
+    }
+  }
+  for (std::uint32_t j = 1; j < group_.fanout; ++j) {
+    // Sibling service requirements correlate with the (unscaled) primary
+    // exactly like reissue draws, from the dedicated "fanout" stream.
+    const double y = service_.reissue(id, primary_service, fanout_rng_);
+    group_.copy(id, j) = IssuedCopy{now, -1.0, y, false};
+    if constexpr (Observed) ++counters_.siblings_issued;
+    if (candidates > 0) {
+      // pick_among returns the position so the winner can be swap-removed
+      // — the group's remaining siblings spread over the rest.
+      const std::size_t pos =
+          cfg_.load_balancer == LoadBalancerKind::kRandom
+              ? static_cast<std::size_t>(lb_rng_.below(candidates))
+              : balancer_->pick_among(
+                    servers_, std::span(spread_candidates_, candidates),
+                    lb_rng_);
+      const std::uint32_t server = spread_candidates_[pos];
+      spread_candidates_[pos] = spread_candidates_[--candidates];
+      Request request =
+          make_request(id, CopyKind::kSibling, j, connection, y, now);
+      place_copy<Observed, Unordered>(request, server, now);
+    } else {
+      dispatch_copy<Observed, Unordered>(id, CopyKind::kSibling, j, connection,
+                                         y, now);
+    }
   }
 }
 
@@ -628,7 +699,7 @@ void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
                                        hot_[id].primary_service)
           : service_.reissue(id, hot_[id].primary_service, service_rng_);
   const std::uint32_t slot = hot_[id].reissue_count++;
-  reissue_slot(id, slot) = IssuedCopy{now, -1.0, y, false};
+  group_.reissue(id, slot) = IssuedCopy{now, -1.0, y, false};
   if constexpr (Unordered) {
     // The replay pass derives the issued-reissue total from the arena;
     // completion-order delivery counts it at issue time instead.
@@ -644,8 +715,9 @@ void Simulation::on_reissue_stage(std::uint64_t id, std::size_t stage_index,
   // The arrival counter wraps at cfg_.connections, so the copy's
   // connection is recomputable instead of stored per query.
   const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
-  dispatch_copy<Observed, Unordered>(id, CopyKind::kReissue, slot + 1,
-                                     connection, y, now);
+  dispatch_copy<Observed, Unordered>(id, CopyKind::kReissue,
+                                     group_.reissue_index(slot), connection, y,
+                                     now);
 }
 
 template <bool Observed, bool Unordered>
@@ -655,55 +727,76 @@ void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
   if (kind == CopyKind::kBackground) return;
   assert(id < cfg_.queries);
   const double response = now - dispatch_time;
+  // Whether the query was already closed out for delivery — group
+  // complete with a completed primary — before this response landed.
+  const bool was_closed = done_[id] && hot_[id].primary_response >= 0.0;
   if (kind == CopyKind::kPrimary) {
     hot_[id].primary_response = response;
   } else {
-    reissue_slot(id, copy_index - 1).response = response;
+    group_.copy(id, copy_index).response = response;
   }
-  const bool first = !done_[id];
-  if (first) {
-    done_[id] = 1;
-    hot_[id].completion = now;
+  bool completes = false;
+  if (!done_[id]) {
+    if constexpr (Observed) {
+      if (kind == CopyKind::kSibling) ++sibling_useful_;
+    }
+    // k-of-n completion rule; the degenerate group completes on the first
+    // response, exactly as before fan-out existed.
+    if (group_.complete_one(hot_[id])) {
+      completes = true;
+      done_[id] = 1;
+      hot_[id].completion = now;
+    }
   }
   if constexpr (Observed) {
     obs_->on_copy_complete(now, id, kind, copy_index, response);
     if (kind == CopyKind::kReissue) {
       if (reissue_inflight_ > 0) --reissue_inflight_;
-      if (first) ++reissue_wins_;
+      if (completes) ++reissue_wins_;
+    } else if (kind == CopyKind::kSibling && completes) {
+      ++counters_.sibling_wins;
     }
-    if (first) obs_->on_query_done(now, id, now - arrival_times_[id]);
+    if (completes) {
+      obs_->on_query_done(now, id, now - arrival_times_[id]);
+      if (group_.active()) {
+        obs_->on_group_complete(now, id, hot_[id].responses, kind, copy_index);
+      }
+    }
   }
   if constexpr (Unordered) {
-    // Completion-order delivery (LogMode::kStreamingUnordered).  A query's
-    // observation set is closed out at its primary completion — the
-    // primary always completes (or the run fails validation), and both
-    // on_query values are final then.  Every issued reissue copy reaches
-    // this function exactly once too (a lazily cancelled copy still
-    // occupies its server for cancellation_overhead and completes), so a
-    // copy emits wherever both endpoints first become known: at its own
-    // completion if the primary already finished, otherwise in the
-    // primary-completion sweep below.  Each issued copy emits exactly
-    // once, with values bit-identical to the replay pass; only the
-    // delivery order differs.
-    if (kind == CopyKind::kPrimary) {
+    // Completion-order delivery (LogMode::kStreamingUnordered).  A query
+    // is closed out at the first moment its latency and primary response
+    // are both final: for the degenerate group that is exactly the
+    // primary's completion (the first response sets done), and with
+    // fan-out it is whichever of {k-th response, primary completion}
+    // happens last — the primary always completes (or the run fails
+    // validation).  Every issued reissue copy reaches this function
+    // exactly once too (a lazily cancelled copy still occupies its server
+    // for cancellation_overhead and completes), so a copy emits wherever
+    // both endpoints first become known: at its own completion if the
+    // query is already closed, otherwise in the closing sweep below.
+    // Each issued copy emits exactly once, with values bit-identical to
+    // the replay pass; only the delivery order differs.
+    if (!was_closed && done_[id] && hot_[id].primary_response >= 0.0) {
       if (id >= warmup_) {
         ++logged_queries_;
-        observer_.on_query(hot_[id].completion - arrival_times_[id], response);
+        observer_.on_query(hot_[id].completion - arrival_times_[id],
+                           hot_[id].primary_response);
         const std::uint16_t issued = hot_[id].reissue_count;
         for (std::uint16_t slot = 0; slot < issued; ++slot) {
-          const IssuedCopy& copy = arena_[id * stages_.size() + slot];
+          const IssuedCopy& copy = group_.reissue(id, slot);
           // A slot still pending (response unset) emits later, at its own
           // completion; a completed slot's response and cancelled flag are
           // both final here.
           if (copy.response >= 0.0) {
-            observer_.on_reissue(response, copy.response,
+            observer_.on_reissue(hot_[id].primary_response, copy.response,
                                  copy.dispatch - arrival_times_[id],
                                  copy.cancelled);
           }
         }
       }
-    } else if (id >= warmup_ && hot_[id].primary_response >= 0.0) {
-      const IssuedCopy& copy = reissue_slot(id, copy_index - 1);
+    } else if (kind == CopyKind::kReissue && was_closed && id >= warmup_) {
+      const IssuedCopy& copy = group_.copy(id, copy_index);
       observer_.on_reissue(hot_[id].primary_response, response,
                            copy.dispatch - arrival_times_[id], copy.cancelled);
     }
@@ -711,26 +804,22 @@ void Simulation::handle_completion(CopyKind kind, std::uint64_t id,
 }
 
 template <bool Observed, bool Unordered>
-void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
-                               std::uint32_t copy_index,
-                               std::uint32_t connection, double service_time,
-                               double now) {
-  Request request;
-  request.dispatch_time = now;
-  request.service_time = service_time;
-  request.query_id = static_cast<std::uint32_t>(id);
-  request.copy_index = copy_index;
-  request.connection = connection;
-  request.kind = kind;
+std::uint32_t Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
+                                        std::uint32_t copy_index,
+                                        std::uint32_t connection,
+                                        double service_time, double now) {
+  Request request =
+      make_request(id, kind, copy_index, connection, service_time, now);
   if (cfg_.infinite_servers) {
     if constexpr (Observed) {
       obs_->on_dispatch(now, id, kind, copy_index, SimObserver::kNoServer,
-                        service_time);
+                        request.service_time);
       obs_->on_service_start(now, SimObserver::kNoServer, request,
-                             service_time);
+                             request.service_time);
     }
-    events_.schedule(now + service_time, SimEvent::direct_complete(request));
-    return;
+    events_.schedule(now + request.service_time,
+                     SimEvent::direct_complete(request));
+    return SimObserver::kNoServer;
   }
   std::optional<std::size_t> exclude;
   if (kind == CopyKind::kReissue && cfg_.exclude_primary_server) {
@@ -754,7 +843,7 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
       }
       events_.schedule(min_down_until(),
                        SimEvent::client_retry(id, kind, copy_index));
-      return;
+      return SimObserver::kNoServer;
     }
     // Liveness beats primary-server exclusion: when the excluded server is
     // the only one up, the reissue copy goes there.
@@ -776,17 +865,23 @@ void Simulation::dispatch_copy(std::uint64_t id, CopyKind kind,
       }
     }
   }
-  if (kind == CopyKind::kPrimary) {
-    hot_[id].primary_server = static_cast<std::uint32_t>(idx);
+  place_copy<Observed, Unordered>(request, idx, now);
+  return static_cast<std::uint32_t>(idx);
+}
+
+template <bool Observed, bool Unordered>
+void Simulation::place_copy(Request& request, std::size_t server, double now) {
+  if (request.kind == CopyKind::kPrimary) {
+    hot_[request.query_id].primary_server = static_cast<std::uint32_t>(server);
   }
   if (!cfg_.server_speeds.empty()) {
-    request.service_time *= cfg_.server_speeds[idx];
+    request.service_time *= cfg_.server_speeds[server];
   }
   if constexpr (Observed) {
-    obs_->on_dispatch(now, id, kind, copy_index,
-                      static_cast<std::uint32_t>(idx), request.service_time);
+    obs_->on_dispatch(now, request.query_id, request.kind, request.copy_index,
+                      static_cast<std::uint32_t>(server), request.service_time);
   }
-  submit_to_server<Observed, Unordered>(idx, request, now);
+  submit_to_server<Observed, Unordered>(server, request, now);
 }
 
 template <bool Observed, bool Unordered>
@@ -916,30 +1011,42 @@ void Simulation::fail_copy(const Request& request, std::uint32_t server,
     obs_->on_dispatch_failed(now, id, request.kind, request.copy_index,
                              server);
   }
-  if (request.kind == CopyKind::kPrimary) {
-    // The primary is the query's completion guarantee: the client observes
-    // the broken connection and immediately re-dispatches the same
-    // (unscaled) service requirement through a fresh balancer draw.
+  if (request.kind == CopyKind::kPrimary || request.kind == CopyKind::kSibling) {
+    // Primaries and fan-out siblings carry the completion guarantee — the
+    // k-of-n rule may still need this copy's response — so the client
+    // observes the broken connection and immediately re-dispatches the
+    // same (unscaled) service requirement through a fresh balancer draw.
+    // A sibling re-dispatched after its group completed is simply lazily
+    // cancelled wherever it lands.
     if constexpr (Observed) ++counters_.fault_primary_retries;
     const auto connection = static_cast<std::uint32_t>(id % cfg_.connections);
-    dispatch_copy<Observed, Unordered>(id, CopyKind::kPrimary, 0, connection,
-                                       primary_service_of(id), now);
+    double service;
+    if (request.kind == CopyKind::kPrimary) {
+      service = primary_service_of(id);
+    } else {
+      IssuedCopy& slot = group_.copy(id, request.copy_index);
+      // The copy's response clock restarts at the re-dispatch.
+      slot.dispatch = now;
+      service = slot.service;
+    }
+    dispatch_copy<Observed, Unordered>(id, request.kind, request.copy_index,
+                                       connection, service, now);
     return;
   }
-  // A failed reissue copy is abandoned — surviving reissue copies (and the
+  // A failed reissue copy is abandoned — surviving group members (and the
   // retried primary) are the query's redundancy.  Close the slot as
   // cancelled with an infinite response so both delivery modes emit it
-  // exactly once: if the primary already completed, this is the moment the
-  // slot's values become final (emit now, mirroring handle_completion);
-  // otherwise the primary-completion sweep picks it up.
-  IssuedCopy& slot = reissue_slot(id, request.copy_index - 1);
+  // exactly once: if the query is already closed out, this is the moment
+  // the slot's values become final (emit now, mirroring
+  // handle_completion); otherwise the closing sweep picks it up.
+  IssuedCopy& slot = group_.copy(id, request.copy_index);
   slot.cancelled = true;
   slot.response = std::numeric_limits<double>::infinity();
   if constexpr (Observed) {
     if (reissue_inflight_ > 0) --reissue_inflight_;
   }
   if constexpr (Unordered) {
-    if (id >= warmup_ && hot_[id].primary_response >= 0.0) {
+    if (id >= warmup_ && done_[id] && hot_[id].primary_response >= 0.0) {
       observer_.on_reissue(hot_[id].primary_response, slot.response,
                            slot.dispatch - arrival_times_[id], slot.cancelled);
     }
@@ -1009,7 +1116,7 @@ void Simulation::finalize(double horizon) {
                          hot_[id].primary_response);
       const std::uint16_t issued = hot_[id].reissue_count;
       for (std::uint16_t slot = 0; slot < issued; ++slot) {
-        const IssuedCopy& copy = arena_[id * stages_.size() + slot];
+        const IssuedCopy& copy = group_.reissue(id, slot);
         ++reissues_issued;
         observer_.on_reissue(hot_[id].primary_response, copy.response,
                              copy.dispatch - arrival_times_[id],
@@ -1034,6 +1141,9 @@ void Simulation::finalize(double horizon) {
     // the winners — where re-deriving it from dispatch + response times
     // would be off by FP rounding on the winner itself.
     counters_.reissues_wasted = counters_.reissues_issued - reissue_wins_;
+    // Siblings analogously: issued copies whose responses never counted
+    // toward the k-of-n rule (sibling_useful_ tallies those that did).
+    counters_.siblings_wasted = counters_.siblings_issued - sibling_useful_;
     obs_->on_run_end(horizon, utilization, counters_);
   }
 }

@@ -978,6 +978,9 @@ TEST(Cli, LoadgenEndToEndArtifacts) {
            "--latency-log", log.path()});
   ASSERT_EQ(result.code, 0) << result.err;
   EXPECT_NE(result.out.find("backend:        kvstore"), std::string::npos);
+  // The single-core caveat travels with every report so live numbers are
+  // never quoted without their core budget.
+  EXPECT_NE(result.out.find("cores:          "), std::string::npos);
   EXPECT_NE(result.out.find("submitted:      40"), std::string::npos);
   EXPECT_NE(result.out.find("completed:      40"), std::string::npos);
   EXPECT_NE(result.out.find("policy:         Immediate"), std::string::npos);

@@ -386,6 +386,70 @@ TEST(Merge, RejectsShardsFromDifferentSweeps) {
   }
 }
 
+/// tiny_scenarios with a sibling-group plan: the fanout= token rides in
+/// each manifest's scenario lines, so group shape is part of the sweep
+/// identity the merge coordinator checks.
+std::vector<exp::ScenarioSpec> tiny_fanout_scenarios(const char* token) {
+  std::vector<exp::ScenarioSpec> specs = tiny_scenarios();
+  for (exp::ScenarioSpec& spec : specs) {
+    spec.fanout = exp::parse_fanout_spec(token);
+  }
+  return specs;
+}
+
+TEST(ShardedSweep, FanoutShardsMergeByteIdenticalToSingleProcess) {
+  const auto scenarios = tiny_fanout_scenarios("3:2:spread");
+  const auto options = sweep_options();
+  auto serial = options;
+  serial.threads = 1;
+  const std::string expected = aggregate_csv(exp::run_sweep(scenarios, serial));
+
+  TempDir dir;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < 3; ++i) {
+    WorkerOptions worker;
+    worker.shard = ShardRef{i, 3};
+    worker.raw_output = dir.file("f" + std::to_string(i) + ".csv");
+    worker.sweep = options;
+    const WorkerReport report = run_shard(scenarios, worker);
+    EXPECT_TRUE(report.finished);
+    paths.push_back(worker.raw_output);
+    // The manifest's scenario lines carry the group shape.
+    const Manifest m = parse_manifest(read_file(manifest_path(worker.raw_output)));
+    for (const std::string& line : m.scenarios) {
+      EXPECT_NE(line.find("fanout=3:2:spread"), std::string::npos) << line;
+    }
+  }
+  const MergeReport report = merge_shards(paths);
+  EXPECT_EQ(report.shards, 3u);
+  EXPECT_EQ(aggregate_csv(report.cells), expected);
+}
+
+TEST(Merge, RejectsShardsWhoseFanoutDiffers) {
+  // Two shards of "the same" sweep that disagree only in group shape must
+  // refuse to merge: the fanout= token makes them different sweeps.
+  TempDir dir;
+  const auto options = sweep_options();
+  WorkerOptions a;
+  a.shard = ShardRef{0, 2};
+  a.raw_output = dir.file("a.csv");
+  a.sweep = options;
+  (void)run_shard(tiny_fanout_scenarios("3:1:spread"), a);
+  WorkerOptions b;
+  b.shard = ShardRef{1, 2};
+  b.raw_output = dir.file("b.csv");
+  b.sweep = options;
+  (void)run_shard(tiny_fanout_scenarios("3:2:ec"), b);
+
+  try {
+    (void)merge_shards({a.raw_output, b.raw_output});
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different sweep"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Merge, RejectsATamperedRawFile) {
   TempDir dir;
   const auto paths = run_all_shards(dir, 2, sweep_options());

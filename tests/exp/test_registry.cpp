@@ -37,6 +37,44 @@ TEST(Registry, FaultMatrixSweepsUnderloadToOverload) {
   for (const auto& spec : specs) EXPECT_TRUE(spec.faults.any()) << spec.name;
 }
 
+TEST(Registry, FanoutMatrixPinsTheRedundancyRegimes) {
+  const auto specs = ScenarioRegistry::built_in().resolve("fanout-matrix");
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "fanout-flip-under");
+  EXPECT_EQ(specs[1].name, "fanout-flip-over");
+  EXPECT_EQ(specs[2].name, "fanout-replicated");
+  EXPECT_EQ(specs[3].name, "fanout-ec");
+  EXPECT_EQ(specs[4].name, "partition-aggregate");
+  // The flip pair shares one group shape and policy grid so latency
+  // differences are attributable to load alone (redundancy's sign flips
+  // between them).
+  EXPECT_EQ(specs[0].fanout, specs[1].fanout);
+  EXPECT_EQ(specs[0].policies, specs[1].policies);
+  EXPECT_LT(specs[0].utilization, specs[1].utilization);
+  for (const auto& spec : specs) {
+    EXPECT_TRUE(spec.fanout.active()) << spec.name;
+    EXPECT_LE(spec.fanout.copies, spec.servers) << spec.name;
+  }
+  // The shapes cover replicated reads, erasure-coded reads, and full
+  // partition-aggregate fork-join.
+  EXPECT_EQ(specs[2].fanout.require, 1u);
+  EXPECT_EQ(specs[3].fanout.mode, FanoutSpec::Mode::kErasure);
+  EXPECT_EQ(specs[4].fanout.require, specs[4].fanout.copies);
+}
+
+TEST(Registry, SimAllIncludesEveryFanoutScenario) {
+  // The registry-wide suites (raw-CSV round-trip, metric-mode agreement,
+  // thread byte-identity) enumerate sim-all, so fan-out stays covered
+  // automatically only if sim-all carries the whole fanout-matrix.
+  const auto all = ScenarioRegistry::built_in().resolve("sim-all");
+  const auto fanout = ScenarioRegistry::built_in().resolve("fanout-matrix");
+  for (const auto& member : fanout) {
+    bool found = false;
+    for (const auto& spec : all) found |= spec.name == member.name;
+    EXPECT_TRUE(found) << member.name;
+  }
+}
+
 TEST(Registry, BuiltInScenariosRoundTripThroughSpecStrings) {
   for (const auto& spec : ScenarioRegistry::built_in().scenarios()) {
     EXPECT_EQ(parse_scenario(to_spec_string(spec)), spec) << spec.name;

@@ -401,5 +401,95 @@ TEST(OverloadFlip, PerCellResultsAreGolden) {
   EXPECT_EQ(fnv1a(csv), 0x77c748e7e17058c1ull) << csv;
 }
 
+
+/// The registry's fan-out flip pair plus "solo" twins with the sibling
+/// group stripped: same arrival stream, same service draws, so the tail
+/// difference in each load regime isolates what redundancy contributes.
+std::vector<ScenarioSpec> fanout_flip_scenarios() {
+  const std::vector<ScenarioSpec> flips = ScenarioRegistry::built_in().resolve(
+      "fanout-flip-under,fanout-flip-over");
+  std::vector<ScenarioSpec> all;
+  for (const ScenarioSpec& spec : flips) {
+    all.push_back(spec);
+    ScenarioSpec solo = spec;
+    solo.name = spec.name + "-solo";
+    solo.fanout = FanoutSpec{};
+    all.push_back(solo);
+  }
+  return all;
+}
+
+TEST(FanoutFlip, RedundancyHelpsAtLowLoadAndHurtsInOverload) {
+  // The load-dependent sign of redundancy, as a pinned artifact: a 3-wide
+  // replicated group takes the min of three heavy-tailed draws (big tail
+  // win) but triples the offered load.  At util 0.12 the tripled load
+  // still fits and the min dominates; at util 0.42 the same group drives
+  // the cluster past saturation and redundancy poisons the tail.
+  SweepOptions options;
+  options.replications = 4;
+  options.threads = 2;
+  options.seed = 0x5eed;
+  const auto stats = aggregate(run_sweep(fanout_flip_scenarios(), options));
+  ASSERT_EQ(stats.size(), 4u);
+  ASSERT_EQ(stats[0].scenario, "fanout-flip-under");
+  ASSERT_EQ(stats[1].scenario, "fanout-flip-under-solo");
+  ASSERT_EQ(stats[2].scenario, "fanout-flip-over");
+  ASSERT_EQ(stats[3].scenario, "fanout-flip-over-solo");
+  // Low load: replication cuts the tail.
+  EXPECT_LT(stats[0].tail.mean, stats[1].tail.mean);
+  // Overload: the same group shape inflates it.
+  EXPECT_GT(stats[2].tail.mean, stats[3].tail.mean);
+  // And the load multiplication is real: the group triples utilization.
+  EXPECT_GT(stats[0].utilization, 2.0 * stats[1].utilization);
+}
+
+/// The three fan-out shapes the registry pins, downsized for golden runs.
+std::vector<ScenarioSpec> fanout_shape_scenarios() {
+  std::vector<ScenarioSpec> specs = ScenarioRegistry::built_in().resolve(
+      "fanout-replicated,fanout-ec,partition-aggregate");
+  for (ScenarioSpec& spec : specs) {
+    spec.queries = 1500;
+    spec.warmup = 150;
+  }
+  return specs;
+}
+
+TEST(FanoutMatrix, PerCellResultsAreGoldenInBothMetricModes) {
+  if (!libm_matches_baseline()) {
+    GTEST_SKIP() << "different libm than the recorded golden baseline";
+  }
+  SweepOptions options;
+  options.replications = 2;
+  options.threads = 2;
+  options.seed = 0x5eed;
+  options.log_mode = core::LogMode::kStreaming;
+  EXPECT_EQ(fnv1a(sweep_csv(fanout_shape_scenarios(), options)),
+            0x5e4b6e21fdfe44dbull);
+  options.log_mode = core::LogMode::kStreamingUnordered;
+  EXPECT_EQ(fnv1a(sweep_csv(fanout_shape_scenarios(), options)),
+            0x152974fb3ff06575ull);
+}
+
+TEST(RunSweep, RegistryWideBitIdenticalAcrossThreadCounts) {
+  // The thread-identity contract over the whole registry — sim-all
+  // carries every fan-out scenario, so the sibling-group event core is
+  // covered here, not just the tiny fixtures above.
+  std::vector<ScenarioSpec> scenarios =
+      ScenarioRegistry::built_in().resolve("sim-all");
+  for (ScenarioSpec& spec : scenarios) {
+    spec.queries = 600;
+    spec.warmup = 60;
+  }
+  SweepOptions options;
+  options.replications = 2;
+  options.seed = 0x5eed;
+  options.threads = 1;
+  const std::string serial = sweep_csv(scenarios, options);
+  options.threads = 2;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+  options.threads = 8;
+  EXPECT_EQ(sweep_csv(scenarios, options), serial);
+}
+
 }  // namespace
 }  // namespace reissue::exp

@@ -623,5 +623,101 @@ TEST(MakeSystem, TraceArrivalDiagnostics) {
   EXPECT_THROW(make_system(spec, 1), std::runtime_error);
 }
 
+
+// ------------------------------------------- fanout=<n>:<k>[:spread|:ec]
+
+TEST(FanoutSpec, RoundTripsEveryForm) {
+  for (const char* token : {"3:1", "3:2:spread", "6:4:ec", "2:2", "1:1"}) {
+    const FanoutSpec spec = parse_fanout_spec(token);
+    EXPECT_EQ(to_string(spec), token) << token;
+    EXPECT_EQ(parse_fanout_spec(to_string(spec)), spec) << token;
+  }
+  EXPECT_TRUE(parse_fanout_spec("3:1").active());
+  EXPECT_FALSE(parse_fanout_spec("1:1").active());
+  EXPECT_FALSE(FanoutSpec{}.active());
+  EXPECT_EQ(to_string(FanoutSpec{}), "1:1");
+}
+
+TEST(FanoutSpec, RejectsMalformedTokens) {
+  EXPECT_THROW((void)parse_fanout_spec(""), std::runtime_error);
+  EXPECT_THROW((void)parse_fanout_spec("3"), std::runtime_error);
+  EXPECT_THROW((void)parse_fanout_spec("0:1"), std::runtime_error);
+  EXPECT_THROW((void)parse_fanout_spec("3:0"), std::runtime_error);
+  EXPECT_THROW((void)parse_fanout_spec("3:4"), std::runtime_error);  // k > n
+  EXPECT_THROW((void)parse_fanout_spec("x:1"), std::runtime_error);
+  EXPECT_THROW((void)parse_fanout_spec("3:2:mesh"), std::runtime_error);
+  EXPECT_THROW((void)parse_fanout_spec("3:2:spread:extra"),
+               std::runtime_error);
+  // Diagnostics name the token and list every valid form.
+  for (const char* token : {"3:4", "0:1", "3:2:mesh"}) {
+    try {
+      (void)parse_fanout_spec(token);
+      FAIL() << "expected std::runtime_error for " << token;
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(token), std::string::npos) << what;
+      EXPECT_NE(what.find("valid forms"), std::string::npos) << what;
+      EXPECT_NE(what.find("fanout=<n>:<k>:ec"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ScenarioSpec, FanoutRoundTripsAndAppliesOnlyToQueueing) {
+  ScenarioSpec spec = tiny_queueing();
+  spec.fanout = parse_fanout_spec("3:2:spread");
+  EXPECT_EQ(parse_scenario(to_spec_string(spec)), spec);
+  // The degenerate group is canonical-form-invisible: no fanout= token.
+  ScenarioSpec plain = tiny_queueing();
+  EXPECT_EQ(to_spec_string(plain).find("fanout="), std::string::npos);
+  EXPECT_THROW(parse_scenario("name=x kind=independent fanout=3:1"),
+               std::runtime_error);
+  // n must fit the fleet, and the diagnostic lists the valid forms.
+  try {
+    (void)parse_scenario(
+        "name=x kind=queueing servers=4 queries=100 warmup=10 fanout=9:1");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("servers"), std::string::npos) << what;
+    EXPECT_NE(what.find("valid forms"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSpec, FaultAndArrivalDiagnosticsListValidForms) {
+  // Unparseable workload tokens must teach the valid grammar, not just
+  // reject (mirrors the fanout= contract).
+  try {
+    (void)parse_fault_spec("gremlins:1,2");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("valid forms"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)parse_scenario("name=x kind=queueing arrival=diurnal:bad");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("valid forms"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MakeSystem, FanoutChangesRunsDeterministically) {
+  ScenarioSpec spec = tiny_queueing();
+  spec.ratio = 0.0;
+  const auto solo = make_system(spec, 9)->run(core::ReissuePolicy::none());
+  spec.fanout = parse_fanout_spec("3:1:spread");
+  const auto fanned = make_system(spec, 9)->run(core::ReissuePolicy::none());
+  EXPECT_NE(solo.query_latencies, fanned.query_latencies);
+  const auto again = make_system(spec, 9)->run(core::ReissuePolicy::none());
+  EXPECT_EQ(fanned.query_latencies, again.query_latencies);
+  // Replication at a mild load cannot slow any query: completion is the
+  // min over the group and the primary stream is shared.
+  EXPECT_EQ(fanned.queries, spec.queries - spec.warmup);
+  for (double latency : fanned.query_latencies) {
+    EXPECT_TRUE(std::isfinite(latency) && latency >= 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace reissue::exp

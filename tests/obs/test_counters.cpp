@@ -106,6 +106,10 @@ TEST(Counters, FormatCountersPinsTheGlossaryLines) {
             "fault_copies_failed 0\n"
             "fault_dispatch_rejections 0\n"
             "fault_primary_retries 0\n"
+            "siblings_issued 0\n"
+            "sibling_wins 0\n"
+            "siblings_cancelled 0\n"
+            "siblings_wasted 0\n"
             "reissue_inflight_peak 2\n"
             "arena_slots_high_water 10\n");
 }

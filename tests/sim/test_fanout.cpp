@@ -1,0 +1,390 @@
+// Fork-join sibling groups (ClusterConfig::FanoutPlan): k-of-n completion
+// semantics, spread and erasure placement, sibling counters, validation,
+// and byte-identical determinism.  The behavioral contracts pinned here
+// are the ones the redesign promises on top of the paper's model: k=1
+// replication can only help a query (its latency is the min over the
+// group), k=n fork-join can only hurt (the max), erasure-coded reads
+// scale every shard's service by 1/k, and spread placement never lands
+// two live copies of one group on the same server.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "reissue/core/policy.hpp"
+#include "reissue/core/run_result.hpp"
+#include "reissue/sim/cluster.hpp"
+#include "reissue/sim/service_model.hpp"
+#include "reissue/sim/sim_observer.hpp"
+#include "reissue/stats/distributions.hpp"
+
+namespace reissue::sim {
+namespace {
+
+void append(std::string& out, double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  ASSERT_EQ(ec, std::errc{});
+  out.append(buf, end);
+  out.push_back('\n');
+}
+
+std::string fingerprint(const core::RunResult& result) {
+  std::string out;
+  out += "queries=" + std::to_string(result.queries) + "\n";
+  out += "reissues=" + std::to_string(result.reissues_issued) + "\n";
+  append(out, result.utilization);
+  for (double x : result.query_latencies) append(out, x);
+  for (double x : result.primary_latencies) append(out, x);
+  for (double x : result.reissue_latencies) append(out, x);
+  for (double x : result.reissue_delays) append(out, x);
+  return out;
+}
+
+ClusterConfig fanout_config(std::size_t copies, std::size_t require,
+                            ClusterConfig::FanoutPlan::Placement placement,
+                            double utilization) {
+  ClusterConfig cfg;
+  cfg.servers = 8;
+  cfg.arrival_rate = arrival_rate_for_utilization(utilization, 8, 22.0);
+  cfg.queries = 2000;
+  cfg.warmup = 200;
+  cfg.fanout.copies = copies;
+  cfg.fanout.require = require;
+  cfg.fanout.placement = placement;
+  cfg.cancel_on_completion = true;
+  cfg.seed = 0xfa9e;
+  return cfg;
+}
+
+Cluster make_cluster(const ClusterConfig& cfg) {
+  return Cluster(cfg, make_iid_service(stats::make_truncated(
+                          stats::make_pareto(1.1, 2.0), 5000.0)));
+}
+
+using Placement = ClusterConfig::FanoutPlan::Placement;
+
+// Records per-query dispatch servers and the final counters.
+class GroupProbe final : public SimObserver {
+ public:
+  void on_run_begin(const RunInfo& run) override {
+    servers_by_query_.assign(run.queries, {});
+    group_completes_ = 0;
+  }
+  void on_dispatch(double /*now*/, std::uint64_t query, CopyKind kind,
+                   std::uint32_t /*copy_index*/, std::uint32_t server,
+                   double /*service_time*/) override {
+    if (kind == CopyKind::kPrimary || kind == CopyKind::kSibling) {
+      servers_by_query_[query].push_back(server);
+    }
+  }
+  void on_group_complete(double /*now*/, std::uint64_t /*query*/,
+                         std::uint32_t responded, CopyKind /*winner_kind*/,
+                         std::uint32_t /*winner_copy*/) override {
+    ++group_completes_;
+    responded_.push_back(responded);
+  }
+  void on_run_end(double /*horizon*/, double /*utilization*/,
+                  const RunCounters& counters) override {
+    counters_ = counters;
+  }
+
+  std::vector<std::vector<std::uint32_t>> servers_by_query_;
+  std::vector<std::uint32_t> responded_;
+  std::uint64_t group_completes_ = 0;
+  RunCounters counters_;
+};
+
+TEST(Fanout, KOfOneNeverSlowerThanPrimary) {
+  // Completion is the first response over the group, and the primary is a
+  // member, so no query can finish later than its primary would alone.
+  auto cluster =
+      make_cluster(fanout_config(3, 1, Placement::kSpread, 0.2));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  ASSERT_EQ(result.query_latencies.size(), result.primary_latencies.size());
+  std::size_t sibling_wins = 0;
+  for (std::size_t i = 0; i < result.query_latencies.size(); ++i) {
+    EXPECT_LE(result.query_latencies[i], result.primary_latencies[i]);
+    if (result.query_latencies[i] < result.primary_latencies[i]) {
+      ++sibling_wins;
+    }
+  }
+  // With heavy-tailed service a sibling must beat the primary sometimes.
+  EXPECT_GT(sibling_wins, 0u);
+}
+
+TEST(Fanout, AllOfNWaitsForSlowestSibling) {
+  // k == n is fork-join: the query completes at the last response, so it
+  // can never beat the primary alone.
+  auto cluster =
+      make_cluster(fanout_config(3, 3, Placement::kSpread, 0.1));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  std::size_t slower = 0;
+  for (std::size_t i = 0; i < result.query_latencies.size(); ++i) {
+    EXPECT_GE(result.query_latencies[i], result.primary_latencies[i]);
+    if (result.query_latencies[i] > result.primary_latencies[i]) ++slower;
+  }
+  EXPECT_GT(slower, 0u);
+}
+
+TEST(Fanout, ErasureScalesShardServiceByRequire) {
+  // An erasure-coded read fetches 1/k of the object per copy.  With
+  // constant service and a nearly idle cluster the fastest queries run a
+  // full shard read with no queueing: exactly service / k.
+  ClusterConfig cfg = fanout_config(4, 2, Placement::kErasure, 0.02);
+  auto cluster = Cluster(cfg, make_iid_service(stats::make_constant(10.0)));
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  ASSERT_FALSE(result.query_latencies.empty());
+  const double fastest = *std::min_element(result.query_latencies.begin(),
+                                           result.query_latencies.end());
+  EXPECT_DOUBLE_EQ(fastest, 5.0);
+  for (double latency : result.query_latencies) {
+    EXPECT_GE(latency, 5.0);
+  }
+}
+
+TEST(Fanout, SpreadPlacesGroupOnDistinctServers) {
+  // copies == servers exhausts the candidate pool exactly: every group
+  // must cover all eight servers with no repeats.
+  GroupProbe probe;
+  auto cluster =
+      make_cluster(fanout_config(8, 1, Placement::kSpread, 0.05));
+  cluster.set_sim_observer(&probe);
+  (void)cluster.run(core::ReissuePolicy::none());
+  for (const auto& servers : probe.servers_by_query_) {
+    ASSERT_EQ(servers.size(), 8u);
+    const std::set<std::uint32_t> distinct(servers.begin(), servers.end());
+    EXPECT_EQ(distinct.size(), 8u);
+  }
+}
+
+TEST(Fanout, SiblingCountersAreCoherent) {
+  GroupProbe probe;
+  ClusterConfig cfg = fanout_config(3, 1, Placement::kSpread, 0.2);
+  auto cluster = make_cluster(cfg);
+  cluster.set_sim_observer(&probe);
+  (void)cluster.run(core::ReissuePolicy::none());
+  const RunCounters& c = probe.counters_;
+  // No crashes: every query issues exactly copies-1 siblings.
+  EXPECT_EQ(c.siblings_issued, 2u * cfg.queries);
+  // For k == 1 a sibling response is useful iff it won the group, so the
+  // waste tally is exactly the losers.
+  EXPECT_GT(c.sibling_wins, 0u);
+  EXPECT_EQ(c.siblings_wasted, c.siblings_issued - c.sibling_wins);
+  // Losing siblings still in flight get cancelled on completion.
+  EXPECT_GT(c.siblings_cancelled, 0u);
+  EXPECT_LE(c.siblings_cancelled, c.siblings_issued);
+  // One group completion per query, each at exactly k responses.
+  EXPECT_EQ(probe.group_completes_, cfg.queries);
+  for (std::uint32_t responded : probe.responded_) {
+    EXPECT_EQ(responded, 1u);
+  }
+}
+
+TEST(Fanout, GroupCompletesAtExactlyKResponses) {
+  GroupProbe probe;
+  ClusterConfig cfg = fanout_config(5, 3, Placement::kIndependent, 0.1);
+  auto cluster = make_cluster(cfg);
+  cluster.set_sim_observer(&probe);
+  (void)cluster.run(core::ReissuePolicy::none());
+  EXPECT_EQ(probe.group_completes_, cfg.queries);
+  for (std::uint32_t responded : probe.responded_) {
+    EXPECT_EQ(responded, 3u);
+  }
+}
+
+TEST(Fanout, ReissueStacksOnTopOfTheGroup) {
+  // A reissue policy runs per group: stages fire against the group clock
+  // and a reissue joins the group as a late copy, so issued reissues
+  // produce paired (X, Y) observations exactly as without fan-out, and
+  // group completion suppresses pending stages.
+  ClusterConfig cfg = fanout_config(2, 1, Placement::kSpread, 0.3);
+  auto cluster = make_cluster(cfg);
+  const auto result = cluster.run(core::ReissuePolicy::single_r(30.0, 0.5));
+  EXPECT_GT(result.reissues_issued, 0u);
+  // reissues_issued counts warmup queries too; the logs are post-warmup.
+  ASSERT_FALSE(result.reissue_latencies.empty());
+  EXPECT_EQ(result.reissue_latencies.size(), result.reissue_delays.size());
+  EXPECT_LE(result.reissue_latencies.size(), result.reissues_issued);
+  // With k = 1 the group completes at the first response, so far fewer
+  // reissues fire than queries: completion suppresses the rest.
+  EXPECT_LT(result.reissues_issued, result.queries);
+  for (double delay : result.reissue_delays) {
+    EXPECT_DOUBLE_EQ(delay, 30.0);
+  }
+}
+
+TEST(Fanout, EverySeedReplaysByteIdentically) {
+  for (const ClusterConfig& cfg :
+       {fanout_config(3, 1, Placement::kSpread, 0.3),
+        fanout_config(6, 4, Placement::kErasure, 0.3),
+        fanout_config(4, 2, Placement::kIndependent, 0.3)}) {
+    auto a = make_cluster(cfg);
+    auto b = make_cluster(cfg);
+    const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+    EXPECT_EQ(fingerprint(a.run(policy)), fingerprint(b.run(policy)));
+  }
+}
+
+TEST(Fanout, CrashedSiblingsAreRedispatched) {
+  // A crash can eat a sibling the completion rule still needs (k == n),
+  // so failed siblings restart like failed primaries and every query
+  // still completes.
+  ClusterConfig cfg = fanout_config(3, 3, Placement::kSpread, 0.2);
+  cfg.faults.crash_mtbf = 1500.0;
+  cfg.faults.crash_downtime = stats::make_lognormal(4.0, 0.6);
+  GroupProbe probe;
+  auto cluster = make_cluster(cfg);
+  cluster.set_sim_observer(&probe);
+  const auto result = cluster.run(core::ReissuePolicy::none());
+  EXPECT_EQ(result.queries, cfg.queries - cfg.warmup);
+  for (double latency : result.query_latencies) {
+    EXPECT_TRUE(std::isfinite(latency) && latency >= 0.0);
+  }
+  // The observer sees warmup queries too: one completion per arrival.
+  EXPECT_EQ(probe.group_completes_, cfg.queries);
+  // Re-dispatches add extra sibling issues beyond the arrival fan-out.
+  EXPECT_GE(probe.counters_.siblings_issued, 2u * cfg.queries);
+}
+
+TEST(Fanout, MetricModesAgreeOnObservationMultiset) {
+  // Replay and completion-order modes must emit the same observation
+  // multiset for the same seed (delivered in different orders).
+  struct Collector final : core::RunObserver {
+    void on_query(double latency, double primary) override {
+      queries.emplace_back(latency, primary);
+    }
+    void on_reissue(double primary, double response, double delay,
+                    bool cancelled) override {
+      reissues.emplace_back(primary, response, delay, cancelled);
+    }
+    void on_complete(std::size_t queries_total, std::size_t reissues_issued,
+                     double utilization) override {
+      totals = {queries_total, reissues_issued, utilization};
+    }
+    std::vector<std::pair<double, double>> queries;
+    std::vector<std::tuple<double, double, double, bool>> reissues;
+    std::tuple<std::size_t, std::size_t, double> totals;
+  };
+
+  ClusterConfig cfg = fanout_config(4, 2, Placement::kErasure, 0.3);
+  auto replay = make_cluster(cfg);
+  auto unordered = make_cluster(cfg);
+  const auto policy = core::ReissuePolicy::single_r(30.0, 0.5);
+  Collector a, b;
+  replay.run_streaming(policy, a);
+  unordered.run_streaming_unordered(policy, b);
+
+  std::sort(a.queries.begin(), a.queries.end());
+  std::sort(b.queries.begin(), b.queries.end());
+  std::sort(a.reissues.begin(), a.reissues.end());
+  std::sort(b.reissues.begin(), b.reissues.end());
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.reissues, b.reissues);
+  EXPECT_EQ(a.totals, b.totals);
+}
+
+TEST(Fanout, ValidationRejectsBadPlans) {
+  auto expect_reject = [](ClusterConfig cfg, const char* what) {
+    EXPECT_THROW((void)make_cluster(cfg), std::invalid_argument) << what;
+  };
+  ClusterConfig zero = fanout_config(3, 1, Placement::kSpread, 0.2);
+  zero.fanout.copies = 0;
+  expect_reject(zero, "copies == 0");
+
+  ClusterConfig k0 = fanout_config(3, 1, Placement::kSpread, 0.2);
+  k0.fanout.require = 0;
+  expect_reject(k0, "require == 0");
+
+  ClusterConfig kn = fanout_config(3, 1, Placement::kSpread, 0.2);
+  kn.fanout.require = 4;
+  expect_reject(kn, "require > copies");
+
+  ClusterConfig wide = fanout_config(3, 1, Placement::kSpread, 0.2);
+  wide.fanout.copies = 9;  // servers == 8
+  expect_reject(wide, "copies > servers");
+
+  ClusterConfig infinite = fanout_config(3, 1, Placement::kSpread, 0.2);
+  infinite.infinite_servers = true;
+  expect_reject(infinite, "fanout on infinite servers");
+}
+
+/// libm sentinels shared with test_cluster_golden.cpp: the fingerprint
+/// flows through pow/log, so the pinned hashes only hold on the baseline
+/// libm.
+constexpr std::uint64_t kPowProbe = 0x3ff5201fdad96895ull;
+constexpr std::uint64_t kLogProbe = 0xc000bc233ad9edd6ull;
+
+bool libm_matches_baseline() {
+  const double a = std::pow(0.7366218546322401, -1.0 / 1.1);
+  const double b = std::log(0.1234567890123456789);
+  return std::bit_cast<std::uint64_t>(a) == kPowProbe &&
+         std::bit_cast<std::uint64_t>(b) == kLogProbe;
+}
+
+#define REQUIRE_BASELINE_LIBM()                                        \
+  if (!libm_matches_baseline()) {                                      \
+    GTEST_SKIP() << "different libm than the recorded golden baseline" \
+                    " (pow/log bit patterns differ)";                  \
+  }
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+TEST(Fanout, KitchenSinkGolden) {
+  // Every fan-out mechanism at once — erasure placement, crash faults
+  // (sibling re-dispatch), lazy cancellation, a two-stage reissue policy —
+  // hashed so any change to the sibling-group event order is caught.
+  REQUIRE_BASELINE_LIBM();
+  ClusterConfig cfg = fanout_config(6, 4, Placement::kErasure, 0.35);
+  cfg.faults.crash_mtbf = 1500.0;
+  cfg.faults.crash_downtime = stats::make_lognormal(4.0, 0.6);
+  auto cluster = Cluster(cfg, make_correlated_service(
+                                  stats::make_truncated(
+                                      stats::make_pareto(1.1, 2.0), 5000.0),
+                                  0.5));
+  const auto none = cluster.run(core::ReissuePolicy::none());
+  EXPECT_EQ(fnv1a(fingerprint(none)), 0xe628feb7ac3ce528ull);
+  cluster.reseed(cfg.seed);
+  const auto staged = cluster.run(core::ReissuePolicy::single_r(25.0, 0.5));
+  EXPECT_EQ(fnv1a(fingerprint(staged)), 0x643ac9ed7110c8daull);
+}
+
+TEST(Fanout, DegeneratePlanMatchesNoFanout) {
+  // copies == 1 must be byte-identical to a config with no FanoutPlan
+  // touched at all: same RNG stream order, same arena layout.
+  ClusterConfig plain;
+  plain.servers = 8;
+  plain.arrival_rate = arrival_rate_for_utilization(0.3, 8, 22.0);
+  plain.queries = 2000;
+  plain.warmup = 200;
+  plain.seed = 0xfa9e;
+
+  ClusterConfig degenerate = plain;
+  degenerate.fanout.copies = 1;
+  degenerate.fanout.require = 1;
+  degenerate.fanout.placement = Placement::kErasure;  // inert when n == 1
+
+  auto a = make_cluster(plain);
+  auto b = make_cluster(degenerate);
+  const auto policy = core::ReissuePolicy::single_r(20.0, 0.5);
+  EXPECT_EQ(fingerprint(a.run(policy)), fingerprint(b.run(policy)));
+}
+
+}  // namespace
+}  // namespace reissue::sim
